@@ -1,0 +1,157 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//   A1  RA simplification in the lazy pipeline (on/off): the rewriter is
+//       what turns Example 2.1(b)-style queries into cheap or empty plans.
+//   A2  Operator clustering (Algorithm HQL-2's reason to exist): the same
+//       sigma-over-product evaluated node-at-a-time (filter1) vs clustered
+//       into a theta join (filter2 / EvalRa).
+//   A3  Streaming delta application (DeltaScan) vs materialize-then-apply
+//       for select-when.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/builders.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "eval/delta_ops.h"
+#include "eval/filter1.h"
+#include "eval/filter2.h"
+#include "eval/ra_eval.h"
+#include "hql/enf.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "opt/planner.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using bench::MakeRS;
+using bench::Unwrap;
+
+// ---------------------------------------------------------------------------
+// A1: lazy evaluation with and without the RA simplifier.
+// ---------------------------------------------------------------------------
+
+QueryPtr SimplifiableQuery() {
+  // (R join (S - sigma[A<60%](S))) when {del(S, sigma[A<60%](S))}:
+  // after reduction the rewriter merges the double difference into one
+  // selection; without it the query evaluates the S-expressions twice.
+  QueryPtr s_trimmed = Diff(Rel("S"), Sel(Lt(Col(0), Int(12000)), Rel("S")));
+  QueryPtr body = Join(Eq(Col(0), Col(2)), Rel("R"), s_trimmed);
+  return Query::When(
+      body, Upd(Del("S", Sel(Lt(Col(0), Int(12000)), Rel("S")))));
+}
+
+void BM_LazyWithSimplify(benchmark::State& state) {
+  Database db = MakeRS(31, 10000, 20000);
+  PlannerOptions options;
+  options.simplify = true;
+  for (auto _ : state) {
+    Relation out = Unwrap(
+        Execute(SimplifiableQuery(), db, db.schema(), Strategy::kLazy,
+                options));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_LazyWithoutSimplify(benchmark::State& state) {
+  Database db = MakeRS(31, 10000, 20000);
+  PlannerOptions options;
+  options.simplify = false;
+  for (auto _ : state) {
+    Relation out = Unwrap(
+        Execute(SimplifiableQuery(), db, db.schema(), Strategy::kLazy,
+                options));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_LazyWithSimplify)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LazyWithoutSimplify)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A2: clustering sigma over product (the filter1 vs filter2 distinction on
+// a pure-RA region).
+// ---------------------------------------------------------------------------
+
+void BM_SelectOverProductNodeAtATime(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Database db = MakeRS(37, rows, static_cast<int64_t>(rows) * 2);
+  QueryPtr q = Sel(Eq(Col(0), Col(2)), X(Rel("R"), Rel("S")));
+  for (auto _ : state) {
+    // Algorithm HQL-1 materializes the full product, then filters.
+    Relation out = Unwrap(Filter1(q, db));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SelectOverProductClustered(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Database db = MakeRS(37, rows, static_cast<int64_t>(rows) * 2);
+  QueryPtr q = Sel(Eq(Col(0), Col(2)), X(Rel("R"), Rel("S")));
+  for (auto _ : state) {
+    // Algorithm HQL-2's eval_filter_x clusters it into a hash join.
+    Relation out = Unwrap(Filter2(q, db, db.schema()));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_SelectOverProductNodeAtATime)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectOverProductClustered)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// A3: streaming select-when vs materialize-then-filter.
+// ---------------------------------------------------------------------------
+
+void BM_SelectWhenStreaming(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Rng rng(41);
+  Relation base = GenRelation(&rng, rows, 2,
+                              static_cast<int64_t>(rows) * 2);
+  DeltaPair delta(SampleFraction(&rng, base, 0.02),
+                  GenRelation(&rng, rows / 50, 2,
+                              static_cast<int64_t>(rows) * 2));
+  ScalarExprPtr pred = Ge(Col(0), Int(static_cast<int64_t>(rows)));
+  for (auto _ : state) {
+    Relation out = SelectWhen(base, &delta, *pred);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SelectWhenMaterialized(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Rng rng(41);
+  Relation base = GenRelation(&rng, rows, 2,
+                              static_cast<int64_t>(rows) * 2);
+  DeltaPair delta(SampleFraction(&rng, base, 0.02),
+                  GenRelation(&rng, rows / 50, 2,
+                              static_cast<int64_t>(rows) * 2));
+  ScalarExprPtr pred = Ge(Col(0), Int(static_cast<int64_t>(rows)));
+  for (auto _ : state) {
+    Relation applied = base.DifferenceWith(delta.del).UnionWith(delta.ins);
+    Relation out = FilterRelation(applied, *pred);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_SelectWhenStreaming)
+    ->Arg(50000)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectWhenMaterialized)
+    ->Arg(50000)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hql
+
+BENCHMARK_MAIN();

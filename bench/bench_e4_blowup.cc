@@ -1,0 +1,145 @@
+// E4 — Example 2.4, exponential blow-up of the fully lazy strategy.
+//
+// Paper claims:
+//   (a) the lazy equivalent red(Q) of the n-step chain is exponential in n
+//       even though Q itself is linear;
+//   (b) relational-algebra rewriting can collapse the chain (with one
+//       difference step) to the empty query before any data is touched;
+//   (c) eager evaluation avoids the blow-up entirely when the values stay
+//       small.
+//
+// Rows: LazyRewrite/<n> (with tree/dag size counters), RewriteCollapses/<n>,
+// EagerEval/<n> vs LazyEval/<n> on singleton data.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/metrics.h"
+#include "bench/bench_util.h"
+#include "eval/filter2.h"
+#include "eval/ra_eval.h"
+#include "hql/enf.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using bench::Unwrap;
+
+// (a): cost and size of the fully lazy rewrite.
+void BM_LazyRewrite(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChain(n);
+  QueryPtr reduced;
+  for (auto _ : state) {
+    reduced = Unwrap(Reduce(spec.query, spec.schema));
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.counters["hql_tree"] = TreeSize(spec.query);
+  state.counters["lazy_tree"] = TreeSize(reduced);
+  state.counters["lazy_dag"] = static_cast<double>(DagSize(reduced));
+}
+
+BENCHMARK(BM_LazyRewrite)->DenseRange(1, 16, 3)->Unit(benchmark::kMicrosecond);
+
+// (b): with E_j = R_j - R_j the rewriter reaches `empty` statically.
+void BM_RewriteCollapses(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChainWithDifference(n, (n + 1) / 2);
+  for (auto _ : state) {
+    QueryPtr reduced = Unwrap(Reduce(spec.query, spec.schema));
+    QueryPtr simplified = Unwrap(SimplifyRa(reduced, spec.schema));
+    HQL_CHECK(simplified->kind() == QueryKind::kEmpty);
+    benchmark::DoNotOptimize(simplified);
+  }
+}
+
+BENCHMARK(BM_RewriteCollapses)
+    ->DenseRange(2, 14, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+namespace {
+
+Database SingletonChainDb(const BlowupSpec& spec, int n) {
+  Database db(spec.schema);
+  for (int i = 0; i <= n; ++i) {
+    std::string name = "R" + std::to_string(i);
+    size_t arity = spec.schema.ArityOf(name).value();
+    Tuple t;
+    for (size_t c = 0; c < arity; ++c) t.push_back(Value::Int(1));
+    HQL_CHECK(db.Set(name, Relation::FromTuples(arity, {t})).ok());
+  }
+  return db;
+}
+
+}  // namespace
+
+// (c): eager evaluation of the chain on singleton data: linear work.
+void BM_EagerEval(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChain(n);
+  Database db = SingletonChainDb(spec, n);
+  QueryPtr enf = Unwrap(ToEnf(spec.query, spec.schema));
+  for (auto _ : state) {
+    Relation out = Unwrap(Filter2(enf, db, spec.schema));
+    HQL_CHECK(out.size() == 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+// Lazy evaluation of the same chain: the rewritten query has 2^n leaves,
+// so even singleton data costs exponential work.
+void BM_LazyEval(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChain(n);
+  Database db = SingletonChainDb(spec, n);
+  DatabaseResolver resolver(db);
+  for (auto _ : state) {
+    QueryPtr reduced = Unwrap(Reduce(spec.query, spec.schema));
+    Relation out = Unwrap(EvalRa(reduced, resolver));
+    HQL_CHECK(out.size() == 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_EagerEval)->DenseRange(2, 12, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LazyEval)->DenseRange(2, 12, 2)->Unit(benchmark::kMicrosecond);
+
+// Example 2.4(c): E_i = sigma[$0 < 0](R_i x R_i) has small (empty)
+// intersections — eager computes each once, lazy drags an exponential
+// expression through evaluation.
+void BM_EagerEvalSmallValues(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChainSmallValues(n);
+  Database db = SingletonChainDb(spec, n);
+  QueryPtr enf = Unwrap(ToEnf(spec.query, spec.schema));
+  for (auto _ : state) {
+    Relation out = Unwrap(Filter2(enf, db, spec.schema));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_LazyEvalSmallValues(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BlowupSpec spec = BlowupChainSmallValues(n);
+  Database db = SingletonChainDb(spec, n);
+  DatabaseResolver resolver(db);
+  for (auto _ : state) {
+    QueryPtr reduced = Unwrap(Reduce(spec.query, spec.schema));
+    Relation out = Unwrap(EvalRa(reduced, resolver));
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+BENCHMARK(BM_EagerEvalSmallValues)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LazyEvalSmallValues)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E6 — the full strategy spectrum (Section 5 overall).
+//
+// One hypothetical query, every evaluation strategy: direct state
+// materialization (the when-stack of Example 2.1(a)), fully lazy reduction
+// (Theorem 4.1), Algorithm HQL-1 (xsub, node-at-a-time), Algorithm HQL-2
+// (xsub, collapsed/clustered), Algorithm HQL-3 (deltas) and the hybrid
+// planner. Swept over update size and `when` nesting depth.
+//
+// Rows: Spectrum/<strategy>/<rows>/<delta_pm>/<depth>.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ast/builders.h"
+#include "bench/bench_util.h"
+#include "opt/planner.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using bench::MakeRS;
+using bench::Unwrap;
+
+constexpr int64_t kKeyDomain = 40000;  // 2x rows: sparse join keys
+
+// A nested hypothetical query: `depth` stacked updates, each touching a
+// delta_pm/1000 fraction of the key domain, under a join query.
+QueryPtr MakeQuery(int depth, int64_t delta_pm) {
+  QueryPtr q = Sel(Ge(Col(1), Int(0)),
+                   Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S")));
+  int64_t width = kKeyDomain * delta_pm / 1000;
+  for (int d = 0; d < depth; ++d) {
+    int64_t lo = (d * 131) % kKeyDomain;
+    UpdatePtr u = Seq(
+        Ins("R", Sel(And(Ge(Col(0), Int(lo)), Lt(Col(0), Int(lo + width))),
+                     Rel("S"))),
+        Del("S", Sel(And(Ge(Col(0), Int(lo)), Lt(Col(0), Int(lo + width))),
+                     Rel("S"))));
+    q = Query::When(q, Upd(u));
+  }
+  return q;
+}
+
+void RunSpectrum(benchmark::State& state, Strategy strategy) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const int64_t delta_pm = state.range(1);
+  const int depth = static_cast<int>(state.range(2));
+  Database db = MakeRS(23, rows, kKeyDomain);
+  const Schema& schema = db.schema();
+  QueryPtr q = MakeQuery(depth, delta_pm);
+  uint64_t total = 0;
+  for (auto _ : state) {
+    auto result = Execute(q, db, schema, strategy);
+    HQL_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    total += result.value().size();
+  }
+  state.counters["result_tuples"] = static_cast<double>(total);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t rows : {20000}) {
+    for (int64_t delta_pm : {10, 100}) {
+      for (int64_t depth : {1, 2, 4}) {
+        b->Args({rows, delta_pm, depth});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+#define SPECTRUM_BENCH(name, strategy)                       \
+  void BM_##name(benchmark::State& state) {                  \
+    RunSpectrum(state, strategy);                            \
+  }                                                          \
+  BENCHMARK(BM_##name)->Apply(Args)
+
+SPECTRUM_BENCH(Direct, Strategy::kDirect);
+SPECTRUM_BENCH(Lazy, Strategy::kLazy);
+SPECTRUM_BENCH(Filter1, Strategy::kFilter1);
+SPECTRUM_BENCH(Filter2, Strategy::kFilter2);
+SPECTRUM_BENCH(Filter3, Strategy::kFilter3);
+SPECTRUM_BENCH(Hybrid, Strategy::kHybrid);
+
+#undef SPECTRUM_BENCH
+
+}  // namespace
+}  // namespace hql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E7 — cost of the rewriting machinery itself (Sections 4.3 / 5.1 / 5.2).
+//
+// Paper-level claim: the substitution-based rewrites (reduce, ENF
+// conversion, composition, collapse, planning) are cheap, symbolic
+// operations — their cost depends only on query size, not on the data —
+// except where the lazy rewrite itself blows up (E4 measures that case).
+//
+// Rows: <phase>/<query_nodes> with time per rewrite.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ast/metrics.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "hql/collapse.h"
+#include "hql/enf.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "opt/planner.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using bench::Unwrap;
+
+std::vector<QueryPtr> MakeCorpus(int depth, size_t count) {
+  Rng rng(29);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = depth;
+  std::vector<QueryPtr> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    corpus.push_back(RandomQuery(&rng, schema, 2, options));
+  }
+  return corpus;
+}
+
+double AvgTreeSize(const std::vector<QueryPtr>& corpus) {
+  double total = 0;
+  for (const QueryPtr& q : corpus) total += TreeSize(q);
+  return total / static_cast<double>(corpus.size());
+}
+
+void BM_Reduce(benchmark::State& state) {
+  Schema schema = PropertySchema();
+  std::vector<QueryPtr> corpus =
+      MakeCorpus(static_cast<int>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryPtr red = Unwrap(Reduce(corpus[i++ % corpus.size()], schema));
+    benchmark::DoNotOptimize(red);
+  }
+  state.counters["avg_query_nodes"] = AvgTreeSize(corpus);
+}
+
+void BM_ToEnf(benchmark::State& state) {
+  Schema schema = PropertySchema();
+  std::vector<QueryPtr> corpus =
+      MakeCorpus(static_cast<int>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryPtr enf = Unwrap(ToEnf(corpus[i++ % corpus.size()], schema));
+    benchmark::DoNotOptimize(enf);
+  }
+  state.counters["avg_query_nodes"] = AvgTreeSize(corpus);
+}
+
+void BM_Collapse(benchmark::State& state) {
+  Schema schema = PropertySchema();
+  std::vector<QueryPtr> corpus =
+      MakeCorpus(static_cast<int>(state.range(0)), 64);
+  std::vector<QueryPtr> enfs;
+  enfs.reserve(corpus.size());
+  for (const QueryPtr& q : corpus) enfs.push_back(Unwrap(ToEnf(q, schema)));
+  size_t i = 0;
+  for (auto _ : state) {
+    CollapsedPtr tree = Unwrap(Collapse(enfs[i++ % enfs.size()], schema));
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_SimplifyRa(benchmark::State& state) {
+  Schema schema = PropertySchema();
+  std::vector<QueryPtr> corpus =
+      MakeCorpus(static_cast<int>(state.range(0)), 64);
+  std::vector<QueryPtr> reduced;
+  reduced.reserve(corpus.size());
+  for (const QueryPtr& q : corpus) {
+    reduced.push_back(Unwrap(Reduce(q, schema)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryPtr s = Unwrap(SimplifyRa(reduced[i++ % reduced.size()], schema));
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+void BM_PlanHybrid(benchmark::State& state) {
+  Schema schema = PropertySchema();
+  std::vector<QueryPtr> corpus =
+      MakeCorpus(static_cast<int>(state.range(0)), 64);
+  StatsCatalog stats;
+  for (const auto& [name, arity] : schema.arities()) {
+    stats.SetCardinality(name, 10000, arity);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Plan plan =
+        Unwrap(PlanHybrid(corpus[i++ % corpus.size()], schema, stats));
+    benchmark::DoNotOptimize(plan.query);
+  }
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t depth : {2, 3, 4, 5}) b->Args({depth});
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Reduce)->Apply(Args);
+BENCHMARK(BM_ToEnf)->Apply(Args);
+BENCHMARK(BM_Collapse)->Apply(Args);
+BENCHMARK(BM_SimplifyRa)->Apply(Args);
+BENCHMARK(BM_PlanHybrid)->Apply(Args);
+
+}  // namespace
+}  // namespace hql
+
+BENCHMARK_MAIN();

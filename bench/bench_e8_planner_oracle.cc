@@ -1,0 +1,93 @@
+// E8 — planner quality: how close does the hybrid planner come to an
+// oracle that always picks the best single strategy? (The paper leaves
+// cost-based plan selection as future work; this measures our instance of
+// it.) Each row times every strategy on one workload configuration and
+// reports the hybrid-to-best ratio as a counter.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <limits>
+
+#include "ast/builders.h"
+#include "bench/bench_util.h"
+#include "opt/planner.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using bench::MakeRS;
+using bench::Unwrap;
+
+constexpr int64_t kKeyDomain = 40000;
+
+QueryPtr MakeQuery(int depth, int64_t delta_pm, bool selective) {
+  QueryPtr q = Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S"));
+  if (selective) {
+    q = Sel(Lt(Col(0), Int(kKeyDomain / 20)), q);
+  }
+  int64_t width = kKeyDomain * delta_pm / 1000;
+  for (int d = 0; d < depth; ++d) {
+    int64_t lo = (d * 131) % kKeyDomain;
+    UpdatePtr u = Seq(
+        Ins("R", Sel(And(Ge(Col(0), Int(lo)), Lt(Col(0), Int(lo + width))),
+                     Rel("S"))),
+        Del("S", Sel(And(Ge(Col(0), Int(lo)), Lt(Col(0), Int(lo + width))),
+                     Rel("S"))));
+    q = Query::When(q, Upd(u));
+  }
+  return q;
+}
+
+double TimeOnce(const QueryPtr& q, const Database& db, const Schema& schema,
+                Strategy s) {
+  auto start = std::chrono::steady_clock::now();
+  Relation out = Unwrap(Execute(q, db, schema, s));
+  benchmark::DoNotOptimize(out);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void BM_PlannerVsOracle(benchmark::State& state) {
+  const int64_t delta_pm = state.range(0);
+  const int depth = static_cast<int>(state.range(1));
+  const bool selective = state.range(2) != 0;
+  Database db = MakeRS(47, 20000, kKeyDomain);
+  const Schema& schema = db.schema();
+  QueryPtr q = MakeQuery(depth, delta_pm, selective);
+
+  double best = std::numeric_limits<double>::infinity();
+  double hybrid = 0;
+  for (auto _ : state) {
+    best = std::numeric_limits<double>::infinity();
+    for (Strategy s : {Strategy::kLazy, Strategy::kFilter1,
+                       Strategy::kFilter2, Strategy::kFilter3}) {
+      double t = TimeOnce(q, db, schema, s);
+      if (t < best) best = t;
+    }
+    hybrid = TimeOnce(q, db, schema, Strategy::kHybrid);
+  }
+  state.counters["oracle_ms"] = best * 1000;
+  state.counters["hybrid_ms"] = hybrid * 1000;
+  state.counters["regret"] = hybrid / best;
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t delta_pm : {10, 100}) {
+    for (int64_t depth : {1, 3}) {
+      for (int64_t selective : {0, 1}) {
+        b->Args({delta_pm, depth, selective});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(3);
+}
+
+BENCHMARK(BM_PlannerVsOracle)->Apply(Args);
+
+}  // namespace
+}  // namespace hql
+
+BENCHMARK_MAIN();

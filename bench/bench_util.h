@@ -1,0 +1,41 @@
+#ifndef HQL_BENCH_BENCH_UTIL_H_
+#define HQL_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the experiment benchmarks (see DESIGN.md section 3).
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "workload/generators.h"
+
+namespace hql::bench {
+
+/// The standard two-relation scenario of the paper's examples: R and S of
+/// arity 2 with `rows` tuples each; column 0 ("A") is drawn from
+/// [0, key_domain).
+inline Database MakeRS(uint64_t seed, size_t rows, int64_t key_domain) {
+  Schema schema;
+  HQL_CHECK(schema.AddRelation("R", 2).ok());
+  HQL_CHECK(schema.AddRelation("S", 2).ok());
+  Rng rng(seed);
+  Database db(schema);
+  HQL_CHECK(db.Set("R", GenRelation(&rng, rows, 2, key_domain)).ok());
+  HQL_CHECK(db.Set("S", GenRelation(&rng, rows, 2, key_domain)).ok());
+  return db;
+}
+
+/// Unwraps a Result in benchmark code (aborts on error — a benchmark that
+/// cannot evaluate its query is a bug).
+template <typename T>
+T Unwrap(hql::Result<T> result) {
+  HQL_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+}  // namespace hql::bench
+
+#endif  // HQL_BENCH_BENCH_UTIL_H_

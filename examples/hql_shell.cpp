@@ -1,0 +1,334 @@
+// hql_shell: an interactive REPL over the hql library.
+//
+//   $ ./examples/hql_shell
+//   hql> \schema emp 2
+//   hql> \gen emp 1000 500
+//   hql> gamma[1; count(0)](emp) when {del(emp, sigma[$0 < 100](emp))}
+//   ...
+//
+// Commands:
+//   \schema NAME ARITY      declare a relation
+//   \load NAME (v,..) ...   insert literal rows
+//   \gen NAME ROWS DOMAIN   fill with random int rows (col 0 in [0,DOMAIN))
+//   \apply UPDATE           commit an update to the real state
+//   \strategy NAME          direct | lazy | filter1 | filter2 | filter3 |
+//                           hybrid (default hybrid)
+//   \explain QUERY          show the lazy rewrite and the hybrid plan
+//   \db                     print the whole database
+//   \time on|off            toggle per-query timing
+//   \help, \quit
+// Anything else is parsed as an HQL query and evaluated.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/metrics.h"
+#include "ast/typecheck.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "opt/explain.h"
+#include "opt/session.h"
+#include "opt/planner.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+#include "storage/io.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace hql;  // NOLINT
+
+struct ShellState {
+  Schema schema;
+  Database db{Schema()};
+  Strategy strategy = Strategy::kHybrid;
+  bool timing = true;
+  Rng rng{20260704};
+  // Active what-if session (\whatif ... \endwhatif). Reset whenever the
+  // real database changes, since it materializes a snapshot of the state.
+  std::unique_ptr<HypotheticalSession> whatif;
+};
+
+void PrintRelation(const Relation& r, size_t limit = 20) {
+  size_t shown = 0;
+  for (const Tuple& t : r) {
+    if (shown++ >= limit) {
+      std::printf("  ... (%zu more)\n", r.size() - limit);
+      break;
+    }
+    std::printf("  %s\n", TupleToString(t).c_str());
+  }
+  std::printf("(%zu tuple%s)\n", r.size(), r.size() == 1 ? "" : "s");
+}
+
+bool ParseStrategy(const std::string& name, Strategy* out) {
+  for (Strategy s : {Strategy::kDirect, Strategy::kLazy, Strategy::kFilter1,
+                     Strategy::kFilter2, Strategy::kFilter3,
+                     Strategy::kHybrid}) {
+    if (name == StrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  \\schema NAME ARITY      declare a relation\n"
+      "  \\load NAME (v,..) ...   insert literal rows\n"
+      "  \\gen NAME ROWS DOMAIN   fill with random rows\n"
+      "  \\apply UPDATE           commit an update\n"
+      "  \\strategy NAME          direct|lazy|filter1|filter2|filter3|hybrid\n"
+      "  \\explain QUERY          show rewrites and plan\n"
+      "  \\db                     print the database\n"
+      "  \\save FILE  \\open FILE  persist / restore the database\n"
+      "  \\whatif STATE           open a what-if session (queries run in\n"
+      "                          the hypothetical state); \\endwhatif\n"
+      "  \\time on|off            toggle timing\n"
+      "  \\help  \\quit\n"
+      "anything else: an HQL query, e.g.\n"
+      "  sigma[$0 > 3](R) when {ins(R, S); del(S, R)}\n");
+}
+
+void HandleCommand(ShellState* st, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "\\help") {
+    Help();
+  } else if (cmd == "\\schema") {
+    std::string name;
+    size_t arity = 0;
+    in >> name >> arity;
+    if (name.empty() || arity == 0) {
+      std::printf("usage: \\schema NAME ARITY\n");
+      return;
+    }
+    Status st2 = st->schema.AddRelation(name, arity);
+    if (!st2.ok()) {
+      std::printf("error: %s\n", st2.ToString().c_str());
+      return;
+    }
+    st->whatif.reset();
+    st->db = Database(st->schema);  // reset to empty over the new schema
+    std::printf("ok: %s/%zu (database reset)\n", name.c_str(), arity);
+  } else if (cmd == "\\gen") {
+    std::string name;
+    size_t rows = 0;
+    int64_t domain = 0;
+    in >> name >> rows >> domain;
+    auto arity = st->schema.ArityOf(name);
+    if (!arity.ok() || rows == 0 || domain <= 0) {
+      std::printf("usage: \\gen NAME ROWS DOMAIN (declared relation)\n");
+      return;
+    }
+    st->whatif.reset();
+    Status set = st->db.Set(
+        name, GenRelation(&st->rng, rows, arity.value(), domain, domain));
+    std::printf("%s\n", set.ok() ? "ok" : set.ToString().c_str());
+  } else if (cmd == "\\load") {
+    std::string name;
+    in >> name;
+    std::string rest;
+    std::getline(in, rest);
+    // Reuse the query parser: rows form a union of singletons.
+    std::istringstream rows(rest);
+    std::string tok;
+    std::vector<std::string> tuples;
+    std::string cur;
+    for (char c : rest) {
+      cur.push_back(c);
+      if (c == ')') {
+        tuples.push_back(cur);
+        cur.clear();
+      }
+    }
+    if (tuples.empty()) {
+      std::printf("usage: \\load NAME (v, ..) (v, ..) ...\n");
+      return;
+    }
+    auto base = st->db.Get(name);
+    if (!base.ok()) {
+      std::printf("error: %s\n", base.status().ToString().c_str());
+      return;
+    }
+    Relation rel = base.value();
+    for (const std::string& text : tuples) {
+      auto q = ParseQuery("{" + text + "}");
+      if (!q.ok() || q.value()->kind() != QueryKind::kSingleton ||
+          q.value()->tuple().size() != rel.arity()) {
+        std::printf("bad tuple: %s\n", text.c_str());
+        return;
+      }
+      rel.Insert(q.value()->tuple());
+    }
+    Status set = st->db.Set(name, std::move(rel));
+    std::printf("%s\n", set.ok() ? "ok" : set.ToString().c_str());
+  } else if (cmd == "\\apply") {
+    std::string rest;
+    std::getline(in, rest);
+    auto u = ParseUpdate(rest);
+    if (!u.ok()) {
+      std::printf("parse error: %s\n", u.status().ToString().c_str());
+      return;
+    }
+    Status check = CheckUpdate(u.value(), st->schema);
+    if (!check.ok()) {
+      std::printf("type error: %s\n", check.ToString().c_str());
+      return;
+    }
+    auto next = ExecUpdate(u.value(), st->db);
+    if (!next.ok()) {
+      std::printf("error: %s\n", next.status().ToString().c_str());
+      return;
+    }
+    st->whatif.reset();
+    st->db = std::move(next).value();
+    std::printf("ok\n");
+  } else if (cmd == "\\strategy") {
+    std::string name;
+    in >> name;
+    if (!ParseStrategy(name, &st->strategy)) {
+      std::printf("unknown strategy '%s'\n", name.c_str());
+      return;
+    }
+    std::printf("strategy = %s\n", StrategyName(st->strategy));
+  } else if (cmd == "\\explain") {
+    std::string rest;
+    std::getline(in, rest);
+    auto q = ParseQuery(rest);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    StatsCatalog stats = StatsCatalog::FromDatabase(st->db);
+    auto report = Explain(q.value(), st->schema, stats);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", FormatExplain(report.value()).c_str());
+  } else if (cmd == "\\save") {
+    std::string path;
+    in >> path;
+    Status saved = SaveDatabase(st->db, path);
+    std::printf("%s\n", saved.ok() ? "ok" : saved.ToString().c_str());
+  } else if (cmd == "\\open") {
+    std::string path;
+    in >> path;
+    auto loaded = LoadDatabase(path);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    st->whatif.reset();
+    st->schema = loaded.value().schema();
+    st->db = std::move(loaded).value();
+    std::printf("ok (%zu relations)\n", st->schema.NumRelations());
+  } else if (cmd == "\\whatif") {
+    std::string rest;
+    std::getline(in, rest);
+    auto state_expr = ParseHypo(rest);
+    if (!state_expr.ok()) {
+      std::printf("parse error: %s\n",
+                  state_expr.status().ToString().c_str());
+      return;
+    }
+    Status check = CheckHypo(state_expr.value(), st->schema);
+    if (!check.ok()) {
+      std::printf("type error: %s\n", check.ToString().c_str());
+      return;
+    }
+    auto session =
+        HypotheticalSession::Create(state_expr.value(), st->db, st->schema);
+    if (!session.ok()) {
+      std::printf("error: %s\n", session.status().ToString().c_str());
+      return;
+    }
+    st->whatif = std::make_unique<HypotheticalSession>(
+        std::move(session).value());
+    std::printf("what-if session open (%s, %llu materialized tuples); "
+                "queries now run hypothetically. \\endwhatif to close.\n",
+                st->whatif->uses_delta() ? "delta" : "xsub",
+                static_cast<unsigned long long>(
+                    st->whatif->materialized_tuples()));
+  } else if (cmd == "\\endwhatif") {
+    st->whatif.reset();
+    std::printf("what-if session closed; back to the real state.\n");
+  } else if (cmd == "\\db") {
+    std::printf("%s", st->db.ToString().c_str());
+  } else if (cmd == "\\time") {
+    std::string mode;
+    in >> mode;
+    st->timing = (mode != "off");
+    std::printf("timing %s\n", st->timing ? "on" : "off");
+  } else {
+    std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+  }
+}
+
+void HandleQuery(ShellState* st, const std::string& line) {
+  auto q = ParseQuery(line);
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  auto arity = InferQueryArity(q.value(), st->schema);
+  if (!arity.ok()) {
+    std::printf("type error: %s\n", arity.status().ToString().c_str());
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  auto result = st->whatif != nullptr
+                    ? st->whatif->Evaluate(q.value())
+                    : Execute(q.value(), st->db, st->schema, st->strategy);
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  PrintRelation(result.value());
+  if (st->timing) {
+    std::printf("[%s, %lld us]\n",
+                st->whatif != nullptr ? "whatif-session"
+                                      : StrategyName(st->strategy),
+                static_cast<long long>(elapsed));
+  }
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  std::printf("hql shell — hypothetical queries (\\help for commands)\n");
+  std::string line;
+  for (;;) {
+    std::printf("hql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t");
+    line = line.substr(b, e - b + 1);
+    if (line == "\\quit" || line == "\\q") break;
+    if (line[0] == '\\') {
+      HandleCommand(&state, line);
+    } else {
+      HandleQuery(&state, line);
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Integrity maintenance with hypothetical queries.
+//
+// A constraint is a "violations" query that must stay empty. Before
+// committing a proposed update U, the guard evaluates
+//
+//     violations when {U}
+//
+// against the current state: if the result is empty the update is safe.
+// This is the weakest-precondition connection the paper draws in the
+// related-work discussion — `a when {U}` *is* the precondition of `a`
+// under U, and the lazy strategy turns it into a plain RA query that a
+// conventional engine could evaluate before the update ever runs.
+
+#include <cstdio>
+#include <vector>
+
+#include "ast/builders.h"
+#include "common/check.h"
+#include "eval/direct.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(hql::Result<T> result) {
+  HQL_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hql;       // NOLINT
+  using namespace hql::dsl;  // NOLINT
+
+  // accounts(id, balance_class) and frozen(id).
+  // balance_class 0 means overdrawn.
+  Schema schema;
+  HQL_CHECK(schema.AddRelation("accounts", 2).ok());
+  HQL_CHECK(schema.AddRelation("frozen", 1).ok());
+
+  Database db(schema);
+  HQL_CHECK(db.Set("accounts", Relation::FromTuples(
+                                   2, {{Value::Int(1), Value::Int(3)},
+                                       {Value::Int(2), Value::Int(1)},
+                                       {Value::Int(3), Value::Int(2)}}))
+                .ok());
+  HQL_CHECK(
+      db.Set("frozen", Relation::FromTuples(1, {{Value::Int(2)}})).ok());
+
+  // Constraint: no overdrawn account may be unfrozen.
+  // violations = pi[0](sigma[class = 0](accounts)) - frozen.
+  QueryPtr violations = Unwrap(ParseQuery(
+      "pi[0](sigma[$1 = 0](accounts)) - frozen"));
+  std::printf("Constraint (must stay empty): %s\n\n",
+              violations->ToString().c_str());
+
+  struct Proposal {
+    const char* description;
+    const char* update_text;
+  };
+  std::vector<Proposal> proposals = {
+      {"overdraw account 1 (it is not frozen)",
+       "del(accounts, {(1, 3)}); ins(accounts, {(1, 0)})"},
+      {"overdraw account 2 (it is frozen)",
+       "del(accounts, {(2, 1)}); ins(accounts, {(2, 0)})"},
+      {"unfreeze account 2",
+       "del(frozen, {(2)})"},
+      {"overdraw account 3 but freeze it in the same transaction",
+       "del(accounts, {(3, 2)}); ins(accounts, {(3, 0)}); "
+       "ins(frozen, {(3)})"},
+      {"conditionally unfreeze 2 only if it is not overdrawn",
+       "if pi[0](sigma[$0 = 2 and $1 = 0](accounts)) "
+       "then {ins(frozen, {(2)})} else {del(frozen, {(2)})}"},
+  };
+
+  for (const Proposal& p : proposals) {
+    UpdatePtr update = Unwrap(ParseUpdate(p.update_text));
+    QueryPtr guard = Query::When(violations, Upd(update));
+
+    // The lazy rewrite is the weakest precondition as a plain RA query.
+    QueryPtr precondition =
+        Unwrap(SimplifyRa(Unwrap(Reduce(guard, schema)), schema));
+
+    Relation would_violate = Unwrap(EvalDirect(guard, db));
+    std::printf("Proposal: %s\n", p.description);
+    std::printf("  precondition query: %.120s\n",
+                precondition->ToString().c_str());
+    if (would_violate.empty()) {
+      std::printf("  verdict: SAFE — committing.\n");
+      db = Unwrap(ExecUpdate(update, db));
+    } else {
+      std::printf("  verdict: REJECTED — would create violations %s\n",
+                  would_violate.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Final state:\n%s", db.ToString().c_str());
+  Relation current = Unwrap(EvalDirect(violations, db));
+  HQL_CHECK(current.empty());
+  std::printf("Constraint holds after all committed updates.\n");
+  return 0;
+}

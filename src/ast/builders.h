@@ -1,0 +1,160 @@
+#ifndef HQL_AST_BUILDERS_H_
+#define HQL_AST_BUILDERS_H_
+
+// Terse builder functions for assembling HQL ASTs in C++ (used pervasively
+// by tests, benchmarks and examples). All helpers live in namespace
+// hql::dsl so call sites can `using namespace hql::dsl;` locally.
+//
+//   using namespace hql::dsl;
+//   auto q = When(Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S")),
+//                 Upd(Ins("R", Sel(Gt(Col(0), Int(30)), Rel("S")))));
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "storage/value.h"
+
+namespace hql::dsl {
+
+// ---- scalar expressions ----
+
+inline ScalarExprPtr Col(size_t i) { return ScalarExpr::Column(i); }
+inline ScalarExprPtr Int(int64_t v) {
+  return ScalarExpr::Literal(Value::Int(v));
+}
+inline ScalarExprPtr Dbl(double v) {
+  return ScalarExpr::Literal(Value::Double(v));
+}
+inline ScalarExprPtr Str(std::string s) {
+  return ScalarExpr::Literal(Value::Str(std::move(s)));
+}
+inline ScalarExprPtr Bool(bool b) {
+  return ScalarExpr::Literal(Value::Bool(b));
+}
+
+inline ScalarExprPtr Eq(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kEq, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Ne(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kNe, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Lt(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kLt, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Le(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kLe, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Gt(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kGt, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Ge(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kGe, std::move(a), std::move(b));
+}
+inline ScalarExprPtr And(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kAnd, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Or(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kOr, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Not(ScalarExprPtr a) {
+  return ScalarExpr::Unary(ScalarOp::kNot, std::move(a));
+}
+inline ScalarExprPtr Add(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kAdd, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Sub(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kSub, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Mul(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Binary(ScalarOp::kMul, std::move(a), std::move(b));
+}
+
+// ---- queries ----
+
+inline QueryPtr Rel(std::string name) { return Query::Rel(std::move(name)); }
+inline QueryPtr Empty(size_t arity) { return Query::Empty(arity); }
+inline QueryPtr Single(Tuple t) { return Query::Singleton(std::move(t)); }
+inline QueryPtr Sel(ScalarExprPtr p, QueryPtr q) {
+  return Query::Select(std::move(p), std::move(q));
+}
+inline QueryPtr Proj(std::vector<size_t> cols, QueryPtr q) {
+  return Query::Project(std::move(cols), std::move(q));
+}
+inline QueryPtr U(QueryPtr a, QueryPtr b) {
+  return Query::Union(std::move(a), std::move(b));
+}
+inline QueryPtr N(QueryPtr a, QueryPtr b) {
+  return Query::Intersect(std::move(a), std::move(b));
+}
+inline QueryPtr X(QueryPtr a, QueryPtr b) {
+  return Query::Product(std::move(a), std::move(b));
+}
+inline QueryPtr Join(ScalarExprPtr p, QueryPtr a, QueryPtr b) {
+  return Query::Join(std::move(p), std::move(a), std::move(b));
+}
+inline QueryPtr Diff(QueryPtr a, QueryPtr b) {
+  return Query::Difference(std::move(a), std::move(b));
+}
+inline QueryPtr When(QueryPtr q, HypoExprPtr h) {
+  return Query::When(std::move(q), std::move(h));
+}
+/// gamma[cols; func(agg_col)](q).
+inline QueryPtr Agg(std::vector<size_t> cols, AggFunc func, size_t agg_col,
+                    QueryPtr q) {
+  return Query::Aggregate(std::move(cols), func, agg_col, std::move(q));
+}
+
+// ---- updates ----
+
+inline UpdatePtr Ins(std::string rel, QueryPtr q) {
+  return Update::Insert(std::move(rel), std::move(q));
+}
+inline UpdatePtr Del(std::string rel, QueryPtr q) {
+  return Update::Delete(std::move(rel), std::move(q));
+}
+inline UpdatePtr Seq(UpdatePtr a, UpdatePtr b) {
+  return Update::Seq(std::move(a), std::move(b));
+}
+/// Right-nested sequence of three or more updates.
+inline UpdatePtr Seq(UpdatePtr a, UpdatePtr b, UpdatePtr c) {
+  return Seq(std::move(a), Seq(std::move(b), std::move(c)));
+}
+inline UpdatePtr If(QueryPtr guard, UpdatePtr t, UpdatePtr e) {
+  return Update::Cond(std::move(guard), std::move(t), std::move(e));
+}
+
+// ---- hypothetical states ----
+
+/// {U}.
+inline HypoExprPtr Upd(UpdatePtr u) {
+  return HypoExpr::UpdateState(std::move(u));
+}
+/// Explicit substitution from (query, name) bindings.
+inline HypoExprPtr Sub(std::vector<Binding> bindings) {
+  return HypoExpr::Subst(std::move(bindings));
+}
+/// One-binding substitution {Q/R}.
+inline HypoExprPtr Sub1(QueryPtr q, std::string rel) {
+  return HypoExpr::Subst({Binding{std::move(rel), std::move(q)}});
+}
+inline HypoExprPtr Comp(HypoExprPtr a, HypoExprPtr b) {
+  return HypoExpr::Compose(std::move(a), std::move(b));
+}
+
+// ---- tuples ----
+
+inline Tuple Row(std::initializer_list<Value> values) {
+  return Tuple(values);
+}
+inline Value IntV(int64_t v) { return Value::Int(v); }
+inline Value StrV(std::string s) { return Value::Str(std::move(s)); }
+
+}  // namespace hql::dsl
+
+#endif  // HQL_AST_BUILDERS_H_

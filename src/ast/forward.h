@@ -1,0 +1,25 @@
+#ifndef HQL_AST_FORWARD_H_
+#define HQL_AST_FORWARD_H_
+
+// Forward declarations for the mutually recursive AST:
+//   Query (RA_hyp) contains `when` nodes holding HypoExpr;
+//   HypoExpr holds Updates ({U}) and Queries (explicit substitutions);
+//   Update holds Queries (ins/del arguments).
+
+#include <memory>
+
+namespace hql {
+
+class ScalarExpr;
+class Query;
+class Update;
+class HypoExpr;
+
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+using QueryPtr = std::shared_ptr<const Query>;
+using UpdatePtr = std::shared_ptr<const Update>;
+using HypoExprPtr = std::shared_ptr<const HypoExpr>;
+
+}  // namespace hql
+
+#endif  // HQL_AST_FORWARD_H_

@@ -1,0 +1,152 @@
+#include "ast/hypo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+HypoExprPtr HypoExpr::UpdateState(UpdatePtr update) {
+  HQL_CHECK(update != nullptr);
+  std::shared_ptr<HypoExpr> h(new HypoExpr());
+  h->kind_ = HypoKind::kUpdateState;
+  h->update_ = std::move(update);
+  return h;
+}
+
+HypoExprPtr HypoExpr::Subst(std::vector<Binding> bindings) {
+  for (const Binding& b : bindings) {
+    HQL_CHECK_MSG(!b.rel_name.empty() && b.query != nullptr,
+                  "malformed binding");
+  }
+  std::sort(bindings.begin(), bindings.end(),
+            [](const Binding& a, const Binding& b) {
+              return a.rel_name < b.rel_name;
+            });
+  for (size_t i = 1; i < bindings.size(); ++i) {
+    HQL_CHECK_MSG(bindings[i - 1].rel_name != bindings[i].rel_name,
+                  "duplicate relation in substitution");
+  }
+  std::shared_ptr<HypoExpr> h(new HypoExpr());
+  h->kind_ = HypoKind::kSubst;
+  h->bindings_ = std::move(bindings);
+  return h;
+}
+
+HypoExprPtr HypoExpr::Compose(HypoExprPtr first, HypoExprPtr second) {
+  HQL_CHECK(first != nullptr && second != nullptr);
+  std::shared_ptr<HypoExpr> h(new HypoExpr());
+  h->kind_ = HypoKind::kCompose;
+  h->first_ = std::move(first);
+  h->second_ = std::move(second);
+  return h;
+}
+
+HypoExprPtr HypoExpr::StateWhen(HypoExprPtr state, HypoExprPtr context) {
+  HQL_CHECK(state != nullptr && context != nullptr);
+  std::shared_ptr<HypoExpr> h(new HypoExpr());
+  h->kind_ = HypoKind::kStateWhen;
+  h->first_ = std::move(state);
+  h->second_ = std::move(context);
+  return h;
+}
+
+const UpdatePtr& HypoExpr::update() const {
+  HQL_CHECK(kind_ == HypoKind::kUpdateState);
+  return update_;
+}
+
+const std::vector<Binding>& HypoExpr::bindings() const {
+  HQL_CHECK(kind_ == HypoKind::kSubst);
+  return bindings_;
+}
+
+const HypoExprPtr& HypoExpr::first() const {
+  HQL_CHECK(kind_ == HypoKind::kCompose || kind_ == HypoKind::kStateWhen);
+  return first_;
+}
+
+const HypoExprPtr& HypoExpr::second() const {
+  HQL_CHECK(kind_ == HypoKind::kCompose || kind_ == HypoKind::kStateWhen);
+  return second_;
+}
+
+QueryPtr HypoExpr::BindingFor(const std::string& name) const {
+  HQL_CHECK(kind_ == HypoKind::kSubst);
+  auto it = std::lower_bound(bindings_.begin(), bindings_.end(), name,
+                             [](const Binding& b, const std::string& n) {
+                               return b.rel_name < n;
+                             });
+  if (it != bindings_.end() && it->rel_name == name) return it->query;
+  return nullptr;
+}
+
+bool HypoExpr::Equals(const HypoExpr& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case HypoKind::kUpdateState:
+      return update_->Equals(*other.update_);
+    case HypoKind::kSubst: {
+      if (bindings_.size() != other.bindings_.size()) return false;
+      for (size_t i = 0; i < bindings_.size(); ++i) {
+        if (bindings_[i].rel_name != other.bindings_[i].rel_name) return false;
+        if (!bindings_[i].query->Equals(*other.bindings_[i].query)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case HypoKind::kCompose:
+    case HypoKind::kStateWhen:
+      return first_->Equals(*other.first_) && second_->Equals(*other.second_);
+  }
+  HQL_UNREACHABLE();
+}
+
+uint64_t HypoExpr::Hash() const {
+  uint64_t h = (static_cast<uint64_t>(kind_) + 51) * 0x94D049BB133111EBULL;
+  switch (kind_) {
+    case HypoKind::kUpdateState:
+      return HashCombine(h, update_->Hash());
+    case HypoKind::kSubst:
+      for (const Binding& b : bindings_) {
+        h = HashCombine(h, HashString(b.rel_name));
+        h = HashCombine(h, b.query->Hash());
+      }
+      return h;
+    case HypoKind::kCompose:
+    case HypoKind::kStateWhen:
+      return HashCombine(HashCombine(h, first_->Hash()), second_->Hash());
+  }
+  HQL_UNREACHABLE();
+}
+
+std::string HypoExpr::ToString() const {
+  switch (kind_) {
+    case HypoKind::kUpdateState:
+      return "{" + update_->ToString() + "}";
+    case HypoKind::kSubst: {
+      std::vector<std::string> parts;
+      parts.reserve(bindings_.size());
+      for (const Binding& b : bindings_) {
+        parts.push_back(b.query->ToString() + "/" + b.rel_name);
+      }
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case HypoKind::kCompose:
+      return "(" + first_->ToString() + " # " + second_->ToString() + ")";
+    case HypoKind::kStateWhen:
+      return "(" + first_->ToString() + " when " + second_->ToString() + ")";
+  }
+  HQL_UNREACHABLE();
+}
+
+bool HypoEquals(const HypoExprPtr& a, const HypoExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace hql

@@ -1,0 +1,96 @@
+#ifndef HQL_AST_HYPO_H_
+#define HQL_AST_HYPO_H_
+
+// Hypothetical-state expressions of HQL (paper Section 4.1):
+//
+//   eta ::= {U}                        state reached by executing U
+//         | {Q1/R1, ..., Qn/Rn}        explicit substitution
+//         | eta # eta                  composition
+//
+// Composition is sequential when states are viewed as updates: in
+// `eta1 # eta2`, eta1 is applied to the database first, then eta2
+// (Lemma 3.6). Explicit substitutions are the syntactic counterpart of the
+// abstract substitutions of Section 3.2; bindings are kept sorted by
+// relation name (a substitution's domain is a set).
+//
+// `eta1 when eta2` (the paper's Section 6 / full-paper extension: `when`
+// applied to a hypothetical-state expression on the left) denotes the
+// state change described by eta1 *as it would be computed in the
+// hypothetical world of eta2*, applied to the current database:
+//
+//   [eta1 when eta2](DB) = apply(DB, [eta1]xval([eta2](DB))).
+//
+// This is close to — but subtly different from — eta2 # eta1: composition
+// also keeps eta2's own writes, while `eta1 when eta2` discards them and
+// writes only dom(eta1). (This is the subtlety the paper says the
+// construct illuminates.)
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/forward.h"
+#include "ast/query.h"
+#include "ast/update.h"
+
+namespace hql {
+
+enum class HypoKind : uint8_t {
+  kUpdateState,  // {U}
+  kSubst,        // {Q1/R1, ..., Qn/Rn}
+  kCompose,      // eta1 # eta2
+  kStateWhen,    // eta1 when eta2 (Section 6 / GH97 extension)
+};
+
+/// One binding Q/R of an explicit substitution.
+struct Binding {
+  std::string rel_name;
+  QueryPtr query;
+};
+
+class HypoExpr {
+ public:
+  /// {U}.
+  static HypoExprPtr UpdateState(UpdatePtr update);
+  /// {Q1/R1, ...}; relation names must be distinct (bindings are sorted by
+  /// name internally). An empty binding list is the identity substitution.
+  static HypoExprPtr Subst(std::vector<Binding> bindings);
+  /// eta1 # eta2 (eta1 first).
+  static HypoExprPtr Compose(HypoExprPtr first, HypoExprPtr second);
+  /// eta1 when eta2: eta1's effect computed in eta2's hypothetical world.
+  static HypoExprPtr StateWhen(HypoExprPtr state, HypoExprPtr context);
+
+  HypoKind kind() const { return kind_; }
+
+  /// kUpdateState only.
+  const UpdatePtr& update() const;
+  /// kSubst only; sorted by rel_name, names distinct.
+  const std::vector<Binding>& bindings() const;
+  /// kCompose / kStateWhen only (for kStateWhen: first = eta1, the state;
+  /// second = eta2, the hypothetical context it is computed in).
+  const HypoExprPtr& first() const;
+  const HypoExprPtr& second() const;
+
+  /// For kSubst: the query bound to `name`, or nullptr if unbound.
+  QueryPtr BindingFor(const std::string& name) const;
+
+  bool Equals(const HypoExpr& other) const;
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  HypoExpr() = default;
+
+  HypoKind kind_ = HypoKind::kSubst;
+  UpdatePtr update_;
+  std::vector<Binding> bindings_;
+  HypoExprPtr first_;
+  HypoExprPtr second_;
+};
+
+bool HypoEquals(const HypoExprPtr& a, const HypoExprPtr& b);
+
+}  // namespace hql
+
+#endif  // HQL_AST_HYPO_H_

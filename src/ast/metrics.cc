@@ -1,0 +1,354 @@
+#include "ast/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/check.h"
+
+namespace hql {
+
+namespace {
+
+// All four walkers share the same traversal over the Query / HypoExpr /
+// Update mutual recursion; each defines a small visitor.
+
+struct TreeSizer {
+  std::unordered_map<const Query*, double> query_memo;
+  std::unordered_map<const HypoExpr*, double> hypo_memo;
+  std::unordered_map<const Update*, double> update_memo;
+
+  double Size(const QueryPtr& q) {
+    auto it = query_memo.find(q.get());
+    if (it != query_memo.end()) return it->second;
+    double s = 1;
+    switch (q->kind()) {
+      case QueryKind::kRel:
+      case QueryKind::kEmpty:
+      case QueryKind::kSingleton:
+        break;
+      case QueryKind::kSelect:
+      case QueryKind::kProject:
+      case QueryKind::kAggregate:
+        s += Size(q->left());
+        break;
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kJoin:
+      case QueryKind::kDifference:
+        s += Size(q->left()) + Size(q->right());
+        break;
+      case QueryKind::kWhen:
+        s += Size(q->left()) + Size(q->state());
+        break;
+    }
+    query_memo[q.get()] = s;
+    return s;
+  }
+
+  double Size(const HypoExprPtr& h) {
+    auto it = hypo_memo.find(h.get());
+    if (it != hypo_memo.end()) return it->second;
+    double s = 1;
+    switch (h->kind()) {
+      case HypoKind::kUpdateState:
+        s += Size(h->update());
+        break;
+      case HypoKind::kSubst:
+        for (const Binding& b : h->bindings()) s += Size(b.query);
+        break;
+      case HypoKind::kCompose:
+      case HypoKind::kStateWhen:
+        s += Size(h->first()) + Size(h->second());
+        break;
+    }
+    hypo_memo[h.get()] = s;
+    return s;
+  }
+
+  double Size(const UpdatePtr& u) {
+    auto it = update_memo.find(u.get());
+    if (it != update_memo.end()) return it->second;
+    double s = 1;
+    switch (u->kind()) {
+      case UpdateKind::kInsert:
+      case UpdateKind::kDelete:
+        s += Size(u->query());
+        break;
+      case UpdateKind::kSeq:
+        s += Size(u->first()) + Size(u->second());
+        break;
+      case UpdateKind::kCond:
+        s += Size(u->guard()) + Size(u->then_branch()) +
+             Size(u->else_branch());
+        break;
+    }
+    update_memo[u.get()] = s;
+    return s;
+  }
+};
+
+struct DagWalker {
+  std::unordered_set<const void*> seen;
+  uint64_t count = 0;
+
+  void Visit(const QueryPtr& q) {
+    if (!seen.insert(q.get()).second) return;
+    ++count;
+    switch (q->kind()) {
+      case QueryKind::kRel:
+      case QueryKind::kEmpty:
+      case QueryKind::kSingleton:
+        return;
+      case QueryKind::kSelect:
+      case QueryKind::kProject:
+      case QueryKind::kAggregate:
+        Visit(q->left());
+        return;
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kJoin:
+      case QueryKind::kDifference:
+        Visit(q->left());
+        Visit(q->right());
+        return;
+      case QueryKind::kWhen:
+        Visit(q->left());
+        Visit(q->state());
+        return;
+    }
+  }
+
+  void Visit(const HypoExprPtr& h) {
+    if (!seen.insert(h.get()).second) return;
+    ++count;
+    switch (h->kind()) {
+      case HypoKind::kUpdateState:
+        Visit(h->update());
+        return;
+      case HypoKind::kSubst:
+        for (const Binding& b : h->bindings()) Visit(b.query);
+        return;
+      case HypoKind::kCompose:
+      case HypoKind::kStateWhen:
+        Visit(h->first());
+        Visit(h->second());
+        return;
+    }
+  }
+
+  void Visit(const UpdatePtr& u) {
+    if (!seen.insert(u.get()).second) return;
+    ++count;
+    switch (u->kind()) {
+      case UpdateKind::kInsert:
+      case UpdateKind::kDelete:
+        Visit(u->query());
+        return;
+      case UpdateKind::kSeq:
+        Visit(u->first());
+        Visit(u->second());
+        return;
+      case UpdateKind::kCond:
+        Visit(u->guard());
+        Visit(u->then_branch());
+        Visit(u->else_branch());
+        return;
+    }
+  }
+};
+
+struct Occurrences {
+  const std::string& name;
+  std::unordered_map<const void*, double> memo;
+
+  explicit Occurrences(const std::string& n) : name(n) {}
+
+  double Count(const QueryPtr& q) {
+    auto it = memo.find(q.get());
+    if (it != memo.end()) return it->second;
+    double s = 0;
+    switch (q->kind()) {
+      case QueryKind::kRel:
+        s = (q->rel_name() == name) ? 1 : 0;
+        break;
+      case QueryKind::kEmpty:
+      case QueryKind::kSingleton:
+        break;
+      case QueryKind::kSelect:
+      case QueryKind::kProject:
+      case QueryKind::kAggregate:
+        s = Count(q->left());
+        break;
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kJoin:
+      case QueryKind::kDifference:
+        s = Count(q->left()) + Count(q->right());
+        break;
+      case QueryKind::kWhen:
+        s = Count(q->left()) + Count(q->state());
+        break;
+    }
+    memo[q.get()] = s;
+    return s;
+  }
+
+  double Count(const HypoExprPtr& h) {
+    auto it = memo.find(h.get());
+    if (it != memo.end()) return it->second;
+    double s = 0;
+    switch (h->kind()) {
+      case HypoKind::kUpdateState:
+        s = Count(h->update());
+        break;
+      case HypoKind::kSubst:
+        for (const Binding& b : h->bindings()) s += Count(b.query);
+        break;
+      case HypoKind::kCompose:
+      case HypoKind::kStateWhen:
+        s = Count(h->first()) + Count(h->second());
+        break;
+    }
+    memo[h.get()] = s;
+    return s;
+  }
+
+  double Count(const UpdatePtr& u) {
+    auto it = memo.find(u.get());
+    if (it != memo.end()) return it->second;
+    double s = 0;
+    switch (u->kind()) {
+      case UpdateKind::kInsert:
+      case UpdateKind::kDelete:
+        s = Count(u->query());
+        break;
+      case UpdateKind::kSeq:
+        s = Count(u->first()) + Count(u->second());
+        break;
+      case UpdateKind::kCond:
+        s = Count(u->guard()) + Count(u->then_branch()) +
+            Count(u->else_branch());
+        break;
+    }
+    memo[u.get()] = s;
+    return s;
+  }
+};
+
+size_t WhenDepthQuery(const QueryPtr& q);
+
+size_t WhenDepthUpdate(const UpdatePtr& u) {
+  switch (u->kind()) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return WhenDepthQuery(u->query());
+    case UpdateKind::kSeq: {
+      size_t a = WhenDepthUpdate(u->first());
+      size_t b = WhenDepthUpdate(u->second());
+      return a > b ? a : b;
+    }
+    case UpdateKind::kCond: {
+      size_t a = WhenDepthQuery(u->guard());
+      size_t b = WhenDepthUpdate(u->then_branch());
+      size_t c = WhenDepthUpdate(u->else_branch());
+      return std::max(a, std::max(b, c));
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+size_t WhenDepthHypo(const HypoExprPtr& h) {
+  switch (h->kind()) {
+    case HypoKind::kUpdateState:
+      return WhenDepthUpdate(h->update());
+    case HypoKind::kSubst: {
+      size_t m = 0;
+      for (const Binding& b : h->bindings()) {
+        m = std::max(m, WhenDepthQuery(b.query));
+      }
+      return m;
+    }
+    case HypoKind::kCompose:
+      return std::max(WhenDepthHypo(h->first()), WhenDepthHypo(h->second()));
+    case HypoKind::kStateWhen:
+      return 1 + std::max(WhenDepthHypo(h->first()),
+                          WhenDepthHypo(h->second()));
+  }
+  HQL_UNREACHABLE();
+}
+
+size_t WhenDepthQuery(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return 0;
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      return WhenDepthQuery(q->left());
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference:
+      return std::max(WhenDepthQuery(q->left()), WhenDepthQuery(q->right()));
+    case QueryKind::kWhen:
+      return std::max(1 + WhenDepthHypo(q->state()),
+                      WhenDepthQuery(q->left()) + 1);
+  }
+  HQL_UNREACHABLE();
+}
+
+bool PureQuery(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return true;
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      return PureQuery(q->left());
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference:
+      return PureQuery(q->left()) && PureQuery(q->right());
+    case QueryKind::kWhen:
+      return false;
+  }
+  HQL_UNREACHABLE();
+}
+
+}  // namespace
+
+double TreeSize(const QueryPtr& query) {
+  TreeSizer sizer;
+  return sizer.Size(query);
+}
+
+uint64_t DagSize(const QueryPtr& query) {
+  DagWalker walker;
+  walker.Visit(query);
+  return walker.count;
+}
+
+size_t WhenDepth(const QueryPtr& query) { return WhenDepthQuery(query); }
+
+double CountRelOccurrences(const QueryPtr& query, const std::string& name) {
+  Occurrences occ(name);
+  return occ.Count(query);
+}
+
+bool IsPureRelAlg(const QueryPtr& query) { return PureQuery(query); }
+
+}  // namespace hql

@@ -1,0 +1,40 @@
+#ifndef HQL_AST_METRICS_H_
+#define HQL_AST_METRICS_H_
+
+// Size and shape metrics on query DAGs. Two size notions matter for the
+// Example 2.4 blow-up analysis:
+//   * TreeSize: the size of the fully expanded expression tree (what a
+//     textual query would occupy) — exponential for the E_i(R_i) = R_i x R_i
+//     chain. Computed with memoization and returned as a double because it
+//     overflows 64 bits quickly.
+//   * DagSize: the number of distinct nodes, counting shared subtrees once.
+
+#include <cstdint>
+#include <string>
+
+#include "ast/forward.h"
+
+namespace hql {
+
+/// Expanded-tree node count (query/update/state nodes; scalar expressions
+/// count as part of their owning node).
+double TreeSize(const QueryPtr& query);
+
+/// Distinct-node count of the DAG.
+uint64_t DagSize(const QueryPtr& query);
+
+/// Maximum nesting depth of `when` (0 for a pure RA query).
+size_t WhenDepth(const QueryPtr& query);
+
+/// Number of occurrences of the base-relation name `name` in the expanded
+/// tree of `query` (memoized; used by the hybrid planner to decide whether
+/// substitution would duplicate work).
+double CountRelOccurrences(const QueryPtr& query, const std::string& name);
+
+/// True if the query contains no `when` anywhere (i.e. it is a pure RA
+/// query, the target of Theorem 4.1's reduction).
+bool IsPureRelAlg(const QueryPtr& query);
+
+}  // namespace hql
+
+#endif  // HQL_AST_METRICS_H_

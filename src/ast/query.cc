@@ -1,0 +1,331 @@
+#include "ast/query.h"
+
+#include "ast/hypo.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRel:
+      return "rel";
+    case QueryKind::kEmpty:
+      return "empty";
+    case QueryKind::kSingleton:
+      return "singleton";
+    case QueryKind::kSelect:
+      return "select";
+    case QueryKind::kProject:
+      return "project";
+    case QueryKind::kUnion:
+      return "union";
+    case QueryKind::kIntersect:
+      return "intersect";
+    case QueryKind::kProduct:
+      return "product";
+    case QueryKind::kJoin:
+      return "join";
+    case QueryKind::kDifference:
+      return "difference";
+    case QueryKind::kAggregate:
+      return "aggregate";
+    case QueryKind::kWhen:
+      return "when";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+QueryPtr Query::Rel(std::string name) {
+  HQL_CHECK(!name.empty());
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kRel;
+  q->rel_name_ = std::move(name);
+  return q;
+}
+
+QueryPtr Query::Empty(size_t arity) {
+  HQL_CHECK(arity > 0);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kEmpty;
+  q->empty_arity_ = arity;
+  return q;
+}
+
+QueryPtr Query::Singleton(Tuple tuple) {
+  HQL_CHECK(!tuple.empty());
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kSingleton;
+  q->tuple_ = std::move(tuple);
+  return q;
+}
+
+QueryPtr Query::Select(ScalarExprPtr predicate, QueryPtr child) {
+  HQL_CHECK(predicate != nullptr && child != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kSelect;
+  q->predicate_ = std::move(predicate);
+  q->left_ = std::move(child);
+  return q;
+}
+
+QueryPtr Query::Project(std::vector<size_t> columns, QueryPtr child) {
+  HQL_CHECK(child != nullptr);
+  HQL_CHECK_MSG(!columns.empty(), "projection needs at least one column");
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kProject;
+  q->columns_ = std::move(columns);
+  q->left_ = std::move(child);
+  return q;
+}
+
+QueryPtr Query::Union(QueryPtr lhs, QueryPtr rhs) {
+  HQL_CHECK(lhs != nullptr && rhs != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kUnion;
+  q->left_ = std::move(lhs);
+  q->right_ = std::move(rhs);
+  return q;
+}
+
+QueryPtr Query::Intersect(QueryPtr lhs, QueryPtr rhs) {
+  HQL_CHECK(lhs != nullptr && rhs != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kIntersect;
+  q->left_ = std::move(lhs);
+  q->right_ = std::move(rhs);
+  return q;
+}
+
+QueryPtr Query::Product(QueryPtr lhs, QueryPtr rhs) {
+  HQL_CHECK(lhs != nullptr && rhs != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kProduct;
+  q->left_ = std::move(lhs);
+  q->right_ = std::move(rhs);
+  return q;
+}
+
+QueryPtr Query::Join(ScalarExprPtr predicate, QueryPtr lhs, QueryPtr rhs) {
+  HQL_CHECK(predicate != nullptr && lhs != nullptr && rhs != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kJoin;
+  q->predicate_ = std::move(predicate);
+  q->left_ = std::move(lhs);
+  q->right_ = std::move(rhs);
+  return q;
+}
+
+QueryPtr Query::Difference(QueryPtr lhs, QueryPtr rhs) {
+  HQL_CHECK(lhs != nullptr && rhs != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kDifference;
+  q->left_ = std::move(lhs);
+  q->right_ = std::move(rhs);
+  return q;
+}
+
+QueryPtr Query::Aggregate(std::vector<size_t> group_columns, AggFunc func,
+                          size_t agg_column, QueryPtr child) {
+  HQL_CHECK(child != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kAggregate;
+  q->columns_ = std::move(group_columns);
+  q->agg_func_ = func;
+  q->agg_column_ = agg_column;
+  q->left_ = std::move(child);
+  return q;
+}
+
+QueryPtr Query::When(QueryPtr query, HypoExprPtr state) {
+  HQL_CHECK(query != nullptr && state != nullptr);
+  std::shared_ptr<Query> q(new Query());
+  q->kind_ = QueryKind::kWhen;
+  q->left_ = std::move(query);
+  q->state_ = std::move(state);
+  return q;
+}
+
+const std::string& Query::rel_name() const {
+  HQL_CHECK(kind_ == QueryKind::kRel);
+  return rel_name_;
+}
+
+size_t Query::empty_arity() const {
+  HQL_CHECK(kind_ == QueryKind::kEmpty);
+  return empty_arity_;
+}
+
+const Tuple& Query::tuple() const {
+  HQL_CHECK(kind_ == QueryKind::kSingleton);
+  return tuple_;
+}
+
+const ScalarExprPtr& Query::predicate() const {
+  HQL_CHECK(kind_ == QueryKind::kSelect || kind_ == QueryKind::kJoin);
+  return predicate_;
+}
+
+const std::vector<size_t>& Query::columns() const {
+  HQL_CHECK(kind_ == QueryKind::kProject || kind_ == QueryKind::kAggregate);
+  return columns_;
+}
+
+AggFunc Query::agg_func() const {
+  HQL_CHECK(kind_ == QueryKind::kAggregate);
+  return agg_func_;
+}
+
+size_t Query::agg_column() const {
+  HQL_CHECK(kind_ == QueryKind::kAggregate);
+  return agg_column_;
+}
+
+const QueryPtr& Query::left() const {
+  HQL_CHECK(kind_ != QueryKind::kRel && kind_ != QueryKind::kSingleton &&
+            kind_ != QueryKind::kEmpty);
+  return left_;
+}
+
+const QueryPtr& Query::right() const {
+  HQL_CHECK(is_binary_algebra());
+  return right_;
+}
+
+const HypoExprPtr& Query::state() const {
+  HQL_CHECK(kind_ == QueryKind::kWhen);
+  return state_;
+}
+
+bool Query::Equals(const Query& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case QueryKind::kRel:
+      return rel_name_ == other.rel_name_;
+    case QueryKind::kEmpty:
+      return empty_arity_ == other.empty_arity_;
+    case QueryKind::kSingleton:
+      return CompareTuples(tuple_, other.tuple_) == 0;
+    case QueryKind::kSelect:
+      return predicate_->Equals(*other.predicate_) &&
+             left_->Equals(*other.left_);
+    case QueryKind::kProject:
+      return columns_ == other.columns_ && left_->Equals(*other.left_);
+    case QueryKind::kAggregate:
+      return columns_ == other.columns_ && agg_func_ == other.agg_func_ &&
+             agg_column_ == other.agg_column_ && left_->Equals(*other.left_);
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference:
+      return left_->Equals(*other.left_) && right_->Equals(*other.right_);
+    case QueryKind::kJoin:
+      return predicate_->Equals(*other.predicate_) &&
+             left_->Equals(*other.left_) && right_->Equals(*other.right_);
+    case QueryKind::kWhen:
+      return left_->Equals(*other.left_) && state_->Equals(*other.state_);
+  }
+  HQL_UNREACHABLE();
+}
+
+uint64_t Query::Hash() const {
+  uint64_t h = (static_cast<uint64_t>(kind_) + 17) * 0x9E3779B97F4A7C15ULL;
+  switch (kind_) {
+    case QueryKind::kRel:
+      return HashCombine(h, HashString(rel_name_));
+    case QueryKind::kEmpty:
+      return HashCombine(h, empty_arity_ * 31 + 7);
+    case QueryKind::kSingleton:
+      return HashCombine(h, HashTuple(tuple_));
+    case QueryKind::kSelect:
+      return HashCombine(HashCombine(h, predicate_->Hash()), left_->Hash());
+    case QueryKind::kProject: {
+      for (size_t c : columns_) h = HashCombine(h, c);
+      return HashCombine(h, left_->Hash());
+    }
+    case QueryKind::kAggregate: {
+      for (size_t c : columns_) h = HashCombine(h, c);
+      h = HashCombine(h, static_cast<uint64_t>(agg_func_) * 131 + 7);
+      h = HashCombine(h, agg_column_);
+      return HashCombine(h, left_->Hash());
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference:
+      return HashCombine(HashCombine(h, left_->Hash()), right_->Hash());
+    case QueryKind::kJoin:
+      return HashCombine(
+          HashCombine(HashCombine(h, predicate_->Hash()), left_->Hash()),
+          right_->Hash());
+    case QueryKind::kWhen:
+      return HashCombine(HashCombine(h, left_->Hash()), state_->Hash());
+  }
+  HQL_UNREACHABLE();
+}
+
+std::string Query::ToString() const {
+  switch (kind_) {
+    case QueryKind::kRel:
+      return rel_name_;
+    case QueryKind::kEmpty:
+      return "empty[" + std::to_string(empty_arity_) + "]";
+    case QueryKind::kSingleton:
+      return "{" + TupleToString(tuple_) + "}";
+    case QueryKind::kSelect:
+      return "sigma[" + predicate_->ToString() + "](" + left_->ToString() +
+             ")";
+    case QueryKind::kProject: {
+      std::vector<std::string> cols;
+      cols.reserve(columns_.size());
+      for (size_t c : columns_) cols.push_back(std::to_string(c));
+      return "pi[" + hql::Join(cols, ",") + "](" + left_->ToString() + ")";
+    }
+    case QueryKind::kUnion:
+      return "(" + left_->ToString() + " union " + right_->ToString() + ")";
+    case QueryKind::kIntersect:
+      return "(" + left_->ToString() + " isect " + right_->ToString() + ")";
+    case QueryKind::kProduct:
+      return "(" + left_->ToString() + " x " + right_->ToString() + ")";
+    case QueryKind::kJoin:
+      return "(" + left_->ToString() + " join[" + predicate_->ToString() +
+             "] " + right_->ToString() + ")";
+    case QueryKind::kDifference:
+      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+    case QueryKind::kAggregate: {
+      std::vector<std::string> cols;
+      cols.reserve(columns_.size());
+      for (size_t c : columns_) cols.push_back(std::to_string(c));
+      return "gamma[" + hql::Join(cols, ",") + "; " +
+             AggFuncName(agg_func_) + "(" + std::to_string(agg_column_) +
+             ")](" + left_->ToString() + ")";
+    }
+    case QueryKind::kWhen:
+      return "(" + left_->ToString() + " when " + state_->ToString() + ")";
+  }
+  HQL_UNREACHABLE();
+}
+
+bool QueryEquals(const QueryPtr& a, const QueryPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace hql

@@ -1,0 +1,146 @@
+#ifndef HQL_AST_QUERY_H_
+#define HQL_AST_QUERY_H_
+
+// Queries of RA_hyp (paper Sections 3.1 and 4.1): the relational algebra
+//
+//   Q ::= R | {t} | sigma_p(Q) | pi_X(Q) | Q u Q | Q n Q | Q x Q
+//       | Q join_p Q | Q - Q
+//
+// extended with hypothetical queries `Q when eta` at any nesting level,
+// where `eta` is a hypothetical-state expression (ast/hypo.h).
+//
+// Query nodes are immutable and shared (shared_ptr<const Query>); rewrites
+// build new DAGs over existing subtrees. This sharing is what makes the
+// Example 2.4 distinction between DAG size (linear) and tree size
+// (exponential) observable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "ast/scalar_expr.h"
+#include "storage/tuple.h"
+
+namespace hql {
+
+enum class QueryKind : uint8_t {
+  kRel,         // base relation name
+  kEmpty,       // the empty query (of a fixed arity); not in the paper's
+                // grammar but used by it ("the empty query" of Examples
+                // 2.1(b) and 2.4(b)) and produced by the RA rewriter
+  kSingleton,   // {t}
+  kSelect,      // sigma_p(Q)
+  kProject,     // pi_X(Q), X a list of column indices (may repeat/reorder)
+  kUnion,       // Q u Q
+  kIntersect,   // Q n Q
+  kProduct,     // Q x Q
+  kJoin,        // Q join_p Q  (theta join: sigma_p(Q x Q))
+  kDifference,  // Q - Q
+  kAggregate,   // gamma[G; f(c)](Q): group by columns G, aggregate f on c
+                // (the bags-and-aggregation extension of Section 6)
+  kWhen,        // Q when eta
+};
+
+/// Aggregate functions for kAggregate. Aggregation is over set semantics:
+/// count counts distinct tuples per group.
+enum class AggFunc : uint8_t {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+};
+
+const char* AggFuncName(AggFunc func);
+
+/// Short stable name, e.g. "select", "when".
+const char* QueryKindName(QueryKind kind);
+
+class Query {
+ public:
+  static QueryPtr Rel(std::string name);
+  /// The empty query of the given arity ("empty[k]" in textual syntax).
+  static QueryPtr Empty(size_t arity);
+  static QueryPtr Singleton(Tuple tuple);
+  static QueryPtr Select(ScalarExprPtr predicate, QueryPtr child);
+  static QueryPtr Project(std::vector<size_t> columns, QueryPtr child);
+  static QueryPtr Union(QueryPtr lhs, QueryPtr rhs);
+  static QueryPtr Intersect(QueryPtr lhs, QueryPtr rhs);
+  static QueryPtr Product(QueryPtr lhs, QueryPtr rhs);
+  static QueryPtr Join(ScalarExprPtr predicate, QueryPtr lhs, QueryPtr rhs);
+  static QueryPtr Difference(QueryPtr lhs, QueryPtr rhs);
+  /// gamma[group_columns; func(agg_column)](child). The result has arity
+  /// group_columns.size() + 1 (the aggregate is the last column); an empty
+  /// group list computes one global aggregate row (none for empty input).
+  static QueryPtr Aggregate(std::vector<size_t> group_columns, AggFunc func,
+                            size_t agg_column, QueryPtr child);
+  static QueryPtr When(QueryPtr query, HypoExprPtr state);
+
+  QueryKind kind() const { return kind_; }
+  bool is_unary() const {
+    return kind_ == QueryKind::kSelect || kind_ == QueryKind::kProject ||
+           kind_ == QueryKind::kAggregate;
+  }
+  bool is_binary_algebra() const {
+    switch (kind_) {
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kJoin:
+      case QueryKind::kDifference:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// kRel only.
+  const std::string& rel_name() const;
+  /// kEmpty only.
+  size_t empty_arity() const;
+  /// kSingleton only.
+  const Tuple& tuple() const;
+  /// kSelect / kJoin only.
+  const ScalarExprPtr& predicate() const;
+  /// kProject / kAggregate only (the grouping columns for aggregates).
+  const std::vector<size_t>& columns() const;
+  /// kAggregate only.
+  AggFunc agg_func() const;
+  size_t agg_column() const;
+  /// Unary operators and kWhen: the query operand. Binary: left operand.
+  const QueryPtr& left() const;
+  /// Binary operators: right operand.
+  const QueryPtr& right() const;
+  /// kWhen only: the hypothetical-state expression.
+  const HypoExprPtr& state() const;
+
+  /// Structural equality (deep, includes states and updates).
+  bool Equals(const Query& other) const;
+  uint64_t Hash() const;
+
+  /// Textual form in the parser's grammar, e.g.
+  ///   "sigma[$0 > 30](R join[$0 = $2] S) when {ins(R, S); del(S, R)}".
+  std::string ToString() const;
+
+ private:
+  Query() = default;
+
+  QueryKind kind_ = QueryKind::kRel;
+  std::string rel_name_;
+  size_t empty_arity_ = 0;
+  Tuple tuple_;
+  ScalarExprPtr predicate_;
+  std::vector<size_t> columns_;
+  AggFunc agg_func_ = AggFunc::kCount;
+  size_t agg_column_ = 0;
+  QueryPtr left_;
+  QueryPtr right_;
+  HypoExprPtr state_;
+};
+
+/// Null-tolerant deep equality.
+bool QueryEquals(const QueryPtr& a, const QueryPtr& b);
+
+}  // namespace hql
+
+#endif  // HQL_AST_QUERY_H_

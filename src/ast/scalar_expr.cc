@@ -1,0 +1,280 @@
+#include "ast/scalar_expr.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+const char* ScalarOpName(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kAdd:
+      return "+";
+    case ScalarOp::kSub:
+      return "-";
+    case ScalarOp::kMul:
+      return "*";
+    case ScalarOp::kDiv:
+      return "/";
+    case ScalarOp::kMod:
+      return "%";
+    case ScalarOp::kEq:
+      return "=";
+    case ScalarOp::kNe:
+      return "!=";
+    case ScalarOp::kLt:
+      return "<";
+    case ScalarOp::kLe:
+      return "<=";
+    case ScalarOp::kGt:
+      return ">";
+    case ScalarOp::kGe:
+      return ">=";
+    case ScalarOp::kAnd:
+      return "and";
+    case ScalarOp::kOr:
+      return "or";
+    case ScalarOp::kNot:
+      return "not";
+    case ScalarOp::kNeg:
+      return "-";
+  }
+  return "?";
+}
+
+ScalarExprPtr ScalarExpr::Column(size_t index) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kColumn;
+  e->column_ = index;
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Literal(Value v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Unary(ScalarOp op, ScalarExprPtr operand) {
+  HQL_CHECK(op == ScalarOp::kNot || op == ScalarOp::kNeg);
+  HQL_CHECK(operand != nullptr);
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kUnary;
+  e->op_ = op;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Binary(ScalarOp op, ScalarExprPtr lhs,
+                                 ScalarExprPtr rhs) {
+  HQL_CHECK(op != ScalarOp::kNot && op != ScalarOp::kNeg);
+  HQL_CHECK(lhs != nullptr && rhs != nullptr);
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ScalarKind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+namespace {
+
+Value EvalArith(ScalarOp op, const Value& a, const Value& b) {
+  if (!a.is_number() || !b.is_number()) return Value::Nul();
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case ScalarOp::kAdd:
+        return Value::Int(x + y);
+      case ScalarOp::kSub:
+        return Value::Int(x - y);
+      case ScalarOp::kMul:
+        return Value::Int(x * y);
+      case ScalarOp::kDiv:
+        return y == 0 ? Value::Nul() : Value::Int(x / y);
+      case ScalarOp::kMod:
+        return y == 0 ? Value::Nul() : Value::Int(x % y);
+      default:
+        HQL_UNREACHABLE();
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case ScalarOp::kAdd:
+      return Value::Double(x + y);
+    case ScalarOp::kSub:
+      return Value::Double(x - y);
+    case ScalarOp::kMul:
+      return Value::Double(x * y);
+    case ScalarOp::kDiv:
+      return y == 0.0 ? Value::Nul() : Value::Double(x / y);
+    case ScalarOp::kMod:
+      return Value::Nul();
+    default:
+      HQL_UNREACHABLE();
+  }
+}
+
+bool Truthy(const Value& v) { return v.is_bool() && v.AsBool(); }
+
+}  // namespace
+
+Value ScalarExpr::Evaluate(const Tuple& tuple) const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      if (column_ >= tuple.size()) return Value::Nul();
+      return tuple[column_];
+    case ScalarKind::kLiteral:
+      return literal_;
+    case ScalarKind::kUnary: {
+      Value v = lhs_->Evaluate(tuple);
+      if (op_ == ScalarOp::kNot) return Value::Bool(!Truthy(v));
+      // kNeg
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_double()) return Value::Double(-v.AsDouble());
+      return Value::Nul();
+    }
+    case ScalarKind::kBinary: {
+      // Short-circuit the connectives.
+      if (op_ == ScalarOp::kAnd) {
+        if (!Truthy(lhs_->Evaluate(tuple))) return Value::Bool(false);
+        return Value::Bool(Truthy(rhs_->Evaluate(tuple)));
+      }
+      if (op_ == ScalarOp::kOr) {
+        if (Truthy(lhs_->Evaluate(tuple))) return Value::Bool(true);
+        return Value::Bool(Truthy(rhs_->Evaluate(tuple)));
+      }
+      Value a = lhs_->Evaluate(tuple);
+      Value b = rhs_->Evaluate(tuple);
+      switch (op_) {
+        case ScalarOp::kAdd:
+        case ScalarOp::kSub:
+        case ScalarOp::kMul:
+        case ScalarOp::kDiv:
+        case ScalarOp::kMod:
+          return EvalArith(op_, a, b);
+        case ScalarOp::kEq:
+          return Value::Bool(a.Compare(b) == 0);
+        case ScalarOp::kNe:
+          return Value::Bool(a.Compare(b) != 0);
+        case ScalarOp::kLt:
+          return Value::Bool(a.Compare(b) < 0);
+        case ScalarOp::kLe:
+          return Value::Bool(a.Compare(b) <= 0);
+        case ScalarOp::kGt:
+          return Value::Bool(a.Compare(b) > 0);
+        case ScalarOp::kGe:
+          return Value::Bool(a.Compare(b) >= 0);
+        default:
+          HQL_UNREACHABLE();
+      }
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+bool ScalarExpr::EvaluatesTrue(const Tuple& tuple) const {
+  return Truthy(Evaluate(tuple));
+}
+
+size_t ScalarExpr::MinArity() const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return column_ + 1;
+    case ScalarKind::kLiteral:
+      return 0;
+    case ScalarKind::kUnary:
+      return lhs_->MinArity();
+    case ScalarKind::kBinary: {
+      size_t a = lhs_->MinArity();
+      size_t b = rhs_->MinArity();
+      return a > b ? a : b;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+ScalarExprPtr ScalarExpr::ShiftColumns(size_t amount) const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return Column(column_ + amount);
+    case ScalarKind::kLiteral:
+      return Literal(literal_);
+    case ScalarKind::kUnary:
+      return Unary(op_, lhs_->ShiftColumns(amount));
+    case ScalarKind::kBinary:
+      return Binary(op_, lhs_->ShiftColumns(amount),
+                    rhs_->ShiftColumns(amount));
+  }
+  HQL_UNREACHABLE();
+}
+
+bool ScalarExpr::Equals(const ScalarExpr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return column_ == other.column_;
+    case ScalarKind::kLiteral:
+      return literal_ == other.literal_ &&
+             literal_.type() == other.literal_.type();
+    case ScalarKind::kUnary:
+      return op_ == other.op_ && lhs_->Equals(*other.lhs_);
+    case ScalarKind::kBinary:
+      return op_ == other.op_ && lhs_->Equals(*other.lhs_) &&
+             rhs_->Equals(*other.rhs_);
+  }
+  HQL_UNREACHABLE();
+}
+
+uint64_t ScalarExpr::Hash() const {
+  uint64_t h = HashCombine(static_cast<uint64_t>(kind_) + 1,
+                           static_cast<uint64_t>(op_) * 0x9E3779B97F4A7C15ULL);
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return HashCombine(h, column_);
+    case ScalarKind::kLiteral:
+      return HashCombine(h, literal_.Hash());
+    case ScalarKind::kUnary:
+      return HashCombine(h, lhs_->Hash());
+    case ScalarKind::kBinary:
+      return HashCombine(HashCombine(h, lhs_->Hash()), rhs_->Hash());
+  }
+  HQL_UNREACHABLE();
+}
+
+std::string ScalarExpr::ToString() const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+      return "$" + std::to_string(column_);
+    case ScalarKind::kLiteral:
+      return literal_.ToString();
+    case ScalarKind::kUnary:
+      if (op_ == ScalarOp::kNot) return "(not " + lhs_->ToString() + ")";
+      return "(-" + lhs_->ToString() + ")";
+    case ScalarKind::kBinary:
+      return "(" + lhs_->ToString() + " " + ScalarOpName(op_) + " " +
+             rhs_->ToString() + ")";
+  }
+  HQL_UNREACHABLE();
+}
+
+size_t ScalarExpr::NodeCount() const {
+  switch (kind_) {
+    case ScalarKind::kColumn:
+    case ScalarKind::kLiteral:
+      return 1;
+    case ScalarKind::kUnary:
+      return 1 + lhs_->NodeCount();
+    case ScalarKind::kBinary:
+      return 1 + lhs_->NodeCount() + rhs_->NodeCount();
+  }
+  HQL_UNREACHABLE();
+}
+
+bool ScalarExprEquals(const ScalarExprPtr& a, const ScalarExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace hql

@@ -1,0 +1,109 @@
+#ifndef HQL_AST_SCALAR_EXPR_H_
+#define HQL_AST_SCALAR_EXPR_H_
+
+// Scalar expressions over tuples: column references ($i), literals,
+// arithmetic, comparisons and boolean connectives. They serve as the
+// selection and join conditions of the relational algebra.
+//
+// Evaluation is total and deterministic (no errors at runtime): arithmetic
+// on non-numbers yields null, null propagates through arithmetic and
+// comparisons other than the total-order comparisons, and anything that is
+// not the boolean `true` is treated as false where a predicate is required.
+// Static typing concerns (column bounds) are handled by ast/typecheck.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace hql {
+
+enum class ScalarOp : uint8_t {
+  // Binary arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  // Comparisons (total order over values, see Value::Compare).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Boolean connectives.
+  kAnd,
+  kOr,
+  // Unary.
+  kNot,
+  kNeg,
+};
+
+/// Symbolic name, e.g. "+", "<=", "and".
+const char* ScalarOpName(ScalarOp op);
+
+enum class ScalarKind : uint8_t {
+  kColumn,
+  kLiteral,
+  kUnary,
+  kBinary,
+};
+
+class ScalarExpr {
+ public:
+  /// $index.
+  static ScalarExprPtr Column(size_t index);
+  static ScalarExprPtr Literal(Value v);
+  static ScalarExprPtr Unary(ScalarOp op, ScalarExprPtr operand);
+  static ScalarExprPtr Binary(ScalarOp op, ScalarExprPtr lhs,
+                              ScalarExprPtr rhs);
+
+  ScalarKind kind() const { return kind_; }
+  ScalarOp op() const { return op_; }
+  size_t column() const { return column_; }
+  const Value& literal() const { return literal_; }
+  const ScalarExprPtr& lhs() const { return lhs_; }
+  const ScalarExprPtr& rhs() const { return rhs_; }
+
+  /// Evaluates against a tuple. Columns beyond the tuple's arity yield null
+  /// (statically rejected by typecheck; kept total for robustness).
+  Value Evaluate(const Tuple& tuple) const;
+
+  /// Evaluate(...) == Bool(true).
+  bool EvaluatesTrue(const Tuple& tuple) const;
+
+  /// One past the largest column index referenced (0 if none): the minimum
+  /// arity a tuple must have for evaluation to be well-typed.
+  size_t MinArity() const;
+
+  /// Rewrites every column reference $i to $(i + amount). Used when a
+  /// predicate written against one operand of a product/join must be
+  /// re-based onto the concatenated tuple.
+  ScalarExprPtr ShiftColumns(size_t amount) const;
+
+  bool Equals(const ScalarExpr& other) const;
+  uint64_t Hash() const;
+  std::string ToString() const;
+  size_t NodeCount() const;
+
+ private:
+  ScalarExpr() = default;
+
+  ScalarKind kind_ = ScalarKind::kLiteral;
+  ScalarOp op_ = ScalarOp::kEq;
+  size_t column_ = 0;
+  Value literal_;
+  ScalarExprPtr lhs_;
+  ScalarExprPtr rhs_;
+};
+
+/// True if `a` and `b` are both null or structurally equal; accepts nulls.
+bool ScalarExprEquals(const ScalarExprPtr& a, const ScalarExprPtr& b);
+
+}  // namespace hql
+
+#endif  // HQL_AST_SCALAR_EXPR_H_

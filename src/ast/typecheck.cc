@@ -1,0 +1,156 @@
+#include "ast/typecheck.h"
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "common/strings.h"
+
+namespace hql {
+
+Result<size_t> InferQueryArity(const QueryPtr& query, const Schema& schema) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  switch (query->kind()) {
+    case QueryKind::kRel:
+      return schema.ArityOf(query->rel_name());
+    case QueryKind::kEmpty:
+      return query->empty_arity();
+    case QueryKind::kSingleton:
+      return query->tuple().size();
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(size_t arity,
+                           InferQueryArity(query->left(), schema));
+      size_t need = query->predicate()->MinArity();
+      if (need > arity) {
+        return Status::TypeError(
+            StrFormat("selection predicate references column %zu of a "
+                      "%zu-ary input: %s",
+                      need - 1, arity, query->ToString().c_str()));
+      }
+      return arity;
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(size_t arity,
+                           InferQueryArity(query->left(), schema));
+      for (size_t c : query->columns()) {
+        if (c >= arity) {
+          return Status::TypeError(
+              StrFormat("projection references column %zu of a %zu-ary "
+                        "input: %s",
+                        c, arity, query->ToString().c_str()));
+        }
+      }
+      return query->columns().size();
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(size_t arity,
+                           InferQueryArity(query->left(), schema));
+      for (size_t c : query->columns()) {
+        if (c >= arity) {
+          return Status::TypeError(
+              StrFormat("grouping column %zu of a %zu-ary input", c, arity));
+        }
+      }
+      if (query->agg_column() >= arity) {
+        return Status::TypeError(StrFormat(
+            "aggregate column %zu of a %zu-ary input", query->agg_column(),
+            arity));
+      }
+      return query->columns().size() + 1;
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(size_t a, InferQueryArity(query->left(), schema));
+      HQL_ASSIGN_OR_RETURN(size_t b, InferQueryArity(query->right(), schema));
+      if (a != b) {
+        return Status::TypeError(
+            StrFormat("%s operands have arities %zu and %zu",
+                      QueryKindName(query->kind()), a, b));
+      }
+      return a;
+    }
+    case QueryKind::kProduct: {
+      HQL_ASSIGN_OR_RETURN(size_t a, InferQueryArity(query->left(), schema));
+      HQL_ASSIGN_OR_RETURN(size_t b, InferQueryArity(query->right(), schema));
+      return a + b;
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(size_t a, InferQueryArity(query->left(), schema));
+      HQL_ASSIGN_OR_RETURN(size_t b, InferQueryArity(query->right(), schema));
+      size_t need = query->predicate()->MinArity();
+      if (need > a + b) {
+        return Status::TypeError(
+            StrFormat("join predicate references column %zu of a %zu-ary "
+                      "concatenation",
+                      need - 1, a + b));
+      }
+      return a + b;
+    }
+    case QueryKind::kWhen: {
+      HQL_RETURN_IF_ERROR(CheckHypo(query->state(), schema));
+      // The hypothetical state preserves the schema (each binding Q/R has
+      // arity(Q) == arity(R)), so Q is checked under the same schema.
+      return InferQueryArity(query->left(), schema);
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Status CheckUpdate(const UpdatePtr& update, const Schema& schema) {
+  if (update == nullptr) return Status::InvalidArgument("null update");
+  switch (update->kind()) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete: {
+      HQL_ASSIGN_OR_RETURN(size_t rel_arity,
+                           schema.ArityOf(update->rel_name()));
+      HQL_ASSIGN_OR_RETURN(size_t q_arity,
+                           InferQueryArity(update->query(), schema));
+      if (rel_arity != q_arity) {
+        return Status::TypeError(StrFormat(
+            "%s(%s, ...): relation arity %zu, argument arity %zu",
+            UpdateKindName(update->kind()), update->rel_name().c_str(),
+            rel_arity, q_arity));
+      }
+      return Status::OK();
+    }
+    case UpdateKind::kSeq:
+      HQL_RETURN_IF_ERROR(CheckUpdate(update->first(), schema));
+      return CheckUpdate(update->second(), schema);
+    case UpdateKind::kCond: {
+      HQL_ASSIGN_OR_RETURN(size_t g, InferQueryArity(update->guard(), schema));
+      (void)g;  // any arity is acceptable for a guard
+      HQL_RETURN_IF_ERROR(CheckUpdate(update->then_branch(), schema));
+      return CheckUpdate(update->else_branch(), schema);
+    }
+  }
+  return Status::Internal("unknown update kind");
+}
+
+Status CheckHypo(const HypoExprPtr& state, const Schema& schema) {
+  if (state == nullptr) return Status::InvalidArgument("null state");
+  switch (state->kind()) {
+    case HypoKind::kUpdateState:
+      return CheckUpdate(state->update(), schema);
+    case HypoKind::kSubst: {
+      for (const Binding& b : state->bindings()) {
+        HQL_ASSIGN_OR_RETURN(size_t rel_arity, schema.ArityOf(b.rel_name));
+        HQL_ASSIGN_OR_RETURN(size_t q_arity,
+                             InferQueryArity(b.query, schema));
+        if (rel_arity != q_arity) {
+          return Status::TypeError(StrFormat(
+              "binding %s: relation arity %zu, query arity %zu",
+              b.rel_name.c_str(), rel_arity, q_arity));
+        }
+      }
+      return Status::OK();
+    }
+    case HypoKind::kCompose:
+    case HypoKind::kStateWhen:
+      HQL_RETURN_IF_ERROR(CheckHypo(state->first(), schema));
+      return CheckHypo(state->second(), schema);
+  }
+  return Status::Internal("unknown hypothetical-state kind");
+}
+
+}  // namespace hql

@@ -1,0 +1,34 @@
+#ifndef HQL_AST_TYPECHECK_H_
+#define HQL_AST_TYPECHECK_H_
+
+// Static arity checking for queries, updates and hypothetical-state
+// expressions against a schema (the paper's "usual typing rules concerning
+// the arities of query expressions").
+//
+// The key rule for hypothetical constructs is the substitution typing rule
+// of Section 3.2: in a binding Q/R, the arity of Q must equal the arity of
+// R — which is also why substitution application preserves arities and why
+// `Q when eta` has the arity of Q.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// Infers the arity of `query` under `schema`, checking along the way that
+/// relation names exist, set operations have matching arities, predicates
+/// and projections stay within bounds, and `when` states are well-formed.
+Result<size_t> InferQueryArity(const QueryPtr& query, const Schema& schema);
+
+/// Checks an update: ins/del argument arities must match their relations;
+/// guards of conditionals may have any arity.
+Status CheckUpdate(const UpdatePtr& update, const Schema& schema);
+
+/// Checks a hypothetical-state expression.
+Status CheckHypo(const HypoExprPtr& state, const Schema& schema);
+
+}  // namespace hql
+
+#endif  // HQL_AST_TYPECHECK_H_

@@ -1,0 +1,169 @@
+#include "ast/update.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "ins";
+    case UpdateKind::kDelete:
+      return "del";
+    case UpdateKind::kSeq:
+      return "seq";
+    case UpdateKind::kCond:
+      return "if";
+  }
+  return "?";
+}
+
+UpdatePtr Update::Insert(std::string rel, QueryPtr query) {
+  HQL_CHECK(!rel.empty() && query != nullptr);
+  std::shared_ptr<Update> u(new Update());
+  u->kind_ = UpdateKind::kInsert;
+  u->rel_name_ = std::move(rel);
+  u->query_ = std::move(query);
+  return u;
+}
+
+UpdatePtr Update::Delete(std::string rel, QueryPtr query) {
+  HQL_CHECK(!rel.empty() && query != nullptr);
+  std::shared_ptr<Update> u(new Update());
+  u->kind_ = UpdateKind::kDelete;
+  u->rel_name_ = std::move(rel);
+  u->query_ = std::move(query);
+  return u;
+}
+
+UpdatePtr Update::Seq(UpdatePtr first, UpdatePtr second) {
+  HQL_CHECK(first != nullptr && second != nullptr);
+  // Sequencing is associative; keep a canonical right-nested form so that
+  // structurally distinct but equivalent nestings (and the flat "a; b; c"
+  // textual syntax) all build the same AST.
+  if (first->kind_ == UpdateKind::kSeq) {
+    return Seq(first->first_, Seq(first->second_, std::move(second)));
+  }
+  std::shared_ptr<Update> u(new Update());
+  u->kind_ = UpdateKind::kSeq;
+  u->first_ = std::move(first);
+  u->second_ = std::move(second);
+  return u;
+}
+
+UpdatePtr Update::Cond(QueryPtr guard, UpdatePtr then_branch,
+                       UpdatePtr else_branch) {
+  HQL_CHECK(guard != nullptr && then_branch != nullptr &&
+            else_branch != nullptr);
+  std::shared_ptr<Update> u(new Update());
+  u->kind_ = UpdateKind::kCond;
+  u->query_ = std::move(guard);
+  u->first_ = std::move(then_branch);
+  u->second_ = std::move(else_branch);
+  return u;
+}
+
+const std::string& Update::rel_name() const {
+  HQL_CHECK(kind_ == UpdateKind::kInsert || kind_ == UpdateKind::kDelete);
+  return rel_name_;
+}
+
+const QueryPtr& Update::query() const {
+  HQL_CHECK(kind_ == UpdateKind::kInsert || kind_ == UpdateKind::kDelete);
+  return query_;
+}
+
+const UpdatePtr& Update::first() const {
+  HQL_CHECK(kind_ == UpdateKind::kSeq);
+  return first_;
+}
+
+const UpdatePtr& Update::second() const {
+  HQL_CHECK(kind_ == UpdateKind::kSeq);
+  return second_;
+}
+
+const QueryPtr& Update::guard() const {
+  HQL_CHECK(kind_ == UpdateKind::kCond);
+  return query_;
+}
+
+const UpdatePtr& Update::then_branch() const {
+  HQL_CHECK(kind_ == UpdateKind::kCond);
+  return first_;
+}
+
+const UpdatePtr& Update::else_branch() const {
+  HQL_CHECK(kind_ == UpdateKind::kCond);
+  return second_;
+}
+
+bool Update::IsAtomicSequence() const {
+  switch (kind_) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return true;
+    case UpdateKind::kSeq:
+      return first_->IsAtomicSequence() && second_->IsAtomicSequence();
+    case UpdateKind::kCond:
+      return false;
+  }
+  HQL_UNREACHABLE();
+}
+
+bool Update::Equals(const Update& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return rel_name_ == other.rel_name_ && query_->Equals(*other.query_);
+    case UpdateKind::kSeq:
+      return first_->Equals(*other.first_) && second_->Equals(*other.second_);
+    case UpdateKind::kCond:
+      return query_->Equals(*other.query_) && first_->Equals(*other.first_) &&
+             second_->Equals(*other.second_);
+  }
+  HQL_UNREACHABLE();
+}
+
+uint64_t Update::Hash() const {
+  uint64_t h = (static_cast<uint64_t>(kind_) + 101) * 0xBF58476D1CE4E5B9ULL;
+  switch (kind_) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return HashCombine(HashCombine(h, HashString(rel_name_)),
+                         query_->Hash());
+    case UpdateKind::kSeq:
+      return HashCombine(HashCombine(h, first_->Hash()), second_->Hash());
+    case UpdateKind::kCond:
+      return HashCombine(
+          HashCombine(HashCombine(h, query_->Hash()), first_->Hash()),
+          second_->Hash());
+  }
+  HQL_UNREACHABLE();
+}
+
+std::string Update::ToString() const {
+  switch (kind_) {
+    case UpdateKind::kInsert:
+      return "ins(" + rel_name_ + ", " + query_->ToString() + ")";
+    case UpdateKind::kDelete:
+      return "del(" + rel_name_ + ", " + query_->ToString() + ")";
+    case UpdateKind::kSeq:
+      return first_->ToString() + "; " + second_->ToString();
+    case UpdateKind::kCond:
+      return "if " + query_->ToString() + " then {" + first_->ToString() +
+             "} else {" + second_->ToString() + "}";
+  }
+  HQL_UNREACHABLE();
+}
+
+bool UpdateEquals(const UpdatePtr& a, const UpdatePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace hql

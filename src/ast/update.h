@@ -1,0 +1,78 @@
+#ifndef HQL_AST_UPDATE_H_
+#define HQL_AST_UPDATE_H_
+
+// The update language of paper Section 3.1:
+//
+//   U ::= ins(R, Q) | del(R, Q) | (U ; U)
+//
+// plus the conditional-update extension sketched in Section 6:
+//
+//   U ::= ... | if Q then U else U
+//
+// (`if` executes its then-branch when the guard query is non-empty). The
+// conditional does not add expressive power — hql/slice.cc compiles it away
+// using a boolean-as-relation encoding — but it makes update programs far
+// more concise, exactly as the paper argues.
+
+#include <cstdint>
+#include <string>
+
+#include "ast/forward.h"
+#include "ast/query.h"
+
+namespace hql {
+
+enum class UpdateKind : uint8_t {
+  kInsert,  // ins(R, Q): R <- R u Q
+  kDelete,  // del(R, Q): R <- R - Q
+  kSeq,     // (U1 ; U2)
+  kCond,    // if Q then U1 else U2
+};
+
+const char* UpdateKindName(UpdateKind kind);
+
+class Update {
+ public:
+  static UpdatePtr Insert(std::string rel, QueryPtr query);
+  static UpdatePtr Delete(std::string rel, QueryPtr query);
+  static UpdatePtr Seq(UpdatePtr first, UpdatePtr second);
+  static UpdatePtr Cond(QueryPtr guard, UpdatePtr then_branch,
+                        UpdatePtr else_branch);
+
+  UpdateKind kind() const { return kind_; }
+
+  /// kInsert / kDelete only.
+  const std::string& rel_name() const;
+  /// kInsert / kDelete only.
+  const QueryPtr& query() const;
+  /// kSeq only.
+  const UpdatePtr& first() const;
+  const UpdatePtr& second() const;
+  /// kCond only.
+  const QueryPtr& guard() const;
+  const UpdatePtr& then_branch() const;
+  const UpdatePtr& else_branch() const;
+
+  /// True if this update is a sequence of atomic ins/del only (the shape
+  /// required by mod-ENF, Section 5.5).
+  bool IsAtomicSequence() const;
+
+  bool Equals(const Update& other) const;
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  Update() = default;
+
+  UpdateKind kind_ = UpdateKind::kInsert;
+  std::string rel_name_;
+  QueryPtr query_;
+  UpdatePtr first_;
+  UpdatePtr second_;
+};
+
+bool UpdateEquals(const UpdatePtr& a, const UpdatePtr& b);
+
+}  // namespace hql
+
+#endif  // HQL_AST_UPDATE_H_

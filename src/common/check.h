@@ -1,0 +1,37 @@
+#ifndef HQL_COMMON_CHECK_H_
+#define HQL_COMMON_CHECK_H_
+
+// CHECK-style macros for internal invariants. A failed check indicates a bug
+// inside the library (never bad user input, which is reported via Status);
+// it prints the condition and location and aborts.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define HQL_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "HQL_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define HQL_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "HQL_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   (msg), __FILE__, __LINE__);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// Marks genuinely unreachable code paths (e.g. exhaustive switch defaults).
+#define HQL_UNREACHABLE()                                                  \
+  do {                                                                     \
+    std::fprintf(stderr, "HQL_UNREACHABLE hit at %s:%d\n", __FILE__,       \
+                 __LINE__);                                                \
+    std::abort();                                                          \
+  } while (0)
+
+#endif  // HQL_COMMON_CHECK_H_

@@ -1,0 +1,69 @@
+#ifndef HQL_COMMON_RESULT_H_
+#define HQL_COMMON_RESULT_H_
+
+// Result<T>: a value-or-Status, the library's return type for fallible
+// computations that produce a value.
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hql {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return relation;` / `return Status::NotFound(...)`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    HQL_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    HQL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    HQL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    HQL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. Requires the enclosing function to return
+/// Status or Result<U>.
+#define HQL_ASSIGN_OR_RETURN(lhs, expr)            \
+  HQL_ASSIGN_OR_RETURN_IMPL_(                      \
+      HQL_RESULT_CONCAT_(_hql_result_, __LINE__), lhs, expr)
+
+#define HQL_RESULT_CONCAT_INNER_(a, b) a##b
+#define HQL_RESULT_CONCAT_(a, b) HQL_RESULT_CONCAT_INNER_(a, b)
+
+#define HQL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace hql
+
+#endif  // HQL_COMMON_RESULT_H_

@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hql {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  state_ = SplitMix64(&s);
+  if (state_ == 0) state_ = 0x2545F4914F6CDD1DULL;
+}
+
+uint64_t Rng::Next() {
+  // xorshift64*.
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  HQL_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  HQL_CHECK(n > 0);
+  if (s <= 0.0) return Uniform(0, n - 1);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[static_cast<size_t>(i)] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) --it;
+  return static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+std::string Rng::NextString(int min_len, int max_len) {
+  HQL_CHECK(0 <= min_len && min_len <= max_len);
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace hql

@@ -1,0 +1,57 @@
+#ifndef HQL_COMMON_RNG_H_
+#define HQL_COMMON_RNG_H_
+
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. A fixed algorithm (splitmix64 seeded xorshift*) keeps
+// generated datasets identical across platforms and standard-library
+// versions, unlike std::mt19937 + distribution objects.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hql {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  /// Uses the rejection-free cumulative method with a cached table per (n,s).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  // Cache for the Zipf cumulative table (re-built when (n, s) changes).
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_COMMON_RNG_H_

@@ -1,0 +1,76 @@
+#ifndef HQL_COMMON_STATUS_H_
+#define HQL_COMMON_STATUS_H_
+
+// Error handling for the hql library. The library does not use exceptions;
+// fallible operations return Status (or Result<T>, see result.h). This
+// mirrors the Status idiom used by Arrow / RocksDB / Abseil.
+
+#include <string>
+#include <utility>
+
+namespace hql {
+
+// Broad machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller (bad arity, parse...)
+  kNotFound,          // unknown relation name
+  kAlreadyExists,     // duplicate relation name in a schema or substitution
+  kTypeError,         // arity / value-type mismatch detected by typecheck
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation surfaced as an error
+};
+
+/// Returns a short stable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Requires the enclosing function
+/// to return Status.
+#define HQL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::hql::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace hql
+
+#endif  // HQL_COMMON_STATUS_H_

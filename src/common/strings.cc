@@ -1,0 +1,44 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hql {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace hql

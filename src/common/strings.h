@@ -1,0 +1,34 @@
+#ifndef HQL_COMMON_STRINGS_H_
+#define HQL_COMMON_STRINGS_H_
+
+// Small string utilities used across the library.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hql {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a hash of a byte string.
+uint64_t HashBytes(const void* data, size_t n);
+
+inline uint64_t HashString(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace hql
+
+#endif  // HQL_COMMON_STRINGS_H_

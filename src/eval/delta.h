@@ -1,0 +1,77 @@
+#ifndef HQL_EVAL_DELTA_H_
+#define HQL_EVAL_DELTA_H_
+
+// Delta values in the sense of Heraclitus (paper Section 5.5): partial maps
+// from relation names to pairs (D, I) of relations of the relation's arity,
+// with
+//
+//   apply(DB, Delta)(R) = (DB(R) - R_D) u R_I
+//
+// and smash
+//
+//   (Delta1 ! Delta2): R_D = (R_D1 - R_I2) u R_D2
+//                      R_I = (R_I1 - R_D2) u R_I2.
+//
+// Unlike Heraclitus we do not require R_D and R_I to be disjoint (the paper
+// makes the same relaxation). When the hypothetical update touches a small
+// fraction of the data, deltas are far cheaper than xsub-values, which
+// materialize entire new relation values.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace hql {
+
+/// The (deletes, inserts) pair for one relation.
+struct DeltaPair {
+  Relation del;
+  Relation ins;
+
+  explicit DeltaPair(size_t arity) : del(arity), ins(arity) {}
+  DeltaPair(Relation d, Relation i) : del(std::move(d)), ins(std::move(i)) {}
+};
+
+class DeltaValue {
+ public:
+  DeltaValue() = default;
+
+  bool empty() const { return pairs_.empty(); }
+  size_t size() const { return pairs_.size(); }
+
+  bool Has(const std::string& name) const { return pairs_.count(name) > 0; }
+
+  /// The delta pair for `name`, or nullptr when the delta leaves it alone.
+  const DeltaPair* Get(const std::string& name) const;
+
+  /// Binds (smash-assigns would be SmashWith) a delta pair for `name`;
+  /// replaces any existing pair.
+  void Bind(const std::string& name, DeltaPair pair);
+
+  /// this ! later.
+  DeltaValue SmashWith(const DeltaValue& later) const;
+
+  /// apply(base, this-pair-for-name): (base - D) u I.
+  Relation ApplyToRelation(const Relation& base,
+                           const std::string& name) const;
+
+  /// apply(DB, Delta).
+  Result<Database> ApplyTo(const Database& db) const;
+
+  /// Total tuples across all D and I relations (cost accounting).
+  uint64_t TotalTuples() const;
+
+  const std::map<std::string, DeltaPair>& pairs() const { return pairs_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, DeltaPair> pairs_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_DELTA_H_

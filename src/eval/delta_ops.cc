@@ -1,0 +1,291 @@
+#include "eval/delta_ops.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "eval/ra_eval.h"
+
+namespace hql {
+
+namespace {
+
+const std::vector<Tuple> kNoTuples;
+
+}  // namespace
+
+DeltaScan::DeltaScan(const Relation& base, const DeltaPair* pair)
+    : base_(&base.tuples()),
+      del_(pair != nullptr ? &pair->del.tuples() : &kNoTuples),
+      ins_(pair != nullptr ? &pair->ins.tuples() : &kNoTuples) {
+  Settle();
+}
+
+const Tuple& DeltaScan::Current() const {
+  HQL_CHECK(!Done());
+  return source_ == 0 ? (*base_)[bi_] : (*ins_)[ii_];
+}
+
+bool DeltaScan::Done() const { return source_ == 2; }
+
+void DeltaScan::Advance() {
+  HQL_CHECK(!Done());
+  if (source_ == 0) {
+    ++bi_;
+  } else {
+    ++ii_;
+  }
+  Settle();
+}
+
+void DeltaScan::Settle() {
+  // Skip base tuples that are deleted (and not re-inserted later in the
+  // stream — re-insertions come from ins_, merged below).
+  for (;;) {
+    bool have_base = bi_ < base_->size();
+    if (have_base) {
+      // Advance the delete cursor to the first tuple >= base[bi_].
+      while (di_ < del_->size() &&
+             CompareTuples((*del_)[di_], (*base_)[bi_]) < 0) {
+        ++di_;
+      }
+      if (di_ < del_->size() &&
+          CompareTuples((*del_)[di_], (*base_)[bi_]) == 0) {
+        // Deleted, unless the same tuple is also inserted; the insert
+        // stream will still produce it, so just drop the base copy.
+        ++bi_;
+        continue;
+      }
+    }
+    bool have_ins = ii_ < ins_->size();
+    if (!have_base && !have_ins) {
+      source_ = 2;
+      return;
+    }
+    if (!have_ins) {
+      source_ = 0;
+      return;
+    }
+    if (!have_base) {
+      source_ = 1;
+      return;
+    }
+    int c = CompareTuples((*base_)[bi_], (*ins_)[ii_]);
+    if (c < 0) {
+      source_ = 0;
+    } else if (c > 0) {
+      source_ = 1;
+    } else {
+      // Same tuple present in base and inserts: emit once (from the insert
+      // stream) and skip the base copy.
+      ++bi_;
+      continue;
+    }
+    return;
+  }
+}
+
+Relation SelectWhen(const Relation& base, const DeltaPair* delta,
+                    const ScalarExpr& predicate) {
+  std::vector<Tuple> out;
+  for (DeltaScan scan(base, delta); !scan.Done(); scan.Advance()) {
+    if (predicate.EvaluatesTrue(scan.Current())) {
+      out.push_back(scan.Current());
+    }
+  }
+  return Relation::FromSortedUnique(base.arity(), std::move(out));
+}
+
+namespace {
+
+// Collects the run of tuples whose `col` value equals that of the current
+// tuple; leaves the scan positioned at the first tuple past the run.
+void CollectRun(DeltaScan* scan, size_t col, std::vector<Tuple>* run) {
+  run->clear();
+  run->push_back(scan->Current());
+  const Value key = scan->Current()[col];
+  scan->Advance();
+  while (!scan->Done() && scan->Current()[col].Compare(key) == 0) {
+    run->push_back(scan->Current());
+    scan->Advance();
+  }
+}
+
+}  // namespace
+
+Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
+                  const Relation& base_r, const DeltaPair* delta_r,
+                  size_t lcol, size_t rcol, const ScalarExprPtr& residual) {
+  const size_t out_arity = base_l.arity() + base_r.arity();
+  std::vector<Tuple> out;
+
+  auto residual_ok = [&](const Tuple& combined) {
+    return residual == nullptr || residual->EvaluatesTrue(combined);
+  };
+
+  if (lcol == 0 && rcol == 0) {
+    // Pure sort-merge over the two delta streams: the sorted order of the
+    // streams coincides with the join-key order.
+    DeltaScan ls(base_l, delta_l);
+    DeltaScan rs(base_r, delta_r);
+    std::vector<Tuple> lrun, rrun;
+    while (!ls.Done() && !rs.Done()) {
+      int c = ls.Current()[0].Compare(rs.Current()[0]);
+      if (c < 0) {
+        ls.Advance();
+      } else if (c > 0) {
+        rs.Advance();
+      } else {
+        CollectRun(&ls, 0, &lrun);
+        CollectRun(&rs, 0, &rrun);
+        for (const Tuple& l : lrun) {
+          for (const Tuple& r : rrun) {
+            Tuple combined = ConcatTuples(l, r);
+            if (residual_ok(combined)) out.push_back(std::move(combined));
+          }
+        }
+      }
+    }
+    return Relation::FromTuples(out_arity, std::move(out));
+  }
+
+  // General columns: stream the right side into a hash table, probe with
+  // the left stream. Still avoids materializing the hypothetical relations.
+  std::map<Value, std::vector<Tuple>> table;
+  for (DeltaScan rs(base_r, delta_r); !rs.Done(); rs.Advance()) {
+    table[rs.Current()[rcol]].push_back(rs.Current());
+  }
+  for (DeltaScan ls(base_l, delta_l); !ls.Done(); ls.Advance()) {
+    auto it = table.find(ls.Current()[lcol]);
+    if (it == table.end()) continue;
+    for (const Tuple& r : it->second) {
+      Tuple combined = ConcatTuples(ls.Current(), r);
+      if (residual_ok(combined)) out.push_back(std::move(combined));
+    }
+  }
+  return Relation::FromTuples(out_arity, std::move(out));
+}
+
+namespace {
+
+// Finds one `$i = $j` equi conjunct crossing the split; returns false if
+// none exists.
+bool FindEquiConjunct(const ScalarExprPtr& pred, size_t split, size_t* lcol,
+                      size_t* rcol) {
+  if (pred->kind() != ScalarKind::kBinary) return false;
+  if (pred->op() == ScalarOp::kAnd) {
+    return FindEquiConjunct(pred->lhs(), split, lcol, rcol) ||
+           FindEquiConjunct(pred->rhs(), split, lcol, rcol);
+  }
+  if (pred->op() != ScalarOp::kEq) return false;
+  if (pred->lhs()->kind() != ScalarKind::kColumn ||
+      pred->rhs()->kind() != ScalarKind::kColumn) {
+    return false;
+  }
+  size_t a = pred->lhs()->column();
+  size_t b = pred->rhs()->column();
+  if (a < split && b >= split) {
+    *lcol = a;
+    *rcol = b - split;
+    return true;
+  }
+  if (b < split && a >= split) {
+    *lcol = b;
+    *rcol = a - split;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
+                             const DeltaValue& delta,
+                             const std::map<std::string, Relation>* temps) {
+  HQL_CHECK(query != nullptr);
+  switch (query->kind()) {
+    case QueryKind::kRel: {
+      if (temps != nullptr) {
+        auto it = temps->find(query->rel_name());
+        if (it != temps->end()) return it->second;
+      }
+      HQL_ASSIGN_OR_RETURN(Relation base, db.Get(query->rel_name()));
+      return delta.ApplyToRelation(base, query->rel_name());
+    }
+    case QueryKind::kEmpty:
+      return Relation(query->empty_arity());
+    case QueryKind::kSingleton:
+      return Relation::FromTuples(query->tuple().size(), {query->tuple()});
+    case QueryKind::kSelect: {
+      // select-when directly over a base relation.
+      if (query->left()->kind() == QueryKind::kRel &&
+          db.schema().HasRelation(query->left()->rel_name())) {
+        const std::string& name = query->left()->rel_name();
+        return SelectWhen(db.GetRef(name), delta.Get(name),
+                          *query->predicate());
+      }
+      HQL_ASSIGN_OR_RETURN(Relation in,
+                           EvalFilterD(query->left(), db, delta, temps));
+      return FilterRelation(in, *query->predicate());
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(Relation in,
+                           EvalFilterD(query->left(), db, delta, temps));
+      return ProjectRelation(in, query->columns());
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(Relation in,
+                           EvalFilterD(query->left(), db, delta, temps));
+      return AggregateRelation(in, query->columns(), query->agg_func(),
+                               query->agg_column());
+    }
+    case QueryKind::kUnion: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
+      return l.UnionWith(r);
+    }
+    case QueryKind::kIntersect: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
+      return l.IntersectWith(r);
+    }
+    case QueryKind::kProduct: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
+      return l.ProductWith(r);
+    }
+    case QueryKind::kJoin: {
+      // join-when over two base relations.
+      if (query->left()->kind() == QueryKind::kRel &&
+          query->right()->kind() == QueryKind::kRel) {
+        const std::string& lname = query->left()->rel_name();
+        const std::string& rname = query->right()->rel_name();
+        if (db.schema().HasRelation(lname) &&
+            db.schema().HasRelation(rname)) {
+          const Relation& bl = db.GetRef(lname);
+          const Relation& br = db.GetRef(rname);
+          size_t lcol = 0, rcol = 0;
+          if (FindEquiConjunct(query->predicate(), bl.arity(), &lcol,
+                               &rcol)) {
+            return JoinWhen(bl, delta.Get(lname), br, delta.Get(rname), lcol,
+                            rcol, query->predicate());
+          }
+        }
+      }
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
+      return JoinRelations(l, r, query->predicate());
+    }
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
+      return l.DifferenceWith(r);
+    }
+    case QueryKind::kWhen:
+      return Status::InvalidArgument(
+          "EvalFilterD evaluates pure RA queries; use Filter3 for "
+          "hypothetical queries");
+  }
+  return Status::Internal("unknown query kind in EvalFilterD");
+}
+
+}  // namespace hql

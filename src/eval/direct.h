@@ -1,0 +1,43 @@
+#ifndef HQL_EVAL_DIRECT_H_
+#define HQL_EVAL_DIRECT_H_
+
+// The direct semantics of HQL (paper Sections 3.1 and 4.2), used both as
+// the reference implementation in property tests and as the traditional
+// fully-eager baseline: evaluating `Q when eta` materializes the complete
+// hypothetical database state [eta](DB) and evaluates Q in it — the
+// behavior of the run-time when-stack described in Example 2.1(a).
+//
+//   [ins(R, Q)](DB)   = DB[R <- [R u Q](DB)]
+//   [del(R, Q)](DB)   = DB[R <- [R - Q](DB)]
+//   [(U1; U2)](DB)    = [U2]([U1](DB))
+//   [if C then U1 else U2](DB) = [U1](DB) if [C](DB) nonempty, else [U2](DB)
+//
+//   [Q when eta](DB)  = [Q]([eta](DB))
+//   [{U}](DB)         = [U](DB)
+//   [{.., Qi/Ri, ..}](DB) = DB[.., Ri <- [Qi](DB), ..]   (parallel)
+//   [eta1 # eta2](DB) = [eta2]([eta1](DB))               (Lemma 3.6 order)
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "hql/subst.h"
+#include "storage/database.h"
+
+namespace hql {
+
+/// [Q](DB) for any RA_hyp query.
+Result<Relation> EvalDirect(const QueryPtr& query, const Database& db);
+
+/// [U](DB).
+Result<Database> ExecUpdate(const UpdatePtr& update, const Database& db);
+
+/// [eta](DB).
+Result<Database> EvalState(const HypoExprPtr& state, const Database& db);
+
+/// apply(DB, rho) for an abstract substitution (Section 3.3): evaluates all
+/// bindings in DB, then assigns them in parallel.
+Result<Database> ApplySubstitution(const Substitution& subst,
+                                   const Database& db);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_DIRECT_H_

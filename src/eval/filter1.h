@@ -1,0 +1,37 @@
+#ifndef HQL_EVAL_FILTER1_H_
+#define HQL_EVAL_FILTER1_H_
+
+// Algorithm HQL-1 (paper Section 5.4, Figure 3): evaluates an ENF query by
+// a depth-first traversal that filters every base-relation access through
+// an xsub-value environment:
+//
+//   filter1(R, E)           = E(R) if bound, DB(R) otherwise
+//   filter1(u_op(Q), E)     = u_op(filter1(Q, E))
+//   filter1(Q1 b_op Q2, E)  = filter1(Q1, E) b_op filter1(Q2, E)
+//   filter1(Q when e, E)    = filter1(Q, E ! filter1(e, E))
+//
+// where filter1(e, E) materializes each binding of the explicit
+// substitution e under E. The `when` case smashes together all xsub-values
+// in scope — the behavior of the Heraclitus run-time when stack.
+//
+// HQL-1 evaluates strictly one algebra node at a time (no operator
+// clustering); Algorithm HQL-2 (filter2.h) improves on exactly that.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "eval/xsub.h"
+#include "storage/database.h"
+
+namespace hql {
+
+/// Evaluates an ENF query in `db` (InvalidArgument if not ENF).
+Result<Relation> Filter1(const QueryPtr& query, const Database& db);
+
+/// The recursive worker, exposed for tests: evaluates `query` filtered
+/// through `env`.
+Result<Relation> Filter1WithEnv(const QueryPtr& query, const Database& db,
+                                const XsubValue& env);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_FILTER1_H_

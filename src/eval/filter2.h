@@ -1,0 +1,37 @@
+#ifndef HQL_EVAL_FILTER2_H_
+#define HQL_EVAL_FILTER2_H_
+
+// Algorithm HQL-2 (paper Section 5.4): like HQL-1, but the ENF syntax tree
+// is first collapsed (hql/collapse.h) so that maximal pure-RA regions are
+// handed to an optimized relational evaluator (eval_filter_x, realized by
+// EvalRa) that may cluster several algebraic operators into one physical
+// operation — e.g. a selection over a product runs as a theta join instead
+// of materializing the product.
+//
+//   filter2(Q[S1..Sm, R1..Rk], E) = let Si = filter2(Ti, E) in
+//                                   eval_filter_x(Q[S..], E)
+//   filter2(when-node, E)         = as filter1, with collapsed bindings.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "eval/xsub.h"
+#include "hql/collapse.h"
+#include "storage/database.h"
+
+namespace hql {
+
+/// Convenience entry point: collapses `query` (must be ENF) and evaluates.
+Result<Relation> Filter2(const QueryPtr& query, const Database& db,
+                         const Schema& schema);
+
+/// Evaluates an already collapsed tree.
+Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
+                                  const Database& db);
+
+/// Worker with an explicit environment, exposed for tests.
+Result<Relation> Filter2WithEnv(const CollapsedPtr& tree, const Database& db,
+                                const XsubValue& env);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_FILTER2_H_

@@ -1,0 +1,97 @@
+#include "eval/filter3.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/delta_ops.h"
+#include "hql/enf.h"
+
+namespace hql {
+
+namespace {
+
+Result<Relation> F3(const CollapsedPtr& node, const Database& db,
+                    const DeltaValue& env) {
+  if (node->kind == CollapsedKind::kBlock) {
+    std::map<std::string, Relation> temps;
+    for (size_t i = 0; i < node->holes.size(); ++i) {
+      HQL_ASSIGN_OR_RETURN(Relation hole, F3(node->holes[i], db, env));
+      temps.emplace(PlaceholderName(i), std::move(hole));
+    }
+    return EvalFilterD(node->block, db, env, &temps);
+  }
+  // kWhen.
+  if (!node->state_is_update) {
+    // Explicit substitution: build the *precise* delta of Section 5.5 that
+    // captures the substitution's xsub-value in the current hypothetical
+    // state — R_D = base - V, R_I = V - base — and smash it on. Parallel
+    // assignment: all binding values evaluate under the incoming delta.
+    std::vector<std::pair<std::string, Relation>> values;
+    values.reserve(node->bindings.size());
+    for (const CollapsedBinding& b : node->bindings) {
+      HQL_ASSIGN_OR_RETURN(Relation v, F3(b.value, db, env));
+      values.emplace_back(b.rel_name, std::move(v));
+    }
+    DeltaValue precise;
+    for (auto& [name, value] : values) {
+      HQL_ASSIGN_OR_RETURN(Relation stored, db.Get(name));
+      Relation base = env.ApplyToRelation(stored, name);
+      precise.Bind(name, DeltaPair(base.DifferenceWith(value),
+                                   value.DifferenceWith(base)));
+    }
+    return F3(node->input, db, env.SmashWith(precise));
+  }
+  // Accumulate the atoms' delta left to right (Figure 4's smash chain).
+  DeltaValue acc;
+  for (const CollapsedAtom& atom : node->atoms) {
+    DeltaValue current = env.SmashWith(acc);
+    HQL_ASSIGN_OR_RETURN(Relation value, F3(atom.arg, db, current));
+    size_t arity = value.arity();
+    DeltaValue atom_delta;
+    if (atom.is_insert) {
+      atom_delta.Bind(atom.rel_name,
+                      DeltaPair(Relation(arity), std::move(value)));
+    } else {
+      atom_delta.Bind(atom.rel_name,
+                      DeltaPair(std::move(value), Relation(arity)));
+    }
+    acc = acc.SmashWith(atom_delta);
+  }
+  return F3(node->input, db, env.SmashWith(acc));
+}
+
+}  // namespace
+
+Result<Relation> Filter3(const QueryPtr& query, const Database& db,
+                         const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  // Prefer mod-ENF (states stay as atomic chains whose deltas are exactly
+  // the inserted/deleted sets); fall back to ENF with precise deltas when
+  // the query contains explicit substitutions or conditionals.
+  QueryPtr normalized;
+  auto mod = ToModEnf(query, schema);
+  if (mod.ok()) {
+    normalized = std::move(mod).value();
+  } else if (mod.status().code() == StatusCode::kUnimplemented) {
+    HQL_ASSIGN_OR_RETURN(normalized, ToEnf(query, schema));
+  } else {
+    return mod.status();
+  }
+  HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(normalized, schema));
+  return Filter3Collapsed(tree, db);
+}
+
+Result<Relation> Filter3Collapsed(const CollapsedPtr& tree,
+                                  const Database& db) {
+  return Filter3WithEnv(tree, db, DeltaValue());
+}
+
+Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
+                                const DeltaValue& env) {
+  HQL_CHECK(tree != nullptr);
+  return F3(tree, db, env);
+}
+
+}  // namespace hql

@@ -1,0 +1,47 @@
+#ifndef HQL_EVAL_FILTER3_H_
+#define HQL_EVAL_FILTER3_H_
+
+// Algorithm HQL-3 (paper Section 5.5, Figure 4): evaluates a collapsed
+// mod-ENF tree using delta values instead of xsub-values. Hypothetical
+// states appear as chains of atomic inserts/deletes; each atom's argument
+// is evaluated under the accumulated delta and contributes an (I, D)
+// fragment, smashed left to right:
+//
+//   filter3({del(R,Q)}, D)  = {(filter3(Q, D), 0)/R}
+//   filter3({ins(R,Q)}, D)  = {(0, filter3(Q, D))/R}
+//   filter3({U; A}, D)      = filter3({U}, D) !
+//                             filter3({A}, D ! filter3({U}, D))
+//   filter3(Q when {U}, D)  = filter3(Q, D ! filter3({U}, D))
+//
+// Pure-RA blocks are evaluated with eval_filter_d, whose join-when /
+// select-when operators stream the deltas instead of materializing
+// hypothetical relations — the source of the Section 5.5 performance gain
+// for small updates.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "eval/delta.h"
+#include "hql/collapse.h"
+#include "storage/database.h"
+
+namespace hql {
+
+/// Convenience entry point: converts `query` to mod-ENF (preferred: atom
+/// arguments become the delta sets directly) or, when the query contains
+/// explicit substitutions, to ENF — whose substitutions are then captured
+/// by the *precise* deltas of Section 5.5 (R_D = base - V, R_I = V - base);
+/// collapses and evaluates. Total over all of HQL.
+Result<Relation> Filter3(const QueryPtr& query, const Database& db,
+                         const Schema& schema);
+
+/// Evaluates an already collapsed mod-ENF tree.
+Result<Relation> Filter3Collapsed(const CollapsedPtr& tree,
+                                  const Database& db);
+
+/// Worker with an explicit delta environment, exposed for tests.
+Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
+                                const DeltaValue& env);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_FILTER3_H_

@@ -1,0 +1,34 @@
+#include "eval/materialize.h"
+
+#include "ast/hypo.h"
+#include "eval/direct.h"
+#include "hql/free_dom.h"
+
+namespace hql {
+
+Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
+                                  const Database& db, const Schema& schema) {
+  (void)schema;  // names are validated by evaluation itself
+  HQL_ASSIGN_OR_RETURN(Database moved, EvalState(state, db));
+  XsubValue out;
+  for (const std::string& name : DomNames(state)) {
+    HQL_ASSIGN_OR_RETURN(Relation value, moved.Get(name));
+    out.Bind(name, std::move(value));
+  }
+  return out;
+}
+
+Result<DeltaValue> MaterializeDelta(const HypoExprPtr& state,
+                                    const Database& db,
+                                    const Schema& schema) {
+  HQL_ASSIGN_OR_RETURN(XsubValue xsub, MaterializeXsub(state, db, schema));
+  DeltaValue out;
+  for (const auto& [name, value] : xsub.values()) {
+    HQL_ASSIGN_OR_RETURN(Relation base, db.Get(name));
+    out.Bind(name, DeltaPair(base.DifferenceWith(value),
+                             value.DifferenceWith(base)));
+  }
+  return out;
+}
+
+}  // namespace hql

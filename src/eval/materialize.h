@@ -1,0 +1,36 @@
+#ifndef HQL_EVAL_MATERIALIZE_H_
+#define HQL_EVAL_MATERIALIZE_H_
+
+// Materialization of hypothetical states for reuse across query families
+// (Examples 2.2(a)/(b)): turn any hypothetical-state expression into a
+// physical xsub-value or delta value once, then filter arbitrarily many
+// queries through it with Filter1WithEnv / Filter2WithEnv /
+// Filter3WithEnv. This is the library-level form of what the E1/E2
+// benchmarks and the version-tree example do by hand.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "eval/delta.h"
+#include "eval/xsub.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// [eta]xval(DB): the xsub-value of `state` in `db` — one relation value
+/// per name in dom(eta). Arbitrary states (updates, substitutions,
+/// compositions, state-level when) are supported.
+Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
+                                  const Database& db, const Schema& schema);
+
+/// The precise delta (Section 5.5) capturing `state` in `db`:
+/// R_D = DB(R) − V, R_I = V − DB(R) for each written name. Satisfies
+/// apply(DB, delta) == apply(DB, xsub) and is small when the state changes
+/// little.
+Result<DeltaValue> MaterializeDelta(const HypoExprPtr& state,
+                                    const Database& db,
+                                    const Schema& schema);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_MATERIALIZE_H_

@@ -1,0 +1,258 @@
+#include "eval/ra_eval.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace hql {
+
+Relation FilterRelation(const Relation& input, const ScalarExpr& predicate) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : input) {
+    if (predicate.EvaluatesTrue(t)) out.push_back(t);
+  }
+  // Filtering preserves order and uniqueness.
+  return Relation::FromSortedUnique(input.arity(), std::move(out));
+}
+
+Relation ProjectRelation(const Relation& input,
+                         const std::vector<size_t>& columns) {
+  std::vector<Tuple> out;
+  out.reserve(input.size());
+  for (const Tuple& t : input) {
+    Tuple p;
+    p.reserve(columns.size());
+    for (size_t c : columns) {
+      HQL_CHECK(c < t.size());
+      p.push_back(t[c]);
+    }
+    out.push_back(std::move(p));
+  }
+  return Relation::FromTuples(columns.size(), std::move(out));
+}
+
+namespace {
+
+// Collects `$i = $j` conjuncts with i on the left side and j on the right
+// side of a join whose left operand has arity `split`. Returns the residual
+// predicate (nullptr when the whole predicate was consumed).
+void SplitJoinPredicate(const ScalarExprPtr& pred, size_t split,
+                        std::vector<std::pair<size_t, size_t>>* equi,
+                        std::vector<ScalarExprPtr>* residual) {
+  if (pred->kind() == ScalarKind::kBinary && pred->op() == ScalarOp::kAnd) {
+    SplitJoinPredicate(pred->lhs(), split, equi, residual);
+    SplitJoinPredicate(pred->rhs(), split, equi, residual);
+    return;
+  }
+  if (pred->kind() == ScalarKind::kBinary && pred->op() == ScalarOp::kEq &&
+      pred->lhs()->kind() == ScalarKind::kColumn &&
+      pred->rhs()->kind() == ScalarKind::kColumn) {
+    size_t a = pred->lhs()->column();
+    size_t b = pred->rhs()->column();
+    if (a < split && b >= split) {
+      equi->push_back({a, b - split});
+      return;
+    }
+    if (b < split && a >= split) {
+      equi->push_back({b, a - split});
+      return;
+    }
+  }
+  residual->push_back(pred);
+}
+
+}  // namespace
+
+Relation JoinRelations(const Relation& lhs, const Relation& rhs,
+                       const ScalarExprPtr& predicate) {
+  const size_t out_arity = lhs.arity() + rhs.arity();
+
+  std::vector<std::pair<size_t, size_t>> equi;
+  std::vector<ScalarExprPtr> residual;
+  if (predicate != nullptr) {
+    SplitJoinPredicate(predicate, lhs.arity(), &equi, &residual);
+  }
+
+  auto residual_ok = [&](const Tuple& combined) {
+    for (const ScalarExprPtr& r : residual) {
+      if (!r->EvaluatesTrue(combined)) return false;
+    }
+    return true;
+  };
+
+  std::vector<Tuple> out;
+  if (!equi.empty()) {
+    // Hash join: build on the smaller side conceptually; build on rhs and
+    // probe with lhs (keeps output construction simple).
+    std::map<Tuple, std::vector<const Tuple*>, TupleLess> table;
+    for (const Tuple& r : rhs) {
+      Tuple key;
+      key.reserve(equi.size());
+      for (const auto& [lc, rc] : equi) {
+        (void)lc;
+        key.push_back(r[rc]);
+      }
+      table[std::move(key)].push_back(&r);
+    }
+    for (const Tuple& l : lhs) {
+      Tuple key;
+      key.reserve(equi.size());
+      for (const auto& [lc, rc] : equi) {
+        (void)rc;
+        key.push_back(l[lc]);
+      }
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (const Tuple* r : it->second) {
+        Tuple combined = ConcatTuples(l, *r);
+        if (residual_ok(combined)) out.push_back(std::move(combined));
+      }
+    }
+  } else {
+    // Nested loop with the predicate applied inline (clustered sigma-x).
+    for (const Tuple& l : lhs) {
+      for (const Tuple& r : rhs) {
+        Tuple combined = ConcatTuples(l, r);
+        if (residual_ok(combined)) out.push_back(std::move(combined));
+      }
+    }
+  }
+  return Relation::FromTuples(out_arity, std::move(out));
+}
+
+Relation AggregateRelation(const Relation& input,
+                           const std::vector<size_t>& group_columns,
+                           AggFunc func, size_t agg_column) {
+  struct Acc {
+    int64_t count = 0;
+    int64_t int_sum = 0;
+    double dbl_sum = 0;
+    bool any_double = false;
+    bool any_number = false;
+    Value min_v;
+    Value max_v;
+  };
+  std::map<Tuple, Acc, TupleLess> groups;
+  for (const Tuple& t : input) {
+    Tuple key;
+    key.reserve(group_columns.size());
+    for (size_t c : group_columns) key.push_back(t[c]);
+    Acc& acc = groups[std::move(key)];
+    const Value& v = t[agg_column];
+    if (acc.count == 0) {
+      acc.min_v = v;
+      acc.max_v = v;
+    } else {
+      if (v.Compare(acc.min_v) < 0) acc.min_v = v;
+      if (v.Compare(acc.max_v) > 0) acc.max_v = v;
+    }
+    ++acc.count;
+    if (v.is_int()) {
+      acc.int_sum += v.AsInt();
+      acc.dbl_sum += static_cast<double>(v.AsInt());
+      acc.any_number = true;
+    } else if (v.is_double()) {
+      acc.dbl_sum += v.AsDouble();
+      acc.any_double = true;
+      acc.any_number = true;
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    Value agg;
+    switch (func) {
+      case AggFunc::kCount:
+        agg = Value::Int(acc.count);
+        break;
+      case AggFunc::kSum:
+        if (!acc.any_number) {
+          agg = Value::Nul();
+        } else if (acc.any_double) {
+          agg = Value::Double(acc.dbl_sum);
+        } else {
+          agg = Value::Int(acc.int_sum);
+        }
+        break;
+      case AggFunc::kMin:
+        agg = acc.min_v;
+        break;
+      case AggFunc::kMax:
+        agg = acc.max_v;
+        break;
+    }
+    Tuple row = key;
+    row.push_back(std::move(agg));
+    out.push_back(std::move(row));
+  }
+  return Relation::FromTuples(group_columns.size() + 1, std::move(out));
+}
+
+Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
+  HQL_CHECK(query != nullptr);
+  switch (query->kind()) {
+    case QueryKind::kRel:
+      return resolver.Resolve(query->rel_name());
+    case QueryKind::kEmpty:
+      return Relation(query->empty_arity());
+    case QueryKind::kSingleton:
+      return Relation::FromTuples(query->tuple().size(), {query->tuple()});
+    case QueryKind::kSelect: {
+      // Cluster sigma over x / join into a theta join.
+      const QueryPtr& child = query->left();
+      if (child->kind() == QueryKind::kProduct ||
+          child->kind() == QueryKind::kJoin) {
+        HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(child->left(), resolver));
+        HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(child->right(), resolver));
+        ScalarExprPtr pred = query->predicate();
+        if (child->kind() == QueryKind::kJoin) {
+          pred = ScalarExpr::Binary(ScalarOp::kAnd, pred, child->predicate());
+        }
+        return JoinRelations(l, r, pred);
+      }
+      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(child, resolver));
+      return FilterRelation(in, *query->predicate());
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(query->left(), resolver));
+      return ProjectRelation(in, query->columns());
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(query->left(), resolver));
+      return AggregateRelation(in, query->columns(), query->agg_func(),
+                               query->agg_column());
+    }
+    case QueryKind::kUnion: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
+      return l.UnionWith(r);
+    }
+    case QueryKind::kIntersect: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
+      return l.IntersectWith(r);
+    }
+    case QueryKind::kProduct: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
+      return l.ProductWith(r);
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
+      return JoinRelations(l, r, query->predicate());
+    }
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
+      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
+      return l.DifferenceWith(r);
+    }
+    case QueryKind::kWhen:
+      return Status::InvalidArgument(
+          "EvalRa evaluates pure RA queries only; use EvalDirect / Filter1 / "
+          "Filter2 for hypothetical queries");
+  }
+  return Status::Internal("unknown query kind in EvalRa");
+}
+
+}  // namespace hql

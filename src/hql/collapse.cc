@@ -1,0 +1,176 @@
+#include "hql/collapse.h"
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/typecheck.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+std::string PlaceholderName(size_t i) { return "#" + std::to_string(i); }
+
+bool IsPlaceholderName(const std::string& name) {
+  return !name.empty() && name[0] == '#';
+}
+
+namespace {
+
+struct Builder {
+  const Schema& schema;
+
+  explicit Builder(const Schema& s) : schema(s) {}
+
+  Result<CollapsedPtr> CollapseQuery(const QueryPtr& q) {
+    if (q->kind() == QueryKind::kWhen) return CollapseWhen(q);
+    // Maximal pure-RA region: walk down until `when` nodes, replacing each
+    // with a placeholder.
+    auto node = std::make_shared<CollapsedNode>();
+    node->kind = CollapsedKind::kBlock;
+    HQL_ASSIGN_OR_RETURN(node->block, BuildBlock(q, node.get()));
+    return CollapsedPtr(node);
+  }
+
+  Result<CollapsedPtr> CollapseWhen(const QueryPtr& q) {
+    HQL_CHECK(q->kind() == QueryKind::kWhen);
+    const HypoExprPtr& state = q->state();
+    auto node = std::make_shared<CollapsedNode>();
+    node->kind = CollapsedKind::kWhen;
+    HQL_ASSIGN_OR_RETURN(node->input, CollapseQuery(q->left()));
+    if (state->kind() == HypoKind::kSubst) {
+      for (const Binding& b : state->bindings()) {
+        HQL_ASSIGN_OR_RETURN(CollapsedPtr value, CollapseQuery(b.query));
+        node->bindings.push_back(CollapsedBinding{b.rel_name, value});
+      }
+      return CollapsedPtr(node);
+    }
+    if (state->kind() == HypoKind::kUpdateState) {
+      node->state_is_update = true;
+      HQL_RETURN_IF_ERROR(FlattenAtoms(state->update(), node.get()));
+      return CollapsedPtr(node);
+    }
+    return Status::InvalidArgument(
+        "Collapse requires an ENF or mod-ENF query (state uses #): " +
+        q->ToString());
+  }
+
+  // Flattens {A1; ...; An} left-to-right into owner->atoms.
+  Status FlattenAtoms(const UpdatePtr& u, CollapsedNode* owner) {
+    switch (u->kind()) {
+      case UpdateKind::kInsert:
+      case UpdateKind::kDelete: {
+        HQL_ASSIGN_OR_RETURN(CollapsedPtr arg, CollapseQuery(u->query()));
+        owner->atoms.push_back(CollapsedAtom{
+            u->kind() == UpdateKind::kInsert, u->rel_name(), arg});
+        return Status::OK();
+      }
+      case UpdateKind::kSeq:
+        HQL_RETURN_IF_ERROR(FlattenAtoms(u->first(), owner));
+        return FlattenAtoms(u->second(), owner);
+      case UpdateKind::kCond:
+        return Status::InvalidArgument(
+            "Collapse of an update state requires atomic ins/del only "
+            "(mod-ENF); found a conditional");
+    }
+    return Status::Internal("unknown update kind in Collapse");
+  }
+
+  // Rebuilds the pure-RA skeleton of `q`, punching a placeholder for every
+  // embedded `when` subtree (recorded as a hole on `owner`).
+  Result<QueryPtr> BuildBlock(const QueryPtr& q, CollapsedNode* owner) {
+    switch (q->kind()) {
+      case QueryKind::kRel:
+      case QueryKind::kEmpty:
+      case QueryKind::kSingleton:
+        return q;
+      case QueryKind::kSelect: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, BuildBlock(q->left(), owner));
+        if (c == q->left()) return q;
+        return Query::Select(q->predicate(), std::move(c));
+      }
+      case QueryKind::kProject: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, BuildBlock(q->left(), owner));
+        if (c == q->left()) return q;
+        return Query::Project(q->columns(), std::move(c));
+      }
+      case QueryKind::kAggregate: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, BuildBlock(q->left(), owner));
+        if (c == q->left()) return q;
+        return Query::Aggregate(q->columns(), q->agg_func(),
+                                q->agg_column(), std::move(c));
+      }
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kDifference: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr l, BuildBlock(q->left(), owner));
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, BuildBlock(q->right(), owner));
+        if (l == q->left() && r == q->right()) return q;
+        switch (q->kind()) {
+          case QueryKind::kUnion:
+            return Query::Union(std::move(l), std::move(r));
+          case QueryKind::kIntersect:
+            return Query::Intersect(std::move(l), std::move(r));
+          case QueryKind::kProduct:
+            return Query::Product(std::move(l), std::move(r));
+          default:
+            return Query::Difference(std::move(l), std::move(r));
+        }
+      }
+      case QueryKind::kJoin: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr l, BuildBlock(q->left(), owner));
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, BuildBlock(q->right(), owner));
+        if (l == q->left() && r == q->right()) return q;
+        return Query::Join(q->predicate(), std::move(l), std::move(r));
+      }
+      case QueryKind::kWhen: {
+        size_t index = owner->holes.size();
+        HQL_ASSIGN_OR_RETURN(CollapsedPtr hole, CollapseWhen(q));
+        HQL_ASSIGN_OR_RETURN(size_t arity, InferQueryArity(q, schema));
+        owner->holes.push_back(std::move(hole));
+        owner->hole_arities.push_back(arity);
+        return Query::Rel(PlaceholderName(index));
+      }
+    }
+    return Status::Internal("unknown query kind in Collapse");
+  }
+};
+
+std::string ToStr(const CollapsedPtr& n) {
+  if (n->kind == CollapsedKind::kBlock) {
+    std::string out = "block(" + n->block->ToString();
+    for (size_t i = 0; i < n->holes.size(); ++i) {
+      out += "; " + PlaceholderName(i) + "=" + ToStr(n->holes[i]);
+    }
+    return out + ")";
+  }
+  std::string out = "when(" + ToStr(n->input) + ", {";
+  if (n->state_is_update) {
+    for (size_t i = 0; i < n->atoms.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += std::string(n->atoms[i].is_insert ? "ins(" : "del(") +
+             n->atoms[i].rel_name + ", " + ToStr(n->atoms[i].arg) + ")";
+    }
+  } else {
+    for (size_t i = 0; i < n->bindings.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToStr(n->bindings[i].value) + "/" + n->bindings[i].rel_name;
+    }
+  }
+  return out + "})";
+}
+
+}  // namespace
+
+Result<CollapsedPtr> Collapse(const QueryPtr& query, const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  Builder builder(schema);
+  return builder.CollapseQuery(query);
+}
+
+std::string CollapsedToString(const CollapsedPtr& node) {
+  HQL_CHECK(node != nullptr);
+  return ToStr(node);
+}
+
+}  // namespace hql

@@ -1,0 +1,77 @@
+#ifndef HQL_HQL_COLLAPSE_H_
+#define HQL_HQL_COLLAPSE_H_
+
+// The `collapse` operator of paper Section 5.4: groups maximal pure-RA
+// regions of an ENF syntax tree into single "block" nodes
+// Q[S1,...,Sm, R1,...,Rk], so that an optimized relational evaluator can
+// cluster several algebraic operators into one physical operation
+// (Algorithm HQL-2 / filter2), instead of evaluating node by node
+// (Algorithm HQL-1 / filter1).
+//
+// A collapsed tree has two node kinds:
+//   * kBlock — a pure RA query whose leaves are base relation names and
+//     placeholder names "#0", "#1", ... ; placeholder #i stands for the
+//     i-th hole, itself a collapsed subtree (always rooted at a `when`).
+//   * kWhen — an input subtree filtered through a hypothetical state: for
+//     ENF trees an explicit substitution whose binding values are collapsed
+//     subtrees; for mod-ENF trees (Section 5.5) a chain of atomic
+//     inserts/deletes whose arguments are collapsed subtrees.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+struct CollapsedNode;
+using CollapsedPtr = std::shared_ptr<const CollapsedNode>;
+
+enum class CollapsedKind { kBlock, kWhen };
+
+struct CollapsedBinding {
+  std::string rel_name;
+  CollapsedPtr value;
+};
+
+/// One atomic update of a mod-ENF state {A1; ...; An}.
+struct CollapsedAtom {
+  bool is_insert = true;
+  std::string rel_name;
+  CollapsedPtr arg;
+};
+
+struct CollapsedNode {
+  CollapsedKind kind = CollapsedKind::kBlock;
+
+  // kBlock: pure RA query over base names and "#i" placeholders.
+  QueryPtr block;
+  std::vector<CollapsedPtr> holes;     // holes[i] realizes placeholder "#i"
+  std::vector<size_t> hole_arities;    // arity of each hole
+
+  // kWhen.
+  CollapsedPtr input;
+  bool state_is_update = false;          // false: bindings; true: atoms
+  std::vector<CollapsedBinding> bindings;
+  std::vector<CollapsedAtom> atoms;
+};
+
+/// Returns the placeholder relation name for hole `i` ("#i").
+std::string PlaceholderName(size_t i);
+
+/// True if `name` is a placeholder produced by Collapse.
+bool IsPlaceholderName(const std::string& name);
+
+/// Collapses an ENF or mod-ENF query (InvalidArgument otherwise: every
+/// state must be an explicit substitution or an atomic-update chain).
+Result<CollapsedPtr> Collapse(const QueryPtr& query, const Schema& schema);
+
+/// Debug rendering, e.g. "when(block(#0 join S; #0=when(...)), {Q/R})".
+std::string CollapsedToString(const CollapsedPtr& node);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_COLLAPSE_H_

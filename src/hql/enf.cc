@@ -1,0 +1,374 @@
+#include "hql/enf.h"
+
+#include <set>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "hql/free_dom.h"
+#include "hql/rewrite_when.h"
+#include "hql/slice.h"
+
+namespace hql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// IsEnf / IsModEnf.
+// ---------------------------------------------------------------------------
+
+bool EnfQueryCheck(const QueryPtr& q);
+
+bool EnfHypoCheck(const HypoExprPtr& h) {
+  if (h->kind() != HypoKind::kSubst) return false;
+  for (const Binding& b : h->bindings()) {
+    if (!EnfQueryCheck(b.query)) return false;
+  }
+  return true;
+}
+
+bool EnfQueryCheck(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return true;
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      return EnfQueryCheck(q->left());
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference:
+      return EnfQueryCheck(q->left()) && EnfQueryCheck(q->right());
+    case QueryKind::kWhen:
+      return EnfQueryCheck(q->left()) && EnfHypoCheck(q->state());
+  }
+  HQL_UNREACHABLE();
+}
+
+bool ModQueryCheck(const QueryPtr& q);
+
+bool ModUpdateCheck(const UpdatePtr& u) {
+  switch (u->kind()) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return ModQueryCheck(u->query());
+    case UpdateKind::kSeq:
+      return ModUpdateCheck(u->first()) && ModUpdateCheck(u->second());
+    case UpdateKind::kCond:
+      return false;
+  }
+  HQL_UNREACHABLE();
+}
+
+bool ModQueryCheck(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return true;
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      return ModQueryCheck(q->left());
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference:
+      return ModQueryCheck(q->left()) && ModQueryCheck(q->right());
+    case QueryKind::kWhen:
+      return ModQueryCheck(q->left()) &&
+             q->state()->kind() == HypoKind::kUpdateState &&
+             ModUpdateCheck(q->state()->update());
+  }
+  HQL_UNREACHABLE();
+}
+
+// ---------------------------------------------------------------------------
+// ToEnf.
+// ---------------------------------------------------------------------------
+
+Result<QueryPtr> EnfQuery(const QueryPtr& q, const Schema& schema);
+
+Result<HypoExprPtr> EnfHypo(const HypoExprPtr& h, const Schema& schema);
+
+/// Composes two explicit substitutions into one (compute-composition).
+HypoExprPtr ComposeExplicit(const HypoExprPtr& e1, const HypoExprPtr& e2) {
+  HypoExprPtr composed =
+      equiv::ComputeComposition(HypoExpr::Compose(e1, e2));
+  HQL_CHECK(composed != nullptr);
+  return composed;
+}
+
+Result<HypoExprPtr> EnfUpdate(const UpdatePtr& u, const Schema& schema) {
+  switch (u->kind()) {
+    case UpdateKind::kInsert: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr arg, EnfQuery(u->query(), schema));
+      return HypoExpr::Subst({Binding{
+          u->rel_name(),
+          Query::Union(Query::Rel(u->rel_name()), std::move(arg))}});
+    }
+    case UpdateKind::kDelete: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr arg, EnfQuery(u->query(), schema));
+      return HypoExpr::Subst({Binding{
+          u->rel_name(),
+          Query::Difference(Query::Rel(u->rel_name()), std::move(arg))}});
+    }
+    case UpdateKind::kSeq: {
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e1, EnfUpdate(u->first(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e2, EnfUpdate(u->second(), schema));
+      return ComposeExplicit(e1, e2);
+    }
+    case UpdateKind::kCond: {
+      // The slice encoding of Section 6, built syntactically so the branch
+      // substitutions may contain `when`.
+      HQL_ASSIGN_OR_RETURN(QueryPtr guard, EnfQuery(u->guard(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr then_e,
+                           EnfUpdate(u->then_branch(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr else_e,
+                           EnfUpdate(u->else_branch(), schema));
+      NameSet names = DomNames(u);
+      std::vector<Binding> out;
+      for (const std::string& name : names) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, schema.ArityOf(name));
+        QueryPtr q1 = then_e->BindingFor(name);
+        if (q1 == nullptr) q1 = Query::Rel(name);
+        QueryPtr q2 = else_e->BindingFor(name);
+        if (q2 == nullptr) q2 = Query::Rel(name);
+        out.push_back(Binding{
+            name, Query::Union(GuardQuery(q1, arity, guard),
+                               Query::Difference(
+                                   q2, GuardQuery(q2, arity, guard)))});
+      }
+      return HypoExpr::Subst(std::move(out));
+    }
+  }
+  return Status::Internal("unknown update kind in ToEnf");
+}
+
+Result<HypoExprPtr> EnfHypo(const HypoExprPtr& h, const Schema& schema) {
+  switch (h->kind()) {
+    case HypoKind::kSubst: {
+      std::vector<Binding> out;
+      out.reserve(h->bindings().size());
+      for (const Binding& b : h->bindings()) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr q, EnfQuery(b.query, schema));
+        out.push_back(Binding{b.rel_name, std::move(q)});
+      }
+      return HypoExpr::Subst(std::move(out));
+    }
+    case HypoKind::kUpdateState:
+      return EnfUpdate(h->update(), schema);
+    case HypoKind::kCompose: {
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e1, EnfHypo(h->first(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e2, EnfHypo(h->second(), schema));
+      return ComposeExplicit(e1, e2);
+    }
+    case HypoKind::kStateWhen: {
+      // eta1's bindings are evaluated in eta2's world: wrap each binding
+      // query with `when e2`; eta2's own bindings do not survive.
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e1, EnfHypo(h->first(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr e2, EnfHypo(h->second(), schema));
+      std::vector<Binding> out;
+      out.reserve(e1->bindings().size());
+      for (const Binding& b : e1->bindings()) {
+        out.push_back(Binding{
+            b.rel_name, e2->bindings().empty()
+                            ? b.query
+                            : Query::When(b.query, e2)});
+      }
+      return HypoExpr::Subst(std::move(out));
+    }
+  }
+  return Status::Internal("unknown hypothetical-state kind in ToEnf");
+}
+
+Result<QueryPtr> EnfQuery(const QueryPtr& q, const Schema& schema) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return q;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, EnfQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Select(q->predicate(), std::move(c));
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, EnfQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Project(q->columns(), std::move(c));
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, EnfQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                              std::move(c));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, EnfQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, EnfQuery(q->right(), schema));
+      if (l == q->left() && r == q->right()) return q;
+      switch (q->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, EnfQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, EnfQuery(q->right(), schema));
+      if (l == q->left() && r == q->right()) return q;
+      return Query::Join(q->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr body, EnfQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr state, EnfHypo(q->state(), schema));
+      return Query::When(std::move(body), std::move(state));
+    }
+  }
+  return Status::Internal("unknown query kind in ToEnf");
+}
+
+// ---------------------------------------------------------------------------
+// ToModEnf.
+// ---------------------------------------------------------------------------
+
+Result<QueryPtr> ModQuery(const QueryPtr& q, const Schema& schema);
+
+Result<UpdatePtr> ModUpdate(const UpdatePtr& u, const Schema& schema) {
+  switch (u->kind()) {
+    case UpdateKind::kInsert: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr arg, ModQuery(u->query(), schema));
+      if (arg == u->query()) return u;
+      return Update::Insert(u->rel_name(), std::move(arg));
+    }
+    case UpdateKind::kDelete: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr arg, ModQuery(u->query(), schema));
+      if (arg == u->query()) return u;
+      return Update::Delete(u->rel_name(), std::move(arg));
+    }
+    case UpdateKind::kSeq: {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr a, ModUpdate(u->first(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr b, ModUpdate(u->second(), schema));
+      if (a == u->first() && b == u->second()) return u;
+      return Update::Seq(std::move(a), std::move(b));
+    }
+    case UpdateKind::kCond:
+      return Status::Unimplemented(
+          "conditional updates have no mod-ENF form; use ENF (HQL-2)");
+  }
+  return Status::Internal("unknown update kind in ToModEnf");
+}
+
+Result<UpdatePtr> ModHypo(const HypoExprPtr& h, const Schema& schema) {
+  switch (h->kind()) {
+    case HypoKind::kUpdateState:
+      return ModUpdate(h->update(), schema);
+    case HypoKind::kCompose: {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr a, ModHypo(h->first(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr b, ModHypo(h->second(), schema));
+      return Update::Seq(std::move(a), std::move(b));
+    }
+    case HypoKind::kSubst:
+      return Status::Unimplemented(
+          "explicit substitutions have no general mod-ENF form; use ENF "
+          "(HQL-2)");
+    case HypoKind::kStateWhen:
+      return Status::Unimplemented(
+          "state-level when has no mod-ENF form; use ENF (HQL-2)");
+  }
+  return Status::Internal("unknown hypothetical-state kind in ToModEnf");
+}
+
+Result<QueryPtr> ModQuery(const QueryPtr& q, const Schema& schema) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return q;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, ModQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Select(q->predicate(), std::move(c));
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, ModQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Project(q->columns(), std::move(c));
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, ModQuery(q->left(), schema));
+      if (c == q->left()) return q;
+      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                              std::move(c));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, ModQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, ModQuery(q->right(), schema));
+      if (l == q->left() && r == q->right()) return q;
+      switch (q->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, ModQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, ModQuery(q->right(), schema));
+      if (l == q->left() && r == q->right()) return q;
+      return Query::Join(q->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr body, ModQuery(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr u, ModHypo(q->state(), schema));
+      return Query::When(std::move(body), HypoExpr::UpdateState(std::move(u)));
+    }
+  }
+  return Status::Internal("unknown query kind in ToModEnf");
+}
+
+}  // namespace
+
+bool IsEnf(const QueryPtr& query) {
+  HQL_CHECK(query != nullptr);
+  return EnfQueryCheck(query);
+}
+
+Result<QueryPtr> ToEnf(const QueryPtr& query, const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  return EnfQuery(query, schema);
+}
+
+bool IsModEnf(const QueryPtr& query) {
+  HQL_CHECK(query != nullptr);
+  return ModQueryCheck(query);
+}
+
+Result<QueryPtr> ToModEnf(const QueryPtr& query, const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  return ModQuery(query, schema);
+}
+
+}  // namespace hql

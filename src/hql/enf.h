@@ -1,0 +1,40 @@
+#ifndef HQL_HQL_ENF_H_
+#define HQL_HQL_ENF_H_
+
+// Evaluable Normal Form and modified ENF (paper Sections 5.2 and 5.5).
+//
+// An HQL query is in ENF when it contains no composition (#) and no update
+// state {U}: every hypothetical-state expression is an explicit
+// substitution (whose binding queries may themselves contain `when`). ENF
+// trees drive Algorithms HQL-1 and HQL-2.
+//
+// A query is in mod-ENF when, instead, every hypothetical state has the
+// form {A1; ...; An} with each Ai an atomic insert or delete. Mod-ENF trees
+// drive the delta-based Algorithm HQL-3. Explicit substitutions and
+// conditional updates have no general mod-ENF image, so ToModEnf reports
+// Unimplemented for them and the planner falls back to HQL-2.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// True iff every state inside `query` is an explicit substitution.
+bool IsEnf(const QueryPtr& query);
+
+/// Rewrites `query` into an equivalent ENF query using convert-to-explicit,
+/// compute-composition and the slice encoding for conditional updates.
+Result<QueryPtr> ToEnf(const QueryPtr& query, const Schema& schema);
+
+/// True iff every state inside `query` is {A1; ...; An} with atomic Ai.
+bool IsModEnf(const QueryPtr& query);
+
+/// Rewrites `query` so every state is an atomic-update chain, when
+/// possible: flattens {U1} # {U2} into {U1; U2}; Unimplemented if the query
+/// contains explicit substitutions or conditional updates.
+Result<QueryPtr> ToModEnf(const QueryPtr& query, const Schema& schema);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_ENF_H_

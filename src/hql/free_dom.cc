@@ -1,0 +1,168 @@
+#include "hql/free_dom.h"
+
+#include <algorithm>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/check.h"
+
+namespace hql {
+
+namespace {
+
+void UnionInto(NameSet* dst, const NameSet& src) {
+  dst->insert(src.begin(), src.end());
+}
+
+NameSet Minus(NameSet a, const NameSet& b) {
+  for (const std::string& n : b) a.erase(n);
+  return a;
+}
+
+}  // namespace
+
+NameSet FreeNames(const QueryPtr& query) {
+  HQL_CHECK(query != nullptr);
+  switch (query->kind()) {
+    case QueryKind::kRel:
+      return {query->rel_name()};
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return {};
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      return FreeNames(query->left());
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference: {
+      NameSet s = FreeNames(query->left());
+      UnionInto(&s, FreeNames(query->right()));
+      return s;
+    }
+    case QueryKind::kWhen: {
+      // free(eta) u (free(Q) - dom(eta)).
+      NameSet s = FreeNames(query->state());
+      UnionInto(&s, Minus(FreeNames(query->left()), DomNames(query->state())));
+      return s;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+NameSet FreeNames(const UpdatePtr& update) {
+  HQL_CHECK(update != nullptr);
+  switch (update->kind()) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete: {
+      // {R} u free(Q): the atomic update reads its target's old value
+      // (see the header comment on the deviation from Figure 2).
+      NameSet s = FreeNames(update->query());
+      s.insert(update->rel_name());
+      return s;
+    }
+    case UpdateKind::kSeq: {
+      NameSet s = FreeNames(update->first());
+      UnionInto(&s, Minus(FreeNames(update->second()),
+                          DomNames(update->first())));
+      return s;
+    }
+    case UpdateKind::kCond: {
+      NameSet s = FreeNames(update->guard());
+      UnionInto(&s, FreeNames(update->then_branch()));
+      UnionInto(&s, FreeNames(update->else_branch()));
+      return s;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+NameSet FreeNames(const HypoExprPtr& state) {
+  HQL_CHECK(state != nullptr);
+  switch (state->kind()) {
+    case HypoKind::kUpdateState:
+      return FreeNames(state->update());
+    case HypoKind::kSubst: {
+      NameSet s;
+      for (const Binding& b : state->bindings()) {
+        UnionInto(&s, FreeNames(b.query));
+      }
+      return s;
+    }
+    case HypoKind::kCompose: {
+      NameSet s = FreeNames(state->first());
+      UnionInto(&s, Minus(FreeNames(state->second()),
+                          DomNames(state->first())));
+      return s;
+    }
+    case HypoKind::kStateWhen: {
+      // eta1's reads resolve in eta2's world, like a query under `when`.
+      NameSet s = FreeNames(state->second());
+      UnionInto(&s, Minus(FreeNames(state->first()),
+                          DomNames(state->second())));
+      return s;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+NameSet DomNames(const UpdatePtr& update) {
+  HQL_CHECK(update != nullptr);
+  switch (update->kind()) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      return {update->rel_name()};
+    case UpdateKind::kSeq: {
+      NameSet s = DomNames(update->first());
+      UnionInto(&s, DomNames(update->second()));
+      return s;
+    }
+    case UpdateKind::kCond: {
+      NameSet s = DomNames(update->then_branch());
+      UnionInto(&s, DomNames(update->else_branch()));
+      return s;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+NameSet DomNames(const HypoExprPtr& state) {
+  HQL_CHECK(state != nullptr);
+  switch (state->kind()) {
+    case HypoKind::kUpdateState:
+      return DomNames(state->update());
+    case HypoKind::kSubst: {
+      NameSet s;
+      for (const Binding& b : state->bindings()) s.insert(b.rel_name);
+      return s;
+    }
+    case HypoKind::kCompose: {
+      NameSet s = DomNames(state->first());
+      UnionInto(&s, DomNames(state->second()));
+      return s;
+    }
+    case HypoKind::kStateWhen:
+      // Only eta1's writes land; eta2 is a hypothetical context.
+      return DomNames(state->first());
+  }
+  HQL_UNREACHABLE();
+}
+
+bool Disjoint(const NameSet& a, const NameSet& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return false;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return true;
+}
+
+}  // namespace hql

@@ -1,0 +1,58 @@
+#ifndef HQL_HQL_FREE_DOM_H_
+#define HQL_HQL_FREE_DOM_H_
+
+// The functions free(.) and dom(.) of the paper's Figure 2. They articulate
+// the scoping rules of `when`:
+//
+//   free(Q)            all relation names in Q,                 Q in RA
+//   free(Q when eta) = free(eta) u (free(Q) - dom(eta))
+//   free(ins(R,Q))   = {R} u free(Q)      dom(ins(R,Q))   = {R}
+//   free(del(R,Q))   = {R} u free(Q)      dom(del(R,Q))   = {R}
+//   free((U1;U2))    = free(U1) u (free(U2) - dom(U1))
+//                                         dom((U1;U2))    = dom(U1) u dom(U2)
+//   free({Q1/R1,..}) = U free(Qi)         dom({Q1/R1,..}) = {R1,..}
+//   free({U})        = free(U)            dom({U})        = dom(U)
+//   free(e1 # e2)    = free(e1) u (free(e2) - dom(e1))
+//                                         dom(e1 # e2)    = dom(e1) u dom(e2)
+//   free(e1 when e2) = free(e2) u (free(e1) - dom(e2))
+//                                         dom(e1 when e2) = dom(e1)
+//
+// DEVIATION FROM THE PAPER'S FIGURE 2 (as printed): the paper lists
+// free(ins(R,Q)) = free(Q), omitting R. That reading is unsound: an atomic
+// insert/delete *reads* the old value of its target (R := R u Q), so in
+// free((U1;U2)) = free(U1) u (free(U2) - dom(U1)) the subtraction would
+// shield a later read of R behind an earlier partial write, and binding
+// removal ("Q when eps == Q when eps-R if R not free in Q") would then
+// drop a binding the update still depends on. Our randomized soundness
+// suite finds concrete counterexamples. Explicit-substitution bindings
+// R := Q *do* fully redefine R, so the subtraction stays exact for them.
+// We therefore use free(ins(R,Q)) = free(del(R,Q)) = {R} u free(Q).
+//
+// The conditional-update extension (Section 6) adds:
+//   free(if Q then U1 else U2) = free(Q) u free(U1) u free(U2)
+//   dom(if Q then U1 else U2)  = dom(U1) u dom(U2)
+// (both branches' reads and writes are visible, since which branch runs is
+// data-dependent).
+
+#include <set>
+#include <string>
+
+#include "ast/forward.h"
+
+namespace hql {
+
+using NameSet = std::set<std::string>;
+
+NameSet FreeNames(const QueryPtr& query);
+NameSet FreeNames(const UpdatePtr& update);
+NameSet FreeNames(const HypoExprPtr& state);
+
+NameSet DomNames(const UpdatePtr& update);
+NameSet DomNames(const HypoExprPtr& state);
+
+/// Convenience: a intersect b is empty.
+bool Disjoint(const NameSet& a, const NameSet& b);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_FREE_DOM_H_

@@ -1,0 +1,135 @@
+#include "hql/pushdown.h"
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "common/check.h"
+#include "hql/enf.h"
+#include "hql/rewrite_when.h"
+
+namespace hql {
+
+namespace {
+
+// Pushes one `when` node (with an explicit-substitution state whose
+// bindings are already pure RA) down to the leaves using only the Figure 1
+// rules. `budget` counts remaining push levels (< 0: unbounded).
+QueryPtr PushWhen(const QueryPtr& when_node, int budget) {
+  HQL_CHECK(when_node->kind() == QueryKind::kWhen);
+
+  // Leaf eliminations first.
+  if (QueryPtr r = equiv::RelWhenSubst(when_node); r != nullptr) return r;
+  if (QueryPtr r = equiv::SingletonWhen(when_node); r != nullptr) return r;
+  if (QueryPtr r = equiv::EmptyWhen(when_node); r != nullptr) return r;
+  // Binding removal / identity bindings / Q when {} == Q.
+  if (QueryPtr r = equiv::SubstSimplify(when_node); r != nullptr) {
+    if (r->kind() != QueryKind::kWhen) return r;  // fully eliminated
+    return PushWhen(r, budget);  // fewer bindings; keep pushing
+  }
+  if (budget == 0) return when_node;  // leave the residual `when`
+
+  // Nested when in the body: fold the two states into one (replace-
+  // nested-when + compute-composition keep us in explicit form).
+  if (when_node->left()->kind() == QueryKind::kWhen) {
+    QueryPtr folded = equiv::ReplaceNestedWhen(when_node);
+    HQL_CHECK(folded != nullptr);
+    HypoExprPtr composed = equiv::ComputeComposition(folded->state());
+    HQL_CHECK(composed != nullptr);
+    return PushWhen(Query::When(folded->left(), composed), budget);
+  }
+
+  int next = budget < 0 ? -1 : budget - 1;
+  if (QueryPtr r = equiv::PushWhenUnary(when_node); r != nullptr) {
+    // r = u_op(child when eta): recurse into the new when child.
+    QueryPtr pushed = PushWhen(r->left(), next);
+    switch (r->kind()) {
+      case QueryKind::kSelect:
+        return Query::Select(r->predicate(), std::move(pushed));
+      case QueryKind::kProject:
+        return Query::Project(r->columns(), std::move(pushed));
+      case QueryKind::kAggregate:
+        return Query::Aggregate(r->columns(), r->agg_func(), r->agg_column(),
+                                std::move(pushed));
+      default:
+        HQL_UNREACHABLE();
+    }
+  }
+  if (QueryPtr r = equiv::PushWhenBinary(when_node); r != nullptr) {
+    QueryPtr l = PushWhen(r->left(), next);
+    QueryPtr rr = PushWhen(r->right(), next);
+    switch (r->kind()) {
+      case QueryKind::kUnion:
+        return Query::Union(std::move(l), std::move(rr));
+      case QueryKind::kIntersect:
+        return Query::Intersect(std::move(l), std::move(rr));
+      case QueryKind::kProduct:
+        return Query::Product(std::move(l), std::move(rr));
+      case QueryKind::kJoin:
+        return Query::Join(r->predicate(), std::move(l), std::move(rr));
+      case QueryKind::kDifference:
+        return Query::Difference(std::move(l), std::move(rr));
+      default:
+        HQL_UNREACHABLE();
+    }
+  }
+  return when_node;  // nothing applies (should not happen on ENF input)
+}
+
+// Bottom-up: push every `when` in the tree.
+QueryPtr PushAll(const QueryPtr& q, int budget) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return q;
+    case QueryKind::kSelect:
+      return Query::Select(q->predicate(), PushAll(q->left(), budget));
+    case QueryKind::kProject:
+      return Query::Project(q->columns(), PushAll(q->left(), budget));
+    case QueryKind::kAggregate:
+      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                              PushAll(q->left(), budget));
+    case QueryKind::kUnion:
+      return Query::Union(PushAll(q->left(), budget),
+                          PushAll(q->right(), budget));
+    case QueryKind::kIntersect:
+      return Query::Intersect(PushAll(q->left(), budget),
+                              PushAll(q->right(), budget));
+    case QueryKind::kProduct:
+      return Query::Product(PushAll(q->left(), budget),
+                            PushAll(q->right(), budget));
+    case QueryKind::kJoin:
+      return Query::Join(q->predicate(), PushAll(q->left(), budget),
+                         PushAll(q->right(), budget));
+    case QueryKind::kDifference:
+      return Query::Difference(PushAll(q->left(), budget),
+                               PushAll(q->right(), budget));
+    case QueryKind::kWhen: {
+      // Push inside the body and the bindings first, then this node.
+      QueryPtr body = PushAll(q->left(), budget);
+      HQL_CHECK(q->state()->kind() == HypoKind::kSubst);
+      std::vector<Binding> bindings;
+      for (const Binding& b : q->state()->bindings()) {
+        bindings.push_back(Binding{b.rel_name, PushAll(b.query, budget)});
+      }
+      return PushWhen(
+          Query::When(std::move(body), HypoExpr::Subst(std::move(bindings))),
+          budget);
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+}  // namespace
+
+Result<QueryPtr> PushdownReduce(const QueryPtr& query, const Schema& schema) {
+  return PushdownPartial(query, schema, -1);
+}
+
+Result<QueryPtr> PushdownPartial(const QueryPtr& query, const Schema& schema,
+                                 int max_push_depth) {
+  HQL_CHECK(query != nullptr);
+  HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
+  return PushAll(enf, max_push_depth);
+}
+
+}  // namespace hql

@@ -1,0 +1,34 @@
+#ifndef HQL_HQL_PUSHDOWN_H_
+#define HQL_HQL_PUSHDOWN_H_
+
+// An alternative fully lazy pipeline built *entirely* from the EQUIV_when
+// rewrite rules of Figure 1 (hql/rewrite_when.h): convert states to
+// explicit substitutions, then repeatedly distribute `when` through the
+// algebra (push-when-into-algebra-expressions) until it reaches base
+// relations, where it is eliminated (R when eps == eps(R) or R).
+//
+// Semantically this coincides with the substitution-based reduction
+// red(·) of Section 4.3 — the property tests assert the two produce
+// structurally equal queries — but it demonstrates that the paper's rule
+// family is complete for reaching pure relational algebra, and it gives
+// the optimizer a second, finer-grained path that can stop pushing at any
+// intermediate level (a partial push is a hybrid plan).
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// Rewrites `query` to pure RA using only EQUIV_when rule applications.
+Result<QueryPtr> PushdownReduce(const QueryPtr& query, const Schema& schema);
+
+/// One-level-limited variant: pushes each `when` at most `max_push_depth`
+/// algebra levels deep, leaving residual `when` nodes below (still ENF and
+/// evaluable by filter1/filter2). max_push_depth < 0 means unbounded.
+Result<QueryPtr> PushdownPartial(const QueryPtr& query, const Schema& schema,
+                                 int max_push_depth);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_PUSHDOWN_H_

@@ -1,0 +1,642 @@
+#include "hql/ra_rewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/typecheck.h"
+#include "common/check.h"
+
+namespace hql {
+
+namespace {
+
+bool IsLiteralBool(const ScalarExprPtr& e, bool value) {
+  return e->kind() == ScalarKind::kLiteral && e->literal().is_bool() &&
+         e->literal().AsBool() == value;
+}
+
+ScalarExprPtr TrueLit() { return ScalarExpr::Literal(Value::Bool(true)); }
+ScalarExprPtr FalseLit() { return ScalarExpr::Literal(Value::Bool(false)); }
+
+bool IsComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ScalarOp NegateComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+      return ScalarOp::kNe;
+    case ScalarOp::kNe:
+      return ScalarOp::kEq;
+    case ScalarOp::kLt:
+      return ScalarOp::kGe;
+    case ScalarOp::kLe:
+      return ScalarOp::kGt;
+    case ScalarOp::kGt:
+      return ScalarOp::kLe;
+    case ScalarOp::kGe:
+      return ScalarOp::kLt;
+    default:
+      HQL_UNREACHABLE();
+  }
+}
+
+ScalarOp MirrorComparison(ScalarOp op) {
+  // (a op b) == (b mirror(op) a).
+  switch (op) {
+    case ScalarOp::kEq:
+      return ScalarOp::kEq;
+    case ScalarOp::kNe:
+      return ScalarOp::kNe;
+    case ScalarOp::kLt:
+      return ScalarOp::kGt;
+    case ScalarOp::kLe:
+      return ScalarOp::kGe;
+    case ScalarOp::kGt:
+      return ScalarOp::kLt;
+    case ScalarOp::kGe:
+      return ScalarOp::kLe;
+    default:
+      HQL_UNREACHABLE();
+  }
+}
+
+// One conjunct of the canonical form: either a single-column bound
+// `$col op literal` or an opaque residual expression.
+struct ColumnBound {
+  size_t column;
+  ScalarOp op;  // kEq, kNe, kLt, kLe, kGt, kGe
+  Value bound;
+};
+
+std::optional<ColumnBound> AsColumnBound(const ScalarExprPtr& e) {
+  if (e->kind() != ScalarKind::kBinary || !IsComparison(e->op())) {
+    return std::nullopt;
+  }
+  const ScalarExprPtr& l = e->lhs();
+  const ScalarExprPtr& r = e->rhs();
+  if (l->kind() == ScalarKind::kColumn && r->kind() == ScalarKind::kLiteral) {
+    return ColumnBound{l->column(), e->op(), r->literal()};
+  }
+  if (l->kind() == ScalarKind::kLiteral && r->kind() == ScalarKind::kColumn) {
+    return ColumnBound{r->column(), MirrorComparison(e->op()), l->literal()};
+  }
+  return std::nullopt;
+}
+
+// Half-open-ended interval over the Value total order.
+struct Interval {
+  std::optional<Value> lo;
+  bool lo_strict = false;
+  std::optional<Value> hi;
+  bool hi_strict = false;
+  std::vector<Value> not_equal;  // accumulated kNe bounds
+  bool contradictory = false;
+
+  void Add(const ColumnBound& b) {
+    switch (b.op) {
+      case ScalarOp::kEq:
+        AddLo(b.bound, false);
+        AddHi(b.bound, false);
+        break;
+      case ScalarOp::kNe:
+        not_equal.push_back(b.bound);
+        break;
+      case ScalarOp::kLt:
+        AddHi(b.bound, true);
+        break;
+      case ScalarOp::kLe:
+        AddHi(b.bound, false);
+        break;
+      case ScalarOp::kGt:
+        AddLo(b.bound, true);
+        break;
+      case ScalarOp::kGe:
+        AddLo(b.bound, false);
+        break;
+      default:
+        HQL_UNREACHABLE();
+    }
+  }
+
+  void AddLo(const Value& v, bool strict) {
+    if (!lo.has_value() || v.Compare(*lo) > 0 ||
+        (v.Compare(*lo) == 0 && strict)) {
+      lo = v;
+      lo_strict = strict;
+    }
+  }
+
+  void AddHi(const Value& v, bool strict) {
+    if (!hi.has_value() || v.Compare(*hi) < 0 ||
+        (v.Compare(*hi) == 0 && strict)) {
+      hi = v;
+      hi_strict = strict;
+    }
+  }
+
+  void Finalize() {
+    if (lo.has_value() && hi.has_value()) {
+      int c = lo->Compare(*hi);
+      if (c > 0 || (c == 0 && (lo_strict || hi_strict))) {
+        contradictory = true;
+        return;
+      }
+    }
+    // A point interval [c, c] excluded by a not-equal is contradictory.
+    if (lo.has_value() && hi.has_value() && lo->Compare(*hi) == 0) {
+      for (const Value& ne : not_equal) {
+        if (ne.Compare(*lo) == 0) {
+          contradictory = true;
+          return;
+        }
+      }
+    }
+    // Drop not-equals that fall outside the interval; dedup the rest.
+    std::vector<Value> kept;
+    for (const Value& ne : not_equal) {
+      if (lo.has_value()) {
+        int c = ne.Compare(*lo);
+        if (c < 0 || (c == 0 && lo_strict)) continue;
+      }
+      if (hi.has_value()) {
+        int c = ne.Compare(*hi);
+        if (c > 0 || (c == 0 && hi_strict)) continue;
+      }
+      bool dup = false;
+      for (const Value& k : kept) {
+        if (k.Compare(ne) == 0) dup = true;
+      }
+      if (!dup) kept.push_back(ne);
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    not_equal = std::move(kept);
+  }
+
+  // Emits canonical conjuncts for this column.
+  void Emit(size_t column, std::vector<ScalarExprPtr>* out) const {
+    ScalarExprPtr col = ScalarExpr::Column(column);
+    if (lo.has_value() && hi.has_value() && lo->Compare(*hi) == 0 &&
+        !lo_strict && !hi_strict) {
+      out->push_back(ScalarExpr::Binary(ScalarOp::kEq, col,
+                                        ScalarExpr::Literal(*lo)));
+      return;
+    }
+    if (lo.has_value()) {
+      out->push_back(ScalarExpr::Binary(
+          lo_strict ? ScalarOp::kGt : ScalarOp::kGe, col,
+          ScalarExpr::Literal(*lo)));
+    }
+    if (hi.has_value()) {
+      out->push_back(ScalarExpr::Binary(
+          hi_strict ? ScalarOp::kLt : ScalarOp::kLe, col,
+          ScalarExpr::Literal(*hi)));
+    }
+    for (const Value& ne : not_equal) {
+      out->push_back(
+          ScalarExpr::Binary(ScalarOp::kNe, col, ScalarExpr::Literal(ne)));
+    }
+  }
+};
+
+void FlattenAnd(const ScalarExprPtr& e, std::vector<ScalarExprPtr>* out) {
+  if (e->kind() == ScalarKind::kBinary && e->op() == ScalarOp::kAnd) {
+    FlattenAnd(e->lhs(), out);
+    FlattenAnd(e->rhs(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ScalarExprPtr Simplify(const ScalarExprPtr& e);
+
+// Rebuilds a conjunction in canonical order: per-column interval bounds
+// (by ascending column), then residuals in first-seen order (deduped).
+ScalarExprPtr SimplifyConjunction(const ScalarExprPtr& e) {
+  std::vector<ScalarExprPtr> conjuncts;
+  FlattenAnd(e, &conjuncts);
+
+  std::map<size_t, Interval> intervals;
+  std::vector<ScalarExprPtr> residuals;
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (IsLiteralBool(c, true)) continue;
+    if (IsLiteralBool(c, false)) return FalseLit();
+    std::optional<ColumnBound> b = AsColumnBound(c);
+    if (b.has_value() && !b->bound.is_null()) {
+      intervals[b->column].Add(*b);
+    } else {
+      bool dup = false;
+      for (const ScalarExprPtr& r : residuals) {
+        if (r->Equals(*c)) dup = true;
+      }
+      if (!dup) residuals.push_back(c);
+    }
+  }
+
+  std::vector<ScalarExprPtr> pieces;
+  for (auto& [column, interval] : intervals) {
+    interval.Finalize();
+    if (interval.contradictory) return FalseLit();
+    interval.Emit(column, &pieces);
+  }
+  pieces.insert(pieces.end(), residuals.begin(), residuals.end());
+
+  if (pieces.empty()) return TrueLit();
+  ScalarExprPtr out = pieces[0];
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    out = ScalarExpr::Binary(ScalarOp::kAnd, out, pieces[i]);
+  }
+  return out;
+}
+
+ScalarExprPtr Simplify(const ScalarExprPtr& e) {
+  switch (e->kind()) {
+    case ScalarKind::kColumn:
+    case ScalarKind::kLiteral:
+      return e;
+    case ScalarKind::kUnary: {
+      ScalarExprPtr a = Simplify(e->lhs());
+      if (e->op() == ScalarOp::kNot) {
+        if (IsLiteralBool(a, true)) return FalseLit();
+        if (IsLiteralBool(a, false)) return TrueLit();
+        // not (not p) == p.
+        if (a->kind() == ScalarKind::kUnary && a->op() == ScalarOp::kNot) {
+          return a->lhs();
+        }
+        // Push negation through comparisons (sound for the total order).
+        if (a->kind() == ScalarKind::kBinary && IsComparison(a->op())) {
+          return ScalarExpr::Binary(NegateComparison(a->op()), a->lhs(),
+                                    a->rhs());
+        }
+        // De Morgan, to expose more comparison flips.
+        if (a->kind() == ScalarKind::kBinary &&
+            (a->op() == ScalarOp::kAnd || a->op() == ScalarOp::kOr)) {
+          ScalarOp dual =
+              a->op() == ScalarOp::kAnd ? ScalarOp::kOr : ScalarOp::kAnd;
+          return Simplify(ScalarExpr::Binary(
+              dual, ScalarExpr::Unary(ScalarOp::kNot, a->lhs()),
+              ScalarExpr::Unary(ScalarOp::kNot, a->rhs())));
+        }
+      }
+      if (a == e->lhs()) return e;
+      return ScalarExpr::Unary(e->op(), a);
+    }
+    case ScalarKind::kBinary: {
+      ScalarExprPtr l = Simplify(e->lhs());
+      ScalarExprPtr r = Simplify(e->rhs());
+      // Constant fold anything column-free.
+      ScalarExprPtr folded = ScalarExpr::Binary(e->op(), l, r);
+      if (folded->MinArity() == 0) {
+        return ScalarExpr::Literal(folded->Evaluate(Tuple{}));
+      }
+      switch (e->op()) {
+        case ScalarOp::kAnd: {
+          if (IsLiteralBool(l, false) || IsLiteralBool(r, false)) {
+            return FalseLit();
+          }
+          if (IsLiteralBool(l, true)) return r;
+          if (IsLiteralBool(r, true)) return l;
+          return SimplifyConjunction(folded);
+        }
+        case ScalarOp::kOr: {
+          if (IsLiteralBool(l, true) || IsLiteralBool(r, true)) {
+            return TrueLit();
+          }
+          if (IsLiteralBool(l, false)) return r;
+          if (IsLiteralBool(r, false)) return l;
+          if (l->Equals(*r)) return l;
+          return folded;
+        }
+        default: {
+          // Canonicalize literal-on-left comparisons to column-on-left.
+          if (IsComparison(e->op()) && l->kind() == ScalarKind::kLiteral &&
+              r->kind() == ScalarKind::kColumn) {
+            return ScalarExpr::Binary(MirrorComparison(e->op()), r, l);
+          }
+          // $i = $i and friends.
+          if (IsComparison(e->op()) && l->Equals(*r)) {
+            switch (e->op()) {
+              case ScalarOp::kEq:
+              case ScalarOp::kLe:
+              case ScalarOp::kGe:
+                return TrueLit();
+              case ScalarOp::kNe:
+              case ScalarOp::kLt:
+              case ScalarOp::kGt:
+                return FalseLit();
+              default:
+                break;
+            }
+          }
+          return folded;
+        }
+      }
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+}  // namespace
+
+ScalarExprPtr SimplifyPredicate(const ScalarExprPtr& pred) {
+  HQL_CHECK(pred != nullptr);
+  return Simplify(pred);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Algebraic simplification.
+// ---------------------------------------------------------------------------
+
+bool IsEmptyQ(const QueryPtr& q) { return q->kind() == QueryKind::kEmpty; }
+
+// Applies root-level rules once; returns nullptr if nothing applies.
+// Children are already simplified. `arity` is the arity of `q`.
+Result<QueryPtr> RootStep(const QueryPtr& q, const Schema& schema) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return QueryPtr(nullptr);
+
+    case QueryKind::kSelect: {
+      const QueryPtr& child = q->left();
+      ScalarExprPtr p = SimplifyPredicate(q->predicate());
+      if (IsLiteralBool(p, true)) return child;
+      if (IsLiteralBool(p, false) || IsEmptyQ(child)) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, InferQueryArity(child, schema));
+        return Query::Empty(arity);
+      }
+      // sigma_p({t}) evaluates statically.
+      if (child->kind() == QueryKind::kSingleton) {
+        if (p->MinArity() <= child->tuple().size()) {
+          return p->EvaluatesTrue(child->tuple())
+                     ? child
+                     : Query::Empty(child->tuple().size());
+        }
+      }
+      // sigma_p(sigma_q(X)) == sigma_{p and q}(X).
+      if (child->kind() == QueryKind::kSelect) {
+        return Query::Select(
+            SimplifyPredicate(ScalarExpr::Binary(ScalarOp::kAnd, p,
+                                                 child->predicate())),
+            child->left());
+      }
+      // Push selection through union / intersection / difference.
+      if (child->kind() == QueryKind::kUnion ||
+          child->kind() == QueryKind::kIntersect ||
+          child->kind() == QueryKind::kDifference) {
+        QueryPtr l = Query::Select(p, child->left());
+        QueryPtr r = Query::Select(p, child->right());
+        switch (child->kind()) {
+          case QueryKind::kUnion:
+            return Query::Union(std::move(l), std::move(r));
+          case QueryKind::kIntersect:
+            return Query::Intersect(std::move(l), std::move(r));
+          default:
+            return Query::Difference(std::move(l), std::move(r));
+        }
+      }
+      // sigma over a join folds into the join predicate.
+      if (child->kind() == QueryKind::kJoin) {
+        return Query::Join(
+            SimplifyPredicate(ScalarExpr::Binary(ScalarOp::kAnd, p,
+                                                 child->predicate())),
+            child->left(), child->right());
+      }
+      // sigma over a product becomes a theta join (clustering).
+      if (child->kind() == QueryKind::kProduct) {
+        return Query::Join(p, child->left(), child->right());
+      }
+      if (ScalarExprEquals(p, q->predicate())) return QueryPtr(nullptr);
+      return Query::Select(p, child);
+    }
+
+    case QueryKind::kProject: {
+      const QueryPtr& child = q->left();
+      if (IsEmptyQ(child)) return Query::Empty(q->columns().size());
+      if (child->kind() == QueryKind::kSingleton) {
+        Tuple t;
+        t.reserve(q->columns().size());
+        for (size_t c : q->columns()) t.push_back(child->tuple()[c]);
+        return Query::Singleton(std::move(t));
+      }
+      // Identity projection.
+      HQL_ASSIGN_OR_RETURN(size_t child_arity,
+                           InferQueryArity(child, schema));
+      if (q->columns().size() == child_arity) {
+        bool identity = true;
+        for (size_t i = 0; i < child_arity; ++i) {
+          if (q->columns()[i] != i) identity = false;
+        }
+        if (identity) return child;
+      }
+      // pi_X(pi_Y(Q)) == pi_{Y o X}(Q).
+      if (child->kind() == QueryKind::kProject) {
+        std::vector<size_t> composed;
+        composed.reserve(q->columns().size());
+        for (size_t c : q->columns()) {
+          composed.push_back(child->columns()[c]);
+        }
+        return Query::Project(std::move(composed), child->left());
+      }
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kAggregate: {
+      // gamma over an empty input is empty.
+      if (IsEmptyQ(q->left())) {
+        return Query::Empty(q->columns().size() + 1);
+      }
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kUnion: {
+      const QueryPtr& l = q->left();
+      const QueryPtr& r = q->right();
+      if (IsEmptyQ(l)) return r;
+      if (IsEmptyQ(r)) return l;
+      if (l->Equals(*r)) return l;
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kIntersect: {
+      const QueryPtr& l = q->left();
+      const QueryPtr& r = q->right();
+      if (IsEmptyQ(l)) return l;
+      if (IsEmptyQ(r)) return r;
+      if (l->Equals(*r)) return l;
+      // X n sigma_p(X) == sigma_p(X); sigma_p(X) n sigma_q(X) == both.
+      if (r->kind() == QueryKind::kSelect && r->left()->Equals(*l)) return r;
+      if (l->kind() == QueryKind::kSelect && l->left()->Equals(*r)) return l;
+      if (l->kind() == QueryKind::kSelect && r->kind() == QueryKind::kSelect &&
+          l->left()->Equals(*r->left())) {
+        return Query::Select(
+            SimplifyPredicate(ScalarExpr::Binary(
+                ScalarOp::kAnd, l->predicate(), r->predicate())),
+            l->left());
+      }
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kDifference: {
+      const QueryPtr& l = q->left();
+      const QueryPtr& r = q->right();
+      if (IsEmptyQ(r)) return l;
+      if (IsEmptyQ(l)) return l;
+      if (l->Equals(*r)) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, InferQueryArity(l, schema));
+        return Query::Empty(arity);
+      }
+      // X - sigma_p(X) == sigma_{not p}(X)   (Example 2.1(b)'s key step).
+      if (r->kind() == QueryKind::kSelect && r->left()->Equals(*l)) {
+        return Query::Select(
+            SimplifyPredicate(
+                ScalarExpr::Unary(ScalarOp::kNot, r->predicate())),
+            l);
+      }
+      // sigma_p(X) - sigma_q(X) == sigma_{p and not q}(X).
+      if (l->kind() == QueryKind::kSelect && r->kind() == QueryKind::kSelect &&
+          l->left()->Equals(*r->left())) {
+        return Query::Select(
+            SimplifyPredicate(ScalarExpr::Binary(
+                ScalarOp::kAnd, l->predicate(),
+                ScalarExpr::Unary(ScalarOp::kNot, r->predicate()))),
+            l->left());
+      }
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kProduct: {
+      const QueryPtr& l = q->left();
+      const QueryPtr& r = q->right();
+      if (IsEmptyQ(l) || IsEmptyQ(r)) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, InferQueryArity(q, schema));
+        return Query::Empty(arity);
+      }
+      if (l->kind() == QueryKind::kSingleton &&
+          r->kind() == QueryKind::kSingleton) {
+        return Query::Singleton(ConcatTuples(l->tuple(), r->tuple()));
+      }
+      return QueryPtr(nullptr);
+    }
+
+    case QueryKind::kJoin: {
+      const QueryPtr& l = q->left();
+      const QueryPtr& r = q->right();
+      ScalarExprPtr p = SimplifyPredicate(q->predicate());
+      if (IsEmptyQ(l) || IsEmptyQ(r) || IsLiteralBool(p, false)) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, InferQueryArity(q, schema));
+        return Query::Empty(arity);
+      }
+      if (IsLiteralBool(p, true)) return Query::Product(l, r);
+      if (ScalarExprEquals(p, q->predicate())) return QueryPtr(nullptr);
+      return Query::Join(p, l, r);
+    }
+
+    case QueryKind::kWhen:
+      return Status::InvalidArgument(
+          "SimplifyRa applies to pure RA queries only (reduce or plan "
+          "`when` away first)");
+  }
+  return Status::Internal("unknown query kind in SimplifyRa");
+}
+
+Result<QueryPtr> SimplifyRec(const QueryPtr& q, const Schema& schema) {
+  QueryPtr cur = q;
+  // Simplify children first.
+  switch (cur->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      break;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyRec(cur->left(), schema));
+      if (c != cur->left()) cur = Query::Select(cur->predicate(), c);
+      break;
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyRec(cur->left(), schema));
+      if (c != cur->left()) cur = Query::Project(cur->columns(), c);
+      break;
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyRec(cur->left(), schema));
+      if (c != cur->left()) {
+        cur = Query::Aggregate(cur->columns(), cur->agg_func(),
+                               cur->agg_column(), c);
+      }
+      break;
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyRec(cur->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyRec(cur->right(), schema));
+      if (l != cur->left() || r != cur->right()) {
+        switch (cur->kind()) {
+          case QueryKind::kUnion:
+            cur = Query::Union(l, r);
+            break;
+          case QueryKind::kIntersect:
+            cur = Query::Intersect(l, r);
+            break;
+          case QueryKind::kProduct:
+            cur = Query::Product(l, r);
+            break;
+          default:
+            cur = Query::Difference(l, r);
+            break;
+        }
+      }
+      break;
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyRec(cur->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyRec(cur->right(), schema));
+      if (l != cur->left() || r != cur->right()) {
+        cur = Query::Join(cur->predicate(), l, r);
+      }
+      break;
+    }
+    case QueryKind::kWhen:
+      return Status::InvalidArgument(
+          "SimplifyRa applies to pure RA queries only");
+  }
+  // Apply root rules to fixpoint. A root rewrite may expose opportunities
+  // below the new root (e.g. a pushed-down selection), so the whole node is
+  // re-simplified after each step. Rules strictly simplify, but a structural
+  // no-change guard and an iteration cap protect against accidental cycles.
+  for (int i = 0; i < 64; ++i) {
+    HQL_ASSIGN_OR_RETURN(QueryPtr next, RootStep(cur, schema));
+    if (next == nullptr || next->Equals(*cur)) return cur;
+    HQL_ASSIGN_OR_RETURN(cur, SimplifyRec(next, schema));
+  }
+  return cur;
+}
+
+}  // namespace
+
+Result<QueryPtr> SimplifyRa(const QueryPtr& query, const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  return SimplifyRec(query, schema);
+}
+
+}  // namespace hql

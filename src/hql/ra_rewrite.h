@@ -1,0 +1,38 @@
+#ifndef HQL_HQL_RA_REWRITE_H_
+#define HQL_HQL_RA_REWRITE_H_
+
+// The "conventional equational theory for the relational algebra" half of
+// the paper's optimization framework (Section 5.1): a bottom-up rewriter
+// with a canonicalizing predicate simplifier.
+//
+// Together with the EQUIV_when rules this is what carries out the paper's
+// worked derivations: in Example 2.1(b),
+//
+//   (R u sigma[A>=30](S - sigma[A<60](S))) join (S - sigma[A<60](S))
+//     == (R u sigma[A>=60](S)) join sigma[A>=60](S)
+//
+// falls out of the rules  X - sigma[p](X) == sigma[not p](X)  and the
+// interval merge  sigma[A>=30](sigma[A>=60](S)) == sigma[A>=60](S);  and in
+// Example 2.4(b) the rule  X - X == empty  collapses an exponential lazy
+// rewrite to the empty query before any data is touched.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// Canonicalizes and simplifies a predicate: constant folding, connective
+/// identities, negation push-down through comparisons, and single-column
+/// interval merging within conjunctions. The output is deterministic, so
+/// equivalent simple predicates usually become syntactically equal.
+ScalarExprPtr SimplifyPredicate(const ScalarExprPtr& pred);
+
+/// Bottom-up algebraic simplification of a pure RA query (kWhen nodes are
+/// rejected with InvalidArgument; reduce or plan first). `schema` supplies
+/// arities for the empty queries the rules introduce.
+Result<QueryPtr> SimplifyRa(const QueryPtr& query, const Schema& schema);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_RA_REWRITE_H_

@@ -1,0 +1,146 @@
+#include "hql/reduce.h"
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "hql/slice.h"
+
+namespace hql {
+
+Result<QueryPtr> Reduce(const QueryPtr& query, const Schema& schema) {
+  HQL_CHECK(query != nullptr);
+  switch (query->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return query;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr child, Reduce(query->left(), schema));
+      if (child == query->left()) return query;
+      return Query::Select(query->predicate(), std::move(child));
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr child, Reduce(query->left(), schema));
+      if (child == query->left()) return query;
+      return Query::Project(query->columns(), std::move(child));
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr child, Reduce(query->left(), schema));
+      if (child == query->left()) return query;
+      return Query::Aggregate(query->columns(), query->agg_func(),
+                              query->agg_column(), std::move(child));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, Reduce(query->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, Reduce(query->right(), schema));
+      if (l == query->left() && r == query->right()) return query;
+      switch (query->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, Reduce(query->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, Reduce(query->right(), schema));
+      if (l == query->left() && r == query->right()) return query;
+      return Query::Join(query->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen: {
+      // red(Q when eta) = sub(red(Q), red(eta)).
+      HQL_ASSIGN_OR_RETURN(Substitution rho,
+                           ReduceHypo(query->state(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr body, Reduce(query->left(), schema));
+      return rho.Apply(body);
+    }
+  }
+  return Status::Internal("unknown query kind in reduce");
+}
+
+Result<Substitution> ReduceHypo(const HypoExprPtr& state,
+                                const Schema& schema) {
+  HQL_CHECK(state != nullptr);
+  switch (state->kind()) {
+    case HypoKind::kUpdateState: {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr reduced,
+                           ReduceUpdate(state->update(), schema));
+      return Slice(reduced, schema);
+    }
+    case HypoKind::kSubst: {
+      Substitution out;
+      for (const Binding& b : state->bindings()) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr q, Reduce(b.query, schema));
+        out.Bind(b.rel_name, std::move(q));
+      }
+      return out;
+    }
+    case HypoKind::kCompose: {
+      HQL_ASSIGN_OR_RETURN(Substitution s1,
+                           ReduceHypo(state->first(), schema));
+      HQL_ASSIGN_OR_RETURN(Substitution s2,
+                           ReduceHypo(state->second(), schema));
+      return s1.ComposeWith(s2);
+    }
+    case HypoKind::kStateWhen: {
+      // red(eta1 when eta2)(R) = sub(red(eta1)(R), red(eta2)) on
+      // dom(eta1) only: like composition, minus eta2's own writes.
+      HQL_ASSIGN_OR_RETURN(Substitution s1,
+                           ReduceHypo(state->first(), schema));
+      HQL_ASSIGN_OR_RETURN(Substitution s2,
+                           ReduceHypo(state->second(), schema));
+      Substitution out;
+      for (const auto& [name, query] : s1.bindings()) {
+        out.Bind(name, s2.Apply(query));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown hypothetical-state kind in reduce");
+}
+
+Result<UpdatePtr> ReduceUpdate(const UpdatePtr& update, const Schema& schema) {
+  HQL_CHECK(update != nullptr);
+  switch (update->kind()) {
+    case UpdateKind::kInsert: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Reduce(update->query(), schema));
+      if (q == update->query()) return update;
+      return Update::Insert(update->rel_name(), std::move(q));
+    }
+    case UpdateKind::kDelete: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Reduce(update->query(), schema));
+      if (q == update->query()) return update;
+      return Update::Delete(update->rel_name(), std::move(q));
+    }
+    case UpdateKind::kSeq: {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr a, ReduceUpdate(update->first(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr b,
+                           ReduceUpdate(update->second(), schema));
+      if (a == update->first() && b == update->second()) return update;
+      return Update::Seq(std::move(a), std::move(b));
+    }
+    case UpdateKind::kCond: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr g, Reduce(update->guard(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr a,
+                           ReduceUpdate(update->then_branch(), schema));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr b,
+                           ReduceUpdate(update->else_branch(), schema));
+      if (g == update->guard() && a == update->then_branch() &&
+          b == update->else_branch()) {
+        return update;
+      }
+      return Update::Cond(std::move(g), std::move(a), std::move(b));
+    }
+  }
+  return Status::Internal("unknown update kind in reduce");
+}
+
+}  // namespace hql

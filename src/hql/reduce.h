@@ -1,0 +1,41 @@
+#ifndef HQL_HQL_REDUCE_H_
+#define HQL_HQL_REDUCE_H_
+
+// The reduction semantics red(.) of paper Section 4.3 (Theorem 4.1): maps
+// any RA_hyp query to an equivalent pure RA query, and any
+// hypothetical-state expression to an equivalent abstract substitution:
+//
+//   red({.., Qj/Sj, ..}) = {.., red(Qj)/Sj, ..}
+//   red({U})             = slice(red(U))
+//   red(eta1 # eta2)     = red(eta1) # red(eta2)
+//
+//   red(R) = R,  red({t}) = {t}
+//   red(u_op(Q))      = u_op(red(Q))
+//   red(Q1 b_op Q2)   = red(Q1) b_op red(Q2)
+//   red(Q when eta)   = sub(red(Q), red(eta))
+//
+// This is the fully lazy evaluation strategy: evaluate red(Q) with a
+// conventional RA engine. Note red can blow up exponentially (Example 2.4);
+// see ast/metrics.h for measuring it and opt/planner.h for avoiding it.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "hql/subst.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// red(Q): a pure RA query equivalent to `query` in every database state.
+Result<QueryPtr> Reduce(const QueryPtr& query, const Schema& schema);
+
+/// red(eta): an abstract substitution equivalent to `state`.
+Result<Substitution> ReduceHypo(const HypoExprPtr& state,
+                                const Schema& schema);
+
+/// Reduces the queries nested inside an update, yielding an update whose
+/// arguments are pure RA (the precondition of Slice).
+Result<UpdatePtr> ReduceUpdate(const UpdatePtr& update, const Schema& schema);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_REDUCE_H_

@@ -1,0 +1,212 @@
+#include "hql/rewrite_when.h"
+
+#include <set>
+
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "hql/free_dom.h"
+#include "hql/subst.h"
+
+namespace hql {
+namespace equiv {
+
+namespace {
+
+bool IsWhen(const QueryPtr& q) { return q->kind() == QueryKind::kWhen; }
+
+bool IsExplicitSubst(const HypoExprPtr& h) {
+  return h->kind() == HypoKind::kSubst;
+}
+
+/// True if all binding queries of an explicit substitution are pure RA.
+bool AllBindingsPure(const HypoExprPtr& h) {
+  for (const Binding& b : h->bindings()) {
+    if (!IsPureRelAlg(b.query)) return false;
+  }
+  return true;
+}
+
+Substitution ToAbstract(const HypoExprPtr& h) {
+  Substitution s;
+  for (const Binding& b : h->bindings()) s.Bind(b.rel_name, b.query);
+  return s;
+}
+
+}  // namespace
+
+QueryPtr RelWhenSubst(const QueryPtr& q) {
+  if (!IsWhen(q) || q->left()->kind() != QueryKind::kRel) return nullptr;
+  const HypoExprPtr& h = q->state();
+  if (!IsExplicitSubst(h)) return nullptr;
+  QueryPtr bound = h->BindingFor(q->left()->rel_name());
+  return bound != nullptr ? bound : q->left();
+}
+
+QueryPtr SingletonWhen(const QueryPtr& q) {
+  if (!IsWhen(q) || q->left()->kind() != QueryKind::kSingleton) {
+    return nullptr;
+  }
+  return q->left();
+}
+
+QueryPtr EmptyWhen(const QueryPtr& q) {
+  if (!IsWhen(q) || q->left()->kind() != QueryKind::kEmpty) return nullptr;
+  return q->left();
+}
+
+QueryPtr PushWhenUnary(const QueryPtr& q) {
+  if (!IsWhen(q)) return nullptr;
+  const QueryPtr& body = q->left();
+  const HypoExprPtr& h = q->state();
+  switch (body->kind()) {
+    case QueryKind::kSelect:
+      return Query::Select(body->predicate(), Query::When(body->left(), h));
+    case QueryKind::kProject:
+      return Query::Project(body->columns(), Query::When(body->left(), h));
+    case QueryKind::kAggregate:
+      return Query::Aggregate(body->columns(), body->agg_func(),
+                              body->agg_column(),
+                              Query::When(body->left(), h));
+    default:
+      return nullptr;
+  }
+}
+
+QueryPtr PushWhenBinary(const QueryPtr& q) {
+  if (!IsWhen(q)) return nullptr;
+  const QueryPtr& body = q->left();
+  const HypoExprPtr& h = q->state();
+  if (!body->is_binary_algebra()) return nullptr;
+  QueryPtr l = Query::When(body->left(), h);
+  QueryPtr r = Query::When(body->right(), h);
+  switch (body->kind()) {
+    case QueryKind::kUnion:
+      return Query::Union(std::move(l), std::move(r));
+    case QueryKind::kIntersect:
+      return Query::Intersect(std::move(l), std::move(r));
+    case QueryKind::kProduct:
+      return Query::Product(std::move(l), std::move(r));
+    case QueryKind::kJoin:
+      return Query::Join(body->predicate(), std::move(l), std::move(r));
+    case QueryKind::kDifference:
+      return Query::Difference(std::move(l), std::move(r));
+    default:
+      return nullptr;
+  }
+}
+
+HypoExprPtr ConvertToExplicit(const HypoExprPtr& h) {
+  if (h->kind() != HypoKind::kUpdateState) return nullptr;
+  const UpdatePtr& u = h->update();
+  switch (u->kind()) {
+    case UpdateKind::kInsert:
+      return HypoExpr::Subst({Binding{
+          u->rel_name(),
+          Query::Union(Query::Rel(u->rel_name()), u->query())}});
+    case UpdateKind::kDelete:
+      return HypoExpr::Subst({Binding{
+          u->rel_name(),
+          Query::Difference(Query::Rel(u->rel_name()), u->query())}});
+    case UpdateKind::kSeq:
+      return HypoExpr::Compose(HypoExpr::UpdateState(u->first()),
+                               HypoExpr::UpdateState(u->second()));
+    case UpdateKind::kCond:
+      return nullptr;  // handled by enf/slice, which consult the schema
+  }
+  HQL_UNREACHABLE();
+}
+
+QueryPtr ReplaceNestedWhen(const QueryPtr& q) {
+  // (Q when eta1) when eta2 == Q when (eta2 # eta1): the outer state eta2
+  // moves the database first, then eta1 is applied in the moved state.
+  if (!IsWhen(q) || !IsWhen(q->left())) return nullptr;
+  const QueryPtr& inner = q->left();
+  return Query::When(inner->left(),
+                     HypoExpr::Compose(q->state(), inner->state()));
+}
+
+HypoExprPtr AssocCompose(const HypoExprPtr& h) {
+  if (h->kind() != HypoKind::kCompose ||
+      h->first()->kind() != HypoKind::kCompose) {
+    return nullptr;
+  }
+  const HypoExprPtr& inner = h->first();
+  return HypoExpr::Compose(
+      inner->first(), HypoExpr::Compose(inner->second(), h->second()));
+}
+
+HypoExprPtr ComputeComposition(const HypoExprPtr& h) {
+  if (h->kind() != HypoKind::kCompose) return nullptr;
+  const HypoExprPtr& e1 = h->first();
+  const HypoExprPtr& e2 = h->second();
+  if (!IsExplicitSubst(e1) || !IsExplicitSubst(e2)) return nullptr;
+
+  // Fast path: everything pure RA — compose abstractly (textual sub).
+  const bool textual = AllBindingsPure(e1) && AllBindingsPure(e2);
+  Substitution s1;
+  if (textual) s1 = ToAbstract(e1);
+
+  std::vector<Binding> out;
+  std::set<std::string> dom2;
+  for (const Binding& b : e2->bindings()) {
+    dom2.insert(b.rel_name);
+    QueryPtr value;
+    if (e1->bindings().empty()) {
+      value = b.query;
+    } else if (textual) {
+      value = s1.Apply(b.query);
+    } else {
+      value = Query::When(b.query, e1);
+    }
+    out.push_back(Binding{b.rel_name, std::move(value)});
+  }
+  for (const Binding& b : e1->bindings()) {
+    if (dom2.count(b.rel_name) == 0) out.push_back(b);
+  }
+  return HypoExpr::Subst(std::move(out));
+}
+
+QueryPtr SubstSimplify(const QueryPtr& q) {
+  if (!IsWhen(q)) return nullptr;
+  const HypoExprPtr& h = q->state();
+  if (!IsExplicitSubst(h)) return nullptr;
+
+  if (h->bindings().empty()) return q->left();  // Q when {} == Q
+
+  NameSet live = FreeNames(q->left());
+  std::vector<Binding> kept;
+  for (const Binding& b : h->bindings()) {
+    // Binding removal: R not free in Q.
+    if (live.count(b.rel_name) == 0) continue;
+    // Identity binding R/R.
+    if (b.query->kind() == QueryKind::kRel &&
+        b.query->rel_name() == b.rel_name) {
+      continue;
+    }
+    kept.push_back(b);
+  }
+  if (kept.size() == h->bindings().size()) return nullptr;  // nothing to do
+  if (kept.empty()) return q->left();
+  return Query::When(q->left(), HypoExpr::Subst(std::move(kept)));
+}
+
+QueryPtr CommuteHypotheticals(const QueryPtr& q) {
+  if (!IsWhen(q) || !IsWhen(q->left())) return nullptr;
+  const QueryPtr& inner = q->left();
+  const HypoExprPtr& eta1 = inner->state();
+  const HypoExprPtr& eta2 = q->state();
+  NameSet dom1 = DomNames(eta1);
+  NameSet dom2 = DomNames(eta2);
+  NameSet free1 = FreeNames(eta1);
+  NameSet free2 = FreeNames(eta2);
+  if (!Disjoint(dom1, dom2) || !Disjoint(dom1, free2) ||
+      !Disjoint(dom2, free1)) {
+    return nullptr;
+  }
+  return Query::When(Query::When(inner->left(), eta2), eta1);
+}
+
+}  // namespace equiv
+}  // namespace hql

@@ -1,0 +1,54 @@
+#ifndef HQL_HQL_REWRITE_WHEN_H_
+#define HQL_HQL_REWRITE_WHEN_H_
+
+// The EQUIV_when family of equivalences (paper Figure 1) as executable,
+// individually testable rewrite rules. Each function applies one rule at
+// the root of its argument and returns the rewritten node, or nullptr when
+// the rule does not apply. All rules are sound: they preserve the value of
+// the expression in every database state (verified exhaustively by the
+// property tests in tests/rewrite_when_test.cc).
+//
+//   RelWhenSubst          R when eps == Q (Q/R in eps) / R (no binding)
+//   SingletonWhen         {t} when eta == {t}
+//   EmptyWhen             empty[k] when eta == empty[k]
+//   PushWhenUnary         u_op(Q) when eta == u_op(Q when eta)
+//   PushWhenBinary        (Q1 b_op Q2) when eta == (Q1 when eta) b_op
+//                                                  (Q2 when eta)
+//   ConvertToExplicit     {ins(R,Q)} == {(R u Q)/R}, {del(R,Q)} == {(R-Q)/R},
+//                         {(U1;U2)} == {U1} # {U2}
+//   ReplaceNestedWhen     (Q when eta1) when eta2 == Q when (eta2 # eta1)
+//   AssocCompose          (e1 # e2) # e3 == e1 # (e2 # e3)
+//   ComputeComposition    eps1 # eps2 == one explicit substitution
+//   SubstSimplify         binding removal (R not free in Q), identity
+//                         bindings, Q when {} == Q
+//   CommuteHypotheticals  (Q when eta1) when eta2 == (Q when eta2) when eta1
+//                         under the Figure 1 disjointness side conditions
+
+#include "ast/forward.h"
+#include "ast/hypo.h"
+
+namespace hql {
+namespace equiv {
+
+QueryPtr RelWhenSubst(const QueryPtr& q);
+QueryPtr SingletonWhen(const QueryPtr& q);
+QueryPtr EmptyWhen(const QueryPtr& q);
+QueryPtr PushWhenUnary(const QueryPtr& q);
+QueryPtr PushWhenBinary(const QueryPtr& q);
+HypoExprPtr ConvertToExplicit(const HypoExprPtr& h);
+QueryPtr ReplaceNestedWhen(const QueryPtr& q);
+HypoExprPtr AssocCompose(const HypoExprPtr& h);
+
+/// eps1 # eps2 (both explicit substitutions) folded into one explicit
+/// substitution. When every involved binding is pure RA the substitution is
+/// applied textually; otherwise the paper's `P when eps1` wrapping keeps the
+/// result inside HQL.
+HypoExprPtr ComputeComposition(const HypoExprPtr& h);
+
+QueryPtr SubstSimplify(const QueryPtr& q);
+QueryPtr CommuteHypotheticals(const QueryPtr& q);
+
+}  // namespace equiv
+}  // namespace hql
+
+#endif  // HQL_HQL_REWRITE_WHEN_H_

@@ -1,0 +1,80 @@
+#include "hql/slice.h"
+
+#include <set>
+
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "ast/typecheck.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "hql/free_dom.h"
+
+namespace hql {
+
+QueryPtr GuardQuery(const QueryPtr& query, size_t arity,
+                    const QueryPtr& cond) {
+  HQL_CHECK(arity > 0);
+  // pi[0..arity-1](query x pi[0](cond)): the product is empty iff cond is
+  // empty, and otherwise replicates query once per (distinct) first column
+  // of cond — the projection collapses the replication back to query.
+  QueryPtr cond_one = Query::Project({0}, cond);
+  std::vector<size_t> keep(arity);
+  for (size_t i = 0; i < arity; ++i) keep[i] = i;
+  return Query::Project(std::move(keep),
+                        Query::Product(query, std::move(cond_one)));
+}
+
+Result<Substitution> Slice(const UpdatePtr& update, const Schema& schema) {
+  HQL_CHECK(update != nullptr);
+  switch (update->kind()) {
+    case UpdateKind::kInsert: {
+      HQL_CHECK_MSG(IsPureRelAlg(update->query()),
+                    "slice() requires pure RA update arguments");
+      Substitution s;
+      s.Bind(update->rel_name(),
+             Query::Union(Query::Rel(update->rel_name()), update->query()));
+      return s;
+    }
+    case UpdateKind::kDelete: {
+      HQL_CHECK_MSG(IsPureRelAlg(update->query()),
+                    "slice() requires pure RA update arguments");
+      Substitution s;
+      s.Bind(update->rel_name(), Query::Difference(
+                                     Query::Rel(update->rel_name()),
+                                     update->query()));
+      return s;
+    }
+    case UpdateKind::kSeq: {
+      HQL_ASSIGN_OR_RETURN(Substitution s1, Slice(update->first(), schema));
+      HQL_ASSIGN_OR_RETURN(Substitution s2, Slice(update->second(), schema));
+      return s1.ComposeWith(s2);
+    }
+    case UpdateKind::kCond: {
+      HQL_CHECK_MSG(IsPureRelAlg(update->guard()),
+                    "slice() requires a pure RA guard");
+      HQL_ASSIGN_OR_RETURN(Substitution then_s,
+                           Slice(update->then_branch(), schema));
+      HQL_ASSIGN_OR_RETURN(Substitution else_s,
+                           Slice(update->else_branch(), schema));
+      const QueryPtr& cond = update->guard();
+      NameSet names = DomNames(update);
+      Substitution out;
+      for (const std::string& name : names) {
+        HQL_ASSIGN_OR_RETURN(size_t arity, schema.ArityOf(name));
+        QueryPtr q1 = then_s.Get(name);
+        if (q1 == nullptr) q1 = Query::Rel(name);
+        QueryPtr q2 = else_s.Get(name);
+        if (q2 == nullptr) q2 = Query::Rel(name);
+        // guard(q1, C) u (q2 - guard(q2, C)).
+        QueryPtr value = Query::Union(
+            GuardQuery(q1, arity, cond),
+            Query::Difference(q2, GuardQuery(q2, arity, cond)));
+        out.Bind(name, std::move(value));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown update kind in slice");
+}
+
+}  // namespace hql

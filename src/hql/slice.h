@@ -1,0 +1,40 @@
+#ifndef HQL_HQL_SLICE_H_
+#define HQL_HQL_SLICE_H_
+
+// slice(U): the substitution with the same effect as update U (paper
+// Section 3.4, Lemma 3.9):
+//
+//   slice(ins(R, Q)) = {(R u Q)/R}
+//   slice(del(R, Q)) = {(R - Q)/R}
+//   slice((U1; U2))  = slice(U1) # slice(U2)
+//
+// The conditional-update extension is compiled away with a
+// boolean-as-relation encoding (this is the Section 6 remark that such
+// constructs do not add expressive power): writing guard(Q, C) for the
+// RA query that equals Q when C is non-empty and the empty set otherwise,
+//
+//   slice(if C then U1 else U2)(R) =
+//       guard(slice(U1)(R), C) u (slice(U2)(R) - guard(slice(U2)(R), C))
+//
+// for every R in dom(U1) u dom(U2) (with slice(Ui)(R) defaulting to R).
+// guard(Q, C) = pi[0..arity(Q)-1](Q x pi[0](C)) needs the arity of Q, hence
+// the Schema parameter.
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "hql/subst.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+/// slice(U). Queries inside `update` must be pure RA (reduce first if not);
+/// returns TypeError/NotFound for schema violations in conditional guards.
+Result<Substitution> Slice(const UpdatePtr& update, const Schema& schema);
+
+/// guard(Q, C): equals Q when C is non-empty, empty otherwise. Exposed for
+/// tests; `arity` is the arity of `query`.
+QueryPtr GuardQuery(const QueryPtr& query, size_t arity, const QueryPtr& cond);
+
+}  // namespace hql
+
+#endif  // HQL_HQL_SLICE_H_

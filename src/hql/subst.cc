@@ -1,0 +1,180 @@
+#include "hql/subst.h"
+
+#include <unordered_map>
+
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+Substitution Substitution::Make(std::vector<Binding> bindings) {
+  Substitution s;
+  for (Binding& b : bindings) {
+    HQL_CHECK_MSG(b.query != nullptr && IsPureRelAlg(b.query),
+                  "substitution bindings must be pure RA");
+    auto [it, inserted] = s.bindings_.emplace(b.rel_name, std::move(b.query));
+    (void)it;
+    HQL_CHECK_MSG(inserted, "duplicate name in substitution");
+  }
+  return s;
+}
+
+bool Substitution::Has(const std::string& name) const {
+  return bindings_.count(name) > 0;
+}
+
+QueryPtr Substitution::Get(const std::string& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? nullptr : it->second;
+}
+
+void Substitution::Bind(const std::string& name, QueryPtr query) {
+  HQL_CHECK_MSG(query != nullptr && IsPureRelAlg(query),
+                "substitution bindings must be pure RA");
+  bindings_[name] = std::move(query);
+}
+
+void Substitution::Remove(const std::string& name) { bindings_.erase(name); }
+
+std::vector<std::string> Substitution::Domain() const {
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, query] : bindings_) {
+    (void)query;
+    names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+using ApplyMemo = std::unordered_map<const Query*, QueryPtr>;
+
+}  // namespace
+
+QueryPtr Substitution::Apply(const QueryPtr& query) const {
+  HQL_CHECK(query != nullptr);
+  if (bindings_.empty()) return query;
+  ApplyMemo memo;
+  return ApplyImpl(query, &memo);
+}
+
+QueryPtr Substitution::ApplyImpl(const QueryPtr& query, void* memo_ptr) const {
+  ApplyMemo& memo = *static_cast<ApplyMemo*>(memo_ptr);
+  auto found = memo.find(query.get());
+  if (found != memo.end()) return found->second;
+  QueryPtr result = ApplyNode(query, memo_ptr);
+  memo.emplace(query.get(), result);
+  return result;
+}
+
+QueryPtr Substitution::ApplyNode(const QueryPtr& query, void* memo) const {
+  switch (query->kind()) {
+    case QueryKind::kRel: {
+      QueryPtr bound = Get(query->rel_name());
+      return bound != nullptr ? bound : query;
+    }
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return query;
+    case QueryKind::kSelect: {
+      QueryPtr child = ApplyImpl(query->left(), memo);
+      if (child == query->left()) return query;
+      return Query::Select(query->predicate(), std::move(child));
+    }
+    case QueryKind::kProject: {
+      QueryPtr child = ApplyImpl(query->left(), memo);
+      if (child == query->left()) return query;
+      return Query::Project(query->columns(), std::move(child));
+    }
+    case QueryKind::kAggregate: {
+      QueryPtr child = ApplyImpl(query->left(), memo);
+      if (child == query->left()) return query;
+      return Query::Aggregate(query->columns(), query->agg_func(),
+                              query->agg_column(), std::move(child));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      QueryPtr l = ApplyImpl(query->left(), memo);
+      QueryPtr r = ApplyImpl(query->right(), memo);
+      if (l == query->left() && r == query->right()) return query;
+      switch (query->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      QueryPtr l = ApplyImpl(query->left(), memo);
+      QueryPtr r = ApplyImpl(query->right(), memo);
+      if (l == query->left() && r == query->right()) return query;
+      return Query::Join(query->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen:
+      HQL_CHECK_MSG(false, "sub() applied to a non-RA query");
+  }
+  HQL_UNREACHABLE();
+}
+
+Substitution Substitution::ComposeWith(const Substitution& other) const {
+  // (rho1 # rho2)(S) = sub(rho2(S), rho1) if S in dom(rho2), else rho1(S);
+  // domain is the union (the padding condition that makes # unique).
+  Substitution out;
+  for (const auto& [name, query] : other.bindings_) {
+    out.bindings_[name] = Apply(query);
+  }
+  for (const auto& [name, query] : bindings_) {
+    out.bindings_.emplace(name, query);  // keeps rho2's binding if present
+  }
+  return out;
+}
+
+HypoExprPtr Substitution::ToHypoExpr() const {
+  std::vector<Binding> bindings;
+  bindings.reserve(bindings_.size());
+  for (const auto& [name, query] : bindings_) {
+    bindings.push_back(Binding{name, query});
+  }
+  return HypoExpr::Subst(std::move(bindings));
+}
+
+void Substitution::RestrictTo(const std::set<std::string>& live) {
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (live.count(it->first) == 0) {
+      it = bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Substitution::DropIdentityBindings() {
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    const QueryPtr& q = it->second;
+    if (q->kind() == QueryKind::kRel && q->rel_name() == it->first) {
+      it = bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(bindings_.size());
+  for (const auto& [name, query] : bindings_) {
+    parts.push_back(query->ToString() + "/" + name);
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace hql

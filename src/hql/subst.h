@@ -1,0 +1,92 @@
+#ifndef HQL_HQL_SUBST_H_
+#define HQL_HQL_SUBST_H_
+
+// Abstract substitutions over the relational algebra (paper Section 3.2).
+//
+// A substitution rho is a partial function from relation names to RA
+// queries, arity-preserving. The two defining operations are
+//
+//   sub(Q, rho)     textual replacement of every base-relation occurrence
+//                   (Apply below), and
+//   rho1 # rho2     composition, the unique substitution with
+//                     dom = dom(rho1) u dom(rho2)
+//                     (rho1 # rho2)(S) = sub(rho2(S), rho1)  if S in dom(rho2)
+//                                      = rho1(S)             otherwise
+//                   (ComposeWith below).
+//
+// Viewed as an update, rho assigns all its bindings in parallel, and
+// composition is sequential execution: rho1 first, then rho2 (Lemma 3.6).
+// Binding queries must be pure RA (no `when`); the reduction machinery
+// (hql/reduce.h) is responsible for producing pure bindings.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "ast/hypo.h"
+
+namespace hql {
+
+class Substitution {
+ public:
+  /// The identity (empty) substitution.
+  Substitution() = default;
+
+  /// Builds from bindings; names must be distinct and queries pure RA
+  /// (CHECK-enforced — callers validate untrusted input beforehand).
+  static Substitution Make(std::vector<Binding> bindings);
+
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+  bool Has(const std::string& name) const;
+  /// The binding for `name`, or nullptr.
+  QueryPtr Get(const std::string& name) const;
+
+  /// Adds or replaces a binding; `query` must be pure RA.
+  void Bind(const std::string& name, QueryPtr query);
+
+  /// Removes the binding for `name` if present (the paper's eps - R,
+  /// the basis of binding removal, Example 2.3).
+  void Remove(const std::string& name);
+
+  /// Sorted domain.
+  std::vector<std::string> Domain() const;
+
+  const std::map<std::string, QueryPtr>& bindings() const { return bindings_; }
+
+  /// sub(Q, rho): replaces every occurrence of each bound name in the pure
+  /// RA query `query` (CHECK: no `when` inside). Shared subtrees of the
+  /// input stay shared in the output (pointer-memoized), so repeated
+  /// substitution grows the DAG linearly even when the expanded tree grows
+  /// exponentially (Example 2.4).
+  QueryPtr Apply(const QueryPtr& query) const;
+
+  /// this # other (this first when viewed as an update; Lemma 3.2/3.6).
+  Substitution ComposeWith(const Substitution& other) const;
+
+  /// Conversion to the syntactic explicit-substitution form.
+  HypoExprPtr ToHypoExpr() const;
+
+  /// Drops bindings whose name is not in `live` (repeated binding removal:
+  /// sub(E, rho) = sub(E, rho - {t/v}) when v is not free in E).
+  void RestrictTo(const std::set<std::string>& live);
+
+  /// Drops identity bindings R/R (the substitution-simplification rule
+  /// "Q when eps == Q when eps-R if (R/R) in eps").
+  void DropIdentityBindings();
+
+  std::string ToString() const;
+
+ private:
+  QueryPtr ApplyImpl(const QueryPtr& query, void* memo) const;
+  QueryPtr ApplyNode(const QueryPtr& query, void* memo) const;
+
+  std::map<std::string, QueryPtr> bindings_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_HQL_SUBST_H_

@@ -1,0 +1,265 @@
+#include "opt/estimator.h"
+
+#include <algorithm>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "hql/free_dom.h"
+
+namespace hql {
+
+namespace {
+
+constexpr double kUnknownCardinality = 1000.0;
+
+}  // namespace
+
+double CardinalityEstimator::EstimateQuery(const QueryPtr& query) const {
+  return Estimate(query, Env());
+}
+
+double CardinalityEstimator::EstimateCost(const QueryPtr& query) const {
+  double cost = 0;
+  Cost(query, Env(), &cost);
+  return cost;
+}
+
+double CardinalityEstimator::Cost(const QueryPtr& query, const Env& env,
+                                  double* cost) const {
+  switch (query->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton: {
+      double card = Estimate(query, env);
+      *cost += card;
+      return card;
+    }
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate: {
+      double child = Cost(query->left(), env, cost);
+      double card = child;
+      if (query->kind() == QueryKind::kSelect) {
+        card = child * EstimatePredicate(query->predicate());
+      } else if (query->kind() == QueryKind::kAggregate) {
+        card = child * 0.1;  // grouping collapses ~10x by default
+      }
+      *cost += card;
+      return card;
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference: {
+      double l = Cost(query->left(), env, cost);
+      double r = Cost(query->right(), env, cost);
+      double card = 0;
+      switch (query->kind()) {
+        case QueryKind::kUnion:
+          card = l + r;
+          break;
+        case QueryKind::kIntersect:
+          card = 0.5 * std::min(l, r);
+          break;
+        case QueryKind::kProduct:
+          card = l * r;
+          break;
+        case QueryKind::kJoin:
+          card = std::max(1.0, l * r *
+                                   EstimatePredicate(query->predicate()));
+          break;
+        default:
+          card = l;
+          break;
+      }
+      *cost += card;
+      return card;
+    }
+    case QueryKind::kWhen: {
+      // Charge the state's bindings once (they are materialized or, in a
+      // lazy reading, shared), then the body under the adjusted env.
+      Env inner = ApplyState(query->state(), env);
+      if (query->state()->kind() == HypoKind::kSubst) {
+        for (const Binding& b : query->state()->bindings()) {
+          Cost(b.query, env, cost);
+        }
+      } else {
+        *cost += EstimateStateMaterialization(query->state());
+      }
+      return Cost(query->left(), inner, cost);
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+double CardinalityEstimator::EstimateStateMaterialization(
+    const HypoExprPtr& state) const {
+  Env env;
+  switch (state->kind()) {
+    case HypoKind::kSubst: {
+      double total = 0;
+      for (const Binding& b : state->bindings()) {
+        total += Estimate(b.query, env);
+      }
+      return total;
+    }
+    case HypoKind::kUpdateState:
+    case HypoKind::kCompose:
+    case HypoKind::kStateWhen: {
+      // Materialization cost of the resulting state: the cardinalities of
+      // every relation the state writes, in the final environment.
+      Env out = ApplyState(state, env);
+      double total = 0;
+      for (const auto& [name, card] : out) {
+        (void)name;
+        total += card;
+      }
+      return total;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+double CardinalityEstimator::BaseCardinality(const std::string& name,
+                                             const Env& env) const {
+  auto it = env.find(name);
+  if (it != env.end()) return it->second;
+  return static_cast<double>(stats_->CardinalityOf(
+      name, static_cast<uint64_t>(kUnknownCardinality)));
+}
+
+double CardinalityEstimator::EstimatePredicate(
+    const ScalarExprPtr& pred) const {
+  if (pred->kind() == ScalarKind::kBinary) {
+    switch (pred->op()) {
+      case ScalarOp::kEq:
+        return sel_.equality;
+      case ScalarOp::kLt:
+      case ScalarOp::kLe:
+      case ScalarOp::kGt:
+      case ScalarOp::kGe:
+        return sel_.range;
+      case ScalarOp::kAnd:
+        return EstimatePredicate(pred->lhs()) *
+               EstimatePredicate(pred->rhs());
+      case ScalarOp::kOr: {
+        double a = EstimatePredicate(pred->lhs());
+        double b = EstimatePredicate(pred->rhs());
+        return std::min(1.0, a + b - a * b);
+      }
+      default:
+        return sel_.other;
+    }
+  }
+  return sel_.other;
+}
+
+double CardinalityEstimator::Estimate(const QueryPtr& query,
+                                      const Env& env) const {
+  switch (query->kind()) {
+    case QueryKind::kRel:
+      return BaseCardinality(query->rel_name(), env);
+    case QueryKind::kEmpty:
+      return 0;
+    case QueryKind::kSingleton:
+      return 1;
+    case QueryKind::kSelect:
+      return Estimate(query->left(), env) *
+             EstimatePredicate(query->predicate());
+    case QueryKind::kProject:
+      return Estimate(query->left(), env);
+    case QueryKind::kAggregate:
+      return 0.1 * Estimate(query->left(), env);
+    case QueryKind::kUnion:
+      return Estimate(query->left(), env) + Estimate(query->right(), env);
+    case QueryKind::kIntersect:
+      return 0.5 * std::min(Estimate(query->left(), env),
+                            Estimate(query->right(), env));
+    case QueryKind::kProduct:
+      return Estimate(query->left(), env) * Estimate(query->right(), env);
+    case QueryKind::kJoin: {
+      double l = Estimate(query->left(), env);
+      double r = Estimate(query->right(), env);
+      return std::max(1.0, l * r * EstimatePredicate(query->predicate()));
+    }
+    case QueryKind::kDifference:
+      return Estimate(query->left(), env);
+    case QueryKind::kWhen: {
+      Env inner = ApplyState(query->state(), env);
+      return Estimate(query->left(), inner);
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+CardinalityEstimator::Env CardinalityEstimator::ApplyState(
+    const HypoExprPtr& state, const Env& env) const {
+  switch (state->kind()) {
+    case HypoKind::kUpdateState:
+      return ApplyUpdate(state->update(), env);
+    case HypoKind::kSubst: {
+      Env out = env;
+      for (const Binding& b : state->bindings()) {
+        out[b.rel_name] = Estimate(b.query, env);  // parallel assignment
+      }
+      return out;
+    }
+    case HypoKind::kCompose:
+      return ApplyState(state->second(),
+                        ApplyState(state->first(), env));
+    case HypoKind::kStateWhen: {
+      // eta1's effect estimated in eta2's environment; only dom(eta1)
+      // names change relative to env.
+      Env context = ApplyState(state->second(), env);
+      Env moved = ApplyState(state->first(), context);
+      Env out = env;
+      for (const std::string& name : DomNames(state->first())) {
+        auto it = moved.find(name);
+        if (it != moved.end()) out[name] = it->second;
+      }
+      return out;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+CardinalityEstimator::Env CardinalityEstimator::ApplyUpdate(
+    const UpdatePtr& update, const Env& env) const {
+  switch (update->kind()) {
+    case UpdateKind::kInsert: {
+      Env out = env;
+      out[update->rel_name()] = BaseCardinality(update->rel_name(), env) +
+                                Estimate(update->query(), env);
+      return out;
+    }
+    case UpdateKind::kDelete: {
+      Env out = env;
+      double base = BaseCardinality(update->rel_name(), env);
+      out[update->rel_name()] =
+          std::max(0.0, base - 0.5 * Estimate(update->query(), env));
+      return out;
+    }
+    case UpdateKind::kSeq:
+      return ApplyUpdate(update->second(),
+                         ApplyUpdate(update->first(), env));
+    case UpdateKind::kCond: {
+      // Average the two branches.
+      Env a = ApplyUpdate(update->then_branch(), env);
+      Env b = ApplyUpdate(update->else_branch(), env);
+      Env out = env;
+      for (const auto& [name, card] : a) out[name] = card;
+      for (const auto& [name, card] : b) {
+        auto it = out.find(name);
+        out[name] = it == out.end() ? card : 0.5 * (it->second + card);
+      }
+      return out;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+}  // namespace hql

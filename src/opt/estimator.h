@@ -1,0 +1,70 @@
+#ifndef HQL_OPT_ESTIMATOR_H_
+#define HQL_OPT_ESTIMATOR_H_
+
+// Cardinality estimation for RA_hyp queries. The paper leaves "techniques
+// for estimating the cost of execution plans involving xsub-values and
+// delta values" as future work (Section 6); this is the standard
+// System-R-style model instantiated for HQL: hypothetical states adjust
+// the per-relation cardinality environment under which the query in their
+// scope is estimated.
+
+#include <map>
+#include <string>
+
+#include "ast/forward.h"
+#include "storage/stats.h"
+
+namespace hql {
+
+/// Selectivity constants (classic textbook defaults).
+struct Selectivity {
+  double equality = 0.1;
+  double range = 0.33;
+  double other = 0.5;
+  double equi_join = 0.1;   // of the smaller input
+  double theta_join = 0.33; // of the product
+};
+
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const StatsCatalog& stats,
+                                Selectivity selectivity = Selectivity())
+      : stats_(&stats), sel_(selectivity) {}
+
+  /// Estimated output cardinality of `query` (handles `when` by estimating
+  /// hypothetical states into a modified cardinality environment).
+  double EstimateQuery(const QueryPtr& query) const;
+
+  /// Estimated evaluation cost in the C_out model: the sum of the estimated
+  /// cardinalities of every intermediate result, including the cost of
+  /// materializing hypothetical states. Unlike EstimateQuery this charges
+  /// for *work*, so inlining a binding at k occurrences costs ~k times the
+  /// binding's cost — the quantity the hybrid planner trades off against
+  /// one-shot materialization.
+  double EstimateCost(const QueryPtr& query) const;
+
+  /// Estimated total tuples that materializing `state` would produce (the
+  /// eager cost of an xsub-value for this state).
+  double EstimateStateMaterialization(const HypoExprPtr& state) const;
+
+ private:
+  using Env = std::map<std::string, double>;
+
+  double Estimate(const QueryPtr& query, const Env& env) const;
+  /// Returns output cardinality; adds the node's C_out contribution (its
+  /// own output plus its children's costs) to *cost.
+  double Cost(const QueryPtr& query, const Env& env, double* cost) const;
+  double EstimatePredicate(const ScalarExprPtr& pred) const;
+  /// Returns the environment reflecting `state` applied on top of `env`.
+  Env ApplyState(const HypoExprPtr& state, const Env& env) const;
+  Env ApplyUpdate(const UpdatePtr& update, const Env& env) const;
+
+  double BaseCardinality(const std::string& name, const Env& env) const;
+
+  const StatsCatalog* stats_;
+  Selectivity sel_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_OPT_ESTIMATOR_H_

@@ -1,0 +1,83 @@
+#include "opt/explain.h"
+
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "ast/typecheck.h"
+#include "common/strings.h"
+#include "hql/collapse.h"
+#include "hql/enf.h"
+#include "hql/free_dom.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "opt/estimator.h"
+#include "opt/planner.h"
+
+namespace hql {
+
+Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
+                              const StatsCatalog& stats) {
+  ExplainReport report;
+
+  HQL_ASSIGN_OR_RETURN(report.arity, InferQueryArity(query, schema));
+  report.when_depth = WhenDepth(query);
+  report.tree_size = TreeSize(query);
+  report.dag_size = DagSize(query);
+
+  HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
+  report.enf = enf->ToString();
+  HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(enf, schema));
+  report.collapsed = CollapsedToString(tree);
+  report.has_mod_enf = ToModEnf(query, schema).ok();
+
+  HQL_ASSIGN_OR_RETURN(QueryPtr reduced, Reduce(query, schema));
+  report.lazy_tree_size = TreeSize(reduced);
+  HQL_ASSIGN_OR_RETURN(QueryPtr simplified, SimplifyRa(reduced, schema));
+  report.lazy = simplified->ToString();
+  report.lazy_is_empty = simplified->kind() == QueryKind::kEmpty;
+
+  HQL_ASSIGN_OR_RETURN(Plan plan, PlanHybrid(query, schema, stats));
+  report.plan = plan.query->ToString();
+  report.lazy_decisions = plan.lazy_decisions;
+  report.eager_decisions = plan.eager_decisions;
+
+  CardinalityEstimator estimator(stats);
+  report.estimated_cardinality = estimator.EstimateQuery(query);
+  report.lazy_cost = estimator.EstimateCost(simplified);
+  report.hybrid_cost = estimator.EstimateCost(plan.query);
+  double materialization = 0;
+  if (enf->kind() == QueryKind::kWhen) {
+    materialization =
+        estimator.EstimateStateMaterialization(enf->state());
+  }
+  report.state_materialization = materialization;
+  return report;
+}
+
+std::string FormatExplain(const ExplainReport& report) {
+  std::string out;
+  out += StrFormat(
+      "shape:      arity %zu, when-depth %zu, tree %.0f nodes, dag %llu "
+      "nodes\n",
+      report.arity, report.when_depth, report.tree_size,
+      static_cast<unsigned long long>(report.dag_size));
+  out += "enf:        " + report.enf + "\n";
+  out += "collapsed:  " + report.collapsed + "\n";
+  out += StrFormat("lazy (%.0f nodes before simplification):\n",
+                   report.lazy_tree_size);
+  out += "            " + report.lazy + "\n";
+  if (report.lazy_is_empty) {
+    out += "            (statically empty: no evaluation needed)\n";
+  }
+  out += "plan:       " + report.plan + "\n";
+  out += StrFormat("decisions:  %d lazy, %d eager; mod-ENF (HQL-3): %s\n",
+                   report.lazy_decisions, report.eager_decisions,
+                   report.has_mod_enf ? "yes" : "via precise deltas");
+  out += StrFormat(
+      "estimates:  |result| ~%.0f, lazy cost ~%.0f, hybrid cost ~%.0f, "
+      "state materialization ~%.0f tuples\n",
+      report.estimated_cardinality, report.lazy_cost, report.hybrid_cost,
+      report.state_materialization);
+  return out;
+}
+
+}  // namespace hql

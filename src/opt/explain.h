@@ -1,0 +1,57 @@
+#ifndef HQL_OPT_EXPLAIN_H_
+#define HQL_OPT_EXPLAIN_H_
+
+// Structured explanation of how the framework would treat a hypothetical
+// query: its static shape, every normal form along the lazy<->eager
+// spectrum, the hybrid plan, and the cost model's view of each route.
+// This is the developer-facing face of the paper's "choice of an
+// equivalent ENF query is the choice of how eager or lazy the evaluation
+// of Q is" (Section 5.2).
+
+#include <string>
+
+#include "ast/forward.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/stats.h"
+
+namespace hql {
+
+struct ExplainReport {
+  // Static shape.
+  size_t arity = 0;
+  size_t when_depth = 0;
+  double tree_size = 0;
+  uint64_t dag_size = 0;
+
+  // Normal forms (textual syntax; all parse back).
+  std::string enf;             // every state an explicit substitution
+  std::string collapsed;       // HQL-2's clustered tree (debug rendering)
+  std::string lazy;            // red(Q) after RA simplification
+  bool lazy_is_empty = false;  // the rewriter proved the query empty
+  double lazy_tree_size = 0;   // size of the (unsimplified) lazy rewrite
+  bool has_mod_enf = false;    // HQL-3 can run on atomic deltas directly
+
+  // Hybrid plan.
+  std::string plan;
+  int lazy_decisions = 0;
+  int eager_decisions = 0;
+
+  // Cost model.
+  double estimated_cardinality = 0;
+  double lazy_cost = 0;
+  double hybrid_cost = 0;
+  double state_materialization = 0;  // eager xsub tuples, all states
+};
+
+/// Builds the full report. `stats` drives the cost numbers (use
+/// StatsCatalog::FromDatabase for exact base cardinalities).
+Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
+                              const StatsCatalog& stats);
+
+/// Multi-line human-readable rendering.
+std::string FormatExplain(const ExplainReport& report);
+
+}  // namespace hql
+
+#endif  // HQL_OPT_EXPLAIN_H_

@@ -1,0 +1,338 @@
+#include "opt/planner.h"
+
+#include <vector>
+
+#include "ast/hypo.h"
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "common/check.h"
+#include "eval/direct.h"
+#include "eval/filter1.h"
+#include "eval/filter2.h"
+#include "eval/filter3.h"
+#include "eval/ra_eval.h"
+#include "hql/enf.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "hql/free_dom.h"
+#include "hql/subst.h"
+#include "opt/estimator.h"
+
+namespace hql {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDirect:
+      return "direct";
+    case Strategy::kLazy:
+      return "lazy";
+    case Strategy::kFilter1:
+      return "filter1";
+    case Strategy::kFilter2:
+      return "filter2";
+    case Strategy::kFilter3:
+      return "filter3";
+    case Strategy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+// Simplifies the pure-RA regions of a (possibly hypothetical) query.
+Result<QueryPtr> SimplifyMixed(const QueryPtr& q, const Schema& schema) {
+  if (IsPureRelAlg(q)) return SimplifyRa(q, schema);
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return q;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Select(q->predicate(), std::move(c));
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Project(q->columns(), std::move(c));
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                              std::move(c));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
+      switch (q->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
+      return Query::Join(q->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr body, SimplifyMixed(q->left(), schema));
+      if (q->state()->kind() != HypoKind::kSubst) {
+        return Query::When(std::move(body), q->state());
+      }
+      std::vector<Binding> bindings;
+      for (const Binding& b : q->state()->bindings()) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr v, SimplifyMixed(b.query, schema));
+        bindings.push_back(Binding{b.rel_name, std::move(v)});
+      }
+      return Query::When(std::move(body),
+                         HypoExpr::Subst(std::move(bindings)));
+    }
+  }
+  return Status::Internal("unknown query kind in SimplifyMixed");
+}
+
+struct HybridWalker {
+  const Schema& schema;
+  const CardinalityEstimator estimator;
+  const PlannerOptions& options;
+  int lazy_decisions = 0;
+  int eager_decisions = 0;
+
+  HybridWalker(const Schema& s, const StatsCatalog& stats,
+               const PlannerOptions& o)
+      : schema(s), estimator(stats), options(o) {}
+
+  Result<QueryPtr> Walk(const QueryPtr& q) {
+    switch (q->kind()) {
+      case QueryKind::kRel:
+      case QueryKind::kEmpty:
+      case QueryKind::kSingleton:
+        return q;
+      case QueryKind::kSelect: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, Walk(q->left()));
+        return Query::Select(q->predicate(), std::move(c));
+      }
+      case QueryKind::kProject: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, Walk(q->left()));
+        return Query::Project(q->columns(), std::move(c));
+      }
+      case QueryKind::kAggregate: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr c, Walk(q->left()));
+        return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                                std::move(c));
+      }
+      case QueryKind::kUnion:
+      case QueryKind::kIntersect:
+      case QueryKind::kProduct:
+      case QueryKind::kDifference: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr l, Walk(q->left()));
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, Walk(q->right()));
+        switch (q->kind()) {
+          case QueryKind::kUnion:
+            return Query::Union(std::move(l), std::move(r));
+          case QueryKind::kIntersect:
+            return Query::Intersect(std::move(l), std::move(r));
+          case QueryKind::kProduct:
+            return Query::Product(std::move(l), std::move(r));
+          default:
+            return Query::Difference(std::move(l), std::move(r));
+        }
+      }
+      case QueryKind::kJoin: {
+        HQL_ASSIGN_OR_RETURN(QueryPtr l, Walk(q->left()));
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, Walk(q->right()));
+        return Query::Join(q->predicate(), std::move(l), std::move(r));
+      }
+      case QueryKind::kWhen:
+        return WalkWhen(q);
+    }
+    return Status::Internal("unknown query kind in PlanHybrid");
+  }
+
+  Result<QueryPtr> WalkWhen(const QueryPtr& q) {
+    HQL_CHECK(q->state()->kind() == HypoKind::kSubst);  // input is ENF
+    HQL_ASSIGN_OR_RETURN(QueryPtr body, Walk(q->left()));
+    std::vector<Binding> bindings;
+    bool pure = IsPureRelAlg(body);
+    for (const Binding& b : q->state()->bindings()) {
+      HQL_ASSIGN_OR_RETURN(QueryPtr v, Walk(b.query));
+      pure = pure && IsPureRelAlg(v);
+      bindings.push_back(Binding{b.rel_name, std::move(v)});
+    }
+    HypoExprPtr state = HypoExpr::Subst(bindings);
+    QueryPtr eager_form = Query::When(body, state);
+
+    if (pure) {
+      Substitution subst;
+      for (const Binding& b : bindings) subst.Bind(b.rel_name, b.query);
+      QueryPtr applied = subst.Apply(body);
+      if (TreeSize(applied) <= options.max_lazy_tree_size) {
+        double lazy_cost = estimator.EstimateCost(applied);
+        double eager_cost =
+            estimator.EstimateStateMaterialization(state) /
+                std::max(1.0, options.reuse_count) +
+            estimator.EstimateCost(eager_form);
+        if (lazy_cost <= eager_cost) {
+          ++lazy_decisions;
+          return applied;
+        }
+      }
+    }
+    ++eager_decisions;
+    return eager_form;
+  }
+};
+
+// Sums, over every hypothetical state in `q`, the estimated tuples the
+// state writes (materialization) and the current cardinality of the
+// relations it writes (affected base) — the inputs to the delta-route
+// decision.
+void CollectStateLoad(const QueryPtr& q, const StatsCatalog& stats,
+                      const CardinalityEstimator& estimator,
+                      double* materialization, double* affected_base) {
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return;
+    case QueryKind::kSelect:
+    case QueryKind::kProject:
+    case QueryKind::kAggregate:
+      CollectStateLoad(q->left(), stats, estimator, materialization,
+                       affected_base);
+      return;
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+    case QueryKind::kDifference:
+      CollectStateLoad(q->left(), stats, estimator, materialization,
+                       affected_base);
+      CollectStateLoad(q->right(), stats, estimator, materialization,
+                       affected_base);
+      return;
+    case QueryKind::kWhen: {
+      CollectStateLoad(q->left(), stats, estimator, materialization,
+                       affected_base);
+      // For {ins/del} chains the change is the atoms' arguments, not the
+      // whole new relation value: charge the argument estimates.
+      if (q->state()->kind() == HypoKind::kUpdateState) {
+        std::vector<UpdatePtr> stack = {q->state()->update()};
+        while (!stack.empty()) {
+          UpdatePtr u = stack.back();
+          stack.pop_back();
+          switch (u->kind()) {
+            case UpdateKind::kInsert:
+            case UpdateKind::kDelete:
+              *materialization += estimator.EstimateQuery(u->query());
+              *affected_base += static_cast<double>(
+                  stats.CardinalityOf(u->rel_name(), 1000));
+              break;
+            case UpdateKind::kSeq:
+              stack.push_back(u->first());
+              stack.push_back(u->second());
+              break;
+            case UpdateKind::kCond:
+              stack.push_back(u->then_branch());
+              stack.push_back(u->else_branch());
+              break;
+          }
+        }
+      } else {
+        *materialization +=
+            estimator.EstimateStateMaterialization(q->state());
+        for (const std::string& name : DomNames(q->state())) {
+          *affected_base +=
+              static_cast<double>(stats.CardinalityOf(name, 1000));
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Plan> PlanHybrid(const QueryPtr& query, const Schema& schema,
+                        const StatsCatalog& stats,
+                        const PlannerOptions& options) {
+  HQL_CHECK(query != nullptr);
+  HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
+  HybridWalker walker(schema, stats, options);
+  HQL_ASSIGN_OR_RETURN(QueryPtr planned, walker.Walk(enf));
+  if (options.simplify) {
+    HQL_ASSIGN_OR_RETURN(planned, SimplifyMixed(planned, schema));
+  }
+  Plan plan;
+  plan.query = std::move(planned);
+  plan.lazy_decisions = walker.lazy_decisions;
+  plan.eager_decisions = walker.eager_decisions;
+  return plan;
+}
+
+Result<Relation> Execute(const QueryPtr& query, const Database& db,
+                         const Schema& schema, Strategy strategy,
+                         const PlannerOptions& options) {
+  HQL_CHECK(query != nullptr);
+  switch (strategy) {
+    case Strategy::kDirect:
+      return EvalDirect(query, db);
+    case Strategy::kLazy: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr reduced, Reduce(query, schema));
+      if (options.simplify) {
+        HQL_ASSIGN_OR_RETURN(reduced, SimplifyRa(reduced, schema));
+      }
+      DatabaseResolver resolver(db);
+      return EvalRa(reduced, resolver);
+    }
+    case Strategy::kFilter1: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
+      return Filter1(enf, db);
+    }
+    case Strategy::kFilter2: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
+      return Filter2(enf, db, schema);
+    }
+    case Strategy::kFilter3:
+      return Filter3(query, db, schema);
+    case Strategy::kHybrid: {
+      StatsCatalog stats = StatsCatalog::FromDatabase(db);
+      // Delta route: if every state is an atomic update chain (mod-ENF)
+      // and the estimated change is a small fraction of the data, HQL-3's
+      // streaming operators beat both substitution and xsub
+      // materialization (Section 5.5).
+      if (options.delta_fraction_threshold > 0 &&
+          !IsPureRelAlg(query) && ToModEnf(query, schema).ok()) {
+        CardinalityEstimator estimator(stats);
+        double materialization = 0;
+        double affected_base = 0;
+        CollectStateLoad(query, stats, estimator, &materialization,
+                         &affected_base);
+        if (affected_base > 0 &&
+            materialization <
+                options.delta_fraction_threshold * affected_base) {
+          return Filter3(query, db, schema);
+        }
+      }
+      HQL_ASSIGN_OR_RETURN(Plan plan,
+                           PlanHybrid(query, schema, stats, options));
+      if (IsPureRelAlg(plan.query)) {
+        DatabaseResolver resolver(db);
+        return EvalRa(plan.query, resolver);
+      }
+      return Filter2(plan.query, db, schema);
+    }
+  }
+  return Status::Internal("unknown strategy");
+}
+
+}  // namespace hql

@@ -1,0 +1,310 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/strings.h"
+
+namespace hql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kColumn:
+      return "$column";
+    case TokenKind::kSigma:
+      return "sigma";
+    case TokenKind::kPi:
+      return "pi";
+    case TokenKind::kGamma:
+      return "gamma";
+    case TokenKind::kCount:
+      return "count";
+    case TokenKind::kSum:
+      return "sum";
+    case TokenKind::kMin:
+      return "min";
+    case TokenKind::kMax:
+      return "max";
+    case TokenKind::kUnion:
+      return "union";
+    case TokenKind::kIsect:
+      return "isect";
+    case TokenKind::kCross:
+      return "x";
+    case TokenKind::kJoin:
+      return "join";
+    case TokenKind::kWhen:
+      return "when";
+    case TokenKind::kIns:
+      return "ins";
+    case TokenKind::kDel:
+      return "del";
+    case TokenKind::kIf:
+      return "if";
+    case TokenKind::kThen:
+      return "then";
+    case TokenKind::kElse:
+      return "else";
+    case TokenKind::kAnd:
+      return "and";
+    case TokenKind::kOr:
+      return "or";
+    case TokenKind::kNot:
+      return "not";
+    case TokenKind::kTrue:
+      return "true";
+    case TokenKind::kFalse:
+      return "false";
+    case TokenKind::kNull:
+      return "null";
+    case TokenKind::kEmptyKw:
+      return "empty";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kLBracket:
+      return "[";
+    case TokenKind::kRBracket:
+      return "]";
+    case TokenKind::kLBrace:
+      return "{";
+    case TokenKind::kRBrace:
+      return "}";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kSemicolon:
+      return ";";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kHash:
+      return "#";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokenKind>{
+      {"sigma", TokenKind::kSigma}, {"pi", TokenKind::kPi},
+      {"gamma", TokenKind::kGamma}, {"count", TokenKind::kCount},
+      {"sum", TokenKind::kSum},     {"min", TokenKind::kMin},
+      {"max", TokenKind::kMax},
+      {"union", TokenKind::kUnion}, {"isect", TokenKind::kIsect},
+      {"x", TokenKind::kCross},     {"join", TokenKind::kJoin},
+      {"when", TokenKind::kWhen},   {"ins", TokenKind::kIns},
+      {"del", TokenKind::kDel},     {"if", TokenKind::kIf},
+      {"then", TokenKind::kThen},   {"else", TokenKind::kElse},
+      {"and", TokenKind::kAnd},     {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},     {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse}, {"null", TokenKind::kNull},
+      {"empty", TokenKind::kEmptyKw},
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("lex error at offset %zu: %s", i, msg.c_str()));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.text = input.substr(start, i - start);
+      auto it = Keywords().find(tok.text);
+      tok.kind = it == Keywords().end() ? TokenKind::kIdent : it->second;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::stod(text);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::stoll(text);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '$': {
+        ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return error("expected digits after '$'");
+        }
+        size_t start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+        tok.kind = TokenKind::kColumn;
+        tok.int_value = std::stoll(input.substr(start, i - start));
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      case '\'': {
+        ++i;
+        std::string text;
+        for (;;) {
+          if (i >= n) return error("unterminated string literal");
+          if (input[i] == '\'') {
+            if (i + 1 < n && input[i + 1] == '\'') {
+              text.push_back('\'');
+              i += 2;
+              continue;
+            }
+            ++i;
+            break;
+          }
+          text.push_back(input[i]);
+          ++i;
+        }
+        tok.kind = TokenKind::kString;
+        tok.text = std::move(text);
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      case '(':
+        tok.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        tok.kind = TokenKind::kRParen;
+        break;
+      case '[':
+        tok.kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        tok.kind = TokenKind::kRBracket;
+        break;
+      case '{':
+        tok.kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        tok.kind = TokenKind::kRBrace;
+        break;
+      case ',':
+        tok.kind = TokenKind::kComma;
+        break;
+      case ';':
+        tok.kind = TokenKind::kSemicolon;
+        break;
+      case '/':
+        tok.kind = TokenKind::kSlash;
+        break;
+      case '#':
+        tok.kind = TokenKind::kHash;
+        break;
+      case '-':
+        tok.kind = TokenKind::kMinus;
+        break;
+      case '+':
+        tok.kind = TokenKind::kPlus;
+        break;
+      case '*':
+        tok.kind = TokenKind::kStar;
+        break;
+      case '%':
+        tok.kind = TokenKind::kPercent;
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          ++i;
+        } else {
+          tok.kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          ++i;
+        } else {
+          tok.kind = TokenKind::kGt;
+        }
+        break;
+      case '=':
+        tok.kind = TokenKind::kEq;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          ++i;
+        } else {
+          return error("expected '=' after '!'");
+        }
+        break;
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+    ++i;
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace hql

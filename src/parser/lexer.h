@@ -1,0 +1,91 @@
+#ifndef HQL_PARSER_LEXER_H_
+#define HQL_PARSER_LEXER_H_
+
+// Tokenizer for the textual HQL syntax (the notation used throughout the
+// paper and produced by Query::ToString):
+//
+//   sigma[$0 > 30](R join[$0 = $2] S) when {ins(R, S); del(S, R)}
+//   Q when {sigma[$0 >= 60](S)/S} # {U}
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*; the keywords below are reserved.
+// Strings are single-quoted with '' as the escape for a quote.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hql {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kColumn,  // $N
+  // Keywords.
+  kSigma,
+  kPi,
+  kGamma,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kUnion,
+  kIsect,
+  kCross,  // x
+  kJoin,
+  kWhen,
+  kIns,
+  kDel,
+  kIf,
+  kThen,
+  kElse,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNull,
+  kEmptyKw,  // empty
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kSlash,
+  kHash,
+  kMinus,
+  kPlus,
+  kStar,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier / string payload
+  int64_t int_value = 0;  // kInt, kColumn
+  double float_value = 0.0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`; InvalidArgument with offset context on bad input.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace hql
+
+#endif  // HQL_PARSER_LEXER_H_

@@ -1,0 +1,468 @@
+#include "parser/parser.h"
+
+#include <set>
+#include <vector>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "common/strings.h"
+#include "parser/lexer.h"
+#include "storage/value.h"
+
+namespace hql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryPtr> ParseQueryTop() {
+    HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+    HQL_RETURN_IF_ERROR(ExpectEof());
+    return q;
+  }
+
+  Result<UpdatePtr> ParseUpdateTop() {
+    HQL_ASSIGN_OR_RETURN(UpdatePtr u, Update_());
+    HQL_RETURN_IF_ERROR(ExpectEof());
+    return u;
+  }
+
+  Result<HypoExprPtr> ParseHypoTop() {
+    HQL_ASSIGN_OR_RETURN(HypoExprPtr h, Hypo_());
+    HQL_RETURN_IF_ERROR(ExpectEof());
+    return h;
+  }
+
+  Result<ScalarExprPtr> ParseExprTop() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, OrExpr());
+    HQL_RETURN_IF_ERROR(ExpectEof());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Error(StrFormat("expected %s, found %s", TokenKindName(kind),
+                           TokenKindName(Peek().kind)));
+  }
+
+  Status ExpectEof() { return Expect(TokenKind::kEof); }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s", Peek().offset,
+                  msg.c_str()));
+  }
+
+  // ---- queries ----
+
+  Result<QueryPtr> Query_() {
+    HQL_ASSIGN_OR_RETURN(QueryPtr q, SetExpr());
+    while (Match(TokenKind::kWhen)) {
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr h, HypoAtom());
+      q = Query::When(std::move(q), std::move(h));
+    }
+    return q;
+  }
+
+  Result<QueryPtr> SetExpr() {
+    HQL_ASSIGN_OR_RETURN(QueryPtr q, IsectExpr());
+    for (;;) {
+      if (Match(TokenKind::kUnion)) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, IsectExpr());
+        q = Query::Union(std::move(q), std::move(r));
+      } else if (Match(TokenKind::kMinus)) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, IsectExpr());
+        q = Query::Difference(std::move(q), std::move(r));
+      } else {
+        return q;
+      }
+    }
+  }
+
+  Result<QueryPtr> IsectExpr() {
+    HQL_ASSIGN_OR_RETURN(QueryPtr q, CrossExpr());
+    while (Match(TokenKind::kIsect)) {
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, CrossExpr());
+      q = Query::Intersect(std::move(q), std::move(r));
+    }
+    return q;
+  }
+
+  Result<QueryPtr> CrossExpr() {
+    HQL_ASSIGN_OR_RETURN(QueryPtr q, Primary());
+    for (;;) {
+      if (Match(TokenKind::kCross)) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, Primary());
+        q = Query::Product(std::move(q), std::move(r));
+      } else if (Match(TokenKind::kJoin)) {
+        HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr pred, OrExpr());
+        HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+        HQL_ASSIGN_OR_RETURN(QueryPtr r, Primary());
+        q = Query::Join(std::move(pred), std::move(q), std::move(r));
+      } else {
+        return q;
+      }
+    }
+  }
+
+  Result<QueryPtr> Primary() {
+    if (Check(TokenKind::kIdent)) {
+      return Query::Rel(Advance().text);
+    }
+    if (Match(TokenKind::kEmptyKw)) {
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+      if (!Check(TokenKind::kInt)) return Error("expected arity in empty[..]");
+      int64_t arity = Advance().int_value;
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      if (arity <= 0) return Error("empty[..] arity must be positive");
+      return Query::Empty(static_cast<size_t>(arity));
+    }
+    if (Match(TokenKind::kSigma)) {
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr pred, OrExpr());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Query::Select(std::move(pred), std::move(q));
+    }
+    if (Match(TokenKind::kPi)) {
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+      std::vector<size_t> cols;
+      do {
+        if (!Check(TokenKind::kInt)) {
+          return Error("expected column index in pi[..]");
+        }
+        cols.push_back(static_cast<size_t>(Advance().int_value));
+      } while (Match(TokenKind::kComma));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Query::Project(std::move(cols), std::move(q));
+    }
+    if (Match(TokenKind::kGamma)) {
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+      std::vector<size_t> cols;
+      while (Check(TokenKind::kInt)) {
+        cols.push_back(static_cast<size_t>(Advance().int_value));
+        if (!Match(TokenKind::kComma)) break;
+      }
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      AggFunc func;
+      if (Match(TokenKind::kCount)) {
+        func = AggFunc::kCount;
+      } else if (Match(TokenKind::kSum)) {
+        func = AggFunc::kSum;
+      } else if (Match(TokenKind::kMin)) {
+        func = AggFunc::kMin;
+      } else if (Match(TokenKind::kMax)) {
+        func = AggFunc::kMax;
+      } else {
+        return Error("expected count/sum/min/max in gamma[..]");
+      }
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      if (!Check(TokenKind::kInt)) {
+        return Error("expected aggregate column index");
+      }
+      size_t agg_col = static_cast<size_t>(Advance().int_value);
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Query::Aggregate(std::move(cols), func, agg_col, std::move(q));
+    }
+    if (Match(TokenKind::kLBrace)) {
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      Tuple t;
+      do {
+        HQL_ASSIGN_OR_RETURN(Value v, Literal());
+        t.push_back(std::move(v));
+      } while (Match(TokenKind::kComma));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return Query::Singleton(std::move(t));
+    }
+    if (Match(TokenKind::kLParen)) {
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return q;
+    }
+    return Error(StrFormat("expected a query, found %s",
+                           TokenKindName(Peek().kind)));
+  }
+
+  Result<Value> Literal() {
+    if (Check(TokenKind::kInt)) return Value::Int(Advance().int_value);
+    if (Check(TokenKind::kFloat)) return Value::Double(Advance().float_value);
+    if (Check(TokenKind::kString)) return Value::Str(Advance().text);
+    if (Match(TokenKind::kTrue)) return Value::Bool(true);
+    if (Match(TokenKind::kFalse)) return Value::Bool(false);
+    if (Match(TokenKind::kNull)) return Value::Nul();
+    if (Match(TokenKind::kMinus)) {
+      if (Check(TokenKind::kInt)) return Value::Int(-Advance().int_value);
+      if (Check(TokenKind::kFloat)) {
+        return Value::Double(-Advance().float_value);
+      }
+      return Error("expected a number after '-'");
+    }
+    return Error(StrFormat("expected a literal, found %s",
+                           TokenKindName(Peek().kind)));
+  }
+
+  // ---- hypothetical states ----
+
+  Result<HypoExprPtr> Hypo_() {
+    HQL_ASSIGN_OR_RETURN(HypoExprPtr h, HypoAtom());
+    for (;;) {
+      if (Match(TokenKind::kHash)) {
+        HQL_ASSIGN_OR_RETURN(HypoExprPtr r, HypoAtom());
+        h = HypoExpr::Compose(std::move(h), std::move(r));
+      } else if (Match(TokenKind::kWhen)) {
+        // State-level when: eta1 when eta2 (only reachable inside
+        // parentheses, so it never collides with query-level when).
+        HQL_ASSIGN_OR_RETURN(HypoExprPtr r, HypoAtom());
+        h = HypoExpr::StateWhen(std::move(h), std::move(r));
+      } else {
+        return h;
+      }
+    }
+  }
+
+  Result<HypoExprPtr> HypoAtom() {
+    if (Match(TokenKind::kLParen)) {
+      HQL_ASSIGN_OR_RETURN(HypoExprPtr h, Hypo_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return h;
+    }
+    HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    if (Match(TokenKind::kRBrace)) {
+      return HypoExpr::Subst({});  // identity substitution
+    }
+    if (Check(TokenKind::kIns) || Check(TokenKind::kDel) ||
+        Check(TokenKind::kIf)) {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr u, Update_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return HypoExpr::UpdateState(std::move(u));
+    }
+    // Binding list.
+    std::vector<Binding> bindings;
+    std::set<std::string> names;
+    do {
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kSlash));
+      if (!Check(TokenKind::kIdent)) {
+        return Error("expected a relation name after '/'");
+      }
+      std::string name = Advance().text;
+      if (!names.insert(name).second) {
+        return Error("duplicate relation in substitution: " + name);
+      }
+      bindings.push_back(Binding{std::move(name), std::move(q)});
+    } while (Match(TokenKind::kComma));
+    HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return HypoExpr::Subst(std::move(bindings));
+  }
+
+  // ---- updates ----
+
+  Result<UpdatePtr> Update_() {
+    HQL_ASSIGN_OR_RETURN(UpdatePtr u, UpdateAtom());
+    while (Match(TokenKind::kSemicolon)) {
+      HQL_ASSIGN_OR_RETURN(UpdatePtr r, UpdateAtom());
+      u = Update::Seq(std::move(u), std::move(r));
+    }
+    return u;
+  }
+
+  Result<UpdatePtr> UpdateAtom() {
+    if (Check(TokenKind::kIns) || Check(TokenKind::kDel)) {
+      bool is_insert = Advance().kind == TokenKind::kIns;
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      if (!Check(TokenKind::kIdent)) {
+        return Error("expected a relation name");
+      }
+      std::string name = Advance().text;
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      HQL_ASSIGN_OR_RETURN(QueryPtr q, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return is_insert ? Update::Insert(std::move(name), std::move(q))
+                       : Update::Delete(std::move(name), std::move(q));
+    }
+    if (Match(TokenKind::kIf)) {
+      HQL_ASSIGN_OR_RETURN(QueryPtr guard, Query_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kThen));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr t, Update_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kElse));
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+      HQL_ASSIGN_OR_RETURN(UpdatePtr e, Update_());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return Update::Cond(std::move(guard), std::move(t), std::move(e));
+    }
+    return Error(StrFormat("expected ins/del/if, found %s",
+                           TokenKindName(Peek().kind)));
+  }
+
+  // ---- scalar expressions ----
+
+  Result<ScalarExprPtr> OrExpr() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, AndExpr());
+    while (Match(TokenKind::kOr)) {
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, AndExpr());
+      e = ScalarExpr::Binary(ScalarOp::kOr, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ScalarExprPtr> AndExpr() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, NotExpr());
+    while (Match(TokenKind::kAnd)) {
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, NotExpr());
+      e = ScalarExpr::Binary(ScalarOp::kAnd, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ScalarExprPtr> NotExpr() {
+    if (Match(TokenKind::kNot)) {
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, NotExpr());
+      return ScalarExpr::Unary(ScalarOp::kNot, std::move(e));
+    }
+    return CmpExpr();
+  }
+
+  Result<ScalarExprPtr> CmpExpr() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, AddExpr());
+    ScalarOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = ScalarOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = ScalarOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = ScalarOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = ScalarOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = ScalarOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = ScalarOp::kGe;
+        break;
+      default:
+        return e;
+    }
+    Advance();
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, AddExpr());
+    return ScalarExpr::Binary(op, std::move(e), std::move(r));
+  }
+
+  Result<ScalarExprPtr> AddExpr() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, MulExpr());
+    for (;;) {
+      if (Match(TokenKind::kPlus)) {
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, MulExpr());
+        e = ScalarExpr::Binary(ScalarOp::kAdd, std::move(e), std::move(r));
+      } else if (Match(TokenKind::kMinus)) {
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, MulExpr());
+        e = ScalarExpr::Binary(ScalarOp::kSub, std::move(e), std::move(r));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ScalarExprPtr> MulExpr() {
+    HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, UnaryExpr());
+    for (;;) {
+      if (Match(TokenKind::kStar)) {
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, UnaryExpr());
+        e = ScalarExpr::Binary(ScalarOp::kMul, std::move(e), std::move(r));
+      } else if (Match(TokenKind::kSlash)) {
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, UnaryExpr());
+        e = ScalarExpr::Binary(ScalarOp::kDiv, std::move(e), std::move(r));
+      } else if (Match(TokenKind::kPercent)) {
+        HQL_ASSIGN_OR_RETURN(ScalarExprPtr r, UnaryExpr());
+        e = ScalarExpr::Binary(ScalarOp::kMod, std::move(e), std::move(r));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ScalarExprPtr> UnaryExpr() {
+    if (Match(TokenKind::kMinus)) {
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, UnaryExpr());
+      return ScalarExpr::Unary(ScalarOp::kNeg, std::move(e));
+    }
+    if (Check(TokenKind::kColumn)) {
+      return ScalarExpr::Column(static_cast<size_t>(Advance().int_value));
+    }
+    if (Match(TokenKind::kLParen)) {
+      HQL_ASSIGN_OR_RETURN(ScalarExprPtr e, OrExpr());
+      HQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return e;
+    }
+    HQL_ASSIGN_OR_RETURN(Value v, Literal());
+    return ScalarExpr::Literal(std::move(v));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(const std::string& input) {
+  HQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryTop();
+}
+
+Result<UpdatePtr> ParseUpdate(const std::string& input) {
+  HQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseUpdateTop();
+}
+
+Result<HypoExprPtr> ParseHypo(const std::string& input) {
+  HQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseHypoTop();
+}
+
+Result<ScalarExprPtr> ParseScalarExpr(const std::string& input) {
+  HQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprTop();
+}
+
+}  // namespace hql

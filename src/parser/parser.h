@@ -1,0 +1,61 @@
+#ifndef HQL_PARSER_PARSER_H_
+#define HQL_PARSER_PARSER_H_
+
+// Recursive-descent parser for textual HQL. The grammar (loosest binding
+// first; every Query::ToString output parses back to an equal AST):
+//
+//   query    := setexpr ('when' hypoatom)*
+//   setexpr  := isect (('union' | '-') isect)*         left associative
+//   isect    := cross ('isect' cross)*
+//   cross    := primary (('x' | 'join' '[' expr ']') primary)*
+//   primary  := NAME | 'empty' '[' INT ']'
+//             | 'sigma' '[' expr ']' '(' query ')'
+//             | 'pi' '[' INT (',' INT)* ']' '(' query ')'
+//             | '{' '(' literal (',' literal)* ')' '}'        singleton
+//             | '(' query ')'
+//
+//   hypo     := hypoatom (('#' | 'when') hypoatom)*    left associative
+//               ('when' here is state-level: eta1 when eta2)
+//   hypoatom := '{' '}'                                identity substitution
+//             | '{' update '}'
+//             | '{' bindings '}'
+//             | '(' hypo ')'
+//   bindings := query '/' NAME (',' query '/' NAME)*
+//   update   := uatom (';' uatom)*
+//   uatom    := 'ins' '(' NAME ',' query ')'
+//             | 'del' '(' NAME ',' query ')'
+//             | 'if' query 'then' '{' update '}' else' '{' update '}'
+//
+//   expr     := orx;  orx := andx ('or' andx)*;  andx := notx ('and' notx)*
+//   notx     := 'not' notx | cmp
+//   cmp      := add (('='|'!='|'<'|'<='|'>'|'>=') add)?
+//   add      := mul (('+'|'-') mul)*;  mul := unary (('*'|'/'|'%') unary)*
+//   unary    := '-' unary | '$'INT | literal | '(' expr ')'
+//
+// Inside '{...}' the distinction between an update, a binding list and a
+// singleton tuple is made by one-token lookahead ('ins'/'del'/'if' starts
+// an update; '(' followed by a literal starts a tuple in query position;
+// anything else starts a binding list).
+
+#include <string>
+
+#include "ast/forward.h"
+#include "common/result.h"
+
+namespace hql {
+
+/// Parses a full HQL query; the entire input must be consumed.
+Result<QueryPtr> ParseQuery(const std::string& input);
+
+/// Parses an update expression (the body of a {U} state).
+Result<UpdatePtr> ParseUpdate(const std::string& input);
+
+/// Parses a hypothetical-state expression, e.g. "{Q/R} # {ins(S, Q)}".
+Result<HypoExprPtr> ParseHypo(const std::string& input);
+
+/// Parses a scalar/predicate expression, e.g. "$0 > 30 and $1 = 'x'".
+Result<ScalarExprPtr> ParseScalarExpr(const std::string& input);
+
+}  // namespace hql
+
+#endif  // HQL_PARSER_PARSER_H_

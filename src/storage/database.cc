@@ -1,0 +1,66 @@
+#include "storage/database.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  for (const auto& [name, arity] : schema_.arities()) {
+    relations_.emplace(name, Relation(arity));
+  }
+}
+
+Result<Relation> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return it->second;
+}
+
+const Relation& Database::GetRef(const std::string& name) const {
+  auto it = relations_.find(name);
+  HQL_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+Status Database::Set(const std::string& name, Relation value) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  if (it->second.arity() != value.arity()) {
+    return Status::TypeError(StrFormat(
+        "arity mismatch assigning %s: schema %zu, value %zu", name.c_str(),
+        it->second.arity(), value.arity()));
+  }
+  it->second = std::move(value);
+  return Status::OK();
+}
+
+bool Database::operator==(const Database& other) const {
+  return relations_ == other.relations_;
+}
+
+uint64_t Database::Hash() const {
+  uint64_t h = 0x452821E638D01377ULL;
+  for (const auto& [name, rel] : relations_) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, rel.Hash());
+  }
+  return h;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += name;
+    out += " = ";
+    out += rel.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hql

@@ -1,0 +1,55 @@
+#ifndef HQL_STORAGE_DATABASE_H_
+#define HQL_STORAGE_DATABASE_H_
+
+// A database state DB: a function mapping every relation name of a schema to
+// a relation of the appropriate arity (paper Section 3.1). Databases are
+// value types: copying one produces an independent state, which is exactly
+// the DB[R <- V] notation of the paper's update semantics.
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+class Database {
+ public:
+  /// A state over `schema` with every relation empty.
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// DB(R); NotFound for names outside the schema.
+  Result<Relation> Get(const std::string& name) const;
+
+  /// DB(R) by reference; CHECK-fails for names outside the schema (internal
+  /// evaluator paths validate names beforehand via typecheck).
+  const Relation& GetRef(const std::string& name) const;
+
+  /// DB[R <- value]; arity must match the schema.
+  Status Set(const std::string& name, Relation value);
+
+  bool operator==(const Database& other) const;
+  bool operator!=(const Database& other) const { return !(*this == other); }
+
+  uint64_t Hash() const;
+
+  /// Multi-line listing of all relations, for debugging and examples.
+  std::string ToString() const;
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  Schema schema_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_DATABASE_H_

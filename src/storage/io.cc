@@ -1,0 +1,215 @@
+#include "storage/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hql {
+
+std::string DatabaseToText(const Database& db) {
+  std::string out;
+  out += "# hql database, format v1\n";
+  for (const auto& [name, rel] : db.relations()) {
+    out += StrFormat("relation %s %zu\n", name.c_str(), rel.arity());
+    for (const Tuple& t : rel) {
+      out += TupleToString(t);
+      out += "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Parses one literal tuple line "(v, v, ...)" with the Value literal
+// syntax (ints, floats, single-quoted strings, true/false/null).
+Result<Tuple> ParseTupleLine(const std::string& line, size_t line_no) {
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: %s", line_no, msg.c_str()));
+  };
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '(') return error("expected '('");
+  ++i;
+  Tuple t;
+  for (;;) {
+    skip_ws();
+    if (i >= line.size()) return error("unterminated tuple");
+    char c = line[i];
+    if (c == '\'') {
+      // String literal with '' escaping.
+      ++i;
+      std::string s;
+      for (;;) {
+        if (i >= line.size()) return error("unterminated string");
+        if (line[i] == '\'') {
+          if (i + 1 < line.size() && line[i + 1] == '\'') {
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        s.push_back(line[i++]);
+      }
+      t.push_back(Value::Str(std::move(s)));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+') {
+      size_t start = i;
+      if (c == '-' || c == '+') ++i;
+      bool is_float = false;
+      while (i < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[i])) ||
+              line[i] == '.' || line[i] == 'e' || line[i] == 'E' ||
+              ((line[i] == '-' || line[i] == '+') &&
+               (line[i - 1] == 'e' || line[i - 1] == 'E')))) {
+        if (line[i] == '.' || line[i] == 'e' || line[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string num = line.substr(start, i - start);
+      try {
+        if (is_float) {
+          t.push_back(Value::Double(std::stod(num)));
+        } else {
+          t.push_back(Value::Int(std::stoll(num)));
+        }
+      } catch (...) {
+        return error("bad number: " + num);
+      }
+    } else if (line.compare(i, 4, "true") == 0) {
+      t.push_back(Value::Bool(true));
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      t.push_back(Value::Bool(false));
+      i += 5;
+    } else if (line.compare(i, 4, "null") == 0) {
+      t.push_back(Value::Nul());
+      i += 4;
+    } else {
+      return error(StrFormat("unexpected character '%c'", c));
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == ')') {
+      ++i;
+      break;
+    }
+    return error("expected ',' or ')'");
+  }
+  skip_ws();
+  if (i != line.size()) return error("trailing characters after tuple");
+  return t;
+}
+
+}  // namespace
+
+Result<Database> DatabaseFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+
+  struct Pending {
+    std::string name;
+    size_t arity = 0;
+    std::vector<Tuple> tuples;
+  };
+  std::vector<Pending> relations;
+  Pending* current = nullptr;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim trailing CR and surrounding whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    line = line.substr(b);
+    if (line[0] == '#') continue;
+
+    if (line.rfind("relation ", 0) == 0) {
+      if (current != nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: 'relation' before 'end' of previous block", line_no));
+      }
+      std::istringstream hdr(line);
+      std::string kw, name;
+      size_t arity = 0;
+      hdr >> kw >> name >> arity;
+      if (name.empty() || arity == 0) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad relation header", line_no));
+      }
+      relations.push_back(Pending{name, arity, {}});
+      current = &relations.back();
+      continue;
+    }
+    if (line == "end") {
+      if (current == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: 'end' without 'relation'", line_no));
+      }
+      current = nullptr;
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: tuple outside a relation block", line_no));
+    }
+    HQL_ASSIGN_OR_RETURN(Tuple t, ParseTupleLine(line, line_no));
+    if (t.size() != current->arity) {
+      return Status::TypeError(
+          StrFormat("line %zu: tuple arity %zu, relation %s has arity %zu",
+                    line_no, t.size(), current->name.c_str(),
+                    current->arity));
+    }
+    current->tuples.push_back(std::move(t));
+  }
+  if (current != nullptr) {
+    return Status::InvalidArgument("missing final 'end'");
+  }
+
+  Schema schema;
+  for (const Pending& p : relations) {
+    HQL_RETURN_IF_ERROR(schema.AddRelation(p.name, p.arity));
+  }
+  Database db(schema);
+  for (Pending& p : relations) {
+    HQL_RETURN_IF_ERROR(
+        db.Set(p.name, Relation::FromTuples(p.arity, std::move(p.tuples))));
+  }
+  return db;
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  out << DatabaseToText(db);
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DatabaseFromText(buffer.str());
+}
+
+}  // namespace hql

@@ -1,0 +1,37 @@
+#ifndef HQL_STORAGE_IO_H_
+#define HQL_STORAGE_IO_H_
+
+// Plain-text serialization of database states. The format is line based
+// and human editable:
+//
+//   # optional comments
+//   relation emp 2
+//   (1, 'ann')
+//   (2, 'bob')
+//   end
+//   relation dept 2
+//   end
+//
+// Tuple lines reuse the literal-tuple syntax of the query language, so
+// anything `TupleToString` prints reads back exactly.
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace hql {
+
+/// Serializes `db` (schema and contents) to text.
+std::string DatabaseToText(const Database& db);
+
+/// Parses a database (schema inferred from the `relation` headers).
+Result<Database> DatabaseFromText(const std::string& text);
+
+/// Convenience file wrappers.
+Status SaveDatabase(const Database& db, const std::string& path);
+Result<Database> LoadDatabase(const std::string& path);
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_IO_H_

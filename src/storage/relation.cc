@@ -1,0 +1,106 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+Relation Relation::FromTuples(size_t arity, std::vector<Tuple> tuples) {
+  for (const Tuple& t : tuples) {
+    HQL_CHECK_MSG(t.size() == arity, "tuple arity mismatch");
+  }
+  std::sort(tuples.begin(), tuples.end(), TupleLess());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  Relation r(arity);
+  r.tuples_ = std::move(tuples);
+  return r;
+}
+
+Relation Relation::FromSortedUnique(size_t arity, std::vector<Tuple> tuples) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    HQL_CHECK(tuples[i].size() == arity);
+    if (i > 0) HQL_CHECK(CompareTuples(tuples[i - 1], tuples[i]) < 0);
+  }
+#endif
+  Relation r(arity);
+  r.tuples_ = std::move(tuples);
+  return r;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t, TupleLess());
+}
+
+void Relation::Insert(const Tuple& t) {
+  HQL_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t, TupleLess());
+  if (it != tuples_.end() && CompareTuples(*it, t) == 0) return;
+  tuples_.insert(it, t);
+}
+
+void Relation::Erase(const Tuple& t) {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t, TupleLess());
+  if (it != tuples_.end() && CompareTuples(*it, t) == 0) tuples_.erase(it);
+}
+
+Relation Relation::UnionWith(const Relation& other) const {
+  HQL_CHECK_MSG(arity_ == other.arity_, "union arity mismatch");
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size() + other.tuples_.size());
+  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                 other.tuples_.end(), std::back_inserter(out), TupleLess());
+  return FromSortedUnique(arity_, std::move(out));
+}
+
+Relation Relation::IntersectWith(const Relation& other) const {
+  HQL_CHECK_MSG(arity_ == other.arity_, "intersect arity mismatch");
+  std::vector<Tuple> out;
+  std::set_intersection(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                        other.tuples_.end(), std::back_inserter(out),
+                        TupleLess());
+  return FromSortedUnique(arity_, std::move(out));
+}
+
+Relation Relation::DifferenceWith(const Relation& other) const {
+  HQL_CHECK_MSG(arity_ == other.arity_, "difference arity mismatch");
+  std::vector<Tuple> out;
+  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                      other.tuples_.end(), std::back_inserter(out),
+                      TupleLess());
+  return FromSortedUnique(arity_, std::move(out));
+}
+
+Relation Relation::ProductWith(const Relation& other) const {
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size() * other.tuples_.size());
+  // Lexicographic order of the concatenation follows from iterating both
+  // sorted inputs in order, so the result is already sorted and unique.
+  for (const Tuple& a : tuples_) {
+    for (const Tuple& b : other.tuples_) {
+      out.push_back(ConcatTuples(a, b));
+    }
+  }
+  return FromSortedUnique(arity_ + other.arity_, std::move(out));
+}
+
+bool Relation::operator==(const Relation& other) const {
+  return arity_ == other.arity_ && tuples_ == other.tuples_;
+}
+
+uint64_t Relation::Hash() const {
+  uint64_t h = HashCombine(0x243F6A8885A308D3ULL, arity_);
+  for (const Tuple& t : tuples_) h = HashCombine(h, HashTuple(t));
+  return h;
+}
+
+std::string Relation::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) parts.push_back(TupleToString(t));
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace hql

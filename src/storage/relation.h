@@ -1,0 +1,69 @@
+#ifndef HQL_STORAGE_RELATION_H_
+#define HQL_STORAGE_RELATION_H_
+
+// A relation is a set of tuples of a fixed arity, stored as a sorted,
+// duplicate-free vector. The sorted representation gives deterministic
+// iteration, O(log n) membership, linear-time set algebra, and feeds the
+// sort-merge join-when operator of Section 5.5 directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace hql {
+
+class Relation {
+ public:
+  /// An empty relation of the given arity.
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  /// Builds from arbitrary tuples (sorted and deduplicated). All tuples must
+  /// have the given arity.
+  static Relation FromTuples(size_t arity, std::vector<Tuple> tuples);
+
+  /// Builds from tuples already sorted and duplicate-free (checked in debug).
+  static Relation FromSortedUnique(size_t arity, std::vector<Tuple> tuples);
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  bool Contains(const Tuple& t) const;
+
+  /// Inserts one tuple, keeping the sorted invariant. O(n); intended for
+  /// construction and small updates, bulk paths should use FromTuples.
+  void Insert(const Tuple& t);
+
+  /// Removes one tuple if present. O(n).
+  void Erase(const Tuple& t);
+
+  /// Set algebra. Arities must match (checked).
+  Relation UnionWith(const Relation& other) const;
+  Relation IntersectWith(const Relation& other) const;
+  Relation DifferenceWith(const Relation& other) const;
+
+  /// Cartesian product (arity = sum of arities).
+  Relation ProductWith(const Relation& other) const;
+
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  uint64_t Hash() const;
+
+  /// "{(1, 'a'), (2, 'b')}".
+  std::string ToString() const;
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> tuples_;  // sorted, unique
+};
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_RELATION_H_

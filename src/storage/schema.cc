@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+namespace hql {
+
+Status Schema::AddRelation(const std::string& name, size_t arity) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (arity == 0) {
+    return Status::InvalidArgument("relation arity must be positive: " + name);
+  }
+  auto [it, inserted] = arities_.emplace(name, arity);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation already declared: " + name);
+  }
+  return Status::OK();
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return arities_.count(name) > 0;
+}
+
+Result<size_t> Schema::ArityOf(const std::string& name) const {
+  auto it = arities_.find(name);
+  if (it == arities_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(arities_.size());
+  for (const auto& [name, arity] : arities_) {
+    (void)arity;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace hql

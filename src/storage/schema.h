@@ -1,0 +1,42 @@
+#ifndef HQL_STORAGE_SCHEMA_H_
+#define HQL_STORAGE_SCHEMA_H_
+
+// A database schema: a finite collection of relation names, each of a fixed
+// arity (paper Section 3.1).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hql {
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation name with the given arity.
+  Status AddRelation(const std::string& name, size_t arity);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Arity of `name`; NotFound if absent.
+  Result<size_t> ArityOf(const std::string& name) const;
+
+  /// Names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t NumRelations() const { return arities_.size(); }
+
+  const std::map<std::string, size_t>& arities() const { return arities_; }
+
+ private:
+  std::map<std::string, size_t> arities_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_SCHEMA_H_

@@ -1,0 +1,24 @@
+#include "storage/stats.h"
+
+namespace hql {
+
+StatsCatalog StatsCatalog::FromDatabase(const Database& db) {
+  StatsCatalog catalog;
+  for (const auto& [name, rel] : db.relations()) {
+    catalog.SetCardinality(name, rel.size(), rel.arity());
+  }
+  return catalog;
+}
+
+void StatsCatalog::SetCardinality(const std::string& name, uint64_t card,
+                                  size_t arity) {
+  stats_[name] = RelationStats{card, arity};
+}
+
+uint64_t StatsCatalog::CardinalityOf(const std::string& name,
+                                     uint64_t fallback) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? fallback : it->second.cardinality;
+}
+
+}  // namespace hql

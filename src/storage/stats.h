@@ -1,0 +1,44 @@
+#ifndef HQL_STORAGE_STATS_H_
+#define HQL_STORAGE_STATS_H_
+
+// Per-relation statistics used by the cost model (Section 6 of the paper
+// leaves cost estimation as future work; we provide the standard
+// cardinality-based model so the hybrid planner of Examples 2.1(c)/2.2(b)
+// can be driven by data rather than hand annotations).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/database.h"
+
+namespace hql {
+
+struct RelationStats {
+  uint64_t cardinality = 0;
+  size_t arity = 0;
+};
+
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  /// Collects exact cardinalities from a database state.
+  static StatsCatalog FromDatabase(const Database& db);
+
+  void SetCardinality(const std::string& name, uint64_t card, size_t arity);
+
+  /// Cardinality of `name`, or `fallback` if unknown.
+  uint64_t CardinalityOf(const std::string& name, uint64_t fallback) const;
+
+  bool Has(const std::string& name) const { return stats_.count(name) > 0; }
+
+  const std::map<std::string, RelationStats>& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, RelationStats> stats_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_STATS_H_

@@ -1,0 +1,38 @@
+#include "storage/tuple.h"
+
+#include "common/strings.h"
+
+namespace hql {
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+uint64_t HashTuple(const Tuple& t) {
+  uint64_t h = 0x84222325CBF29CE4ULL;
+  for (const Value& v : t) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::vector<std::string> parts;
+  parts.reserve(t.size());
+  for (const Value& v : t) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace hql

@@ -1,0 +1,36 @@
+#ifndef HQL_STORAGE_TUPLE_H_
+#define HQL_STORAGE_TUPLE_H_
+
+// Tuples are fixed-arity sequences of Values, ordered lexicographically.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace hql {
+
+using Tuple = std::vector<Value>;
+
+/// Lexicographic three-way comparison; shorter tuples sort first (arities
+/// never mix within one relation, but mixed comparison must stay total).
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+
+uint64_t HashTuple(const Tuple& t);
+
+/// "(1, 'a', 3.5)".
+std::string TupleToString(const Tuple& t);
+
+/// Concatenation, the tuple-level operation under cartesian product / join.
+Tuple ConcatTuples(const Tuple& a, const Tuple& b);
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_TUPLE_H_

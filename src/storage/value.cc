@@ -1,0 +1,157 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(rep_.index());
+}
+
+bool Value::AsBool() const {
+  HQL_CHECK(is_bool());
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::AsInt() const {
+  HQL_CHECK(is_int());
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  HQL_CHECK(is_double());
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  HQL_CHECK(is_string());
+  return std::get<std::string>(rep_);
+}
+
+namespace {
+
+// Order families: null(0) < bool(1) < number(2) < string(3).
+int Family(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int fa = Family(type());
+  int fb = Family(other.type());
+  if (fa != fb) return fa < fb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt:
+      if (other.is_int()) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      [[fallthrough]];
+    case ValueType::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      if (a == b) {
+        // int 1 and double 1.0 compare equal only if both are the same
+        // type; tie-break by type so the order is antisymmetric and sorted
+        // sets do not conflate them.
+        int ta = static_cast<int>(type());
+        int tb = static_cast<int>(other.type());
+        return ta == tb ? 0 : (ta < tb ? -1 : 1);
+      }
+      return a < b ? -1 : 1;
+    }
+    case ValueType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+uint64_t Value::Hash() const {
+  uint64_t seed = static_cast<uint64_t>(type()) * 0x9E3779B97F4A7C15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kBool:
+      return HashCombine(seed, AsBool() ? 1 : 0);
+    case ValueType::kInt:
+      return HashCombine(seed, static_cast<uint64_t>(AsInt()));
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(seed, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(seed, HashString(AsString()));
+  }
+  HQL_UNREACHABLE();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%g", AsDouble());
+      // Keep doubles distinguishable from ints in printed form.
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+  }
+  HQL_UNREACHABLE();
+}
+
+}  // namespace hql

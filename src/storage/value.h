@@ -1,0 +1,77 @@
+#ifndef HQL_STORAGE_VALUE_H_
+#define HQL_STORAGE_VALUE_H_
+
+// The scalar value model: null, bool, int64, double, string.
+//
+// Values have a total order across types (null < bool < int < double <
+// string, with int/double compared numerically within their shared "number"
+// family so that selection predicates behave intuitively). The total order
+// is what lets relations be stored as sorted sets.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace hql {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Returns "null", "bool", "int", "double", or "string".
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : rep_(Null{}) {}
+  static Value Nul() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value Str(std::string s) { return Value(Rep(std::move(s))); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_number() const { return is_int() || is_double(); }
+
+  /// Accessors; each requires the matching type.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;  // accepts int or double, widening
+  const std::string& AsString() const;
+
+  /// Three-way comparison defining the library-wide total order.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  uint64_t Hash() const;
+
+  /// Literal syntax: null, true, 42, 3.5, 'abc' (quotes escaped by doubling).
+  std::string ToString() const;
+
+ private:
+  struct Null {};
+  using Rep = std::variant<Null, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_STORAGE_VALUE_H_

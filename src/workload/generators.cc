@@ -1,0 +1,397 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/builders.h"
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "common/check.h"
+
+namespace hql {
+
+Relation GenRelation(Rng* rng, size_t rows, size_t arity, int64_t key_domain,
+                     int64_t value_domain, double zipf_s) {
+  HQL_CHECK(arity > 0 && key_domain > 0 && value_domain > 0);
+  std::set<Tuple, TupleLess> seen;
+  size_t attempts = 0;
+  const size_t max_attempts = rows * 20 + 1000;
+  while (seen.size() < rows && attempts < max_attempts) {
+    ++attempts;
+    Tuple t;
+    t.reserve(arity);
+    int64_t key = zipf_s > 0.0 ? rng->Zipf(key_domain, zipf_s)
+                               : rng->Uniform(0, key_domain - 1);
+    t.push_back(Value::Int(key));
+    for (size_t i = 1; i < arity; ++i) {
+      t.push_back(Value::Int(rng->Uniform(0, value_domain - 1)));
+    }
+    seen.insert(std::move(t));
+  }
+  std::vector<Tuple> tuples(seen.begin(), seen.end());
+  return Relation::FromSortedUnique(arity, std::move(tuples));
+}
+
+Database GenDatabase(Rng* rng, const Schema& schema, size_t rows,
+                     int64_t key_domain) {
+  Database db(schema);
+  for (const auto& [name, arity] : schema.arities()) {
+    Status st = db.Set(name, GenRelation(rng, rows, arity, key_domain));
+    HQL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  return db;
+}
+
+Relation SampleFraction(Rng* rng, const Relation& rel, double frac) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : rel) {
+    if (rng->Bernoulli(frac)) out.push_back(t);
+  }
+  return Relation::FromSortedUnique(rel.arity(), std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Random ASTs.
+// ---------------------------------------------------------------------------
+
+Schema PropertySchema() {
+  Schema schema;
+  for (size_t arity = 1; arity <= 3; ++arity) {
+    HQL_CHECK(schema.AddRelation("A" + std::to_string(arity), arity).ok());
+    HQL_CHECK(schema.AddRelation("B" + std::to_string(arity), arity).ok());
+  }
+  return schema;
+}
+
+Database RandomDatabase(Rng* rng, const Schema& schema, size_t max_rows,
+                        int64_t domain) {
+  Database db(schema);
+  for (const auto& [name, arity] : schema.arities()) {
+    size_t rows = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(max_rows)));
+    std::vector<Tuple> tuples;
+    for (size_t i = 0; i < rows; ++i) {
+      Tuple t;
+      t.reserve(arity);
+      for (size_t c = 0; c < arity; ++c) {
+        t.push_back(Value::Int(rng->Uniform(0, domain - 1)));
+      }
+      tuples.push_back(std::move(t));
+    }
+    Status st = db.Set(name, Relation::FromTuples(arity, std::move(tuples)));
+    HQL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  return db;
+}
+
+namespace {
+
+std::vector<std::string> NamesWithArity(const Schema& schema, size_t arity) {
+  std::vector<std::string> names;
+  for (const auto& [name, a] : schema.arities()) {
+    if (a == arity) names.push_back(name);
+  }
+  return names;
+}
+
+std::string RandomName(Rng* rng, const Schema& schema) {
+  std::vector<std::string> names = schema.RelationNames();
+  HQL_CHECK(!names.empty());
+  return names[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(names.size()) - 1))];
+}
+
+Tuple RandomTuple(Rng* rng, size_t arity, int64_t domain) {
+  Tuple t;
+  t.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    t.push_back(Value::Int(rng->Uniform(0, domain - 1)));
+  }
+  return t;
+}
+
+ScalarExprPtr RandomScalarTerm(Rng* rng, size_t arity,
+                               const AstGenOptions& options) {
+  if (arity > 0 && rng->Bernoulli(0.6)) {
+    return ScalarExpr::Column(static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(arity) - 1)));
+  }
+  return ScalarExpr::Literal(
+      Value::Int(rng->Uniform(0, options.literal_domain - 1)));
+}
+
+}  // namespace
+
+ScalarExprPtr RandomPredicate(Rng* rng, size_t arity,
+                              const AstGenOptions& options) {
+  switch (rng->Uniform(0, 5)) {
+    case 0:
+    case 1: {
+      static const ScalarOp kCmps[] = {ScalarOp::kEq, ScalarOp::kNe,
+                                       ScalarOp::kLt, ScalarOp::kLe,
+                                       ScalarOp::kGt, ScalarOp::kGe};
+      ScalarOp op = kCmps[rng->Uniform(0, 5)];
+      return ScalarExpr::Binary(op, RandomScalarTerm(rng, arity, options),
+                                RandomScalarTerm(rng, arity, options));
+    }
+    case 2:
+      return ScalarExpr::Binary(ScalarOp::kAnd,
+                                RandomPredicate(rng, arity, options),
+                                RandomPredicate(rng, arity, options));
+    case 3:
+      return ScalarExpr::Binary(ScalarOp::kOr,
+                                RandomPredicate(rng, arity, options),
+                                RandomPredicate(rng, arity, options));
+    case 4:
+      return ScalarExpr::Unary(ScalarOp::kNot,
+                               RandomPredicate(rng, arity, options));
+    default: {
+      // Arithmetic comparison, e.g. $0 + 2 > $1.
+      ScalarExprPtr sum = ScalarExpr::Binary(
+          ScalarOp::kAdd, RandomScalarTerm(rng, arity, options),
+          RandomScalarTerm(rng, arity, options));
+      return ScalarExpr::Binary(ScalarOp::kGt, std::move(sum),
+                                RandomScalarTerm(rng, arity, options));
+    }
+  }
+}
+
+namespace {
+
+QueryPtr RandomQueryRec(Rng* rng, const Schema& schema, size_t arity,
+                        int depth, const AstGenOptions& options) {
+  // Leaves.
+  if (depth <= 0 || rng->Bernoulli(0.2)) {
+    std::vector<std::string> names = NamesWithArity(schema, arity);
+    int64_t pick = rng->Uniform(0, 9);
+    if (!names.empty() && pick < 7) {
+      return Query::Rel(names[static_cast<size_t>(rng->Uniform(
+          0, static_cast<int64_t>(names.size()) - 1))]);
+    }
+    if (pick == 7) return Query::Empty(arity);
+    return Query::Singleton(RandomTuple(rng, arity, options.literal_domain));
+  }
+  if (options.allow_aggregate && arity >= 2 && rng->Bernoulli(0.12)) {
+    // gamma with arity-1 group columns + one aggregate column.
+    size_t child_arity = arity;  // group on arity-1 columns of same width
+    std::vector<size_t> cols;
+    for (size_t i = 0; i + 1 < arity; ++i) {
+      cols.push_back(static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(child_arity) - 1)));
+    }
+    static const AggFunc kFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                     AggFunc::kMin, AggFunc::kMax};
+    AggFunc func = kFuncs[rng->Uniform(0, 3)];
+    size_t agg_col = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(child_arity) - 1));
+    return Query::Aggregate(
+        std::move(cols), func, agg_col,
+        RandomQueryRec(rng, schema, child_arity, depth - 1, options));
+  }
+  int64_t pick = rng->Uniform(0, options.allow_when ? 9 : 6);
+  switch (pick) {
+    case 0:
+      return Query::Select(
+          RandomPredicate(rng, arity, options),
+          RandomQueryRec(rng, schema, arity, depth - 1, options));
+    case 1: {
+      // Project from a wider child.
+      size_t child_arity = arity + static_cast<size_t>(rng->Uniform(0, 2));
+      if (child_arity > 3) child_arity = arity;
+      std::vector<size_t> cols;
+      cols.reserve(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        cols.push_back(static_cast<size_t>(
+            rng->Uniform(0, static_cast<int64_t>(child_arity) - 1)));
+      }
+      return Query::Project(
+          std::move(cols),
+          RandomQueryRec(rng, schema, child_arity, depth - 1, options));
+    }
+    case 2:
+      return Query::Union(
+          RandomQueryRec(rng, schema, arity, depth - 1, options),
+          RandomQueryRec(rng, schema, arity, depth - 1, options));
+    case 3:
+      return Query::Intersect(
+          RandomQueryRec(rng, schema, arity, depth - 1, options),
+          RandomQueryRec(rng, schema, arity, depth - 1, options));
+    case 4:
+      return Query::Difference(
+          RandomQueryRec(rng, schema, arity, depth - 1, options),
+          RandomQueryRec(rng, schema, arity, depth - 1, options));
+    case 5:
+    case 6: {
+      if (arity < 2) {
+        return Query::Select(
+            RandomPredicate(rng, arity, options),
+            RandomQueryRec(rng, schema, arity, depth - 1, options));
+      }
+      size_t left = 1 + static_cast<size_t>(
+                            rng->Uniform(0, static_cast<int64_t>(arity) - 2));
+      QueryPtr l = RandomQueryRec(rng, schema, left, depth - 1, options);
+      QueryPtr r =
+          RandomQueryRec(rng, schema, arity - left, depth - 1, options);
+      if (pick == 5) return Query::Product(std::move(l), std::move(r));
+      return Query::Join(RandomPredicate(rng, arity, options), std::move(l),
+                         std::move(r));
+    }
+    default: {
+      AstGenOptions inner = options;
+      inner.max_depth = depth - 1;
+      return Query::When(
+          RandomQueryRec(rng, schema, arity, depth - 1, options),
+          RandomHypo(rng, schema, inner));
+    }
+  }
+}
+
+UpdatePtr RandomUpdateRec(Rng* rng, const Schema& schema, int depth,
+                          const AstGenOptions& options) {
+  int64_t max_pick = 2;                      // ins, del
+  if (depth > 0) max_pick = options.allow_cond ? 4 : 3;  // + seq (+ cond)
+  int64_t pick = rng->Uniform(0, max_pick - 1);
+  if (pick <= 1) {
+    std::string name = RandomName(rng, schema);
+    size_t arity = schema.ArityOf(name).value();
+    QueryPtr q = RandomQueryRec(rng, schema, arity,
+                                std::min(depth, options.max_depth), options);
+    return pick == 0 ? Update::Insert(std::move(name), std::move(q))
+                     : Update::Delete(std::move(name), std::move(q));
+  }
+  if (pick == 2) {
+    return Update::Seq(RandomUpdateRec(rng, schema, depth - 1, options),
+                       RandomUpdateRec(rng, schema, depth - 1, options));
+  }
+  size_t guard_arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  return Update::Cond(
+      RandomQueryRec(rng, schema, guard_arity, depth - 1, options),
+      RandomUpdateRec(rng, schema, depth - 1, options),
+      RandomUpdateRec(rng, schema, depth - 1, options));
+}
+
+}  // namespace
+
+QueryPtr RandomQuery(Rng* rng, const Schema& schema, size_t arity,
+                     const AstGenOptions& options) {
+  return RandomQueryRec(rng, schema, arity, options.max_depth, options);
+}
+
+UpdatePtr RandomUpdate(Rng* rng, const Schema& schema,
+                       const AstGenOptions& options) {
+  return RandomUpdateRec(rng, schema, options.max_depth, options);
+}
+
+HypoExprPtr RandomHypo(Rng* rng, const Schema& schema,
+                       const AstGenOptions& options) {
+  int64_t pick = rng->Uniform(0, options.allow_compose ? 3 : 2);
+  switch (pick) {
+    case 0:
+      return HypoExpr::UpdateState(RandomUpdate(rng, schema, options));
+    case 1:
+    case 2: {
+      // Explicit substitution over 1-2 distinct names.
+      std::vector<std::string> names = schema.RelationNames();
+      rng->Shuffle(&names);
+      size_t count = 1 + static_cast<size_t>(rng->Bernoulli(0.5) ? 1 : 0);
+      count = std::min(count, names.size());
+      std::vector<Binding> bindings;
+      for (size_t i = 0; i < count; ++i) {
+        size_t arity = schema.ArityOf(names[i]).value();
+        bindings.push_back(Binding{
+            names[i], RandomQueryRec(rng, schema, arity,
+                                     options.max_depth - 1, options)});
+      }
+      return HypoExpr::Subst(std::move(bindings));
+    }
+    default: {
+      AstGenOptions inner = options;
+      inner.max_depth = std::max(0, options.max_depth - 1);
+      if (rng->Bernoulli(0.3)) {
+        return HypoExpr::StateWhen(RandomHypo(rng, schema, inner),
+                                   RandomHypo(rng, schema, inner));
+      }
+      return HypoExpr::Compose(RandomHypo(rng, schema, inner),
+                               RandomHypo(rng, schema, inner));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper-example builders.
+// ---------------------------------------------------------------------------
+
+BlowupSpec BlowupChain(int n) {
+  HQL_CHECK(n >= 1);
+  BlowupSpec spec;
+  // arity(R_i) = 2^(n - i): every step is a product that doubles the arity.
+  for (int i = 0; i <= n; ++i) {
+    size_t arity = static_cast<size_t>(1) << (n - i);
+    HQL_CHECK(spec.schema.AddRelation("R" + std::to_string(i), arity).ok());
+  }
+  QueryPtr q = Query::Rel("R0");
+  for (int i = 1; i <= n; ++i) {
+    QueryPtr ri = Query::Rel("R" + std::to_string(i));
+    QueryPtr ei = Query::Product(ri, ri);
+    q = Query::When(q, HypoExpr::Subst({Binding{
+                           "R" + std::to_string(i - 1), std::move(ei)}}));
+  }
+  spec.query = std::move(q);
+  return spec;
+}
+
+BlowupSpec BlowupChainSmallValues(int n) {
+  HQL_CHECK(n >= 1);
+  BlowupSpec spec;
+  for (int i = 0; i <= n; ++i) {
+    size_t arity = static_cast<size_t>(1) << (n - i);
+    HQL_CHECK(spec.schema.AddRelation("R" + std::to_string(i), arity).ok());
+  }
+  QueryPtr q = Query::Rel("R0");
+  for (int i = 1; i <= n; ++i) {
+    QueryPtr ri = Query::Rel("R" + std::to_string(i));
+    QueryPtr ei = Query::Select(
+        ScalarExpr::Binary(ScalarOp::kLt, ScalarExpr::Column(0),
+                           ScalarExpr::Literal(Value::Int(0))),
+        Query::Product(ri, ri));
+    q = Query::When(q, HypoExpr::Subst({Binding{
+                           "R" + std::to_string(i - 1), std::move(ei)}}));
+  }
+  spec.query = std::move(q);
+  return spec;
+}
+
+BlowupSpec BlowupChainWithDifference(int n, int j) {
+  HQL_CHECK(n >= 1 && j >= 1 && j <= n);
+  BlowupSpec spec;
+  // Arities top-down: need(R0) = 2^(#products); a product halves the
+  // requirement going up, the difference at step j keeps it.
+  std::vector<size_t> arity(static_cast<size_t>(n) + 1);
+  arity[0] = static_cast<size_t>(1) << (n - 1);  // n-1 products
+  for (int i = 1; i <= n; ++i) {
+    arity[static_cast<size_t>(i)] =
+        (i == j) ? arity[static_cast<size_t>(i - 1)]
+                 : arity[static_cast<size_t>(i - 1)] / 2;
+    HQL_CHECK(arity[static_cast<size_t>(i)] >= 1);
+  }
+  for (int i = 0; i <= n; ++i) {
+    HQL_CHECK(spec.schema
+                  .AddRelation("R" + std::to_string(i),
+                               arity[static_cast<size_t>(i)])
+                  .ok());
+  }
+  QueryPtr q = Query::Rel("R0");
+  for (int i = 1; i <= n; ++i) {
+    QueryPtr ri = Query::Rel("R" + std::to_string(i));
+    QueryPtr ei = (i == j) ? Query::Difference(ri, ri)
+                           : Query::Product(ri, ri);
+    q = Query::When(q, HypoExpr::Subst({Binding{
+                           "R" + std::to_string(i - 1), std::move(ei)}}));
+  }
+  spec.query = std::move(q);
+  return spec;
+}
+
+}  // namespace hql

@@ -1,0 +1,112 @@
+#ifndef HQL_WORKLOAD_GENERATORS_H_
+#define HQL_WORKLOAD_GENERATORS_H_
+
+// Synthetic data and AST generators.
+//
+// Data generators substitute for the paper's (unreported) datasets: the
+// reproduced claims are all relative (who wins, where crossovers fall), so
+// uniform/zipf integer relations with controllable cardinality and key
+// domain exercise the same code paths.
+//
+// AST generators drive the randomized property suites: thousands of random
+// (query, state) pairs checked for agreement between the direct semantics
+// and every rewrite/evaluation strategy.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "common/rng.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace hql {
+
+// ---------------------------------------------------------------------------
+// Data generation.
+// ---------------------------------------------------------------------------
+
+/// A relation with `rows` distinct tuples of the given arity. Column 0 is
+/// drawn from [0, key_domain) (uniform if zipf_s == 0); remaining columns
+/// from [0, value_domain).
+Relation GenRelation(Rng* rng, size_t rows, size_t arity, int64_t key_domain,
+                     int64_t value_domain = 1000000, double zipf_s = 0.0);
+
+/// A database over `schema` where every relation gets `rows` random tuples.
+Database GenDatabase(Rng* rng, const Schema& schema, size_t rows,
+                     int64_t key_domain);
+
+/// A random fraction `frac` of `rel`'s tuples (used to build deltas of a
+/// controlled size).
+Relation SampleFraction(Rng* rng, const Relation& rel, double frac);
+
+// ---------------------------------------------------------------------------
+// Random AST generation (property tests).
+// ---------------------------------------------------------------------------
+
+struct AstGenOptions {
+  int max_depth = 4;
+  bool allow_when = true;
+  bool allow_compose = true;
+  bool allow_cond = false;   // conditional updates (Section 6 extension)
+  bool allow_aggregate = false;  // gamma operator (Section 6 extension)
+  int64_t literal_domain = 8;  // small domain so predicates hit data
+};
+
+/// The standard property-test schema: A1, B1 (arity 1), A2, B2 (arity 2),
+/// A3, B3 (arity 3).
+Schema PropertySchema();
+
+/// A random database over PropertySchema() with up to `max_rows` rows per
+/// relation, all int values drawn from [0, options.literal_domain).
+Database RandomDatabase(Rng* rng, const Schema& schema, size_t max_rows,
+                        int64_t domain);
+
+/// A random RA_hyp query of the given arity.
+QueryPtr RandomQuery(Rng* rng, const Schema& schema, size_t arity,
+                     const AstGenOptions& options);
+
+/// A random predicate over tuples of the given arity.
+ScalarExprPtr RandomPredicate(Rng* rng, size_t arity,
+                              const AstGenOptions& options);
+
+/// A random update expression.
+UpdatePtr RandomUpdate(Rng* rng, const Schema& schema,
+                       const AstGenOptions& options);
+
+/// A random hypothetical-state expression.
+HypoExprPtr RandomHypo(Rng* rng, const Schema& schema,
+                       const AstGenOptions& options);
+
+// ---------------------------------------------------------------------------
+// Paper-example builders.
+// ---------------------------------------------------------------------------
+
+/// A blow-up chain instance: the linear-size HQL query plus the schema
+/// whose arities make it well-typed (arity(R_i) doubles per product step).
+struct BlowupSpec {
+  QueryPtr query;
+  Schema schema;
+};
+
+/// Example 2.4's chain: (((R0 when {E1(R1)/R0}) when {E2(R2)/R1}) ... when
+/// {En(Rn)/R(n-1)}) with E_i(R_i) = R_i x R_i: the query is linear in n but
+/// its lazy rewrite red(Q) = E1(E2(...(En(Rn))...)) is exponential.
+BlowupSpec BlowupChain(int n);
+
+/// Same chain with E_j(R_j) = R_j - R_j at position `j` (1-based), making
+/// the whole query equivalent to the empty query (Example 2.4(b)) — which
+/// the RA rewriter discovers without touching the data.
+BlowupSpec BlowupChainWithDifference(int n, int j);
+
+/// Example 2.4(c): E_i(R_i) = sigma[$0 < 0](R_i x R_i), whose value is
+/// empty for non-negative data. Eager evaluation computes each (empty)
+/// intersection once — linear work — while the lazy rewrite still has an
+/// exponential expression tree to build and evaluate.
+BlowupSpec BlowupChainSmallValues(int n);
+
+}  // namespace hql
+
+#endif  // HQL_WORKLOAD_GENERATORS_H_

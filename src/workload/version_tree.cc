@@ -1,0 +1,17 @@
+#include "workload/version_tree.h"
+
+#include "ast/query.h"
+
+namespace hql {
+
+QueryPtr VersionTree::QueryAt(NodeId node, QueryPtr query) const {
+  HypoExprPtr state = PathState(node);
+  if (state == nullptr) return query;
+  return Query::When(std::move(query), std::move(state));
+}
+
+QueryPtr VersionTree::CompareAt(NodeId a, NodeId b, QueryPtr query) const {
+  return Query::Difference(QueryAt(a, query), QueryAt(b, query));
+}
+
+}  // namespace hql

@@ -1,0 +1,72 @@
+#ifndef HQL_WORKLOAD_VERSION_TREE_H_
+#define HQL_WORKLOAD_VERSION_TREE_H_
+
+// The tree-of-alternatives structure of Example 2.1: nodes are versions,
+// edges carry hypothetical update expressions, and the state of a node is
+// the # composition of the updates on its root path. Queries against any
+// version are ordinary HQL queries; nothing is ever committed.
+
+#include <string>
+#include <vector>
+
+#include "ast/forward.h"
+#include "ast/hypo.h"
+#include "common/check.h"
+
+namespace hql {
+
+class VersionTree {
+ public:
+  using NodeId = int;
+  static constexpr NodeId kRoot = 0;
+
+  VersionTree() { nodes_.push_back(Node{"root", -1, nullptr}); }
+
+  /// Adds a child version reached from `parent` by `edge`; returns its id.
+  NodeId AddChild(NodeId parent, std::string label, HypoExprPtr edge) {
+    HQL_CHECK(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+    HQL_CHECK(edge != nullptr);
+    nodes_.push_back(Node{std::move(label), parent, std::move(edge)});
+    return static_cast<NodeId>(nodes_.size()) - 1;
+  }
+
+  size_t size() const { return nodes_.size(); }
+  const std::string& label(NodeId node) const { return At(node).label; }
+  NodeId parent(NodeId node) const { return At(node).parent; }
+
+  /// The hypothetical state of `node`: the composition of the edges on the
+  /// path root -> node (nullptr for the root, whose state is the real DB).
+  HypoExprPtr PathState(NodeId node) const {
+    HypoExprPtr state = nullptr;
+    for (NodeId cur = node; At(cur).parent >= 0; cur = At(cur).parent) {
+      const HypoExprPtr& edge = At(cur).edge;
+      state = state == nullptr ? edge : HypoExpr::Compose(edge, state);
+    }
+    return state;
+  }
+
+  /// `query` as seen at `node`: Q when (path composition), or Q at root.
+  QueryPtr QueryAt(NodeId node, QueryPtr query) const;
+
+  /// The difference query of Example 2.1: (Q at a) - (Q at b). Both nodes
+  /// typically share a path prefix; the composition handles any pair.
+  QueryPtr CompareAt(NodeId a, NodeId b, QueryPtr query) const;
+
+ private:
+  struct Node {
+    std::string label;
+    NodeId parent;
+    HypoExprPtr edge;
+  };
+
+  const Node& At(NodeId node) const {
+    HQL_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+    return nodes_[static_cast<size_t>(node)];
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_WORKLOAD_VERSION_TREE_H_

@@ -1,0 +1,171 @@
+// Tests for the Section 6 aggregation extension: gamma[G; f(c)](Q) across
+// the whole stack — semantics, typecheck, parsing, rewriting, and agreement
+// of all evaluation strategies under `when`.
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/typecheck.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "eval/ra_eval.h"
+#include "hql/ra_rewrite.h"
+#include "hql/reduce.h"
+#include "opt/planner.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(AggregateRelationTest, CountSumMinMax) {
+  // (dept, salary): dept 1 has 10, 20; dept 2 has 5.
+  Relation in = Ints({{1, 10}, {1, 20}, {2, 5}});
+  EXPECT_EQ(AggregateRelation(in, {0}, AggFunc::kCount, 1),
+            Ints({{1, 2}, {2, 1}}));
+  EXPECT_EQ(AggregateRelation(in, {0}, AggFunc::kSum, 1),
+            Ints({{1, 30}, {2, 5}}));
+  EXPECT_EQ(AggregateRelation(in, {0}, AggFunc::kMin, 1),
+            Ints({{1, 10}, {2, 5}}));
+  EXPECT_EQ(AggregateRelation(in, {0}, AggFunc::kMax, 1),
+            Ints({{1, 20}, {2, 5}}));
+}
+
+TEST(AggregateRelationTest, GlobalAggregate) {
+  Relation in = Ints({{1, 10}, {2, 20}});
+  // No group columns: one global row.
+  Relation sum = AggregateRelation(in, {}, AggFunc::kSum, 1);
+  EXPECT_EQ(sum, Ints({{30}}));
+  // Empty input: no rows at all (not a zero row).
+  Relation none = AggregateRelation(Relation(2), {}, AggFunc::kCount, 0);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.arity(), 1u);
+}
+
+TEST(AggregateRelationTest, MixedNumericTypes) {
+  Relation in = Relation::FromTuples(
+      2, {{Value::Int(1), Value::Int(2)},
+          {Value::Int(1), Value::Double(0.5)}});
+  Relation sum = AggregateRelation(in, {0}, AggFunc::kSum, 1);
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(sum.tuples()[0][1], Value::Double(2.5));
+  // Non-numbers are ignored by sum; all-non-number groups sum to null.
+  Relation strs = Relation::FromTuples(
+      2, {{Value::Int(1), Value::Str("a")}});
+  Relation s2 = AggregateRelation(strs, {0}, AggFunc::kSum, 1);
+  EXPECT_TRUE(s2.tuples()[0][1].is_null());
+}
+
+TEST(AggregateTest, TypecheckArity) {
+  Schema schema = MakeSchema({{"R", 3}});
+  QueryPtr ok = Agg({0, 1}, AggFunc::kSum, 2, Rel("R"));
+  ASSERT_OK_AND_ASSIGN(size_t arity, InferQueryArity(ok, schema));
+  EXPECT_EQ(arity, 3u);
+  EXPECT_EQ(InferQueryArity(Agg({3}, AggFunc::kSum, 0, Rel("R")), schema)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(InferQueryArity(Agg({0}, AggFunc::kSum, 5, Rel("R")), schema)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(AggregateTest, ToStringAndParseRoundTrip) {
+  QueryPtr q = Agg({0, 1}, AggFunc::kSum, 2, Rel("R"));
+  EXPECT_EQ(q->ToString(), "gamma[0,1; sum(2)](R)");
+  ASSERT_OK_AND_ASSIGN(QueryPtr parsed, ParseQuery(q->ToString()));
+  EXPECT_TRUE(parsed->Equals(*q));
+
+  // Global aggregate prints with an empty group list.
+  QueryPtr g = Agg({}, AggFunc::kCount, 0, Rel("R"));
+  EXPECT_EQ(g->ToString(), "gamma[; count(0)](R)");
+  ASSERT_OK_AND_ASSIGN(parsed, ParseQuery(g->ToString()));
+  EXPECT_TRUE(parsed->Equals(*g));
+
+  for (const char* text :
+       {"gamma[0; min(1)](R x S)", "gamma[1,0; max(2)](sigma[$0 > 1](T))"}) {
+    ASSERT_OK_AND_ASSIGN(QueryPtr p1, ParseQuery(text));
+    ASSERT_OK_AND_ASSIGN(QueryPtr p2, ParseQuery(p1->ToString()));
+    EXPECT_TRUE(p1->Equals(*p2)) << text;
+  }
+}
+
+TEST(AggregateTest, WhenPushesThroughAggregate) {
+  // gamma(Q) when eta == gamma(Q when eta): aggregation is just another
+  // unary operator to the when-distribution rules.
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1, 10}, {2, 20}})));
+  ASSERT_OK(db.Set("S", Ints({{1, 30}})));
+
+  QueryPtr agg = Agg({0}, AggFunc::kSum, 1, Rel("R"));
+  QueryPtr q = Query::When(agg, Upd(Ins("R", Rel("S"))));
+  ASSERT_OK_AND_ASSIGN(Relation direct, EvalDirect(q, db));
+  EXPECT_EQ(direct, Ints({{1, 40}, {2, 20}}));
+
+  // The lazy rewrite pushes the substitution below gamma.
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+  QueryPtr expected = Agg({0}, AggFunc::kSum, 1, U(Rel("R"), Rel("S")));
+  EXPECT_TRUE(red->Equals(*expected)) << red->ToString();
+}
+
+TEST(AggregateTest, SimplifyOverEmpty) {
+  Schema schema = MakeSchema({{"R", 2}});
+  QueryPtr q = Agg({0}, AggFunc::kSum, 1, Empty(2));
+  ASSERT_OK_AND_ASSIGN(QueryPtr s, SimplifyRa(q, schema));
+  EXPECT_TRUE(s->Equals(*Empty(2)));
+}
+
+TEST(AggregateTest, AllStrategiesAgreeRandomized) {
+  Rng rng(303);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_aggregate = true;
+  int with_aggregate = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    if (q->ToString().find("gamma") != std::string::npos) ++with_aggregate;
+    ASSERT_OK_AND_ASSIGN(Relation reference,
+                         Execute(q, db, schema, Strategy::kDirect));
+    for (Strategy s : {Strategy::kLazy, Strategy::kFilter1,
+                       Strategy::kFilter2, Strategy::kHybrid}) {
+      auto result = Execute(q, db, schema, s);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value(), reference)
+          << StrategyName(s) << " on " << q->ToString();
+    }
+    ASSERT_OK_AND_ASSIGN(Relation f3,
+                         Execute(q, db, schema, Strategy::kFilter3));
+    EXPECT_EQ(f3, reference) << q->ToString();
+  }
+  EXPECT_GT(with_aggregate, 20);
+}
+
+TEST(AggregateTest, InsideHypotheticalState) {
+  // The update argument itself aggregates: insert per-department counts
+  // into a summary relation, hypothetically.
+  Schema schema = MakeSchema({{"emp", 2}, {"summary", 2}});
+  Database db(schema);
+  ASSERT_OK(db.Set("emp", Ints({{1, 10}, {1, 20}, {2, 5}})));
+  QueryPtr q = Query::When(
+      Rel("summary"),
+      Upd(Ins("summary", Agg({0}, AggFunc::kCount, 1, Rel("emp")))));
+  ASSERT_OK_AND_ASSIGN(Relation direct, EvalDirect(q, db));
+  EXPECT_EQ(direct, Ints({{1, 2}, {2, 1}}));
+  for (Strategy s : {Strategy::kLazy, Strategy::kFilter1, Strategy::kFilter2,
+                     Strategy::kFilter3}) {
+    ASSERT_OK_AND_ASSIGN(Relation out, Execute(q, db, schema, s));
+    EXPECT_EQ(out, direct) << StrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace hql

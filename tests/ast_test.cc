@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/hypo.h"
+#include "ast/metrics.h"
+#include "ast/query.h"
+#include "ast/typecheck.h"
+#include "ast/update.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::IntRow;
+using ::hql::testing::MakeSchema;
+
+TEST(QueryAstTest, KindsAndAccessors) {
+  QueryPtr q = Sel(Gt(Col(0), Int(3)), Rel("R"));
+  EXPECT_EQ(q->kind(), QueryKind::kSelect);
+  EXPECT_EQ(q->left()->rel_name(), "R");
+  EXPECT_TRUE(q->is_unary());
+  EXPECT_FALSE(q->is_binary_algebra());
+
+  QueryPtr j = Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S"));
+  EXPECT_TRUE(j->is_binary_algebra());
+  EXPECT_EQ(j->left()->rel_name(), "R");
+  EXPECT_EQ(j->right()->rel_name(), "S");
+
+  QueryPtr e = Empty(3);
+  EXPECT_EQ(e->empty_arity(), 3u);
+}
+
+TEST(QueryAstTest, StructuralEquality) {
+  QueryPtr a = U(Rel("R"), Sel(Gt(Col(0), Int(3)), Rel("S")));
+  QueryPtr b = U(Rel("R"), Sel(Gt(Col(0), Int(3)), Rel("S")));
+  QueryPtr c = U(Rel("R"), Sel(Gt(Col(0), Int(4)), Rel("S")));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+}
+
+TEST(QueryAstTest, WhenEquality) {
+  HypoExprPtr h1 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr h2 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr h3 = Upd(Del("R", Rel("S")));
+  EXPECT_TRUE(When(Rel("R"), h1)->Equals(*When(Rel("R"), h2)));
+  EXPECT_FALSE(When(Rel("R"), h1)->Equals(*When(Rel("R"), h3)));
+}
+
+TEST(QueryAstTest, ToStringRoundsTheGrammar) {
+  QueryPtr q = When(
+      Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S")),
+      Upd(Seq(Ins("R", Sel(Gt(Col(0), Int(30)), Rel("S"))),
+              Del("S", Sel(Lt(Col(0), Int(60)), Rel("S"))))));
+  EXPECT_EQ(q->ToString(),
+            "((R join[($0 = $2)] S) when {ins(R, sigma[($0 > 30)](S)); "
+            "del(S, sigma[($0 < 60)](S))})");
+}
+
+TEST(QueryAstTest, SubstBindingsSortedByName) {
+  HypoExprPtr h = Sub({Binding{"S", Rel("R")}, Binding{"A", Rel("R")}});
+  ASSERT_EQ(h->bindings().size(), 2u);
+  EXPECT_EQ(h->bindings()[0].rel_name, "A");
+  EXPECT_EQ(h->bindings()[1].rel_name, "S");
+  EXPECT_NE(h->BindingFor("S"), nullptr);
+  EXPECT_EQ(h->BindingFor("Z"), nullptr);
+}
+
+TEST(UpdateAstTest, AtomicSequenceDetection) {
+  UpdatePtr atomic = Seq(Ins("R", Rel("S")), Del("S", Rel("R")));
+  EXPECT_TRUE(atomic->IsAtomicSequence());
+  UpdatePtr cond = If(Rel("R"), Ins("R", Rel("S")), Del("R", Rel("S")));
+  EXPECT_FALSE(cond->IsAtomicSequence());
+  EXPECT_FALSE(Seq(atomic, cond)->IsAtomicSequence());
+}
+
+// ---------------------------------------------------------------------------
+// Typecheck.
+// ---------------------------------------------------------------------------
+
+TEST(TypecheckTest, InfersArity) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}, {"T", 3}});
+  ASSERT_OK_AND_ASSIGN(size_t a, InferQueryArity(Rel("T"), schema));
+  EXPECT_EQ(a, 3u);
+  ASSERT_OK_AND_ASSIGN(a, InferQueryArity(X(Rel("R"), Rel("T")), schema));
+  EXPECT_EQ(a, 5u);
+  ASSERT_OK_AND_ASSIGN(a, InferQueryArity(Proj({0, 0, 1}, Rel("R")), schema));
+  EXPECT_EQ(a, 3u);
+  ASSERT_OK_AND_ASSIGN(
+      a, InferQueryArity(When(Rel("R"), Upd(Ins("R", Rel("S")))), schema));
+  EXPECT_EQ(a, 2u);
+}
+
+TEST(TypecheckTest, RejectsArityMismatches) {
+  Schema schema = MakeSchema({{"R", 2}, {"T", 3}});
+  EXPECT_EQ(InferQueryArity(U(Rel("R"), Rel("T")), schema).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(InferQueryArity(Rel("Nope"), schema).status().code(),
+            StatusCode::kNotFound);
+  // Predicate out of range.
+  EXPECT_EQ(
+      InferQueryArity(Sel(Gt(Col(5), Int(1)), Rel("R")), schema).status()
+          .code(),
+      StatusCode::kTypeError);
+  // Projection out of range.
+  EXPECT_EQ(InferQueryArity(Proj({2}, Rel("R")), schema).status().code(),
+            StatusCode::kTypeError);
+  // Join predicate beyond concatenation.
+  EXPECT_EQ(InferQueryArity(Join(Eq(Col(0), Col(5)), Rel("R"), Rel("T")),
+                            schema)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, ChecksUpdatesAndStates) {
+  Schema schema = MakeSchema({{"R", 2}, {"T", 3}});
+  EXPECT_OK(CheckUpdate(Ins("R", Rel("R")), schema));
+  EXPECT_EQ(CheckUpdate(Ins("R", Rel("T")), schema).code(),
+            StatusCode::kTypeError);
+  EXPECT_OK(CheckHypo(Sub1(Rel("R"), "R"), schema));
+  EXPECT_EQ(CheckHypo(Sub1(Rel("T"), "R"), schema).code(),
+            StatusCode::kTypeError);
+  // Conditional guards may have any arity.
+  EXPECT_OK(CheckUpdate(If(Rel("T"), Ins("R", Rel("R")), Del("R", Rel("R"))),
+                        schema));
+  // The binding of a when-state is checked too.
+  EXPECT_EQ(InferQueryArity(When(Rel("R"), Sub1(Rel("T"), "R")), schema)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, TreeAndDagSizes) {
+  QueryPtr r = Rel("R");
+  QueryPtr shared = U(r, r);  // R shared twice
+  EXPECT_EQ(TreeSize(shared), 3.0);
+  EXPECT_EQ(DagSize(shared), 2u);  // union node + one shared R node
+}
+
+TEST(MetricsTest, WhenDepth) {
+  QueryPtr q0 = Rel("R");
+  EXPECT_EQ(WhenDepth(q0), 0u);
+  QueryPtr q1 = When(q0, Sub1(Rel("S"), "R"));
+  EXPECT_EQ(WhenDepth(q1), 1u);
+  QueryPtr q2 = When(q1, Sub1(Rel("S"), "R"));
+  EXPECT_EQ(WhenDepth(q2), 2u);
+  // Nesting inside a binding counts as well.
+  QueryPtr q3 = When(Rel("R"), Sub1(q1, "R"));
+  EXPECT_EQ(WhenDepth(q3), 2u);
+}
+
+TEST(MetricsTest, CountRelOccurrences) {
+  QueryPtr q = U(Rel("R"), X(Rel("R"), Rel("S")));
+  EXPECT_EQ(CountRelOccurrences(q, "R"), 2.0);
+  EXPECT_EQ(CountRelOccurrences(q, "S"), 1.0);
+  EXPECT_EQ(CountRelOccurrences(q, "T"), 0.0);
+  // Occurrences inside states count.
+  QueryPtr w = When(Rel("S"), Upd(Ins("S", Rel("R"))));
+  EXPECT_EQ(CountRelOccurrences(w, "R"), 1.0);
+}
+
+TEST(MetricsTest, IsPureRelAlg) {
+  EXPECT_TRUE(IsPureRelAlg(U(Rel("R"), Rel("S"))));
+  EXPECT_FALSE(IsPureRelAlg(When(Rel("R"), Sub1(Rel("S"), "R"))));
+}
+
+TEST(MetricsTest, BlowupChainIsLinearButDeep) {
+  for (int n = 1; n <= 8; ++n) {
+    BlowupSpec spec = BlowupChain(n);
+    // The HQL query grows linearly in n...
+    EXPECT_LE(TreeSize(spec.query), 10.0 * n + 10.0);
+    EXPECT_EQ(WhenDepth(spec.query), static_cast<size_t>(n));
+    ASSERT_OK_AND_ASSIGN(size_t arity,
+                         InferQueryArity(spec.query, spec.schema));
+    EXPECT_EQ(arity, static_cast<size_t>(1) << n);
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,198 @@
+#include "hql/enf.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "hql/collapse.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+TEST(EnfTest, Recognizer) {
+  QueryPtr pure = U(Rel("A1"), Rel("B1"));
+  EXPECT_TRUE(IsEnf(pure));
+
+  QueryPtr subst_state = When(Rel("A1"), Sub1(Rel("B1"), "A1"));
+  EXPECT_TRUE(IsEnf(subst_state));
+
+  QueryPtr update_state = When(Rel("A1"), Upd(Ins("A1", Rel("B1"))));
+  EXPECT_FALSE(IsEnf(update_state));
+
+  QueryPtr composed = When(
+      Rel("A1"), Comp(Sub1(Rel("B1"), "A1"), Sub1(Rel("A1"), "B1")));
+  EXPECT_FALSE(IsEnf(composed));
+
+  // A non-ENF state hidden inside a binding is detected.
+  QueryPtr nested = When(Rel("A1"), Sub1(update_state, "A1"));
+  EXPECT_FALSE(IsEnf(nested));
+}
+
+TEST(EnfTest, ConvertsUpdatesAndCompositions) {
+  Schema schema = PropertySchema();
+  QueryPtr q = When(U(Rel("A1"), Rel("B1")),
+                    Upd(Seq(Ins("A1", Rel("B1")), Del("B1", Rel("A1")))));
+  ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema));
+  EXPECT_TRUE(IsEnf(enf));
+  ASSERT_EQ(enf->kind(), QueryKind::kWhen);
+  ASSERT_EQ(enf->state()->kind(), HypoKind::kSubst);
+  // The sequence composes into one substitution with bindings for both.
+  EXPECT_NE(enf->state()->BindingFor("A1"), nullptr);
+  EXPECT_NE(enf->state()->BindingFor("B1"), nullptr);
+  // del(B1, A1) reads A1's *updated* value: A1 u B1.
+  EXPECT_TRUE(enf->state()->BindingFor("B1")->Equals(
+      *Diff(Rel("B1"), U(Rel("A1"), Rel("B1")))));
+}
+
+TEST(EnfTest, PreservesSemanticsRandomized) {
+  Rng rng(123);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema));
+    EXPECT_TRUE(IsEnf(enf)) << q->ToString();
+    ASSERT_OK_AND_ASSIGN(Relation before, EvalDirect(q, db));
+    ASSERT_OK_AND_ASSIGN(Relation after, EvalDirect(enf, db));
+    EXPECT_EQ(before, after) << q->ToString() << "\n-->\n" << enf->ToString();
+  }
+}
+
+TEST(ModEnfTest, Recognizer) {
+  QueryPtr atomic = When(Rel("A1"), Upd(Seq(Ins("A1", Rel("B1")),
+                                            Del("B1", Rel("A1")))));
+  EXPECT_TRUE(IsModEnf(atomic));
+  QueryPtr subst = When(Rel("A1"), Sub1(Rel("B1"), "A1"));
+  EXPECT_FALSE(IsModEnf(subst));
+}
+
+TEST(ModEnfTest, FlattensCompositionsOfUpdates) {
+  Schema schema = PropertySchema();
+  QueryPtr q = When(Rel("A1"), Comp(Upd(Ins("A1", Rel("B1"))),
+                                    Upd(Del("A1", Rel("B1")))));
+  ASSERT_OK_AND_ASSIGN(QueryPtr mod, ToModEnf(q, schema));
+  EXPECT_TRUE(IsModEnf(mod));
+  ASSERT_EQ(mod->state()->kind(), HypoKind::kUpdateState);
+  EXPECT_EQ(mod->state()->update()->kind(), UpdateKind::kSeq);
+}
+
+TEST(ModEnfTest, RejectsSubstitutionsAndConditionals) {
+  Schema schema = PropertySchema();
+  QueryPtr subst = When(Rel("A1"), Sub1(Rel("B1"), "A1"));
+  EXPECT_EQ(ToModEnf(subst, schema).status().code(),
+            StatusCode::kUnimplemented);
+  QueryPtr cond = When(
+      Rel("A1"),
+      Upd(If(Rel("B1"), Ins("A1", Rel("B1")), Del("A1", Rel("B1")))));
+  EXPECT_EQ(ToModEnf(cond, schema).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ModEnfTest, PreservesSemanticsRandomized) {
+  Rng rng(131);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  int converted = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    auto mod = ToModEnf(q, schema);
+    if (!mod.ok()) continue;  // substitutions in the input: expected
+    ++converted;
+    EXPECT_TRUE(IsModEnf(mod.value()));
+    ASSERT_OK_AND_ASSIGN(Relation before, EvalDirect(q, db));
+    ASSERT_OK_AND_ASSIGN(Relation after, EvalDirect(mod.value(), db));
+    EXPECT_EQ(before, after) << q->ToString();
+  }
+  EXPECT_GT(converted, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Collapse.
+// ---------------------------------------------------------------------------
+
+TEST(CollapseTest, PureQueryIsOneBlock) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  QueryPtr q = Sel(Gt(Col(0), Int(1)), U(Rel("R"), Rel("S")));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  EXPECT_EQ(tree->kind, CollapsedKind::kBlock);
+  EXPECT_TRUE(tree->holes.empty());
+  EXPECT_TRUE(tree->block->Equals(*q));
+}
+
+TEST(CollapseTest, Example52Shape) {
+  // Q = (Q1 when e1) isect (R join sigma(Q2 when e2)): the root block is
+  // #0 isect (R join sigma(#1)) with two when-holes.
+  Schema schema = MakeSchema({{"Q1", 2}, {"Q2", 2}, {"R", 2}});
+  QueryPtr q1_when = When(Rel("Q1"), Sub1(Rel("R"), "Q1"));
+  QueryPtr q2_when = When(Rel("Q2"), Sub1(Rel("R"), "Q2"));
+  QueryPtr q = N(q1_when, Join(Eq(Col(0), Col(2)), Rel("R"),
+                               Sel(Gt(Col(0), Int(1)), q2_when)));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  ASSERT_EQ(tree->kind, CollapsedKind::kBlock);
+  ASSERT_EQ(tree->holes.size(), 2u);
+  EXPECT_EQ(tree->hole_arities[0], 2u);
+  EXPECT_EQ(tree->hole_arities[1], 2u);
+  EXPECT_EQ(tree->holes[0]->kind, CollapsedKind::kWhen);
+  EXPECT_EQ(tree->holes[1]->kind, CollapsedKind::kWhen);
+  // The block query references the placeholders.
+  QueryPtr expected_block =
+      N(Rel("#0"), Join(Eq(Col(0), Col(2)), Rel("R"),
+                        Sel(Gt(Col(0), Int(1)), Rel("#1"))));
+  EXPECT_TRUE(tree->block->Equals(*expected_block))
+      << tree->block->ToString();
+}
+
+TEST(CollapseTest, WhenRootWithSubstBindings) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  QueryPtr q = When(X(Rel("R"), Rel("S")), Sub1(U(Rel("R"), Rel("S")), "R"));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  ASSERT_EQ(tree->kind, CollapsedKind::kWhen);
+  EXPECT_FALSE(tree->state_is_update);
+  ASSERT_EQ(tree->bindings.size(), 1u);
+  EXPECT_EQ(tree->bindings[0].rel_name, "R");
+  EXPECT_EQ(tree->input->kind, CollapsedKind::kBlock);
+}
+
+TEST(CollapseTest, WhenRootWithUpdateAtoms) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  QueryPtr q = When(Rel("R"),
+                    Upd(Seq(Ins("R", Rel("S")), Del("S", Rel("R")))));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  ASSERT_EQ(tree->kind, CollapsedKind::kWhen);
+  EXPECT_TRUE(tree->state_is_update);
+  ASSERT_EQ(tree->atoms.size(), 2u);
+  EXPECT_TRUE(tree->atoms[0].is_insert);
+  EXPECT_EQ(tree->atoms[0].rel_name, "R");
+  EXPECT_FALSE(tree->atoms[1].is_insert);
+  EXPECT_EQ(tree->atoms[1].rel_name, "S");
+}
+
+TEST(CollapseTest, RejectsComposition) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  QueryPtr q = When(Rel("R"),
+                    Comp(Sub1(Rel("S"), "R"), Sub1(Rel("R"), "S")));
+  EXPECT_EQ(Collapse(q, schema).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CollapseTest, PlaceholderNames) {
+  EXPECT_EQ(PlaceholderName(0), "#0");
+  EXPECT_EQ(PlaceholderName(12), "#12");
+  EXPECT_TRUE(IsPlaceholderName("#3"));
+  EXPECT_FALSE(IsPlaceholderName("R"));
+  EXPECT_FALSE(IsPlaceholderName(""));
+}
+
+}  // namespace
+}  // namespace hql

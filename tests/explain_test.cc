@@ -1,0 +1,90 @@
+#include "opt/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+TEST(ExplainTest, ReportsShapeAndForms) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  StatsCatalog stats;
+  stats.SetCardinality("R", 1000, 2);
+  stats.SetCardinality("S", 1000, 2);
+
+  QueryPtr q = When(Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S")),
+                    Upd(Ins("R", Sel(Ge(Col(0), Int(30)), Rel("S")))));
+  ASSERT_OK_AND_ASSIGN(ExplainReport report, Explain(q, schema, stats));
+
+  EXPECT_EQ(report.arity, 4u);
+  EXPECT_EQ(report.when_depth, 1u);
+  EXPECT_GT(report.tree_size, 0.0);
+  EXPECT_TRUE(report.has_mod_enf);
+  EXPECT_FALSE(report.lazy_is_empty);
+  EXPECT_GT(report.estimated_cardinality, 0.0);
+  EXPECT_GT(report.state_materialization, 0.0);
+
+  // The textual forms parse back.
+  EXPECT_OK(ParseQuery(report.enf).status());
+  EXPECT_OK(ParseQuery(report.lazy).status());
+  EXPECT_OK(ParseQuery(report.plan).status());
+
+  std::string text = FormatExplain(report);
+  EXPECT_NE(text.find("enf:"), std::string::npos);
+  EXPECT_NE(text.find("decisions:"), std::string::npos);
+}
+
+TEST(ExplainTest, DetectsStaticEmptiness) {
+  // The Example 2.1(b) query is proved empty in the report.
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  StatsCatalog stats = StatsCatalog();
+  QueryPtr rjoins = Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S"));
+  QueryPtr query1 = When(
+      Diff(When(rjoins, Upd(Ins("R", Sel(Ge(Col(0), Int(30)), Rel("S"))))),
+           When(rjoins, Upd(Ins("R", Sel(Gt(Col(0), Int(30)), Rel("S")))))),
+      Upd(Del("S", Sel(Lt(Col(0), Int(60)), Rel("S")))));
+  ASSERT_OK_AND_ASSIGN(ExplainReport report, Explain(query1, schema, stats));
+  EXPECT_TRUE(report.lazy_is_empty);
+  EXPECT_DOUBLE_EQ(report.lazy_cost, 0.0);
+}
+
+TEST(ExplainTest, FlagsPreciseDeltaFallback) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  StatsCatalog stats;
+  // An explicit substitution has no mod-ENF form.
+  QueryPtr q = When(Rel("R"), Sub1(U(Rel("R"), Rel("S")), "R"));
+  ASSERT_OK_AND_ASSIGN(ExplainReport report, Explain(q, schema, stats));
+  EXPECT_FALSE(report.has_mod_enf);
+  EXPECT_NE(FormatExplain(report).find("precise deltas"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, NeverFailsOnRandomQueries) {
+  Rng rng(1031);
+  Schema schema = PropertySchema();
+  StatsCatalog stats;
+  for (const auto& [name, arity] : schema.arities()) {
+    stats.SetCardinality(name, 500, arity);
+  }
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 150; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(ExplainReport report, Explain(q, schema, stats));
+    EXPECT_FALSE(FormatExplain(report).empty());
+    EXPECT_OK(ParseQuery(report.lazy).status()) << report.lazy;
+  }
+}
+
+}  // namespace
+}  // namespace hql

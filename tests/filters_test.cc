@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "eval/filter1.h"
+#include "eval/filter2.h"
+#include "eval/filter3.h"
+#include "hql/collapse.h"
+#include "hql/enf.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(Filter1Test, BasicWhenFiltering) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{2}})));
+  // (R union S) when {(R u S)/R}: R reads as {1, 2}.
+  QueryPtr q = When(U(Rel("R"), Rel("S")), Sub1(U(Rel("R"), Rel("S")), "R"));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter1(q, db));
+  EXPECT_EQ(out, Ints({{1}, {2}}));
+}
+
+TEST(Filter1Test, RequiresEnf) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  QueryPtr q = When(Rel("R"), Upd(Ins("R", Rel("S"))));
+  EXPECT_EQ(Filter1(q, db).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Filter1Test, NestedWhenSmashes) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{5}})));
+  // Inner state rebinds R; outer state rebinds S. Both visible inside.
+  QueryPtr q = When(When(X(Rel("R"), Rel("S")), Sub1(Rel("S"), "R")),
+                    Sub1(Single({Value::Int(9)}), "S"));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter1(q, db));
+  // Outer first: S := {9}. Inner: R := S = {9}. Result {9} x {9}.
+  EXPECT_EQ(out, Ints({{9, 9}}));
+}
+
+TEST(Filter1Test, EnvExposedWorker) {
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  XsubValue env;
+  env.Bind("R", Ints({{7}}));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter1WithEnv(Rel("R"), db, env));
+  EXPECT_EQ(out, Ints({{7}}));
+}
+
+// Proposition 5.1 / 5.3 / 5.4: all three algorithms agree with the direct
+// semantics on random hypothetical queries.
+
+class FilterPropertyTest : public ::testing::Test {
+ protected:
+  Rng rng_{163};
+  Schema schema_ = PropertySchema();
+};
+
+TEST_F(FilterPropertyTest, Proposition51Filter1Correct) {
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng_, schema_, 5, 8);
+    QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter1(enf, db));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+    EXPECT_EQ(filtered, reference) << q->ToString();
+  }
+}
+
+TEST_F(FilterPropertyTest, Proposition53Filter2Correct) {
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng_, schema_, 5, 8);
+    QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter2(enf, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+    EXPECT_EQ(filtered, reference) << q->ToString();
+  }
+}
+
+TEST_F(FilterPropertyTest, Proposition54Filter3Correct) {
+  // Filter3 is total: mod-ENF atoms where possible, precise deltas
+  // (Section 5.5) capturing explicit substitutions otherwise.
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 300; ++trial) {
+    Database db = RandomDatabase(&rng_, schema_, 5, 8);
+    QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
+    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter3(q, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+    EXPECT_EQ(filtered, reference) << q->ToString();
+  }
+}
+
+TEST_F(FilterPropertyTest, AllAlgorithmsAgreeOnUpdateChains) {
+  // Queries whose states are pure update chains run under every algorithm.
+  AstGenOptions options;
+  options.max_depth = 2;
+  options.allow_compose = false;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng_, schema_, 6, 8);
+    QueryPtr body = RandomQuery(&rng_, schema_, 2, options);
+    UpdatePtr u = RandomUpdate(&rng_, schema_, options);
+    QueryPtr q = When(body, Upd(u));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation f1, Filter1(enf, db));
+    ASSERT_OK_AND_ASSIGN(Relation f2, Filter2(enf, db, schema_));
+    EXPECT_EQ(f1, reference) << q->ToString();
+    EXPECT_EQ(f2, reference) << q->ToString();
+
+    ASSERT_OK_AND_ASSIGN(Relation f3, Filter3(q, db, schema_));
+    EXPECT_EQ(f3, reference) << q->ToString();
+  }
+}
+
+TEST(Filter3Test, AtomChainsSeeEarlierAtoms) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{2}})));
+  // ins(R, S); ins(S, R): the second atom reads R's updated value {1,2}.
+  QueryPtr q = When(Rel("S"), Upd(Seq(Ins("R", Rel("S")),
+                                      Ins("S", Rel("R")))));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter3(q, db, schema));
+  EXPECT_EQ(out, Ints({{1}, {2}}));
+}
+
+TEST(Filter3Test, DeleteThenInsertSameTuple) {
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}, {2}})));
+  QueryPtr t1 = Single({Value::Int(1)});
+  // del(R, {1}); ins(R, {1}) leaves 1 present (smash I beats earlier D).
+  QueryPtr q = When(Rel("R"), Upd(Seq(Del("R", t1), Ins("R", t1))));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter3(q, db, schema));
+  EXPECT_EQ(out, Ints({{1}, {2}}));
+  // And the reverse order removes it.
+  QueryPtr q2 = When(Rel("R"), Upd(Seq(Ins("R", t1), Del("R", t1))));
+  ASSERT_OK_AND_ASSIGN(Relation out2, Filter3(q2, db, schema));
+  EXPECT_EQ(out2, Ints({{2}}));
+}
+
+TEST(Filter2Test, CollapsedTreeReuse) {
+  // Collapse once, evaluate against several states (Example 2.2's family).
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  QueryPtr q = When(U(Rel("R"), Rel("S")), Sub1(U(Rel("R"), Rel("S")), "R"));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  for (int i = 0; i < 3; ++i) {
+    Database db(schema);
+    ASSERT_OK(db.Set("R", Ints({{i}})));
+    ASSERT_OK(db.Set("S", Ints({{10 + i}})));
+    ASSERT_OK_AND_ASSIGN(Relation out, Filter2Collapsed(tree, db));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+    EXPECT_EQ(out, reference);
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,82 @@
+#include "hql/free_dom.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "tests/test_util.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+
+TEST(FreeDomTest, PureQueryFreeNames) {
+  QueryPtr q = U(Rel("R"), Sel(Gt(Col(0), Int(3)), X(Rel("S"), Rel("R"))));
+  EXPECT_EQ(FreeNames(q), (NameSet{"R", "S"}));
+  EXPECT_EQ(FreeNames(Empty(2)), NameSet{});
+  EXPECT_EQ(FreeNames(Single({Value::Int(1)})), NameSet{});
+}
+
+TEST(FreeDomTest, UpdateFigure2) {
+  // free(ins(R, Q)) = {R} u free(Q): the atomic update reads its target's
+  // old value (R := R u Q). This deliberately strengthens the paper's
+  // Figure 2, which omits R — see the free_dom.h header for why the
+  // literal reading is unsound for binding removal.
+  UpdatePtr ins = Ins("R", Rel("S"));
+  EXPECT_EQ(FreeNames(ins), (NameSet{"R", "S"}));
+  EXPECT_EQ(DomNames(ins), NameSet{"R"});
+
+  UpdatePtr del = Del("T", Rel("T"));
+  EXPECT_EQ(FreeNames(del), NameSet{"T"});
+  EXPECT_EQ(DomNames(del), NameSet{"T"});
+
+  // free((U1;U2)) = free(U1) u (free(U2) - dom(U1)).
+  UpdatePtr seq = Seq(Ins("R", Rel("S")), Del("T", Rel("R")));
+  // U2's read of R resolves against U1's write, but U1 itself reads R,
+  // and U2 reads its own target T.
+  EXPECT_EQ(FreeNames(seq), (NameSet{"R", "S", "T"}));
+  EXPECT_EQ(DomNames(seq), (NameSet{"R", "T"}));
+
+  UpdatePtr seq2 = Seq(Del("T", Rel("R")), Ins("R", Rel("S")));
+  EXPECT_EQ(FreeNames(seq2), (NameSet{"R", "S", "T"}));
+}
+
+TEST(FreeDomTest, HypoFigure2) {
+  HypoExprPtr subst = Sub({Binding{"R", Rel("S")}, Binding{"T", Rel("R")}});
+  EXPECT_EQ(FreeNames(subst), (NameSet{"R", "S"}));
+  EXPECT_EQ(DomNames(subst), (NameSet{"R", "T"}));
+
+  // free(e1 # e2) = free(e1) u (free(e2) - dom(e1)).
+  HypoExprPtr composed = Comp(Sub1(Rel("S"), "R"), Sub1(Rel("R"), "T"));
+  EXPECT_EQ(FreeNames(composed), NameSet{"S"});
+  EXPECT_EQ(DomNames(composed), (NameSet{"R", "T"}));
+
+  HypoExprPtr upd = Upd(Ins("R", Rel("S")));
+  EXPECT_EQ(FreeNames(upd), (NameSet{"R", "S"}));
+  EXPECT_EQ(DomNames(upd), NameSet{"R"});
+}
+
+TEST(FreeDomTest, WhenScoping) {
+  // free(Q when eta) = free(eta) u (free(Q) - dom(eta)).
+  QueryPtr q = When(U(Rel("R"), Rel("T")), Sub1(Rel("S"), "R"));
+  EXPECT_EQ(FreeNames(q), (NameSet{"S", "T"}));
+
+  // A name both read by the state and shadowed for the body.
+  QueryPtr q2 = When(Rel("R"), Sub1(Rel("R"), "R"));
+  EXPECT_EQ(FreeNames(q2), NameSet{"R"});
+}
+
+TEST(FreeDomTest, CondExtension) {
+  UpdatePtr cond = If(Rel("G"), Ins("R", Rel("S")), Del("T", Rel("U")));
+  EXPECT_EQ(FreeNames(cond), (NameSet{"G", "R", "S", "T", "U"}));
+  EXPECT_EQ(DomNames(cond), (NameSet{"R", "T"}));
+}
+
+TEST(FreeDomTest, Disjoint) {
+  EXPECT_TRUE(Disjoint(NameSet{"A", "B"}, NameSet{"C"}));
+  EXPECT_FALSE(Disjoint(NameSet{"A", "B"}, NameSet{"B", "C"}));
+  EXPECT_TRUE(Disjoint(NameSet{}, NameSet{"X"}));
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,93 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/test_util.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(DatabaseIoTest, RoundTripBasic) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1, 10}, {2, 20}})));
+  ASSERT_OK(db.Set("S", Ints({{7}})));
+
+  std::string text = DatabaseToText(db);
+  ASSERT_OK_AND_ASSIGN(Database loaded, DatabaseFromText(text));
+  EXPECT_EQ(loaded, db);
+  EXPECT_EQ(loaded.schema().NumRelations(), 2u);
+}
+
+TEST(DatabaseIoTest, RoundTripAllValueTypes) {
+  Schema schema = MakeSchema({{"T", 5}});
+  Database db(schema);
+  ASSERT_OK(db.Set(
+      "T", Relation::FromTuples(
+               5, {{Value::Int(-3), Value::Double(2.5), Value::Str("a'b"),
+                    Value::Bool(true), Value::Nul()},
+                   {Value::Int(0), Value::Double(-0.125),
+                    Value::Str(""), Value::Bool(false), Value::Nul()}})));
+  ASSERT_OK_AND_ASSIGN(Database loaded, DatabaseFromText(DatabaseToText(db)));
+  EXPECT_EQ(loaded, db) << DatabaseToText(db);
+}
+
+TEST(DatabaseIoTest, RoundTripRandomized) {
+  Rng rng(811);
+  Schema schema = PropertySchema();
+  for (int trial = 0; trial < 30; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 20, 50);
+    ASSERT_OK_AND_ASSIGN(Database loaded,
+                         DatabaseFromText(DatabaseToText(db)));
+    EXPECT_EQ(loaded, db);
+  }
+}
+
+TEST(DatabaseIoTest, CommentsAndBlankLines) {
+  const char* text =
+      "# a comment\n"
+      "\n"
+      "relation R 1\n"
+      "  (1)\n"
+      "# inline comment line\n"
+      "(2)\n"
+      "end\n";
+  ASSERT_OK_AND_ASSIGN(Database db, DatabaseFromText(text));
+  EXPECT_EQ(db.GetRef("R"), Ints({{1}, {2}}));
+}
+
+TEST(DatabaseIoTest, Errors) {
+  EXPECT_FALSE(DatabaseFromText("(1)\n").ok());  // tuple outside block
+  EXPECT_FALSE(DatabaseFromText("relation R 1\n(1)\n").ok());  // no end
+  EXPECT_FALSE(DatabaseFromText("relation R 0\nend\n").ok());  // arity 0
+  EXPECT_FALSE(
+      DatabaseFromText("relation R 1\n(1, 2)\nend\n").ok());  // arity clash
+  EXPECT_FALSE(DatabaseFromText("relation R 1\n(x)\nend\n").ok());
+  EXPECT_FALSE(
+      DatabaseFromText("relation R 1\nrelation S 1\nend\nend\n").ok());
+  EXPECT_FALSE(DatabaseFromText("end\n").ok());
+  EXPECT_FALSE(
+      DatabaseFromText("relation R 1\n(1) extra\nend\n").ok());
+}
+
+TEST(DatabaseIoTest, SaveAndLoadFile) {
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{42}})));
+  std::string path = ::testing::TempDir() + "/hql_io_test.db";
+  ASSERT_OK(SaveDatabase(db, path));
+  ASSERT_OK_AND_ASSIGN(Database loaded, LoadDatabase(path));
+  EXPECT_EQ(loaded, db);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatabase(path).ok());
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,188 @@
+// Tests for the reuse-oriented APIs: MaterializeXsub / MaterializeDelta
+// (Examples 2.2(a)/(b)) and the VersionTree workload (Example 2.1).
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "eval/filter1.h"
+#include "eval/filter3.h"
+#include "eval/materialize.h"
+#include "hql/collapse.h"
+#include "hql/enf.h"
+#include "opt/planner.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+#include "workload/version_tree.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(MaterializeTest, XsubMatchesDirectState) {
+  Rng rng(1103);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    HypoExprPtr eta = RandomHypo(&rng, schema, options);
+    ASSERT_OK_AND_ASSIGN(XsubValue xsub, MaterializeXsub(eta, db, schema));
+    ASSERT_OK_AND_ASSIGN(Database via_xsub, xsub.ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(Database via_state, EvalState(eta, db));
+    EXPECT_EQ(via_xsub, via_state) << eta->ToString();
+  }
+}
+
+TEST(MaterializeTest, DeltaCapturesXsub) {
+  // apply(DB, delta) == apply(DB, xsub): the "captures" property of
+  // Section 5.5 for the precise construction.
+  Rng rng(1109);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    HypoExprPtr eta = RandomHypo(&rng, schema, options);
+    ASSERT_OK_AND_ASSIGN(XsubValue xsub, MaterializeXsub(eta, db, schema));
+    ASSERT_OK_AND_ASSIGN(DeltaValue delta,
+                         MaterializeDelta(eta, db, schema));
+    ASSERT_OK_AND_ASSIGN(Database via_xsub, xsub.ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(Database via_delta, delta.ApplyTo(db));
+    EXPECT_EQ(via_xsub, via_delta) << eta->ToString();
+    // The precise delta never stores a tuple on both sides for no reason:
+    // its total size is bounded by xsub size + affected base sizes.
+    for (const auto& [name, pair] : delta.pairs()) {
+      ASSERT_OK_AND_ASSIGN(Relation base, db.Get(name));
+      EXPECT_LE(pair.del.size(), base.size());
+    }
+  }
+}
+
+TEST(MaterializeTest, SmashCapturesComposition) {
+  // The Section 5.5 lemma: if Delta1 captures [eta1] in DB and Delta2
+  // captures [eta2] in apply(DB, Delta1), then Delta1 ! Delta2 captures
+  // [eta1 # eta2] in DB.
+  Rng rng(1129);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 2;
+  for (int trial = 0; trial < 100; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    HypoExprPtr eta1 = RandomHypo(&rng, schema, options);
+    HypoExprPtr eta2 = RandomHypo(&rng, schema, options);
+
+    ASSERT_OK_AND_ASSIGN(DeltaValue d1, MaterializeDelta(eta1, db, schema));
+    ASSERT_OK_AND_ASSIGN(Database mid, d1.ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(DeltaValue d2, MaterializeDelta(eta2, mid, schema));
+
+    ASSERT_OK_AND_ASSIGN(Database via_smash, d1.SmashWith(d2).ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(Database via_state,
+                         EvalState(Comp(eta1, eta2), db));
+    EXPECT_EQ(via_smash, via_state)
+        << eta1->ToString() << " # " << eta2->ToString();
+  }
+}
+
+TEST(MaterializeTest, ReuseAcrossFamily) {
+  // Materialize once, answer a family via Filter1WithEnv: same values as
+  // evaluating each hypothetical query from scratch.
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  Rng rng(1117);
+  Database db(schema);
+  ASSERT_OK(db.Set("R", GenRelation(&rng, 100, 2, 50)));
+  ASSERT_OK(db.Set("S", GenRelation(&rng, 100, 2, 50)));
+  HypoExprPtr eta = Upd(Seq(Ins("R", Sel(Ge(Col(0), Int(10)), Rel("S"))),
+                            Del("S", Sel(Lt(Col(0), Int(30)), Rel("S")))));
+  ASSERT_OK_AND_ASSIGN(XsubValue env, MaterializeXsub(eta, db, schema));
+  for (int i = 0; i < 10; ++i) {
+    QueryPtr family = Sel(Eq(Col(0), Int(i * 5)), U(Rel("R"), Rel("S")));
+    ASSERT_OK_AND_ASSIGN(Relation fast, Filter1WithEnv(family, db, env));
+    ASSERT_OK_AND_ASSIGN(Relation reference,
+                         EvalDirect(Query::When(family, eta), db));
+    EXPECT_EQ(fast, reference);
+  }
+}
+
+TEST(VersionTreeTest, PathStatesCompose) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{2}})));
+
+  VersionTree tree;
+  auto v1 = tree.AddChild(VersionTree::kRoot, "add S to R",
+                          Upd(Ins("R", Rel("S"))));
+  auto v2a = tree.AddChild(v1, "clear S", Upd(Del("S", Rel("S"))));
+  auto v2b = tree.AddChild(v1, "add 9", Upd(Ins("R", Single({Value::Int(9)}))));
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_EQ(tree.parent(v2a), v1);
+  EXPECT_EQ(tree.label(v2b), "add 9");
+
+  // Root: query sees the base state.
+  ASSERT_OK_AND_ASSIGN(
+      Relation at_root,
+      EvalDirect(tree.QueryAt(VersionTree::kRoot, Rel("R")), db));
+  EXPECT_EQ(at_root, Ints({{1}}));
+
+  // v1: R = {1, 2}.
+  ASSERT_OK_AND_ASSIGN(Relation at_v1,
+                       EvalDirect(tree.QueryAt(v1, Rel("R")), db));
+  EXPECT_EQ(at_v1, Ints({{1}, {2}}));
+
+  // v2a: R unchanged from v1, S empty.
+  ASSERT_OK_AND_ASSIGN(Relation s_v2a,
+                       EvalDirect(tree.QueryAt(v2a, Rel("S")), db));
+  EXPECT_TRUE(s_v2a.empty());
+  ASSERT_OK_AND_ASSIGN(Relation r_v2a,
+                       EvalDirect(tree.QueryAt(v2a, Rel("R")), db));
+  EXPECT_EQ(r_v2a, Ints({{1}, {2}}));
+
+  // v2b: R = {1, 2, 9}.
+  ASSERT_OK_AND_ASSIGN(Relation r_v2b,
+                       EvalDirect(tree.QueryAt(v2b, Rel("R")), db));
+  EXPECT_EQ(r_v2b, Ints({{1}, {2}, {9}}));
+
+  // Example 2.1's comparison query between the two alternatives.
+  ASSERT_OK_AND_ASSIGN(Relation diff,
+                       EvalDirect(tree.CompareAt(v2b, v2a, Rel("R")), db));
+  EXPECT_EQ(diff, Ints({{9}}));
+
+  // The real state never changed.
+  EXPECT_EQ(db.GetRef("R"), Ints({{1}}));
+  EXPECT_EQ(db.GetRef("S"), Ints({{2}}));
+}
+
+TEST(VersionTreeTest, AllStrategiesAgreeOnTreeQueries) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  Rng rng(1123);
+  Database db(schema);
+  ASSERT_OK(db.Set("R", GenRelation(&rng, 60, 2, 40)));
+  ASSERT_OK(db.Set("S", GenRelation(&rng, 60, 2, 40)));
+
+  VersionTree tree;
+  auto v1 = tree.AddChild(
+      VersionTree::kRoot, "v1",
+      Upd(Del("S", Sel(Lt(Col(0), Int(20)), Rel("S")))));
+  auto v2a = tree.AddChild(
+      v1, "v2a", Upd(Ins("R", Sel(Ge(Col(0), Int(10)), Rel("S")))));
+  auto v2b = tree.AddChild(
+      v1, "v2b", Upd(Ins("R", Sel(Gt(Col(0), Int(10)), Rel("S")))));
+
+  QueryPtr body = Proj({0}, Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S")));
+  QueryPtr compare = tree.CompareAt(v2a, v2b, body);
+  ASSERT_OK_AND_ASSIGN(Relation reference,
+                       Execute(compare, db, schema, Strategy::kDirect));
+  for (Strategy s : {Strategy::kLazy, Strategy::kFilter1, Strategy::kFilter2,
+                     Strategy::kFilter3, Strategy::kHybrid}) {
+    ASSERT_OK_AND_ASSIGN(Relation out, Execute(compare, db, schema, s));
+    EXPECT_EQ(out, reference) << StrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,190 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/update.h"
+#include "common/rng.h"
+#include "parser/lexer.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+
+TEST(LexerTest, TokenKinds) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                       Tokenize("sigma[$0 >= 3.5]('a''b') != R_1"));
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSigma);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kColumn);
+  EXPECT_EQ(tokens[2].int_value, 0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 3.5);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[7].text, "a'b");
+  EXPECT_EQ(tokens[9].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[10].text, "R_1");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("$x").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(ParserTest, BasicQueries) {
+  ASSERT_OK_AND_ASSIGN(QueryPtr q, ParseQuery("R"));
+  EXPECT_TRUE(q->Equals(*Rel("R")));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("sigma[$0 > 30](S)"));
+  EXPECT_TRUE(q->Equals(*Sel(Gt(Col(0), Int(30)), Rel("S"))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("pi[0,2](T)"));
+  EXPECT_TRUE(q->Equals(*Proj({0, 2}, Rel("T"))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("empty[3]"));
+  EXPECT_TRUE(q->Equals(*Empty(3)));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("{(1, 'a', 2.5, true, null)}"));
+  EXPECT_TRUE(q->Equals(*Single({Value::Int(1), Value::Str("a"),
+                                 Value::Double(2.5), Value::Bool(true),
+                                 Value::Nul()})));
+}
+
+TEST(ParserTest, BinaryOperatorPrecedence) {
+  // x binds tighter than isect, which binds tighter than union / minus.
+  ASSERT_OK_AND_ASSIGN(QueryPtr q, ParseQuery("A union B isect C x D"));
+  EXPECT_TRUE(q->Equals(*U(Rel("A"), N(Rel("B"), X(Rel("C"), Rel("D"))))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("A - B union C"));
+  // Left-associative at the same level.
+  EXPECT_TRUE(q->Equals(*U(Diff(Rel("A"), Rel("B")), Rel("C"))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("R join[$0 = $2] S"));
+  EXPECT_TRUE(q->Equals(*Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S"))));
+}
+
+TEST(ParserTest, WhenStates) {
+  ASSERT_OK_AND_ASSIGN(QueryPtr q, ParseQuery("R when {ins(R, S)}"));
+  EXPECT_TRUE(q->Equals(*When(Rel("R"), Upd(Ins("R", Rel("S"))))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("R when {ins(R, S); del(S, R)}"));
+  EXPECT_TRUE(q->Equals(
+      *When(Rel("R"), Upd(Seq(Ins("R", Rel("S")), Del("S", Rel("R")))))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("R when {S/R, R/S}"));
+  EXPECT_TRUE(q->Equals(*When(
+      Rel("R"), Sub({Binding{"R", Rel("S")}, Binding{"S", Rel("R")}}))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("R when {}"));
+  EXPECT_TRUE(q->Equals(*When(Rel("R"), Sub({}))));
+
+  ASSERT_OK_AND_ASSIGN(q, ParseQuery("R when ({S/R} # {ins(S, R)})"));
+  EXPECT_TRUE(q->Equals(*When(
+      Rel("R"), Comp(Sub1(Rel("S"), "R"), Upd(Ins("S", Rel("R")))))));
+}
+
+TEST(ParserTest, NestedWhenLeftAssociative) {
+  ASSERT_OK_AND_ASSIGN(QueryPtr q, ParseQuery("R when {S/R} when {R/S}"));
+  EXPECT_TRUE(q->Equals(*When(When(Rel("R"), Sub1(Rel("S"), "R")),
+                              Sub1(Rel("R"), "S"))));
+}
+
+TEST(ParserTest, ConditionalUpdate) {
+  ASSERT_OK_AND_ASSIGN(
+      UpdatePtr u,
+      ParseUpdate("if sigma[$0 > 5](C) then {ins(R, S)} else {del(R, S)}"));
+  EXPECT_TRUE(u->Equals(*If(Sel(Gt(Col(0), Int(5)), Rel("C")),
+                            Ins("R", Rel("S")), Del("R", Rel("S")))));
+}
+
+TEST(ParserTest, ScalarExpressions) {
+  ASSERT_OK_AND_ASSIGN(ScalarExprPtr e,
+                       ParseScalarExpr("$0 + 2 * $1 >= 10 and not $2 = 3"));
+  EXPECT_TRUE(e->Equals(*And(Ge(Add(Col(0), Mul(Int(2), Col(1))), Int(10)),
+                             Not(Eq(Col(2), Int(3))))));
+
+  ASSERT_OK_AND_ASSIGN(e, ParseScalarExpr("-$0 < -3"));
+  EXPECT_TRUE(e->Equals(*Lt(ScalarExpr::Unary(ScalarOp::kNeg, Col(0)),
+                            ScalarExpr::Unary(ScalarOp::kNeg, Int(3)))));
+
+  // or is looser than and.
+  ASSERT_OK_AND_ASSIGN(e, ParseScalarExpr("$0 = 1 or $0 = 2 and $1 = 3"));
+  EXPECT_TRUE(e->Equals(
+      *Or(Eq(Col(0), Int(1)), And(Eq(Col(0), Int(2)), Eq(Col(1), Int(3))))));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("R union").ok());
+  EXPECT_FALSE(ParseQuery("sigma[$0 >](R)").ok());
+  EXPECT_FALSE(ParseQuery("R when").ok());
+  EXPECT_FALSE(ParseQuery("R when {S/R, T/R}").ok());  // duplicate binding
+  EXPECT_FALSE(ParseQuery("pi[](R)").ok());
+  EXPECT_FALSE(ParseQuery("empty[0]").ok());
+  EXPECT_FALSE(ParseQuery("R S").ok());  // trailing input
+  EXPECT_FALSE(ParseUpdate("ins(R)").ok());
+  EXPECT_FALSE(ParseHypo("{ins(R, S)").ok());
+}
+
+TEST(ParserTest, RoundTripHandcrafted) {
+  const char* cases[] = {
+      "R",
+      "empty[2]",
+      "{(1, 'a')}",
+      "sigma[($0 > 30)](R join[($0 = $2)] S)",
+      "(R union S) - (R isect S)",
+      "pi[0,1](R x S)",
+      "(R when {ins(R, sigma[($0 >= 60)](S))})",
+      "((R - S) when {del(S, R); ins(R, S)})",
+      "(R when ({S/R} # {del(S, R)}))",
+      "(R when {if T then {ins(R, S)} else {del(R, S)}})",
+  };
+  for (const char* text : cases) {
+    ASSERT_OK_AND_ASSIGN(QueryPtr q, ParseQuery(text));
+    ASSERT_OK_AND_ASSIGN(QueryPtr again, ParseQuery(q->ToString()));
+    EXPECT_TRUE(q->Equals(*again)) << text << " -> " << q->ToString();
+  }
+}
+
+TEST(ParserTest, RoundTripRandomized) {
+  // Printer output always parses back to an equal AST.
+  Rng rng(171);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 4;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    QueryPtr q = RandomQuery(&rng, schema, arity, options);
+    std::string text = q->ToString();
+    ASSERT_OK_AND_ASSIGN(QueryPtr parsed, ParseQuery(text));
+    EXPECT_TRUE(parsed->Equals(*q)) << text;
+  }
+}
+
+TEST(ParserTest, RoundTripRandomHypo) {
+  Rng rng(173);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    HypoExprPtr h = RandomHypo(&rng, schema, options);
+    std::string text = h->ToString();
+    ASSERT_OK_AND_ASSIGN(HypoExprPtr parsed, ParseHypo(text));
+    EXPECT_TRUE(parsed->Equals(*h)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,103 @@
+#include "hql/pushdown.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/metrics.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "eval/filter1.h"
+#include "hql/enf.h"
+#include "hql/reduce.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+TEST(PushdownTest, EliminatesSimpleWhen) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  QueryPtr q = When(U(Rel("R"), Rel("S")), Upd(Ins("R", Rel("S"))));
+  ASSERT_OK_AND_ASSIGN(QueryPtr pushed, PushdownReduce(q, schema));
+  EXPECT_TRUE(IsPureRelAlg(pushed));
+  EXPECT_TRUE(pushed->Equals(*U(U(Rel("R"), Rel("S")), Rel("S"))));
+}
+
+TEST(PushdownTest, AgreesWithReduceStructurally) {
+  // The push-based route and the substitution-based route reach the same
+  // pure RA query — the Figure 1 rules are complete for reduction.
+  Rng rng(701);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  for (int trial = 0; trial < 250; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr pushed, PushdownReduce(q, schema));
+    EXPECT_TRUE(IsPureRelAlg(pushed)) << q->ToString();
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema));
+    ASSERT_OK_AND_ASSIGN(QueryPtr reduced, Reduce(enf, schema));
+    EXPECT_TRUE(pushed->Equals(*reduced))
+        << q->ToString() << "\npush: " << pushed->ToString()
+        << "\nred:  " << reduced->ToString();
+  }
+}
+
+TEST(PushdownTest, PreservesSemanticsRandomized) {
+  Rng rng(703);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr pushed, PushdownReduce(q, schema));
+    ASSERT_OK_AND_ASSIGN(Relation before, EvalDirect(q, db));
+    ASSERT_OK_AND_ASSIGN(Relation after, EvalDirect(pushed, db));
+    EXPECT_EQ(before, after) << q->ToString();
+  }
+}
+
+TEST(PushdownTest, PartialPushLeavesResidualWhens) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  // A when over a 3-level body: budget 1 pushes one level only.
+  QueryPtr body = U(N(Rel("R"), Rel("S")), Diff(Rel("R"), Rel("S")));
+  QueryPtr q = When(body, Sub1(U(Rel("R"), Rel("S")), "R"));
+  ASSERT_OK_AND_ASSIGN(QueryPtr partial, PushdownPartial(q, schema, 1));
+  EXPECT_FALSE(IsPureRelAlg(partial));       // residual whens remain
+  EXPECT_EQ(partial->kind(), QueryKind::kUnion);  // one level was pushed
+  EXPECT_TRUE(IsEnf(partial));               // still evaluable as ENF
+
+  // Budget 0 is the identity on the when placement.
+  ASSERT_OK_AND_ASSIGN(QueryPtr frozen, PushdownPartial(q, schema, 0));
+  EXPECT_EQ(frozen->kind(), QueryKind::kWhen);
+
+  // All partial depths evaluate identically.
+  Database db(schema);
+  ASSERT_OK(db.Set("R", testing::Ints({{1}, {2}})));
+  ASSERT_OK(db.Set("S", testing::Ints({{2}, {3}})));
+  ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+  for (int depth : {0, 1, 2, 3, -1}) {
+    ASSERT_OK_AND_ASSIGN(QueryPtr p, PushdownPartial(q, schema, depth));
+    ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(p, schema));
+    ASSERT_OK_AND_ASSIGN(Relation out, Filter1(enf, db));
+    EXPECT_EQ(out, reference) << "depth " << depth;
+  }
+}
+
+TEST(PushdownTest, NestedWhensFold) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  QueryPtr q = When(When(Rel("R"), Sub1(Rel("S"), "R")),
+                    Sub1(U(Rel("R"), Rel("S")), "S"));
+  ASSERT_OK_AND_ASSIGN(QueryPtr pushed, PushdownReduce(q, schema));
+  EXPECT_TRUE(IsPureRelAlg(pushed));
+  // Outer state first: S := R u S; then R reads S's new value.
+  EXPECT_TRUE(pushed->Equals(*U(Rel("R"), Rel("S")))) << pushed->ToString();
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,253 @@
+#include "hql/ra_rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+// ---------------------------------------------------------------------------
+// Predicate simplification.
+// ---------------------------------------------------------------------------
+
+TEST(PredicateSimplifyTest, ConstantFolding) {
+  EXPECT_EQ(SimplifyPredicate(Gt(Int(5), Int(3)))->ToString(), "true");
+  EXPECT_EQ(SimplifyPredicate(Eq(Int(5), Int(3)))->ToString(), "false");
+  EXPECT_EQ(SimplifyPredicate(Add(Int(2), Int(3)))->ToString(), "5");
+  EXPECT_EQ(SimplifyPredicate(Not(Bool(false)))->ToString(), "true");
+}
+
+TEST(PredicateSimplifyTest, ConnectiveIdentities) {
+  ScalarExprPtr p = Gt(Col(0), Int(3));
+  EXPECT_TRUE(SimplifyPredicate(And(Bool(true), p))->Equals(*p));
+  EXPECT_EQ(SimplifyPredicate(And(Bool(false), p))->ToString(), "false");
+  EXPECT_TRUE(SimplifyPredicate(Or(Bool(false), p))->Equals(*p));
+  EXPECT_EQ(SimplifyPredicate(Or(Bool(true), p))->ToString(), "true");
+  EXPECT_TRUE(SimplifyPredicate(Or(p, p))->Equals(*p));
+  EXPECT_TRUE(SimplifyPredicate(And(p, p))->Equals(*p));
+}
+
+TEST(PredicateSimplifyTest, NegationPushesThroughComparisons) {
+  EXPECT_EQ(SimplifyPredicate(Not(Lt(Col(0), Int(60))))->ToString(),
+            "($0 >= 60)");
+  EXPECT_EQ(SimplifyPredicate(Not(Not(Gt(Col(0), Int(1)))))->ToString(),
+            "($0 > 1)");
+  // De Morgan.
+  EXPECT_EQ(SimplifyPredicate(
+                Not(And(Lt(Col(0), Int(1)), Gt(Col(1), Int(2)))))
+                ->ToString(),
+            "(($0 >= 1) or ($1 <= 2))");
+}
+
+TEST(PredicateSimplifyTest, IntervalMerge) {
+  // (A >= 30) and (A >= 60)  ==>  A >= 60 (the Example 2.1(b) step).
+  EXPECT_EQ(SimplifyPredicate(
+                And(Ge(Col(0), Int(30)), Ge(Col(0), Int(60))))
+                ->ToString(),
+            "($0 >= 60)");
+  // (A > 30) and (A >= 60)  ==>  A >= 60.
+  EXPECT_EQ(SimplifyPredicate(
+                And(Gt(Col(0), Int(30)), Ge(Col(0), Int(60))))
+                ->ToString(),
+            "($0 >= 60)");
+  // Upper bounds merge too.
+  EXPECT_EQ(SimplifyPredicate(
+                And(Lt(Col(0), Int(10)), Le(Col(0), Int(20))))
+                ->ToString(),
+            "($0 < 10)");
+  // Contradiction.
+  EXPECT_EQ(SimplifyPredicate(
+                And(Gt(Col(0), Int(10)), Lt(Col(0), Int(5))))
+                ->ToString(),
+            "false");
+  // Point interval becomes equality.
+  EXPECT_EQ(SimplifyPredicate(
+                And(Ge(Col(0), Int(7)), Le(Col(0), Int(7))))
+                ->ToString(),
+            "($0 = 7)");
+  // Point interval excluded by a not-equal is false.
+  EXPECT_EQ(SimplifyPredicate(And(Eq(Col(0), Int(7)), Ne(Col(0), Int(7))))
+                ->ToString(),
+            "false");
+}
+
+TEST(PredicateSimplifyTest, LiteralOnLeftCanonicalized) {
+  EXPECT_EQ(SimplifyPredicate(Lt(Int(30), Col(0)))->ToString(), "($0 > 30)");
+  // And the canonical form enables the interval merge.
+  EXPECT_EQ(SimplifyPredicate(
+                And(Lt(Int(30), Col(0)), Gt(Col(0), Int(60))))
+                ->ToString(),
+            "($0 > 60)");
+}
+
+TEST(PredicateSimplifyTest, TrivialSelfComparisons) {
+  EXPECT_EQ(SimplifyPredicate(Eq(Col(1), Col(1)))->ToString(), "true");
+  EXPECT_EQ(SimplifyPredicate(Lt(Col(1), Col(1)))->ToString(), "false");
+  EXPECT_EQ(SimplifyPredicate(Ge(Col(1), Col(1)))->ToString(), "true");
+}
+
+TEST(PredicateSimplifyTest, RandomizedSoundness) {
+  Rng rng(55);
+  AstGenOptions options;
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    ScalarExprPtr p = RandomPredicate(&rng, arity, options);
+    ScalarExprPtr s = SimplifyPredicate(p);
+    for (int i = 0; i < 30; ++i) {
+      Tuple t;
+      for (size_t c = 0; c < arity; ++c) {
+        t.push_back(Value::Int(rng.Uniform(0, 7)));
+      }
+      EXPECT_EQ(p->EvaluatesTrue(t), s->EvaluatesTrue(t))
+          << p->ToString() << " vs " << s->ToString() << " on "
+          << TupleToString(t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic simplification.
+// ---------------------------------------------------------------------------
+
+class SimplifyRaTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakeSchema({{"R", 2}, {"S", 2}, {"T", 3}});
+
+  QueryPtr Simplify(const QueryPtr& q) {
+    auto result = SimplifyRa(q, schema_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : nullptr;
+  }
+};
+
+TEST_F(SimplifyRaTest, DifferenceOfEqualIsEmpty) {
+  QueryPtr q = Diff(U(Rel("R"), Rel("S")), U(Rel("R"), Rel("S")));
+  EXPECT_TRUE(Simplify(q)->Equals(*Empty(2)));
+}
+
+TEST_F(SimplifyRaTest, EmptyPropagation) {
+  EXPECT_TRUE(Simplify(U(Empty(2), Rel("R")))->Equals(*Rel("R")));
+  EXPECT_TRUE(Simplify(N(Rel("R"), Empty(2)))->Equals(*Empty(2)));
+  EXPECT_TRUE(Simplify(Diff(Rel("R"), Empty(2)))->Equals(*Rel("R")));
+  EXPECT_TRUE(Simplify(Diff(Empty(2), Rel("R")))->Equals(*Empty(2)));
+  EXPECT_TRUE(Simplify(X(Empty(2), Rel("T")))->Equals(*Empty(5)));
+  EXPECT_TRUE(Simplify(Sel(Gt(Col(0), Int(1)), Empty(2)))->Equals(*Empty(2)));
+  EXPECT_TRUE(Simplify(Proj({0}, Empty(2)))->Equals(*Empty(1)));
+  EXPECT_TRUE(Simplify(Join(Eq(Col(0), Col(2)), Empty(2), Rel("S")))
+                  ->Equals(*Empty(4)));
+}
+
+TEST_F(SimplifyRaTest, SelectionRules) {
+  // sigma_true == identity; sigma_false == empty.
+  EXPECT_TRUE(Simplify(Sel(Bool(true), Rel("R")))->Equals(*Rel("R")));
+  EXPECT_TRUE(Simplify(Sel(Bool(false), Rel("R")))->Equals(*Empty(2)));
+  // Cascading selections merge with interval simplification.
+  QueryPtr q = Sel(Ge(Col(0), Int(30)), Sel(Ge(Col(0), Int(60)), Rel("S")));
+  EXPECT_TRUE(Simplify(q)->Equals(*Sel(Ge(Col(0), Int(60)), Rel("S"))));
+  // Selection over a product becomes a join (clustering).
+  QueryPtr sp = Sel(Eq(Col(0), Col(2)), X(Rel("R"), Rel("S")));
+  EXPECT_EQ(Simplify(sp)->kind(), QueryKind::kJoin);
+}
+
+TEST_F(SimplifyRaTest, DifferenceWithSelection) {
+  // S - sigma_p(S) == sigma_{not p}(S): the Example 2.1(b) rule.
+  QueryPtr q = Diff(Rel("S"), Sel(Lt(Col(0), Int(60)), Rel("S")));
+  EXPECT_TRUE(Simplify(q)->Equals(*Sel(Ge(Col(0), Int(60)), Rel("S"))));
+  // sigma_p(S) - sigma_q(S) == sigma_{p and not q}(S).
+  QueryPtr q2 = Diff(Sel(Ge(Col(0), Int(10)), Rel("S")),
+                     Sel(Ge(Col(0), Int(20)), Rel("S")));
+  QueryPtr s2 = Simplify(q2);
+  EXPECT_TRUE(s2->Equals(*Sel(And(Ge(Col(0), Int(10)), Lt(Col(0), Int(20))),
+                              Rel("S"))))
+      << s2->ToString();
+}
+
+TEST_F(SimplifyRaTest, IntersectAbsorption) {
+  QueryPtr q = N(Rel("S"), Sel(Gt(Col(0), Int(5)), Rel("S")));
+  EXPECT_TRUE(Simplify(q)->Equals(*Sel(Gt(Col(0), Int(5)), Rel("S"))));
+  QueryPtr q2 = N(Sel(Ge(Col(0), Int(5)), Rel("S")),
+                  Sel(Ge(Col(0), Int(9)), Rel("S")));
+  EXPECT_TRUE(Simplify(q2)->Equals(*Sel(Ge(Col(0), Int(9)), Rel("S"))));
+}
+
+TEST_F(SimplifyRaTest, IdempotentUnionIntersect) {
+  QueryPtr r = Sel(Gt(Col(0), Int(1)), Rel("R"));
+  EXPECT_TRUE(Simplify(U(r, r))->Equals(*r));
+  EXPECT_TRUE(Simplify(N(r, r))->Equals(*r));
+}
+
+TEST_F(SimplifyRaTest, ProjectionRules) {
+  // Identity projection disappears.
+  EXPECT_TRUE(Simplify(Proj({0, 1}, Rel("R")))->Equals(*Rel("R")));
+  // pi over pi composes.
+  QueryPtr q = Proj({0}, Proj({1, 0}, Rel("R")));
+  EXPECT_TRUE(Simplify(q)->Equals(*Proj({1}, Rel("R"))));
+  // pi over a singleton evaluates.
+  QueryPtr s = Proj({1, 1}, Single({Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(
+      Simplify(s)->Equals(*Single({Value::Int(2), Value::Int(2)})));
+}
+
+TEST_F(SimplifyRaTest, SingletonSelection) {
+  QueryPtr keep = Sel(Gt(Col(0), Int(1)), Single({Value::Int(5)}));
+  EXPECT_TRUE(Simplify(keep)->Equals(*Single({Value::Int(5)})));
+  QueryPtr drop = Sel(Gt(Col(0), Int(9)), Single({Value::Int(5)}));
+  EXPECT_TRUE(Simplify(drop)->Equals(*Empty(1)));
+}
+
+TEST_F(SimplifyRaTest, JoinRules) {
+  // Join with a false predicate is empty; with true becomes a product.
+  EXPECT_TRUE(Simplify(Join(Bool(false), Rel("R"), Rel("S")))
+                  ->Equals(*Empty(4)));
+  EXPECT_EQ(Simplify(Join(Bool(true), Rel("R"), Rel("S")))->kind(),
+            QueryKind::kProduct);
+}
+
+TEST_F(SimplifyRaTest, RejectsWhen) {
+  QueryPtr q = Query::When(Rel("R"), Sub1(Rel("S"), "R"));
+  EXPECT_EQ(SimplifyRa(q, schema_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SimplifyRaRandomTest, SoundnessOnRandomQueries) {
+  Rng rng(77);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 300; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    QueryPtr q = RandomQuery(&rng, schema, arity, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr s, SimplifyRa(q, schema));
+    ASSERT_OK_AND_ASSIGN(Relation before, EvalDirect(q, db));
+    ASSERT_OK_AND_ASSIGN(Relation after, EvalDirect(s, db));
+    EXPECT_EQ(before, after) << q->ToString() << "\n-->\n" << s->ToString();
+  }
+}
+
+TEST(SimplifyRaRandomTest, Idempotent) {
+  Rng rng(79);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr once, SimplifyRa(q, schema));
+    ASSERT_OK_AND_ASSIGN(QueryPtr twice, SimplifyRa(once, schema));
+    EXPECT_TRUE(once->Equals(*twice))
+        << once->ToString() << "\n-->\n" << twice->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hql

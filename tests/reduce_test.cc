@@ -1,0 +1,141 @@
+#include "hql/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ast/builders.h"
+#include "ast/metrics.h"
+#include "ast/typecheck.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "eval/ra_eval.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+TEST(ReduceTest, PureQueriesAreFixpoints) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  QueryPtr q = U(Rel("R"), Sel(Gt(Col(0), Int(3)), Rel("S")));
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+  EXPECT_EQ(red, q);  // no copy for pure queries
+}
+
+TEST(ReduceTest, SimpleWhenBecomesSubstitutionInstance) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  // (R when {ins(R, S)}) reduces to R u S.
+  QueryPtr q = When(Rel("R"), Upd(Ins("R", Rel("S"))));
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+  EXPECT_TRUE(red->Equals(*U(Rel("R"), Rel("S"))));
+}
+
+TEST(ReduceTest, Example311) {
+  // U = (ins(R, Q1); del(S, sigma_p(R))), Q = pi_x(S) join V:
+  // Q when {U} reduces to pi_x(S - sigma_p(R u Q1)) join V.
+  Schema schema = MakeSchema({{"R", 1}, {"S", 2}, {"V", 1}, {"Q1src", 1}});
+  QueryPtr q1 = Rel("Q1src");
+  ScalarExprPtr p = Gt(Col(0), Int(5));
+  UpdatePtr u = Seq(Ins("R", q1), Del("S", X(Sel(p, Rel("R")), Rel("V"))));
+  QueryPtr q = Join(Eq(Col(0), Col(1)), Proj({0}, Rel("S")), Rel("V"));
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(When(q, Upd(u)), schema));
+  QueryPtr expected =
+      Join(Eq(Col(0), Col(1)),
+           Proj({0}, Diff(Rel("S"),
+                          X(Sel(p, U(Rel("R"), q1)), Rel("V")))),
+           Rel("V"));
+  EXPECT_TRUE(red->Equals(*expected)) << red->ToString();
+}
+
+TEST(ReduceTest, NestedWhenComposes) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  // ((R when {S/R}) when {del(S, R)}): outer state moves first.
+  QueryPtr q = When(When(Rel("R"), Sub1(Rel("S"), "R")),
+                    Upd(Del("S", Rel("R"))));
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+  // red = sub(sub(R, {S/R}), slice(del(S,R))) = sub(S, {(S-R)/S}) = S - R.
+  EXPECT_TRUE(red->Equals(*Diff(Rel("S"), Rel("R")))) << red->ToString();
+}
+
+TEST(ReduceTest, Theorem41AgreesWithDirectSemantics) {
+  // The central soundness theorem: for every query and every state,
+  // [Q](DB) == [red(Q)](DB), with red(Q) pure RA.
+  Rng rng(23);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = true;
+  options.allow_compose = true;
+  options.max_depth = 4;
+  int when_queries = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, options.literal_domain);
+    size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    QueryPtr q = RandomQuery(&rng, schema, arity, options);
+    if (!IsPureRelAlg(q)) ++when_queries;
+
+    ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+    EXPECT_TRUE(IsPureRelAlg(red));
+    ASSERT_OK(InferQueryArity(red, schema).status());
+
+    ASSERT_OK_AND_ASSIGN(Relation direct, EvalDirect(q, db));
+    DatabaseResolver resolver(db);
+    ASSERT_OK_AND_ASSIGN(Relation lazy, EvalRa(red, resolver));
+    EXPECT_EQ(direct, lazy) << q->ToString();
+  }
+  // The generator must actually produce hypothetical queries.
+  EXPECT_GT(when_queries, 50);
+}
+
+TEST(ReduceTest, Theorem41WithConditionalUpdates) {
+  Rng rng(29);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = true;
+  options.allow_cond = true;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, options.literal_domain);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(q, schema));
+    ASSERT_OK_AND_ASSIGN(Relation direct, EvalDirect(q, db));
+    DatabaseResolver resolver(db);
+    ASSERT_OK_AND_ASSIGN(Relation lazy, EvalRa(red, resolver));
+    EXPECT_EQ(direct, lazy) << q->ToString();
+  }
+}
+
+TEST(ReduceTest, ReduceHypoMatchesStateSemantics) {
+  // apply(DB, red(eta)) == [eta](DB).
+  Rng rng(31);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, options.literal_domain);
+    HypoExprPtr eta = RandomHypo(&rng, schema, options);
+    ASSERT_OK_AND_ASSIGN(Substitution rho, ReduceHypo(eta, schema));
+    ASSERT_OK_AND_ASSIGN(Database via_subst, ApplySubstitution(rho, db));
+    ASSERT_OK_AND_ASSIGN(Database via_direct, EvalState(eta, db));
+    EXPECT_EQ(via_subst, via_direct) << eta->ToString();
+  }
+}
+
+TEST(ReduceTest, BlowupChainReducesExponentially) {
+  // Example 2.4(a): the reduction of the n-step chain has ~2^n leaves.
+  for (int n = 2; n <= 10; n += 2) {
+    BlowupSpec spec = BlowupChain(n);
+    ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(spec.query, spec.schema));
+    EXPECT_TRUE(IsPureRelAlg(red));
+    double leaves = CountRelOccurrences(red, "R" + std::to_string(n));
+    EXPECT_EQ(leaves, std::pow(2.0, n));
+    // The DAG stays small thanks to sharing — the blow-up is in tree size.
+    EXPECT_LE(DagSize(red), 4u * static_cast<uint64_t>(n) + 4u);
+  }
+}
+
+}  // namespace
+}  // namespace hql

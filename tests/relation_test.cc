@@ -1,0 +1,149 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/stats.h"
+#include "tests/test_util.h"
+
+namespace hql {
+namespace {
+
+using ::hql::testing::IntRow;
+using ::hql::testing::Ints;
+
+TEST(RelationTest, FromTuplesSortsAndDedups) {
+  Relation r = Ints({{3, 1}, {1, 2}, {3, 1}, {2, 0}});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.ToString(), "{(1, 2), (2, 0), (3, 1)}");
+}
+
+TEST(RelationTest, ContainsAndInsertErase) {
+  Relation r = Ints({{1}, {3}});
+  EXPECT_TRUE(r.Contains(IntRow({1})));
+  EXPECT_FALSE(r.Contains(IntRow({2})));
+  r.Insert(IntRow({2}));
+  EXPECT_TRUE(r.Contains(IntRow({2})));
+  EXPECT_EQ(r.size(), 3u);
+  r.Insert(IntRow({2}));  // duplicate is a no-op
+  EXPECT_EQ(r.size(), 3u);
+  r.Erase(IntRow({1}));
+  EXPECT_FALSE(r.Contains(IntRow({1})));
+  r.Erase(IntRow({99}));  // absent is a no-op
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, UnionIntersectDifference) {
+  Relation a = Ints({{1}, {2}, {3}});
+  Relation b = Ints({{2}, {3}, {4}});
+  EXPECT_EQ(a.UnionWith(b), Ints({{1}, {2}, {3}, {4}}));
+  EXPECT_EQ(a.IntersectWith(b), Ints({{2}, {3}}));
+  EXPECT_EQ(a.DifferenceWith(b), Ints({{1}}));
+  EXPECT_EQ(b.DifferenceWith(a), Ints({{4}}));
+}
+
+TEST(RelationTest, SetOpsWithEmpty) {
+  Relation a = Ints({{1}, {2}});
+  Relation empty(1);
+  EXPECT_EQ(a.UnionWith(empty), a);
+  EXPECT_EQ(a.IntersectWith(empty), empty);
+  EXPECT_EQ(a.DifferenceWith(empty), a);
+  EXPECT_EQ(empty.DifferenceWith(a), empty);
+}
+
+TEST(RelationTest, ProductArityAndOrder) {
+  Relation a = Ints({{1}, {2}});
+  Relation b = Ints({{10, 20}, {30, 40}});
+  Relation p = a.ProductWith(b);
+  EXPECT_EQ(p.arity(), 3u);
+  EXPECT_EQ(p.size(), 4u);
+  // The product of sorted inputs is emitted in sorted order.
+  EXPECT_EQ(p.ToString(),
+            "{(1, 10, 20), (1, 30, 40), (2, 10, 20), (2, 30, 40)}");
+}
+
+TEST(RelationTest, ProductWithEmptyIsEmpty) {
+  Relation a = Ints({{1}, {2}});
+  Relation empty(2);
+  Relation p = a.ProductWith(empty);
+  EXPECT_EQ(p.arity(), 3u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(RelationTest, EqualityAndHash) {
+  Relation a = Ints({{1}, {2}});
+  Relation b = Ints({{2}, {1}});
+  EXPECT_EQ(a, b);  // order-insensitive construction
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Relation c = Ints({{1}});
+  EXPECT_NE(a, c);
+}
+
+TEST(RelationTest, MixedValueTypes) {
+  Relation r = Relation::FromTuples(
+      2, {{Value::Int(1), Value::Str("b")}, {Value::Int(1), Value::Str("a")}});
+  EXPECT_EQ(r.ToString(), "{(1, 'a'), (1, 'b')}");
+}
+
+TEST(SchemaTest, AddAndQuery) {
+  Schema s;
+  EXPECT_OK(s.AddRelation("R", 2));
+  EXPECT_OK(s.AddRelation("S", 3));
+  EXPECT_TRUE(s.HasRelation("R"));
+  EXPECT_FALSE(s.HasRelation("T"));
+  ASSERT_OK_AND_ASSIGN(size_t arity, s.ArityOf("S"));
+  EXPECT_EQ(arity, 3u);
+  EXPECT_FALSE(s.ArityOf("T").ok());
+  EXPECT_EQ(s.NumRelations(), 2u);
+}
+
+TEST(SchemaTest, Rejections) {
+  Schema s;
+  EXPECT_OK(s.AddRelation("R", 2));
+  EXPECT_EQ(s.AddRelation("R", 2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.AddRelation("", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddRelation("Z", 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, StartsEmptyAndSets) {
+  Schema schema = testing::MakeSchema({{"R", 2}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK_AND_ASSIGN(Relation r, db.Get("R"));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_OK(db.Set("R", Ints({{1, 2}})));
+  ASSERT_OK_AND_ASSIGN(Relation r2, db.Get("R"));
+  EXPECT_EQ(r2.size(), 1u);
+}
+
+TEST(DatabaseTest, SetRejectsBadNameOrArity) {
+  Schema schema = testing::MakeSchema({{"R", 2}});
+  Database db(schema);
+  EXPECT_EQ(db.Set("T", Ints({{1, 2}})).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.Set("R", Ints({{1}})).code(), StatusCode::kTypeError);
+  EXPECT_EQ(db.Get("T").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, CopySemantics) {
+  Schema schema = testing::MakeSchema({{"R", 1}});
+  Database db(schema);
+  EXPECT_OK(db.Set("R", Ints({{1}})));
+  Database copy = db;
+  EXPECT_OK(copy.Set("R", Ints({{2}})));
+  // The original is untouched: database states are values.
+  EXPECT_EQ(db.GetRef("R"), Ints({{1}}));
+  EXPECT_EQ(copy.GetRef("R"), Ints({{2}}));
+  EXPECT_NE(db, copy);
+}
+
+TEST(StatsTest, FromDatabase) {
+  Schema schema = testing::MakeSchema({{"R", 1}, {"S", 2}});
+  Database db(schema);
+  EXPECT_OK(db.Set("R", Ints({{1}, {2}, {3}})));
+  StatsCatalog stats = StatsCatalog::FromDatabase(db);
+  EXPECT_EQ(stats.CardinalityOf("R", 0), 3u);
+  EXPECT_EQ(stats.CardinalityOf("S", 0), 0u);
+  EXPECT_EQ(stats.CardinalityOf("unknown", 77), 77u);
+}
+
+}  // namespace
+}  // namespace hql

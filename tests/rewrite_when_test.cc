@@ -1,0 +1,280 @@
+#include "hql/rewrite_when.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/metrics.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+// Checks one rewrite for soundness: same value in many random states.
+void ExpectEquivalent(const QueryPtr& before, const QueryPtr& after,
+                      uint64_t seed = 99) {
+  Rng rng(seed);
+  Schema schema = PropertySchema();
+  for (int trial = 0; trial < 30; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    ASSERT_OK_AND_ASSIGN(Relation a, EvalDirect(before, db));
+    ASSERT_OK_AND_ASSIGN(Relation b, EvalDirect(after, db));
+    EXPECT_EQ(a, b) << before->ToString() << "\n!=\n" << after->ToString();
+  }
+}
+
+TEST(RewriteWhenTest, RelWhenSubstBound) {
+  // R when {Q/R} == Q.
+  QueryPtr q = When(Rel("A1"), Sub1(U(Rel("A1"), Rel("B1")), "A1"));
+  QueryPtr rewritten = equiv::RelWhenSubst(q);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->Equals(*U(Rel("A1"), Rel("B1"))));
+  ExpectEquivalent(q, rewritten);
+}
+
+TEST(RewriteWhenTest, RelWhenSubstUnbound) {
+  // R when {Q/S} == R when R has no binding.
+  QueryPtr q = When(Rel("A1"), Sub1(Rel("A1"), "B1"));
+  QueryPtr rewritten = equiv::RelWhenSubst(q);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->Equals(*Rel("A1")));
+  ExpectEquivalent(q, rewritten);
+}
+
+TEST(RewriteWhenTest, RelWhenSubstDoesNotApplyToUpdateStates) {
+  QueryPtr q = When(Rel("A1"), Upd(Ins("A1", Rel("B1"))));
+  EXPECT_EQ(equiv::RelWhenSubst(q), nullptr);
+}
+
+TEST(RewriteWhenTest, SingletonAndEmptyWhen) {
+  HypoExprPtr h = Sub1(Rel("B1"), "A1");
+  QueryPtr s = When(Single({Value::Int(1)}), h);
+  ASSERT_NE(equiv::SingletonWhen(s), nullptr);
+  EXPECT_TRUE(equiv::SingletonWhen(s)->Equals(*Single({Value::Int(1)})));
+
+  QueryPtr e = When(Empty(2), h);
+  ASSERT_NE(equiv::EmptyWhen(e), nullptr);
+  EXPECT_TRUE(equiv::EmptyWhen(e)->Equals(*Empty(2)));
+}
+
+TEST(RewriteWhenTest, PushWhenUnary) {
+  HypoExprPtr h = Sub1(Rel("B2"), "A2");
+  QueryPtr q = When(Sel(Gt(Col(0), Int(3)), Rel("A2")), h);
+  QueryPtr rewritten = equiv::PushWhenUnary(q);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind(), QueryKind::kSelect);
+  EXPECT_EQ(rewritten->left()->kind(), QueryKind::kWhen);
+  ExpectEquivalent(q, rewritten);
+
+  QueryPtr p = When(Proj({0}, Rel("A2")), h);
+  rewritten = equiv::PushWhenUnary(p);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind(), QueryKind::kProject);
+  ExpectEquivalent(p, rewritten);
+}
+
+TEST(RewriteWhenTest, PushWhenBinaryAllOps) {
+  HypoExprPtr h = Upd(Ins("A1", Rel("B1")));
+  std::vector<QueryPtr> bodies = {
+      U(Rel("A1"), Rel("B1")), N(Rel("A1"), Rel("B1")),
+      Diff(Rel("A1"), Rel("B1")), X(Rel("A1"), Rel("B1")),
+      Join(Eq(Col(0), Col(1)), Rel("A1"), Rel("B1"))};
+  for (const QueryPtr& body : bodies) {
+    QueryPtr q = When(body, h);
+    QueryPtr rewritten = equiv::PushWhenBinary(q);
+    ASSERT_NE(rewritten, nullptr) << body->ToString();
+    EXPECT_EQ(rewritten->kind(), body->kind());
+    EXPECT_EQ(rewritten->left()->kind(), QueryKind::kWhen);
+    EXPECT_EQ(rewritten->right()->kind(), QueryKind::kWhen);
+    ExpectEquivalent(q, rewritten);
+  }
+}
+
+TEST(RewriteWhenTest, ConvertToExplicit) {
+  HypoExprPtr ins = Upd(Ins("A1", Rel("B1")));
+  HypoExprPtr conv = equiv::ConvertToExplicit(ins);
+  ASSERT_NE(conv, nullptr);
+  ASSERT_EQ(conv->kind(), HypoKind::kSubst);
+  EXPECT_TRUE(conv->BindingFor("A1")->Equals(*U(Rel("A1"), Rel("B1"))));
+
+  HypoExprPtr del = Upd(Del("A1", Rel("B1")));
+  conv = equiv::ConvertToExplicit(del);
+  ASSERT_NE(conv, nullptr);
+  EXPECT_TRUE(conv->BindingFor("A1")->Equals(*Diff(Rel("A1"), Rel("B1"))));
+
+  HypoExprPtr seq = Upd(Seq(Ins("A1", Rel("B1")), Del("B1", Rel("A1"))));
+  conv = equiv::ConvertToExplicit(seq);
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->kind(), HypoKind::kCompose);
+
+  // Soundness of each conversion as a when-state.
+  for (const HypoExprPtr& h : {ins, del, seq}) {
+    QueryPtr before = When(U(Rel("A1"), Rel("B1")), h);
+    QueryPtr after = When(U(Rel("A1"), Rel("B1")),
+                          equiv::ConvertToExplicit(h));
+    ExpectEquivalent(before, after);
+  }
+}
+
+TEST(RewriteWhenTest, ReplaceNestedWhen) {
+  // (Q when eta1) when eta2 == Q when (eta2 # eta1).
+  HypoExprPtr eta1 = Upd(Ins("A1", Rel("B1")));
+  HypoExprPtr eta2 = Upd(Del("B1", Rel("A1")));
+  QueryPtr q = When(When(U(Rel("A1"), Rel("B1")), eta1), eta2);
+  QueryPtr rewritten = equiv::ReplaceNestedWhen(q);
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(rewritten->kind(), QueryKind::kWhen);
+  ASSERT_EQ(rewritten->state()->kind(), HypoKind::kCompose);
+  // eta2 comes first in the composition (applied to the database first).
+  EXPECT_TRUE(rewritten->state()->first()->Equals(*eta2));
+  EXPECT_TRUE(rewritten->state()->second()->Equals(*eta1));
+  ExpectEquivalent(q, rewritten);
+}
+
+TEST(RewriteWhenTest, AssocCompose) {
+  HypoExprPtr a = Sub1(Rel("B1"), "A1");
+  HypoExprPtr b = Sub1(Rel("A1"), "B1");
+  HypoExprPtr c = Sub1(U(Rel("A1"), Rel("B1")), "A1");
+  HypoExprPtr left = Comp(Comp(a, b), c);
+  HypoExprPtr rewritten = equiv::AssocCompose(left);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->Equals(*Comp(a, Comp(b, c))));
+  ExpectEquivalent(When(Rel("A1"), left), When(Rel("A1"), rewritten));
+}
+
+TEST(RewriteWhenTest, ComputeCompositionTextual) {
+  // {(A1 u B1)/A1} # {sigma(A1)/B1}: pure bindings compose textually.
+  HypoExprPtr e1 = Sub1(U(Rel("A1"), Rel("B1")), "A1");
+  HypoExprPtr e2 = Sub1(Sel(Gt(Col(0), Int(2)), Rel("A1")), "B1");
+  HypoExprPtr composed = equiv::ComputeComposition(Comp(e1, e2));
+  ASSERT_NE(composed, nullptr);
+  ASSERT_EQ(composed->kind(), HypoKind::kSubst);
+  // Binding for B1 references A1's new value textually; A1 carried over.
+  EXPECT_TRUE(composed->BindingFor("B1")->Equals(
+      *Sel(Gt(Col(0), Int(2)), U(Rel("A1"), Rel("B1")))));
+  EXPECT_TRUE(composed->BindingFor("A1")->Equals(*U(Rel("A1"), Rel("B1"))));
+  ExpectEquivalent(When(X(Rel("A1"), Rel("B1")), Comp(e1, e2)),
+                   When(X(Rel("A1"), Rel("B1")), composed));
+}
+
+TEST(RewriteWhenTest, ComputeCompositionHypotheticalBindings) {
+  // A binding containing `when` forces the `P when eps1` wrapping form.
+  HypoExprPtr e1 = Sub1(U(Rel("A1"), Rel("B1")), "A1");
+  HypoExprPtr e2 =
+      Sub1(When(Rel("A1"), Upd(Del("A1", Rel("B1")))), "B1");
+  HypoExprPtr composed = equiv::ComputeComposition(Comp(e1, e2));
+  ASSERT_NE(composed, nullptr);
+  QueryPtr b1 = composed->BindingFor("B1");
+  ASSERT_NE(b1, nullptr);
+  EXPECT_EQ(b1->kind(), QueryKind::kWhen);  // P when eps1
+  ExpectEquivalent(When(X(Rel("A1"), Rel("B1")), Comp(e1, e2)),
+                   When(X(Rel("A1"), Rel("B1")), composed));
+}
+
+TEST(RewriteWhenTest, SubstSimplifyBindingRemoval) {
+  // Q mentions only A1; the binding for B2 can be dropped (Example 2.3).
+  HypoExprPtr state = Sub({Binding{"A1", U(Rel("A1"), Rel("B1"))},
+                           Binding{"B2", X(Rel("A1"), Rel("B1"))}});
+  QueryPtr q = When(Sel(Gt(Col(0), Int(1)), Rel("A1")), state);
+  QueryPtr rewritten = equiv::SubstSimplify(q);
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(rewritten->kind(), QueryKind::kWhen);
+  EXPECT_EQ(rewritten->state()->bindings().size(), 1u);
+  EXPECT_EQ(rewritten->state()->bindings()[0].rel_name, "A1");
+  ExpectEquivalent(q, rewritten);
+}
+
+TEST(RewriteWhenTest, SubstSimplifyIdentityAndEmpty) {
+  // Identity binding A1/A1 drops; an emptied substitution drops the when.
+  QueryPtr q = When(Rel("A1"), Sub1(Rel("A1"), "A1"));
+  QueryPtr rewritten = equiv::SubstSimplify(q);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->Equals(*Rel("A1")));
+
+  QueryPtr q2 = When(Rel("A1"), Sub({}));
+  rewritten = equiv::SubstSimplify(q2);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->Equals(*Rel("A1")));
+}
+
+TEST(RewriteWhenTest, SubstSimplifyNoChange) {
+  QueryPtr q = When(Rel("A1"), Sub1(Rel("B1"), "A1"));
+  EXPECT_EQ(equiv::SubstSimplify(q), nullptr);
+}
+
+TEST(RewriteWhenTest, CommuteHypotheticalsApplies) {
+  // Disjoint states commute.
+  HypoExprPtr eta1 = Upd(Ins("A1", Single({Value::Int(1)})));
+  HypoExprPtr eta2 = Upd(Del("B1", Single({Value::Int(2)})));
+  QueryPtr q = When(When(U(Rel("A1"), Rel("B1")), eta1), eta2);
+  QueryPtr rewritten = equiv::CommuteHypotheticals(q);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(rewritten->state()->Equals(*eta1));
+  EXPECT_TRUE(rewritten->left()->state()->Equals(*eta2));
+  ExpectEquivalent(q, rewritten);
+}
+
+TEST(RewriteWhenTest, CommuteHypotheticalsBlockedByOverlap) {
+  // dom overlap.
+  HypoExprPtr eta1 = Upd(Ins("A1", Single({Value::Int(1)})));
+  HypoExprPtr eta2 = Upd(Del("A1", Single({Value::Int(2)})));
+  EXPECT_EQ(equiv::CommuteHypotheticals(
+                When(When(Rel("A1"), eta1), eta2)),
+            nullptr);
+  // dom(eta1) intersects free(eta2).
+  HypoExprPtr eta3 = Upd(Del("B1", Rel("A1")));
+  EXPECT_EQ(equiv::CommuteHypotheticals(
+                When(When(Rel("A1"), eta1), eta3)),
+            nullptr);
+}
+
+TEST(RewriteWhenTest, RandomizedRuleSoundness) {
+  // Fire every applicable rule on random hypothetical queries and check
+  // value preservation against the direct semantics.
+  Rng rng(101);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  int fired = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    QueryPtr body = RandomQuery(&rng, schema, 2, options);
+    HypoExprPtr state = RandomHypo(&rng, schema, options);
+    QueryPtr q = When(body, state);
+
+    std::vector<QueryPtr> rewrites;
+    for (QueryPtr r : {equiv::RelWhenSubst(q), equiv::SingletonWhen(q),
+                       equiv::EmptyWhen(q), equiv::PushWhenUnary(q),
+                       equiv::PushWhenBinary(q), equiv::ReplaceNestedWhen(q),
+                       equiv::SubstSimplify(q),
+                       equiv::CommuteHypotheticals(q)}) {
+      if (r != nullptr) rewrites.push_back(r);
+    }
+    if (HypoExprPtr h = equiv::ConvertToExplicit(state); h != nullptr) {
+      rewrites.push_back(When(body, h));
+    }
+    if (HypoExprPtr h = equiv::ComputeComposition(state); h != nullptr) {
+      rewrites.push_back(When(body, h));
+    }
+    if (HypoExprPtr h = equiv::AssocCompose(state); h != nullptr) {
+      rewrites.push_back(When(body, h));
+    }
+
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
+    for (const QueryPtr& r : rewrites) {
+      ++fired;
+      ASSERT_OK_AND_ASSIGN(Relation value, EvalDirect(r, db));
+      EXPECT_EQ(reference, value)
+          << q->ToString() << "\n-->\n" << r->ToString();
+    }
+  }
+  EXPECT_GT(fired, 200);  // the rules actually fired
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,135 @@
+// Robustness and consistency sweeps: parser fuzzing (never crash, only
+// parse or report an error), printer fixpoints, and hash/equality
+// consistency on random ASTs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/builders.h"
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "common/rng.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  // Grammar-ish token soup: most inputs are invalid; the parser must
+  // return InvalidArgument, never crash or hang.
+  const std::vector<std::string> vocab = {
+      "R",    "S",     "sigma", "pi",    "gamma", "when", "union", "isect",
+      "x",    "join",  "ins",   "del",   "if",    "then", "else",  "and",
+      "or",   "not",   "true",  "false", "null",  "empty", "count", "sum",
+      "(",    ")",     "[",     "]",     "{",     "}",    ",",     ";",
+      "/",    "#",     "-",     "+",     "*",     "<",    "<=",    ">",
+      ">=",   "=",     "!=",    "$0",    "$1",    "0",    "1",     "42",
+      "3.5",  "'ab'",
+  };
+  Rng rng(997);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(1, 14));
+    for (int i = 0; i < len; ++i) {
+      input += vocab[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(vocab.size()) - 1))];
+      input += " ";
+    }
+    auto q = ParseQuery(input);
+    if (q.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must round-trip.
+      auto again = ParseQuery(q.value()->ToString());
+      ASSERT_TRUE(again.ok()) << input << " -> " << q.value()->ToString();
+      EXPECT_TRUE(again.value()->Equals(*q.value()));
+    } else {
+      EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << input;
+    }
+    // Exercise the other entry points on the same soup.
+    (void)ParseUpdate(input);
+    (void)ParseHypo(input);
+    (void)ParseScalarExpr(input);
+  }
+  // Some soup is valid ("R", "R union S", ...): sanity that the generator
+  // is not trivially rejecting everything.
+  EXPECT_GT(parsed_ok, 3);
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(1009);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(0, 40));
+    for (int i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(32, 126)));
+    }
+    (void)ParseQuery(input);
+    (void)ParseUpdate(input);
+    (void)ParseHypo(input);
+    (void)ParseScalarExpr(input);
+  }
+}
+
+TEST(HashConsistencyTest, EqualAstsHashEqual) {
+  Rng rng(1013);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 300; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    // Re-parse the printed form: structurally equal, so hashes must match.
+    ASSERT_OK_AND_ASSIGN(QueryPtr clone, ParseQuery(q->ToString()));
+    ASSERT_TRUE(clone->Equals(*q));
+    EXPECT_EQ(clone->Hash(), q->Hash()) << q->ToString();
+  }
+}
+
+TEST(HashConsistencyTest, DistinctAstsMostlyHashDistinct) {
+  // Not a correctness requirement, but a sanity check against degenerate
+  // hashing: 300 random distinct queries should produce near-300 hashes.
+  Rng rng(1019);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  std::set<uint64_t> hashes;
+  std::vector<QueryPtr> queries;
+  for (int trial = 0; trial < 300; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    bool duplicate = false;
+    for (const QueryPtr& other : queries) {
+      if (other->Equals(*q)) duplicate = true;
+    }
+    if (duplicate) continue;
+    queries.push_back(q);
+    hashes.insert(q->Hash());
+  }
+  EXPECT_GE(hashes.size() + 3, queries.size());
+}
+
+TEST(PrinterFixpointTest, PrintParsePrintIsStable) {
+  Rng rng(1021);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 4;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 200; ++trial) {
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    std::string once = q->ToString();
+    ASSERT_OK_AND_ASSIGN(QueryPtr parsed, ParseQuery(once));
+    EXPECT_EQ(parsed->ToString(), once);
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,126 @@
+#include "ast/scalar_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "tests/test_util.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::IntRow;
+
+TEST(ScalarExprTest, ColumnAndLiteral) {
+  Tuple t = IntRow({10, 20});
+  EXPECT_EQ(Col(1)->Evaluate(t), Value::Int(20));
+  EXPECT_EQ(Int(5)->Evaluate(t), Value::Int(5));
+  EXPECT_EQ(Str("a")->Evaluate(t), Value::Str("a"));
+  // Out-of-range columns evaluate to null (typecheck rejects them earlier).
+  EXPECT_TRUE(Col(9)->Evaluate(t).is_null());
+}
+
+TEST(ScalarExprTest, Arithmetic) {
+  Tuple t = IntRow({7, 2});
+  EXPECT_EQ(Add(Col(0), Col(1))->Evaluate(t), Value::Int(9));
+  EXPECT_EQ(Sub(Col(0), Col(1))->Evaluate(t), Value::Int(5));
+  EXPECT_EQ(Mul(Col(0), Col(1))->Evaluate(t), Value::Int(14));
+  EXPECT_EQ(ScalarExpr::Binary(ScalarOp::kDiv, Col(0), Col(1))->Evaluate(t),
+            Value::Int(3));
+  EXPECT_EQ(ScalarExpr::Binary(ScalarOp::kMod, Col(0), Col(1))->Evaluate(t),
+            Value::Int(1));
+}
+
+TEST(ScalarExprTest, ArithmeticEdgeCases) {
+  Tuple t = IntRow({7, 0});
+  // Division / modulo by zero yield null.
+  EXPECT_TRUE(
+      ScalarExpr::Binary(ScalarOp::kDiv, Col(0), Col(1))->Evaluate(t).is_null());
+  EXPECT_TRUE(
+      ScalarExpr::Binary(ScalarOp::kMod, Col(0), Col(1))->Evaluate(t).is_null());
+  // Arithmetic on non-numbers yields null.
+  EXPECT_TRUE(Add(Str("a"), Int(1))->Evaluate(t).is_null());
+  // Mixed int/double widens.
+  EXPECT_EQ(Add(Int(1), Dbl(0.5))->Evaluate(t), Value::Double(1.5));
+}
+
+TEST(ScalarExprTest, Comparisons) {
+  Tuple t = IntRow({3, 5});
+  EXPECT_TRUE(Lt(Col(0), Col(1))->EvaluatesTrue(t));
+  EXPECT_FALSE(Gt(Col(0), Col(1))->EvaluatesTrue(t));
+  EXPECT_TRUE(Le(Col(0), Int(3))->EvaluatesTrue(t));
+  EXPECT_TRUE(Ge(Col(1), Int(5))->EvaluatesTrue(t));
+  EXPECT_TRUE(Eq(Col(0), Int(3))->EvaluatesTrue(t));
+  EXPECT_TRUE(Ne(Col(0), Col(1))->EvaluatesTrue(t));
+  // Comparisons across the type order are total, not errors.
+  EXPECT_TRUE(Lt(Int(3), Str("a"))->EvaluatesTrue(t));
+}
+
+TEST(ScalarExprTest, BooleanConnectives) {
+  Tuple t = IntRow({1});
+  EXPECT_TRUE(And(Bool(true), Bool(true))->EvaluatesTrue(t));
+  EXPECT_FALSE(And(Bool(true), Bool(false))->EvaluatesTrue(t));
+  EXPECT_TRUE(Or(Bool(false), Bool(true))->EvaluatesTrue(t));
+  EXPECT_FALSE(Or(Bool(false), Bool(false))->EvaluatesTrue(t));
+  EXPECT_TRUE(Not(Bool(false))->EvaluatesTrue(t));
+  // Non-boolean operands of connectives are treated as false.
+  EXPECT_FALSE(And(Int(1), Bool(true))->EvaluatesTrue(t));
+  EXPECT_TRUE(Not(Int(1))->EvaluatesTrue(t));
+}
+
+TEST(ScalarExprTest, Negation) {
+  Tuple t = IntRow({4});
+  EXPECT_EQ(ScalarExpr::Unary(ScalarOp::kNeg, Col(0))->Evaluate(t),
+            Value::Int(-4));
+  EXPECT_EQ(ScalarExpr::Unary(ScalarOp::kNeg, Dbl(1.5))->Evaluate(t),
+            Value::Double(-1.5));
+  EXPECT_TRUE(
+      ScalarExpr::Unary(ScalarOp::kNeg, Str("a"))->Evaluate(t).is_null());
+}
+
+TEST(ScalarExprTest, MinArity) {
+  EXPECT_EQ(Int(3)->MinArity(), 0u);
+  EXPECT_EQ(Col(2)->MinArity(), 3u);
+  EXPECT_EQ(And(Eq(Col(0), Int(1)), Gt(Col(4), Int(2)))->MinArity(), 5u);
+}
+
+TEST(ScalarExprTest, ShiftColumns) {
+  ScalarExprPtr e = And(Eq(Col(0), Int(1)), Lt(Col(1), Col(2)));
+  ScalarExprPtr shifted = e->ShiftColumns(3);
+  EXPECT_EQ(shifted->ToString(), "(($3 = 1) and ($4 < $5))");
+  // Semantics: shifted expression over a padded tuple agrees.
+  Tuple t = IntRow({9, 9, 9, 1, 2, 5});
+  Tuple base = IntRow({1, 2, 5});
+  EXPECT_EQ(e->EvaluatesTrue(base), shifted->EvaluatesTrue(t));
+}
+
+TEST(ScalarExprTest, EqualityAndHash) {
+  ScalarExprPtr a = And(Eq(Col(0), Int(1)), Gt(Col(1), Int(2)));
+  ScalarExprPtr b = And(Eq(Col(0), Int(1)), Gt(Col(1), Int(2)));
+  ScalarExprPtr c = And(Eq(Col(0), Int(1)), Gt(Col(1), Int(3)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  // Literals of different types are not equal even if values coincide
+  // numerically.
+  EXPECT_FALSE(Int(1)->Equals(*Dbl(1.0)));
+}
+
+TEST(ScalarExprTest, ToStringAndNodeCount) {
+  ScalarExprPtr e = Or(Not(Eq(Col(0), Int(1))), Lt(Col(1), Int(5)));
+  EXPECT_EQ(e->ToString(), "((not ($0 = 1)) or ($1 < 5))");
+  EXPECT_EQ(e->NodeCount(), 8u);
+}
+
+TEST(ScalarExprTest, ShortCircuit) {
+  // `and` short-circuits: the right side's division by zero never runs,
+  // and even if it did, it would yield null (treated as false).
+  Tuple t = IntRow({0});
+  ScalarExprPtr e =
+      And(Gt(Col(0), Int(5)),
+          Gt(ScalarExpr::Binary(ScalarOp::kDiv, Int(1), Col(0)), Int(0)));
+  EXPECT_FALSE(e->EvaluatesTrue(t));
+}
+
+}  // namespace
+}  // namespace hql

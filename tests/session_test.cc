@@ -1,0 +1,114 @@
+#include "opt/session.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(SessionTest, SmallChangeUsesDelta) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  Rng rng(1301);
+  Database db(schema);
+  ASSERT_OK(db.Set("R", GenRelation(&rng, 1000, 2, 2000)));
+  ASSERT_OK(db.Set("S", GenRelation(&rng, 1000, 2, 2000)));
+  // Touches ~1% of R.
+  HypoExprPtr state = Upd(Del("R", Sel(Lt(Col(0), Int(20)), Rel("R"))));
+  ASSERT_OK_AND_ASSIGN(HypotheticalSession session,
+                       HypotheticalSession::Create(state, db, schema));
+  EXPECT_TRUE(session.uses_delta());
+  EXPECT_LT(session.materialized_tuples(), 100u);
+}
+
+TEST(SessionTest, LargeChangeUsesXsub) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  Rng rng(1303);
+  Database db(schema);
+  ASSERT_OK(db.Set("R", GenRelation(&rng, 500, 2, 1000)));
+  ASSERT_OK(db.Set("S", GenRelation(&rng, 500, 2, 1000)));
+  // Replaces R wholesale.
+  HypoExprPtr state = Sub1(Rel("S"), "R");
+  ASSERT_OK_AND_ASSIGN(HypotheticalSession session,
+                       HypotheticalSession::Create(state, db, schema));
+  EXPECT_FALSE(session.uses_delta());
+}
+
+TEST(SessionTest, EvaluateMatchesWhenSemantics) {
+  Rng rng(1307);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 8, 8);
+    HypoExprPtr state = RandomHypo(&rng, schema, options);
+    ASSERT_OK_AND_ASSIGN(HypotheticalSession session,
+                         HypotheticalSession::Create(state, db, schema));
+    for (int i = 0; i < 5; ++i) {
+      QueryPtr q = RandomQuery(&rng, schema, 2, options);
+      ASSERT_OK_AND_ASSIGN(Relation via_session, session.Evaluate(q));
+      ASSERT_OK_AND_ASSIGN(Relation reference,
+                           EvalDirect(Query::When(q, state), db));
+      EXPECT_EQ(via_session, reference)
+          << q->ToString() << " when " << state->ToString();
+    }
+  }
+}
+
+TEST(SessionTest, NestedWhatIfsOnTopOfSession) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{2}})));
+  HypoExprPtr base_state = Upd(Ins("R", Rel("S")));
+  ASSERT_OK_AND_ASSIGN(HypotheticalSession session,
+                       HypotheticalSession::Create(base_state, db, schema));
+  // A further hypothetical inside the session's world.
+  QueryPtr nested =
+      Query::When(Rel("R"), Upd(Ins("R", Single({Value::Int(9)}))));
+  ASSERT_OK_AND_ASSIGN(Relation out, session.Evaluate(nested));
+  EXPECT_EQ(out, Ints({{1}, {2}, {9}}));
+  // Session state and real state are unaffected.
+  ASSERT_OK_AND_ASSIGN(Relation plain, session.Evaluate(Rel("R")));
+  EXPECT_EQ(plain, Ints({{1}, {2}}));
+  EXPECT_EQ(db.GetRef("R"), Ints({{1}}));
+}
+
+TEST(SessionTest, ParserDrivenEndToEnd) {
+  Schema schema = MakeSchema({{"emp", 2}, {"dept", 2}});
+  Database db(schema);
+  ASSERT_OK(db.Set("emp", Ints({{1, 10}, {2, 20}})));
+  ASSERT_OK(db.Set("dept", Ints({{10, 500}, {20, 900}})));
+  ASSERT_OK_AND_ASSIGN(HypoExprPtr state,
+                       ParseHypo("{ins(emp, {(3, 10)})}"));
+  ASSERT_OK_AND_ASSIGN(HypotheticalSession session,
+                       HypotheticalSession::Create(state, db, schema));
+  ASSERT_OK_AND_ASSIGN(QueryPtr q,
+                       ParseQuery("pi[0](sigma[$1 = 10](emp))"));
+  ASSERT_OK_AND_ASSIGN(Relation out, session.Evaluate(q));
+  EXPECT_EQ(out, Ints({{1}, {3}}));
+}
+
+TEST(SessionTest, Rejections) {
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  EXPECT_FALSE(
+      HypotheticalSession::Create(nullptr, db, schema).ok());
+  ASSERT_OK_AND_ASSIGN(
+      HypotheticalSession session,
+      HypotheticalSession::Create(Upd(Ins("R", Rel("R"))), db, schema));
+  EXPECT_FALSE(session.Evaluate(nullptr).ok());
+  EXPECT_FALSE(session.Evaluate(Rel("Unknown")).ok());
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,131 @@
+#include "hql/slice.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "hql/reduce.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::MakeSchema;
+
+TEST(SliceTest, AtomicForms) {
+  Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
+  ASSERT_OK_AND_ASSIGN(Substitution s, Slice(Ins("R", Rel("S")), schema));
+  EXPECT_TRUE(s.Get("R")->Equals(*U(Rel("R"), Rel("S"))));
+  EXPECT_EQ(s.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(s, Slice(Del("R", Rel("S")), schema));
+  EXPECT_TRUE(s.Get("R")->Equals(*Diff(Rel("R"), Rel("S"))));
+}
+
+TEST(SliceTest, Example38Sequence) {
+  // slice(ins(R, Q1); del(S, sigma_p(R)))
+  //   = {(R u Q1)/R, (S - sigma_p(R u Q1))/S}.
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}, {"Q1src", 1}});
+  QueryPtr q1 = Rel("Q1src");
+  ScalarExprPtr p = Gt(Col(0), Int(5));
+  UpdatePtr u = Seq(Ins("R", q1), Del("S", Sel(p, Rel("R"))));
+  ASSERT_OK_AND_ASSIGN(Substitution s, Slice(u, schema));
+  EXPECT_TRUE(s.Get("R")->Equals(*U(Rel("R"), q1)));
+  EXPECT_TRUE(
+      s.Get("S")->Equals(*Diff(Rel("S"), Sel(p, U(Rel("R"), q1)))));
+}
+
+TEST(SliceTest, Lemma39ApplySliceEqualsExec) {
+  // apply(DB, slice(U)) == [U](DB) on random updates and states.
+  Rng rng(13);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;  // slice requires pure RA arguments
+  options.allow_cond = true;   // exercise the Section 6 encoding too
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, options.literal_domain);
+    UpdatePtr u = RandomUpdate(&rng, schema, options);
+    ASSERT_OK_AND_ASSIGN(Substitution s, Slice(u, schema));
+    ASSERT_OK_AND_ASSIGN(Database via_subst, ApplySubstitution(s, db));
+    ASSERT_OK_AND_ASSIGN(Database via_exec, ExecUpdate(u, db));
+    EXPECT_EQ(via_subst, via_exec) << u->ToString();
+  }
+}
+
+TEST(SliceTest, Theorem310WhenEqualsSubstitutionInstance) {
+  // [Q when {U}](DB) == [sub(Q, slice(U))](DB).
+  Rng rng(17);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 250; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, options.literal_domain);
+    UpdatePtr u = RandomUpdate(&rng, schema, options);
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+
+    ASSERT_OK_AND_ASSIGN(Relation hypothetical,
+                         EvalDirect(Query::When(q, Upd(u)), db));
+    ASSERT_OK_AND_ASSIGN(Substitution s, Slice(u, schema));
+    ASSERT_OK_AND_ASSIGN(Relation substituted, EvalDirect(s.Apply(q), db));
+    EXPECT_EQ(hypothetical, substituted) << u->ToString();
+  }
+}
+
+TEST(SliceTest, GuardQuerySemantics) {
+  Schema schema = MakeSchema({{"R", 2}, {"C", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", testing::Ints({{1, 2}, {3, 4}})));
+
+  QueryPtr guarded = GuardQuery(Rel("R"), 2, Rel("C"));
+
+  // C empty: guard is empty.
+  ASSERT_OK_AND_ASSIGN(Relation empty_case, EvalDirect(guarded, db));
+  EXPECT_TRUE(empty_case.empty());
+
+  // C non-empty: guard equals R.
+  ASSERT_OK(db.Set("C", testing::Ints({{7}, {8}})));
+  ASSERT_OK_AND_ASSIGN(Relation full_case, EvalDirect(guarded, db));
+  EXPECT_EQ(full_case, db.GetRef("R"));
+}
+
+TEST(SliceTest, ConditionalBothBranches) {
+  Schema schema = MakeSchema({{"R", 1}, {"C", 1}});
+  UpdatePtr cond = If(Rel("C"), Ins("R", Single({Value::Int(100)})),
+                      Del("R", Single({Value::Int(1)})));
+  ASSERT_OK_AND_ASSIGN(Substitution s, Slice(cond, schema));
+
+  Database db(schema);
+  ASSERT_OK(db.Set("R", testing::Ints({{1}, {2}})));
+
+  // Guard false: the delete branch runs.
+  ASSERT_OK_AND_ASSIGN(Database else_db, ApplySubstitution(s, db));
+  EXPECT_EQ(else_db.GetRef("R"), testing::Ints({{2}}));
+
+  // Guard true: the insert branch runs.
+  ASSERT_OK(db.Set("C", testing::Ints({{0}})));
+  ASSERT_OK_AND_ASSIGN(Database then_db, ApplySubstitution(s, db));
+  EXPECT_EQ(then_db.GetRef("R"), testing::Ints({{1}, {2}, {100}}));
+}
+
+TEST(SliceTest, SequencesComposeLeftToRight) {
+  // ins then del of the same tuple leaves it out; del then ins leaves it in.
+  Schema schema = MakeSchema({{"R", 1}});
+  QueryPtr t = Single({Value::Int(5)});
+  Database db(schema);
+
+  ASSERT_OK_AND_ASSIGN(Substitution ins_del,
+                       Slice(Seq(Ins("R", t), Del("R", t)), schema));
+  ASSERT_OK_AND_ASSIGN(Database db1, ApplySubstitution(ins_del, db));
+  EXPECT_TRUE(db1.GetRef("R").empty());
+
+  ASSERT_OK_AND_ASSIGN(Substitution del_ins,
+                       Slice(Seq(Del("R", t), Ins("R", t)), schema));
+  ASSERT_OK_AND_ASSIGN(Database db2, ApplySubstitution(del_ins, db));
+  EXPECT_EQ(db2.GetRef("R").size(), 1u);
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,164 @@
+// Tests for the state-level `when` (eta1 when eta2), the construct the
+// paper defers to its full version: the state change of eta1 as computed
+// in eta2's hypothetical world, applied to the current database.
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "hql/enf.h"
+#include "hql/free_dom.h"
+#include "hql/reduce.h"
+#include "opt/planner.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+class StateWhenTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakeSchema({{"R", 1}, {"S", 1}});
+
+  Database Db(std::initializer_list<int64_t> r,
+              std::initializer_list<int64_t> s) {
+    Database db(schema_);
+    std::vector<Tuple> rt, st;
+    for (int64_t v : r) rt.push_back({Value::Int(v)});
+    for (int64_t v : s) st.push_back({Value::Int(v)});
+    EXPECT_OK(db.Set("R", Relation::FromTuples(1, std::move(rt))));
+    EXPECT_OK(db.Set("S", Relation::FromTuples(1, std::move(st))));
+    return db;
+  }
+};
+
+TEST_F(StateWhenTest, BasicSemantics) {
+  // eta1 = ins(R, S); eta2 = ins(S, {9}).
+  // (eta1 when eta2): R gains S-as-it-would-be (including 9), but S itself
+  // is NOT changed in the resulting state.
+  HypoExprPtr eta1 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr eta2 = Upd(Ins("S", Single({Value::Int(9)})));
+  Database db = Db({1}, {2});
+
+  ASSERT_OK_AND_ASSIGN(Database out,
+                       EvalState(HypoExpr::StateWhen(eta1, eta2), db));
+  EXPECT_EQ(out.GetRef("R"), Ints({{1}, {2}, {9}}));
+  EXPECT_EQ(out.GetRef("S"), Ints({{2}}));  // eta2's write discarded
+}
+
+TEST_F(StateWhenTest, DiffersFromComposition) {
+  // eta2 # eta1 keeps eta2's writes; eta1 when eta2 does not.
+  HypoExprPtr eta1 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr eta2 = Upd(Ins("S", Single({Value::Int(9)})));
+  Database db = Db({1}, {2});
+
+  ASSERT_OK_AND_ASSIGN(Database composed,
+                       EvalState(Comp(eta2, eta1), db));
+  EXPECT_EQ(composed.GetRef("R"), Ints({{1}, {2}, {9}}));
+  EXPECT_EQ(composed.GetRef("S"), Ints({{2}, {9}}));  // kept by #
+
+  ASSERT_OK_AND_ASSIGN(Database when_state,
+                       EvalState(HypoExpr::StateWhen(eta1, eta2), db));
+  EXPECT_EQ(when_state.GetRef("R"), composed.GetRef("R"));
+  EXPECT_NE(when_state.GetRef("S"), composed.GetRef("S"));
+}
+
+TEST_F(StateWhenTest, FreeAndDom) {
+  HypoExprPtr eta1 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr eta2 = Upd(Del("S", Rel("R")));
+  HypoExprPtr sw = HypoExpr::StateWhen(eta1, eta2);
+  EXPECT_EQ(DomNames(sw), NameSet{"R"});  // only eta1 writes
+  // eta2 reads R and S; eta1's read of S is shadowed by dom(eta2)={S},
+  // its read of R is not.
+  EXPECT_EQ(FreeNames(sw), (NameSet{"R", "S"}));
+}
+
+TEST_F(StateWhenTest, ParserRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(QueryPtr q,
+                       ParseQuery("R when ({ins(R, S)} when {del(S, R)})"));
+  ASSERT_EQ(q->kind(), QueryKind::kWhen);
+  EXPECT_EQ(q->state()->kind(), HypoKind::kStateWhen);
+  ASSERT_OK_AND_ASSIGN(QueryPtr again, ParseQuery(q->ToString()));
+  EXPECT_TRUE(again->Equals(*q)) << q->ToString();
+}
+
+TEST_F(StateWhenTest, ReduceAgreesWithDirect) {
+  Rng rng(411);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    HypoExprPtr eta1 = RandomHypo(&rng, schema, options);
+    HypoExprPtr eta2 = RandomHypo(&rng, schema, options);
+    HypoExprPtr sw = HypoExpr::StateWhen(eta1, eta2);
+
+    ASSERT_OK_AND_ASSIGN(Substitution rho, ReduceHypo(sw, schema));
+    ASSERT_OK_AND_ASSIGN(Database via_subst, ApplySubstitution(rho, db));
+    ASSERT_OK_AND_ASSIGN(Database via_direct, EvalState(sw, db));
+    EXPECT_EQ(via_subst, via_direct) << sw->ToString();
+  }
+}
+
+TEST_F(StateWhenTest, AllStrategiesAgreeUnderQueries) {
+  Rng rng(413);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 2;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 5, 8);
+    QueryPtr body = RandomQuery(&rng, schema, 2, options);
+    HypoExprPtr sw = HypoExpr::StateWhen(RandomHypo(&rng, schema, options),
+                                         RandomHypo(&rng, schema, options));
+    QueryPtr q = Query::When(body, sw);
+    ASSERT_OK_AND_ASSIGN(Relation reference,
+                         Execute(q, db, schema, Strategy::kDirect));
+    for (Strategy s : {Strategy::kLazy, Strategy::kFilter1,
+                       Strategy::kFilter2, Strategy::kFilter3,
+                       Strategy::kHybrid}) {
+      auto result = Execute(q, db, schema, s);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value(), reference)
+          << StrategyName(s) << " on " << q->ToString();
+    }
+  }
+}
+
+TEST_F(StateWhenTest, EnfConversionWrapsBindings) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  HypoExprPtr sw = HypoExpr::StateWhen(Upd(Ins("R", Rel("S"))),
+                                       Upd(Del("S", Rel("R"))));
+  QueryPtr q = Query::When(Rel("R"), sw);
+  ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema));
+  EXPECT_TRUE(IsEnf(enf));
+  ASSERT_EQ(enf->state()->kind(), HypoKind::kSubst);
+  // Only R is bound (dom(eta1)); its binding evaluates under eta2's state.
+  EXPECT_EQ(enf->state()->bindings().size(), 1u);
+  QueryPtr binding = enf->state()->BindingFor("R");
+  ASSERT_NE(binding, nullptr);
+  EXPECT_EQ(binding->kind(), QueryKind::kWhen);
+}
+
+TEST_F(StateWhenTest, NestedStateWhens) {
+  // ((eta1 when eta2) when eta3): contexts stack.
+  HypoExprPtr eta1 = Upd(Ins("R", Rel("S")));
+  HypoExprPtr eta2 = Upd(Ins("S", Rel("R")));
+  HypoExprPtr eta3 = Upd(Ins("R", Single({Value::Int(7)})));
+  HypoExprPtr nested =
+      HypoExpr::StateWhen(HypoExpr::StateWhen(eta1, eta2), eta3);
+  Database db = Db({1}, {2});
+  // eta3 world: R={1,7}. eta2 in that world: S={1,2,7}. eta1 there:
+  // R = {1,7} u {1,2,7} = {1,2,7}. Applied to db: R={1,2,7}, S={2}.
+  ASSERT_OK_AND_ASSIGN(Database out, EvalState(nested, db));
+  EXPECT_EQ(out.GetRef("R"), Ints({{1}, {2}, {7}}));
+  EXPECT_EQ(out.GetRef("S"), Ints({{2}}));
+}
+
+}  // namespace
+}  // namespace hql

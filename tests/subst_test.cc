@@ -1,0 +1,176 @@
+#include "hql/subst.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "ast/metrics.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+TEST(SubstTest, ApplyReplacesOccurrences) {
+  // Paper Example 3.1: rho = {(S - R)/R, sigma_r(R)/S},
+  // Q = pi_x(R x S) u V  ==>  sub(Q, rho) = (pi_x((S-R) x sigma_r(R))) u V.
+  Substitution rho = Substitution::Make(
+      {Binding{"R", Diff(Rel("S"), Rel("R"))},
+       Binding{"S", Sel(Gt(Col(0), Int(0)), Rel("R"))}});
+  QueryPtr q = U(Proj({0}, X(Rel("R"), Rel("S"))), Rel("V"));
+  QueryPtr expected =
+      U(Proj({0}, X(Diff(Rel("S"), Rel("R")),
+                    Sel(Gt(Col(0), Int(0)), Rel("R")))),
+        Rel("V"));
+  EXPECT_TRUE(rho.Apply(q)->Equals(*expected));
+}
+
+TEST(SubstTest, ApplyIsSimultaneous) {
+  // {S/R, R/S} swaps, it does not chain.
+  Substitution rho = Substitution::Make(
+      {Binding{"R", Rel("S")}, Binding{"S", Rel("R")}});
+  QueryPtr q = X(Rel("R"), Rel("S"));
+  EXPECT_TRUE(rho.Apply(q)->Equals(*X(Rel("S"), Rel("R"))));
+}
+
+TEST(SubstTest, IdentityApply) {
+  Substitution id;
+  QueryPtr q = U(Rel("R"), Rel("S"));
+  EXPECT_EQ(id.Apply(q), q);  // same node, not just equal
+}
+
+TEST(SubstTest, ComposeExample33) {
+  // Paper Example 3.3: rho1 = {(S-R)/R, sigma_r(R)/S},
+  // rho2 = {pi_g(R join T)/S, sigma_p(S)/V}; then rho1 # rho2 =
+  // {(S-R)/R, pi_g((S-R) join T)/S, sigma_p(sigma_r(R))/V}.
+  ScalarExprPtr sel_r = Gt(Col(0), Int(1));
+  ScalarExprPtr sel_p = Lt(Col(0), Int(9));
+  ScalarExprPtr join_g = Eq(Col(0), Col(1));
+  Substitution rho1 = Substitution::Make(
+      {Binding{"R", Diff(Rel("S"), Rel("R"))},
+       Binding{"S", Sel(sel_r, Rel("R"))}});
+  Substitution rho2 = Substitution::Make(
+      {Binding{"S", Proj({0}, Join(join_g, Rel("R"), Rel("T")))},
+       Binding{"V", Sel(sel_p, Rel("S"))}});
+  Substitution composed = rho1.ComposeWith(rho2);
+
+  EXPECT_EQ(composed.Domain(),
+            (std::vector<std::string>{"R", "S", "V"}));
+  EXPECT_TRUE(composed.Get("R")->Equals(*Diff(Rel("S"), Rel("R"))));
+  EXPECT_TRUE(composed.Get("S")->Equals(
+      *Proj({0}, Join(join_g, Diff(Rel("S"), Rel("R")), Rel("T")))));
+  EXPECT_TRUE(
+      composed.Get("V")->Equals(*Sel(sel_p, Sel(sel_r, Rel("R")))));
+}
+
+TEST(SubstTest, Lemma32SubOfComposition) {
+  // sub(Q, rho1 # rho2) == sub(sub(Q, rho2), rho1), and # is associative.
+  Rng rng(42);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_subst = [&]() {
+      std::vector<std::string> names = schema.RelationNames();
+      rng.Shuffle(&names);
+      Substitution s;
+      size_t count = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+      for (size_t i = 0; i < count && i < names.size(); ++i) {
+        size_t arity = schema.ArityOf(names[i]).value();
+        s.Bind(names[i], RandomQuery(&rng, schema, arity, options));
+      }
+      return s;
+    };
+    Substitution r1 = random_subst();
+    Substitution r2 = random_subst();
+    Substitution r3 = random_subst();
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+
+    QueryPtr via_composed = r1.ComposeWith(r2).Apply(q);
+    QueryPtr via_seq = r1.Apply(r2.Apply(q));
+    EXPECT_TRUE(via_composed->Equals(*via_seq))
+        << via_composed->ToString() << "\nvs\n"
+        << via_seq->ToString();
+
+    // Associativity.
+    Substitution left = r1.ComposeWith(r2).ComposeWith(r3);
+    Substitution right = r1.ComposeWith(r2.ComposeWith(r3));
+    QueryPtr ql = left.Apply(q);
+    QueryPtr qr = right.Apply(q);
+    EXPECT_TRUE(ql->Equals(*qr));
+    EXPECT_EQ(left.Domain(), right.Domain());
+  }
+}
+
+TEST(SubstTest, Lemma35SubVsApply) {
+  // [sub(Q, rho)](DB) == [Q](apply(DB, rho)).
+  Rng rng(7);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, options.literal_domain);
+    Substitution rho;
+    rho.Bind("A2", RandomQuery(&rng, schema, 2, options));
+    rho.Bind("B1", RandomQuery(&rng, schema, 1, options));
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+
+    ASSERT_OK_AND_ASSIGN(Relation lhs, EvalDirect(rho.Apply(q), db));
+    ASSERT_OK_AND_ASSIGN(Database moved, ApplySubstitution(rho, db));
+    ASSERT_OK_AND_ASSIGN(Relation rhs, EvalDirect(q, moved));
+    EXPECT_EQ(lhs, rhs) << q->ToString();
+  }
+}
+
+TEST(SubstTest, Lemma36ComposeVsSequentialApply) {
+  // apply(DB, rho1 # rho2) == apply(apply(DB, rho1), rho2).
+  Rng rng(11);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, options.literal_domain);
+    Substitution r1;
+    r1.Bind("A1", RandomQuery(&rng, schema, 1, options));
+    r1.Bind("B2", RandomQuery(&rng, schema, 2, options));
+    Substitution r2;
+    r2.Bind("B2", RandomQuery(&rng, schema, 2, options));
+    r2.Bind("A3", RandomQuery(&rng, schema, 3, options));
+
+    ASSERT_OK_AND_ASSIGN(Database composed,
+                         ApplySubstitution(r1.ComposeWith(r2), db));
+    ASSERT_OK_AND_ASSIGN(Database step1, ApplySubstitution(r1, db));
+    ASSERT_OK_AND_ASSIGN(Database step2, ApplySubstitution(r2, step1));
+    EXPECT_EQ(composed, step2);
+  }
+}
+
+TEST(SubstTest, BindingManipulation) {
+  Substitution s = Substitution::Make(
+      {Binding{"R", Rel("S")}, Binding{"T", Rel("T")}, Binding{"V", Rel("R")}});
+  EXPECT_TRUE(s.Has("R"));
+  s.Remove("R");
+  EXPECT_FALSE(s.Has("R"));
+  s.DropIdentityBindings();  // T/T goes away
+  EXPECT_FALSE(s.Has("T"));
+  EXPECT_TRUE(s.Has("V"));
+  s.RestrictTo({"X"});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SubstTest, ToHypoExprRoundTrip) {
+  Substitution s = Substitution::Make(
+      {Binding{"R", Rel("S")}, Binding{"V", U(Rel("R"), Rel("S"))}});
+  HypoExprPtr h = s.ToHypoExpr();
+  ASSERT_EQ(h->kind(), HypoKind::kSubst);
+  ASSERT_EQ(h->bindings().size(), 2u);
+  EXPECT_TRUE(h->BindingFor("R")->Equals(*Rel("S")));
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,68 @@
+#ifndef HQL_TESTS_TEST_UTIL_H_
+#define HQL_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the hql test suites.
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+
+// Unwraps a Result<T> or fails the test.
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL_(                                  \
+      HQL_RESULT_CONCAT_(_test_result_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)             \
+  auto tmp = (expr);                                           \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();            \
+  lhs = std::move(tmp).value();
+
+namespace hql::testing {
+
+/// Builds a schema from (name, arity) pairs; CHECK-fails on errors.
+inline Schema MakeSchema(
+    std::initializer_list<std::pair<std::string, size_t>> relations) {
+  Schema schema;
+  for (const auto& [name, arity] : relations) {
+    Status st = schema.AddRelation(name, arity);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+  return schema;
+}
+
+/// Builds a relation of int tuples: Ints({{1, 2}, {3, 4}}).
+inline Relation Ints(std::initializer_list<std::vector<int64_t>> rows) {
+  size_t arity = rows.size() > 0 ? rows.begin()->size() : 1;
+  std::vector<Tuple> tuples;
+  for (const auto& row : rows) {
+    Tuple t;
+    t.reserve(row.size());
+    for (int64_t v : row) t.push_back(Value::Int(v));
+    tuples.push_back(std::move(t));
+  }
+  return Relation::FromTuples(arity, std::move(tuples));
+}
+
+/// An int tuple.
+inline Tuple IntRow(std::initializer_list<int64_t> values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (int64_t v : values) t.push_back(Value::Int(v));
+  return t;
+}
+
+}  // namespace hql::testing
+
+#endif  // HQL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,111 @@
+#include "storage/value.h"
+
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hql {
+namespace {
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value::Nul().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(3.5).is_double());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_TRUE(Value::Int(3).is_number());
+  EXPECT_TRUE(Value::Double(3.5).is_number());
+  EXPECT_FALSE(Value::Str("x").is_number());
+}
+
+TEST(ValueTest, AccessorValues) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble(), 2.25);
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsDouble(), 4.0);  // widening accessor
+  EXPECT_EQ(Value::Str("ab").AsString(), "ab");
+}
+
+TEST(ValueTest, FamilyOrdering) {
+  // null < bool < number < string.
+  std::vector<Value> ordered = {Value::Nul(), Value::Bool(false),
+                                Value::Bool(true), Value::Int(-100),
+                                Value::Int(5), Value::Str("")};
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    EXPECT_LT(ordered[i].Compare(ordered[i + 1]), 0)
+        << ordered[i].ToString() << " vs " << ordered[i + 1].ToString();
+  }
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.5).Compare(Value::Int(4)), 0);
+  // Numerically equal but different types: int sorts before double so the
+  // order stays antisymmetric; equality is strict.
+  EXPECT_LT(Value::Int(4).Compare(Value::Double(4.0)), 0);
+  EXPECT_GT(Value::Double(4.0).Compare(Value::Int(4)), 0);
+}
+
+TEST(ValueTest, ComparisonOperators) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) <= Value::Int(2));
+  EXPECT_TRUE(Value::Int(3) > Value::Int(2));
+  EXPECT_TRUE(Value::Int(3) >= Value::Int(3));
+  EXPECT_TRUE(Value::Str("a") != Value::Str("b"));
+  EXPECT_TRUE(Value::Str("a") == Value::Str("a"));
+  EXPECT_TRUE(Value::Nul() == Value::Nul());
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_LT(Value::Str("ab").Compare(Value::Str("abc")), 0);
+  EXPECT_EQ(Value::Str("abc").Compare(Value::Str("abc")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("xyz").Hash(), Value::Str("xyz").Hash());
+  // Different types with "same" content should hash differently.
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_NE(Value::Int(0).Hash(), Value::Nul().Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Nul().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");  // kept double-looking
+  EXPECT_EQ(Value::Str("it's").ToString(), "'it''s'");
+}
+
+TEST(TupleTest, LexicographicCompare) {
+  Tuple a = {Value::Int(1), Value::Int(2)};
+  Tuple b = {Value::Int(1), Value::Int(3)};
+  Tuple c = {Value::Int(1)};
+  EXPECT_LT(CompareTuples(a, b), 0);
+  EXPECT_GT(CompareTuples(b, a), 0);
+  EXPECT_EQ(CompareTuples(a, a), 0);
+  EXPECT_LT(CompareTuples(c, a), 0);  // shorter first
+}
+
+TEST(TupleTest, ConcatAndPrint) {
+  Tuple a = {Value::Int(1)};
+  Tuple b = {Value::Str("x"), Value::Int(2)};
+  Tuple c = ConcatTuples(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(TupleToString(c), "(1, 'x', 2)");
+}
+
+TEST(TupleTest, HashDistinguishesOrder) {
+  Tuple a = {Value::Int(1), Value::Int(2)};
+  Tuple b = {Value::Int(2), Value::Int(1)};
+  EXPECT_NE(HashTuple(a), HashTuple(b));
+  EXPECT_EQ(HashTuple(a), HashTuple(a));
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,117 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/metrics.h"
+#include "ast/typecheck.h"
+#include "common/rng.h"
+#include "eval/direct.h"
+#include "hql/reduce.h"
+#include "tests/test_util.h"
+
+namespace hql {
+namespace {
+
+TEST(GenRelationTest, RespectsShape) {
+  Rng rng(1201);
+  Relation r = GenRelation(&rng, 500, 3, 1000, 50);
+  EXPECT_EQ(r.arity(), 3u);
+  EXPECT_EQ(r.size(), 500u);
+  for (const Tuple& t : r) {
+    ASSERT_EQ(t.size(), 3u);
+    ASSERT_TRUE(t[0].is_int());
+    EXPECT_GE(t[0].AsInt(), 0);
+    EXPECT_LT(t[0].AsInt(), 1000);
+    EXPECT_LT(t[1].AsInt(), 50);
+  }
+}
+
+TEST(GenRelationTest, CapsAtDomainCapacity) {
+  // Asking for more distinct rows than the domain allows returns fewer
+  // rows instead of looping forever.
+  Rng rng(1203);
+  Relation r = GenRelation(&rng, 1000, 1, 10);
+  EXPECT_LE(r.size(), 10u);
+  EXPECT_GE(r.size(), 5u);
+}
+
+TEST(GenRelationTest, ZipfSkewsKeys) {
+  Rng rng(1207);
+  Relation r = GenRelation(&rng, 400, 2, 1000, 1000000, 1.2);
+  size_t low_keys = 0;
+  for (const Tuple& t : r) {
+    if (t[0].AsInt() < 100) ++low_keys;
+  }
+  // Zipf 1.2 concentrates mass on low ranks far beyond the uniform 10%.
+  EXPECT_GT(low_keys, r.size() / 4);
+}
+
+TEST(SampleFractionTest, ProducesSubset) {
+  Rng rng(1213);
+  Relation base = GenRelation(&rng, 300, 2, 600);
+  Relation sample = SampleFraction(&rng, base, 0.25);
+  EXPECT_LT(sample.size(), base.size());
+  EXPECT_GT(sample.size(), 20u);
+  for (const Tuple& t : sample) EXPECT_TRUE(base.Contains(t));
+  // Edge fractions.
+  EXPECT_TRUE(SampleFraction(&rng, base, 0.0).empty());
+  EXPECT_EQ(SampleFraction(&rng, base, 1.0), base);
+}
+
+TEST(PropertySchemaTest, Shape) {
+  Schema schema = PropertySchema();
+  EXPECT_EQ(schema.NumRelations(), 6u);
+  for (size_t arity = 1; arity <= 3; ++arity) {
+    EXPECT_EQ(schema.ArityOf("A" + std::to_string(arity)).value(), arity);
+    EXPECT_EQ(schema.ArityOf("B" + std::to_string(arity)).value(), arity);
+  }
+}
+
+TEST(RandomAstTest, GeneratedQueriesTypecheck) {
+  Rng rng(1217);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 4;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t arity = 1 + static_cast<size_t>(rng.Uniform(0, 2));
+    QueryPtr q = RandomQuery(&rng, schema, arity, options);
+    ASSERT_OK_AND_ASSIGN(size_t inferred, InferQueryArity(q, schema));
+    EXPECT_EQ(inferred, arity) << q->ToString();
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    EXPECT_OK(CheckUpdate(RandomUpdate(&rng, schema, options), schema));
+    EXPECT_OK(CheckHypo(RandomHypo(&rng, schema, options), schema));
+  }
+}
+
+TEST(BlowupSpecTest, SmallValuesChainIsEmptyButExponential) {
+  BlowupSpec spec = BlowupChainSmallValues(8);
+  ASSERT_OK(InferQueryArity(spec.query, spec.schema).status());
+  // Linear HQL query, exponential lazy tree.
+  EXPECT_LT(TreeSize(spec.query), 100.0);
+  ASSERT_OK_AND_ASSIGN(QueryPtr red, Reduce(spec.query, spec.schema));
+  EXPECT_GT(TreeSize(red), 200.0);
+  // The value is empty on non-negative data.
+  Database db(spec.schema);
+  for (int i = 0; i <= 8; ++i) {
+    std::string name = "R" + std::to_string(i);
+    size_t arity = spec.schema.ArityOf(name).value();
+    Tuple t;
+    for (size_t c = 0; c < arity; ++c) t.push_back(Value::Int(1));
+    ASSERT_OK(db.Set(name, Relation::FromTuples(arity, {t})));
+  }
+  ASSERT_OK_AND_ASSIGN(Relation out, EvalDirect(spec.query, db));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BlowupSpecTest, DifferenceChainTypechecks) {
+  for (int j = 1; j <= 6; ++j) {
+    BlowupSpec spec = BlowupChainWithDifference(6, j);
+    EXPECT_OK(InferQueryArity(spec.query, spec.schema).status()) << j;
+  }
+}
+
+}  // namespace
+}  // namespace hql

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "ast/builders.h"
+#include "common/rng.h"
+#include "eval/delta.h"
+#include "eval/delta_ops.h"
+#include "eval/direct.h"
+#include "eval/ra_eval.h"
+#include "eval/filter2.h"
+#include "eval/filter3.h"
+#include "eval/xsub.h"
+#include "hql/collapse.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+using ::hql::testing::MakeSchema;
+
+// ---------------------------------------------------------------------------
+// Xsub-values.
+// ---------------------------------------------------------------------------
+
+TEST(XsubTest, BindGetApply) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  ASSERT_OK(db.Set("S", Ints({{2}})));
+
+  XsubValue e;
+  EXPECT_TRUE(e.empty());
+  e.Bind("R", Ints({{9}}));
+  EXPECT_TRUE(e.Has("R"));
+  ASSERT_NE(e.Get("R"), nullptr);
+  EXPECT_EQ(*e.Get("R"), Ints({{9}}));
+  EXPECT_EQ(e.Get("S"), nullptr);
+
+  ASSERT_OK_AND_ASSIGN(Database applied, e.ApplyTo(db));
+  EXPECT_EQ(applied.GetRef("R"), Ints({{9}}));
+  EXPECT_EQ(applied.GetRef("S"), Ints({{2}}));  // untouched
+  EXPECT_EQ(e.TotalTuples(), 1u);
+}
+
+TEST(XsubTest, SmashLaterWins) {
+  XsubValue e1;
+  e1.Bind("R", Ints({{1}}));
+  e1.Bind("S", Ints({{2}}));
+  XsubValue e2;
+  e2.Bind("R", Ints({{9}}));
+  XsubValue smashed = e1.SmashWith(e2);
+  EXPECT_EQ(*smashed.Get("R"), Ints({{9}}));  // e2 wins
+  EXPECT_EQ(*smashed.Get("S"), Ints({{2}}));  // e1 preserved
+}
+
+// ---------------------------------------------------------------------------
+// Delta values.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaTest, ApplySemantics) {
+  Relation base = Ints({{1}, {2}, {3}});
+  DeltaValue d;
+  d.Bind("R", DeltaPair(Ints({{2}}), Ints({{4}})));
+  EXPECT_EQ(d.ApplyToRelation(base, "R"), Ints({{1}, {3}, {4}}));
+  // Unbound name: identity.
+  EXPECT_EQ(d.ApplyToRelation(base, "S"), base);
+}
+
+TEST(DeltaTest, ApplyToDatabase) {
+  Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}, {2}})));
+  DeltaValue d;
+  d.Bind("R", DeltaPair(Ints({{1}}), Ints({{7}})));
+  ASSERT_OK_AND_ASSIGN(Database out, d.ApplyTo(db));
+  EXPECT_EQ(out.GetRef("R"), Ints({{2}, {7}}));
+}
+
+TEST(DeltaTest, SmashEquations) {
+  // D = (D1 - I2) u D2 ; I = (I1 - D2) u I2.
+  DeltaValue d1;
+  d1.Bind("R", DeltaPair(Ints({{1}, {2}}), Ints({{5}, {6}})));
+  DeltaValue d2;
+  d2.Bind("R", DeltaPair(Ints({{5}, {3}}), Ints({{2}, {7}})));
+  DeltaValue s = d1.SmashWith(d2);
+  const DeltaPair* p = s.Get("R");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->del, Ints({{1}, {3}, {5}}));   // ({1,2}-{2,7}) u {5,3}
+  EXPECT_EQ(p->ins, Ints({{2}, {6}, {7}}));   // ({5,6}-{5,3}) u {2,7}
+}
+
+TEST(DeltaTest, SmashIsApplyComposition) {
+  // apply(apply(DB, D1), D2) == apply(DB, D1 ! D2), randomized.
+  Rng rng(133);
+  Schema schema = MakeSchema({{"R", 2}});
+  for (int trial = 0; trial < 100; ++trial) {
+    Database db(schema);
+    ASSERT_OK(db.Set("R", GenRelation(&rng, 30, 2, 20, 20)));
+    auto random_delta = [&]() {
+      DeltaValue d;
+      d.Bind("R", DeltaPair(GenRelation(&rng, 8, 2, 20, 20),
+                            GenRelation(&rng, 8, 2, 20, 20)));
+      return d;
+    };
+    DeltaValue d1 = random_delta();
+    DeltaValue d2 = random_delta();
+    ASSERT_OK_AND_ASSIGN(Database step1, d1.ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(Database two_steps, d2.ApplyTo(step1));
+    ASSERT_OK_AND_ASSIGN(Database smashed, d1.SmashWith(d2).ApplyTo(db));
+    EXPECT_EQ(two_steps, smashed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delta operators.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaScanTest, StreamsApplyInOrder) {
+  Relation base = Ints({{1}, {2}, {3}, {5}});
+  DeltaPair pair(Ints({{2}, {9}}), Ints({{0}, {3}, {4}}));
+  // Expected: ({1,2,3,5} - {2,9}) u {0,3,4} = {0,1,3,4,5}.
+  std::vector<Tuple> got;
+  for (DeltaScan scan(base, &pair); !scan.Done(); scan.Advance()) {
+    got.push_back(scan.Current());
+  }
+  Relation out = Relation::FromSortedUnique(1, std::move(got));
+  EXPECT_EQ(out, Ints({{0}, {1}, {3}, {4}, {5}}));
+}
+
+TEST(DeltaScanTest, NullDeltaStreamsBase) {
+  Relation base = Ints({{1}, {2}});
+  std::vector<Tuple> got;
+  for (DeltaScan scan(base, nullptr); !scan.Done(); scan.Advance()) {
+    got.push_back(scan.Current());
+  }
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(DeltaScanTest, RandomizedAgainstMaterialized) {
+  Rng rng(137);
+  for (int trial = 0; trial < 100; ++trial) {
+    Relation base = GenRelation(&rng, 40, 2, 25, 10);
+    DeltaPair pair(SampleFraction(&rng, base, 0.3),
+                   GenRelation(&rng, 10, 2, 25, 10));
+    Relation expected = base.DifferenceWith(pair.del).UnionWith(pair.ins);
+    std::vector<Tuple> got;
+    for (DeltaScan scan(base, &pair); !scan.Done(); scan.Advance()) {
+      got.push_back(scan.Current());
+    }
+    EXPECT_EQ(Relation::FromSortedUnique(2, std::move(got)), expected);
+  }
+}
+
+TEST(SelectWhenTest, MatchesMaterialized) {
+  Rng rng(139);
+  ScalarExprPtr pred = Gt(Col(0), Int(10));
+  for (int trial = 0; trial < 50; ++trial) {
+    Relation base = GenRelation(&rng, 50, 2, 25, 10);
+    DeltaPair pair(SampleFraction(&rng, base, 0.2),
+                   GenRelation(&rng, 10, 2, 25, 10));
+    Relation expected = Relation::FromTuples(2, [&] {
+      std::vector<Tuple> v;
+      for (const Tuple& t :
+           base.DifferenceWith(pair.del).UnionWith(pair.ins)) {
+        if (pred->EvaluatesTrue(t)) v.push_back(t);
+      }
+      return v;
+    }());
+    EXPECT_EQ(SelectWhen(base, &pair, *pred), expected);
+  }
+}
+
+TEST(JoinWhenTest, MergePathMatchesReference) {
+  Rng rng(141);
+  ScalarExprPtr pred = Eq(Col(0), Col(2));
+  for (int trial = 0; trial < 60; ++trial) {
+    Relation l = GenRelation(&rng, 40, 2, 15, 8);
+    Relation r = GenRelation(&rng, 40, 2, 15, 8);
+    DeltaPair dl(SampleFraction(&rng, l, 0.2), GenRelation(&rng, 8, 2, 15, 8));
+    DeltaPair dr(SampleFraction(&rng, r, 0.2), GenRelation(&rng, 8, 2, 15, 8));
+
+    Relation l2 = l.DifferenceWith(dl.del).UnionWith(dl.ins);
+    Relation r2 = r.DifferenceWith(dr.del).UnionWith(dr.ins);
+    Relation expected = JoinRelations(l2, r2, pred);
+
+    // Sort-merge path (join column 0 = column 0).
+    EXPECT_EQ(JoinWhen(l, &dl, r, &dr, 0, 0, pred), expected);
+    // Hash path (pretend the key is a non-leading column pairing).
+    EXPECT_EQ(JoinWhen(l, &dl, r, &dr, 0, 0, pred), expected);
+  }
+}
+
+TEST(JoinWhenTest, HashPathNonLeadingColumns) {
+  Rng rng(143);
+  // Join on $1 = $3 (second columns) exercises the streamed hash join.
+  ScalarExprPtr pred = Eq(Col(1), Col(3));
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation l = GenRelation(&rng, 30, 2, 100, 6);
+    Relation r = GenRelation(&rng, 30, 2, 100, 6);
+    DeltaPair dl(SampleFraction(&rng, l, 0.2),
+                 GenRelation(&rng, 6, 2, 100, 6));
+    DeltaPair dr(SampleFraction(&rng, r, 0.2),
+                 GenRelation(&rng, 6, 2, 100, 6));
+    Relation l2 = l.DifferenceWith(dl.del).UnionWith(dl.ins);
+    Relation r2 = r.DifferenceWith(dr.del).UnionWith(dr.ins);
+    Relation expected = JoinRelations(l2, r2, pred);
+    EXPECT_EQ(JoinWhen(l, &dl, r, &dr, 1, 1, pred), expected);
+  }
+}
+
+TEST(JoinWhenTest, NullDeltasArePlainJoin) {
+  Relation l = Ints({{1, 10}, {2, 20}});
+  Relation r = Ints({{1, 100}, {3, 300}});
+  ScalarExprPtr pred = Eq(Col(0), Col(2));
+  EXPECT_EQ(JoinWhen(l, nullptr, r, nullptr, 0, 0, pred),
+            Ints({{1, 10, 1, 100}}));
+}
+
+TEST(EvalFilterDTest, MatchesEvalOnAppliedState) {
+  // eval_filter_d(Q, Delta) == [Q](apply(DB, Delta)), randomized.
+  Rng rng(151);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.allow_when = false;
+  options.allow_aggregate = true;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 8, 8);
+    DeltaValue delta;
+    for (const std::string& name : {"A2", "B1"}) {
+      size_t arity = schema.ArityOf(name).value();
+      delta.Bind(name,
+                 DeltaPair(SampleFraction(&rng, db.GetRef(name), 0.4),
+                           GenRelation(&rng, 4, arity, 8, 8)));
+    }
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(Relation streamed, EvalFilterD(q, db, delta));
+    ASSERT_OK_AND_ASSIGN(Database applied, delta.ApplyTo(db));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, applied));
+    EXPECT_EQ(streamed, reference) << q->ToString();
+  }
+}
+
+TEST(Filter3WorkerTest, ExplicitEnvironment) {
+  // Filter3WithEnv evaluates under a caller-provided delta, the analogue
+  // of the Heraclitus run-time stack top.
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}, {2}})));
+  DeltaValue env;
+  env.Bind("R", DeltaPair(Ints({{1}}), Ints({{5}})));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree,
+                       Collapse(dsl::Rel("R"), schema));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter3WithEnv(tree, db, env));
+  EXPECT_EQ(out, Ints({{2}, {5}}));
+}
+
+TEST(Filter2WorkerTest, ExplicitEnvironment) {
+  Schema schema = MakeSchema({{"R", 1}});
+  Database db(schema);
+  ASSERT_OK(db.Set("R", Ints({{1}})));
+  XsubValue env;
+  env.Bind("R", Ints({{9}}));
+  ASSERT_OK_AND_ASSIGN(CollapsedPtr tree,
+                       Collapse(dsl::Rel("R"), schema));
+  ASSERT_OK_AND_ASSIGN(Relation out, Filter2WithEnv(tree, db, env));
+  EXPECT_EQ(out, Ints({{9}}));
+}
+
+}  // namespace
+}  // namespace hql
