@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_common.dir/rng.cc.o"
+  "CMakeFiles/hql_common.dir/rng.cc.o.d"
+  "CMakeFiles/hql_common.dir/status.cc.o"
+  "CMakeFiles/hql_common.dir/status.cc.o.d"
+  "CMakeFiles/hql_common.dir/strings.cc.o"
+  "CMakeFiles/hql_common.dir/strings.cc.o.d"
+  "libhql_common.a"
+  "libhql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/enf_collapse_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_test[1]_include.cmake")
+include("/root/repo/build/tests/free_dom_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/materialize_version_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/pushdown_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_when_test[1]_include.cmake")
+include("/root/repo/build/tests/scalar_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/slice_test[1]_include.cmake")
+include("/root/repo/build/tests/state_when_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_param_test[1]_include.cmake")
+include("/root/repo/build/tests/subst_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/xsub_delta_test[1]_include.cmake")
