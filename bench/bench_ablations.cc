@@ -154,4 +154,4 @@ BENCHMARK(BM_SelectWhenMaterialized)
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(ablations)

@@ -178,4 +178,4 @@ BENCHMARK(BM_StaticAnalysisOfQuery1)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e1_alternatives)

@@ -136,4 +136,4 @@ BENCHMARK(BM_ComposedLazy)->Apply(Args);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e2_composition)

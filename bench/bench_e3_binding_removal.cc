@@ -98,4 +98,4 @@ BENCHMARK(BM_WithBindingRemoval)->Apply(Args);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e3_binding_removal)

@@ -142,4 +142,4 @@ BENCHMARK(BM_LazyEvalSmallValues)
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e4_blowup)

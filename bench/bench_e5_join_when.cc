@@ -154,4 +154,4 @@ BENCHMARK(BM_DirectState)->Apply(DeltaArgs);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e5_join_when)

@@ -88,4 +88,4 @@ SPECTRUM_BENCH(Hybrid, Strategy::kHybrid);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e6_spectrum)

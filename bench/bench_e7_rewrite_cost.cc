@@ -129,4 +129,4 @@ BENCHMARK(BM_PlanHybrid)->Apply(Args);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e7_rewrite_cost)

@@ -90,4 +90,4 @@ BENCHMARK(BM_PlannerVsOracle)->Apply(Args);
 }  // namespace
 }  // namespace hql
 
-BENCHMARK_MAIN();
+HQL_BENCH_MAIN(e8_planner_oracle)

@@ -2,9 +2,19 @@
 #define HQL_BENCH_BENCH_UTIL_H_
 
 // Shared setup for the experiment benchmarks (see DESIGN.md section 3).
+//
+// Every benchmark main uses HQL_BENCH_MAIN(<name>), which accepts a
+// `--json` flag: when present, the run also writes BENCH_<name>.json
+// (google benchmark's JSON format — per-benchmark name, args, real/cpu
+// time in ns, and all user counters such as cache hit rates), so the perf
+// trajectory is machine-readable across PRs.
+
+#include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -36,6 +46,52 @@ T Unwrap(hql::Result<T> result) {
   return std::move(result).value();
 }
 
+/// Removes a literal "--json" from argv (benchmark::Initialize rejects
+/// flags it does not know); returns whether it was present.
+inline bool ExtractJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
+/// Shared main body: console output always; `--json` additionally writes
+/// BENCH_<name>.json in the working directory. Implemented by expanding
+/// `--json` into the library's own --benchmark_out flags, so console and
+/// file reporting compose the way google benchmark expects.
+inline int RunBenchmarks(const char* name, int argc, char** argv) {
+  bool json = ExtractJsonFlag(&argc, argv);
+  std::string out_flag =
+      std::string("--benchmark_out=BENCH_") + name + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace hql::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding the --json mode.
+#define HQL_BENCH_MAIN(name)                               \
+  int main(int argc, char** argv) {                        \
+    return ::hql::bench::RunBenchmarks(#name, argc, argv); \
+  }
 
 #endif  // HQL_BENCH_BENCH_UTIL_H_

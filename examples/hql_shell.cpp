@@ -31,6 +31,7 @@
 #include "ast/typecheck.h"
 #include "common/rng.h"
 #include "eval/direct.h"
+#include "eval/memo.h"
 #include "hql/ra_rewrite.h"
 #include "hql/reduce.h"
 #include "opt/explain.h"
@@ -51,6 +52,11 @@ struct ShellState {
   Strategy strategy = Strategy::kHybrid;
   bool timing = true;
   Rng rng{20260704};
+  // Session-level subplan cache: repeated (sub)queries against an unchanged
+  // database are served from memory; any \apply changes the content
+  // fingerprint, so stale entries are never reachable. \explain shows the
+  // counters.
+  MemoCache memo;
   // Active what-if session (\whatif ... \endwhatif). Reset whenever the
   // real database changes, since it materializes a snapshot of the state.
   std::unique_ptr<HypotheticalSession> whatif;
@@ -211,7 +217,7 @@ void HandleCommand(ShellState* st, const std::string& line) {
       return;
     }
     StatsCatalog stats = StatsCatalog::FromDatabase(st->db);
-    auto report = Explain(q.value(), st->schema, stats);
+    auto report = Explain(q.value(), st->schema, stats, &st->memo);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       return;
@@ -288,9 +294,12 @@ void HandleQuery(ShellState* st, const std::string& line) {
     return;
   }
   auto start = std::chrono::steady_clock::now();
-  auto result = st->whatif != nullptr
-                    ? st->whatif->Evaluate(q.value())
-                    : Execute(q.value(), st->db, st->schema, st->strategy);
+  PlannerOptions options;
+  options.memo = &st->memo;
+  auto result =
+      st->whatif != nullptr
+          ? st->whatif->Evaluate(q.value())
+          : Execute(q.value(), st->db, st->schema, st->strategy, options);
   auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - start)
                      .count();

@@ -280,6 +280,58 @@ uint64_t Query::Hash() const {
   HQL_UNREACHABLE();
 }
 
+uint64_t Query::Fingerprint() const {
+  uint64_t cached = fingerprint_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // Same mixing as Hash(), but recursing through Fingerprint() so shared
+  // DAG subtrees are hashed once ever, not once per reachable path.
+  uint64_t h = (static_cast<uint64_t>(kind_) + 17) * 0x9E3779B97F4A7C15ULL;
+  switch (kind_) {
+    case QueryKind::kRel:
+      h = HashCombine(h, HashString(rel_name_));
+      break;
+    case QueryKind::kEmpty:
+      h = HashCombine(h, empty_arity_ * 31 + 7);
+      break;
+    case QueryKind::kSingleton:
+      h = HashCombine(h, HashTuple(tuple_));
+      break;
+    case QueryKind::kSelect:
+      h = HashCombine(HashCombine(h, predicate_->Hash()),
+                      left_->Fingerprint());
+      break;
+    case QueryKind::kProject:
+      for (size_t c : columns_) h = HashCombine(h, c);
+      h = HashCombine(h, left_->Fingerprint());
+      break;
+    case QueryKind::kAggregate:
+      for (size_t c : columns_) h = HashCombine(h, c);
+      h = HashCombine(h, static_cast<uint64_t>(agg_func_) * 131 + 7);
+      h = HashCombine(h, agg_column_);
+      h = HashCombine(h, left_->Fingerprint());
+      break;
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference:
+      h = HashCombine(HashCombine(h, left_->Fingerprint()),
+                      right_->Fingerprint());
+      break;
+    case QueryKind::kJoin:
+      h = HashCombine(
+          HashCombine(HashCombine(h, predicate_->Hash()),
+                      left_->Fingerprint()),
+          right_->Fingerprint());
+      break;
+    case QueryKind::kWhen:
+      h = HashCombine(HashCombine(h, left_->Fingerprint()), state_->Hash());
+      break;
+  }
+  if (h == 0) h = 1;
+  fingerprint_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
 std::string Query::ToString() const {
   switch (kind_) {
     case QueryKind::kRel:

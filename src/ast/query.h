@@ -14,6 +14,7 @@
 // Example 2.4 distinction between DAG size (linear) and tree size
 // (exponential) observable.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -118,6 +119,13 @@ class Query {
   bool Equals(const Query& other) const;
   uint64_t Hash() const;
 
+  /// Structural fingerprint for memoization (eval/memo.h): structurally
+  /// equal queries have equal fingerprints, and the value is cached per
+  /// node — O(1) after first use, including on shared DAG subtrees. Nodes
+  /// are immutable, so the cache never goes stale; safe to call
+  /// concurrently. Never returns 0 (0 is the "unset" sentinel).
+  uint64_t Fingerprint() const;
+
   /// Textual form in the parser's grammar, e.g.
   ///   "sigma[$0 > 30](R join[$0 = $2] S) when {ins(R, S); del(S, R)}".
   std::string ToString() const;
@@ -136,6 +144,8 @@ class Query {
   QueryPtr left_;
   QueryPtr right_;
   HypoExprPtr state_;
+
+  mutable std::atomic<uint64_t> fingerprint_{0};  // 0 = not yet computed
 };
 
 /// Null-tolerant deep equality.

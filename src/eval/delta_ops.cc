@@ -1,6 +1,6 @@
 #include "eval/delta_ops.h"
 
-#include <map>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "eval/ra_eval.h"
@@ -150,7 +150,8 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
 
   // General columns: stream the right side into a hash table, probe with
   // the left stream. Still avoids materializing the hypothetical relations.
-  std::map<Value, std::vector<Tuple>> table;
+  std::unordered_map<Value, std::vector<Tuple>, ValueHash> table;
+  table.reserve(base_r.size());
   for (DeltaScan rs(base_r, delta_r); !rs.Done(); rs.Advance()) {
     table[rs.Current()[rcol]].push_back(rs.Current());
   }

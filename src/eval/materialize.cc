@@ -1,15 +1,78 @@
 #include "eval/materialize.h"
 
+#include <memory>
+#include <utility>
+
 #include "ast/hypo.h"
+#include "common/strings.h"
 #include "eval/direct.h"
 #include "hql/free_dom.h"
 
 namespace hql {
 
-Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
-                                  const Database& db, const Schema& schema) {
-  (void)schema;  // names are validated by evaluation itself
+namespace {
+
+// Tag separating state-materialization entries from query-subplan entries
+// in a shared MemoCache.
+constexpr uint64_t kStateEntryTag = 0x1BD11BDAA9FC1A22ULL;
+
+uint64_t StateEntryKey(uint64_t state_hash, uint64_t db_fingerprint,
+                       const std::string& name) {
+  return MemoKey(HashCombine(HashCombine(kStateEntryTag, state_hash),
+                             HashString(name)),
+                 db_fingerprint);
+}
+
+// Evaluates one non-compose state against `db`, serving the written
+// relations from `memo` when the same (state, database-content) pair was
+// evaluated before. Updates only write names in dom(state), so a database
+// copy with the cached dom relations re-bound reconstructs the full result.
+Result<Database> EvalAtomicStateMemo(const HypoExprPtr& state,
+                                     const Database& db, MemoCache* memo) {
+  const NameSet dom = DomNames(state);
+  const uint64_t state_hash = state->Hash();
+  const uint64_t db_fp = FingerprintState(db);
+
+  Database out = db;
+  bool all_cached = !dom.empty();
+  for (const std::string& name : dom) {
+    std::shared_ptr<const Relation> hit =
+        memo->Lookup(StateEntryKey(state_hash, db_fp, name));
+    if (hit == nullptr) {
+      all_cached = false;
+      break;
+    }
+    HQL_RETURN_IF_ERROR(out.Set(name, *hit));
+  }
+  if (all_cached) return out;
+
   HQL_ASSIGN_OR_RETURN(Database moved, EvalState(state, db));
+  for (const std::string& name : dom) {
+    HQL_ASSIGN_OR_RETURN(Relation value, moved.Get(name));
+    memo->Insert(StateEntryKey(state_hash, db_fp, name),
+                 std::make_shared<const Relation>(std::move(value)));
+  }
+  return moved;
+}
+
+}  // namespace
+
+Result<Database> EvalStateMemo(const HypoExprPtr& state, const Database& db,
+                               MemoCache* memo) {
+  if (memo == nullptr) return EvalState(state, db);
+  if (state->kind() == HypoKind::kCompose) {
+    HQL_ASSIGN_OR_RETURN(Database mid,
+                         EvalStateMemo(state->first(), db, memo));
+    return EvalStateMemo(state->second(), mid, memo);
+  }
+  return EvalAtomicStateMemo(state, db, memo);
+}
+
+Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
+                                  const Database& db, const Schema& schema,
+                                  MemoCache* memo) {
+  (void)schema;  // names are validated by evaluation itself
+  HQL_ASSIGN_OR_RETURN(Database moved, EvalStateMemo(state, db, memo));
   XsubValue out;
   for (const std::string& name : DomNames(state)) {
     HQL_ASSIGN_OR_RETURN(Relation value, moved.Get(name));
@@ -20,8 +83,10 @@ Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
 
 Result<DeltaValue> MaterializeDelta(const HypoExprPtr& state,
                                     const Database& db,
-                                    const Schema& schema) {
-  HQL_ASSIGN_OR_RETURN(XsubValue xsub, MaterializeXsub(state, db, schema));
+                                    const Schema& schema,
+                                    MemoCache* memo) {
+  HQL_ASSIGN_OR_RETURN(XsubValue xsub,
+                       MaterializeXsub(state, db, schema, memo));
   DeltaValue out;
   for (const auto& [name, value] : xsub.values()) {
     HQL_ASSIGN_OR_RETURN(Relation base, db.Get(name));

@@ -11,6 +11,7 @@
 #include "ast/forward.h"
 #include "common/result.h"
 #include "eval/delta.h"
+#include "eval/memo.h"
 #include "eval/xsub.h"
 #include "storage/database.h"
 #include "storage/schema.h"
@@ -19,17 +20,29 @@ namespace hql {
 
 /// [eta]xval(DB): the xsub-value of `state` in `db` — one relation value
 /// per name in dom(eta). Arbitrary states (updates, substitutions,
-/// compositions, state-level when) are supported.
+/// compositions, state-level when) are supported. A non-null `memo` caches
+/// the written relations of every sub-state along composition chains, so
+/// sibling alternatives of a version tree (state = shared-prefix #
+/// leaf-edge) materialize the shared prefix once.
 Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
-                                  const Database& db, const Schema& schema);
+                                  const Database& db, const Schema& schema,
+                                  MemoCache* memo = nullptr);
 
 /// The precise delta (Section 5.5) capturing `state` in `db`:
 /// R_D = DB(R) − V, R_I = V − DB(R) for each written name. Satisfies
 /// apply(DB, delta) == apply(DB, xsub) and is small when the state changes
-/// little.
+/// little. `memo` as in MaterializeXsub.
 Result<DeltaValue> MaterializeDelta(const HypoExprPtr& state,
                                     const Database& db,
-                                    const Schema& schema);
+                                    const Schema& schema,
+                                    MemoCache* memo = nullptr);
+
+/// [eta](DB) with per-sub-state memoization: composition chains evaluate
+/// left to right (Lemma 3.6), and each non-compose sub-state's written
+/// relations are cached under (sub-state hash, database fingerprint). With
+/// a null `memo` this is exactly EvalState (eval/direct.h).
+Result<Database> EvalStateMemo(const HypoExprPtr& state, const Database& db,
+                               MemoCache* memo);
 
 }  // namespace hql
 

@@ -1,0 +1,111 @@
+#include "eval/memo.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace hql {
+
+uint64_t MemoKey(uint64_t query_fingerprint, uint64_t state_fingerprint) {
+  return HashCombine(HashCombine(0x452821E638D01377ULL, query_fingerprint),
+                     state_fingerprint);
+}
+
+uint64_t FingerprintState(const Database& db) {
+  uint64_t h = 0xB7E151628AED2A6BULL;
+  for (const auto& [name, rel] : db.relations()) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, rel.Hash());
+  }
+  return h;
+}
+
+uint64_t FingerprintState(const Database& db, const XsubValue& env) {
+  uint64_t h = 0x9216D5D98979FB1BULL;
+  for (const auto& [name, rel] : db.relations()) {
+    h = HashCombine(h, HashString(name));
+    const Relation* bound = env.Get(name);
+    h = HashCombine(h, bound != nullptr ? bound->Hash() : rel.Hash());
+  }
+  // Bindings outside the schema cannot exist (xsubs bind schema names), so
+  // the loop above covers the whole environment.
+  return h;
+}
+
+uint64_t FingerprintState(const Database& db, const DeltaValue& env) {
+  uint64_t h = 0x3F84D5B5B5470917ULL;
+  for (const auto& [name, rel] : db.relations()) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, rel.Hash());
+    const DeltaPair* pair = env.Get(name);
+    if (pair != nullptr) {
+      h = HashCombine(h, pair->del.Hash());
+      h = HashCombine(h, pair->ins.Hash());
+    }
+  }
+  return h;
+}
+
+MemoCache::MemoCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const Relation> MemoCache::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->value;
+}
+
+void MemoCache::Insert(uint64_t key, std::shared_ptr<const Relation> value) {
+  if (capacity_ == 0 || value == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.cached_tuples -= it->second->value->size();
+    stats_.cached_tuples += value->size();
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    stats_.cached_tuples -= victim.value->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.cached_tuples += value->size();
+  lru_.push_front(Entry{key, std::move(value)});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  stats_.entries = lru_.size();
+}
+
+void MemoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.cached_tuples = 0;
+}
+
+void MemoCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats fresh;
+  fresh.entries = lru_.size();
+  for (const Entry& e : lru_) fresh.cached_tuples += e.value->size();
+  stats_ = fresh;
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace hql

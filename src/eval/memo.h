@@ -1,0 +1,104 @@
+#ifndef HQL_EVAL_MEMO_H_
+#define HQL_EVAL_MEMO_H_
+
+// A thread-safe memoizing subplan cache. Families of hypothetical
+// alternatives (Examples 2.1/2.2) share work by construction — sibling
+// alternatives compose the same path prefix, lazy rewrites duplicate the
+// same state queries into every family member — and the cache turns that
+// structural sharing into computational sharing: a subplan evaluated under
+// one alternative is served from memory to every other alternative that
+// contains it.
+//
+// Keys pair a *structural* fingerprint of the subplan (Query::Fingerprint)
+// with a fingerprint of the evaluation state it ran against (database
+// content plus any xsub/delta environment). A mutation to the database
+// changes the state fingerprint, so stale results are unreachable rather
+// than invalidated — the stale entries simply age out of the LRU.
+//
+// The cache is shared across worker threads (opt/session.h's
+// EvalAlternatives); all operations take one short critical section.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "eval/delta.h"
+#include "eval/xsub.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace hql {
+
+/// Combined cache key: structural query fingerprint + state fingerprint.
+uint64_t MemoKey(uint64_t query_fingerprint, uint64_t state_fingerprint);
+
+/// Content fingerprint of a database state. O(#relations) once every
+/// relation's hash is cached (storage/relation.h).
+uint64_t FingerprintState(const Database& db);
+
+/// Database state refined by an xsub environment: bindings shadow base
+/// relations, so only names *not* bound contribute the base hash.
+uint64_t FingerprintState(const Database& db, const XsubValue& env);
+
+/// Database state refined by a delta environment.
+uint64_t FingerprintState(const Database& db, const DeltaValue& env);
+
+class MemoCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+    size_t entries = 0;
+    uint64_t cached_tuples = 0;  // tuples held across all entries
+
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` bounds the number of entries; the least recently used entry
+  /// is evicted on overflow. Capacity 0 disables caching (every Lookup
+  /// misses, Insert is a no-op).
+  explicit MemoCache(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// The cached relation for `key` (nullptr on miss), refreshing its LRU
+  /// position; counts a hit or a miss. Entries are immutable and shared —
+  /// a hit costs one refcount bump, never a tuple copy.
+  std::shared_ptr<const Relation> Lookup(uint64_t key);
+
+  /// Caches `value` under `key` (overwrites an existing entry), evicting
+  /// the LRU entry when full. Null values are ignored.
+  void Insert(uint64_t key, std::shared_ptr<const Relation> value);
+
+  /// Drops all entries; counters survive (Reset clears those too).
+  void Clear();
+  void ResetStats();
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::shared_ptr<const Relation> value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_MEMO_H_

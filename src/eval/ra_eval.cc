@@ -1,8 +1,11 @@
 #include "eval/ra_eval.h"
 
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "eval/memo.h"
 
 namespace hql {
 
@@ -82,29 +85,32 @@ Relation JoinRelations(const Relation& lhs, const Relation& rhs,
 
   std::vector<Tuple> out;
   if (!equi.empty()) {
-    // Hash join: build on the smaller side conceptually; build on rhs and
-    // probe with lhs (keeps output construction simple).
-    std::map<Tuple, std::vector<const Tuple*>, TupleLess> table;
-    for (const Tuple& r : rhs) {
+    // Hash join, building on the smaller input and probing with the larger
+    // one; the build side's key columns come from `equi`'s lhs or rhs slot
+    // depending on which side we picked. Output tuples are always
+    // (lhs, rhs) regardless of build side.
+    const bool build_rhs = rhs.size() <= lhs.size();
+    const Relation& build = build_rhs ? rhs : lhs;
+    const Relation& probe = build_rhs ? lhs : rhs;
+
+    auto key_of = [&equi](const Tuple& t, bool use_rhs_cols) {
       Tuple key;
       key.reserve(equi.size());
-      for (const auto& [lc, rc] : equi) {
-        (void)lc;
-        key.push_back(r[rc]);
-      }
-      table[std::move(key)].push_back(&r);
+      for (const auto& [lc, rc] : equi) key.push_back(t[use_rhs_cols ? rc : lc]);
+      return key;
+    };
+
+    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
+    table.reserve(build.size());
+    for (const Tuple& b : build) {
+      table[key_of(b, build_rhs)].push_back(&b);
     }
-    for (const Tuple& l : lhs) {
-      Tuple key;
-      key.reserve(equi.size());
-      for (const auto& [lc, rc] : equi) {
-        (void)rc;
-        key.push_back(l[lc]);
-      }
-      auto it = table.find(key);
+    for (const Tuple& p : probe) {
+      auto it = table.find(key_of(p, !build_rhs));
       if (it == table.end()) continue;
-      for (const Tuple* r : it->second) {
-        Tuple combined = ConcatTuples(l, *r);
+      for (const Tuple* b : it->second) {
+        Tuple combined =
+            build_rhs ? ConcatTuples(p, *b) : ConcatTuples(*b, p);
         if (residual_ok(combined)) out.push_back(std::move(combined));
       }
     }
@@ -132,7 +138,8 @@ Relation AggregateRelation(const Relation& input,
     Value min_v;
     Value max_v;
   };
-  std::map<Tuple, Acc, TupleLess> groups;
+  std::unordered_map<Tuple, Acc, TupleHash> groups;
+  groups.reserve(input.size());
   for (const Tuple& t : input) {
     Tuple key;
     key.reserve(group_columns.size());
@@ -188,8 +195,21 @@ Relation AggregateRelation(const Relation& input,
   return Relation::FromTuples(group_columns.size() + 1, std::move(out));
 }
 
-Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
-  HQL_CHECK(query != nullptr);
+namespace {
+
+// Subplan results flow through the recursion as shared immutable relations:
+// a memo hit is a refcount bump, and an inserted result is shared between
+// the cache and the computation that produced it — no tuple copies.
+using RelPtr = std::shared_ptr<const Relation>;
+
+Result<RelPtr> EvalRaNode(const QueryPtr& query, const RelResolver& resolver,
+                          const EvalMemo* memo);
+
+// The operator switch; recursion goes through EvalRaNode so every subplan
+// passes the memo check.
+Result<Relation> EvalRaCompute(const QueryPtr& query,
+                               const RelResolver& resolver,
+                               const EvalMemo* memo) {
   switch (query->kind()) {
     case QueryKind::kRel:
       return resolver.Resolve(query->rel_name());
@@ -202,50 +222,64 @@ Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
       const QueryPtr& child = query->left();
       if (child->kind() == QueryKind::kProduct ||
           child->kind() == QueryKind::kJoin) {
-        HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(child->left(), resolver));
-        HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(child->right(), resolver));
+        HQL_ASSIGN_OR_RETURN(RelPtr l,
+                             EvalRaNode(child->left(), resolver, memo));
+        HQL_ASSIGN_OR_RETURN(RelPtr r,
+                             EvalRaNode(child->right(), resolver, memo));
         ScalarExprPtr pred = query->predicate();
         if (child->kind() == QueryKind::kJoin) {
           pred = ScalarExpr::Binary(ScalarOp::kAnd, pred, child->predicate());
         }
-        return JoinRelations(l, r, pred);
+        return JoinRelations(*l, *r, pred);
       }
-      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(child, resolver));
-      return FilterRelation(in, *query->predicate());
+      HQL_ASSIGN_OR_RETURN(RelPtr in, EvalRaNode(child, resolver, memo));
+      return FilterRelation(*in, *query->predicate());
     }
     case QueryKind::kProject: {
-      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(query->left(), resolver));
-      return ProjectRelation(in, query->columns());
+      HQL_ASSIGN_OR_RETURN(RelPtr in,
+                           EvalRaNode(query->left(), resolver, memo));
+      return ProjectRelation(*in, query->columns());
     }
     case QueryKind::kAggregate: {
-      HQL_ASSIGN_OR_RETURN(Relation in, EvalRa(query->left(), resolver));
-      return AggregateRelation(in, query->columns(), query->agg_func(),
+      HQL_ASSIGN_OR_RETURN(RelPtr in,
+                           EvalRaNode(query->left(), resolver, memo));
+      return AggregateRelation(*in, query->columns(), query->agg_func(),
                                query->agg_column());
     }
     case QueryKind::kUnion: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
-      return l.UnionWith(r);
+      HQL_ASSIGN_OR_RETURN(RelPtr l,
+                           EvalRaNode(query->left(), resolver, memo));
+      HQL_ASSIGN_OR_RETURN(RelPtr r,
+                           EvalRaNode(query->right(), resolver, memo));
+      return l->UnionWith(*r);
     }
     case QueryKind::kIntersect: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
-      return l.IntersectWith(r);
+      HQL_ASSIGN_OR_RETURN(RelPtr l,
+                           EvalRaNode(query->left(), resolver, memo));
+      HQL_ASSIGN_OR_RETURN(RelPtr r,
+                           EvalRaNode(query->right(), resolver, memo));
+      return l->IntersectWith(*r);
     }
     case QueryKind::kProduct: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
-      return l.ProductWith(r);
+      HQL_ASSIGN_OR_RETURN(RelPtr l,
+                           EvalRaNode(query->left(), resolver, memo));
+      HQL_ASSIGN_OR_RETURN(RelPtr r,
+                           EvalRaNode(query->right(), resolver, memo));
+      return l->ProductWith(*r);
     }
     case QueryKind::kJoin: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
-      return JoinRelations(l, r, query->predicate());
+      HQL_ASSIGN_OR_RETURN(RelPtr l,
+                           EvalRaNode(query->left(), resolver, memo));
+      HQL_ASSIGN_OR_RETURN(RelPtr r,
+                           EvalRaNode(query->right(), resolver, memo));
+      return JoinRelations(*l, *r, query->predicate());
     }
     case QueryKind::kDifference: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalRa(query->left(), resolver));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalRa(query->right(), resolver));
-      return l.DifferenceWith(r);
+      HQL_ASSIGN_OR_RETURN(RelPtr l,
+                           EvalRaNode(query->left(), resolver, memo));
+      HQL_ASSIGN_OR_RETURN(RelPtr r,
+                           EvalRaNode(query->right(), resolver, memo));
+      return l->DifferenceWith(*r);
     }
     case QueryKind::kWhen:
       return Status::InvalidArgument(
@@ -253,6 +287,40 @@ Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
           "Filter2 for hypothetical queries");
   }
   return Status::Internal("unknown query kind in EvalRa");
+}
+
+Result<RelPtr> EvalRaNode(const QueryPtr& query, const RelResolver& resolver,
+                          const EvalMemo* memo) {
+  const QueryKind kind = query->kind();
+  const bool memoizable =
+      memo != nullptr && kind != QueryKind::kRel &&
+      kind != QueryKind::kEmpty && kind != QueryKind::kSingleton;
+  uint64_t key = 0;
+  if (memoizable) {
+    key = MemoKey(query->Fingerprint(), memo->state_fingerprint);
+    if (RelPtr hit = memo->cache->Lookup(key)) return hit;
+  }
+  HQL_ASSIGN_OR_RETURN(Relation result, EvalRaCompute(query, resolver, memo));
+  RelPtr ptr = std::make_shared<const Relation>(std::move(result));
+  if (memoizable) memo->cache->Insert(key, ptr);
+  return ptr;
+}
+
+}  // namespace
+
+Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
+  HQL_CHECK(query != nullptr);
+  HQL_ASSIGN_OR_RETURN(RelPtr out, EvalRaNode(query, resolver, nullptr));
+  return *out;
+}
+
+Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver,
+                        const EvalMemo& memo) {
+  HQL_CHECK(query != nullptr);
+  HQL_ASSIGN_OR_RETURN(
+      RelPtr out,
+      EvalRaNode(query, resolver, memo.cache == nullptr ? nullptr : &memo));
+  return *out;
 }
 
 }  // namespace hql

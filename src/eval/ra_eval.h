@@ -64,6 +64,25 @@ class OverlayResolver : public RelResolver {
 /// Evaluates a pure RA query (InvalidArgument on `when` nodes).
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver);
 
+class MemoCache;
+
+/// Memoization context for EvalRa. `state_fingerprint` must identify the
+/// contents the resolver serves (FingerprintState in eval/memo.h); entries
+/// are keyed by MemoKey(node->Fingerprint(), state_fingerprint), so a
+/// caller that fingerprints its state correctly can share one cache across
+/// resolvers, queries, and threads.
+struct EvalMemo {
+  MemoCache* cache = nullptr;
+  uint64_t state_fingerprint = 0;
+};
+
+/// EvalRa with subplan memoization: every operator node (leaves excepted —
+/// resolving a name is already cheap) is served from `memo.cache` when a
+/// structurally identical subplan was evaluated against the same state. A
+/// null `memo.cache` degrades to the plain evaluator.
+Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver,
+                        const EvalMemo& memo);
+
 // ---- shared physical operators (used by all evaluators) ----
 
 /// sigma_p(input).

@@ -9,13 +9,15 @@
 #include "hql/free_dom.h"
 #include "hql/ra_rewrite.h"
 #include "hql/reduce.h"
+#include "eval/memo.h"
 #include "opt/estimator.h"
 #include "opt/planner.h"
 
 namespace hql {
 
 Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
-                              const StatsCatalog& stats) {
+                              const StatsCatalog& stats,
+                              const MemoCache* memo) {
   ExplainReport report;
 
   HQL_ASSIGN_OR_RETURN(report.arity, InferQueryArity(query, schema));
@@ -50,6 +52,17 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
         estimator.EstimateStateMaterialization(enf->state());
   }
   report.state_materialization = materialization;
+
+  if (memo != nullptr) {
+    MemoCache::Stats cache = memo->stats();
+    report.has_memo = true;
+    report.memo_hits = cache.hits;
+    report.memo_misses = cache.misses;
+    report.memo_evictions = cache.evictions;
+    report.memo_entries = cache.entries;
+    report.memo_cached_tuples = cache.cached_tuples;
+    report.memo_hit_rate = cache.HitRate();
+  }
   return report;
 }
 
@@ -77,6 +90,17 @@ std::string FormatExplain(const ExplainReport& report) {
       "state materialization ~%.0f tuples\n",
       report.estimated_cardinality, report.lazy_cost, report.hybrid_cost,
       report.state_materialization);
+  if (report.has_memo) {
+    out += StrFormat(
+        "memo:       %llu hits, %llu misses (%.1f%% hit rate), %llu "
+        "evictions; %llu entries holding %llu tuples\n",
+        static_cast<unsigned long long>(report.memo_hits),
+        static_cast<unsigned long long>(report.memo_misses),
+        report.memo_hit_rate * 100.0,
+        static_cast<unsigned long long>(report.memo_evictions),
+        static_cast<unsigned long long>(report.memo_entries),
+        static_cast<unsigned long long>(report.memo_cached_tuples));
+  }
   return out;
 }
 

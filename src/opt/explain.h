@@ -17,6 +17,8 @@
 
 namespace hql {
 
+class MemoCache;
+
 struct ExplainReport {
   // Static shape.
   size_t arity = 0;
@@ -42,12 +44,24 @@ struct ExplainReport {
   double lazy_cost = 0;
   double hybrid_cost = 0;
   double state_materialization = 0;  // eager xsub tuples, all states
+
+  // Memoizing subplan cache (populated when Explain is given one).
+  bool has_memo = false;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_evictions = 0;
+  uint64_t memo_entries = 0;
+  uint64_t memo_cached_tuples = 0;
+  double memo_hit_rate = 0;
 };
 
 /// Builds the full report. `stats` drives the cost numbers (use
-/// StatsCatalog::FromDatabase for exact base cardinalities).
+/// StatsCatalog::FromDatabase for exact base cardinalities). A non-null
+/// `memo` adds the cache's hit/miss/eviction counters to the report — the
+/// observability face of the memoizing evaluation layer.
 Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
-                              const StatsCatalog& stats);
+                              const StatsCatalog& stats,
+                              const MemoCache* memo = nullptr);
 
 /// Multi-line human-readable rendering.
 std::string FormatExplain(const ExplainReport& report);

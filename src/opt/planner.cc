@@ -10,6 +10,7 @@
 #include "eval/filter1.h"
 #include "eval/filter2.h"
 #include "eval/filter3.h"
+#include "eval/memo.h"
 #include "eval/ra_eval.h"
 #include "hql/enf.h"
 #include "hql/ra_rewrite.h"
@@ -292,7 +293,8 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
         HQL_ASSIGN_OR_RETURN(reduced, SimplifyRa(reduced, schema));
       }
       DatabaseResolver resolver(db);
-      return EvalRa(reduced, resolver);
+      return EvalRa(reduced, resolver,
+                    EvalMemo{options.memo, FingerprintState(db)});
     }
     case Strategy::kFilter1: {
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
@@ -327,7 +329,8 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
                            PlanHybrid(query, schema, stats, options));
       if (IsPureRelAlg(plan.query)) {
         DatabaseResolver resolver(db);
-        return EvalRa(plan.query, resolver);
+        return EvalRa(plan.query, resolver,
+                      EvalMemo{options.memo, FingerprintState(db)});
       }
       return Filter2(plan.query, db, schema);
     }

@@ -22,6 +22,8 @@
 
 namespace hql {
 
+class MemoCache;
+
 enum class Strategy {
   kDirect,   // reference semantics: materialize whole hypothetical states
   kLazy,     // red(Q), RA-simplify, evaluate as pure RA (Theorem 4.1)
@@ -52,6 +54,13 @@ struct PlannerOptions {
   /// regime where join-when/select-when beat xsub materialization. Set to
   /// 0 to disable the delta route.
   double delta_fraction_threshold = 0.25;
+
+  /// Optional memoizing subplan cache (eval/memo.h). When set, Execute's
+  /// pure-RA evaluation serves repeated subplans from the cache, and state
+  /// materialization (sessions, EvalAlternatives) reuses shared sub-states.
+  /// The cache may be shared across queries, sessions, and threads; the
+  /// caller owns it and it must outlive the calls that use it.
+  MemoCache* memo = nullptr;
 };
 
 struct Plan {

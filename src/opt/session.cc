@@ -1,6 +1,11 @@
 #include "opt/session.h"
 
+#include <optional>
+#include <utility>
+
 #include "ast/hypo.h"
+#include "ast/query.h"
+#include "common/thread_pool.h"
 #include "eval/filter1.h"
 #include "eval/filter3.h"
 #include "eval/materialize.h"
@@ -22,7 +27,7 @@ Result<HypotheticalSession> HypotheticalSession::Create(
   // representation (the xsub is recoverable from base + delta when the
   // decision goes the other way).
   HQL_ASSIGN_OR_RETURN(DeltaValue delta,
-                       MaterializeDelta(state, db, schema));
+                       MaterializeDelta(state, db, schema, options.memo));
   double affected_base = 0;
   for (const auto& [name, pair] : delta.pairs()) {
     (void)pair;
@@ -36,7 +41,8 @@ Result<HypotheticalSession> HypotheticalSession::Create(
     session.delta_ = std::move(delta);
     return session;
   }
-  HQL_ASSIGN_OR_RETURN(session.xsub_, MaterializeXsub(state, db, schema));
+  HQL_ASSIGN_OR_RETURN(session.xsub_,
+                       MaterializeXsub(state, db, schema, options.memo));
   return session;
 }
 
@@ -52,6 +58,73 @@ Result<Relation> HypotheticalSession::Evaluate(const QueryPtr& query) const {
 
 uint64_t HypotheticalSession::materialized_tuples() const {
   return uses_delta_ ? delta_.TotalTuples() : xsub_.TotalTuples();
+}
+
+namespace {
+
+// One alternative of the family: Q when s (or Q itself at the root).
+Result<Relation> EvalOneAlternative(const QueryPtr& query,
+                                    const HypoExprPtr& state,
+                                    const Database& db, const Schema& schema,
+                                    const AlternativesOptions& options) {
+  QueryPtr q = state == nullptr ? query : Query::When(query, state);
+  return Execute(q, db, schema, options.strategy, options.planner);
+}
+
+}  // namespace
+
+Result<std::vector<Relation>> EvalAlternatives(
+    const QueryPtr& query, const std::vector<HypoExprPtr>& states,
+    const Database& db, const Schema& schema,
+    const AlternativesOptions& options) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  const size_t n = states.size();
+  if (n == 0) return std::vector<Relation>();
+
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  if (threads > n) threads = n;
+
+  if (threads == 1) {
+    std::vector<Relation> results;
+    results.reserve(n);
+    for (const HypoExprPtr& state : states) {
+      HQL_ASSIGN_OR_RETURN(
+          Relation r, EvalOneAlternative(query, state, db, schema, options));
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
+
+  // Fan one task per alternative out across the pool. Tasks only write
+  // their own slot; the pool's Wait() provides the synchronization that
+  // makes the slots safe to read afterwards.
+  std::vector<std::optional<Relation>> slots(n);
+  std::vector<Status> errors(n);
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&, i] {
+        Result<Relation> r =
+            EvalOneAlternative(query, states[i], db, schema, options);
+        if (r.ok()) {
+          slots[i] = std::move(r).value();
+        } else {
+          errors[i] = r.status();
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // First error by input order wins, matching the serial loop's behavior.
+  for (size_t i = 0; i < n; ++i) {
+    if (!errors[i].ok()) return errors[i];
+  }
+  std::vector<Relation> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) results.push_back(*std::move(slots[i]));
+  return results;
 }
 
 }  // namespace hql

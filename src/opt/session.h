@@ -17,6 +17,7 @@
 // The session holds references to `db` and `schema`; both must outlive it.
 
 #include <memory>
+#include <vector>
 
 #include "ast/forward.h"
 #include "common/result.h"
@@ -59,6 +60,37 @@ class HypotheticalSession {
   DeltaValue delta_;
   XsubValue xsub_;
 };
+
+/// Options for EvalAlternatives.
+struct AlternativesOptions {
+  /// Execution route for every alternative (all strategies agree on the
+  /// value; see planner.h).
+  Strategy strategy = Strategy::kHybrid;
+
+  /// Worker threads fanning the alternatives out; 0 picks
+  /// ThreadPool::DefaultThreads(). 1 runs the serial loop inline (no pool).
+  size_t num_threads = 0;
+
+  /// Per-alternative planner options. `planner.memo` (when set) is the
+  /// shared subplan cache: alternatives that share path prefixes or state
+  /// subqueries compute them once across the whole family, whichever
+  /// worker gets there first.
+  PlannerOptions planner;
+};
+
+/// Evaluates `query` under every hypothetical state in `states` — the
+/// "family of alternatives" workload of Example 2.1, where states are the
+/// root paths of a version tree (workload/version_tree.h). A null state
+/// evaluates `query` against the real database (the root version).
+///
+/// Results arrive in input order and are identical to the serial loop
+///   for (s : states) Execute(Query::When(query, s), db, schema, ...)
+/// regardless of thread count or cache state; the first error (by input
+/// order) aborts the whole call.
+Result<std::vector<Relation>> EvalAlternatives(
+    const QueryPtr& query, const std::vector<HypoExprPtr>& states,
+    const Database& db, const Schema& schema,
+    const AlternativesOptions& options = AlternativesOptions());
 
 }  // namespace hql
 

@@ -39,11 +39,15 @@ void Relation::Insert(const Tuple& t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t, TupleLess());
   if (it != tuples_.end() && CompareTuples(*it, t) == 0) return;
   tuples_.insert(it, t);
+  cached_hash_.store(0, std::memory_order_relaxed);
 }
 
 void Relation::Erase(const Tuple& t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t, TupleLess());
-  if (it != tuples_.end() && CompareTuples(*it, t) == 0) tuples_.erase(it);
+  if (it != tuples_.end() && CompareTuples(*it, t) == 0) {
+    tuples_.erase(it);
+    cached_hash_.store(0, std::memory_order_relaxed);
+  }
 }
 
 Relation Relation::UnionWith(const Relation& other) const {
@@ -91,8 +95,12 @@ bool Relation::operator==(const Relation& other) const {
 }
 
 uint64_t Relation::Hash() const {
+  uint64_t cached = cached_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   uint64_t h = HashCombine(0x243F6A8885A308D3ULL, arity_);
   for (const Tuple& t : tuples_) h = HashCombine(h, HashTuple(t));
+  if (h == 0) h = 1;
+  cached_hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

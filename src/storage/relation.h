@@ -6,6 +6,7 @@
 // iteration, O(log n) membership, linear-time set algebra, and feeds the
 // sort-merge join-when operator of Section 5.5 directly.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,33 @@ class Relation {
  public:
   /// An empty relation of the given arity.
   explicit Relation(size_t arity) : arity_(arity) {}
+
+  // The cached hash makes the class non-trivially copyable: copies and
+  // moves carry the cache along (it depends only on the tuple contents).
+  Relation(const Relation& other)
+      : arity_(other.arity_),
+        tuples_(other.tuples_),
+        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)) {}
+  Relation(Relation&& other) noexcept
+      : arity_(other.arity_),
+        tuples_(std::move(other.tuples_)),
+        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      arity_ = other.arity_;
+      tuples_ = other.tuples_;
+      cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    arity_ = other.arity_;
+    tuples_ = std::move(other.tuples_);
+    cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Builds from arbitrary tuples (sorted and deduplicated). All tuples must
   /// have the given arity.
@@ -54,6 +82,9 @@ class Relation {
   bool operator==(const Relation& other) const;
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
+  /// Content hash, O(data) on first call and O(1) afterwards: the result is
+  /// cached (relations are semantically immutable between mutations; Insert
+  /// and Erase invalidate the cache). Safe to call concurrently.
   uint64_t Hash() const;
 
   /// "{(1, 'a'), (2, 'b')}".
@@ -62,6 +93,10 @@ class Relation {
  private:
   size_t arity_;
   std::vector<Tuple> tuples_;  // sorted, unique
+
+  // 0 = not yet computed (a computed hash of 0 is stored as 1; the single
+  // collision costs one recomputation, never a wrong answer).
+  mutable std::atomic<uint64_t> cached_hash_{0};
 };
 
 }  // namespace hql

@@ -25,6 +25,16 @@ struct TupleLess {
 
 uint64_t HashTuple(const Tuple& t);
 
+/// Hash functor for unordered containers keyed by Tuple. Consistent with
+/// Tuple equality (vector operator==, i.e. elementwise Compare == 0):
+/// numeric values of different types never compare equal, and Value::Hash
+/// seeds by type.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(HashTuple(t));
+  }
+};
+
 /// "(1, 'a', 3.5)".
 std::string TupleToString(const Tuple& t);
 

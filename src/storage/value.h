@@ -72,6 +72,14 @@ class Value {
   Rep rep_;
 };
 
+/// Hash functor for unordered containers keyed by Value (consistent with
+/// operator==: equal values have equal type, hence equal hashes).
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
 }  // namespace hql
 
 #endif  // HQL_STORAGE_VALUE_H_

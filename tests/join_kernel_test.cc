@@ -1,0 +1,125 @@
+#include "eval/ra_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ast/builders.h"
+#include "ast/scalar_expr.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace hql {
+namespace {
+
+using namespace hql::dsl;  // NOLINT
+using ::hql::testing::Ints;
+
+// Reference semantics: plain nested loop over the concatenations.
+Relation NestedLoopJoin(const Relation& lhs, const Relation& rhs,
+                        const ScalarExprPtr& predicate) {
+  std::vector<Tuple> out;
+  for (const Tuple& l : lhs) {
+    for (const Tuple& r : rhs) {
+      Tuple combined = ConcatTuples(l, r);
+      if (predicate == nullptr || predicate->EvaluatesTrue(combined)) {
+        out.push_back(std::move(combined));
+      }
+    }
+  }
+  return Relation::FromTuples(lhs.arity() + rhs.arity(), std::move(out));
+}
+
+TEST(JoinKernelTest, EquiJoinWithDuplicateKeysOnBothSides) {
+  // Key 1 appears twice on each side: the hash join must emit all four
+  // combinations, exactly like the nested loop.
+  Relation lhs = Ints({{1, 10}, {1, 11}, {2, 20}});
+  Relation rhs = Ints({{1, 100}, {1, 101}, {3, 300}});
+  ScalarExprPtr pred = Eq(Col(0), Col(2));
+  EXPECT_EQ(JoinRelations(lhs, rhs, pred), NestedLoopJoin(lhs, rhs, pred));
+  EXPECT_EQ(JoinRelations(lhs, rhs, pred).size(), 4u);
+}
+
+TEST(JoinKernelTest, BuildSideSelectionPreservesOutputOrder) {
+  // Whichever side is smaller becomes the build side; the output must be
+  // (lhs, rhs) concatenations either way.
+  Relation small = Ints({{1, 10}});
+  Relation large = Ints({{1, 100}, {1, 101}, {2, 200}, {3, 300}});
+  ScalarExprPtr pred = Eq(Col(0), Col(2));
+  // small on the left: build side is the left input.
+  EXPECT_EQ(JoinRelations(small, large, pred),
+            NestedLoopJoin(small, large, pred));
+  // small on the right: build side is the right input.
+  EXPECT_EQ(JoinRelations(large, small, pred),
+            NestedLoopJoin(large, small, pred));
+}
+
+TEST(JoinKernelTest, ResidualOnlyPredicateFallsBackToNestedLoop) {
+  // No equi conjunct at all (a pure inequality): the kernel must still be
+  // correct via the nested-loop path.
+  Relation lhs = Ints({{1, 10}, {5, 50}});
+  Relation rhs = Ints({{2, 20}, {4, 40}});
+  ScalarExprPtr pred = Lt(Col(0), Col(2));
+  EXPECT_EQ(JoinRelations(lhs, rhs, pred), NestedLoopJoin(lhs, rhs, pred));
+}
+
+TEST(JoinKernelTest, MixedEquiAndResidualConjuncts) {
+  // $0 = $2 is hashable; $1 < $3 stays residual and must be applied to
+  // every hash match.
+  Relation lhs = Ints({{1, 10}, {1, 99}, {2, 20}});
+  Relation rhs = Ints({{1, 50}, {2, 5}});
+  ScalarExprPtr pred = And(Eq(Col(0), Col(2)), Lt(Col(1), Col(3)));
+  Relation got = JoinRelations(lhs, rhs, pred);
+  EXPECT_EQ(got, NestedLoopJoin(lhs, rhs, pred));
+  EXPECT_EQ(got, Ints({{1, 10, 1, 50}}));
+}
+
+TEST(JoinKernelTest, ReversedEquiColumnOrder) {
+  // $2 = $0 (right column named first) must hash exactly like $0 = $2.
+  Relation lhs = Ints({{1, 10}, {2, 20}});
+  Relation rhs = Ints({{1, 100}, {2, 200}});
+  EXPECT_EQ(JoinRelations(lhs, rhs, Eq(Col(2), Col(0))),
+            JoinRelations(lhs, rhs, Eq(Col(0), Col(2))));
+}
+
+TEST(JoinKernelTest, EmptyInputs) {
+  Relation empty(2);
+  Relation some = Ints({{1, 10}});
+  ScalarExprPtr pred = Eq(Col(0), Col(2));
+  EXPECT_EQ(JoinRelations(empty, some, pred).size(), 0u);
+  EXPECT_EQ(JoinRelations(some, empty, pred).size(), 0u);
+  EXPECT_EQ(JoinRelations(empty, empty, pred).size(), 0u);
+}
+
+TEST(JoinKernelTest, NullPredicateIsCrossProduct) {
+  Relation lhs = Ints({{1, 10}, {2, 20}});
+  Relation rhs = Ints({{3, 30}});
+  EXPECT_EQ(JoinRelations(lhs, rhs, nullptr),
+            NestedLoopJoin(lhs, rhs, nullptr));
+  EXPECT_EQ(JoinRelations(lhs, rhs, nullptr).size(), 2u);
+}
+
+TEST(JoinKernelTest, MultiColumnEquiKeys) {
+  // Two equi conjuncts: the composite key (both columns) must match.
+  Relation lhs = Ints({{1, 7}, {1, 8}, {2, 7}});
+  Relation rhs = Ints({{1, 7}, {2, 8}});
+  ScalarExprPtr pred = And(Eq(Col(0), Col(2)), Eq(Col(1), Col(3)));
+  Relation got = JoinRelations(lhs, rhs, pred);
+  EXPECT_EQ(got, NestedLoopJoin(lhs, rhs, pred));
+  EXPECT_EQ(got, Ints({{1, 7, 1, 7}}));
+}
+
+TEST(JoinKernelTest, RandomizedAgreementWithNestedLoop) {
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    Relation lhs = GenRelation(&rng, 40, 2, 10);
+    Relation rhs = GenRelation(&rng, 25, 2, 10);
+    ScalarExprPtr pred = Eq(Col(0), Col(2));
+    EXPECT_EQ(JoinRelations(lhs, rhs, pred), NestedLoopJoin(lhs, rhs, pred))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace hql
