@@ -35,15 +35,21 @@ Relation DeltaValue::ApplyToRelation(const Relation& base,
                                      const std::string& name) const {
   const DeltaPair* p = Get(name);
   if (p == nullptr) return base;
-  return base.DifferenceWith(p->del).UnionWith(p->ins);
+  // D and I may overlap (inserts win); ApplyTuples wants disjoint sets, so
+  // drop the overlap from D first, then merge in a single pass.
+  return base.ApplyTuples(p->ins.tuples(),
+                          p->del.DifferenceWith(p->ins).tuples());
 }
 
 Result<Database> DeltaValue::ApplyTo(const Database& db) const {
   Database out = db;
   for (const auto& [name, pair] : pairs_) {
-    HQL_ASSIGN_OR_RETURN(Relation base, db.Get(name));
-    (void)pair;
-    HQL_RETURN_IF_ERROR(out.Set(name, ApplyToRelation(base, name)));
+    // Each touched relation becomes an overlay on the shared base:
+    // O(|delta|) per name (ApplyDelta consolidates only past the
+    // break-even fraction).
+    HQL_ASSIGN_OR_RETURN(RelationView base, db.GetView(name));
+    HQL_RETURN_IF_ERROR(out.SetView(
+        name, base.ApplyDelta(pair.ins.tuples(), pair.del.tuples())));
   }
   return out;
 }

@@ -199,9 +199,11 @@ bool FindEquiConjunct(const ScalarExprPtr& pred, size_t split, size_t* lcol,
 
 }  // namespace
 
-Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
-                             const DeltaValue& delta,
-                             const std::map<std::string, Relation>* temps) {
+namespace {
+
+Result<RelationView> EvalFilterDNode(
+    const QueryPtr& query, const Database& db, const DeltaValue& delta,
+    const std::map<std::string, RelationView>* temps) {
   HQL_CHECK(query != nullptr);
   switch (query->kind()) {
     case QueryKind::kRel: {
@@ -209,77 +211,98 @@ Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
         auto it = temps->find(query->rel_name());
         if (it != temps->end()) return it->second;
       }
-      HQL_ASSIGN_OR_RETURN(Relation base, db.Get(query->rel_name()));
-      return delta.ApplyToRelation(base, query->rel_name());
+      // The hypothetical relation (DB(R) - R_D) u R_I is an overlay on the
+      // shared base: O(|delta|), and free when the delta leaves R alone.
+      HQL_ASSIGN_OR_RETURN(RelationView base, db.GetView(query->rel_name()));
+      const DeltaPair* p = delta.Get(query->rel_name());
+      if (p == nullptr) return base;
+      return base.ApplyDelta(p->ins.tuples(), p->del.tuples());
     }
     case QueryKind::kEmpty:
-      return Relation(query->empty_arity());
+      return RelationView(query->empty_arity());
     case QueryKind::kSingleton:
-      return Relation::FromTuples(query->tuple().size(), {query->tuple()});
+      return RelationView(
+          Relation::FromTuples(query->tuple().size(), {query->tuple()}));
     case QueryKind::kSelect: {
-      // select-when directly over a base relation.
+      // select-when directly over a flat base relation (an overlay-backed
+      // base composes through the view path below instead, so it is never
+      // consolidated just to stream it).
       if (query->left()->kind() == QueryKind::kRel &&
-          db.schema().HasRelation(query->left()->rel_name())) {
+          db.schema().HasRelation(query->left()->rel_name()) &&
+          db.ViewRef(query->left()->rel_name()).is_flat()) {
         const std::string& name = query->left()->rel_name();
-        return SelectWhen(db.GetRef(name), delta.Get(name),
-                          *query->predicate());
+        return RelationView(SelectWhen(db.GetRef(name), delta.Get(name),
+                                       *query->predicate()));
       }
-      HQL_ASSIGN_OR_RETURN(Relation in,
-                           EvalFilterD(query->left(), db, delta, temps));
-      return FilterRelation(in, *query->predicate());
+      HQL_ASSIGN_OR_RETURN(RelationView in,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      return RelationView(FilterRelation(in, *query->predicate()));
     }
     case QueryKind::kProject: {
-      HQL_ASSIGN_OR_RETURN(Relation in,
-                           EvalFilterD(query->left(), db, delta, temps));
-      return ProjectRelation(in, query->columns());
+      HQL_ASSIGN_OR_RETURN(RelationView in,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      return RelationView(ProjectRelation(in, query->columns()));
     }
     case QueryKind::kAggregate: {
-      HQL_ASSIGN_OR_RETURN(Relation in,
-                           EvalFilterD(query->left(), db, delta, temps));
-      return AggregateRelation(in, query->columns(), query->agg_func(),
-                               query->agg_column());
+      HQL_ASSIGN_OR_RETURN(RelationView in,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      return RelationView(AggregateRelation(in, query->columns(),
+                                            query->agg_func(),
+                                            query->agg_column()));
     }
     case QueryKind::kUnion: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
-      return l.UnionWith(r);
+      HQL_ASSIGN_OR_RETURN(RelationView l,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(RelationView r,
+                           EvalFilterDNode(query->right(), db, delta, temps));
+      return RelationView(ViewUnion(l, r));
     }
     case QueryKind::kIntersect: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
-      return l.IntersectWith(r);
+      HQL_ASSIGN_OR_RETURN(RelationView l,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(RelationView r,
+                           EvalFilterDNode(query->right(), db, delta, temps));
+      return RelationView(ViewIntersect(l, r));
     }
     case QueryKind::kProduct: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
-      return l.ProductWith(r);
+      HQL_ASSIGN_OR_RETURN(RelationView l,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(RelationView r,
+                           EvalFilterDNode(query->right(), db, delta, temps));
+      return RelationView(ViewProduct(l, r));
     }
     case QueryKind::kJoin: {
-      // join-when over two base relations.
+      // join-when over two flat base relations.
       if (query->left()->kind() == QueryKind::kRel &&
           query->right()->kind() == QueryKind::kRel) {
         const std::string& lname = query->left()->rel_name();
         const std::string& rname = query->right()->rel_name();
         if (db.schema().HasRelation(lname) &&
-            db.schema().HasRelation(rname)) {
+            db.schema().HasRelation(rname) && db.ViewRef(lname).is_flat() &&
+            db.ViewRef(rname).is_flat()) {
           const Relation& bl = db.GetRef(lname);
           const Relation& br = db.GetRef(rname);
           size_t lcol = 0, rcol = 0;
           if (FindEquiConjunct(query->predicate(), bl.arity(), &lcol,
                                &rcol)) {
-            return JoinWhen(bl, delta.Get(lname), br, delta.Get(rname), lcol,
-                            rcol, query->predicate());
+            return RelationView(JoinWhen(bl, delta.Get(lname), br,
+                                         delta.Get(rname), lcol, rcol,
+                                         query->predicate()));
           }
         }
       }
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
-      return JoinRelations(l, r, query->predicate());
+      HQL_ASSIGN_OR_RETURN(RelationView l,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(RelationView r,
+                           EvalFilterDNode(query->right(), db, delta, temps));
+      return RelationView(JoinRelations(l, r, query->predicate()));
     }
     case QueryKind::kDifference: {
-      HQL_ASSIGN_OR_RETURN(Relation l, EvalFilterD(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(Relation r, EvalFilterD(query->right(), db, delta, temps));
-      return l.DifferenceWith(r);
+      HQL_ASSIGN_OR_RETURN(RelationView l,
+                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(RelationView r,
+                           EvalFilterDNode(query->right(), db, delta, temps));
+      return RelationView(ViewDifference(l, r));
     }
     case QueryKind::kWhen:
       return Status::InvalidArgument(
@@ -287,6 +310,22 @@ Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
           "hypothetical queries");
   }
   return Status::Internal("unknown query kind in EvalFilterD");
+}
+
+}  // namespace
+
+Result<RelationView> EvalFilterDView(
+    const QueryPtr& query, const Database& db, const DeltaValue& delta,
+    const std::map<std::string, RelationView>* temps) {
+  return EvalFilterDNode(query, db, delta, temps);
+}
+
+Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
+                             const DeltaValue& delta,
+                             const std::map<std::string, RelationView>* temps) {
+  HQL_ASSIGN_OR_RETURN(RelationView out,
+                       EvalFilterDNode(query, db, delta, temps));
+  return out.Materialize();
 }
 
 }  // namespace hql

@@ -63,15 +63,22 @@ Relation SelectWhen(const Relation& base, const DeltaPair* delta,
                     const ScalarExpr& predicate);
 
 /// eval_filter_d: evaluates a pure RA query where every base relation R is
-/// read as (DB(R) - R_D) u R_I. Leaf scans and top-level equi-joins of base
-/// relations use the streaming operators; other shapes fall back to
-/// materializing the delta application per relation. `temps` (nullable)
-/// resolves collapse placeholders ("#i") to already-materialized relations,
-/// which the delta does not filter.
+/// read as (DB(R) - R_D) u R_I. Leaf scans become delta overlays on the
+/// shared base relation (never copied), selections and top-level equi-joins
+/// of flat base relations use the streaming *-when operators, and every
+/// other shape consumes copy-on-write views through the merge-aware
+/// relational operators. `temps` (nullable) resolves collapse placeholders
+/// ("#i") to already-computed views, which the delta does not filter.
 Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
                              const DeltaValue& delta,
-                             const std::map<std::string, Relation>* temps =
+                             const std::map<std::string, RelationView>* temps =
                                  nullptr);
+
+/// EvalFilterD returning the result as a view: an untouched leaf scan is a
+/// refcount bump and a delta'd leaf is an O(|delta|) overlay.
+Result<RelationView> EvalFilterDView(
+    const QueryPtr& query, const Database& db, const DeltaValue& delta,
+    const std::map<std::string, RelationView>* temps = nullptr);
 
 }  // namespace hql
 

@@ -15,10 +15,10 @@ class XsubResolver : public RelResolver {
   XsubResolver(const Database& db, const XsubValue& env)
       : db_(&db), env_(&env) {}
 
-  Result<Relation> Resolve(const std::string& name) const override {
-    const Relation* bound = env_->Get(name);
-    if (bound != nullptr) return *bound;
-    return db_->Get(name);
+  Result<RelationView> Resolve(const std::string& name) const override {
+    RelationPtr bound = env_->GetShared(name);
+    if (bound != nullptr) return RelationView(std::move(bound));
+    return db_->GetView(name);
   }
 
  private:
@@ -26,16 +26,16 @@ class XsubResolver : public RelResolver {
   const XsubValue* env_;
 };
 
-Result<Relation> F2(const CollapsedPtr& node, const Database& db,
-                    const XsubValue& env) {
+Result<RelationView> F2(const CollapsedPtr& node, const Database& db,
+                        const XsubValue& env) {
   if (node->kind == CollapsedKind::kBlock) {
     XsubResolver base(db, env);
     OverlayResolver resolver(base);
     for (size_t i = 0; i < node->holes.size(); ++i) {
-      HQL_ASSIGN_OR_RETURN(Relation hole, F2(node->holes[i], db, env));
+      HQL_ASSIGN_OR_RETURN(RelationView hole, F2(node->holes[i], db, env));
       resolver.Bind(PlaceholderName(i), std::move(hole));
     }
-    return EvalRa(node->block, resolver);
+    return EvalRaView(node->block, resolver, EvalMemo{});
   }
   // kWhen.
   if (node->state_is_update) {
@@ -45,8 +45,8 @@ Result<Relation> F2(const CollapsedPtr& node, const Database& db,
   }
   XsubValue e_val;
   for (const CollapsedBinding& b : node->bindings) {
-    HQL_ASSIGN_OR_RETURN(Relation v, F2(b.value, db, env));
-    e_val.Bind(b.rel_name, std::move(v));
+    HQL_ASSIGN_OR_RETURN(RelationView v, F2(b.value, db, env));
+    e_val.Bind(b.rel_name, v.Shared());
   }
   return F2(node->input, db, env.SmashWith(e_val));
 }
@@ -71,7 +71,8 @@ Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
 Result<Relation> Filter2WithEnv(const CollapsedPtr& tree, const Database& db,
                                 const XsubValue& env) {
   HQL_CHECK(tree != nullptr);
-  return F2(tree, db, env);
+  HQL_ASSIGN_OR_RETURN(RelationView out, F2(tree, db, env));
+  return out.Materialize();
 }
 
 }  // namespace hql

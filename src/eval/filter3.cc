@@ -12,15 +12,15 @@ namespace hql {
 
 namespace {
 
-Result<Relation> F3(const CollapsedPtr& node, const Database& db,
-                    const DeltaValue& env) {
+Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
+                        const DeltaValue& env) {
   if (node->kind == CollapsedKind::kBlock) {
-    std::map<std::string, Relation> temps;
+    std::map<std::string, RelationView> temps;
     for (size_t i = 0; i < node->holes.size(); ++i) {
-      HQL_ASSIGN_OR_RETURN(Relation hole, F3(node->holes[i], db, env));
+      HQL_ASSIGN_OR_RETURN(RelationView hole, F3(node->holes[i], db, env));
       temps.emplace(PlaceholderName(i), std::move(hole));
     }
-    return EvalFilterD(node->block, db, env, &temps);
+    return EvalFilterDView(node->block, db, env, &temps);
   }
   // kWhen.
   if (!node->state_is_update) {
@@ -28,18 +28,24 @@ Result<Relation> F3(const CollapsedPtr& node, const Database& db,
     // captures the substitution's xsub-value in the current hypothetical
     // state — R_D = base - V, R_I = V - base — and smash it on. Parallel
     // assignment: all binding values evaluate under the incoming delta.
-    std::vector<std::pair<std::string, Relation>> values;
+    std::vector<std::pair<std::string, RelationView>> values;
     values.reserve(node->bindings.size());
     for (const CollapsedBinding& b : node->bindings) {
-      HQL_ASSIGN_OR_RETURN(Relation v, F3(b.value, db, env));
+      HQL_ASSIGN_OR_RETURN(RelationView v, F3(b.value, db, env));
       values.emplace_back(b.rel_name, std::move(v));
     }
     DeltaValue precise;
     for (auto& [name, value] : values) {
-      HQL_ASSIGN_OR_RETURN(Relation stored, db.Get(name));
-      Relation base = env.ApplyToRelation(stored, name);
-      precise.Bind(name, DeltaPair(base.DifferenceWith(value),
-                                   value.DifferenceWith(base)));
+      // The current hypothetical content of `name` as an overlay view —
+      // the base is only probed, never copied.
+      HQL_ASSIGN_OR_RETURN(RelationView stored, db.GetView(name));
+      const DeltaPair* p = env.Get(name);
+      RelationView cur = p == nullptr
+                             ? stored
+                             : stored.ApplyDelta(p->ins.tuples(),
+                                                 p->del.tuples());
+      precise.Bind(name, DeltaPair(ViewDifference(cur, value),
+                                   ViewDifference(value, cur)));
     }
     return F3(node->input, db, env.SmashWith(precise));
   }
@@ -47,7 +53,8 @@ Result<Relation> F3(const CollapsedPtr& node, const Database& db,
   DeltaValue acc;
   for (const CollapsedAtom& atom : node->atoms) {
     DeltaValue current = env.SmashWith(acc);
-    HQL_ASSIGN_OR_RETURN(Relation value, F3(atom.arg, db, current));
+    HQL_ASSIGN_OR_RETURN(RelationView value_view, F3(atom.arg, db, current));
+    Relation value = value_view.Materialize();
     size_t arity = value.arity();
     DeltaValue atom_delta;
     if (atom.is_insert) {
@@ -91,7 +98,8 @@ Result<Relation> Filter3Collapsed(const CollapsedPtr& tree,
 Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
                                 const DeltaValue& env) {
   HQL_CHECK(tree != nullptr);
-  return F3(tree, db, env);
+  HQL_ASSIGN_OR_RETURN(RelationView out, F3(tree, db, env));
+  return out.Materialize();
 }
 
 }  // namespace hql

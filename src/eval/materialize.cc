@@ -42,15 +42,17 @@ Result<Database> EvalAtomicStateMemo(const HypoExprPtr& state,
       all_cached = false;
       break;
     }
-    HQL_RETURN_IF_ERROR(out.Set(name, *hit));
+    // A hit re-binds the cached relation by reference — no tuple copies.
+    HQL_RETURN_IF_ERROR(out.SetShared(name, std::move(hit)));
   }
   if (all_cached) return out;
 
   HQL_ASSIGN_OR_RETURN(Database moved, EvalState(state, db));
   for (const std::string& name : dom) {
-    HQL_ASSIGN_OR_RETURN(Relation value, moved.Get(name));
-    memo->Insert(StateEntryKey(state_hash, db_fp, name),
-                 std::make_shared<const Relation>(std::move(value)));
+    // Shared() consolidates an overlay once into the view's flat cache (the
+    // memo stores flat relations); the cache entry and `moved` share it.
+    HQL_ASSIGN_OR_RETURN(RelationView value, moved.GetView(name));
+    memo->Insert(StateEntryKey(state_hash, db_fp, name), value.Shared());
   }
   return moved;
 }
@@ -75,8 +77,10 @@ Result<XsubValue> MaterializeXsub(const HypoExprPtr& state,
   HQL_ASSIGN_OR_RETURN(Database moved, EvalStateMemo(state, db, memo));
   XsubValue out;
   for (const std::string& name : DomNames(state)) {
-    HQL_ASSIGN_OR_RETURN(Relation value, moved.Get(name));
-    out.Bind(name, std::move(value));
+    // Flat results bind by refcount bump; overlays consolidate once into
+    // the view's shared flat cache.
+    HQL_ASSIGN_OR_RETURN(RelationView value, moved.GetView(name));
+    out.Bind(name, value.Shared());
   }
   return out;
 }
@@ -85,13 +89,29 @@ Result<DeltaValue> MaterializeDelta(const HypoExprPtr& state,
                                     const Database& db,
                                     const Schema& schema,
                                     MemoCache* memo) {
-  HQL_ASSIGN_OR_RETURN(XsubValue xsub,
-                       MaterializeXsub(state, db, schema, memo));
+  (void)schema;
+  HQL_ASSIGN_OR_RETURN(Database moved, EvalStateMemo(state, db, memo));
   DeltaValue out;
-  for (const auto& [name, value] : xsub.values()) {
-    HQL_ASSIGN_OR_RETURN(Relation base, db.Get(name));
-    out.Bind(name, DeltaPair(base.DifferenceWith(value),
-                             value.DifferenceWith(base)));
+  for (const std::string& name : DomNames(state)) {
+    HQL_ASSIGN_OR_RETURN(RelationView after, moved.GetView(name));
+    HQL_ASSIGN_OR_RETURN(RelationView before, db.GetView(name));
+    if (before.is_flat() && after.base() == before.base()) {
+      // The written relation is an overlay on the unchanged base, so its
+      // canonical add/del vectors *are* the paper's precise deltas
+      // R_D = DB(R) − V and R_I = V − DB(R) — extracted in O(|edge delta|)
+      // without touching the base (even when the overlay is empty: the
+      // state wrote the relation back unchanged).
+      out.Bind(name,
+               DeltaPair(Relation::FromSortedUnique(after.arity(),
+                                                    after.dels()),
+                         Relation::FromSortedUnique(after.arity(),
+                                                    after.adds())));
+    } else {
+      // Representations diverged (consolidation, memo hit, substitution):
+      // fall back to a streaming two-sided difference.
+      out.Bind(name, DeltaPair(ViewDifference(before, after),
+                               ViewDifference(after, before)));
+    }
   }
   return out;
 }

@@ -11,11 +11,18 @@ uint64_t MemoKey(uint64_t query_fingerprint, uint64_t state_fingerprint) {
                      state_fingerprint);
 }
 
+// Relations are fingerprinted through RelationView::Fingerprint: flat views
+// hash as their base relation (O(1) once cached), overlays combine the base
+// hash with the add/del overlay hashes in O(|delta|) — the full state never
+// has to be consolidated just to key the cache. Representation differences
+// (the same content reached through different base/delta splits) can only
+// cause a false miss, never a wrong hit.
+
 uint64_t FingerprintState(const Database& db) {
   uint64_t h = 0xB7E151628AED2A6BULL;
   for (const auto& [name, rel] : db.relations()) {
     h = HashCombine(h, HashString(name));
-    h = HashCombine(h, rel.Hash());
+    h = HashCombine(h, rel.Fingerprint());
   }
   return h;
 }
@@ -25,7 +32,7 @@ uint64_t FingerprintState(const Database& db, const XsubValue& env) {
   for (const auto& [name, rel] : db.relations()) {
     h = HashCombine(h, HashString(name));
     const Relation* bound = env.Get(name);
-    h = HashCombine(h, bound != nullptr ? bound->Hash() : rel.Hash());
+    h = HashCombine(h, bound != nullptr ? bound->Hash() : rel.Fingerprint());
   }
   // Bindings outside the schema cannot exist (xsubs bind schema names), so
   // the loop above covers the whole environment.
@@ -36,7 +43,7 @@ uint64_t FingerprintState(const Database& db, const DeltaValue& env) {
   uint64_t h = 0x3F84D5B5B5470917ULL;
   for (const auto& [name, rel] : db.relations()) {
     h = HashCombine(h, HashString(name));
-    h = HashCombine(h, rel.Hash());
+    h = HashCombine(h, rel.Fingerprint());
     const DeltaPair* pair = env.Get(name);
     if (pair != nullptr) {
       h = HashCombine(h, pair->del.Hash());

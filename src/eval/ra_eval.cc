@@ -9,7 +9,15 @@
 
 namespace hql {
 
-Relation FilterRelation(const Relation& input, const ScalarExpr& predicate) {
+namespace {
+
+// The operator bodies are templated over the input kind (Relation or
+// RelationView): both iterate tuples in sorted order and expose
+// arity()/size(), so one implementation serves the flat and the
+// merge-streaming form.
+
+template <typename Rel>
+Relation FilterImpl(const Rel& input, const ScalarExpr& predicate) {
   std::vector<Tuple> out;
   for (const Tuple& t : input) {
     if (predicate.EvaluatesTrue(t)) out.push_back(t);
@@ -18,8 +26,8 @@ Relation FilterRelation(const Relation& input, const ScalarExpr& predicate) {
   return Relation::FromSortedUnique(input.arity(), std::move(out));
 }
 
-Relation ProjectRelation(const Relation& input,
-                         const std::vector<size_t>& columns) {
+template <typename Rel>
+Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
   std::vector<Tuple> out;
   out.reserve(input.size());
   for (const Tuple& t : input) {
@@ -33,8 +41,6 @@ Relation ProjectRelation(const Relation& input,
   }
   return Relation::FromTuples(columns.size(), std::move(out));
 }
-
-namespace {
 
 // Collects `$i = $j` conjuncts with i on the left side and j on the right
 // side of a join whose left operand has arity `split`. Returns the residual
@@ -64,10 +70,9 @@ void SplitJoinPredicate(const ScalarExprPtr& pred, size_t split,
   residual->push_back(pred);
 }
 
-}  // namespace
-
-Relation JoinRelations(const Relation& lhs, const Relation& rhs,
-                       const ScalarExprPtr& predicate) {
+template <typename Lhs, typename Rhs>
+Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
+                  const ScalarExprPtr& predicate) {
   const size_t out_arity = lhs.arity() + rhs.arity();
 
   std::vector<std::pair<size_t, size_t>> equi;
@@ -88,10 +93,10 @@ Relation JoinRelations(const Relation& lhs, const Relation& rhs,
     // Hash join, building on the smaller input and probing with the larger
     // one; the build side's key columns come from `equi`'s lhs or rhs slot
     // depending on which side we picked. Output tuples are always
-    // (lhs, rhs) regardless of build side.
+    // (lhs, rhs) regardless of build side. Iteration references stay valid
+    // for the inputs' lifetime (view iterators hand out references into the
+    // base/overlay storage), so the table stores plain pointers.
     const bool build_rhs = rhs.size() <= lhs.size();
-    const Relation& build = build_rhs ? rhs : lhs;
-    const Relation& probe = build_rhs ? lhs : rhs;
 
     auto key_of = [&equi](const Tuple& t, bool use_rhs_cols) {
       Tuple key;
@@ -101,18 +106,29 @@ Relation JoinRelations(const Relation& lhs, const Relation& rhs,
     };
 
     std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
-    table.reserve(build.size());
-    for (const Tuple& b : build) {
-      table[key_of(b, build_rhs)].push_back(&b);
-    }
-    for (const Tuple& p : probe) {
-      auto it = table.find(key_of(p, !build_rhs));
-      if (it == table.end()) continue;
-      for (const Tuple* b : it->second) {
-        Tuple combined =
-            build_rhs ? ConcatTuples(p, *b) : ConcatTuples(*b, p);
-        if (residual_ok(combined)) out.push_back(std::move(combined));
+    auto build_into = [&](const auto& build, bool keys_from_rhs) {
+      table.reserve(build.size());
+      for (const Tuple& b : build) {
+        table[key_of(b, keys_from_rhs)].push_back(&b);
       }
+    };
+    auto probe_with = [&](const auto& probe, bool keys_from_rhs) {
+      for (const Tuple& p : probe) {
+        auto it = table.find(key_of(p, keys_from_rhs));
+        if (it == table.end()) continue;
+        for (const Tuple* b : it->second) {
+          Tuple combined =
+              keys_from_rhs ? ConcatTuples(*b, p) : ConcatTuples(p, *b);
+          if (residual_ok(combined)) out.push_back(std::move(combined));
+        }
+      }
+    };
+    if (build_rhs) {
+      build_into(rhs, /*keys_from_rhs=*/true);
+      probe_with(lhs, /*keys_from_rhs=*/false);
+    } else {
+      build_into(lhs, /*keys_from_rhs=*/false);
+      probe_with(rhs, /*keys_from_rhs=*/true);
     }
   } else {
     // Nested loop with the predicate applied inline (clustered sigma-x).
@@ -126,9 +142,10 @@ Relation JoinRelations(const Relation& lhs, const Relation& rhs,
   return Relation::FromTuples(out_arity, std::move(out));
 }
 
-Relation AggregateRelation(const Relation& input,
-                           const std::vector<size_t>& group_columns,
-                           AggFunc func, size_t agg_column) {
+template <typename Rel>
+Relation AggregateImpl(const Rel& input,
+                       const std::vector<size_t>& group_columns, AggFunc func,
+                       size_t agg_column) {
   struct Acc {
     int64_t count = 0;
     int64_t int_sum = 0;
@@ -195,91 +212,137 @@ Relation AggregateRelation(const Relation& input,
   return Relation::FromTuples(group_columns.size() + 1, std::move(out));
 }
 
+}  // namespace
+
+Relation FilterRelation(const Relation& input, const ScalarExpr& predicate) {
+  return FilterImpl(input, predicate);
+}
+
+Relation FilterRelation(const RelationView& input,
+                        const ScalarExpr& predicate) {
+  return FilterImpl(input, predicate);
+}
+
+Relation ProjectRelation(const Relation& input,
+                         const std::vector<size_t>& columns) {
+  return ProjectImpl(input, columns);
+}
+
+Relation ProjectRelation(const RelationView& input,
+                         const std::vector<size_t>& columns) {
+  return ProjectImpl(input, columns);
+}
+
+Relation JoinRelations(const Relation& lhs, const Relation& rhs,
+                       const ScalarExprPtr& predicate) {
+  return JoinImpl(lhs, rhs, predicate);
+}
+
+Relation JoinRelations(const RelationView& lhs, const RelationView& rhs,
+                       const ScalarExprPtr& predicate) {
+  return JoinImpl(lhs, rhs, predicate);
+}
+
+Relation AggregateRelation(const Relation& input,
+                           const std::vector<size_t>& group_columns,
+                           AggFunc func, size_t agg_column) {
+  return AggregateImpl(input, group_columns, func, agg_column);
+}
+
+Relation AggregateRelation(const RelationView& input,
+                           const std::vector<size_t>& group_columns,
+                           AggFunc func, size_t agg_column) {
+  return AggregateImpl(input, group_columns, func, agg_column);
+}
+
 namespace {
 
-// Subplan results flow through the recursion as shared immutable relations:
-// a memo hit is a refcount bump, and an inserted result is shared between
-// the cache and the computation that produced it — no tuple copies.
-using RelPtr = std::shared_ptr<const Relation>;
-
-Result<RelPtr> EvalRaNode(const QueryPtr& query, const RelResolver& resolver,
-                          const EvalMemo* memo);
+// Subplan results flow through the recursion as copy-on-write views: a leaf
+// resolve is a cheap view copy, a memo hit wraps the cached shared relation
+// (refcount bump), and computed operator results ride in freshly wrapped
+// flat views — no tuple copies move between nodes.
+Result<RelationView> EvalRaNode(const QueryPtr& query,
+                                const RelResolver& resolver,
+                                const EvalMemo* memo);
 
 // The operator switch; recursion goes through EvalRaNode so every subplan
 // passes the memo check.
-Result<Relation> EvalRaCompute(const QueryPtr& query,
-                               const RelResolver& resolver,
-                               const EvalMemo* memo) {
+Result<RelationView> EvalRaCompute(const QueryPtr& query,
+                                   const RelResolver& resolver,
+                                   const EvalMemo* memo) {
   switch (query->kind()) {
     case QueryKind::kRel:
       return resolver.Resolve(query->rel_name());
     case QueryKind::kEmpty:
-      return Relation(query->empty_arity());
+      return RelationView(query->empty_arity());
     case QueryKind::kSingleton:
-      return Relation::FromTuples(query->tuple().size(), {query->tuple()});
+      return RelationView(
+          Relation::FromTuples(query->tuple().size(), {query->tuple()}));
     case QueryKind::kSelect: {
       // Cluster sigma over x / join into a theta join.
       const QueryPtr& child = query->left();
       if (child->kind() == QueryKind::kProduct ||
           child->kind() == QueryKind::kJoin) {
-        HQL_ASSIGN_OR_RETURN(RelPtr l,
+        HQL_ASSIGN_OR_RETURN(RelationView l,
                              EvalRaNode(child->left(), resolver, memo));
-        HQL_ASSIGN_OR_RETURN(RelPtr r,
+        HQL_ASSIGN_OR_RETURN(RelationView r,
                              EvalRaNode(child->right(), resolver, memo));
         ScalarExprPtr pred = query->predicate();
         if (child->kind() == QueryKind::kJoin) {
           pred = ScalarExpr::Binary(ScalarOp::kAnd, pred, child->predicate());
         }
-        return JoinRelations(*l, *r, pred);
+        return RelationView(JoinRelations(l, r, pred));
       }
-      HQL_ASSIGN_OR_RETURN(RelPtr in, EvalRaNode(child, resolver, memo));
-      return FilterRelation(*in, *query->predicate());
+      HQL_ASSIGN_OR_RETURN(RelationView in,
+                           EvalRaNode(child, resolver, memo));
+      return RelationView(FilterRelation(in, *query->predicate()));
     }
     case QueryKind::kProject: {
-      HQL_ASSIGN_OR_RETURN(RelPtr in,
+      HQL_ASSIGN_OR_RETURN(RelationView in,
                            EvalRaNode(query->left(), resolver, memo));
-      return ProjectRelation(*in, query->columns());
+      return RelationView(ProjectRelation(in, query->columns()));
     }
     case QueryKind::kAggregate: {
-      HQL_ASSIGN_OR_RETURN(RelPtr in,
+      HQL_ASSIGN_OR_RETURN(RelationView in,
                            EvalRaNode(query->left(), resolver, memo));
-      return AggregateRelation(*in, query->columns(), query->agg_func(),
-                               query->agg_column());
+      return RelationView(AggregateRelation(in, query->columns(),
+                                            query->agg_func(),
+                                            query->agg_column()));
     }
     case QueryKind::kUnion: {
-      HQL_ASSIGN_OR_RETURN(RelPtr l,
+      HQL_ASSIGN_OR_RETURN(RelationView l,
                            EvalRaNode(query->left(), resolver, memo));
-      HQL_ASSIGN_OR_RETURN(RelPtr r,
+      HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return l->UnionWith(*r);
+      return RelationView(ViewUnion(l, r));
     }
     case QueryKind::kIntersect: {
-      HQL_ASSIGN_OR_RETURN(RelPtr l,
+      HQL_ASSIGN_OR_RETURN(RelationView l,
                            EvalRaNode(query->left(), resolver, memo));
-      HQL_ASSIGN_OR_RETURN(RelPtr r,
+      HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return l->IntersectWith(*r);
+      return RelationView(ViewIntersect(l, r));
     }
     case QueryKind::kProduct: {
-      HQL_ASSIGN_OR_RETURN(RelPtr l,
+      HQL_ASSIGN_OR_RETURN(RelationView l,
                            EvalRaNode(query->left(), resolver, memo));
-      HQL_ASSIGN_OR_RETURN(RelPtr r,
+      HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return l->ProductWith(*r);
+      return RelationView(ViewProduct(l, r));
     }
     case QueryKind::kJoin: {
-      HQL_ASSIGN_OR_RETURN(RelPtr l,
+      HQL_ASSIGN_OR_RETURN(RelationView l,
                            EvalRaNode(query->left(), resolver, memo));
-      HQL_ASSIGN_OR_RETURN(RelPtr r,
+      HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return JoinRelations(*l, *r, query->predicate());
+      return RelationView(JoinRelations(l, r, query->predicate()));
     }
     case QueryKind::kDifference: {
-      HQL_ASSIGN_OR_RETURN(RelPtr l,
+      HQL_ASSIGN_OR_RETURN(RelationView l,
                            EvalRaNode(query->left(), resolver, memo));
-      HQL_ASSIGN_OR_RETURN(RelPtr r,
+      HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return l->DifferenceWith(*r);
+      return RelationView(ViewDifference(l, r));
     }
     case QueryKind::kWhen:
       return Status::InvalidArgument(
@@ -289,8 +352,9 @@ Result<Relation> EvalRaCompute(const QueryPtr& query,
   return Status::Internal("unknown query kind in EvalRa");
 }
 
-Result<RelPtr> EvalRaNode(const QueryPtr& query, const RelResolver& resolver,
-                          const EvalMemo* memo) {
+Result<RelationView> EvalRaNode(const QueryPtr& query,
+                                const RelResolver& resolver,
+                                const EvalMemo* memo) {
   const QueryKind kind = query->kind();
   const bool memoizable =
       memo != nullptr && kind != QueryKind::kRel &&
@@ -298,29 +362,41 @@ Result<RelPtr> EvalRaNode(const QueryPtr& query, const RelResolver& resolver,
   uint64_t key = 0;
   if (memoizable) {
     key = MemoKey(query->Fingerprint(), memo->state_fingerprint);
-    if (RelPtr hit = memo->cache->Lookup(key)) return hit;
+    if (RelationPtr hit = memo->cache->Lookup(key)) {
+      return RelationView(std::move(hit));
+    }
   }
-  HQL_ASSIGN_OR_RETURN(Relation result, EvalRaCompute(query, resolver, memo));
-  RelPtr ptr = std::make_shared<const Relation>(std::move(result));
-  if (memoizable) memo->cache->Insert(key, ptr);
-  return ptr;
+  HQL_ASSIGN_OR_RETURN(RelationView result,
+                       EvalRaCompute(query, resolver, memo));
+  // Computed operator results are flat, so Shared() is a refcount bump; the
+  // cache and the computation share one relation.
+  if (memoizable) memo->cache->Insert(key, result.Shared());
+  return result;
 }
 
 }  // namespace
 
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
   HQL_CHECK(query != nullptr);
-  HQL_ASSIGN_OR_RETURN(RelPtr out, EvalRaNode(query, resolver, nullptr));
-  return *out;
+  HQL_ASSIGN_OR_RETURN(RelationView out, EvalRaNode(query, resolver, nullptr));
+  return out.Materialize();
 }
 
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver,
                         const EvalMemo& memo) {
   HQL_CHECK(query != nullptr);
   HQL_ASSIGN_OR_RETURN(
-      RelPtr out,
+      RelationView out,
       EvalRaNode(query, resolver, memo.cache == nullptr ? nullptr : &memo));
-  return *out;
+  return out.Materialize();
+}
+
+Result<RelationView> EvalRaView(const QueryPtr& query,
+                                const RelResolver& resolver,
+                                const EvalMemo& memo) {
+  HQL_CHECK(query != nullptr);
+  return EvalRaNode(query, resolver,
+                    memo.cache == nullptr ? nullptr : &memo);
 }
 
 }  // namespace hql

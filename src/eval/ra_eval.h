@@ -9,6 +9,11 @@
 // The evaluator clusters operators where a traditional engine would:
 // selections over products/joins run as theta joins, equality conjuncts
 // drive a hash join, and selections/projections stream over their input.
+//
+// Names resolve to copy-on-write RelationViews: a leaf scan of a
+// hypothetical state streams (base ∖ dels) ∪ adds through the view's merge
+// iterator instead of consolidating, so small-delta states are evaluated
+// without materializing the state.
 
 #include <map>
 #include <string>
@@ -18,6 +23,7 @@
 #include "common/result.h"
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "storage/view.h"
 
 namespace hql {
 
@@ -25,15 +31,15 @@ namespace hql {
 class RelResolver {
  public:
   virtual ~RelResolver() = default;
-  virtual Result<Relation> Resolve(const std::string& name) const = 0;
+  virtual Result<RelationView> Resolve(const std::string& name) const = 0;
 };
 
 /// Resolves directly against a database state.
 class DatabaseResolver : public RelResolver {
  public:
   explicit DatabaseResolver(const Database& db) : db_(&db) {}
-  Result<Relation> Resolve(const std::string& name) const override {
-    return db_->Get(name);
+  Result<RelationView> Resolve(const std::string& name) const override {
+    return db_->GetView(name);
   }
 
  private:
@@ -47,10 +53,13 @@ class OverlayResolver : public RelResolver {
   explicit OverlayResolver(const RelResolver& base) : base_(&base) {}
 
   void Bind(const std::string& name, Relation value) {
+    overrides_.insert_or_assign(name, RelationView(std::move(value)));
+  }
+  void Bind(const std::string& name, RelationView value) {
     overrides_.insert_or_assign(name, std::move(value));
   }
 
-  Result<Relation> Resolve(const std::string& name) const override {
+  Result<RelationView> Resolve(const std::string& name) const override {
     auto it = overrides_.find(name);
     if (it != overrides_.end()) return it->second;
     return base_->Resolve(name);
@@ -58,7 +67,7 @@ class OverlayResolver : public RelResolver {
 
  private:
   const RelResolver* base_;
-  std::map<std::string, Relation> overrides_;
+  std::map<std::string, RelationView> overrides_;
 };
 
 /// Evaluates a pure RA query (InvalidArgument on `when` nodes).
@@ -83,18 +92,33 @@ struct EvalMemo {
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver,
                         const EvalMemo& memo);
 
+/// EvalRa returning the result as a view: a memo hit or a bare leaf scan is
+/// a refcount bump instead of a relation copy. `memo.cache` may be null.
+Result<RelationView> EvalRaView(const QueryPtr& query,
+                                const RelResolver& resolver,
+                                const EvalMemo& memo);
+
 // ---- shared physical operators (used by all evaluators) ----
+// Each operator has a flat-Relation form and a RelationView form; the view
+// forms stream through the merge iterator, so overlay inputs are consumed
+// without consolidation.
 
 /// sigma_p(input).
 Relation FilterRelation(const Relation& input, const ScalarExpr& predicate);
+Relation FilterRelation(const RelationView& input,
+                        const ScalarExpr& predicate);
 
 /// pi_X(input).
 Relation ProjectRelation(const Relation& input,
+                         const std::vector<size_t>& columns);
+Relation ProjectRelation(const RelationView& input,
                          const std::vector<size_t>& columns);
 
 /// Theta join with hash-join fast path on equality conjuncts
 /// `$i = $j` linking the two sides; `predicate` may be null (product).
 Relation JoinRelations(const Relation& lhs, const Relation& rhs,
+                       const ScalarExprPtr& predicate);
+Relation JoinRelations(const RelationView& lhs, const RelationView& rhs,
                        const ScalarExprPtr& predicate);
 
 /// gamma[group_columns; func(agg_column)](input): hash aggregation. count
@@ -103,6 +127,9 @@ Relation JoinRelations(const Relation& lhs, const Relation& rhs,
 /// library-wide value order. An empty input yields an empty result even
 /// with no grouping columns.
 Relation AggregateRelation(const Relation& input,
+                           const std::vector<size_t>& group_columns,
+                           AggFunc func, size_t agg_column);
+Relation AggregateRelation(const RelationView& input,
                            const std::vector<size_t>& group_columns,
                            AggFunc func, size_t agg_column);
 

@@ -1,15 +1,26 @@
 #include "eval/xsub.h"
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace hql {
 
 const Relation* XsubValue::Get(const std::string& name) const {
   auto it = values_.find(name);
-  return it == values_.end() ? nullptr : &it->second;
+  return it == values_.end() ? nullptr : it->second.get();
+}
+
+RelationPtr XsubValue::GetShared(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : it->second;
 }
 
 void XsubValue::Bind(const std::string& name, Relation value) {
+  Bind(name, std::make_shared<const Relation>(std::move(value)));
+}
+
+void XsubValue::Bind(const std::string& name, RelationPtr value) {
+  HQL_CHECK(value != nullptr);
   values_.insert_or_assign(name, std::move(value));
 }
 
@@ -24,7 +35,7 @@ XsubValue XsubValue::SmashWith(const XsubValue& later) const {
 Result<Database> XsubValue::ApplyTo(const Database& db) const {
   Database out = db;
   for (const auto& [name, value] : values_) {
-    HQL_RETURN_IF_ERROR(out.Set(name, value));
+    HQL_RETURN_IF_ERROR(out.SetShared(name, value));
   }
   return out;
 }
@@ -33,7 +44,7 @@ uint64_t XsubValue::TotalTuples() const {
   uint64_t n = 0;
   for (const auto& [name, value] : values_) {
     (void)name;
-    n += value.size();
+    n += value->size();
   }
   return n;
 }
@@ -42,7 +53,7 @@ std::string XsubValue::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(values_.size());
   for (const auto& [name, value] : values_) {
-    parts.push_back(value.ToString() + "/" + name);
+    parts.push_back(value->ToString() + "/" + name);
   }
   return "{" + Join(parts, ", ") + "}";
 }

@@ -12,6 +12,7 @@
 #include "eval/memo.h"
 #include "opt/estimator.h"
 #include "opt/planner.h"
+#include "storage/view.h"
 
 namespace hql {
 
@@ -52,6 +53,12 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
         estimator.EstimateStateMaterialization(enf->state());
   }
   report.state_materialization = materialization;
+
+  ViewStats views = GlobalViewStats();
+  report.views_created = views.views_created;
+  report.view_consolidations = views.consolidations;
+  report.view_tuples_shared = views.tuples_shared;
+  report.view_tuples_copied = views.tuples_copied;
 
   if (memo != nullptr) {
     MemoCache::Stats cache = memo->stats();
@@ -101,6 +108,13 @@ std::string FormatExplain(const ExplainReport& report) {
         static_cast<unsigned long long>(report.memo_entries),
         static_cast<unsigned long long>(report.memo_cached_tuples));
   }
+  out += StrFormat(
+      "views:      %llu created, %llu consolidations; tuples %llu shared / "
+      "%llu copied\n",
+      static_cast<unsigned long long>(report.views_created),
+      static_cast<unsigned long long>(report.view_consolidations),
+      static_cast<unsigned long long>(report.view_tuples_shared),
+      static_cast<unsigned long long>(report.view_tuples_copied));
   return out;
 }
 

@@ -53,6 +53,15 @@ struct ExplainReport {
   uint64_t memo_entries = 0;
   uint64_t memo_cached_tuples = 0;
   double memo_hit_rate = 0;
+
+  // Copy-on-write view layer (process-wide counters, see GlobalViewStats):
+  // how many relation views were derived by sharing a base, how often an
+  // overlay grew past the consolidation threshold, and the tuple traffic
+  // split between shared (refcounted) and copied (materialized) tuples.
+  uint64_t views_created = 0;
+  uint64_t view_consolidations = 0;
+  uint64_t view_tuples_shared = 0;
+  uint64_t view_tuples_copied = 0;
 };
 
 /// Builds the full report. `stats` drives the cost numbers (use

@@ -235,8 +235,10 @@ void CollectStateLoad(const QueryPtr& q, const StatsCatalog& stats,
             case UpdateKind::kInsert:
             case UpdateKind::kDelete:
               *materialization += estimator.EstimateQuery(u->query());
-              *affected_base += static_cast<double>(
-                  stats.CardinalityOf(u->rel_name(), 1000));
+              // For an overlay-backed relation the eager route pays for
+              // consolidating base + delta, not just the current size.
+              *affected_base += static_cast<double>(stats.UpperBoundOf(
+                  u->rel_name(), stats.CardinalityOf(u->rel_name(), 1000)));
               break;
             case UpdateKind::kSeq:
               stack.push_back(u->first());
@@ -252,8 +254,8 @@ void CollectStateLoad(const QueryPtr& q, const StatsCatalog& stats,
         *materialization +=
             estimator.EstimateStateMaterialization(q->state());
         for (const std::string& name : DomNames(q->state())) {
-          *affected_base +=
-              static_cast<double>(stats.CardinalityOf(name, 1000));
+          *affected_base += static_cast<double>(
+              stats.UpperBoundOf(name, stats.CardinalityOf(name, 1000)));
         }
       }
       return;

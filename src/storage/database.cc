@@ -7,7 +7,7 @@ namespace hql {
 
 Database::Database(Schema schema) : schema_(std::move(schema)) {
   for (const auto& [name, arity] : schema_.arities()) {
-    relations_.emplace(name, Relation(arity));
+    relations_.emplace(name, RelationView(arity));
   }
 }
 
@@ -16,16 +16,46 @@ Result<Relation> Database::Get(const std::string& name) const {
   if (it == relations_.end()) {
     return Status::NotFound("unknown relation: " + name);
   }
-  return it->second;
+  return *it->second.Shared();
 }
 
 const Relation& Database::GetRef(const std::string& name) const {
   auto it = relations_.find(name);
   HQL_CHECK_MSG(it != relations_.end(), name.c_str());
+  // Shared() consolidates overlays once into the view's flat cache, which
+  // all copies of the view share — the reference outlives this call.
+  return *it->second.Shared();
+}
+
+Result<RelationView> Database::GetView(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
   return it->second;
 }
 
+const RelationView& Database::ViewRef(const std::string& name) const {
+  auto it = relations_.find(name);
+  HQL_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+RelationPtr Database::GetShared(const std::string& name) const {
+  auto it = relations_.find(name);
+  HQL_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second.Shared();
+}
+
 Status Database::Set(const std::string& name, Relation value) {
+  return SetView(name, RelationView(std::move(value)));
+}
+
+Status Database::SetShared(const std::string& name, RelationPtr value) {
+  return SetView(name, RelationView(std::move(value)));
+}
+
+Status Database::SetView(const std::string& name, RelationView value) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("unknown relation: " + name);
@@ -39,25 +69,42 @@ Status Database::Set(const std::string& name, Relation value) {
   return Status::OK();
 }
 
+Database Database::Consolidated() const {
+  Database out(schema_);
+  for (const auto& [name, view] : relations_) {
+    HQL_CHECK(out.Set(name, view.Materialize()).ok());
+  }
+  return out;
+}
+
 bool Database::operator==(const Database& other) const {
-  return relations_ == other.relations_;
+  if (relations_.size() != other.relations_.size()) return false;
+  auto a = relations_.begin();
+  auto b = other.relations_.begin();
+  for (; a != relations_.end(); ++a, ++b) {
+    if (a->first != b->first) return false;
+    if (!a->second.ContentEquals(b->second)) return false;
+  }
+  return true;
 }
 
 uint64_t Database::Hash() const {
+  // Content hash: flat views hash as their base relation, so representation
+  // differences only show up for overlays (see RelationView::Fingerprint).
   uint64_t h = 0x452821E638D01377ULL;
-  for (const auto& [name, rel] : relations_) {
+  for (const auto& [name, view] : relations_) {
     h = HashCombine(h, HashString(name));
-    h = HashCombine(h, rel.Hash());
+    h = HashCombine(h, view.Fingerprint());
   }
   return h;
 }
 
 std::string Database::ToString() const {
   std::string out;
-  for (const auto& [name, rel] : relations_) {
+  for (const auto& [name, view] : relations_) {
     out += name;
     out += " = ";
-    out += rel.ToString();
+    out += view.ToString();
     out += "\n";
   }
   return out;

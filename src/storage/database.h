@@ -5,6 +5,13 @@
 // a relation of the appropriate arity (paper Section 3.1). Databases are
 // value types: copying one produces an independent state, which is exactly
 // the DB[R <- V] notation of the paper's update semantics.
+//
+// Storage is copy-on-write: each name maps to a RelationView — a shared
+// immutable base relation plus a small add/del overlay — so copying a
+// Database, deriving a hypothetical state, or binding an unchanged relation
+// is a refcount bump, never a tuple copy. Flat access (Get/GetRef) is still
+// available for callers that need a plain Relation; overlays consolidate
+// lazily and cache the result.
 
 #include <map>
 #include <string>
@@ -13,6 +20,7 @@
 #include "common/status.h"
 #include "storage/relation.h"
 #include "storage/schema.h"
+#include "storage/view.h"
 
 namespace hql {
 
@@ -23,16 +31,40 @@ class Database {
 
   const Schema& schema() const { return schema_; }
 
-  /// DB(R); NotFound for names outside the schema.
+  /// DB(R) as a flat copy; NotFound for names outside the schema.
   Result<Relation> Get(const std::string& name) const;
 
-  /// DB(R) by reference; CHECK-fails for names outside the schema (internal
-  /// evaluator paths validate names beforehand via typecheck).
+  /// DB(R) as a flat reference; CHECK-fails for names outside the schema
+  /// (internal evaluator paths validate names beforehand via typecheck).
+  /// Overlay-backed relations consolidate once and cache the flat form; the
+  /// reference stays valid as long as this Database (or any copy of the
+  /// view) is alive.
   const Relation& GetRef(const std::string& name) const;
+
+  /// DB(R) as a copy-on-write view (cheap copy, no tuple movement);
+  /// NotFound for names outside the schema.
+  Result<RelationView> GetView(const std::string& name) const;
+
+  /// DB(R) view by reference; CHECK-fails for names outside the schema.
+  const RelationView& ViewRef(const std::string& name) const;
+
+  /// DB(R) as a shared flat relation (refcount bump when already flat).
+  /// CHECK-fails for names outside the schema.
+  RelationPtr GetShared(const std::string& name) const;
 
   /// DB[R <- value]; arity must match the schema.
   Status Set(const std::string& name, Relation value);
+  Status SetShared(const std::string& name, RelationPtr value);
+  Status SetView(const std::string& name, RelationView value);
 
+  /// A deep, fully flat copy: every relation materialized into a fresh base
+  /// with no structure shared with this state. This is the copy-per-state
+  /// storage model the overlay representation replaces; kept as the
+  /// benchmark baseline and for callers that must sever sharing.
+  Database Consolidated() const;
+
+  /// Content equality (representation-independent: an overlay and a flat
+  /// relation with the same tuples compare equal).
   bool operator==(const Database& other) const;
   bool operator!=(const Database& other) const { return !(*this == other); }
 
@@ -41,13 +73,13 @@ class Database {
   /// Multi-line listing of all relations, for debugging and examples.
   std::string ToString() const;
 
-  const std::map<std::string, Relation>& relations() const {
+  const std::map<std::string, RelationView>& relations() const {
     return relations_;
   }
 
  private:
   Schema schema_;
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, RelationView> relations_;
 };
 
 }  // namespace hql

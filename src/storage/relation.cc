@@ -50,6 +50,60 @@ void Relation::Erase(const Tuple& t) {
   }
 }
 
+Relation Relation::ApplyTuples(const std::vector<Tuple>& adds,
+                               const std::vector<Tuple>& dels) const {
+#ifndef NDEBUG
+  for (size_t i = 0; i < adds.size(); ++i) {
+    HQL_CHECK(adds[i].size() == arity_);
+    if (i > 0) HQL_CHECK(CompareTuples(adds[i - 1], adds[i]) < 0);
+  }
+  for (size_t i = 0; i < dels.size(); ++i) {
+    HQL_CHECK(dels[i].size() == arity_);
+    if (i > 0) HQL_CHECK(CompareTuples(dels[i - 1], dels[i]) < 0);
+  }
+  {
+    std::vector<Tuple> both;
+    std::set_intersection(adds.begin(), adds.end(), dels.begin(), dels.end(),
+                          std::back_inserter(both), TupleLess());
+    HQL_CHECK_MSG(both.empty(), "add/del sets must stay disjoint");
+  }
+#endif
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size() + adds.size());
+  size_t bi = 0, ai = 0, di = 0;
+  while (bi < tuples_.size() || ai < adds.size()) {
+    // Drop base tuples matched by the deletion cursor.
+    if (bi < tuples_.size() && di < dels.size()) {
+      int cmp = CompareTuples(dels[di], tuples_[bi]);
+      if (cmp < 0) {
+        ++di;
+        continue;
+      }
+      if (cmp == 0) {
+        ++bi;
+        ++di;
+        continue;
+      }
+    }
+    if (bi >= tuples_.size()) {
+      out.push_back(adds[ai++]);
+    } else if (ai >= adds.size()) {
+      out.push_back(tuples_[bi++]);
+    } else {
+      int cmp = CompareTuples(tuples_[bi], adds[ai]);
+      if (cmp < 0) {
+        out.push_back(tuples_[bi++]);
+      } else if (cmp > 0) {
+        out.push_back(adds[ai++]);
+      } else {
+        out.push_back(tuples_[bi++]);
+        ++ai;  // add already present: keep one copy
+      }
+    }
+  }
+  return FromSortedUnique(arity_, std::move(out));
+}
+
 Relation Relation::UnionWith(const Relation& other) const {
   HQL_CHECK_MSG(arity_ == other.arity_, "union arity mismatch");
   std::vector<Tuple> out;

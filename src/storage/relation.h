@@ -71,6 +71,14 @@ class Relation {
   /// Removes one tuple if present. O(n).
   void Erase(const Tuple& t);
 
+  /// Applies a batch delta in one sorted three-way merge:
+  /// (this ∖ dels) ∪ adds. Both inputs must be sorted and duplicate-free,
+  /// and mutually disjoint (checked in debug builds) — the canonical-overlay
+  /// contract of RelationView. O(n + |adds| + |dels|), replacing the
+  /// per-tuple Insert/Erase loops (O(n) each) in update application.
+  Relation ApplyTuples(const std::vector<Tuple>& adds,
+                       const std::vector<Tuple>& dels) const;
+
   /// Set algebra. Arities must match (checked).
   Relation UnionWith(const Relation& other) const;
   Relation IntersectWith(const Relation& other) const;

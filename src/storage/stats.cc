@@ -5,20 +5,50 @@ namespace hql {
 StatsCatalog StatsCatalog::FromDatabase(const Database& db) {
   StatsCatalog catalog;
   for (const auto& [name, rel] : db.relations()) {
-    catalog.SetCardinality(name, rel.size(), rel.arity());
+    catalog.SetViewStats(
+        name, RelationStats{rel.size(), rel.arity(), rel.base()->size(),
+                            rel.delta_size()});
   }
   return catalog;
 }
 
 void StatsCatalog::SetCardinality(const std::string& name, uint64_t card,
                                   size_t arity) {
-  stats_[name] = RelationStats{card, arity};
+  stats_[name] = RelationStats{card, arity, card, 0};
+}
+
+void StatsCatalog::SetViewStats(const std::string& name,
+                                RelationStats stats) {
+  stats_[name] = stats;
 }
 
 uint64_t StatsCatalog::CardinalityOf(const std::string& name,
                                      uint64_t fallback) const {
   auto it = stats_.find(name);
   return it == stats_.end() ? fallback : it->second.cardinality;
+}
+
+uint64_t StatsCatalog::DeltaSizeOf(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? 0 : it->second.delta_size;
+}
+
+uint64_t StatsCatalog::LowerBoundOf(const std::string& name,
+                                    uint64_t fallback) const {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) return fallback;
+  const RelationStats& s = it->second;
+  return s.base_cardinality > s.delta_size
+             ? s.base_cardinality - s.delta_size
+             : 0;
+}
+
+uint64_t StatsCatalog::UpperBoundOf(const std::string& name,
+                                    uint64_t fallback) const {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) return fallback;
+  const RelationStats& s = it->second;
+  return s.base_cardinality + s.delta_size;
 }
 
 }  // namespace hql

@@ -5,6 +5,11 @@
 // leaves cost estimation as future work; we provide the standard
 // cardinality-based model so the hybrid planner of Examples 2.1(c)/2.2(b)
 // can be driven by data rather than hand annotations).
+//
+// The catalog is view-aware: for an overlay-backed relation it records the
+// shared base cardinality and the overlay size separately, so consumers can
+// reason about the |base| ± |delta| band a hypothetical relation lives in
+// without consolidating it.
 
 #include <cstdint>
 #include <map>
@@ -15,21 +20,35 @@
 namespace hql {
 
 struct RelationStats {
-  uint64_t cardinality = 0;
+  uint64_t cardinality = 0;       // exact: |base| - |dels| + |adds|
   size_t arity = 0;
+  uint64_t base_cardinality = 0;  // |base| of the backing view
+  uint64_t delta_size = 0;        // |adds| + |dels| of the overlay
 };
 
 class StatsCatalog {
  public:
   StatsCatalog() = default;
 
-  /// Collects exact cardinalities from a database state.
+  /// Collects exact cardinalities from a database state. Overlay-backed
+  /// relations report their base/delta split; flat relations have
+  /// base_cardinality == cardinality and delta_size == 0.
   static StatsCatalog FromDatabase(const Database& db);
 
   void SetCardinality(const std::string& name, uint64_t card, size_t arity);
+  void SetViewStats(const std::string& name, RelationStats stats);
 
   /// Cardinality of `name`, or `fallback` if unknown.
   uint64_t CardinalityOf(const std::string& name, uint64_t fallback) const;
+
+  /// Overlay size of `name` (0 if unknown or flat).
+  uint64_t DeltaSizeOf(const std::string& name) const;
+
+  /// Cardinality bounds derived from the base/delta split: any state whose
+  /// overlay rewrites at most the recorded delta lies within
+  /// [base - delta, base + delta]. `fallback` is used for unknown names.
+  uint64_t LowerBoundOf(const std::string& name, uint64_t fallback) const;
+  uint64_t UpperBoundOf(const std::string& name, uint64_t fallback) const;
 
   bool Has(const std::string& name) const { return stats_.count(name) > 0; }
 
