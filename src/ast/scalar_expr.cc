@@ -277,4 +277,15 @@ bool ScalarExprEquals(const ScalarExprPtr& a, const ScalarExprPtr& b) {
   return a->Equals(*b);
 }
 
+void FlattenConjuncts(const ScalarExprPtr& e,
+                      std::vector<ScalarExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ScalarKind::kBinary && e->op() == ScalarOp::kAnd) {
+    FlattenConjuncts(e->lhs(), out);
+    FlattenConjuncts(e->rhs(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
 }  // namespace hql

@@ -104,6 +104,13 @@ class ScalarExpr {
 /// True if `a` and `b` are both null or structurally equal; accepts nulls.
 bool ScalarExprEquals(const ScalarExprPtr& a, const ScalarExprPtr& b);
 
+/// Appends the conjuncts of `e`'s AND-tree to `out` in left-to-right order
+/// (a non-AND expression is its own single conjunct; null appends nothing).
+/// A tuple satisfies `e` iff it satisfies every appended conjunct, which is
+/// what lets the simplifier, join splitter and sargable extractor all work
+/// conjunct-by-conjunct.
+void FlattenConjuncts(const ScalarExprPtr& e, std::vector<ScalarExprPtr>* out);
+
 }  // namespace hql
 
 #endif  // HQL_AST_SCALAR_EXPR_H_

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "eval/index_exec.h"
 #include "eval/ra_eval.h"
 
 namespace hql {
@@ -168,33 +169,18 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
 
 namespace {
 
-// Finds one `$i = $j` equi conjunct crossing the split; returns false if
-// none exists.
+// Finds one `$i = $j` equi conjunct crossing the split (the first, by the
+// shared conjunct splitter's left-to-right order); returns false if none
+// exists.
 bool FindEquiConjunct(const ScalarExprPtr& pred, size_t split, size_t* lcol,
                       size_t* rcol) {
-  if (pred->kind() != ScalarKind::kBinary) return false;
-  if (pred->op() == ScalarOp::kAnd) {
-    return FindEquiConjunct(pred->lhs(), split, lcol, rcol) ||
-           FindEquiConjunct(pred->rhs(), split, lcol, rcol);
-  }
-  if (pred->op() != ScalarOp::kEq) return false;
-  if (pred->lhs()->kind() != ScalarKind::kColumn ||
-      pred->rhs()->kind() != ScalarKind::kColumn) {
-    return false;
-  }
-  size_t a = pred->lhs()->column();
-  size_t b = pred->rhs()->column();
-  if (a < split && b >= split) {
-    *lcol = a;
-    *rcol = b - split;
-    return true;
-  }
-  if (b < split && a >= split) {
-    *lcol = b;
-    *rcol = a - split;
-    return true;
-  }
-  return false;
+  std::vector<std::pair<size_t, size_t>> equi;
+  std::vector<ScalarExprPtr> residual;
+  SplitJoinPredicate(pred, split, &equi, &residual);
+  if (equi.empty()) return false;
+  *lcol = equi.front().first;
+  *rcol = equi.front().second;
+  return true;
 }
 
 }  // namespace
@@ -203,7 +189,8 @@ namespace {
 
 Result<RelationView> EvalFilterDNode(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
-    const std::map<std::string, RelationView>* temps) {
+    const std::map<std::string, RelationView>* temps,
+    const IndexConfig& config) {
   HQL_CHECK(query != nullptr);
   switch (query->kind()) {
     case QueryKind::kRel: {
@@ -224,6 +211,18 @@ Result<RelationView> EvalFilterDNode(
       return RelationView(
           Relation::FromTuples(query->tuple().size(), {query->tuple()}));
     case QueryKind::kSelect: {
+      // An equality selection over a leaf probes the base's index (patched
+      // with the delta overlay): this is where one index built on the base
+      // state serves every hypothetical state in a family.
+      if (config.enabled() && query->left()->kind() == QueryKind::kRel) {
+        HQL_ASSIGN_OR_RETURN(
+            RelationView in,
+            EvalFilterDNode(query->left(), db, delta, temps, config));
+        std::optional<Relation> fast =
+            TryIndexedFilter(in, query->predicate(), config);
+        if (fast.has_value()) return RelationView(*std::move(fast));
+        return RelationView(FilterRelation(in, *query->predicate()));
+      }
       // select-when directly over a flat base relation (an overlay-backed
       // base composes through the view path below instead, so it is never
       // consolidated just to stream it).
@@ -234,44 +233,67 @@ Result<RelationView> EvalFilterDNode(
         return RelationView(SelectWhen(db.GetRef(name), delta.Get(name),
                                        *query->predicate()));
       }
-      HQL_ASSIGN_OR_RETURN(RelationView in,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      return RelationView(FilterRelation(in, *query->predicate()));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView in,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      return RelationView(IndexedFilter(in, query->predicate(), config));
     }
     case QueryKind::kProject: {
-      HQL_ASSIGN_OR_RETURN(RelationView in,
-                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView in,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
       return RelationView(ProjectRelation(in, query->columns()));
     }
     case QueryKind::kAggregate: {
-      HQL_ASSIGN_OR_RETURN(RelationView in,
-                           EvalFilterDNode(query->left(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView in,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
       return RelationView(AggregateRelation(in, query->columns(),
                                             query->agg_func(),
                                             query->agg_column()));
     }
     case QueryKind::kUnion: {
-      HQL_ASSIGN_OR_RETURN(RelationView l,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(RelationView r,
-                           EvalFilterDNode(query->right(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView l,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView r,
+          EvalFilterDNode(query->right(), db, delta, temps, config));
       return RelationView(ViewUnion(l, r));
     }
     case QueryKind::kIntersect: {
-      HQL_ASSIGN_OR_RETURN(RelationView l,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(RelationView r,
-                           EvalFilterDNode(query->right(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView l,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView r,
+          EvalFilterDNode(query->right(), db, delta, temps, config));
       return RelationView(ViewIntersect(l, r));
     }
     case QueryKind::kProduct: {
-      HQL_ASSIGN_OR_RETURN(RelationView l,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(RelationView r,
-                           EvalFilterDNode(query->right(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView l,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView r,
+          EvalFilterDNode(query->right(), db, delta, temps, config));
       return RelationView(ViewProduct(l, r));
     }
     case QueryKind::kJoin: {
+      // An equi-join of two leaves probes the larger side's base index
+      // when the policy grants one.
+      if (config.enabled() && query->left()->kind() == QueryKind::kRel &&
+          query->right()->kind() == QueryKind::kRel) {
+        HQL_ASSIGN_OR_RETURN(
+            RelationView l,
+            EvalFilterDNode(query->left(), db, delta, temps, config));
+        HQL_ASSIGN_OR_RETURN(
+            RelationView r,
+            EvalFilterDNode(query->right(), db, delta, temps, config));
+        std::optional<Relation> fast =
+            TryIndexedJoin(l, r, query->predicate(), config);
+        if (fast.has_value()) return RelationView(*std::move(fast));
+      }
       // join-when over two flat base relations.
       if (query->left()->kind() == QueryKind::kRel &&
           query->right()->kind() == QueryKind::kRel) {
@@ -291,17 +313,21 @@ Result<RelationView> EvalFilterDNode(
           }
         }
       }
-      HQL_ASSIGN_OR_RETURN(RelationView l,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(RelationView r,
-                           EvalFilterDNode(query->right(), db, delta, temps));
-      return RelationView(JoinRelations(l, r, query->predicate()));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView l,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView r,
+          EvalFilterDNode(query->right(), db, delta, temps, config));
+      return RelationView(IndexedJoin(l, r, query->predicate(), config));
     }
     case QueryKind::kDifference: {
-      HQL_ASSIGN_OR_RETURN(RelationView l,
-                           EvalFilterDNode(query->left(), db, delta, temps));
-      HQL_ASSIGN_OR_RETURN(RelationView r,
-                           EvalFilterDNode(query->right(), db, delta, temps));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView l,
+          EvalFilterDNode(query->left(), db, delta, temps, config));
+      HQL_ASSIGN_OR_RETURN(
+          RelationView r,
+          EvalFilterDNode(query->right(), db, delta, temps, config));
       return RelationView(ViewDifference(l, r));
     }
     case QueryKind::kWhen:
@@ -316,15 +342,17 @@ Result<RelationView> EvalFilterDNode(
 
 Result<RelationView> EvalFilterDView(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
-    const std::map<std::string, RelationView>* temps) {
-  return EvalFilterDNode(query, db, delta, temps);
+    const std::map<std::string, RelationView>* temps,
+    const IndexConfig& config) {
+  return EvalFilterDNode(query, db, delta, temps, config);
 }
 
 Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
                              const DeltaValue& delta,
-                             const std::map<std::string, RelationView>* temps) {
+                             const std::map<std::string, RelationView>* temps,
+                             const IndexConfig& config) {
   HQL_ASSIGN_OR_RETURN(RelationView out,
-                       EvalFilterDNode(query, db, delta, temps));
+                       EvalFilterDNode(query, db, delta, temps, config));
   return out.Materialize();
 }
 

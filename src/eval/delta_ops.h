@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "eval/delta.h"
 #include "storage/database.h"
+#include "storage/index.h"
 
 namespace hql {
 
@@ -69,16 +70,20 @@ Relation SelectWhen(const Relation& base, const DeltaPair* delta,
 /// other shape consumes copy-on-write views through the merge-aware
 /// relational operators. `temps` (nullable) resolves collapse placeholders
 /// ("#i") to already-computed views, which the delta does not filter.
+/// `config` (default off) lets equality selections and equi-joins probe
+/// base-relation indexes, patched with the delta at probe time.
 Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
                              const DeltaValue& delta,
                              const std::map<std::string, RelationView>* temps =
-                                 nullptr);
+                                 nullptr,
+                             const IndexConfig& config = IndexConfig());
 
 /// EvalFilterD returning the result as a view: an untouched leaf scan is a
 /// refcount bump and a delta'd leaf is an O(|delta|) overlay.
 Result<RelationView> EvalFilterDView(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
-    const std::map<std::string, RelationView>* temps = nullptr);
+    const std::map<std::string, RelationView>* temps = nullptr,
+    const IndexConfig& config = IndexConfig());
 
 }  // namespace hql
 

@@ -13,14 +13,14 @@ namespace hql {
 namespace {
 
 Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
-                        const DeltaValue& env) {
+                        const DeltaValue& env, const IndexConfig& config) {
   if (node->kind == CollapsedKind::kBlock) {
     std::map<std::string, RelationView> temps;
     for (size_t i = 0; i < node->holes.size(); ++i) {
-      HQL_ASSIGN_OR_RETURN(RelationView hole, F3(node->holes[i], db, env));
+      HQL_ASSIGN_OR_RETURN(RelationView hole, F3(node->holes[i], db, env, config));
       temps.emplace(PlaceholderName(i), std::move(hole));
     }
-    return EvalFilterDView(node->block, db, env, &temps);
+    return EvalFilterDView(node->block, db, env, &temps, config);
   }
   // kWhen.
   if (!node->state_is_update) {
@@ -31,7 +31,7 @@ Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
     std::vector<std::pair<std::string, RelationView>> values;
     values.reserve(node->bindings.size());
     for (const CollapsedBinding& b : node->bindings) {
-      HQL_ASSIGN_OR_RETURN(RelationView v, F3(b.value, db, env));
+      HQL_ASSIGN_OR_RETURN(RelationView v, F3(b.value, db, env, config));
       values.emplace_back(b.rel_name, std::move(v));
     }
     DeltaValue precise;
@@ -47,13 +47,13 @@ Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
       precise.Bind(name, DeltaPair(ViewDifference(cur, value),
                                    ViewDifference(value, cur)));
     }
-    return F3(node->input, db, env.SmashWith(precise));
+    return F3(node->input, db, env.SmashWith(precise), config);
   }
   // Accumulate the atoms' delta left to right (Figure 4's smash chain).
   DeltaValue acc;
   for (const CollapsedAtom& atom : node->atoms) {
     DeltaValue current = env.SmashWith(acc);
-    HQL_ASSIGN_OR_RETURN(RelationView value_view, F3(atom.arg, db, current));
+    HQL_ASSIGN_OR_RETURN(RelationView value_view, F3(atom.arg, db, current, config));
     Relation value = value_view.Materialize();
     size_t arity = value.arity();
     DeltaValue atom_delta;
@@ -66,13 +66,13 @@ Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
     }
     acc = acc.SmashWith(atom_delta);
   }
-  return F3(node->input, db, env.SmashWith(acc));
+  return F3(node->input, db, env.SmashWith(acc), config);
 }
 
 }  // namespace
 
 Result<Relation> Filter3(const QueryPtr& query, const Database& db,
-                         const Schema& schema) {
+                         const Schema& schema, const IndexConfig& config) {
   HQL_CHECK(query != nullptr);
   // Prefer mod-ENF (states stay as atomic chains whose deltas are exactly
   // the inserted/deleted sets); fall back to ENF with precise deltas when
@@ -87,18 +87,19 @@ Result<Relation> Filter3(const QueryPtr& query, const Database& db,
     return mod.status();
   }
   HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(normalized, schema));
-  return Filter3Collapsed(tree, db);
+  return Filter3Collapsed(tree, db, config);
 }
 
-Result<Relation> Filter3Collapsed(const CollapsedPtr& tree,
-                                  const Database& db) {
-  return Filter3WithEnv(tree, db, DeltaValue());
+Result<Relation> Filter3Collapsed(const CollapsedPtr& tree, const Database& db,
+                                  const IndexConfig& config) {
+  return Filter3WithEnv(tree, db, DeltaValue(), config);
 }
 
 Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const DeltaValue& env) {
+                                const DeltaValue& env,
+                                const IndexConfig& config) {
   HQL_CHECK(tree != nullptr);
-  HQL_ASSIGN_OR_RETURN(RelationView out, F3(tree, db, env));
+  HQL_ASSIGN_OR_RETURN(RelationView out, F3(tree, db, env, config));
   return out.Materialize();
 }
 

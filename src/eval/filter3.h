@@ -23,6 +23,7 @@
 #include "eval/delta.h"
 #include "hql/collapse.h"
 #include "storage/database.h"
+#include "storage/index.h"
 
 namespace hql {
 
@@ -30,17 +31,20 @@ namespace hql {
 /// arguments become the delta sets directly) or, when the query contains
 /// explicit substitutions, to ENF — whose substitutions are then captured
 /// by the *precise* deltas of Section 5.5 (R_D = base - V, R_I = V - base);
-/// collapses and evaluates. Total over all of HQL.
+/// collapses and evaluates. Total over all of HQL. `config` (default off)
+/// lets the RA blocks probe base-relation indexes through eval_filter_d.
 Result<Relation> Filter3(const QueryPtr& query, const Database& db,
-                         const Schema& schema);
+                         const Schema& schema,
+                         const IndexConfig& config = IndexConfig());
 
 /// Evaluates an already collapsed mod-ENF tree.
-Result<Relation> Filter3Collapsed(const CollapsedPtr& tree,
-                                  const Database& db);
+Result<Relation> Filter3Collapsed(const CollapsedPtr& tree, const Database& db,
+                                  const IndexConfig& config = IndexConfig());
 
 /// Worker with an explicit delta environment, exposed for tests.
 Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const DeltaValue& env);
+                                const DeltaValue& env,
+                                const IndexConfig& config = IndexConfig());
 
 }  // namespace hql
 

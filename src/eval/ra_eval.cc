@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "eval/index_exec.h"
 #include "eval/memo.h"
 
 namespace hql {
@@ -42,33 +43,8 @@ Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
   return Relation::FromTuples(columns.size(), std::move(out));
 }
 
-// Collects `$i = $j` conjuncts with i on the left side and j on the right
-// side of a join whose left operand has arity `split`. Returns the residual
-// predicate (nullptr when the whole predicate was consumed).
-void SplitJoinPredicate(const ScalarExprPtr& pred, size_t split,
-                        std::vector<std::pair<size_t, size_t>>* equi,
-                        std::vector<ScalarExprPtr>* residual) {
-  if (pred->kind() == ScalarKind::kBinary && pred->op() == ScalarOp::kAnd) {
-    SplitJoinPredicate(pred->lhs(), split, equi, residual);
-    SplitJoinPredicate(pred->rhs(), split, equi, residual);
-    return;
-  }
-  if (pred->kind() == ScalarKind::kBinary && pred->op() == ScalarOp::kEq &&
-      pred->lhs()->kind() == ScalarKind::kColumn &&
-      pred->rhs()->kind() == ScalarKind::kColumn) {
-    size_t a = pred->lhs()->column();
-    size_t b = pred->rhs()->column();
-    if (a < split && b >= split) {
-      equi->push_back({a, b - split});
-      return;
-    }
-    if (b < split && a >= split) {
-      equi->push_back({b, a - split});
-      return;
-    }
-  }
-  residual->push_back(pred);
-}
+// Equality-conjunct extraction lives in eval/index_exec.h
+// (SplitJoinPredicate), shared with the index-nested-loop join.
 
 template <typename Lhs, typename Rhs>
 Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
@@ -270,6 +246,7 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
 Result<RelationView> EvalRaCompute(const QueryPtr& query,
                                    const RelResolver& resolver,
                                    const EvalMemo* memo) {
+  const IndexConfig indexes = memo != nullptr ? memo->indexes : IndexConfig();
   switch (query->kind()) {
     case QueryKind::kRel:
       return resolver.Resolve(query->rel_name());
@@ -291,11 +268,11 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
         if (child->kind() == QueryKind::kJoin) {
           pred = ScalarExpr::Binary(ScalarOp::kAnd, pred, child->predicate());
         }
-        return RelationView(JoinRelations(l, r, pred));
+        return RelationView(IndexedJoin(l, r, pred, indexes));
       }
       HQL_ASSIGN_OR_RETURN(RelationView in,
                            EvalRaNode(child, resolver, memo));
-      return RelationView(FilterRelation(in, *query->predicate()));
+      return RelationView(IndexedFilter(in, query->predicate(), indexes));
     }
     case QueryKind::kProject: {
       HQL_ASSIGN_OR_RETURN(RelationView in,
@@ -335,7 +312,7 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
                            EvalRaNode(query->left(), resolver, memo));
       HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return RelationView(JoinRelations(l, r, query->predicate()));
+      return RelationView(IndexedJoin(l, r, query->predicate(), indexes));
     }
     case QueryKind::kDifference: {
       HQL_ASSIGN_OR_RETURN(RelationView l,

@@ -22,6 +22,7 @@
 #include "ast/scalar_expr.h"
 #include "common/result.h"
 #include "storage/database.h"
+#include "storage/index.h"
 #include "storage/relation.h"
 #include "storage/view.h"
 
@@ -83,6 +84,9 @@ class MemoCache;
 struct EvalMemo {
   MemoCache* cache = nullptr;
   uint64_t state_fingerprint = 0;
+  /// Index policy for the physical operators (eval/index_exec.h). The
+  /// default (mode off) reproduces the scan kernels exactly.
+  IndexConfig indexes;
 };
 
 /// EvalRa with subplan memoization: every operator node (leaves excepted —

@@ -214,22 +214,13 @@ struct Interval {
   }
 };
 
-void FlattenAnd(const ScalarExprPtr& e, std::vector<ScalarExprPtr>* out) {
-  if (e->kind() == ScalarKind::kBinary && e->op() == ScalarOp::kAnd) {
-    FlattenAnd(e->lhs(), out);
-    FlattenAnd(e->rhs(), out);
-  } else {
-    out->push_back(e);
-  }
-}
-
 ScalarExprPtr Simplify(const ScalarExprPtr& e);
 
 // Rebuilds a conjunction in canonical order: per-column interval bounds
 // (by ascending column), then residuals in first-seen order (deduped).
 ScalarExprPtr SimplifyConjunction(const ScalarExprPtr& e) {
   std::vector<ScalarExprPtr> conjuncts;
-  FlattenAnd(e, &conjuncts);
+  FlattenConjuncts(e, &conjuncts);
 
   std::map<size_t, Interval> intervals;
   std::vector<ScalarExprPtr> residuals;

@@ -1,6 +1,7 @@
 #include "opt/estimator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "ast/hypo.h"
 #include "ast/query.h"
@@ -43,7 +44,10 @@ double CardinalityEstimator::Cost(const QueryPtr& query, const Env& env,
       double child = Cost(query->left(), env, cost);
       double card = child;
       if (query->kind() == QueryKind::kSelect) {
-        card = child * EstimatePredicate(query->predicate());
+        card = child * (query->left()->kind() == QueryKind::kRel
+                            ? EstimatePredicateOn(query->predicate(),
+                                                  query->left()->rel_name())
+                            : EstimatePredicate(query->predicate()));
       } else if (query->kind() == QueryKind::kAggregate) {
         card = child * 0.1;  // grouping collapses ~10x by default
       }
@@ -132,6 +136,59 @@ double CardinalityEstimator::BaseCardinality(const std::string& name,
       name, static_cast<uint64_t>(kUnknownCardinality)));
 }
 
+double CardinalityEstimator::EstimatePredicateOn(
+    const ScalarExprPtr& pred, const std::string& rel_name) const {
+  std::vector<ScalarExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  double selectivity = 1.0;
+  for (const ScalarExprPtr& c : conjuncts) {
+    const ScalarExpr* col = nullptr;
+    if (c->kind() == ScalarKind::kBinary && c->op() == ScalarOp::kEq) {
+      if (c->lhs()->kind() == ScalarKind::kColumn &&
+          c->rhs()->kind() == ScalarKind::kLiteral) {
+        col = c->lhs().get();
+      } else if (c->rhs()->kind() == ScalarKind::kColumn &&
+                 c->lhs()->kind() == ScalarKind::kLiteral) {
+        col = c->rhs().get();
+      }
+    }
+    uint64_t distinct =
+        col == nullptr ? 0
+                       : stats_->DistinctCountOf(rel_name, col->column(), 0);
+    selectivity *= distinct > 0 ? 1.0 / static_cast<double>(distinct)
+                                : EstimatePredicate(c);
+  }
+  return selectivity;
+}
+
+double CardinalityEstimator::EstimateProbeCost(
+    const std::string& rel_name, const std::vector<size_t>& columns) const {
+  double card = static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+  double expected = card;
+  for (size_t column : columns) {
+    uint64_t distinct = stats_->DistinctCountOf(rel_name, column, 0);
+    expected *= distinct > 0 ? 1.0 / static_cast<double>(distinct)
+                             : sel_.equality;
+  }
+  return expected;
+}
+
+double CardinalityEstimator::EstimateScanCost(
+    const std::string& rel_name) const {
+  return static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+}
+
+bool CardinalityEstimator::IndexProbeWins(
+    const std::string& rel_name, const std::vector<size_t>& columns) const {
+  // A probe touches its expected result rows plus constant bookkeeping
+  // (hashing the key, patching the overlay); the scan touches every row.
+  constexpr double kProbeOverhead = 8.0;
+  return EstimateProbeCost(rel_name, columns) + kProbeOverhead <
+         EstimateScanCost(rel_name);
+}
+
 double CardinalityEstimator::EstimatePredicate(
     const ScalarExprPtr& pred) const {
   if (pred->kind() == ScalarKind::kBinary) {
@@ -169,7 +226,10 @@ double CardinalityEstimator::Estimate(const QueryPtr& query,
       return 1;
     case QueryKind::kSelect:
       return Estimate(query->left(), env) *
-             EstimatePredicate(query->predicate());
+             (query->left()->kind() == QueryKind::kRel
+                  ? EstimatePredicateOn(query->predicate(),
+                                        query->left()->rel_name())
+                  : EstimatePredicate(query->predicate()));
     case QueryKind::kProject:
       return Estimate(query->left(), env);
     case QueryKind::kAggregate:

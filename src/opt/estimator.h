@@ -47,6 +47,30 @@ class CardinalityEstimator {
   /// eager cost of an xsub-value for this state).
   double EstimateStateMaterialization(const HypoExprPtr& state) const;
 
+  /// Selectivity of `pred` applied to base relation `rel_name`. Equality
+  /// conjuncts `$c = lit` use 1/distinct(c) when the catalog collected
+  /// per-column distinct counts for the relation; everything else falls
+  /// back to the textbook constants. This is what kSelect-over-kRel nodes
+  /// use in Estimate/Cost, so distinct-aware catalogs sharpen the hybrid
+  /// planner's lazy-vs-eager comparison.
+  double EstimatePredicateOn(const ScalarExprPtr& pred,
+                             const std::string& rel_name) const;
+
+  /// Expected tuples an index probe on `columns` of `rel_name` touches:
+  /// cardinality / prod(distinct counts). Without distinct stats the
+  /// equality constant stands in per column.
+  double EstimateProbeCost(const std::string& rel_name,
+                           const std::vector<size_t>& columns) const;
+
+  /// Cost of the scan alternative: the relation's cardinality.
+  double EstimateScanCost(const std::string& rel_name) const;
+
+  /// True when an index probe on `columns` is estimated cheaper than a
+  /// scan of `rel_name` (probe bookkeeping charged at one scan row per
+  /// result row plus a constant).
+  bool IndexProbeWins(const std::string& rel_name,
+                      const std::vector<size_t>& columns) const;
+
  private:
   using Env = std::map<std::string, double>;
 

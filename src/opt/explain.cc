@@ -12,6 +12,7 @@
 #include "eval/memo.h"
 #include "opt/estimator.h"
 #include "opt/planner.h"
+#include "storage/index.h"
 #include "storage/view.h"
 
 namespace hql {
@@ -59,6 +60,12 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
   report.view_consolidations = views.consolidations;
   report.view_tuples_shared = views.tuples_shared;
   report.view_tuples_copied = views.tuples_copied;
+
+  IndexStats indexes = GlobalIndexStats();
+  report.indexes_built = indexes.indexes_built;
+  report.indexes_shared = indexes.indexes_shared;
+  report.index_probes = indexes.index_probes;
+  report.index_tuples_skipped = indexes.tuples_skipped;
 
   if (memo != nullptr) {
     MemoCache::Stats cache = memo->stats();
@@ -115,6 +122,13 @@ std::string FormatExplain(const ExplainReport& report) {
       static_cast<unsigned long long>(report.view_consolidations),
       static_cast<unsigned long long>(report.view_tuples_shared),
       static_cast<unsigned long long>(report.view_tuples_copied));
+  out += StrFormat(
+      "indexes:    %llu built, %llu shared; %llu probes skipping %llu "
+      "scan rows\n",
+      static_cast<unsigned long long>(report.indexes_built),
+      static_cast<unsigned long long>(report.indexes_shared),
+      static_cast<unsigned long long>(report.index_probes),
+      static_cast<unsigned long long>(report.index_tuples_skipped));
   return out;
 }
 

@@ -62,6 +62,14 @@ struct ExplainReport {
   uint64_t view_consolidations = 0;
   uint64_t view_tuples_shared = 0;
   uint64_t view_tuples_copied = 0;
+
+  // Secondary indexes (process-wide counters, see GlobalIndexStats): how
+  // many indexes were built vs served from a base's cache, how often the
+  // kernels probed one, and the scan rows the probes skipped.
+  uint64_t indexes_built = 0;
+  uint64_t indexes_shared = 0;
+  uint64_t index_probes = 0;
+  uint64_t index_tuples_skipped = 0;
 };
 
 /// Builds the full report. `stats` drives the cost numbers (use

@@ -286,6 +286,7 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
                          const Schema& schema, Strategy strategy,
                          const PlannerOptions& options) {
   HQL_CHECK(query != nullptr);
+  const IndexConfig icfg = options.index_config();
   switch (strategy) {
     case Strategy::kDirect:
       return EvalDirect(query, db);
@@ -296,7 +297,7 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
       }
       DatabaseResolver resolver(db);
       return EvalRa(reduced, resolver,
-                    EvalMemo{options.memo, FingerprintState(db)});
+                    EvalMemo{options.memo, FingerprintState(db), icfg});
     }
     case Strategy::kFilter1: {
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
@@ -307,7 +308,7 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
       return Filter2(enf, db, schema);
     }
     case Strategy::kFilter3:
-      return Filter3(query, db, schema);
+      return Filter3(query, db, schema, icfg);
     case Strategy::kHybrid: {
       StatsCatalog stats = StatsCatalog::FromDatabase(db);
       // Delta route: if every state is an atomic update chain (mod-ENF)
@@ -324,7 +325,7 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
         if (affected_base > 0 &&
             materialization <
                 options.delta_fraction_threshold * affected_base) {
-          return Filter3(query, db, schema);
+          return Filter3(query, db, schema, icfg);
         }
       }
       HQL_ASSIGN_OR_RETURN(Plan plan,
@@ -332,7 +333,7 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
       if (IsPureRelAlg(plan.query)) {
         DatabaseResolver resolver(db);
         return EvalRa(plan.query, resolver,
-                      EvalMemo{options.memo, FingerprintState(db)});
+                      EvalMemo{options.memo, FingerprintState(db), icfg});
       }
       return Filter2(plan.query, db, schema);
     }

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "opt/estimator.h"
 #include "storage/database.h"
+#include "storage/index.h"
 #include "storage/schema.h"
 #include "storage/stats.h"
 
@@ -61,6 +62,26 @@ struct PlannerOptions {
   /// The cache may be shared across queries, sessions, and threads; the
   /// caller owns it and it must outlive the calls that use it.
   MemoCache* memo = nullptr;
+
+  /// Secondary-index policy for the physical operators (storage/index.h).
+  /// kOff (default) keeps the scan kernels exactly; kManual probes only
+  /// indexes already built via Database::BuildIndex; kAdvisor additionally
+  /// lets `index_advisor` build indexes for frequently probed column sets.
+  IndexMode index_mode = IndexMode::kOff;
+
+  /// Advisor used in kAdvisor mode (caller-owned; shared across queries and
+  /// threads so its access counts span a whole family of alternatives).
+  /// Null in kAdvisor mode degrades to kManual behavior.
+  IndexAdvisor* index_advisor = nullptr;
+
+  /// Base relations smaller than this are never probed through an index —
+  /// a scan already beats the probe bookkeeping.
+  size_t index_min_rows = 64;
+
+  /// The index configuration the options denote.
+  IndexConfig index_config() const {
+    return IndexConfig{index_mode, index_advisor, index_min_rows};
+  }
 };
 
 struct Plan {

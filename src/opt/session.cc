@@ -22,6 +22,7 @@ Result<HypotheticalSession> HypotheticalSession::Create(
     return Status::InvalidArgument("null hypothetical state");
   }
   HypotheticalSession session(db, schema);
+  session.index_config_ = options.index_config();
 
   // Materialize the precise delta first; it is enough to decide the
   // representation (the xsub is recoverable from base + delta when the
@@ -51,7 +52,7 @@ Result<Relation> HypotheticalSession::Evaluate(const QueryPtr& query) const {
   HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, *schema_));
   if (uses_delta_) {
     HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(enf, *schema_));
-    return Filter3WithEnv(tree, *db_, delta_);
+    return Filter3WithEnv(tree, *db_, delta_, index_config_);
   }
   return Filter1WithEnv(enf, *db_, xsub_);
 }

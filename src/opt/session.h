@@ -57,6 +57,7 @@ class HypotheticalSession {
   const Database* db_;
   const Schema* schema_;
   bool uses_delta_ = false;
+  IndexConfig index_config_;
   DeltaValue delta_;
   XsubValue xsub_;
 };

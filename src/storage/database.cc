@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "storage/index.h"
 
 namespace hql {
 
@@ -49,6 +50,27 @@ RelationPtr Database::GetShared(const std::string& name) const {
 
 Status Database::Set(const std::string& name, Relation value) {
   return SetView(name, RelationView(std::move(value)));
+}
+
+Result<std::shared_ptr<const RelationIndex>> Database::BuildIndex(
+    const std::string& name, const std::vector<size_t>& columns) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] >= it->second.arity()) {
+      return Status::InvalidArgument("index column out of range for " + name);
+    }
+    if (i > 0 && columns[i - 1] >= columns[i]) {
+      return Status::InvalidArgument("index columns must be strictly "
+                                     "ascending");
+    }
+  }
+  return it->second.base()->IndexOn(columns);
 }
 
 Status Database::SetShared(const std::string& name, RelationPtr value) {

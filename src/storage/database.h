@@ -57,6 +57,15 @@ class Database {
   Status SetShared(const std::string& name, RelationPtr value);
   Status SetView(const std::string& name, RelationView value);
 
+  /// Builds (or returns) a hash index over `columns` of DB(name)'s base
+  /// relation — the manual face of the index policy (IndexMode::kManual).
+  /// The index is cached on the base and shared by every copy-on-write
+  /// descendant; an overlay-backed relation indexes its base, which the
+  /// kernels patch with the overlay at probe time. NotFound for unknown
+  /// names, InvalidArgument for empty/unsorted/out-of-range columns.
+  Result<std::shared_ptr<const RelationIndex>> BuildIndex(
+      const std::string& name, const std::vector<size_t>& columns) const;
+
   /// A deep, fully flat copy: every relation materialized into a fresh base
   /// with no structure shared with this state. This is the copy-per-state
   /// storage model the overlay representation replaces; kept as the

@@ -40,6 +40,7 @@ void Relation::Insert(const Tuple& t) {
   if (it != tuples_.end() && CompareTuples(*it, t) == 0) return;
   tuples_.insert(it, t);
   cached_hash_.store(0, std::memory_order_relaxed);
+  index_cache_.reset();
 }
 
 void Relation::Erase(const Tuple& t) {
@@ -47,6 +48,7 @@ void Relation::Erase(const Tuple& t) {
   if (it != tuples_.end() && CompareTuples(*it, t) == 0) {
     tuples_.erase(it);
     cached_hash_.store(0, std::memory_order_relaxed);
+    index_cache_.reset();
   }
 }
 

@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/tuple.h"
 
 namespace hql {
+
+class RelationIndex;
 
 class Relation {
  public:
@@ -22,6 +25,11 @@ class Relation {
 
   // The cached hash makes the class non-trivially copyable: copies and
   // moves carry the cache along (it depends only on the tuple contents).
+  // The secondary-index cache rides only on moves: a copy is a fresh
+  // mutable relation, and shared bases are passed around as
+  // shared_ptr<const Relation> (never copied), so copies dropping indexes
+  // costs nothing on the sharing path while keeping copy-then-mutate
+  // callers trivially safe.
   Relation(const Relation& other)
       : arity_(other.arity_),
         tuples_(other.tuples_),
@@ -29,13 +37,15 @@ class Relation {
   Relation(Relation&& other) noexcept
       : arity_(other.arity_),
         tuples_(std::move(other.tuples_)),
-        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)) {}
+        cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)),
+        index_cache_(std::move(other.index_cache_)) {}
   Relation& operator=(const Relation& other) {
     if (this != &other) {
       arity_ = other.arity_;
       tuples_ = other.tuples_;
       cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+      index_cache_.reset();
     }
     return *this;
   }
@@ -44,6 +54,7 @@ class Relation {
     tuples_ = std::move(other.tuples_);
     cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    index_cache_ = std::move(other.index_cache_);
     return *this;
   }
 
@@ -98,13 +109,35 @@ class Relation {
   /// "{(1, 'a'), (2, 'b')}".
   std::string ToString() const;
 
+  /// The hash index over `columns` (non-empty, strictly ascending, within
+  /// the arity), built on first request and cached on this relation —
+  /// install-once and thread-safe, like the view layer's flat cache:
+  /// concurrent first requests wait on one build and then share it. All
+  /// copy-on-write descendants holding this base by shared_ptr see the
+  /// same cache. Defined in storage/index.cc.
+  std::shared_ptr<const RelationIndex> IndexOn(
+      const std::vector<size_t>& columns) const;
+
+  /// The cached index over `columns` if one was built, else null. Never
+  /// builds.
+  std::shared_ptr<const RelationIndex> ExistingIndex(
+      const std::vector<size_t>& columns) const;
+
  private:
+  struct IndexCache;
+
   size_t arity_;
   std::vector<Tuple> tuples_;  // sorted, unique
 
   // 0 = not yet computed (a computed hash of 0 is stored as 1; the single
   // collision costs one recomputation, never a wrong answer).
   mutable std::atomic<uint64_t> cached_hash_{0};
+
+  // Lazily allocated map of column set -> shared index; positions stored in
+  // an index point into tuples_, so Insert/Erase drop the cache. Allocated
+  // and accessed only in storage/index.cc (under locks); mutators may
+  // reset it directly because mutation already requires exclusive access.
+  mutable std::shared_ptr<IndexCache> index_cache_;
 };
 
 }  // namespace hql

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "storage/database.h"
 
@@ -24,6 +25,11 @@ struct RelationStats {
   size_t arity = 0;
   uint64_t base_cardinality = 0;  // |base| of the backing view
   uint64_t delta_size = 0;        // |adds| + |dels| of the overlay
+  // Per-column distinct counts over the *base* relation (empty unless
+  // collected — FromDatabase(db, /*collect_distinct=*/true) or
+  // SetDistinctCounts). Drives equality selectivity and the probe-vs-scan
+  // cost comparison.
+  std::vector<uint64_t> distinct_counts;
 };
 
 class StatsCatalog {
@@ -32,8 +38,11 @@ class StatsCatalog {
 
   /// Collects exact cardinalities from a database state. Overlay-backed
   /// relations report their base/delta split; flat relations have
-  /// base_cardinality == cardinality and delta_size == 0.
-  static StatsCatalog FromDatabase(const Database& db);
+  /// base_cardinality == cardinality and delta_size == 0. Per-column
+  /// distinct counts cost a pass over every base relation, so they are
+  /// opt-in: the hybrid executor's per-query catalog stays O(#relations).
+  static StatsCatalog FromDatabase(const Database& db,
+                                   bool collect_distinct = false);
 
   void SetCardinality(const std::string& name, uint64_t card, size_t arity);
   void SetViewStats(const std::string& name, RelationStats stats);
@@ -43,6 +52,15 @@ class StatsCatalog {
 
   /// Overlay size of `name` (0 if unknown or flat).
   uint64_t DeltaSizeOf(const std::string& name) const;
+
+  /// Records per-column distinct counts for `name` (no-op if unknown).
+  void SetDistinctCounts(const std::string& name,
+                         std::vector<uint64_t> counts);
+
+  /// Distinct values in column `column` of `name`'s base, or `fallback`
+  /// when not collected / out of range.
+  uint64_t DistinctCountOf(const std::string& name, size_t column,
+                           uint64_t fallback) const;
 
   /// Cardinality bounds derived from the base/delta split: any state whose
   /// overlay rewrites at most the recorded delta lies within

@@ -170,5 +170,86 @@ TEST_P(TreeCapParamTest, CapsPreserveSemantics) {
 INSTANTIATE_TEST_SUITE_P(TreeCapSweep, TreeCapParamTest,
                          ::testing::Values(1.0, 16.0, 256.0, 1e6));
 
+// Fourth sweep: index policies must never change results, only how
+// selections and joins are executed. index_min_rows is pinned to 1 so the
+// tiny property databases actually exercise the probe kernels; manual mode
+// pre-builds single-column indexes on every relation, advisor mode builds
+// on first access.
+enum class IndexPolicy { kOff, kManual, kAdvisor };
+
+const char* IndexPolicyName(IndexPolicy p) {
+  switch (p) {
+    case IndexPolicy::kOff:
+      return "IndexOff";
+    case IndexPolicy::kManual:
+      return "IndexManual";
+    case IndexPolicy::kAdvisor:
+      return "IndexAdvisor";
+  }
+  return "?";
+}
+
+using IndexParam = std::tuple<Strategy, IndexPolicy>;
+
+class IndexPolicyParamTest : public ::testing::TestWithParam<IndexParam> {};
+
+TEST_P(IndexPolicyParamTest, PoliciesPreserveSemantics) {
+  const auto& [strategy, policy] = GetParam();
+  Rng rng(617);
+  Schema schema = PropertySchema();
+  AstGenOptions options;
+  options.max_depth = 3;
+  IndexAdvisor advisor(/*build_threshold=*/1);
+  PlannerOptions popts;
+  popts.index_min_rows = 1;
+  switch (policy) {
+    case IndexPolicy::kOff:
+      popts.index_mode = IndexMode::kOff;
+      break;
+    case IndexPolicy::kManual:
+      popts.index_mode = IndexMode::kManual;
+      break;
+    case IndexPolicy::kAdvisor:
+      popts.index_mode = IndexMode::kAdvisor;
+      popts.index_advisor = &advisor;
+      break;
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    Database db = RandomDatabase(&rng, schema, 6, 8);
+    if (policy == IndexPolicy::kManual) {
+      for (const auto& [name, arity] : schema.arities()) {
+        for (size_t col = 0; col < arity; ++col) {
+          ASSERT_OK(db.BuildIndex(name, {col}).status());
+        }
+      }
+    }
+    QueryPtr q = RandomQuery(&rng, schema, 2, options);
+    ASSERT_OK_AND_ASSIGN(Relation reference,
+                         Execute(q, db, schema, Strategy::kDirect));
+    ASSERT_OK_AND_ASSIGN(Relation out,
+                         Execute(q, db, schema, strategy, popts));
+    EXPECT_EQ(out, reference)
+        << StrategyName(strategy) << "/" << IndexPolicyName(policy) << ": "
+        << q->ToString();
+  }
+}
+
+std::string IndexParamName(const ::testing::TestParamInfo<IndexParam>& info) {
+  const auto& [strategy, policy] = info.param;
+  std::string name = StrategyName(strategy);
+  name[0] = static_cast<char>(std::toupper(name[0]));
+  return name + "_" + IndexPolicyName(policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IndexSweep, IndexPolicyParamTest,
+    ::testing::Combine(
+        ::testing::Values(Strategy::kDirect, Strategy::kLazy,
+                          Strategy::kFilter1, Strategy::kFilter2,
+                          Strategy::kFilter3, Strategy::kHybrid),
+        ::testing::Values(IndexPolicy::kOff, IndexPolicy::kManual,
+                          IndexPolicy::kAdvisor)),
+    IndexParamName);
+
 }  // namespace
 }  // namespace hql
