@@ -1,0 +1,136 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/governor.h"
+
+namespace hql {
+
+namespace {
+
+struct SiteState {
+  FailPointSpec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  uint64_t rng_state = 0;  // SplitMix64 state, deterministic per (site, seed)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Fast path guard: hot sites (tuple append) check one relaxed atomic and
+// return while nothing is armed anywhere.
+std::atomic<int> g_armed_count{0};
+
+// SplitMix64: deterministic, seedable, cheap — the same sequence for the
+// same (seed) regardless of what other sites do.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ArmFailPoint(const std::string& site, const FailPointSpec& spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  SiteState& state = reg.sites[site];
+  bool was_armed = state.spec.mode != FailPointSpec::Mode::kOff;
+  state.spec = spec;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng_state = spec.seed;
+  bool now_armed = spec.mode != FailPointSpec::Mode::kOff;
+  if (now_armed && !was_armed) {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else if (!now_armed && was_armed) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmFailPoint(const std::string& site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  if (it->second.spec.mode != FailPointSpec::Mode::kOff) {
+    it->second.spec.mode = FailPointSpec::Mode::kOff;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAllFailPoints() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [site, state] : reg.sites) {
+    if (state.spec.mode != FailPointSpec::Mode::kOff) {
+      state.spec.mode = FailPointSpec::Mode::kOff;
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t FailPointFireCount(const std::string& site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> RegisteredFailPointSites() {
+  return {kFailPointTaskEnqueue, kFailPointTupleAppend, kFailPointIndexBuild,
+          kFailPointMemoInsert, kFailPointConsolidate};
+}
+
+namespace internal {
+
+void FailPointHit(const char* site) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return;
+  StatusCode code;
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return;
+    SiteState& state = it->second;
+    if (state.spec.mode == FailPointSpec::Mode::kOff) return;
+    ++state.hits;
+    bool fire = false;
+    switch (state.spec.mode) {
+      case FailPointSpec::Mode::kOff:
+        break;
+      case FailPointSpec::Mode::kAfterN:
+        fire = state.hits > state.spec.after_n;
+        break;
+      case FailPointSpec::Mode::kProbability: {
+        double u = static_cast<double>(NextRandom(&state.rng_state) >> 11) *
+                   (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+        fire = u < state.spec.probability;
+        break;
+      }
+    }
+    if (!fire) return;
+    ++state.fires;
+    code = state.spec.code;
+  }
+  // Outside the registry lock: trip the ambient governor so the failure
+  // surfaces on the normal cooperative-cancellation path.
+  if (ExecGovernor* gov = CurrentGovernor()) {
+    gov->Trip(code, std::string("failpoint fired: ") + site);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace hql

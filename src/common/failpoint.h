@@ -1,0 +1,98 @@
+#ifndef HQL_COMMON_FAILPOINT_H_
+#define HQL_COMMON_FAILPOINT_H_
+
+// Deterministic fault injection (genny/MongoDB-style failpoints): named
+// sites compiled into Debug builds at well-chosen chokepoints, armed by
+// test code with either a fire-after-K countdown or a seeded per-hit
+// probability. In Release (NDEBUG) the HQL_FAIL_POINT macro expands to a
+// no-op and the sites cost nothing.
+//
+// Firing does not abort and does not throw: it trips the thread's ambient
+// ExecGovernor (common/governor.h) with the configured status code, and
+// cooperative checking turns that into a clean kCancelled /
+// kResourceExhausted error on the normal propagation path. A fired site
+// with no governor installed only counts the fire — exactly what a
+// production build would do.
+//
+//   ArmFailPoint(kFailPointIndexBuild,
+//                FailPointSpec::AfterN(2, StatusCode::kResourceExhausted));
+//   ... run a governed query; the third index build trips it ...
+//   DisarmAllFailPoints();
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hql {
+
+// The site catalog. Tests sweep RegisteredFailPointSites(); the constants
+// keep call sites and tests in sync.
+inline constexpr const char* kFailPointTaskEnqueue = "thread_pool.enqueue";
+inline constexpr const char* kFailPointTupleAppend = "relation.append";
+inline constexpr const char* kFailPointIndexBuild = "index.build";
+inline constexpr const char* kFailPointMemoInsert = "memo.insert";
+inline constexpr const char* kFailPointConsolidate = "view.consolidate";
+
+struct FailPointSpec {
+  enum class Mode {
+    kOff,
+    kAfterN,       // skip the first `after_n` hits, fire on every later hit
+    kProbability,  // fire each hit with `probability`, seeded per site
+  };
+
+  Mode mode = Mode::kOff;
+  uint64_t after_n = 0;
+  double probability = 0.0;
+  uint64_t seed = 0;
+  /// What the fired site reports: kCancelled or kResourceExhausted.
+  StatusCode code = StatusCode::kResourceExhausted;
+
+  static FailPointSpec AfterN(uint64_t n,
+                              StatusCode c = StatusCode::kResourceExhausted) {
+    FailPointSpec s;
+    s.mode = Mode::kAfterN;
+    s.after_n = n;
+    s.code = c;
+    return s;
+  }
+  static FailPointSpec Probability(
+      double p, uint64_t seed,
+      StatusCode c = StatusCode::kResourceExhausted) {
+    FailPointSpec s;
+    s.mode = Mode::kProbability;
+    s.probability = p;
+    s.seed = seed;
+    s.code = c;
+    return s;
+  }
+};
+
+/// Arms `site` with `spec`, resetting its hit/fire counters. Thread-safe.
+void ArmFailPoint(const std::string& site, const FailPointSpec& spec);
+
+/// Disarms one site / all sites (counters are kept until re-armed).
+void DisarmFailPoint(const std::string& site);
+void DisarmAllFailPoints();
+
+/// Times the site fired since it was last armed.
+uint64_t FailPointFireCount(const std::string& site);
+
+/// The compiled-in site catalog (stable order, for sweeps and docs).
+std::vector<std::string> RegisteredFailPointSites();
+
+namespace internal {
+/// The slow path behind HQL_FAIL_POINT; cheap no-op while nothing is armed.
+void FailPointHit(const char* site);
+}  // namespace internal
+
+}  // namespace hql
+
+#ifdef NDEBUG
+#define HQL_FAIL_POINT(site) ((void)0)
+#else
+#define HQL_FAIL_POINT(site) ::hql::internal::FailPointHit(site)
+#endif
+
+#endif  // HQL_COMMON_FAILPOINT_H_

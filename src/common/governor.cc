@@ -1,0 +1,203 @@
+#include "common/governor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hql {
+
+namespace {
+
+// Process-wide counters (relaxed: they feed explain output, not
+// synchronization).
+std::atomic<uint64_t> g_deadline_trips{0};
+std::atomic<uint64_t> g_tuple_trips{0};
+std::atomic<uint64_t> g_rewrite_trips{0};
+std::atomic<uint64_t> g_cancellations{0};
+std::atomic<uint64_t> g_lazy_fallbacks{0};
+std::atomic<uint64_t> g_index_fallbacks{0};
+std::atomic<uint64_t> g_max_tuples_charged{0};
+std::atomic<uint64_t> g_max_rewrite_nodes_charged{0};
+
+void RaiseHighWater(std::atomic<uint64_t>* mark, uint64_t value) {
+  uint64_t prev = mark->load(std::memory_order_relaxed);
+  while (value > prev &&
+         !mark->compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+thread_local ExecGovernor* t_current_governor = nullptr;
+
+}  // namespace
+
+GovernorStats GlobalGovernorStats() {
+  GovernorStats s;
+  s.deadline_trips = g_deadline_trips.load(std::memory_order_relaxed);
+  s.tuple_trips = g_tuple_trips.load(std::memory_order_relaxed);
+  s.rewrite_trips = g_rewrite_trips.load(std::memory_order_relaxed);
+  s.cancellations = g_cancellations.load(std::memory_order_relaxed);
+  s.lazy_fallbacks = g_lazy_fallbacks.load(std::memory_order_relaxed);
+  s.index_fallbacks = g_index_fallbacks.load(std::memory_order_relaxed);
+  s.max_tuples_charged =
+      g_max_tuples_charged.load(std::memory_order_relaxed);
+  s.max_rewrite_nodes_charged =
+      g_max_rewrite_nodes_charged.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetGovernorStats() {
+  g_deadline_trips.store(0, std::memory_order_relaxed);
+  g_tuple_trips.store(0, std::memory_order_relaxed);
+  g_rewrite_trips.store(0, std::memory_order_relaxed);
+  g_cancellations.store(0, std::memory_order_relaxed);
+  g_lazy_fallbacks.store(0, std::memory_order_relaxed);
+  g_index_fallbacks.store(0, std::memory_order_relaxed);
+  g_max_tuples_charged.store(0, std::memory_order_relaxed);
+  g_max_rewrite_nodes_charged.store(0, std::memory_order_relaxed);
+}
+
+void AddLazyFallback() {
+  g_lazy_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AddIndexFallback() {
+  g_index_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecGovernor::ExecGovernor(const ExecBudget& budget, CancelTokenPtr cancel,
+                           CancelTokenPtr cancel2)
+    : budget_(budget),
+      cancel_(std::move(cancel)),
+      cancel2_(std::move(cancel2)) {
+  if (budget_.check_interval == 0) budget_.check_interval = 1;
+  if (budget_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(budget_.deadline_ms);
+  }
+  next_check_.store(budget_.check_interval, std::memory_order_relaxed);
+}
+
+ExecGovernor::~ExecGovernor() {
+  RaiseHighWater(&g_max_tuples_charged,
+                 tuples_.load(std::memory_order_relaxed));
+  RaiseHighWater(&g_max_rewrite_nodes_charged,
+                 rewrite_nodes_.load(std::memory_order_relaxed));
+}
+
+void ExecGovernor::Trip(StatusCode code, std::string message) {
+  HQL_CHECK(code == StatusCode::kCancelled ||
+            code == StatusCode::kResourceExhausted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tripped_.load(std::memory_order_relaxed)) return;  // first trip wins
+  trip_status_ = Status(code, std::move(message));
+  if (code == StatusCode::kCancelled) {
+    g_cancellations.fetch_add(1, std::memory_order_relaxed);
+  }
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status ExecGovernor::status() const {
+  if (!tripped()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return trip_status_;
+}
+
+bool ExecGovernor::SlowCheck() {
+  if (tripped()) return false;
+  if ((cancel_ != nullptr && cancel_->cancelled()) ||
+      (cancel2_ != nullptr && cancel2_->cancelled())) {
+    Trip(StatusCode::kCancelled, "execution cancelled via CancelToken");
+    return false;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    g_deadline_trips.fetch_add(1, std::memory_order_relaxed);
+    Trip(StatusCode::kResourceExhausted,
+         StrFormat("deadline of %lld ms exceeded",
+                   static_cast<long long>(budget_.deadline_ms)));
+    return false;
+  }
+  return true;
+}
+
+bool ExecGovernor::ChargeTuples(uint64_t n) {
+  if (tripped()) return false;
+  uint64_t total = tuples_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (budget_.max_tuples != 0 && total > budget_.max_tuples) {
+    g_tuple_trips.fetch_add(1, std::memory_order_relaxed);
+    Trip(StatusCode::kResourceExhausted,
+         StrFormat("tuple budget of %llu exceeded",
+                   static_cast<unsigned long long>(budget_.max_tuples)));
+    return false;
+  }
+  return Tick(n);
+}
+
+bool ExecGovernor::Tick(uint64_t n) {
+  if (tripped()) return false;
+  uint64_t total = ticks_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (total >= next_check_.load(std::memory_order_relaxed)) {
+    next_check_.store(total + budget_.check_interval,
+                      std::memory_order_relaxed);
+    return SlowCheck();
+  }
+  return true;
+}
+
+bool ExecGovernor::ChargeRewriteNodes(uint64_t n) {
+  if (tripped()) return false;
+  uint64_t total = rewrite_nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (budget_.max_rewrite_nodes != 0 && total > budget_.max_rewrite_nodes) {
+    g_rewrite_trips.fetch_add(1, std::memory_order_relaxed);
+    RaiseHighWater(&g_max_rewrite_nodes_charged, total);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tripped_.load(std::memory_order_relaxed)) {
+        trip_status_ = Status::ResourceExhausted(StrFormat(
+            "rewrite-node budget of %llu exceeded (lazy blow-up guard)",
+            static_cast<unsigned long long>(budget_.max_rewrite_nodes)));
+        rewrite_tripped_.store(true, std::memory_order_release);
+        tripped_.store(true, std::memory_order_release);
+      }
+    }
+    return false;
+  }
+  return !tripped();
+}
+
+bool ExecGovernor::ClearRewriteTrip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tripped_.load(std::memory_order_relaxed)) return true;
+  if (!rewrite_tripped_.load(std::memory_order_relaxed)) return false;
+  trip_status_ = Status::OK();
+  rewrite_nodes_.store(0, std::memory_order_relaxed);
+  rewrite_tripped_.store(false, std::memory_order_release);
+  tripped_.store(false, std::memory_order_release);
+  return true;
+}
+
+Status ExecGovernor::Check() {
+  if (tripped()) return status();
+  SlowCheck();
+  return status();
+}
+
+bool ExecGovernor::AllowIndexBuild(uint64_t base_rows) {
+  if (tripped()) return false;
+  return budget_.max_index_build_rows == 0 ||
+         base_rows <= budget_.max_index_build_rows;
+}
+
+ExecGovernor* CurrentGovernor() { return t_current_governor; }
+
+GovernorScope::GovernorScope(ExecGovernor* governor)
+    : prev_(t_current_governor) {
+  t_current_governor = governor;
+}
+
+GovernorScope::~GovernorScope() { t_current_governor = prev_; }
+
+}  // namespace hql

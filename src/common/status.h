@@ -13,12 +13,14 @@ namespace hql {
 // Broad machine-readable classification of an error.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   // malformed input from the caller (bad arity, parse...)
-  kNotFound,          // unknown relation name
-  kAlreadyExists,     // duplicate relation name in a schema or substitution
-  kTypeError,         // arity / value-type mismatch detected by typecheck
-  kUnimplemented,     // feature intentionally not supported
-  kInternal,          // invariant violation surfaced as an error
+  kInvalidArgument,    // malformed input from the caller (bad arity, parse...)
+  kNotFound,           // unknown relation name
+  kAlreadyExists,      // duplicate relation name in a schema or substitution
+  kTypeError,          // arity / value-type mismatch detected by typecheck
+  kUnimplemented,      // feature intentionally not supported
+  kInternal,           // invariant violation surfaced as an error
+  kCancelled,          // execution stopped via a CancelToken
+  kResourceExhausted,  // an ExecBudget limit (deadline/tuples/rewrite) tripped
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/ra_eval.h"
 
@@ -87,10 +88,13 @@ void DeltaScan::Settle() {
 
 Relation SelectWhen(const Relation& base, const DeltaPair* delta,
                     const ScalarExpr& predicate) {
+  ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   for (DeltaScan scan(base, delta); !scan.Done(); scan.Advance()) {
+    if (gov != nullptr && !gov->Tick()) break;
     if (predicate.EvaluatesTrue(scan.Current())) {
       out.push_back(scan.Current());
+      if (gov != nullptr && !gov->ChargeTuples(1)) break;
     }
   }
   return Relation::FromSortedUnique(base.arity(), std::move(out));
@@ -116,6 +120,7 @@ void CollectRun(DeltaScan* scan, size_t col, std::vector<Tuple>* run) {
 Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
                   const Relation& base_r, const DeltaPair* delta_r,
                   size_t lcol, size_t rcol, const ScalarExprPtr& residual) {
+  ExecGovernor* gov = CurrentGovernor();
   const size_t out_arity = base_l.arity() + base_r.arity();
   std::vector<Tuple> out;
 
@@ -129,7 +134,9 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
     DeltaScan ls(base_l, delta_l);
     DeltaScan rs(base_r, delta_r);
     std::vector<Tuple> lrun, rrun;
-    while (!ls.Done() && !rs.Done()) {
+    bool stop = false;
+    while (!stop && !ls.Done() && !rs.Done()) {
+      if (gov != nullptr && !gov->Tick()) break;
       int c = ls.Current()[0].Compare(rs.Current()[0]);
       if (c < 0) {
         ls.Advance();
@@ -139,9 +146,16 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
         CollectRun(&ls, 0, &lrun);
         CollectRun(&rs, 0, &rrun);
         for (const Tuple& l : lrun) {
+          if (stop) break;
           for (const Tuple& r : rrun) {
             Tuple combined = ConcatTuples(l, r);
-            if (residual_ok(combined)) out.push_back(std::move(combined));
+            if (residual_ok(combined)) {
+              out.push_back(std::move(combined));
+              if (gov != nullptr && !gov->ChargeTuples(1)) {
+                stop = true;
+                break;
+              }
+            }
           }
         }
       }
@@ -154,14 +168,23 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
   std::unordered_map<Value, std::vector<Tuple>, ValueHash> table;
   table.reserve(base_r.size());
   for (DeltaScan rs(base_r, delta_r); !rs.Done(); rs.Advance()) {
+    if (gov != nullptr && !gov->Tick()) break;
     table[rs.Current()[rcol]].push_back(rs.Current());
   }
-  for (DeltaScan ls(base_l, delta_l); !ls.Done(); ls.Advance()) {
+  bool stop = false;
+  for (DeltaScan ls(base_l, delta_l); !stop && !ls.Done(); ls.Advance()) {
+    if (gov != nullptr && !gov->Tick()) break;
     auto it = table.find(ls.Current()[lcol]);
     if (it == table.end()) continue;
     for (const Tuple& r : it->second) {
       Tuple combined = ConcatTuples(ls.Current(), r);
-      if (residual_ok(combined)) out.push_back(std::move(combined));
+      if (residual_ok(combined)) {
+        out.push_back(std::move(combined));
+        if (gov != nullptr && !gov->ChargeTuples(1)) {
+          stop = true;
+          break;
+        }
+      }
     }
   }
   return Relation::FromTuples(out_arity, std::move(out));
@@ -191,7 +214,10 @@ Result<RelationView> EvalFilterDNode(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
     const std::map<std::string, RelationView>* temps,
     const IndexConfig& config) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("EvalFilterD: query must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (query->kind()) {
     case QueryKind::kRel: {
       if (temps != nullptr) {
@@ -344,7 +370,11 @@ Result<RelationView> EvalFilterDView(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
     const std::map<std::string, RelationView>* temps,
     const IndexConfig& config) {
-  return EvalFilterDNode(query, db, delta, temps, config);
+  HQL_ASSIGN_OR_RETURN(RelationView out,
+                       EvalFilterDNode(query, db, delta, temps, config));
+  // Discard a root-operator kernel's truncated output on trip.
+  HQL_RETURN_IF_ERROR(GovernorCheck());
+  return out;
 }
 
 Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
@@ -353,6 +383,7 @@ Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
                              const IndexConfig& config) {
   HQL_ASSIGN_OR_RETURN(RelationView out,
                        EvalFilterDNode(query, db, delta, temps, config));
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }
 

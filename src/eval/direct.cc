@@ -7,13 +7,17 @@
 #include "ast/query.h"
 #include "ast/update.h"
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/ra_eval.h"
 #include "hql/free_dom.h"
 
 namespace hql {
 
 Result<Relation> EvalDirect(const QueryPtr& query, const Database& db) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("EvalDirect: query must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (query->kind()) {
     case QueryKind::kRel:
       return db.Get(query->rel_name());
@@ -68,7 +72,10 @@ Result<Relation> EvalDirect(const QueryPtr& query, const Database& db) {
 }
 
 Result<Database> ExecUpdate(const UpdatePtr& update, const Database& db) {
-  HQL_CHECK(update != nullptr);
+  if (update == nullptr) {
+    return Status::InvalidArgument("ExecUpdate: update must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (update->kind()) {
     case UpdateKind::kInsert: {
       // DB[R <- R u Q]: the update argument becomes an add-overlay on the
@@ -103,7 +110,10 @@ Result<Database> ExecUpdate(const UpdatePtr& update, const Database& db) {
 }
 
 Result<Database> EvalState(const HypoExprPtr& state, const Database& db) {
-  HQL_CHECK(state != nullptr);
+  if (state == nullptr) {
+    return Status::InvalidArgument("EvalState: state must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (state->kind()) {
     case HypoKind::kUpdateState:
       return ExecUpdate(state->update(), db);

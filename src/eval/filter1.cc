@@ -3,6 +3,7 @@
 #include "ast/hypo.h"
 #include "ast/query.h"
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/ra_eval.h"
 #include "hql/enf.h"
 
@@ -14,6 +15,7 @@ namespace {
 // environment lookups are refcount bumps, only operator outputs allocate.
 Result<RelationView> F1(const QueryPtr& q, const Database& db,
                         const XsubValue& env) {
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (q->kind()) {
     case QueryKind::kRel: {
       RelationPtr bound = env.GetShared(q->rel_name());
@@ -87,18 +89,24 @@ Result<RelationView> F1(const QueryPtr& q, const Database& db,
 }  // namespace
 
 Result<Relation> Filter1(const QueryPtr& query, const Database& db) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Filter1: query must not be null");
+  }
   if (!IsEnf(query)) {
     return Status::InvalidArgument("Filter1 requires an ENF query");
   }
   HQL_ASSIGN_OR_RETURN(RelationView out, F1(query, db, XsubValue()));
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }
 
 Result<Relation> Filter1WithEnv(const QueryPtr& query, const Database& db,
                                 const XsubValue& env) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Filter1WithEnv: query must not be null");
+  }
   HQL_ASSIGN_OR_RETURN(RelationView out, F1(query, db, env));
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }
 

@@ -1,6 +1,7 @@
 #include "eval/filter2.h"
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/ra_eval.h"
 #include "hql/enf.h"
 
@@ -28,6 +29,7 @@ class XsubResolver : public RelResolver {
 
 Result<RelationView> F2(const CollapsedPtr& node, const Database& db,
                         const XsubValue& env) {
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   if (node->kind == CollapsedKind::kBlock) {
     XsubResolver base(db, env);
     OverlayResolver resolver(base);
@@ -55,7 +57,9 @@ Result<RelationView> F2(const CollapsedPtr& node, const Database& db,
 
 Result<Relation> Filter2(const QueryPtr& query, const Database& db,
                          const Schema& schema) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Filter2: query must not be null");
+  }
   if (!IsEnf(query)) {
     return Status::InvalidArgument("Filter2 requires an ENF query");
   }
@@ -70,8 +74,11 @@ Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
 
 Result<Relation> Filter2WithEnv(const CollapsedPtr& tree, const Database& db,
                                 const XsubValue& env) {
-  HQL_CHECK(tree != nullptr);
+  if (tree == nullptr) {
+    return Status::InvalidArgument("Filter2WithEnv: tree must not be null");
+  }
   HQL_ASSIGN_OR_RETURN(RelationView out, F2(tree, db, env));
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/delta_ops.h"
 #include "hql/enf.h"
 
@@ -14,6 +15,7 @@ namespace {
 
 Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
                         const DeltaValue& env, const IndexConfig& config) {
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   if (node->kind == CollapsedKind::kBlock) {
     std::map<std::string, RelationView> temps;
     for (size_t i = 0; i < node->holes.size(); ++i) {
@@ -73,7 +75,9 @@ Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
 
 Result<Relation> Filter3(const QueryPtr& query, const Database& db,
                          const Schema& schema, const IndexConfig& config) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Filter3: query must not be null");
+  }
   // Prefer mod-ENF (states stay as atomic chains whose deltas are exactly
   // the inserted/deleted sets); fall back to ENF with precise deltas when
   // the query contains explicit substitutions or conditionals.
@@ -98,8 +102,11 @@ Result<Relation> Filter3Collapsed(const CollapsedPtr& tree, const Database& db,
 Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
                                 const DeltaValue& env,
                                 const IndexConfig& config) {
-  HQL_CHECK(tree != nullptr);
+  if (tree == nullptr) {
+    return Status::InvalidArgument("Filter3WithEnv: tree must not be null");
+  }
   HQL_ASSIGN_OR_RETURN(RelationView out, F3(tree, db, env, config));
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }
 

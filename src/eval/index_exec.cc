@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/ra_eval.h"
 
 namespace hql {
@@ -88,6 +89,15 @@ RelationIndexPtr LookupIndex(const RelationPtr& base,
       return base->ExistingIndex(columns);
     case IndexMode::kAdvisor:
       if (config.advisor == nullptr) return base->ExistingIndex(columns);
+      // Under a governor, an advisor-driven build over a base past the
+      // index-build budget (or on an already-tripped execution) degrades to
+      // whatever index already exists — a scan otherwise — instead of
+      // paying the build.
+      if (ExecGovernor* gov = CurrentGovernor();
+          gov != nullptr && !gov->AllowIndexBuild(base->size())) {
+        AddIndexFallback();
+        return base->ExistingIndex(columns);
+      }
       return config.advisor->Advise(base, columns);
   }
   return nullptr;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ast/hypo.h"
+#include "common/governor.h"
 #include "common/strings.h"
 #include "eval/direct.h"
 #include "hql/free_dom.h"
@@ -61,6 +62,7 @@ Result<Database> EvalAtomicStateMemo(const HypoExprPtr& state,
 
 Result<Database> EvalStateMemo(const HypoExprPtr& state, const Database& db,
                                MemoCache* memo) {
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   if (memo == nullptr) return EvalState(state, db);
   if (state->kind() == HypoKind::kCompose) {
     HQL_ASSIGN_OR_RETURN(Database mid,

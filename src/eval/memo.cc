@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace hql {
@@ -68,6 +69,7 @@ std::shared_ptr<const Relation> MemoCache::Lookup(uint64_t key) {
 }
 
 void MemoCache::Insert(uint64_t key, std::shared_ptr<const Relation> value) {
+  HQL_FAIL_POINT(kFailPointMemoInsert);
   if (capacity_ == 0 || value == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/memo.h"
 
@@ -16,12 +17,23 @@ namespace {
 // RelationView): both iterate tuples in sorted order and expose
 // arity()/size(), so one implementation serves the flat and the
 // merge-streaming form.
+//
+// Each kernel charges its *output* tuples against the ambient governor's
+// tuple budget and ticks *processed* rows toward the cooperative-check
+// cadence. On a trip the kernel breaks out and returns truncated data; the
+// Status-returning caller (EvalRaNode) observes the trip via GovernorCheck
+// and discards the partial result, so truncation never escapes.
 
 template <typename Rel>
 Relation FilterImpl(const Rel& input, const ScalarExpr& predicate) {
+  ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   for (const Tuple& t : input) {
-    if (predicate.EvaluatesTrue(t)) out.push_back(t);
+    if (gov != nullptr && !gov->Tick()) break;
+    if (predicate.EvaluatesTrue(t)) {
+      out.push_back(t);
+      if (gov != nullptr && !gov->ChargeTuples(1)) break;
+    }
   }
   // Filtering preserves order and uniqueness.
   return Relation::FromSortedUnique(input.arity(), std::move(out));
@@ -29,6 +41,7 @@ Relation FilterImpl(const Rel& input, const ScalarExpr& predicate) {
 
 template <typename Rel>
 Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
+  ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   out.reserve(input.size());
   for (const Tuple& t : input) {
@@ -39,6 +52,7 @@ Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
       p.push_back(t[c]);
     }
     out.push_back(std::move(p));
+    if (gov != nullptr && !gov->ChargeTuples(1)) break;
   }
   return Relation::FromTuples(columns.size(), std::move(out));
 }
@@ -49,6 +63,7 @@ Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
 template <typename Lhs, typename Rhs>
 Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
                   const ScalarExprPtr& predicate) {
+  ExecGovernor* gov = CurrentGovernor();
   const size_t out_arity = lhs.arity() + rhs.arity();
 
   std::vector<std::pair<size_t, size_t>> equi;
@@ -90,12 +105,16 @@ Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
     };
     auto probe_with = [&](const auto& probe, bool keys_from_rhs) {
       for (const Tuple& p : probe) {
+        if (gov != nullptr && !gov->Tick()) return;
         auto it = table.find(key_of(p, keys_from_rhs));
         if (it == table.end()) continue;
         for (const Tuple* b : it->second) {
           Tuple combined =
               keys_from_rhs ? ConcatTuples(*b, p) : ConcatTuples(p, *b);
-          if (residual_ok(combined)) out.push_back(std::move(combined));
+          if (residual_ok(combined)) {
+            out.push_back(std::move(combined));
+            if (gov != nullptr && !gov->ChargeTuples(1)) return;
+          }
         }
       }
     };
@@ -108,10 +127,22 @@ Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
     }
   } else {
     // Nested loop with the predicate applied inline (clustered sigma-x).
+    bool stop = false;
     for (const Tuple& l : lhs) {
+      if (stop) break;
       for (const Tuple& r : rhs) {
+        if (gov != nullptr && !gov->Tick()) {
+          stop = true;
+          break;
+        }
         Tuple combined = ConcatTuples(l, r);
-        if (residual_ok(combined)) out.push_back(std::move(combined));
+        if (residual_ok(combined)) {
+          out.push_back(std::move(combined));
+          if (gov != nullptr && !gov->ChargeTuples(1)) {
+            stop = true;
+            break;
+          }
+        }
       }
     }
   }
@@ -131,9 +162,11 @@ Relation AggregateImpl(const Rel& input,
     Value min_v;
     Value max_v;
   };
+  ExecGovernor* gov = CurrentGovernor();
   std::unordered_map<Tuple, Acc, TupleHash> groups;
   groups.reserve(input.size());
   for (const Tuple& t : input) {
+    if (gov != nullptr && !gov->Tick()) break;
     Tuple key;
     key.reserve(group_columns.size());
     for (size_t c : group_columns) key.push_back(t[c]);
@@ -160,6 +193,7 @@ Relation AggregateImpl(const Rel& input,
   std::vector<Tuple> out;
   out.reserve(groups.size());
   for (auto& [key, acc] : groups) {
+    if (gov != nullptr && !gov->ChargeTuples(1)) break;
     Value agg;
     switch (func) {
       case AggFunc::kCount:
@@ -332,10 +366,15 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
 Result<RelationView> EvalRaNode(const QueryPtr& query,
                                 const RelResolver& resolver,
                                 const EvalMemo* memo) {
+  // Operator-boundary checkpoint: surfaces a kernel trip (the kernel broke
+  // out with truncated data) before the partial result can propagate, and
+  // bounds how long a deep plan runs past a deadline or cancellation.
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   const QueryKind kind = query->kind();
   const bool memoizable =
-      memo != nullptr && kind != QueryKind::kRel &&
-      kind != QueryKind::kEmpty && kind != QueryKind::kSingleton;
+      memo != nullptr && memo->cache != nullptr &&
+      kind != QueryKind::kRel && kind != QueryKind::kEmpty &&
+      kind != QueryKind::kSingleton;
   uint64_t key = 0;
   if (memoizable) {
     key = MemoKey(query->Fingerprint(), memo->state_fingerprint);
@@ -345,6 +384,9 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
   }
   HQL_ASSIGN_OR_RETURN(RelationView result,
                        EvalRaCompute(query, resolver, memo));
+  // A kernel that tripped mid-operator returned truncated data; re-check
+  // here so the partial relation is discarded, not memoized or returned.
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   // Computed operator results are flat, so Shared() is a refcount bump; the
   // cache and the computation share one relation.
   if (memoizable) memo->cache->Insert(key, result.Shared());
@@ -354,26 +396,42 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
 }  // namespace
 
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("EvalRa: query must not be null");
+  }
   HQL_ASSIGN_OR_RETURN(RelationView out, EvalRaNode(query, resolver, nullptr));
   return out.Materialize();
 }
 
+namespace {
+
+// A memo with no cache and no index policy adds nothing; dropping it keeps
+// the plain-evaluator fast path. A cacheless memo with indexes enabled must
+// still flow down (the index config rides on it).
+const EvalMemo* MemoOrNull(const EvalMemo& memo) {
+  if (memo.cache == nullptr && !memo.indexes.enabled()) return nullptr;
+  return &memo;
+}
+
+}  // namespace
+
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver,
                         const EvalMemo& memo) {
-  HQL_CHECK(query != nullptr);
-  HQL_ASSIGN_OR_RETURN(
-      RelationView out,
-      EvalRaNode(query, resolver, memo.cache == nullptr ? nullptr : &memo));
+  if (query == nullptr) {
+    return Status::InvalidArgument("EvalRa: query must not be null");
+  }
+  HQL_ASSIGN_OR_RETURN(RelationView out,
+                       EvalRaNode(query, resolver, MemoOrNull(memo)));
   return out.Materialize();
 }
 
 Result<RelationView> EvalRaView(const QueryPtr& query,
                                 const RelResolver& resolver,
                                 const EvalMemo& memo) {
-  HQL_CHECK(query != nullptr);
-  return EvalRaNode(query, resolver,
-                    memo.cache == nullptr ? nullptr : &memo);
+  if (query == nullptr) {
+    return Status::InvalidArgument("EvalRaView: query must not be null");
+  }
+  return EvalRaNode(query, resolver, MemoOrNull(memo));
 }
 
 }  // namespace hql

@@ -4,6 +4,7 @@
 #include "ast/query.h"
 #include "ast/typecheck.h"
 #include "common/check.h"
+#include "common/governor.h"
 #include "common/strings.h"
 
 namespace hql {
@@ -22,6 +23,7 @@ struct Builder {
   explicit Builder(const Schema& s) : schema(s) {}
 
   Result<CollapsedPtr> CollapseQuery(const QueryPtr& q) {
+    HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
     if (q->kind() == QueryKind::kWhen) return CollapseWhen(q);
     // Maximal pure-RA region: walk down until `when` nodes, replacing each
     // with a placeholder.
@@ -78,6 +80,7 @@ struct Builder {
   // Rebuilds the pure-RA skeleton of `q`, punching a placeholder for every
   // embedded `when` subtree (recorded as a hole on `owner`).
   Result<QueryPtr> BuildBlock(const QueryPtr& q, CollapsedNode* owner) {
+    HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
     switch (q->kind()) {
       case QueryKind::kRel:
       case QueryKind::kEmpty:
@@ -163,7 +166,9 @@ std::string ToStr(const CollapsedPtr& n) {
 }  // namespace
 
 Result<CollapsedPtr> Collapse(const QueryPtr& query, const Schema& schema) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Collapse: query must not be null");
+  }
   Builder builder(schema);
   return builder.CollapseQuery(query);
 }

@@ -6,6 +6,7 @@
 #include "ast/query.h"
 #include "ast/update.h"
 #include "common/check.h"
+#include "common/governor.h"
 #include "hql/free_dom.h"
 #include "hql/rewrite_when.h"
 #include "hql/slice.h"
@@ -106,6 +107,10 @@ HypoExprPtr ComposeExplicit(const HypoExprPtr& e1, const HypoExprPtr& e2) {
 }
 
 Result<HypoExprPtr> EnfUpdate(const UpdatePtr& u, const Schema& schema) {
+  // Each recursion step produces O(1) nodes (plus per-name bindings for
+  // kCond), so charging per step bounds the rewriter's output; the charge
+  // also polls deadline/cancellation on cadence.
+  HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
   switch (u->kind()) {
     case UpdateKind::kInsert: {
       HQL_ASSIGN_OR_RETURN(QueryPtr arg, EnfQuery(u->query(), schema));
@@ -152,6 +157,7 @@ Result<HypoExprPtr> EnfUpdate(const UpdatePtr& u, const Schema& schema) {
 }
 
 Result<HypoExprPtr> EnfHypo(const HypoExprPtr& h, const Schema& schema) {
+  HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
   switch (h->kind()) {
     case HypoKind::kSubst: {
       std::vector<Binding> out;
@@ -189,6 +195,7 @@ Result<HypoExprPtr> EnfHypo(const HypoExprPtr& h, const Schema& schema) {
 }
 
 Result<QueryPtr> EnfQuery(const QueryPtr& q, const Schema& schema) {
+  HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
   switch (q->kind()) {
     case QueryKind::kRel:
     case QueryKind::kEmpty:
@@ -295,6 +302,7 @@ Result<UpdatePtr> ModHypo(const HypoExprPtr& h, const Schema& schema) {
 }
 
 Result<QueryPtr> ModQuery(const QueryPtr& q, const Schema& schema) {
+  HQL_RETURN_IF_ERROR(GovernorChargeRewriteNodes(1));
   switch (q->kind()) {
     case QueryKind::kRel:
     case QueryKind::kEmpty:
@@ -357,7 +365,9 @@ bool IsEnf(const QueryPtr& query) {
 }
 
 Result<QueryPtr> ToEnf(const QueryPtr& query, const Schema& schema) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("ToEnf: query must not be null");
+  }
   return EnfQuery(query, schema);
 }
 
@@ -367,7 +377,9 @@ bool IsModEnf(const QueryPtr& query) {
 }
 
 Result<QueryPtr> ToModEnf(const QueryPtr& query, const Schema& schema) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("ToModEnf: query must not be null");
+  }
   return ModQuery(query, schema);
 }
 

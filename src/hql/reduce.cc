@@ -1,15 +1,37 @@
 #include "hql/reduce.h"
 
+#include <cstdint>
+#include <limits>
+
 #include "ast/hypo.h"
+#include "ast/metrics.h"
 #include "ast/query.h"
 #include "ast/update.h"
 #include "common/check.h"
+#include "common/governor.h"
 #include "hql/slice.h"
 
 namespace hql {
 
+namespace {
+
+// Charges an expanded-tree size (a double, possibly astronomically large —
+// Example 2.4) against the ambient governor's rewrite-node budget.
+Status ChargeTreeSize(double nodes) {
+  uint64_t n = nodes >= static_cast<double>(
+                            std::numeric_limits<uint64_t>::max() / 2)
+                   ? std::numeric_limits<uint64_t>::max() / 2
+                   : static_cast<uint64_t>(nodes);
+  return GovernorChargeRewriteNodes(n);
+}
+
+}  // namespace
+
 Result<QueryPtr> Reduce(const QueryPtr& query, const Schema& schema) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("Reduce: query must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (query->kind()) {
     case QueryKind::kRel:
     case QueryKind::kEmpty:
@@ -60,7 +82,12 @@ Result<QueryPtr> Reduce(const QueryPtr& query, const Schema& schema) {
       HQL_ASSIGN_OR_RETURN(Substitution rho,
                            ReduceHypo(query->state(), schema));
       HQL_ASSIGN_OR_RETURN(QueryPtr body, Reduce(query->left(), schema));
-      return rho.Apply(body);
+      QueryPtr out = rho.Apply(body);
+      // Apply shares subtrees (a DAG), but the result *means* its expanded
+      // tree — charge that size so an Example 2.4 blow-up trips the rewrite
+      // budget here instead of exploding downstream.
+      HQL_RETURN_IF_ERROR(ChargeTreeSize(TreeSize(out)));
+      return out;
     }
   }
   return Status::Internal("unknown query kind in reduce");
@@ -68,7 +95,10 @@ Result<QueryPtr> Reduce(const QueryPtr& query, const Schema& schema) {
 
 Result<Substitution> ReduceHypo(const HypoExprPtr& state,
                                 const Schema& schema) {
-  HQL_CHECK(state != nullptr);
+  if (state == nullptr) {
+    return Status::InvalidArgument("ReduceHypo: state must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (state->kind()) {
     case HypoKind::kUpdateState: {
       HQL_ASSIGN_OR_RETURN(UpdatePtr reduced,
@@ -108,7 +138,10 @@ Result<Substitution> ReduceHypo(const HypoExprPtr& state,
 }
 
 Result<UpdatePtr> ReduceUpdate(const UpdatePtr& update, const Schema& schema) {
-  HQL_CHECK(update != nullptr);
+  if (update == nullptr) {
+    return Status::InvalidArgument("ReduceUpdate: update must not be null");
+  }
+  HQL_RETURN_IF_ERROR(GovernorCheck());
   switch (update->kind()) {
     case UpdateKind::kInsert: {
       HQL_ASSIGN_OR_RETURN(QueryPtr q, Reduce(update->query(), schema));

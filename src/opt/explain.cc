@@ -67,6 +67,17 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
   report.index_probes = indexes.index_probes;
   report.index_tuples_skipped = indexes.tuples_skipped;
 
+  GovernorStats governor = GlobalGovernorStats();
+  report.governor_deadline_trips = governor.deadline_trips;
+  report.governor_tuple_trips = governor.tuple_trips;
+  report.governor_rewrite_trips = governor.rewrite_trips;
+  report.governor_cancellations = governor.cancellations;
+  report.governor_lazy_fallbacks = governor.lazy_fallbacks;
+  report.governor_index_fallbacks = governor.index_fallbacks;
+  report.governor_max_tuples_charged = governor.max_tuples_charged;
+  report.governor_max_rewrite_nodes_charged =
+      governor.max_rewrite_nodes_charged;
+
   if (memo != nullptr) {
     MemoCache::Stats cache = memo->stats();
     report.has_memo = true;
@@ -129,6 +140,19 @@ std::string FormatExplain(const ExplainReport& report) {
       static_cast<unsigned long long>(report.indexes_shared),
       static_cast<unsigned long long>(report.index_probes),
       static_cast<unsigned long long>(report.index_tuples_skipped));
+  out += StrFormat(
+      "governor:   trips %llu deadline / %llu tuple / %llu rewrite, "
+      "%llu cancellations; fallbacks %llu lazy / %llu index; peaks "
+      "%llu tuples, %llu rewrite nodes\n",
+      static_cast<unsigned long long>(report.governor_deadline_trips),
+      static_cast<unsigned long long>(report.governor_tuple_trips),
+      static_cast<unsigned long long>(report.governor_rewrite_trips),
+      static_cast<unsigned long long>(report.governor_cancellations),
+      static_cast<unsigned long long>(report.governor_lazy_fallbacks),
+      static_cast<unsigned long long>(report.governor_index_fallbacks),
+      static_cast<unsigned long long>(report.governor_max_tuples_charged),
+      static_cast<unsigned long long>(
+          report.governor_max_rewrite_nodes_charged));
   return out;
 }
 

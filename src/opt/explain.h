@@ -70,6 +70,19 @@ struct ExplainReport {
   uint64_t indexes_shared = 0;
   uint64_t index_probes = 0;
   uint64_t index_tuples_skipped = 0;
+
+  // Execution governor (process-wide counters, see GlobalGovernorStats):
+  // budget trips by kind, observed cancellations, graceful-degradation
+  // fallbacks taken (lazy -> hybrid -> eager rewrites, index build ->
+  // scan), and the high-water marks any single execution charged.
+  uint64_t governor_deadline_trips = 0;
+  uint64_t governor_tuple_trips = 0;
+  uint64_t governor_rewrite_trips = 0;
+  uint64_t governor_cancellations = 0;
+  uint64_t governor_lazy_fallbacks = 0;
+  uint64_t governor_index_fallbacks = 0;
+  uint64_t governor_max_tuples_charged = 0;
+  uint64_t governor_max_rewrite_nodes_charged = 0;
 };
 
 /// Builds the full report. `stats` drives the cost numbers (use

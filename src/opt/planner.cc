@@ -1,5 +1,6 @@
 #include "opt/planner.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "ast/hypo.h"
@@ -268,7 +269,9 @@ void CollectStateLoad(const QueryPtr& q, const StatsCatalog& stats,
 Result<Plan> PlanHybrid(const QueryPtr& query, const Schema& schema,
                         const StatsCatalog& stats,
                         const PlannerOptions& options) {
-  HQL_CHECK(query != nullptr);
+  if (query == nullptr) {
+    return Status::InvalidArgument("PlanHybrid: query must not be null");
+  }
   HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
   HybridWalker walker(schema, stats, options);
   HQL_ASSIGN_OR_RETURN(QueryPtr planned, walker.Walk(enf));
@@ -282,10 +285,13 @@ Result<Plan> PlanHybrid(const QueryPtr& query, const Schema& schema,
   return plan;
 }
 
-Result<Relation> Execute(const QueryPtr& query, const Database& db,
-                         const Schema& schema, Strategy strategy,
-                         const PlannerOptions& options) {
-  HQL_CHECK(query != nullptr);
+namespace {
+
+// The strategy switch, run under whatever governor is ambient. Fallback and
+// governor installation live in the public Execute wrapper below.
+Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
+                             const Schema& schema, Strategy strategy,
+                             const PlannerOptions& options) {
   const IndexConfig icfg = options.index_config();
   switch (strategy) {
     case Strategy::kDirect:
@@ -339,6 +345,61 @@ Result<Relation> Execute(const QueryPtr& query, const Database& db,
     }
   }
   return Status::Internal("unknown strategy");
+}
+
+// Runs ExecuteImpl and, when the ambient governor tripped on the rewrite
+// budget (the recoverable trip kind — an Example 2.4 blow-up caught before
+// evaluation), retries along the fallback lattice lazy -> hybrid -> eager.
+// The rewrite counter rewinds at each step; non-rewrite trips (deadline,
+// tuple budget, cancellation) are never retried.
+Result<Relation> ExecuteWithFallback(const QueryPtr& query, const Database& db,
+                                     const Schema& schema, Strategy strategy,
+                                     const PlannerOptions& options) {
+  HQL_RETURN_IF_ERROR(GovernorCheck());  // cancel-before-start
+  Result<Relation> result = ExecuteImpl(query, db, schema, strategy, options);
+  ExecGovernor* gov = CurrentGovernor();
+  PlannerOptions retry = options;
+  while (!result.ok() && gov != nullptr && gov->rewrite_tripped() &&
+         (strategy == Strategy::kLazy || strategy == Strategy::kHybrid)) {
+    if (!gov->ClearRewriteTrip()) break;
+    AddLazyFallback();
+    if (strategy == Strategy::kLazy) {
+      strategy = Strategy::kHybrid;
+      // Clamp the hybrid planner's lazy expansion to the rewrite budget so
+      // the retry plans eager where the reduction just blew up.
+      if (options.budget.max_rewrite_nodes > 0) {
+        retry.max_lazy_tree_size =
+            std::min(retry.max_lazy_tree_size,
+                     static_cast<double>(options.budget.max_rewrite_nodes));
+      }
+    } else {
+      strategy = Strategy::kFilter2;
+    }
+    result = ExecuteImpl(query, db, schema, strategy, retry);
+  }
+  // A kernel trip at the plan root can leave a truncated relation behind an
+  // OK status; the final check turns it into the trip error.
+  if (result.ok()) HQL_RETURN_IF_ERROR(GovernorCheck());
+  return result;
+}
+
+}  // namespace
+
+Result<Relation> Execute(const QueryPtr& query, const Database& db,
+                         const Schema& schema, Strategy strategy,
+                         const PlannerOptions& options) {
+  if (query == nullptr) {
+    return Status::InvalidArgument("Execute: query must not be null");
+  }
+  // Install a governor when the options ask for one and none is ambient
+  // (EvalAlternatives installs per-alternative governors before calling in).
+  if (CurrentGovernor() == nullptr &&
+      (!options.budget.unlimited() || options.cancel_token != nullptr)) {
+    ExecGovernor gov(options.budget, options.cancel_token);
+    GovernorScope scope(&gov);
+    return ExecuteWithFallback(query, db, schema, strategy, options);
+  }
+  return ExecuteWithFallback(query, db, schema, strategy, options);
 }
 
 }  // namespace hql

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "ast/forward.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "opt/estimator.h"
 #include "storage/database.h"
@@ -77,6 +78,19 @@ struct PlannerOptions {
   /// Base relations smaller than this are never probed through an index —
   /// a scan already beats the probe bookkeeping.
   size_t index_min_rows = 64;
+
+  /// Resource limits for the execution (common/governor.h). When any limit
+  /// is set (or `cancel_token` is non-null) and no governor is already
+  /// installed on the thread, Execute installs one for the duration of the
+  /// call; limit violations surface as kResourceExhausted, observed
+  /// cancellation as kCancelled. A rewrite-node trip on the lazy route
+  /// degrades gracefully instead: Execute retries along the fallback
+  /// lattice lazy -> hybrid -> eager (recorded in GovernorStats).
+  ExecBudget budget;
+
+  /// Optional cooperative cancellation for this execution; polled on the
+  /// budget's check cadence.
+  CancelTokenPtr cancel_token;
 
   /// The index configuration the options denote.
   IndexConfig index_config() const {

@@ -63,68 +63,121 @@ uint64_t HypotheticalSession::materialized_tuples() const {
 
 namespace {
 
-// One alternative of the family: Q when s (or Q itself at the root).
+// One alternative of the family: Q when s (or Q itself at the root),
+// governed by its own ExecGovernor so one alternative's budget trip never
+// eats a sibling's. `pool_cancel` (null on the serial path) is the pool's
+// first-hard-failure token.
 Result<Relation> EvalOneAlternative(const QueryPtr& query,
                                     const HypoExprPtr& state,
                                     const Database& db, const Schema& schema,
-                                    const AlternativesOptions& options) {
+                                    const AlternativesOptions& options,
+                                    const CancelTokenPtr& pool_cancel) {
   QueryPtr q = state == nullptr ? query : Query::When(query, state);
+  ExecGovernor gov(options.planner.budget, options.planner.cancel_token,
+                   pool_cancel);
+  GovernorScope scope(&gov);
   return Execute(q, db, schema, options.strategy, options.planner);
 }
 
+// A failure that indicates something broke (as opposed to a budget trip or
+// a cancellation, which are this alternative's own governed outcome).
+bool IsHardFailure(const Status& s) {
+  return !s.ok() && s.code() != StatusCode::kCancelled &&
+         s.code() != StatusCode::kResourceExhausted;
+}
+
+Status NeverRan() {
+  return Status::Cancelled("alternative cancelled before it ran");
+}
+
 }  // namespace
+
+std::vector<Result<Relation>> EvalAlternativesPartial(
+    const QueryPtr& query, const std::vector<HypoExprPtr>& states,
+    const Database& db, const Schema& schema,
+    const AlternativesOptions& options) {
+  const size_t n = states.size();
+  std::vector<std::optional<Result<Relation>>> slots(n);
+  if (query == nullptr) {
+    std::vector<Result<Relation>> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(Status::InvalidArgument("null query"));
+    }
+    return out;
+  }
+
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  if (threads > n) threads = n;
+
+  if (threads <= 1) {
+    // Serial loop with the same semantics as the pool: a hard failure
+    // cancels (skips) everything after it, budget trips do not.
+    bool hard_failed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (hard_failed) {
+        slots[i] = NeverRan();
+        continue;
+      }
+      Result<Relation> r = EvalOneAlternative(query, states[i], db, schema,
+                                              options, nullptr);
+      hard_failed = IsHardFailure(r.status());
+      slots[i] = std::move(r);
+    }
+  } else {
+    // Fan one task per alternative out across the pool. Tasks only write
+    // their own slot; the pool's WaitAll() provides the synchronization
+    // that makes the slots safe to read afterwards. Returning the hard
+    // failure to the pool cancels its batch token, which both drains the
+    // still-queued tasks and trips the running siblings' governors.
+    ThreadPool pool(threads);
+    const CancelTokenPtr pool_cancel = pool.cancel_token();
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit(std::function<Status()>([&, i]() -> Status {
+        Result<Relation> r = EvalOneAlternative(query, states[i], db, schema,
+                                                options, pool_cancel);
+        Status hard =
+            IsHardFailure(r.status()) ? r.status() : Status::OK();
+        slots[i] = std::move(r);
+        return hard;
+      }));
+    }
+    pool.WaitAll();
+    for (size_t i = 0; i < n; ++i) {
+      if (!slots[i].has_value()) slots[i] = NeverRan();  // drained unrun
+    }
+  }
+
+  std::vector<Result<Relation>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(*std::move(slots[i]));
+  return out;
+}
 
 Result<std::vector<Relation>> EvalAlternatives(
     const QueryPtr& query, const std::vector<HypoExprPtr>& states,
     const Database& db, const Schema& schema,
     const AlternativesOptions& options) {
   if (query == nullptr) return Status::InvalidArgument("null query");
-  const size_t n = states.size();
-  if (n == 0) return std::vector<Relation>();
+  if (states.empty()) return std::vector<Relation>();
 
-  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                            : options.num_threads;
-  if (threads > n) threads = n;
-
-  if (threads == 1) {
-    std::vector<Relation> results;
-    results.reserve(n);
-    for (const HypoExprPtr& state : states) {
-      HQL_ASSIGN_OR_RETURN(
-          Relation r, EvalOneAlternative(query, state, db, schema, options));
-      results.push_back(std::move(r));
+  std::vector<Result<Relation>> partial =
+      EvalAlternativesPartial(query, states, db, schema, options);
+  // Deterministic error selection regardless of which sibling a pool-wide
+  // cancellation reached first: prefer the first non-cancellation error by
+  // input order (the root cause), then the first error of any kind.
+  for (const Result<Relation>& r : partial) {
+    if (!r.ok() && r.status().code() != StatusCode::kCancelled) {
+      return r.status();
     }
-    return results;
   }
-
-  // Fan one task per alternative out across the pool. Tasks only write
-  // their own slot; the pool's Wait() provides the synchronization that
-  // makes the slots safe to read afterwards.
-  std::vector<std::optional<Relation>> slots(n);
-  std::vector<Status> errors(n);
-  {
-    ThreadPool pool(threads);
-    for (size_t i = 0; i < n; ++i) {
-      pool.Submit([&, i] {
-        Result<Relation> r =
-            EvalOneAlternative(query, states[i], db, schema, options);
-        if (r.ok()) {
-          slots[i] = std::move(r).value();
-        } else {
-          errors[i] = r.status();
-        }
-      });
-    }
-    pool.Wait();
-  }
-
-  // First error by input order wins, matching the serial loop's behavior.
-  for (size_t i = 0; i < n; ++i) {
-    if (!errors[i].ok()) return errors[i];
+  for (const Result<Relation>& r : partial) {
+    if (!r.ok()) return r.status();
   }
   std::vector<Relation> results;
-  results.reserve(n);
-  for (size_t i = 0; i < n; ++i) results.push_back(*std::move(slots[i]));
+  results.reserve(partial.size());
+  for (Result<Relation>& r : partial) results.push_back(std::move(r).value());
   return results;
 }
 

@@ -86,9 +86,26 @@ struct AlternativesOptions {
 ///
 /// Results arrive in input order and are identical to the serial loop
 ///   for (s : states) Execute(Query::When(query, s), db, schema, ...)
-/// regardless of thread count or cache state; the first error (by input
-/// order) aborts the whole call.
+/// regardless of thread count or cache state. Error selection: the first
+/// *hard* error by input order wins (anything except kCancelled); with only
+/// cancellations, the first error by input order wins.
+///
+/// Governance: `options.planner.budget` / `options.planner.cancel_token`
+/// apply to each alternative separately (each gets its own governor, so one
+/// alternative's deadline or tuple budget never eats a sibling's). A hard
+/// failure (any code except kCancelled / kResourceExhausted) cancels the
+/// remaining alternatives pool-wide; budget trips do not.
 Result<std::vector<Relation>> EvalAlternatives(
+    const QueryPtr& query, const std::vector<HypoExprPtr>& states,
+    const Database& db, const Schema& schema,
+    const AlternativesOptions& options = AlternativesOptions());
+
+/// Like EvalAlternatives, but surfaces every alternative's outcome
+/// separately: slot i holds alternative i's relation or its own error.
+/// Alternatives that were never run (drained after a hard failure, or
+/// cancelled via the caller's token) hold kCancelled. One alternative
+/// blowing its budget thus costs exactly that alternative, not the family.
+std::vector<Result<Relation>> EvalAlternativesPartial(
     const QueryPtr& query, const std::vector<HypoExprPtr>& states,
     const Database& db, const Schema& schema,
     const AlternativesOptions& options = AlternativesOptions());

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace hql {
 
@@ -49,6 +50,7 @@ void AddIndexTuplesSkipped(uint64_t n) {
 RelationIndex::RelationIndex(const Relation& base,
                              std::vector<size_t> columns)
     : columns_(std::move(columns)) {
+  HQL_FAIL_POINT(kFailPointIndexBuild);
   HQL_CHECK_MSG(!columns_.empty(), "index needs at least one column");
   for (size_t i = 0; i < columns_.size(); ++i) {
     HQL_CHECK_MSG(columns_[i] < base.arity(), "index column out of range");

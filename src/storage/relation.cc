@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace hql {
 
 Relation Relation::FromTuples(size_t arity, std::vector<Tuple> tuples) {
+  HQL_FAIL_POINT(kFailPointTupleAppend);
   for (const Tuple& t : tuples) {
     HQL_CHECK_MSG(t.size() == arity, "tuple arity mismatch");
   }
@@ -19,6 +21,7 @@ Relation Relation::FromTuples(size_t arity, std::vector<Tuple> tuples) {
 }
 
 Relation Relation::FromSortedUnique(size_t arity, std::vector<Tuple> tuples) {
+  HQL_FAIL_POINT(kFailPointTupleAppend);
 #ifndef NDEBUG
   for (size_t i = 0; i < tuples.size(); ++i) {
     HQL_CHECK(tuples[i].size() == arity);

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace hql {
@@ -168,6 +169,7 @@ RelationView RelationView::ApplyDelta(std::vector<Tuple> adds,
           consolidate_fraction * static_cast<double>(base_->size())) {
     // Break-even crossed: collapse to a fresh flat base so later scans pay
     // no merge overhead and later deltas start from a small overlay again.
+    HQL_FAIL_POINT(kFailPointConsolidate);
     g_consolidations.fetch_add(1, std::memory_order_relaxed);
     Relation flat = base_->ApplyTuples(new_adds, new_dels);
     g_tuples_copied.fetch_add(flat.size(), std::memory_order_relaxed);
@@ -191,6 +193,7 @@ RelationPtr RelationView::Shared() const {
   if (is_flat()) return base_;
   std::lock_guard<std::mutex> lock(flat_cache_->mu);
   if (flat_cache_->flat == nullptr) {
+    HQL_FAIL_POINT(kFailPointConsolidate);
     g_consolidations.fetch_add(1, std::memory_order_relaxed);
     Relation flat = base_->ApplyTuples(adds_, dels_);
     g_tuples_copied.fetch_add(flat.size(), std::memory_order_relaxed);

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
 #include <set>
+#include <stdexcept>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace hql {
@@ -29,6 +33,18 @@ TEST(StatusTest, AllCodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kTypeError), "TypeError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, GovernorFactories) {
+  Status c = Status::Cancelled("stopped");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stopped");
+  Status r = Status::ResourceExhausted("over budget");
+  EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.ToString(), "ResourceExhausted: over budget");
 }
 
 Result<int> Half(int v) {
@@ -123,6 +139,73 @@ TEST(StringsTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%zu", static_cast<size_t>(3)), "3");
   EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(ThreadPoolTest, RunsPlainTasksToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_OK(pool.WaitAll());
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_FALSE(pool.cancel_token()->cancelled());
+}
+
+TEST(ThreadPoolTest, ThrowingTaskBecomesInternalAndPoolSurvives) {
+  ThreadPool pool(2);
+  pool.Submit(std::function<Status()>(
+      []() -> Status { throw std::runtime_error("kaboom"); }));
+  Status st = pool.WaitAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("kaboom"), std::string::npos);
+  // The pool is alive: after rearming, new work runs normally.
+  pool.ResetBatch();
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  EXPECT_OK(pool.WaitAll());
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstErrorCancelsBatchAndDrainsQueuedTasks) {
+  // A single worker keeps the order deterministic: the failing task runs
+  // first, so every task queued behind it must be drained unrun.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.Submit(std::function<Status()>(
+      []() -> Status { return Status::Internal("first failure"); }));
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(std::function<Status()>([&ran]() -> Status {
+      ran.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  Status st = pool.WaitAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("first failure"), std::string::npos);
+  EXPECT_EQ(ran.load(), 0);  // all drained, none executed
+  EXPECT_TRUE(pool.cancel_token()->cancelled());
+
+  // ResetBatch installs a fresh token and clears the error.
+  pool.ResetBatch();
+  EXPECT_FALSE(pool.cancel_token()->cancelled());
+  pool.Submit(std::function<Status()>([&ran]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  }));
+  EXPECT_OK(pool.WaitAll());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingFailedBatch) {
+  // Destroying a pool whose batch failed must not deadlock or terminate.
+  ThreadPool pool(2);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(std::function<Status()>(
+        []() -> Status { return Status::Internal("boom"); }));
+  }
+  // No WaitAll: the destructor drains and joins.
 }
 
 TEST(StringsTest, Hashing) {
