@@ -38,6 +38,7 @@
 
 #include "ast/builders.h"
 #include "bench/bench_util.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/governor.h"
 #include "eval/memo.h"
@@ -160,6 +161,45 @@ void FamilyArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_Ungoverned)->Apply(FamilyArgs);
 BENCHMARK(BM_Governed)->Apply(FamilyArgs);
 BENCHMARK(BM_GovernedArmedFailpoints)->Apply(FamilyArgs);
+
+// Tracing overhead on the same E9 family: a caller-installed ExecContext
+// with spans off (counter charging only — the always-on cost) vs spans on
+// (every kernel records an OperatorSpan: clock reads plus a locked append).
+// The TracingOff -> TracingOn delta is the cost of arming per-operator
+// tracing; target < 5%, mirroring the Ungoverned -> Governed gate above.
+void RunTracedFamily(benchmark::State& state, bool tracing) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const int alts = static_cast<int>(state.range(1));
+  Database db = MakeRS(7, rows, KeyDomain(rows));
+  const Schema& schema = db.schema();
+  std::vector<HypoExprPtr> states = FamilyStates(alts, rows);
+  QueryPtr query = FamilyQuery(rows);
+
+  uint64_t total = 0;
+  uint64_t spans = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.set_tracing(tracing);
+    ExecContextScope scope(&ctx);
+    MemoCache cache;
+    AlternativesOptions options;
+    options.strategy = Strategy::kLazy;
+    options.num_threads = 4;
+    options.planner.memo = &cache;
+    std::vector<Relation> results =
+        Unwrap(EvalAlternatives(query, states, db, schema, options));
+    for (const Relation& r : results) total += r.size();
+    spans += ctx.Snapshot().spans.size();
+  }
+  state.counters["result_tuples"] = static_cast<double>(total);
+  state.counters["spans"] = static_cast<double>(spans);
+}
+
+void BM_TracingOff(benchmark::State& state) { RunTracedFamily(state, false); }
+void BM_TracingOn(benchmark::State& state) { RunTracedFamily(state, true); }
+
+BENCHMARK(BM_TracingOff)->Apply(FamilyArgs);
+BENCHMARK(BM_TracingOn)->Apply(FamilyArgs);
 
 // Time-to-cancel: a 100-stage chain of all-pass selections over a 100k-row
 // relation (each stage re-scans and re-materializes 100k rows, so the whole

@@ -6,17 +6,22 @@
 // Every benchmark main uses HQL_BENCH_MAIN(<name>), which accepts a
 // `--json` flag: when present, the run also writes BENCH_<name>.json
 // (google benchmark's JSON format — per-benchmark name, args, real/cpu
-// time in ns, and all user counters such as cache hit rates), so the perf
-// trajectory is machine-readable across PRs.
+// time in ns, and all user counters such as cache hit rates) plus
+// BENCH_<name>_stats.json (the ambient ExecContext's ExecStats::ToJson,
+// schema "hql-exec-stats/v1" — the run's view/index/memo/governor
+// counters), so the perf trajectory is machine-readable across PRs. Both
+// files are validated by bench/check_bench_json in the bench-smoke CI job.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "storage/database.h"
 #include "storage/schema.h"
@@ -83,6 +88,13 @@ inline int RunBenchmarks(const char* name, int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (json) {
+    // The run's execution-stats sidecar. Benchmarks that do not install
+    // their own ExecContext charge the ambient (process-default) context,
+    // so this captures the whole run's counters.
+    std::ofstream stats_out(std::string("BENCH_") + name + "_stats.json");
+    stats_out << AmbientExecContext().Snapshot().ToJson() << "\n";
+  }
   return 0;
 }
 

@@ -14,6 +14,8 @@
 //   \strategy NAME          direct | lazy | filter1 | filter2 | filter3 |
 //                           hybrid (default hybrid)
 //   \explain QUERY          show the lazy rewrite and the hybrid plan
+//   \analyze QUERY          EXPLAIN ANALYZE: run the query traced and show
+//                           estimates vs actuals plus per-operator spans
 //   \db                     print the whole database
 //   \time on|off            toggle per-query timing
 //   \help, \quit
@@ -29,6 +31,7 @@
 
 #include "ast/metrics.h"
 #include "ast/typecheck.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "eval/direct.h"
 #include "eval/memo.h"
@@ -57,6 +60,10 @@ struct ShellState {
   // fingerprint, so stale entries are never reachable. \explain shows the
   // counters.
   MemoCache memo;
+  // Session-level execution context: every query run from this shell
+  // charges here (installed for the lifetime of main), so \explain reports
+  // this shell's accumulated counters rather than process-wide state.
+  ExecContext exec;
   // Active what-if session (\whatif ... \endwhatif). Reset whenever the
   // real database changes, since it materializes a snapshot of the state.
   std::unique_ptr<HypotheticalSession> whatif;
@@ -95,6 +102,7 @@ void Help() {
       "  \\apply UPDATE           commit an update\n"
       "  \\strategy NAME          direct|lazy|filter1|filter2|filter3|hybrid\n"
       "  \\explain QUERY          show rewrites and plan\n"
+      "  \\analyze QUERY          run traced: estimates vs actuals + spans\n"
       "  \\db                     print the database\n"
       "  \\save FILE  \\open FILE  persist / restore the database\n"
       "  \\whatif STATE           open a what-if session (queries run in\n"
@@ -223,6 +231,23 @@ void HandleCommand(ShellState* st, const std::string& line) {
       return;
     }
     std::printf("%s", FormatExplain(report.value()).c_str());
+  } else if (cmd == "\\analyze") {
+    std::string rest;
+    std::getline(in, rest);
+    auto q = ParseQuery(rest);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    AnalyzeOptions options;
+    options.strategy = st->strategy;
+    options.planner.memo = &st->memo;
+    auto report = ExplainAnalyze(q.value(), st->db, st->schema, options);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", FormatExplainAnalyze(report.value()).c_str());
   } else if (cmd == "\\save") {
     std::string path;
     in >> path;
@@ -320,6 +345,9 @@ void HandleQuery(ShellState* st, const std::string& line) {
 
 int main() {
   ShellState state;
+  // All shell work charges the shell's own context, not the process
+  // default — the \explain counters are this session's.
+  ExecContextScope exec_scope(&state.exec);
   std::printf("hql shell — hypothetical queries (\\help for commands)\n");
   std::string line;
   for (;;) {

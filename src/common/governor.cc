@@ -4,68 +4,38 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/strings.h"
 
 namespace hql {
 
 namespace {
 
-// Process-wide counters (relaxed: they feed explain output, not
-// synchronization).
-std::atomic<uint64_t> g_deadline_trips{0};
-std::atomic<uint64_t> g_tuple_trips{0};
-std::atomic<uint64_t> g_rewrite_trips{0};
-std::atomic<uint64_t> g_cancellations{0};
-std::atomic<uint64_t> g_lazy_fallbacks{0};
-std::atomic<uint64_t> g_index_fallbacks{0};
-std::atomic<uint64_t> g_max_tuples_charged{0};
-std::atomic<uint64_t> g_max_rewrite_nodes_charged{0};
-
-void RaiseHighWater(std::atomic<uint64_t>* mark, uint64_t value) {
-  uint64_t prev = mark->load(std::memory_order_relaxed);
-  while (value > prev &&
-         !mark->compare_exchange_weak(prev, value,
-                                      std::memory_order_relaxed)) {
-  }
-}
-
 thread_local ExecGovernor* t_current_governor = nullptr;
 
 }  // namespace
 
 GovernorStats GlobalGovernorStats() {
+  ExecStats stats = ProcessDefaultExecContext().Snapshot();
   GovernorStats s;
-  s.deadline_trips = g_deadline_trips.load(std::memory_order_relaxed);
-  s.tuple_trips = g_tuple_trips.load(std::memory_order_relaxed);
-  s.rewrite_trips = g_rewrite_trips.load(std::memory_order_relaxed);
-  s.cancellations = g_cancellations.load(std::memory_order_relaxed);
-  s.lazy_fallbacks = g_lazy_fallbacks.load(std::memory_order_relaxed);
-  s.index_fallbacks = g_index_fallbacks.load(std::memory_order_relaxed);
-  s.max_tuples_charged =
-      g_max_tuples_charged.load(std::memory_order_relaxed);
-  s.max_rewrite_nodes_charged =
-      g_max_rewrite_nodes_charged.load(std::memory_order_relaxed);
+  s.deadline_trips = stats.governor_deadline_trips;
+  s.tuple_trips = stats.governor_tuple_trips;
+  s.rewrite_trips = stats.governor_rewrite_trips;
+  s.cancellations = stats.governor_cancellations;
+  s.lazy_fallbacks = stats.governor_lazy_fallbacks;
+  s.index_fallbacks = stats.governor_index_fallbacks;
+  s.max_tuples_charged = stats.governor_max_tuples_charged;
+  s.max_rewrite_nodes_charged = stats.governor_max_rewrite_nodes_charged;
   return s;
 }
 
 void ResetGovernorStats() {
-  g_deadline_trips.store(0, std::memory_order_relaxed);
-  g_tuple_trips.store(0, std::memory_order_relaxed);
-  g_rewrite_trips.store(0, std::memory_order_relaxed);
-  g_cancellations.store(0, std::memory_order_relaxed);
-  g_lazy_fallbacks.store(0, std::memory_order_relaxed);
-  g_index_fallbacks.store(0, std::memory_order_relaxed);
-  g_max_tuples_charged.store(0, std::memory_order_relaxed);
-  g_max_rewrite_nodes_charged.store(0, std::memory_order_relaxed);
+  ProcessDefaultExecContext().ResetGovernorCounters();
 }
 
-void AddLazyFallback() {
-  g_lazy_fallbacks.fetch_add(1, std::memory_order_relaxed);
-}
+void AddLazyFallback() { AmbientExecContext().AddLazyFallback(); }
 
-void AddIndexFallback() {
-  g_index_fallbacks.fetch_add(1, std::memory_order_relaxed);
-}
+void AddIndexFallback() { AmbientExecContext().AddIndexFallback(); }
 
 ExecGovernor::ExecGovernor(const ExecBudget& budget, CancelTokenPtr cancel,
                            CancelTokenPtr cancel2)
@@ -82,10 +52,9 @@ ExecGovernor::ExecGovernor(const ExecBudget& budget, CancelTokenPtr cancel,
 }
 
 ExecGovernor::~ExecGovernor() {
-  RaiseHighWater(&g_max_tuples_charged,
-                 tuples_.load(std::memory_order_relaxed));
-  RaiseHighWater(&g_max_rewrite_nodes_charged,
-                 rewrite_nodes_.load(std::memory_order_relaxed));
+  ExecContext& ctx = AmbientExecContext();
+  ctx.RaiseTuplesCharged(tuples_.load(std::memory_order_relaxed));
+  ctx.RaiseRewriteNodesCharged(rewrite_nodes_.load(std::memory_order_relaxed));
 }
 
 void ExecGovernor::Trip(StatusCode code, std::string message) {
@@ -95,7 +64,7 @@ void ExecGovernor::Trip(StatusCode code, std::string message) {
   if (tripped_.load(std::memory_order_relaxed)) return;  // first trip wins
   trip_status_ = Status(code, std::move(message));
   if (code == StatusCode::kCancelled) {
-    g_cancellations.fetch_add(1, std::memory_order_relaxed);
+    AmbientExecContext().AddGovernorTrip(GovernorTripKind::kCancelled);
   }
   tripped_.store(true, std::memory_order_release);
 }
@@ -114,7 +83,7 @@ bool ExecGovernor::SlowCheck() {
     return false;
   }
   if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
-    g_deadline_trips.fetch_add(1, std::memory_order_relaxed);
+    AmbientExecContext().AddGovernorTrip(GovernorTripKind::kDeadline);
     Trip(StatusCode::kResourceExhausted,
          StrFormat("deadline of %lld ms exceeded",
                    static_cast<long long>(budget_.deadline_ms)));
@@ -127,7 +96,7 @@ bool ExecGovernor::ChargeTuples(uint64_t n) {
   if (tripped()) return false;
   uint64_t total = tuples_.fetch_add(n, std::memory_order_relaxed) + n;
   if (budget_.max_tuples != 0 && total > budget_.max_tuples) {
-    g_tuple_trips.fetch_add(1, std::memory_order_relaxed);
+    AmbientExecContext().AddGovernorTrip(GovernorTripKind::kTupleBudget);
     Trip(StatusCode::kResourceExhausted,
          StrFormat("tuple budget of %llu exceeded",
                    static_cast<unsigned long long>(budget_.max_tuples)));
@@ -151,8 +120,9 @@ bool ExecGovernor::ChargeRewriteNodes(uint64_t n) {
   if (tripped()) return false;
   uint64_t total = rewrite_nodes_.fetch_add(n, std::memory_order_relaxed) + n;
   if (budget_.max_rewrite_nodes != 0 && total > budget_.max_rewrite_nodes) {
-    g_rewrite_trips.fetch_add(1, std::memory_order_relaxed);
-    RaiseHighWater(&g_max_rewrite_nodes_charged, total);
+    ExecContext& ctx = AmbientExecContext();
+    ctx.AddGovernorTrip(GovernorTripKind::kRewriteBudget);
+    ctx.RaiseRewriteNodesCharged(total);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!tripped_.load(std::memory_order_relaxed)) {

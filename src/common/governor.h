@@ -28,8 +28,9 @@
 // The planner additionally *recovers* from one trip kind: a rewrite-node
 // trip during the lazy route clears via ClearRewriteTrip() and execution
 // retries along the hybrid/eager route (the fallback lattice
-// lazy -> hybrid -> eager), recorded in the process-wide GovernorStats that
-// explain surfaces.
+// lazy -> hybrid -> eager). Trips and fallbacks are charged to the ambient
+// ExecContext (common/exec_context.h), which explain/ExplainAnalyze
+// surface per execution.
 
 #include <atomic>
 #include <chrono>
@@ -86,8 +87,15 @@ struct ExecBudget {
   }
 };
 
-/// Process-wide governor counters (explain's observability face; relaxed
-/// atomics underneath, reset only by tests/benchmarks).
+/// Governor counters in the legacy process-wide shape.
+///
+/// DEPRECATED: charges now land on the ambient ExecContext
+/// (common/exec_context.h); these accessors are thin shims over the
+/// process-default context, kept for one release so existing callers keep
+/// working. They only observe executions that ran without an installed
+/// ExecContextScope (or after a family rolled its stats up into the
+/// ambient default). New code should install an ExecContext and read
+/// Snapshot().
 struct GovernorStats {
   uint64_t deadline_trips = 0;
   uint64_t tuple_trips = 0;

@@ -1,0 +1,267 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace hql {
+
+JsonPtr JsonValue::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : it->second;
+}
+
+JsonPtr JsonValue::Null() {
+  return JsonPtr(new JsonValue(Kind::kNull));
+}
+
+JsonPtr JsonValue::Bool(bool b) {
+  auto* v = new JsonValue(Kind::kBool);
+  v->bool_ = b;
+  return JsonPtr(v);
+}
+
+JsonPtr JsonValue::Number(double d) {
+  auto* v = new JsonValue(Kind::kNumber);
+  v->number_ = d;
+  return JsonPtr(v);
+}
+
+JsonPtr JsonValue::String(std::string s) {
+  auto* v = new JsonValue(Kind::kString);
+  v->string_ = std::move(s);
+  return JsonPtr(v);
+}
+
+JsonPtr JsonValue::Array(std::vector<JsonPtr> items) {
+  auto* v = new JsonValue(Kind::kArray);
+  v->items_ = std::move(items);
+  return JsonPtr(v);
+}
+
+JsonPtr JsonValue::Object(std::map<std::string, JsonPtr> fields) {
+  auto* v = new JsonValue(Kind::kObject);
+  v->fields_ = std::move(fields);
+  return JsonPtr(v);
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded string view. Depth is capped so
+// a pathological file cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonPtr> Parse() {
+    HQL_ASSIGN_OR_RETURN(JsonPtr value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<JsonPtr> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        HQL_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonPtr> ParseObject(int depth) {
+    Consume('{');
+    std::map<std::string, JsonPtr> fields;
+    SkipSpace();
+    if (Consume('}')) return JsonValue::Object(std::move(fields));
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      HQL_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      HQL_ASSIGN_OR_RETURN(JsonPtr value, ParseValue(depth + 1));
+      fields[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::Object(std::move(fields));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonPtr> ParseArray(int depth) {
+    Consume('[');
+    std::vector<JsonPtr> items;
+    SkipSpace();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    while (true) {
+      HQL_ASSIGN_OR_RETURN(JsonPtr value, ParseValue(depth + 1));
+      items.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through as two
+          // separate 3-byte sequences; good enough for validation).
+          if (value < 0x80) {
+            out.push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonPtr> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return JsonValue::Number(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonPtr> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace hql

@@ -1,0 +1,69 @@
+#ifndef HQL_COMMON_JSON_H_
+#define HQL_COMMON_JSON_H_
+
+// A minimal JSON reader: just enough to validate the files this repo
+// emits (ExecStats::ToJson sidecars and google-benchmark --benchmark_out
+// reports) from tests and the bench/check_bench_json tool. Parses the
+// full JSON grammar into a tree of JsonValue nodes; numbers are kept as
+// doubles. Not a performance-oriented or streaming parser — inputs here
+// are small, machine-written files.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hql {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<const JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonPtr>& items() const { return items_; }
+  const std::map<std::string, JsonPtr>& fields() const { return fields_; }
+
+  /// The named member of an object, or nullptr when absent (or when this
+  /// is not an object).
+  JsonPtr Get(const std::string& key) const;
+
+  static JsonPtr Null();
+  static JsonPtr Bool(bool b);
+  static JsonPtr Number(double d);
+  static JsonPtr String(std::string s);
+  static JsonPtr Array(std::vector<JsonPtr> items);
+  static JsonPtr Object(std::map<std::string, JsonPtr> fields);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonPtr> items_;
+  std::map<std::string, JsonPtr> fields_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<JsonPtr> ParseJson(const std::string& text);
+
+}  // namespace hql
+
+#endif  // HQL_COMMON_JSON_H_

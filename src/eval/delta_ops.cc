@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/ra_eval.h"
@@ -88,6 +89,10 @@ void DeltaScan::Settle() {
 
 Relation SelectWhen(const Relation& base, const DeltaPair* delta,
                     const ScalarExpr& predicate) {
+  TraceSpan span("select-when",
+                 base.size() + (delta != nullptr ? delta->del.size() +
+                                                       delta->ins.size()
+                                                 : 0));
   ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   for (DeltaScan scan(base, delta); !scan.Done(); scan.Advance()) {
@@ -97,6 +102,7 @@ Relation SelectWhen(const Relation& base, const DeltaPair* delta,
       if (gov != nullptr && !gov->ChargeTuples(1)) break;
     }
   }
+  span.set_rows_out(out.size());
   return Relation::FromSortedUnique(base.arity(), std::move(out));
 }
 
@@ -120,6 +126,7 @@ void CollectRun(DeltaScan* scan, size_t col, std::vector<Tuple>* run) {
 Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
                   const Relation& base_r, const DeltaPair* delta_r,
                   size_t lcol, size_t rcol, const ScalarExprPtr& residual) {
+  TraceSpan span("join-when", base_l.size() + base_r.size());
   ExecGovernor* gov = CurrentGovernor();
   const size_t out_arity = base_l.arity() + base_r.arity();
   std::vector<Tuple> out;
@@ -160,6 +167,7 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
         }
       }
     }
+    span.set_rows_out(out.size());
     return Relation::FromTuples(out_arity, std::move(out));
   }
 
@@ -187,6 +195,7 @@ Relation JoinWhen(const Relation& base_l, const DeltaPair* delta_l,
       }
     }
   }
+  span.set_rows_out(out.size());
   return Relation::FromTuples(out_arity, std::move(out));
 }
 

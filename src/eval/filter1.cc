@@ -88,24 +88,20 @@ Result<RelationView> F1(const QueryPtr& q, const Database& db,
 
 }  // namespace
 
-Result<Relation> Filter1(const QueryPtr& query, const Database& db) {
+Result<Relation> RunFilter1(const QueryPtr& query, const Database& db,
+                            const Filter1Options& options) {
   if (query == nullptr) {
     return Status::InvalidArgument("Filter1: query must not be null");
   }
-  if (!IsEnf(query)) {
+  // An explicit env is a worker invocation over a subtree; only the
+  // top-level no-env form demands the full ENF shape.
+  if (options.env == nullptr && !IsEnf(query)) {
     return Status::InvalidArgument("Filter1 requires an ENF query");
   }
-  HQL_ASSIGN_OR_RETURN(RelationView out, F1(query, db, XsubValue()));
-  HQL_RETURN_IF_ERROR(GovernorCheck());
-  return out.Materialize();
-}
-
-Result<Relation> Filter1WithEnv(const QueryPtr& query, const Database& db,
-                                const XsubValue& env) {
-  if (query == nullptr) {
-    return Status::InvalidArgument("Filter1WithEnv: query must not be null");
-  }
-  HQL_ASSIGN_OR_RETURN(RelationView out, F1(query, db, env));
+  const XsubValue empty;
+  HQL_ASSIGN_OR_RETURN(
+      RelationView out,
+      F1(query, db, options.env != nullptr ? *options.env : empty));
   HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }

@@ -24,13 +24,35 @@
 
 namespace hql {
 
-/// Evaluates an ENF query in `db` (InvalidArgument if not ENF).
-Result<Relation> Filter1(const QueryPtr& query, const Database& db);
+/// Options for RunFilter1 — the single HQL-1 entry point.
+struct Filter1Options {
+  /// Explicit xsub environment to filter through (worker invocation: the
+  /// ENF shape check is skipped, matching the recursive case where subtrees
+  /// are evaluated under accumulated bindings). Null = empty environment
+  /// with the ENF check enforced. Caller-owned; must outlive the call.
+  const XsubValue* env = nullptr;
+};
 
-/// The recursive worker, exposed for tests: evaluates `query` filtered
-/// through `env`.
-Result<Relation> Filter1WithEnv(const QueryPtr& query, const Database& db,
-                                const XsubValue& env);
+/// Evaluates `query` in `db` with algorithm HQL-1. Without an env the query
+/// must be ENF (InvalidArgument otherwise).
+Result<Relation> RunFilter1(const QueryPtr& query, const Database& db,
+                            const Filter1Options& options = {});
+
+// -- legacy entry points, forwarding into RunFilter1 --
+
+/// DEPRECATED: use RunFilter1(query, db).
+inline Result<Relation> Filter1(const QueryPtr& query, const Database& db) {
+  return RunFilter1(query, db);
+}
+
+/// DEPRECATED: use RunFilter1 with Filter1Options::env.
+inline Result<Relation> Filter1WithEnv(const QueryPtr& query,
+                                       const Database& db,
+                                       const XsubValue& env) {
+  Filter1Options options;
+  options.env = &env;
+  return RunFilter1(query, db, options);
+}
 
 }  // namespace hql
 

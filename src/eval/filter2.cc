@@ -55,29 +55,23 @@ Result<RelationView> F2(const CollapsedPtr& node, const Database& db,
 
 }  // namespace
 
-Result<Relation> Filter2(const QueryPtr& query, const Database& db,
-                         const Schema& schema) {
-  if (query == nullptr) {
-    return Status::InvalidArgument("Filter2: query must not be null");
-  }
-  if (!IsEnf(query)) {
-    return Status::InvalidArgument("Filter2 requires an ENF query");
-  }
-  HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(query, schema));
-  return Filter2Collapsed(tree, db);
-}
-
-Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
-                                  const Database& db) {
-  return Filter2WithEnv(tree, db, XsubValue());
-}
-
-Result<Relation> Filter2WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const XsubValue& env) {
+Result<Relation> RunFilter2(const QueryPtr& query, const Database& db,
+                            const Schema& schema,
+                            const Filter2Options& options) {
+  CollapsedPtr tree = options.collapsed;
   if (tree == nullptr) {
-    return Status::InvalidArgument("Filter2WithEnv: tree must not be null");
+    if (query == nullptr) {
+      return Status::InvalidArgument("Filter2: query must not be null");
+    }
+    if (!IsEnf(query)) {
+      return Status::InvalidArgument("Filter2 requires an ENF query");
+    }
+    HQL_ASSIGN_OR_RETURN(tree, Collapse(query, schema));
   }
-  HQL_ASSIGN_OR_RETURN(RelationView out, F2(tree, db, env));
+  const XsubValue empty;
+  HQL_ASSIGN_OR_RETURN(
+      RelationView out,
+      F2(tree, db, options.env != nullptr ? *options.env : empty));
   HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }

@@ -20,17 +20,48 @@
 
 namespace hql {
 
-/// Convenience entry point: collapses `query` (must be ENF) and evaluates.
-Result<Relation> Filter2(const QueryPtr& query, const Database& db,
-                         const Schema& schema);
+/// Options for RunFilter2 — the single HQL-2 entry point.
+struct Filter2Options {
+  /// Explicit xsub environment to filter through (tests / recursive
+  /// callers); null = empty. Caller-owned; must outlive the call.
+  const XsubValue* env = nullptr;
+  /// Already collapsed tree. When set, `query` is ignored and the
+  /// ENF-check + Collapse step is skipped.
+  CollapsedPtr collapsed;
+};
 
-/// Evaluates an already collapsed tree.
-Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
-                                  const Database& db);
+/// Evaluates `query` in `db` with algorithm HQL-2: collapses the ENF tree
+/// (unless options.collapsed supplies one) and evaluates maximal pure-RA
+/// blocks through the optimized relational evaluator.
+Result<Relation> RunFilter2(const QueryPtr& query, const Database& db,
+                            const Schema& schema,
+                            const Filter2Options& options = {});
 
-/// Worker with an explicit environment, exposed for tests.
-Result<Relation> Filter2WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const XsubValue& env);
+// -- legacy entry points, forwarding into RunFilter2 --
+
+/// DEPRECATED: use RunFilter2(query, db, schema).
+inline Result<Relation> Filter2(const QueryPtr& query, const Database& db,
+                                const Schema& schema) {
+  return RunFilter2(query, db, schema);
+}
+
+/// DEPRECATED: use RunFilter2 with Filter2Options::collapsed.
+inline Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
+                                         const Database& db) {
+  Filter2Options options;
+  options.collapsed = tree;
+  return RunFilter2(nullptr, db, db.schema(), options);
+}
+
+/// DEPRECATED: use RunFilter2 with Filter2Options::{collapsed, env}.
+inline Result<Relation> Filter2WithEnv(const CollapsedPtr& tree,
+                                       const Database& db,
+                                       const XsubValue& env) {
+  Filter2Options options;
+  options.collapsed = tree;
+  options.env = &env;
+  return RunFilter2(nullptr, db, db.schema(), options);
+}
 
 }  // namespace hql
 

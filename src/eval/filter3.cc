@@ -73,39 +73,33 @@ Result<RelationView> F3(const CollapsedPtr& node, const Database& db,
 
 }  // namespace
 
-Result<Relation> Filter3(const QueryPtr& query, const Database& db,
-                         const Schema& schema, const IndexConfig& config) {
-  if (query == nullptr) {
-    return Status::InvalidArgument("Filter3: query must not be null");
-  }
-  // Prefer mod-ENF (states stay as atomic chains whose deltas are exactly
-  // the inserted/deleted sets); fall back to ENF with precise deltas when
-  // the query contains explicit substitutions or conditionals.
-  QueryPtr normalized;
-  auto mod = ToModEnf(query, schema);
-  if (mod.ok()) {
-    normalized = std::move(mod).value();
-  } else if (mod.status().code() == StatusCode::kUnimplemented) {
-    HQL_ASSIGN_OR_RETURN(normalized, ToEnf(query, schema));
-  } else {
-    return mod.status();
-  }
-  HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(normalized, schema));
-  return Filter3Collapsed(tree, db, config);
-}
-
-Result<Relation> Filter3Collapsed(const CollapsedPtr& tree, const Database& db,
-                                  const IndexConfig& config) {
-  return Filter3WithEnv(tree, db, DeltaValue(), config);
-}
-
-Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const DeltaValue& env,
-                                const IndexConfig& config) {
+Result<Relation> RunFilter3(const QueryPtr& query, const Database& db,
+                            const Schema& schema,
+                            const Filter3Options& options) {
+  CollapsedPtr tree = options.collapsed;
   if (tree == nullptr) {
-    return Status::InvalidArgument("Filter3WithEnv: tree must not be null");
+    if (query == nullptr) {
+      return Status::InvalidArgument("Filter3: query must not be null");
+    }
+    // Prefer mod-ENF (states stay as atomic chains whose deltas are exactly
+    // the inserted/deleted sets); fall back to ENF with precise deltas when
+    // the query contains explicit substitutions or conditionals.
+    QueryPtr normalized;
+    auto mod = ToModEnf(query, schema);
+    if (mod.ok()) {
+      normalized = std::move(mod).value();
+    } else if (mod.status().code() == StatusCode::kUnimplemented) {
+      HQL_ASSIGN_OR_RETURN(normalized, ToEnf(query, schema));
+    } else {
+      return mod.status();
+    }
+    HQL_ASSIGN_OR_RETURN(tree, Collapse(normalized, schema));
   }
-  HQL_ASSIGN_OR_RETURN(RelationView out, F3(tree, db, env, config));
+  const DeltaValue empty;
+  HQL_ASSIGN_OR_RETURN(
+      RelationView out,
+      F3(tree, db, options.env != nullptr ? *options.env : empty,
+         options.indexes));
   HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }

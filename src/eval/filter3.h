@@ -27,24 +27,59 @@
 
 namespace hql {
 
-/// Convenience entry point: converts `query` to mod-ENF (preferred: atom
-/// arguments become the delta sets directly) or, when the query contains
-/// explicit substitutions, to ENF — whose substitutions are then captured
-/// by the *precise* deltas of Section 5.5 (R_D = base - V, R_I = V - base);
-/// collapses and evaluates. Total over all of HQL. `config` (default off)
-/// lets the RA blocks probe base-relation indexes through eval_filter_d.
-Result<Relation> Filter3(const QueryPtr& query, const Database& db,
-                         const Schema& schema,
-                         const IndexConfig& config = IndexConfig());
+/// Options for RunFilter3 — the single HQL-3 entry point.
+struct Filter3Options {
+  /// Explicit delta environment (tests / recursive callers); null = empty.
+  /// Caller-owned; must outlive the call.
+  const DeltaValue* env = nullptr;
+  /// Already collapsed mod-ENF tree. When set, `query` is ignored and the
+  /// normalize + Collapse step is skipped.
+  CollapsedPtr collapsed;
+  /// Index policy for the RA blocks (default off).
+  IndexConfig indexes;
+};
 
-/// Evaluates an already collapsed mod-ENF tree.
-Result<Relation> Filter3Collapsed(const CollapsedPtr& tree, const Database& db,
-                                  const IndexConfig& config = IndexConfig());
+/// Evaluates `query` in `db` with algorithm HQL-3: converts to mod-ENF
+/// (preferred: atom arguments become the delta sets directly) or, when the
+/// query contains explicit substitutions, to ENF — whose substitutions are
+/// then captured by the *precise* deltas of Section 5.5 (R_D = base - V,
+/// R_I = V - base); collapses and evaluates with delta-streaming operators.
+/// Total over all of HQL.
+Result<Relation> RunFilter3(const QueryPtr& query, const Database& db,
+                            const Schema& schema,
+                            const Filter3Options& options = {});
 
-/// Worker with an explicit delta environment, exposed for tests.
-Result<Relation> Filter3WithEnv(const CollapsedPtr& tree, const Database& db,
-                                const DeltaValue& env,
-                                const IndexConfig& config = IndexConfig());
+// -- legacy entry points, forwarding into RunFilter3 --
+
+/// DEPRECATED: use RunFilter3 with Filter3Options::indexes.
+inline Result<Relation> Filter3(const QueryPtr& query, const Database& db,
+                                const Schema& schema,
+                                const IndexConfig& config = IndexConfig()) {
+  Filter3Options options;
+  options.indexes = config;
+  return RunFilter3(query, db, schema, options);
+}
+
+/// DEPRECATED: use RunFilter3 with Filter3Options::collapsed.
+inline Result<Relation> Filter3Collapsed(
+    const CollapsedPtr& tree, const Database& db,
+    const IndexConfig& config = IndexConfig()) {
+  Filter3Options options;
+  options.collapsed = tree;
+  options.indexes = config;
+  return RunFilter3(nullptr, db, db.schema(), options);
+}
+
+/// DEPRECATED: use RunFilter3 with Filter3Options::{collapsed, env}.
+inline Result<Relation> Filter3WithEnv(
+    const CollapsedPtr& tree, const Database& db, const DeltaValue& env,
+    const IndexConfig& config = IndexConfig()) {
+  Filter3Options options;
+  options.collapsed = tree;
+  options.env = &env;
+  options.indexes = config;
+  return RunFilter3(nullptr, db, db.schema(), options);
+}
 
 }  // namespace hql
 

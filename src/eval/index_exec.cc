@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/governor.h"
 #include "eval/ra_eval.h"
 
@@ -127,6 +128,7 @@ std::optional<Relation> TryIndexedFilter(const RelationView& input,
   RelationIndexPtr index = LookupIndex(base, sarg->columns, config);
   if (index == nullptr) return std::nullopt;
 
+  TraceSpan trace("index-select", input.size());
   RelationIndex::PosSpan span = index->Probe(sarg->key);
   AddIndexTuplesSkipped(base->size() - span.size());
 
@@ -153,6 +155,7 @@ std::optional<Relation> TryIndexedFilter(const RelationView& input,
   out.reserve(matched.size() + added.size());
   std::set_union(matched.begin(), matched.end(), added.begin(), added.end(),
                  std::back_inserter(out), TupleLess());
+  trace.set_rows_out(out.size());
   return Relation::FromSortedUnique(input.arity(), std::move(out));
 }
 
@@ -206,6 +209,7 @@ std::optional<Relation> TryIndexedJoin(const RelationView& lhs,
   RelationIndexPtr index = LookupIndex(big.base(), columns, config);
   if (index == nullptr) return std::nullopt;
 
+  TraceSpan trace("index-join", lhs.size() + rhs.size());
   // The indexed side's adds are not in its base; a small hash table keyed
   // the same way patches them in.
   std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> adds_table;
@@ -243,6 +247,7 @@ std::optional<Relation> TryIndexedJoin(const RelationView& lhs,
   }
   uint64_t big_size = big.base()->size();
   AddIndexTuplesSkipped(big_size > touched ? big_size - touched : 0);
+  trace.set_rows_out(out.size());
   return Relation::FromTuples(lhs.arity() + rhs.arity(), std::move(out));
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 
@@ -57,14 +58,19 @@ uint64_t FingerprintState(const Database& db, const DeltaValue& env) {
 MemoCache::MemoCache(size_t capacity) : capacity_(capacity) {}
 
 std::shared_ptr<const Relation> MemoCache::Lookup(uint64_t key) {
+  // The cache keeps its own cumulative stats (it outlives executions); the
+  // ambient ExecContext additionally attributes each hit/miss to the
+  // execution that caused it.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    AmbientExecContext().AddMemoMiss();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  AmbientExecContext().AddMemoHit();
   return it->second->value;
 }
 

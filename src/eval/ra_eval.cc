@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/memo.h"
@@ -26,6 +27,7 @@ namespace {
 
 template <typename Rel>
 Relation FilterImpl(const Rel& input, const ScalarExpr& predicate) {
+  TraceSpan span("select", input.size());
   ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   for (const Tuple& t : input) {
@@ -35,12 +37,14 @@ Relation FilterImpl(const Rel& input, const ScalarExpr& predicate) {
       if (gov != nullptr && !gov->ChargeTuples(1)) break;
     }
   }
+  span.set_rows_out(out.size());
   // Filtering preserves order and uniqueness.
   return Relation::FromSortedUnique(input.arity(), std::move(out));
 }
 
 template <typename Rel>
 Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
+  TraceSpan span("project", input.size());
   ExecGovernor* gov = CurrentGovernor();
   std::vector<Tuple> out;
   out.reserve(input.size());
@@ -54,6 +58,7 @@ Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
     out.push_back(std::move(p));
     if (gov != nullptr && !gov->ChargeTuples(1)) break;
   }
+  span.set_rows_out(out.size());
   return Relation::FromTuples(columns.size(), std::move(out));
 }
 
@@ -63,6 +68,7 @@ Relation ProjectImpl(const Rel& input, const std::vector<size_t>& columns) {
 template <typename Lhs, typename Rhs>
 Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
                   const ScalarExprPtr& predicate) {
+  TraceSpan span("join", lhs.size() + rhs.size());
   ExecGovernor* gov = CurrentGovernor();
   const size_t out_arity = lhs.arity() + rhs.arity();
 
@@ -146,6 +152,7 @@ Relation JoinImpl(const Lhs& lhs, const Rhs& rhs,
       }
     }
   }
+  span.set_rows_out(out.size());
   return Relation::FromTuples(out_arity, std::move(out));
 }
 
@@ -153,6 +160,7 @@ template <typename Rel>
 Relation AggregateImpl(const Rel& input,
                        const std::vector<size_t>& group_columns, AggFunc func,
                        size_t agg_column) {
+  TraceSpan span("aggregate", input.size());
   struct Acc {
     int64_t count = 0;
     int64_t int_sum = 0;
@@ -219,6 +227,7 @@ Relation AggregateImpl(const Rel& input,
     row.push_back(std::move(agg));
     out.push_back(std::move(row));
   }
+  span.set_rows_out(out.size());
   return Relation::FromTuples(group_columns.size() + 1, std::move(out));
 }
 
@@ -379,6 +388,8 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
   if (memoizable) {
     key = MemoKey(query->Fingerprint(), memo->state_fingerprint);
     if (RelationPtr hit = memo->cache->Lookup(key)) {
+      TraceSpan span("memo-hit", 0);
+      span.set_rows_out(hit->size());
       return RelationView(std::move(hit));
     }
   }

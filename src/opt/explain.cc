@@ -1,5 +1,8 @@
 #include "opt/explain.h"
 
+#include <chrono>
+#include <utility>
+
 #include "ast/metrics.h"
 #include "ast/query.h"
 #include "ast/typecheck.h"
@@ -11,16 +14,73 @@
 #include "hql/reduce.h"
 #include "eval/memo.h"
 #include "opt/estimator.h"
-#include "opt/planner.h"
-#include "storage/index.h"
-#include "storage/view.h"
 
 namespace hql {
 
-Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
-                              const StatsCatalog& stats,
-                              const MemoCache* memo) {
-  ExplainReport report;
+namespace {
+
+// Fills the compatibility flat fields of an ExplainReport from a snapshot.
+void FillFromStats(const ExecStats& stats, ExplainReport* report) {
+  report->exec = stats;
+
+  report->views_created = stats.views_created;
+  report->view_consolidations = stats.view_consolidations;
+  report->view_tuples_shared = stats.view_tuples_shared;
+  report->view_tuples_copied = stats.view_tuples_copied;
+
+  report->indexes_built = stats.indexes_built;
+  report->indexes_shared = stats.indexes_shared;
+  report->index_probes = stats.index_probes;
+  report->index_tuples_skipped = stats.index_tuples_skipped;
+
+  report->governor_deadline_trips = stats.governor_deadline_trips;
+  report->governor_tuple_trips = stats.governor_tuple_trips;
+  report->governor_rewrite_trips = stats.governor_rewrite_trips;
+  report->governor_cancellations = stats.governor_cancellations;
+  report->governor_lazy_fallbacks = stats.governor_lazy_fallbacks;
+  report->governor_index_fallbacks = stats.governor_index_fallbacks;
+  report->governor_max_tuples_charged = stats.governor_max_tuples_charged;
+  report->governor_max_rewrite_nodes_charged =
+      stats.governor_max_rewrite_nodes_charged;
+}
+
+std::string FormatExecCounters(const ExecStats& stats) {
+  std::string out;
+  out += StrFormat(
+      "views:      %llu created, %llu consolidations; tuples %llu shared / "
+      "%llu copied\n",
+      static_cast<unsigned long long>(stats.views_created),
+      static_cast<unsigned long long>(stats.view_consolidations),
+      static_cast<unsigned long long>(stats.view_tuples_shared),
+      static_cast<unsigned long long>(stats.view_tuples_copied));
+  out += StrFormat(
+      "indexes:    %llu built, %llu shared; %llu probes skipping %llu "
+      "scan rows\n",
+      static_cast<unsigned long long>(stats.indexes_built),
+      static_cast<unsigned long long>(stats.indexes_shared),
+      static_cast<unsigned long long>(stats.index_probes),
+      static_cast<unsigned long long>(stats.index_tuples_skipped));
+  out += StrFormat(
+      "governor:   trips %llu deadline / %llu tuple / %llu rewrite, "
+      "%llu cancellations; fallbacks %llu lazy / %llu index; peaks "
+      "%llu tuples, %llu rewrite nodes\n",
+      static_cast<unsigned long long>(stats.governor_deadline_trips),
+      static_cast<unsigned long long>(stats.governor_tuple_trips),
+      static_cast<unsigned long long>(stats.governor_rewrite_trips),
+      static_cast<unsigned long long>(stats.governor_cancellations),
+      static_cast<unsigned long long>(stats.governor_lazy_fallbacks),
+      static_cast<unsigned long long>(stats.governor_index_fallbacks),
+      static_cast<unsigned long long>(stats.governor_max_tuples_charged),
+      static_cast<unsigned long long>(
+          stats.governor_max_rewrite_nodes_charged));
+  return out;
+}
+
+}  // namespace
+
+Result<PlanReport> ExplainPlan(const QueryPtr& query, const Schema& schema,
+                               const StatsCatalog& stats) {
+  PlanReport report;
 
   HQL_ASSIGN_OR_RETURN(report.arity, InferQueryArity(query, schema));
   report.when_depth = WhenDepth(query);
@@ -54,29 +114,16 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
         estimator.EstimateStateMaterialization(enf->state());
   }
   report.state_materialization = materialization;
+  return report;
+}
 
-  ViewStats views = GlobalViewStats();
-  report.views_created = views.views_created;
-  report.view_consolidations = views.consolidations;
-  report.view_tuples_shared = views.tuples_shared;
-  report.view_tuples_copied = views.tuples_copied;
-
-  IndexStats indexes = GlobalIndexStats();
-  report.indexes_built = indexes.indexes_built;
-  report.indexes_shared = indexes.indexes_shared;
-  report.index_probes = indexes.index_probes;
-  report.index_tuples_skipped = indexes.tuples_skipped;
-
-  GovernorStats governor = GlobalGovernorStats();
-  report.governor_deadline_trips = governor.deadline_trips;
-  report.governor_tuple_trips = governor.tuple_trips;
-  report.governor_rewrite_trips = governor.rewrite_trips;
-  report.governor_cancellations = governor.cancellations;
-  report.governor_lazy_fallbacks = governor.lazy_fallbacks;
-  report.governor_index_fallbacks = governor.index_fallbacks;
-  report.governor_max_tuples_charged = governor.max_tuples_charged;
-  report.governor_max_rewrite_nodes_charged =
-      governor.max_rewrite_nodes_charged;
+Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
+                              const StatsCatalog& stats,
+                              const MemoCache* memo) {
+  ExplainReport report;
+  HQL_ASSIGN_OR_RETURN(static_cast<PlanReport&>(report),
+                       ExplainPlan(query, schema, stats));
+  FillFromStats(AmbientExecContext().Snapshot(), &report);
 
   if (memo != nullptr) {
     MemoCache::Stats cache = memo->stats();
@@ -88,6 +135,40 @@ Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
     report.memo_cached_tuples = cache.cached_tuples;
     report.memo_hit_rate = cache.HitRate();
   }
+  return report;
+}
+
+Result<AnalyzeReport> ExplainAnalyze(const QueryPtr& query, const Database& db,
+                                     const Schema& schema,
+                                     const AnalyzeOptions& options) {
+  AnalyzeReport report;
+  StatsCatalog stats = StatsCatalog::FromDatabase(db);
+  HQL_ASSIGN_OR_RETURN(report.plan, ExplainPlan(query, schema, stats));
+
+  // Execute under a fresh context so the report holds exactly this run's
+  // work; the parent context is captured first so the charges still
+  // propagate to whoever is accounting for us.
+  ExecContext& parent = AmbientExecContext();
+  ExecContext ctx;
+  ctx.set_tracing(options.tracing);
+  Result<Relation> result = Status::Internal("analyze never ran");
+  uint64_t wall = 0;
+  {
+    ExecContextScope scope(&ctx);
+    auto start = std::chrono::steady_clock::now();
+    result = Execute(query, db, schema, options.strategy, options.planner);
+    wall = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  ExecStats run = ctx.Snapshot();
+  parent.MergeFrom(run);
+  HQL_RETURN_IF_ERROR(result.status());
+
+  report.exec = std::move(run);
+  report.actual_rows = result.value().size();
+  report.wall_micros = wall;
   return report;
 }
 
@@ -126,33 +207,49 @@ std::string FormatExplain(const ExplainReport& report) {
         static_cast<unsigned long long>(report.memo_entries),
         static_cast<unsigned long long>(report.memo_cached_tuples));
   }
+  out += FormatExecCounters(report.exec);
+  return out;
+}
+
+std::string FormatExplainAnalyze(const AnalyzeReport& report) {
+  const PlanReport& plan = report.plan;
+  std::string out;
   out += StrFormat(
-      "views:      %llu created, %llu consolidations; tuples %llu shared / "
-      "%llu copied\n",
-      static_cast<unsigned long long>(report.views_created),
-      static_cast<unsigned long long>(report.view_consolidations),
-      static_cast<unsigned long long>(report.view_tuples_shared),
-      static_cast<unsigned long long>(report.view_tuples_copied));
+      "shape:      arity %zu, when-depth %zu, tree %.0f nodes, dag %llu "
+      "nodes\n",
+      plan.arity, plan.when_depth, plan.tree_size,
+      static_cast<unsigned long long>(plan.dag_size));
+  out += "plan:       " + plan.plan + "\n";
+  out += StrFormat("decisions:  %d lazy, %d eager; mod-ENF (HQL-3): %s\n",
+                   plan.lazy_decisions, plan.eager_decisions,
+                   plan.has_mod_enf ? "yes" : "via precise deltas");
   out += StrFormat(
-      "indexes:    %llu built, %llu shared; %llu probes skipping %llu "
-      "scan rows\n",
-      static_cast<unsigned long long>(report.indexes_built),
-      static_cast<unsigned long long>(report.indexes_shared),
-      static_cast<unsigned long long>(report.index_probes),
-      static_cast<unsigned long long>(report.index_tuples_skipped));
+      "estimated:  |result| ~%.0f, lazy cost ~%.0f, hybrid cost ~%.0f, "
+      "state materialization ~%.0f tuples\n",
+      plan.estimated_cardinality, plan.lazy_cost, plan.hybrid_cost,
+      plan.state_materialization);
   out += StrFormat(
-      "governor:   trips %llu deadline / %llu tuple / %llu rewrite, "
-      "%llu cancellations; fallbacks %llu lazy / %llu index; peaks "
-      "%llu tuples, %llu rewrite nodes\n",
-      static_cast<unsigned long long>(report.governor_deadline_trips),
-      static_cast<unsigned long long>(report.governor_tuple_trips),
-      static_cast<unsigned long long>(report.governor_rewrite_trips),
-      static_cast<unsigned long long>(report.governor_cancellations),
-      static_cast<unsigned long long>(report.governor_lazy_fallbacks),
-      static_cast<unsigned long long>(report.governor_index_fallbacks),
-      static_cast<unsigned long long>(report.governor_max_tuples_charged),
-      static_cast<unsigned long long>(
-          report.governor_max_rewrite_nodes_charged));
+      "actual:     |result| %llu rows in %.3f ms via %s\n",
+      static_cast<unsigned long long>(report.actual_rows),
+      static_cast<double>(report.wall_micros) / 1000.0,
+      report.exec.route.empty() ? "(unrouted)" : report.exec.route.c_str());
+  out += StrFormat(
+      "exec:       memo %llu hits / %llu misses\n",
+      static_cast<unsigned long long>(report.exec.memo_hits),
+      static_cast<unsigned long long>(report.exec.memo_misses));
+  out += FormatExecCounters(report.exec);
+  if (!report.exec.spans.empty()) {
+    out += "spans:      operator          route          rows in -> out"
+           "      micros\n";
+    for (const OperatorSpan& span : report.exec.spans) {
+      out += StrFormat("            %-16s  %-12s  %8llu -> %-8llu  %8llu\n",
+                       span.op.c_str(),
+                       span.route.empty() ? "-" : span.route.c_str(),
+                       static_cast<unsigned long long>(span.rows_in),
+                       static_cast<unsigned long long>(span.rows_out),
+                       static_cast<unsigned long long>(span.micros));
+    }
+  }
   return out;
 }
 

@@ -1,17 +1,37 @@
 #ifndef HQL_OPT_EXPLAIN_H_
 #define HQL_OPT_EXPLAIN_H_
 
-// Structured explanation of how the framework would treat a hypothetical
-// query: its static shape, every normal form along the lazy<->eager
-// spectrum, the hybrid plan, and the cost model's view of each route.
-// This is the developer-facing face of the paper's "choice of an
-// equivalent ENF query is the choice of how eager or lazy the evaluation
-// of Q is" (Section 5.2).
+// Structured explanation of how the framework treats a hypothetical query.
+//
+// The report is split along the static/runtime axis:
+//
+//   * PlanReport   — everything derivable without executing: the query's
+//                    shape, every normal form along the lazy<->eager
+//                    spectrum, the hybrid plan, and the cost model's view
+//                    of each route. This is the developer-facing face of
+//                    the paper's "choice of an equivalent ENF query is the
+//                    choice of how eager or lazy the evaluation of Q is"
+//                    (Section 5.2).
+//   * ExecStats    — what an execution actually did (common/exec_context.h):
+//                    view sharing, index probes, memo traffic, governor
+//                    trips, traced operator spans.
+//   * ExplainReport — the combined view (PlanReport + an ExecStats
+//                    snapshot + the memo cache's counters), rendered by
+//                    FormatExplain.
+//   * AnalyzeReport — EXPLAIN ANALYZE: the static plan annotated with a
+//                    *fresh, traced* execution of the query — actual rows
+//                    and wall time next to the estimates, the route taken,
+//                    and per-operator spans. Rendered by
+//                    FormatExplainAnalyze.
 
+#include <cstdint>
 #include <string>
 
 #include "ast/forward.h"
+#include "common/exec_context.h"
 #include "common/result.h"
+#include "opt/planner.h"
+#include "storage/database.h"
 #include "storage/schema.h"
 #include "storage/stats.h"
 
@@ -19,7 +39,8 @@ namespace hql {
 
 class MemoCache;
 
-struct ExplainReport {
+/// The static half of the report: everything known before running.
+struct PlanReport {
   // Static shape.
   size_t arity = 0;
   size_t when_depth = 0;
@@ -44,8 +65,17 @@ struct ExplainReport {
   double lazy_cost = 0;
   double hybrid_cost = 0;
   double state_materialization = 0;  // eager xsub tuples, all states
+};
 
-  // Memoizing subplan cache (populated when Explain is given one).
+/// The combined view: static plan + a runtime snapshot. The runtime
+/// counters are duplicated as flat fields (filled from `exec`) so existing
+/// readers keep compiling; new code should read `exec` directly.
+struct ExplainReport : PlanReport {
+  // The execution-stats snapshot the flat fields below were filled from.
+  ExecStats exec;
+
+  // Memoizing subplan cache (populated when Explain is given one; these
+  // are cache-lifetime counters, not per-execution ones).
   bool has_memo = false;
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
@@ -54,27 +84,19 @@ struct ExplainReport {
   uint64_t memo_cached_tuples = 0;
   double memo_hit_rate = 0;
 
-  // Copy-on-write view layer (process-wide counters, see GlobalViewStats):
-  // how many relation views were derived by sharing a base, how often an
-  // overlay grew past the consolidation threshold, and the tuple traffic
-  // split between shared (refcounted) and copied (materialized) tuples.
+  // Copy-on-write view layer (see ExecStats).
   uint64_t views_created = 0;
   uint64_t view_consolidations = 0;
   uint64_t view_tuples_shared = 0;
   uint64_t view_tuples_copied = 0;
 
-  // Secondary indexes (process-wide counters, see GlobalIndexStats): how
-  // many indexes were built vs served from a base's cache, how often the
-  // kernels probed one, and the scan rows the probes skipped.
+  // Secondary indexes (see ExecStats).
   uint64_t indexes_built = 0;
   uint64_t indexes_shared = 0;
   uint64_t index_probes = 0;
   uint64_t index_tuples_skipped = 0;
 
-  // Execution governor (process-wide counters, see GlobalGovernorStats):
-  // budget trips by kind, observed cancellations, graceful-degradation
-  // fallbacks taken (lazy -> hybrid -> eager rewrites, index build ->
-  // scan), and the high-water marks any single execution charged.
+  // Execution governor (see ExecStats).
   uint64_t governor_deadline_trips = 0;
   uint64_t governor_tuple_trips = 0;
   uint64_t governor_rewrite_trips = 0;
@@ -85,16 +107,63 @@ struct ExplainReport {
   uint64_t governor_max_rewrite_nodes_charged = 0;
 };
 
-/// Builds the full report. `stats` drives the cost numbers (use
-/// StatsCatalog::FromDatabase for exact base cardinalities). A non-null
-/// `memo` adds the cache's hit/miss/eviction counters to the report — the
-/// observability face of the memoizing evaluation layer.
+/// Builds the static half only — no counters are read, nothing executes.
+/// `stats` drives the cost numbers (use StatsCatalog::FromDatabase for
+/// exact base cardinalities).
+Result<PlanReport> ExplainPlan(const QueryPtr& query, const Schema& schema,
+                               const StatsCatalog& stats);
+
+/// Builds the combined report: ExplainPlan plus a snapshot of the ambient
+/// ExecContext (the thread's installed context, else the process default —
+/// where the deprecated Global*Stats shims charge). A non-null `memo` adds
+/// the cache's hit/miss/eviction counters.
 Result<ExplainReport> Explain(const QueryPtr& query, const Schema& schema,
                               const StatsCatalog& stats,
                               const MemoCache* memo = nullptr);
 
-/// Multi-line human-readable rendering.
+/// Multi-line human-readable rendering of the combined report.
 std::string FormatExplain(const ExplainReport& report);
+
+/// Options for ExplainAnalyze.
+struct AnalyzeOptions {
+  /// Execution route (all strategies agree on the value; see planner.h).
+  Strategy strategy = Strategy::kHybrid;
+
+  /// Per-operator span recording on the analysis context. On by default —
+  /// that is what ANALYZE is for; turn off to measure counters only.
+  bool tracing = true;
+
+  /// Planner options for the traced execution (memo cache, index policy,
+  /// budget, cancellation).
+  PlannerOptions planner;
+};
+
+/// EXPLAIN ANALYZE: the static plan annotated with an actual execution.
+struct AnalyzeReport {
+  PlanReport plan;
+
+  /// Exactly this execution's stats, from a fresh ExecContext installed
+  /// around the run (tracing per AnalyzeOptions). Includes the route taken
+  /// and the per-operator spans.
+  ExecStats exec;
+
+  uint64_t actual_rows = 0;   // result cardinality (vs estimated_cardinality)
+  uint64_t wall_micros = 0;   // end-to-end wall time of the execution
+};
+
+/// Plans `query`, then executes it in `db` under a fresh traced
+/// ExecContext and reports estimates and actuals side by side. The
+/// execution's charges are merged into the caller's ambient context
+/// afterwards, so analyzing a query never hides its work from enclosing
+/// accounting. Errors from either planning or execution surface as the
+/// Result's status.
+Result<AnalyzeReport> ExplainAnalyze(const QueryPtr& query, const Database& db,
+                                     const Schema& schema,
+                                     const AnalyzeOptions& options = {});
+
+/// Multi-line rendering: plan, estimated-vs-actual line, per-execution
+/// counters, and a span table when tracing was on.
+std::string FormatExplainAnalyze(const AnalyzeReport& report);
 
 }  // namespace hql
 

@@ -7,6 +7,7 @@
 #include "ast/metrics.h"
 #include "ast/query.h"
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "eval/direct.h"
 #include "eval/filter1.h"
 #include "eval/filter2.h"
@@ -293,10 +294,18 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
                              const Schema& schema, Strategy strategy,
                              const PlannerOptions& options) {
   const IndexConfig icfg = options.index_config();
+  // Each branch tags the ambient ExecContext (and any spans recorded below
+  // it) with the execution route actually taken — the explain-analyze
+  // answer to "which point of the lazy<->eager spectrum ran".
   switch (strategy) {
-    case Strategy::kDirect:
+    case Strategy::kDirect: {
+      ExecRouteScope route("direct");
+      AmbientExecContext().NoteRoute("direct");
       return EvalDirect(query, db);
+    }
     case Strategy::kLazy: {
+      ExecRouteScope route("lazy");
+      AmbientExecContext().NoteRoute("lazy");
       HQL_ASSIGN_OR_RETURN(QueryPtr reduced, Reduce(query, schema));
       if (options.simplify) {
         HQL_ASSIGN_OR_RETURN(reduced, SimplifyRa(reduced, schema));
@@ -306,15 +315,22 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
                     EvalMemo{options.memo, FingerprintState(db), icfg});
     }
     case Strategy::kFilter1: {
+      ExecRouteScope route("eager");
+      AmbientExecContext().NoteRoute("eager");
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
       return Filter1(enf, db);
     }
     case Strategy::kFilter2: {
+      ExecRouteScope route("eager");
+      AmbientExecContext().NoteRoute("eager");
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
       return Filter2(enf, db, schema);
     }
-    case Strategy::kFilter3:
+    case Strategy::kFilter3: {
+      ExecRouteScope route("delta");
+      AmbientExecContext().NoteRoute("delta");
       return Filter3(query, db, schema, icfg);
+    }
     case Strategy::kHybrid: {
       StatsCatalog stats = StatsCatalog::FromDatabase(db);
       // Delta route: if every state is an atomic update chain (mod-ENF)
@@ -331,16 +347,22 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
         if (affected_base > 0 &&
             materialization <
                 options.delta_fraction_threshold * affected_base) {
+          ExecRouteScope route("hybrid-delta");
+          AmbientExecContext().NoteRoute("hybrid-delta");
           return Filter3(query, db, schema, icfg);
         }
       }
       HQL_ASSIGN_OR_RETURN(Plan plan,
                            PlanHybrid(query, schema, stats, options));
       if (IsPureRelAlg(plan.query)) {
+        ExecRouteScope route("hybrid-lazy");
+        AmbientExecContext().NoteRoute("hybrid-lazy");
         DatabaseResolver resolver(db);
         return EvalRa(plan.query, resolver,
                       EvalMemo{options.memo, FingerprintState(db), icfg});
       }
+      ExecRouteScope route("hybrid-eager");
+      AmbientExecContext().NoteRoute("hybrid-eager");
       return Filter2(plan.query, db, schema);
     }
   }

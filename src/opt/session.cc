@@ -65,18 +65,31 @@ namespace {
 
 // One alternative of the family: Q when s (or Q itself at the root),
 // governed by its own ExecGovernor so one alternative's budget trip never
-// eats a sibling's. `pool_cancel` (null on the serial path) is the pool's
-// first-hard-failure token.
+// eats a sibling's, and observed by its own ExecContext so `out_stats`
+// holds exactly this alternative's work. `pool_cancel` (null on the serial
+// path) is the pool's first-hard-failure token; `tracing` is inherited
+// from the caller's ambient context.
 Result<Relation> EvalOneAlternative(const QueryPtr& query,
                                     const HypoExprPtr& state,
                                     const Database& db, const Schema& schema,
                                     const AlternativesOptions& options,
-                                    const CancelTokenPtr& pool_cancel) {
+                                    const CancelTokenPtr& pool_cancel,
+                                    bool tracing, ExecStats* out_stats) {
   QueryPtr q = state == nullptr ? query : Query::When(query, state);
-  ExecGovernor gov(options.planner.budget, options.planner.cancel_token,
-                   pool_cancel);
-  GovernorScope scope(&gov);
-  return Execute(q, db, schema, options.strategy, options.planner);
+  ExecContext ctx;
+  ctx.set_tracing(tracing);
+  Result<Relation> result = Status::Internal("alternative never ran");
+  {
+    // The governor lives inside the context scope: its destructor charges
+    // the high-water marks to the ambient context, which must still be ctx.
+    ExecContextScope ctx_scope(&ctx);
+    ExecGovernor gov(options.planner.budget, options.planner.cancel_token,
+                     pool_cancel);
+    GovernorScope scope(&gov);
+    result = Execute(q, db, schema, options.strategy, options.planner);
+  }
+  *out_stats = ctx.Snapshot();
+  return result;
 }
 
 // A failure that indicates something broke (as opposed to a budget trip or
@@ -111,6 +124,13 @@ std::vector<Result<Relation>> EvalAlternativesPartial(
                                             : options.num_threads;
   if (threads > n) threads = n;
 
+  // Each slot gets its own ExecContext (built inside EvalOneAlternative);
+  // tracing follows the caller's ambient context, and the input-order
+  // rollup lands back on it below.
+  ExecContext& parent = AmbientExecContext();
+  const bool tracing = parent.tracing();
+  std::vector<ExecStats> stats(n);
+
   if (threads <= 1) {
     // Serial loop with the same semantics as the pool: a hard failure
     // cancels (skips) everything after it, budget trips do not.
@@ -121,7 +141,8 @@ std::vector<Result<Relation>> EvalAlternativesPartial(
         continue;
       }
       Result<Relation> r = EvalOneAlternative(query, states[i], db, schema,
-                                              options, nullptr);
+                                              options, nullptr, tracing,
+                                              &stats[i]);
       hard_failed = IsHardFailure(r.status());
       slots[i] = std::move(r);
     }
@@ -136,7 +157,8 @@ std::vector<Result<Relation>> EvalAlternativesPartial(
     for (size_t i = 0; i < n; ++i) {
       pool.Submit(std::function<Status()>([&, i]() -> Status {
         Result<Relation> r = EvalOneAlternative(query, states[i], db, schema,
-                                                options, pool_cancel);
+                                                options, pool_cancel, tracing,
+                                                &stats[i]);
         Status hard =
             IsHardFailure(r.status()) ? r.status() : Status::OK();
         slots[i] = std::move(r);
@@ -148,6 +170,14 @@ std::vector<Result<Relation>> EvalAlternativesPartial(
       if (!slots[i].has_value()) slots[i] = NeverRan();  // drained unrun
     }
   }
+
+  // Deterministic family rollup: merge in input order, never in completion
+  // order, so repeated runs report identically.
+  ExecStats family;
+  for (const ExecStats& s : stats) family.MergeFrom(s);
+  parent.MergeFrom(family);
+  if (options.slot_stats != nullptr) *options.slot_stats = std::move(stats);
+  if (options.family_stats != nullptr) *options.family_stats = std::move(family);
 
   std::vector<Result<Relation>> out;
   out.reserve(n);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ast/forward.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "eval/delta.h"
 #include "eval/xsub.h"
@@ -77,35 +78,57 @@ struct AlternativesOptions {
   /// subqueries compute them once across the whole family, whichever
   /// worker gets there first.
   PlannerOptions planner;
+
+  /// When non-null, receives each alternative's own ExecStats in input
+  /// order (resized to states.size()): every alternative runs under its
+  /// own ExecContext, so slot i holds exactly alternative i's work even
+  /// under the thread pool. Tracing is inherited from the caller's ambient
+  /// context. Caller-owned; must outlive the call.
+  std::vector<ExecStats>* slot_stats = nullptr;
+
+  /// When non-null, receives the family rollup: the slots merged in input
+  /// order (deterministic regardless of which worker finished first; see
+  /// ExecStats::MergeFrom). Caller-owned; must outlive the call.
+  ExecStats* family_stats = nullptr;
 };
 
-/// Evaluates `query` under every hypothetical state in `states` — the
-/// "family of alternatives" workload of Example 2.1, where states are the
-/// root paths of a version tree (workload/version_tree.h). A null state
-/// evaluates `query` against the real database (the root version).
+/// The family primitive: evaluates `query` under every hypothetical state
+/// in `states` — the "family of alternatives" workload of Example 2.1,
+/// where states are the root paths of a version tree
+/// (workload/version_tree.h) — and surfaces every alternative's outcome
+/// separately: slot i holds alternative i's relation or its own error. A
+/// null state evaluates `query` against the real database (the root
+/// version). Alternatives that were never run (drained after a hard
+/// failure, or cancelled via the caller's token) hold kCancelled. One
+/// alternative blowing its budget thus costs exactly that alternative, not
+/// the family.
 ///
 /// Results arrive in input order and are identical to the serial loop
 ///   for (s : states) Execute(Query::When(query, s), db, schema, ...)
-/// regardless of thread count or cache state. Error selection: the first
-/// *hard* error by input order wins (anything except kCancelled); with only
-/// cancellations, the first error by input order wins.
+/// regardless of thread count or cache state.
 ///
 /// Governance: `options.planner.budget` / `options.planner.cancel_token`
 /// apply to each alternative separately (each gets its own governor, so one
 /// alternative's deadline or tuple budget never eats a sibling's). A hard
 /// failure (any code except kCancelled / kResourceExhausted) cancels the
 /// remaining alternatives pool-wide; budget trips do not.
-Result<std::vector<Relation>> EvalAlternatives(
+///
+/// Observability: each alternative runs under its own ExecContext; the
+/// per-slot stats and their input-order rollup are available via
+/// AlternativesOptions, and the rollup is also merged into the caller's
+/// ambient context.
+std::vector<Result<Relation>> EvalAlternativesPartial(
     const QueryPtr& query, const std::vector<HypoExprPtr>& states,
     const Database& db, const Schema& schema,
     const AlternativesOptions& options = AlternativesOptions());
 
-/// Like EvalAlternatives, but surfaces every alternative's outcome
-/// separately: slot i holds alternative i's relation or its own error.
-/// Alternatives that were never run (drained after a hard failure, or
-/// cancelled via the caller's token) hold kCancelled. One alternative
-/// blowing its budget thus costs exactly that alternative, not the family.
-std::vector<Result<Relation>> EvalAlternativesPartial(
+/// Thin wrapper over EvalAlternativesPartial collapsing the per-slot
+/// outcomes into all-or-nothing. Error selection (the single place this
+/// rule lives): the first error by input order whose code is not
+/// kCancelled wins — that is the root cause, not a ripple of the pool-wide
+/// cancellation it triggered; if every error is a cancellation, the first
+/// one by input order wins.
+Result<std::vector<Relation>> EvalAlternatives(
     const QueryPtr& query, const std::vector<HypoExprPtr>& states,
     const Database& db, const Schema& schema,
     const AlternativesOptions& options = AlternativesOptions());

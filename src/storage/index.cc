@@ -1,20 +1,15 @@
 #include "storage/index.h"
 
-#include <atomic>
 #include <cstdint>
 #include <limits>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 
 namespace hql {
 
 namespace {
-
-std::atomic<uint64_t> g_indexes_built{0};
-std::atomic<uint64_t> g_indexes_shared{0};
-std::atomic<uint64_t> g_index_probes{0};
-std::atomic<uint64_t> g_tuples_skipped{0};
 
 // Guards lazy allocation of a Relation's index_cache_ pointer. A global
 // mutex keeps the hot Relation object one pointer wider instead of one
@@ -28,23 +23,19 @@ std::mutex& CacheAllocMutex() {
 }  // namespace
 
 IndexStats GlobalIndexStats() {
+  ExecStats stats = ProcessDefaultExecContext().Snapshot();
   IndexStats s;
-  s.indexes_built = g_indexes_built.load(std::memory_order_relaxed);
-  s.indexes_shared = g_indexes_shared.load(std::memory_order_relaxed);
-  s.index_probes = g_index_probes.load(std::memory_order_relaxed);
-  s.tuples_skipped = g_tuples_skipped.load(std::memory_order_relaxed);
+  s.indexes_built = stats.indexes_built;
+  s.indexes_shared = stats.indexes_shared;
+  s.index_probes = stats.index_probes;
+  s.tuples_skipped = stats.index_tuples_skipped;
   return s;
 }
 
-void ResetIndexStats() {
-  g_indexes_built.store(0, std::memory_order_relaxed);
-  g_indexes_shared.store(0, std::memory_order_relaxed);
-  g_index_probes.store(0, std::memory_order_relaxed);
-  g_tuples_skipped.store(0, std::memory_order_relaxed);
-}
+void ResetIndexStats() { ProcessDefaultExecContext().ResetIndexCounters(); }
 
 void AddIndexTuplesSkipped(uint64_t n) {
-  g_tuples_skipped.fetch_add(n, std::memory_order_relaxed);
+  AmbientExecContext().AddIndexTuplesSkipped(n);
 }
 
 RelationIndex::RelationIndex(const Relation& base,
@@ -81,7 +72,7 @@ RelationIndex::RelationIndex(const Relation& base,
 }
 
 RelationIndex::PosSpan RelationIndex::Probe(const Tuple& key) const {
-  g_index_probes.fetch_add(1, std::memory_order_relaxed);
+  AmbientExecContext().AddIndexProbe();
   auto it = buckets_.find(key);
   if (it == buckets_.end()) return PosSpan{};
   return PosSpan{positions_.data() + it->second.first, it->second.second};
@@ -113,12 +104,12 @@ std::shared_ptr<const RelationIndex> Relation::IndexOn(
   std::lock_guard<std::mutex> lock(cache->mu);
   auto it = cache->by_columns.find(columns);
   if (it != cache->by_columns.end()) {
-    g_indexes_shared.fetch_add(1, std::memory_order_relaxed);
+    AmbientExecContext().AddIndexShared();
     return it->second;
   }
   auto index = std::make_shared<const RelationIndex>(*this, columns);
   cache->by_columns.emplace(columns, index);
-  g_indexes_built.fetch_add(1, std::memory_order_relaxed);
+  AmbientExecContext().AddIndexBuilt();
   return index;
 }
 
@@ -133,7 +124,7 @@ std::shared_ptr<const RelationIndex> Relation::ExistingIndex(
   std::lock_guard<std::mutex> lock(cache->mu);
   auto it = cache->by_columns.find(columns);
   if (it == cache->by_columns.end()) return nullptr;
-  g_indexes_shared.fetch_add(1, std::memory_order_relaxed);
+  AmbientExecContext().AddIndexShared();
   return it->second;
 }
 

@@ -31,8 +31,13 @@
 
 namespace hql {
 
-/// Process-wide counters for the index layer, surfaced by `explain`.
-/// Cumulative since process start (or the last Reset).
+/// Index-layer counters in the legacy process-wide shape.
+///
+/// DEPRECATED: the index layer now charges the ambient ExecContext
+/// (common/exec_context.h); these accessors are thin shims over the
+/// process-default context, kept for one release. They only observe work
+/// done without an installed ExecContextScope. New code should install an
+/// ExecContext and read Snapshot().
 struct IndexStats {
   uint64_t indexes_built = 0;   // physical index constructions
   uint64_t indexes_shared = 0;  // cache hits serving an existing index

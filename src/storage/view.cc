@@ -1,22 +1,15 @@
 #include "storage/view.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace hql {
 
 namespace {
-
-// Cumulative process-wide counters (relaxed: they feed explain output, not
-// synchronization).
-std::atomic<uint64_t> g_views_created{0};
-std::atomic<uint64_t> g_consolidations{0};
-std::atomic<uint64_t> g_tuples_shared{0};
-std::atomic<uint64_t> g_tuples_copied{0};
 
 void SortUnique(std::vector<Tuple>* tuples) {
   std::sort(tuples->begin(), tuples->end(), TupleLess());
@@ -59,20 +52,16 @@ bool Disjoint(const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
 }  // namespace
 
 ViewStats GlobalViewStats() {
+  ExecStats stats = ProcessDefaultExecContext().Snapshot();
   ViewStats s;
-  s.views_created = g_views_created.load(std::memory_order_relaxed);
-  s.consolidations = g_consolidations.load(std::memory_order_relaxed);
-  s.tuples_shared = g_tuples_shared.load(std::memory_order_relaxed);
-  s.tuples_copied = g_tuples_copied.load(std::memory_order_relaxed);
+  s.views_created = stats.views_created;
+  s.consolidations = stats.view_consolidations;
+  s.tuples_shared = stats.view_tuples_shared;
+  s.tuples_copied = stats.view_tuples_copied;
   return s;
 }
 
-void ResetViewStats() {
-  g_views_created.store(0, std::memory_order_relaxed);
-  g_consolidations.store(0, std::memory_order_relaxed);
-  g_tuples_shared.store(0, std::memory_order_relaxed);
-  g_tuples_copied.store(0, std::memory_order_relaxed);
-}
+void ResetViewStats() { ProcessDefaultExecContext().ResetViewCounters(); }
 
 RelationView::RelationView(size_t arity)
     : arity_(arity), base_(std::make_shared<const Relation>(arity)) {}
@@ -83,8 +72,9 @@ RelationView::RelationView(Relation rel)
 
 RelationView::RelationView(RelationPtr base)
     : arity_(base->arity()), base_(std::move(base)) {
-  g_views_created.fetch_add(1, std::memory_order_relaxed);
-  g_tuples_shared.fetch_add(base_->size(), std::memory_order_relaxed);
+  ExecContext& ctx = AmbientExecContext();
+  ctx.AddViewCreated();
+  ctx.AddViewTuplesShared(base_->size());
 }
 
 RelationView::RelationView(size_t arity, RelationPtr base,
@@ -101,9 +91,9 @@ RelationView::RelationView(size_t arity, RelationPtr base,
   for (const Tuple& t : dels_) HQL_CHECK(base_->Contains(t));
 #endif
   if (!is_flat()) flat_cache_ = std::make_shared<FlatCache>();
-  g_views_created.fetch_add(1, std::memory_order_relaxed);
-  g_tuples_shared.fetch_add(base_->size() - dels_.size(),
-                            std::memory_order_relaxed);
+  ExecContext& ctx = AmbientExecContext();
+  ctx.AddViewCreated();
+  ctx.AddViewTuplesShared(base_->size() - dels_.size());
 }
 
 RelationView RelationView::Overlay(RelationPtr base, std::vector<Tuple> adds,
@@ -170,9 +160,10 @@ RelationView RelationView::ApplyDelta(std::vector<Tuple> adds,
     // Break-even crossed: collapse to a fresh flat base so later scans pay
     // no merge overhead and later deltas start from a small overlay again.
     HQL_FAIL_POINT(kFailPointConsolidate);
-    g_consolidations.fetch_add(1, std::memory_order_relaxed);
+    ExecContext& ctx = AmbientExecContext();
+    ctx.AddViewConsolidation();
     Relation flat = base_->ApplyTuples(new_adds, new_dels);
-    g_tuples_copied.fetch_add(flat.size(), std::memory_order_relaxed);
+    ctx.AddViewTuplesCopied(flat.size());
     return RelationView(std::move(flat));
   }
   return RelationView(arity_, base_, std::move(new_adds),
@@ -181,11 +172,11 @@ RelationView RelationView::ApplyDelta(std::vector<Tuple> adds,
 
 Relation RelationView::Materialize() const {
   if (is_flat()) {
-    g_tuples_copied.fetch_add(base_->size(), std::memory_order_relaxed);
+    AmbientExecContext().AddViewTuplesCopied(base_->size());
     return *base_;
   }
   Relation flat = base_->ApplyTuples(adds_, dels_);
-  g_tuples_copied.fetch_add(flat.size(), std::memory_order_relaxed);
+  AmbientExecContext().AddViewTuplesCopied(flat.size());
   return flat;
 }
 
@@ -194,9 +185,10 @@ RelationPtr RelationView::Shared() const {
   std::lock_guard<std::mutex> lock(flat_cache_->mu);
   if (flat_cache_->flat == nullptr) {
     HQL_FAIL_POINT(kFailPointConsolidate);
-    g_consolidations.fetch_add(1, std::memory_order_relaxed);
+    ExecContext& ctx = AmbientExecContext();
+    ctx.AddViewConsolidation();
     Relation flat = base_->ApplyTuples(adds_, dels_);
-    g_tuples_copied.fetch_add(flat.size(), std::memory_order_relaxed);
+    ctx.AddViewTuplesCopied(flat.size());
     flat_cache_->flat = std::make_shared<const Relation>(std::move(flat));
   }
   return flat_cache_->flat;

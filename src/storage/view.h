@@ -36,8 +36,13 @@ namespace hql {
 
 using RelationPtr = std::shared_ptr<const Relation>;
 
-/// Process-wide counters for copy-on-write behavior, surfaced by `explain`.
-/// All counters are cumulative since process start (or the last Reset).
+/// Copy-on-write counters in the legacy process-wide shape.
+///
+/// DEPRECATED: the view layer now charges the ambient ExecContext
+/// (common/exec_context.h); these accessors are thin shims over the
+/// process-default context, kept for one release. They only observe work
+/// done without an installed ExecContextScope. New code should install an
+/// ExecContext and read Snapshot().
 struct ViewStats {
   uint64_t views_created = 0;    // views sharing an existing base
   uint64_t consolidations = 0;   // overlays collapsed into flat relations
