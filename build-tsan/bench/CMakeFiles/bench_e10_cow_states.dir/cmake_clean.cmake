@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_cow_states.dir/bench_e10_cow_states.cc.o"
+  "CMakeFiles/bench_e10_cow_states.dir/bench_e10_cow_states.cc.o.d"
+  "bench_e10_cow_states"
+  "bench_e10_cow_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_cow_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e10_cow_states.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_indexed_probes.dir/bench_e11_indexed_probes.cc.o"
+  "CMakeFiles/bench_e11_indexed_probes.dir/bench_e11_indexed_probes.cc.o.d"
+  "bench_e11_indexed_probes"
+  "bench_e11_indexed_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_indexed_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e11_indexed_probes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_governor.dir/bench_e12_governor.cc.o"
+  "CMakeFiles/bench_e12_governor.dir/bench_e12_governor.cc.o.d"
+  "bench_e12_governor"
+  "bench_e12_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_alternatives.
+# This may be replaced when dependencies are built.

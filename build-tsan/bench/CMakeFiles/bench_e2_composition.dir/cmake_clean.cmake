@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_composition.dir/bench_e2_composition.cc.o"
+  "CMakeFiles/bench_e2_composition.dir/bench_e2_composition.cc.o.d"
+  "bench_e2_composition"
+  "bench_e2_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

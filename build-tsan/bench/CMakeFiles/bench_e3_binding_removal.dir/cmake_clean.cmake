@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_binding_removal.dir/bench_e3_binding_removal.cc.o"
+  "CMakeFiles/bench_e3_binding_removal.dir/bench_e3_binding_removal.cc.o.d"
+  "bench_e3_binding_removal"
+  "bench_e3_binding_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_binding_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_binding_removal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_blowup.dir/bench_e4_blowup.cc.o"
+  "CMakeFiles/bench_e4_blowup.dir/bench_e4_blowup.cc.o.d"
+  "bench_e4_blowup"
+  "bench_e4_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

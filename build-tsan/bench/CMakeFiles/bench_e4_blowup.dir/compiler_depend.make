@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_blowup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_join_when.dir/bench_e5_join_when.cc.o"
+  "CMakeFiles/bench_e5_join_when.dir/bench_e5_join_when.cc.o.d"
+  "bench_e5_join_when"
+  "bench_e5_join_when.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_join_when.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e5_join_when.
+# This may be replaced when dependencies are built.

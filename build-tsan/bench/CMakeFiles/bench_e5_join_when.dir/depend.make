@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_join_when.
+# This may be replaced when dependencies are built.

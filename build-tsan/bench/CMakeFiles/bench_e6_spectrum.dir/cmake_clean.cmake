@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_spectrum.dir/bench_e6_spectrum.cc.o"
+  "CMakeFiles/bench_e6_spectrum.dir/bench_e6_spectrum.cc.o.d"
+  "bench_e6_spectrum"
+  "bench_e6_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

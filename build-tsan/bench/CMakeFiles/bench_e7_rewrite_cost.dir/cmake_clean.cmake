@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_rewrite_cost.dir/bench_e7_rewrite_cost.cc.o"
+  "CMakeFiles/bench_e7_rewrite_cost.dir/bench_e7_rewrite_cost.cc.o.d"
+  "bench_e7_rewrite_cost"
+  "bench_e7_rewrite_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_rewrite_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e7_rewrite_cost.
+# This may be replaced when dependencies are built.

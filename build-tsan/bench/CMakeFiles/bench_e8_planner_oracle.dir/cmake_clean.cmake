@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_planner_oracle.dir/bench_e8_planner_oracle.cc.o"
+  "CMakeFiles/bench_e8_planner_oracle.dir/bench_e8_planner_oracle.cc.o.d"
+  "bench_e8_planner_oracle"
+  "bench_e8_planner_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_planner_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e8_planner_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_parallel_alternatives.dir/bench_e9_parallel_alternatives.cc.o"
+  "CMakeFiles/bench_e9_parallel_alternatives.dir/bench_e9_parallel_alternatives.cc.o.d"
+  "bench_e9_parallel_alternatives"
+  "bench_e9_parallel_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_parallel_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e9_parallel_alternatives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e9_parallel_alternatives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_bench_json.dir/check_bench_json.cc.o"
+  "CMakeFiles/check_bench_json.dir/check_bench_json.cc.o.d"
+  "check_bench_json"
+  "check_bench_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_bench_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for check_bench_json.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_shell.dir/hql_shell.cpp.o"
+  "CMakeFiles/hql_shell.dir/hql_shell.cpp.o.d"
+  "hql_shell"
+  "hql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hql_shell.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_guard.dir/integrity_guard.cpp.o"
+  "CMakeFiles/integrity_guard.dir/integrity_guard.cpp.o.d"
+  "integrity_guard"
+  "integrity_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

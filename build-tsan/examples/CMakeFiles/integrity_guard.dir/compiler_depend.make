@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integrity_guard.
+# This may be replaced when dependencies are built.

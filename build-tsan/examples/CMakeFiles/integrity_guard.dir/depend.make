@@ -1,0 +1,2 @@
+# Empty dependencies file for integrity_guard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_tree.dir/version_tree.cpp.o"
+  "CMakeFiles/version_tree.dir/version_tree.cpp.o.d"
+  "version_tree"
+  "version_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

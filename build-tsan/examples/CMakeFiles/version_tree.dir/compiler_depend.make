@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for version_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for version_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_promotions.dir/whatif_promotions.cpp.o"
+  "CMakeFiles/whatif_promotions.dir/whatif_promotions.cpp.o.d"
+  "whatif_promotions"
+  "whatif_promotions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_promotions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for whatif_promotions.
+# This may be replaced when dependencies are built.

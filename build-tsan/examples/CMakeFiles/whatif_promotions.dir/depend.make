@@ -1,0 +1,2 @@
+# Empty dependencies file for whatif_promotions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/hypo.cc" "src/ast/CMakeFiles/hql_ast.dir/hypo.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/hypo.cc.o.d"
+  "/root/repo/src/ast/metrics.cc" "src/ast/CMakeFiles/hql_ast.dir/metrics.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/metrics.cc.o.d"
+  "/root/repo/src/ast/query.cc" "src/ast/CMakeFiles/hql_ast.dir/query.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/query.cc.o.d"
+  "/root/repo/src/ast/scalar_expr.cc" "src/ast/CMakeFiles/hql_ast.dir/scalar_expr.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/scalar_expr.cc.o.d"
+  "/root/repo/src/ast/typecheck.cc" "src/ast/CMakeFiles/hql_ast.dir/typecheck.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/typecheck.cc.o.d"
+  "/root/repo/src/ast/update.cc" "src/ast/CMakeFiles/hql_ast.dir/update.cc.o" "gcc" "src/ast/CMakeFiles/hql_ast.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

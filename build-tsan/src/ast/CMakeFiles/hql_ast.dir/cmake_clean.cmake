@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_ast.dir/hypo.cc.o"
+  "CMakeFiles/hql_ast.dir/hypo.cc.o.d"
+  "CMakeFiles/hql_ast.dir/metrics.cc.o"
+  "CMakeFiles/hql_ast.dir/metrics.cc.o.d"
+  "CMakeFiles/hql_ast.dir/query.cc.o"
+  "CMakeFiles/hql_ast.dir/query.cc.o.d"
+  "CMakeFiles/hql_ast.dir/scalar_expr.cc.o"
+  "CMakeFiles/hql_ast.dir/scalar_expr.cc.o.d"
+  "CMakeFiles/hql_ast.dir/typecheck.cc.o"
+  "CMakeFiles/hql_ast.dir/typecheck.cc.o.d"
+  "CMakeFiles/hql_ast.dir/update.cc.o"
+  "CMakeFiles/hql_ast.dir/update.cc.o.d"
+  "libhql_ast.a"
+  "libhql_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/exec_context.cc" "src/common/CMakeFiles/hql_common.dir/exec_context.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/exec_context.cc.o.d"
+  "/root/repo/src/common/failpoint.cc" "src/common/CMakeFiles/hql_common.dir/failpoint.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/failpoint.cc.o.d"
+  "/root/repo/src/common/governor.cc" "src/common/CMakeFiles/hql_common.dir/governor.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/governor.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/common/CMakeFiles/hql_common.dir/json.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/json.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/hql_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/hql_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/hql_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/hql_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/hql_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

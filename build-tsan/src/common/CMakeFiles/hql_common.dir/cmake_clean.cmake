@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_common.dir/exec_context.cc.o"
+  "CMakeFiles/hql_common.dir/exec_context.cc.o.d"
+  "CMakeFiles/hql_common.dir/failpoint.cc.o"
+  "CMakeFiles/hql_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/hql_common.dir/governor.cc.o"
+  "CMakeFiles/hql_common.dir/governor.cc.o.d"
+  "CMakeFiles/hql_common.dir/json.cc.o"
+  "CMakeFiles/hql_common.dir/json.cc.o.d"
+  "CMakeFiles/hql_common.dir/rng.cc.o"
+  "CMakeFiles/hql_common.dir/rng.cc.o.d"
+  "CMakeFiles/hql_common.dir/status.cc.o"
+  "CMakeFiles/hql_common.dir/status.cc.o.d"
+  "CMakeFiles/hql_common.dir/strings.cc.o"
+  "CMakeFiles/hql_common.dir/strings.cc.o.d"
+  "CMakeFiles/hql_common.dir/thread_pool.cc.o"
+  "CMakeFiles/hql_common.dir/thread_pool.cc.o.d"
+  "libhql_common.a"
+  "libhql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhql_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/delta.cc" "src/eval/CMakeFiles/hql_eval.dir/delta.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/delta.cc.o.d"
+  "/root/repo/src/eval/delta_ops.cc" "src/eval/CMakeFiles/hql_eval.dir/delta_ops.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/delta_ops.cc.o.d"
+  "/root/repo/src/eval/direct.cc" "src/eval/CMakeFiles/hql_eval.dir/direct.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/direct.cc.o.d"
+  "/root/repo/src/eval/filter1.cc" "src/eval/CMakeFiles/hql_eval.dir/filter1.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/filter1.cc.o.d"
+  "/root/repo/src/eval/filter2.cc" "src/eval/CMakeFiles/hql_eval.dir/filter2.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/filter2.cc.o.d"
+  "/root/repo/src/eval/filter3.cc" "src/eval/CMakeFiles/hql_eval.dir/filter3.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/filter3.cc.o.d"
+  "/root/repo/src/eval/index_exec.cc" "src/eval/CMakeFiles/hql_eval.dir/index_exec.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/index_exec.cc.o.d"
+  "/root/repo/src/eval/materialize.cc" "src/eval/CMakeFiles/hql_eval.dir/materialize.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/materialize.cc.o.d"
+  "/root/repo/src/eval/memo.cc" "src/eval/CMakeFiles/hql_eval.dir/memo.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/memo.cc.o.d"
+  "/root/repo/src/eval/ra_eval.cc" "src/eval/CMakeFiles/hql_eval.dir/ra_eval.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/ra_eval.cc.o.d"
+  "/root/repo/src/eval/xsub.cc" "src/eval/CMakeFiles/hql_eval.dir/xsub.cc.o" "gcc" "src/eval/CMakeFiles/hql_eval.dir/xsub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hql/CMakeFiles/hql_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ast/CMakeFiles/hql_ast.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_eval.dir/delta.cc.o"
+  "CMakeFiles/hql_eval.dir/delta.cc.o.d"
+  "CMakeFiles/hql_eval.dir/delta_ops.cc.o"
+  "CMakeFiles/hql_eval.dir/delta_ops.cc.o.d"
+  "CMakeFiles/hql_eval.dir/direct.cc.o"
+  "CMakeFiles/hql_eval.dir/direct.cc.o.d"
+  "CMakeFiles/hql_eval.dir/filter1.cc.o"
+  "CMakeFiles/hql_eval.dir/filter1.cc.o.d"
+  "CMakeFiles/hql_eval.dir/filter2.cc.o"
+  "CMakeFiles/hql_eval.dir/filter2.cc.o.d"
+  "CMakeFiles/hql_eval.dir/filter3.cc.o"
+  "CMakeFiles/hql_eval.dir/filter3.cc.o.d"
+  "CMakeFiles/hql_eval.dir/index_exec.cc.o"
+  "CMakeFiles/hql_eval.dir/index_exec.cc.o.d"
+  "CMakeFiles/hql_eval.dir/materialize.cc.o"
+  "CMakeFiles/hql_eval.dir/materialize.cc.o.d"
+  "CMakeFiles/hql_eval.dir/memo.cc.o"
+  "CMakeFiles/hql_eval.dir/memo.cc.o.d"
+  "CMakeFiles/hql_eval.dir/ra_eval.cc.o"
+  "CMakeFiles/hql_eval.dir/ra_eval.cc.o.d"
+  "CMakeFiles/hql_eval.dir/xsub.cc.o"
+  "CMakeFiles/hql_eval.dir/xsub.cc.o.d"
+  "libhql_eval.a"
+  "libhql_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

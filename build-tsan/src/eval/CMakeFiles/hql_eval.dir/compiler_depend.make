@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hql_eval.
+# This may be replaced when dependencies are built.

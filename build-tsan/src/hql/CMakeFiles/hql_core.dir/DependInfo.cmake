@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hql/collapse.cc" "src/hql/CMakeFiles/hql_core.dir/collapse.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/collapse.cc.o.d"
+  "/root/repo/src/hql/enf.cc" "src/hql/CMakeFiles/hql_core.dir/enf.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/enf.cc.o.d"
+  "/root/repo/src/hql/free_dom.cc" "src/hql/CMakeFiles/hql_core.dir/free_dom.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/free_dom.cc.o.d"
+  "/root/repo/src/hql/pushdown.cc" "src/hql/CMakeFiles/hql_core.dir/pushdown.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/pushdown.cc.o.d"
+  "/root/repo/src/hql/ra_rewrite.cc" "src/hql/CMakeFiles/hql_core.dir/ra_rewrite.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/ra_rewrite.cc.o.d"
+  "/root/repo/src/hql/reduce.cc" "src/hql/CMakeFiles/hql_core.dir/reduce.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/reduce.cc.o.d"
+  "/root/repo/src/hql/rewrite_when.cc" "src/hql/CMakeFiles/hql_core.dir/rewrite_when.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/rewrite_when.cc.o.d"
+  "/root/repo/src/hql/slice.cc" "src/hql/CMakeFiles/hql_core.dir/slice.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/slice.cc.o.d"
+  "/root/repo/src/hql/subst.cc" "src/hql/CMakeFiles/hql_core.dir/subst.cc.o" "gcc" "src/hql/CMakeFiles/hql_core.dir/subst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ast/CMakeFiles/hql_ast.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

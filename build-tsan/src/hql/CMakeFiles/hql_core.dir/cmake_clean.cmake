@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_core.dir/collapse.cc.o"
+  "CMakeFiles/hql_core.dir/collapse.cc.o.d"
+  "CMakeFiles/hql_core.dir/enf.cc.o"
+  "CMakeFiles/hql_core.dir/enf.cc.o.d"
+  "CMakeFiles/hql_core.dir/free_dom.cc.o"
+  "CMakeFiles/hql_core.dir/free_dom.cc.o.d"
+  "CMakeFiles/hql_core.dir/pushdown.cc.o"
+  "CMakeFiles/hql_core.dir/pushdown.cc.o.d"
+  "CMakeFiles/hql_core.dir/ra_rewrite.cc.o"
+  "CMakeFiles/hql_core.dir/ra_rewrite.cc.o.d"
+  "CMakeFiles/hql_core.dir/reduce.cc.o"
+  "CMakeFiles/hql_core.dir/reduce.cc.o.d"
+  "CMakeFiles/hql_core.dir/rewrite_when.cc.o"
+  "CMakeFiles/hql_core.dir/rewrite_when.cc.o.d"
+  "CMakeFiles/hql_core.dir/slice.cc.o"
+  "CMakeFiles/hql_core.dir/slice.cc.o.d"
+  "CMakeFiles/hql_core.dir/subst.cc.o"
+  "CMakeFiles/hql_core.dir/subst.cc.o.d"
+  "libhql_core.a"
+  "libhql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_opt.dir/estimator.cc.o"
+  "CMakeFiles/hql_opt.dir/estimator.cc.o.d"
+  "CMakeFiles/hql_opt.dir/explain.cc.o"
+  "CMakeFiles/hql_opt.dir/explain.cc.o.d"
+  "CMakeFiles/hql_opt.dir/planner.cc.o"
+  "CMakeFiles/hql_opt.dir/planner.cc.o.d"
+  "CMakeFiles/hql_opt.dir/session.cc.o"
+  "CMakeFiles/hql_opt.dir/session.cc.o.d"
+  "libhql_opt.a"
+  "libhql_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/lexer.cc" "src/parser/CMakeFiles/hql_parser.dir/lexer.cc.o" "gcc" "src/parser/CMakeFiles/hql_parser.dir/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/parser/CMakeFiles/hql_parser.dir/parser.cc.o" "gcc" "src/parser/CMakeFiles/hql_parser.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ast/CMakeFiles/hql_ast.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

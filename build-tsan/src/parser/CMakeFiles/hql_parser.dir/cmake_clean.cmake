@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_parser.dir/lexer.cc.o"
+  "CMakeFiles/hql_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/hql_parser.dir/parser.cc.o"
+  "CMakeFiles/hql_parser.dir/parser.cc.o.d"
+  "libhql_parser.a"
+  "libhql_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hql_parser.
+# This may be replaced when dependencies are built.

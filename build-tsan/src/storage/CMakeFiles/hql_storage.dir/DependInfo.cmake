@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/hql_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/storage/CMakeFiles/hql_storage.dir/index.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/index.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/storage/CMakeFiles/hql_storage.dir/io.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/io.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/hql_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/hql_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/stats.cc" "src/storage/CMakeFiles/hql_storage.dir/stats.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/stats.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/hql_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/hql_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/value.cc.o.d"
+  "/root/repo/src/storage/view.cc" "src/storage/CMakeFiles/hql_storage.dir/view.cc.o" "gcc" "src/storage/CMakeFiles/hql_storage.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_storage.dir/database.cc.o"
+  "CMakeFiles/hql_storage.dir/database.cc.o.d"
+  "CMakeFiles/hql_storage.dir/index.cc.o"
+  "CMakeFiles/hql_storage.dir/index.cc.o.d"
+  "CMakeFiles/hql_storage.dir/io.cc.o"
+  "CMakeFiles/hql_storage.dir/io.cc.o.d"
+  "CMakeFiles/hql_storage.dir/relation.cc.o"
+  "CMakeFiles/hql_storage.dir/relation.cc.o.d"
+  "CMakeFiles/hql_storage.dir/schema.cc.o"
+  "CMakeFiles/hql_storage.dir/schema.cc.o.d"
+  "CMakeFiles/hql_storage.dir/stats.cc.o"
+  "CMakeFiles/hql_storage.dir/stats.cc.o.d"
+  "CMakeFiles/hql_storage.dir/tuple.cc.o"
+  "CMakeFiles/hql_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/hql_storage.dir/value.cc.o"
+  "CMakeFiles/hql_storage.dir/value.cc.o.d"
+  "CMakeFiles/hql_storage.dir/view.cc.o"
+  "CMakeFiles/hql_storage.dir/view.cc.o.d"
+  "libhql_storage.a"
+  "libhql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

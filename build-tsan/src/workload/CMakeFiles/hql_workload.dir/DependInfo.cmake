@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/hql_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/hql_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/version_tree.cc" "src/workload/CMakeFiles/hql_workload.dir/version_tree.cc.o" "gcc" "src/workload/CMakeFiles/hql_workload.dir/version_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ast/CMakeFiles/hql_ast.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_workload.dir/generators.cc.o"
+  "CMakeFiles/hql_workload.dir/generators.cc.o.d"
+  "CMakeFiles/hql_workload.dir/version_tree.cc.o"
+  "CMakeFiles/hql_workload.dir/version_tree.cc.o.d"
+  "libhql_workload.a"
+  "libhql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_test.dir/aggregate_test.cc.o"
+  "CMakeFiles/aggregate_test.dir/aggregate_test.cc.o.d"
+  "aggregate_test"
+  "aggregate_test.pdb"
+  "aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternatives_test.dir/alternatives_test.cc.o"
+  "CMakeFiles/alternatives_test.dir/alternatives_test.cc.o.d"
+  "alternatives_test"
+  "alternatives_test.pdb"
+  "alternatives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternatives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

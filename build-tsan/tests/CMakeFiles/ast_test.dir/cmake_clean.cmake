@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_test.dir/ast_test.cc.o"
+  "CMakeFiles/ast_test.dir/ast_test.cc.o.d"
+  "ast_test"
+  "ast_test.pdb"
+  "ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

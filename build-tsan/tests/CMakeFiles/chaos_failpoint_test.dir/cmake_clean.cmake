@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_failpoint_test.dir/chaos_failpoint_test.cc.o"
+  "CMakeFiles/chaos_failpoint_test.dir/chaos_failpoint_test.cc.o.d"
+  "chaos_failpoint_test"
+  "chaos_failpoint_test.pdb"
+  "chaos_failpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_failpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cow_overlay_test.cc" "tests/CMakeFiles/cow_overlay_test.dir/cow_overlay_test.cc.o" "gcc" "tests/CMakeFiles/cow_overlay_test.dir/cow_overlay_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/opt/CMakeFiles/hql_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/hql_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hql/CMakeFiles/hql_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parser/CMakeFiles/hql_parser.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/hql_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ast/CMakeFiles/hql_ast.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hql_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

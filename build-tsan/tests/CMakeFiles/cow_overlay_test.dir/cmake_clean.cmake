@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_overlay_test.dir/cow_overlay_test.cc.o"
+  "CMakeFiles/cow_overlay_test.dir/cow_overlay_test.cc.o.d"
+  "cow_overlay_test"
+  "cow_overlay_test.pdb"
+  "cow_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enf_collapse_test.dir/enf_collapse_test.cc.o"
+  "CMakeFiles/enf_collapse_test.dir/enf_collapse_test.cc.o.d"
+  "enf_collapse_test"
+  "enf_collapse_test.pdb"
+  "enf_collapse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enf_collapse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

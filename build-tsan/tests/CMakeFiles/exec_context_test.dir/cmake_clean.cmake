@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_context_test.dir/exec_context_test.cc.o"
+  "CMakeFiles/exec_context_test.dir/exec_context_test.cc.o.d"
+  "exec_context_test"
+  "exec_context_test.pdb"
+  "exec_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_test.dir/explain_test.cc.o"
+  "CMakeFiles/explain_test.dir/explain_test.cc.o.d"
+  "explain_test"
+  "explain_test.pdb"
+  "explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

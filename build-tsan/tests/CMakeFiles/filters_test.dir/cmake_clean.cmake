@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_test.dir/filters_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters_test.cc.o.d"
+  "filters_test"
+  "filters_test.pdb"
+  "filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

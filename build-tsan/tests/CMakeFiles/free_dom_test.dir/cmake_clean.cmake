@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_dom_test.dir/free_dom_test.cc.o"
+  "CMakeFiles/free_dom_test.dir/free_dom_test.cc.o.d"
+  "free_dom_test"
+  "free_dom_test.pdb"
+  "free_dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

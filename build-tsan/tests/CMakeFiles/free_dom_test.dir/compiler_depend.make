@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for free_dom_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_test.dir/governor_test.cc.o"
+  "CMakeFiles/governor_test.dir/governor_test.cc.o.d"
+  "governor_test"
+  "governor_test.pdb"
+  "governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

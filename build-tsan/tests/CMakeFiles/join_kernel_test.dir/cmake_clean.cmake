@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_kernel_test.dir/join_kernel_test.cc.o"
+  "CMakeFiles/join_kernel_test.dir/join_kernel_test.cc.o.d"
+  "join_kernel_test"
+  "join_kernel_test.pdb"
+  "join_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

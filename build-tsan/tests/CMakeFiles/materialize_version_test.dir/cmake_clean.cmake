@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialize_version_test.dir/materialize_version_test.cc.o"
+  "CMakeFiles/materialize_version_test.dir/materialize_version_test.cc.o.d"
+  "materialize_version_test"
+  "materialize_version_test.pdb"
+  "materialize_version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialize_version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_test.dir/memo_test.cc.o"
+  "CMakeFiles/memo_test.dir/memo_test.cc.o.d"
+  "memo_test"
+  "memo_test.pdb"
+  "memo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

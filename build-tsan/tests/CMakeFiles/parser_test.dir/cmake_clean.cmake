@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_test.dir/parser_test.cc.o"
+  "CMakeFiles/parser_test.dir/parser_test.cc.o.d"
+  "parser_test"
+  "parser_test.pdb"
+  "parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_test.dir/planner_test.cc.o"
+  "CMakeFiles/planner_test.dir/planner_test.cc.o.d"
+  "planner_test"
+  "planner_test.pdb"
+  "planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushdown_test.dir/pushdown_test.cc.o"
+  "CMakeFiles/pushdown_test.dir/pushdown_test.cc.o.d"
+  "pushdown_test"
+  "pushdown_test.pdb"
+  "pushdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_rewrite_test.dir/ra_rewrite_test.cc.o"
+  "CMakeFiles/ra_rewrite_test.dir/ra_rewrite_test.cc.o.d"
+  "ra_rewrite_test"
+  "ra_rewrite_test.pdb"
+  "ra_rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ra_rewrite_test.
+# This may be replaced when dependencies are built.

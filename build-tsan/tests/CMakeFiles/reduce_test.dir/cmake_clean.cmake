@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_test.dir/reduce_test.cc.o"
+  "CMakeFiles/reduce_test.dir/reduce_test.cc.o.d"
+  "reduce_test"
+  "reduce_test.pdb"
+  "reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_test.dir/relation_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation_test.cc.o.d"
+  "relation_test"
+  "relation_test.pdb"
+  "relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_when_test.dir/rewrite_when_test.cc.o"
+  "CMakeFiles/rewrite_when_test.dir/rewrite_when_test.cc.o.d"
+  "rewrite_when_test"
+  "rewrite_when_test.pdb"
+  "rewrite_when_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_when_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

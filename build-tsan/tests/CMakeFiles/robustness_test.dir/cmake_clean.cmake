@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_test.dir/robustness_test.cc.o"
+  "CMakeFiles/robustness_test.dir/robustness_test.cc.o.d"
+  "robustness_test"
+  "robustness_test.pdb"
+  "robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

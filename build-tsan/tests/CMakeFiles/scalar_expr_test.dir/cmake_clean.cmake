@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_expr_test.dir/scalar_expr_test.cc.o"
+  "CMakeFiles/scalar_expr_test.dir/scalar_expr_test.cc.o.d"
+  "scalar_expr_test"
+  "scalar_expr_test.pdb"
+  "scalar_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

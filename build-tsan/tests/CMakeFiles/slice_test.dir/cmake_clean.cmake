@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_test.dir/slice_test.cc.o"
+  "CMakeFiles/slice_test.dir/slice_test.cc.o.d"
+  "slice_test"
+  "slice_test.pdb"
+  "slice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_when_test.dir/state_when_test.cc.o"
+  "CMakeFiles/state_when_test.dir/state_when_test.cc.o.d"
+  "state_when_test"
+  "state_when_test.pdb"
+  "state_when_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_when_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

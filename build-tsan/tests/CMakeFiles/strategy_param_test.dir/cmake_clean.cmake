@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_param_test.dir/strategy_param_test.cc.o"
+  "CMakeFiles/strategy_param_test.dir/strategy_param_test.cc.o.d"
+  "strategy_param_test"
+  "strategy_param_test.pdb"
+  "strategy_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

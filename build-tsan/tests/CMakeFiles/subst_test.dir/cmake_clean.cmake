@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subst_test.dir/subst_test.cc.o"
+  "CMakeFiles/subst_test.dir/subst_test.cc.o.d"
+  "subst_test"
+  "subst_test.pdb"
+  "subst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

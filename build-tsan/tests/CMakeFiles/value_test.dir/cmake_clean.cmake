@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_test.dir/value_test.cc.o"
+  "CMakeFiles/value_test.dir/value_test.cc.o.d"
+  "value_test"
+  "value_test.pdb"
+  "value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

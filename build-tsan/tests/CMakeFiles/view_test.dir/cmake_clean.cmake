@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_test.dir/view_test.cc.o"
+  "CMakeFiles/view_test.dir/view_test.cc.o.d"
+  "view_test"
+  "view_test.pdb"
+  "view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsub_delta_test.dir/xsub_delta_test.cc.o"
+  "CMakeFiles/xsub_delta_test.dir/xsub_delta_test.cc.o.d"
+  "xsub_delta_test"
+  "xsub_delta_test.pdb"
+  "xsub_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsub_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

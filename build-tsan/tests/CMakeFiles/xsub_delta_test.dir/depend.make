@@ -1,0 +1,2 @@
+# Empty dependencies file for xsub_delta_test.
+# This may be replaced when dependencies are built.
