@@ -42,6 +42,11 @@ constexpr const char* kStatsCounters[] = {
     "governor_index_fallbacks",
     "governor_max_tuples_charged",
     "governor_max_rewrite_nodes_charged",
+    "columnar_batches_built",
+    "columnar_batches_reused",
+    "columnar_morsels_dispatched",
+    "columnar_rows_vectorized",
+    "columnar_rows_fallback",
 };
 
 Status CheckStatsSidecar(const JsonPtr& root) {

@@ -13,6 +13,9 @@
 //   \apply UPDATE           commit an update to the real state
 //   \strategy NAME          direct | lazy | filter1 | filter2 | filter3 |
 //                           hybrid (default hybrid)
+//   \columnar on|off        vectorized columnar kernels for large flat
+//                           bases (default off); \analyze shows the
+//                           columnar-select / columnar-join spans
 //   \explain QUERY          show the lazy rewrite and the hybrid plan
 //   \analyze QUERY          EXPLAIN ANALYZE: run the query traced and show
 //                           estimates vs actuals plus per-operator spans
@@ -53,6 +56,7 @@ struct ShellState {
   Schema schema;
   Database db{Schema()};
   Strategy strategy = Strategy::kHybrid;
+  ColumnarMode columnar = ColumnarMode::kOff;
   bool timing = true;
   Rng rng{20260704};
   // Session-level subplan cache: repeated (sub)queries against an unchanged
@@ -101,6 +105,7 @@ void Help() {
       "  \\gen NAME ROWS DOMAIN   fill with random rows\n"
       "  \\apply UPDATE           commit an update\n"
       "  \\strategy NAME          direct|lazy|filter1|filter2|filter3|hybrid\n"
+      "  \\columnar on|off        vectorized kernels for large flat bases\n"
       "  \\explain QUERY          show rewrites and plan\n"
       "  \\analyze QUERY          run traced: estimates vs actuals + spans\n"
       "  \\db                     print the database\n"
@@ -216,6 +221,15 @@ void HandleCommand(ShellState* st, const std::string& line) {
       return;
     }
     std::printf("strategy = %s\n", StrategyName(st->strategy));
+  } else if (cmd == "\\columnar") {
+    std::string mode;
+    in >> mode;
+    if (mode != "on" && mode != "off") {
+      std::printf("usage: \\columnar on|off\n");
+      return;
+    }
+    st->columnar = mode == "on" ? ColumnarMode::kAuto : ColumnarMode::kOff;
+    std::printf("columnar = %s\n", ColumnarModeName(st->columnar));
   } else if (cmd == "\\explain") {
     std::string rest;
     std::getline(in, rest);
@@ -242,6 +256,7 @@ void HandleCommand(ShellState* st, const std::string& line) {
     AnalyzeOptions options;
     options.strategy = st->strategy;
     options.planner.memo = &st->memo;
+    options.planner.columnar_mode = st->columnar;
     auto report = ExplainAnalyze(q.value(), st->db, st->schema, options);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
@@ -321,6 +336,7 @@ void HandleQuery(ShellState* st, const std::string& line) {
   auto start = std::chrono::steady_clock::now();
   PlannerOptions options;
   options.memo = &st->memo;
+  options.columnar_mode = st->columnar;
   auto result =
       st->whatif != nullptr
           ? st->whatif->Evaluate(q.value())

@@ -87,6 +87,12 @@ void ExecStats::MergeFrom(const ExecStats& other) {
         other.governor_max_rewrite_nodes_charged;
   }
 
+  columnar_batches_built += other.columnar_batches_built;
+  columnar_batches_reused += other.columnar_batches_reused;
+  columnar_morsels_dispatched += other.columnar_morsels_dispatched;
+  columnar_rows_vectorized += other.columnar_rows_vectorized;
+  columnar_rows_fallback += other.columnar_rows_fallback;
+
   if (route.empty()) route = other.route;
   spans.insert(spans.end(), other.spans.begin(), other.spans.end());
 }
@@ -117,6 +123,14 @@ std::string ExecStats::ToJson() const {
               &first);
   AppendField(&out, "governor_max_rewrite_nodes_charged",
               governor_max_rewrite_nodes_charged, &first);
+  AppendField(&out, "columnar_batches_built", columnar_batches_built, &first);
+  AppendField(&out, "columnar_batches_reused", columnar_batches_reused,
+              &first);
+  AppendField(&out, "columnar_morsels_dispatched", columnar_morsels_dispatched,
+              &first);
+  AppendField(&out, "columnar_rows_vectorized", columnar_rows_vectorized,
+              &first);
+  AppendField(&out, "columnar_rows_fallback", columnar_rows_fallback, &first);
   out += ",\"route\":";
   AppendJsonString(&out, route);
   out += ",\"spans\":[";
@@ -210,6 +224,16 @@ ExecStats ExecContext::Snapshot() const {
       governor_max_tuples_charged_.load(std::memory_order_relaxed);
   stats.governor_max_rewrite_nodes_charged =
       governor_max_rewrite_nodes_charged_.load(std::memory_order_relaxed);
+  stats.columnar_batches_built =
+      columnar_batches_built_.load(std::memory_order_relaxed);
+  stats.columnar_batches_reused =
+      columnar_batches_reused_.load(std::memory_order_relaxed);
+  stats.columnar_morsels_dispatched =
+      columnar_morsels_dispatched_.load(std::memory_order_relaxed);
+  stats.columnar_rows_vectorized =
+      columnar_rows_vectorized_.load(std::memory_order_relaxed);
+  stats.columnar_rows_fallback =
+      columnar_rows_fallback_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.route = route_;
@@ -237,6 +261,11 @@ void ExecContext::MergeFrom(const ExecStats& stats) {
   Bump(&governor_index_fallbacks_, stats.governor_index_fallbacks);
   RaiseTuplesCharged(stats.governor_max_tuples_charged);
   RaiseRewriteNodesCharged(stats.governor_max_rewrite_nodes_charged);
+  Bump(&columnar_batches_built_, stats.columnar_batches_built);
+  Bump(&columnar_batches_reused_, stats.columnar_batches_reused);
+  Bump(&columnar_morsels_dispatched_, stats.columnar_morsels_dispatched);
+  Bump(&columnar_rows_vectorized_, stats.columnar_rows_vectorized);
+  Bump(&columnar_rows_fallback_, stats.columnar_rows_fallback);
   std::lock_guard<std::mutex> lock(mu_);
   if (route_.empty()) route_ = stats.route;
   spans_.insert(spans_.end(), stats.spans.begin(), stats.spans.end());
@@ -247,6 +276,7 @@ void ExecContext::Reset() {
   ResetViewCounters();
   ResetIndexCounters();
   ResetGovernorCounters();
+  ResetColumnarCounters();
   std::lock_guard<std::mutex> lock(mu_);
   route_.clear();
   spans_.clear();
@@ -280,6 +310,14 @@ void ExecContext::ResetGovernorCounters() {
   governor_index_fallbacks_.store(0, std::memory_order_relaxed);
   governor_max_tuples_charged_.store(0, std::memory_order_relaxed);
   governor_max_rewrite_nodes_charged_.store(0, std::memory_order_relaxed);
+}
+
+void ExecContext::ResetColumnarCounters() {
+  columnar_batches_built_.store(0, std::memory_order_relaxed);
+  columnar_batches_reused_.store(0, std::memory_order_relaxed);
+  columnar_morsels_dispatched_.store(0, std::memory_order_relaxed);
+  columnar_rows_vectorized_.store(0, std::memory_order_relaxed);
+  columnar_rows_fallback_.store(0, std::memory_order_relaxed);
 }
 
 ExecContext* CurrentExecContext() { return t_current_context; }

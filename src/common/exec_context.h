@@ -91,6 +91,13 @@ struct ExecStats {
   uint64_t governor_max_tuples_charged = 0;         // high-water mark
   uint64_t governor_max_rewrite_nodes_charged = 0;  // high-water mark
 
+  // Columnar batch execution (eval/vector_exec.h).
+  uint64_t columnar_batches_built = 0;      // physical batch transpositions
+  uint64_t columnar_batches_reused = 0;     // cache hits serving a batch
+  uint64_t columnar_morsels_dispatched = 0; // morsel tasks run
+  uint64_t columnar_rows_vectorized = 0;    // rows through the batch kernels
+  uint64_t columnar_rows_fallback = 0;      // rows the route declined
+
   // The top-level route the execution actually took ("lazy", "eager",
   // "delta", "hybrid-lazy", "hybrid-eager", "hybrid-delta", "direct";
   // empty when no routed execution ran under the context).
@@ -140,6 +147,18 @@ class ExecContext {
   void AddIndexProbe() { Bump(&index_probes_); }
   void AddIndexTuplesSkipped(uint64_t n) { Bump(&index_tuples_skipped_, n); }
 
+  void AddColumnarBatchBuilt() { Bump(&columnar_batches_built_); }
+  void AddColumnarBatchReused() { Bump(&columnar_batches_reused_); }
+  void AddColumnarMorselsDispatched(uint64_t n) {
+    Bump(&columnar_morsels_dispatched_, n);
+  }
+  void AddColumnarRowsVectorized(uint64_t n) {
+    Bump(&columnar_rows_vectorized_, n);
+  }
+  void AddColumnarRowsFallback(uint64_t n) {
+    Bump(&columnar_rows_fallback_, n);
+  }
+
   void AddGovernorTrip(GovernorTripKind kind);
   void AddLazyFallback() { Bump(&governor_lazy_fallbacks_); }
   void AddIndexFallback() { Bump(&governor_index_fallbacks_); }
@@ -171,6 +190,7 @@ class ExecContext {
   void ResetIndexCounters();
   void ResetGovernorCounters();
   void ResetMemoCounters();
+  void ResetColumnarCounters();
 
  private:
   static void Bump(std::atomic<uint64_t>* c, uint64_t n = 1) {
@@ -201,6 +221,12 @@ class ExecContext {
   std::atomic<uint64_t> governor_index_fallbacks_{0};
   std::atomic<uint64_t> governor_max_tuples_charged_{0};
   std::atomic<uint64_t> governor_max_rewrite_nodes_charged_{0};
+
+  std::atomic<uint64_t> columnar_batches_built_{0};
+  std::atomic<uint64_t> columnar_batches_reused_{0};
+  std::atomic<uint64_t> columnar_morsels_dispatched_{0};
+  std::atomic<uint64_t> columnar_rows_vectorized_{0};
+  std::atomic<uint64_t> columnar_rows_fallback_{0};
 
   mutable std::mutex mu_;  // guards route_ and spans_
   std::string route_;

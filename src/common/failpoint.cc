@@ -90,7 +90,8 @@ uint64_t FailPointFireCount(const std::string& site) {
 
 std::vector<std::string> RegisteredFailPointSites() {
   return {kFailPointTaskEnqueue, kFailPointTupleAppend, kFailPointIndexBuild,
-          kFailPointMemoInsert, kFailPointConsolidate};
+          kFailPointMemoInsert, kFailPointConsolidate,
+          kFailPointColumnBatchBuild};
 }
 
 namespace internal {

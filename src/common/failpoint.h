@@ -34,6 +34,7 @@ inline constexpr const char* kFailPointTupleAppend = "relation.append";
 inline constexpr const char* kFailPointIndexBuild = "index.build";
 inline constexpr const char* kFailPointMemoInsert = "memo.insert";
 inline constexpr const char* kFailPointConsolidate = "view.consolidate";
+inline constexpr const char* kFailPointColumnBatchBuild = "column_batch.build";
 
 struct FailPointSpec {
   enum class Mode {

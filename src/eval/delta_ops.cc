@@ -7,6 +7,7 @@
 #include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/ra_eval.h"
+#include "eval/vector_exec.h"
 
 namespace hql {
 
@@ -222,7 +223,7 @@ namespace {
 Result<RelationView> EvalFilterDNode(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
     const std::map<std::string, RelationView>* temps,
-    const IndexConfig& config) {
+    const IndexConfig& config, const ColumnarConfig& columnar) {
   if (query == nullptr) {
     return Status::InvalidArgument("EvalFilterD: query must not be null");
   }
@@ -248,14 +249,23 @@ Result<RelationView> EvalFilterDNode(
     case QueryKind::kSelect: {
       // An equality selection over a leaf probes the base's index (patched
       // with the delta overlay): this is where one index built on the base
-      // state serves every hypothetical state in a family.
-      if (config.enabled() && query->left()->kind() == QueryKind::kRel) {
+      // state serves every hypothetical state in a family. A columnar
+      // policy routes the same leaf through the vectorized scan of the
+      // shared base's batch, with the overlay patched in row-wise.
+      if ((config.enabled() || columnar.enabled()) &&
+          query->left()->kind() == QueryKind::kRel) {
         HQL_ASSIGN_OR_RETURN(
             RelationView in,
-            EvalFilterDNode(query->left(), db, delta, temps, config));
+            EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
         std::optional<Relation> fast =
             TryIndexedFilter(in, query->predicate(), config);
         if (fast.has_value()) return RelationView(*std::move(fast));
+        std::optional<Relation> col =
+            TryColumnarFilter(in, query->predicate(), columnar);
+        if (col.has_value()) return RelationView(*std::move(col));
+        if (columnar.enabled()) {
+          AmbientExecContext().AddColumnarRowsFallback(in.size());
+        }
         return RelationView(FilterRelation(in, *query->predicate()));
       }
       // select-when directly over a flat base relation (an overlay-backed
@@ -270,19 +280,20 @@ Result<RelationView> EvalFilterDNode(
       }
       HQL_ASSIGN_OR_RETURN(
           RelationView in,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
-      return RelationView(IndexedFilter(in, query->predicate(), config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
+      return RelationView(
+          VectorizedFilter(in, query->predicate(), config, columnar));
     }
     case QueryKind::kProject: {
       HQL_ASSIGN_OR_RETURN(
           RelationView in,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       return RelationView(ProjectRelation(in, query->columns()));
     }
     case QueryKind::kAggregate: {
       HQL_ASSIGN_OR_RETURN(
           RelationView in,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       return RelationView(AggregateRelation(in, query->columns(),
                                             query->agg_func(),
                                             query->agg_column()));
@@ -290,44 +301,49 @@ Result<RelationView> EvalFilterDNode(
     case QueryKind::kUnion: {
       HQL_ASSIGN_OR_RETURN(
           RelationView l,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       HQL_ASSIGN_OR_RETURN(
           RelationView r,
-          EvalFilterDNode(query->right(), db, delta, temps, config));
+          EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
       return RelationView(ViewUnion(l, r));
     }
     case QueryKind::kIntersect: {
       HQL_ASSIGN_OR_RETURN(
           RelationView l,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       HQL_ASSIGN_OR_RETURN(
           RelationView r,
-          EvalFilterDNode(query->right(), db, delta, temps, config));
+          EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
       return RelationView(ViewIntersect(l, r));
     }
     case QueryKind::kProduct: {
       HQL_ASSIGN_OR_RETURN(
           RelationView l,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       HQL_ASSIGN_OR_RETURN(
           RelationView r,
-          EvalFilterDNode(query->right(), db, delta, temps, config));
+          EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
       return RelationView(ViewProduct(l, r));
     }
     case QueryKind::kJoin: {
       // An equi-join of two leaves probes the larger side's base index
-      // when the policy grants one.
-      if (config.enabled() && query->left()->kind() == QueryKind::kRel &&
+      // when the policy grants one, then tries the vectorized hash join
+      // over the larger base's batch; a miss falls through to join-when.
+      if ((config.enabled() || columnar.enabled()) &&
+          query->left()->kind() == QueryKind::kRel &&
           query->right()->kind() == QueryKind::kRel) {
         HQL_ASSIGN_OR_RETURN(
             RelationView l,
-            EvalFilterDNode(query->left(), db, delta, temps, config));
+            EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
         HQL_ASSIGN_OR_RETURN(
             RelationView r,
-            EvalFilterDNode(query->right(), db, delta, temps, config));
+            EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
         std::optional<Relation> fast =
             TryIndexedJoin(l, r, query->predicate(), config);
         if (fast.has_value()) return RelationView(*std::move(fast));
+        std::optional<Relation> col =
+            TryColumnarJoin(l, r, query->predicate(), columnar);
+        if (col.has_value()) return RelationView(*std::move(col));
       }
       // join-when over two flat base relations.
       if (query->left()->kind() == QueryKind::kRel &&
@@ -350,19 +366,20 @@ Result<RelationView> EvalFilterDNode(
       }
       HQL_ASSIGN_OR_RETURN(
           RelationView l,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       HQL_ASSIGN_OR_RETURN(
           RelationView r,
-          EvalFilterDNode(query->right(), db, delta, temps, config));
-      return RelationView(IndexedJoin(l, r, query->predicate(), config));
+          EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
+      return RelationView(
+          VectorizedJoin(l, r, query->predicate(), config, columnar));
     }
     case QueryKind::kDifference: {
       HQL_ASSIGN_OR_RETURN(
           RelationView l,
-          EvalFilterDNode(query->left(), db, delta, temps, config));
+          EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
       HQL_ASSIGN_OR_RETURN(
           RelationView r,
-          EvalFilterDNode(query->right(), db, delta, temps, config));
+          EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
       return RelationView(ViewDifference(l, r));
     }
     case QueryKind::kWhen:
@@ -378,9 +395,10 @@ Result<RelationView> EvalFilterDNode(
 Result<RelationView> EvalFilterDView(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
     const std::map<std::string, RelationView>* temps,
-    const IndexConfig& config) {
-  HQL_ASSIGN_OR_RETURN(RelationView out,
-                       EvalFilterDNode(query, db, delta, temps, config));
+    const IndexConfig& config, const ColumnarConfig& columnar) {
+  HQL_ASSIGN_OR_RETURN(
+      RelationView out,
+      EvalFilterDNode(query, db, delta, temps, config, columnar));
   // Discard a root-operator kernel's truncated output on trip.
   HQL_RETURN_IF_ERROR(GovernorCheck());
   return out;
@@ -389,9 +407,11 @@ Result<RelationView> EvalFilterDView(
 Result<Relation> EvalFilterD(const QueryPtr& query, const Database& db,
                              const DeltaValue& delta,
                              const std::map<std::string, RelationView>* temps,
-                             const IndexConfig& config) {
-  HQL_ASSIGN_OR_RETURN(RelationView out,
-                       EvalFilterDNode(query, db, delta, temps, config));
+                             const IndexConfig& config,
+                             const ColumnarConfig& columnar) {
+  HQL_ASSIGN_OR_RETURN(
+      RelationView out,
+      EvalFilterDNode(query, db, delta, temps, config, columnar));
   HQL_RETURN_IF_ERROR(GovernorCheck());
   return out.Materialize();
 }

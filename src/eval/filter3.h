@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "eval/delta.h"
 #include "hql/collapse.h"
+#include "storage/column_batch.h"
 #include "storage/database.h"
 #include "storage/index.h"
 
@@ -37,6 +38,8 @@ struct Filter3Options {
   CollapsedPtr collapsed;
   /// Index policy for the RA blocks (default off).
   IndexConfig indexes;
+  /// Columnar/vectorized execution policy for the RA blocks (default off).
+  ColumnarConfig columnar;
 };
 
 /// Evaluates `query` in `db` with algorithm HQL-3: converts to mod-ENF

@@ -9,6 +9,7 @@
 #include "common/governor.h"
 #include "eval/index_exec.h"
 #include "eval/memo.h"
+#include "eval/vector_exec.h"
 
 namespace hql {
 
@@ -290,6 +291,8 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
                                    const RelResolver& resolver,
                                    const EvalMemo* memo) {
   const IndexConfig indexes = memo != nullptr ? memo->indexes : IndexConfig();
+  const ColumnarConfig columnar =
+      memo != nullptr ? memo->columnar : ColumnarConfig();
   switch (query->kind()) {
     case QueryKind::kRel:
       return resolver.Resolve(query->rel_name());
@@ -311,11 +314,12 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
         if (child->kind() == QueryKind::kJoin) {
           pred = ScalarExpr::Binary(ScalarOp::kAnd, pred, child->predicate());
         }
-        return RelationView(IndexedJoin(l, r, pred, indexes));
+        return RelationView(VectorizedJoin(l, r, pred, indexes, columnar));
       }
       HQL_ASSIGN_OR_RETURN(RelationView in,
                            EvalRaNode(child, resolver, memo));
-      return RelationView(IndexedFilter(in, query->predicate(), indexes));
+      return RelationView(
+          VectorizedFilter(in, query->predicate(), indexes, columnar));
     }
     case QueryKind::kProject: {
       HQL_ASSIGN_OR_RETURN(RelationView in,
@@ -355,7 +359,8 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
                            EvalRaNode(query->left(), resolver, memo));
       HQL_ASSIGN_OR_RETURN(RelationView r,
                            EvalRaNode(query->right(), resolver, memo));
-      return RelationView(IndexedJoin(l, r, query->predicate(), indexes));
+      return RelationView(
+          VectorizedJoin(l, r, query->predicate(), indexes, columnar));
     }
     case QueryKind::kDifference: {
       HQL_ASSIGN_OR_RETURN(RelationView l,
@@ -416,11 +421,15 @@ Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver) {
 
 namespace {
 
-// A memo with no cache and no index policy adds nothing; dropping it keeps
-// the plain-evaluator fast path. A cacheless memo with indexes enabled must
-// still flow down (the index config rides on it).
+// A memo with no cache and no physical-operator policy adds nothing;
+// dropping it keeps the plain-evaluator fast path. A cacheless memo with
+// indexes or columnar execution enabled must still flow down (the configs
+// ride on it).
 const EvalMemo* MemoOrNull(const EvalMemo& memo) {
-  if (memo.cache == nullptr && !memo.indexes.enabled()) return nullptr;
+  if (memo.cache == nullptr && !memo.indexes.enabled() &&
+      !memo.columnar.enabled()) {
+    return nullptr;
+  }
   return &memo;
 }
 

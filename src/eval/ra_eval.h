@@ -21,6 +21,7 @@
 #include "ast/query.h"
 #include "ast/scalar_expr.h"
 #include "common/result.h"
+#include "storage/column_batch.h"
 #include "storage/database.h"
 #include "storage/index.h"
 #include "storage/relation.h"
@@ -87,6 +88,9 @@ struct EvalMemo {
   /// Index policy for the physical operators (eval/index_exec.h). The
   /// default (mode off) reproduces the scan kernels exactly.
   IndexConfig indexes;
+  /// Columnar/vectorized execution policy (eval/vector_exec.h). The
+  /// default (mode off) reproduces the row kernels exactly.
+  ColumnarConfig columnar;
 };
 
 /// EvalRa with subplan memoization: every operator node (leaves excepted —

@@ -1,0 +1,699 @@
+#include "eval/vector_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/exec_context.h"
+#include "common/governor.h"
+#include "common/thread_pool.h"
+#include "eval/index_exec.h"
+#include "eval/ra_eval.h"
+
+namespace hql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Predicate compilation
+// ---------------------------------------------------------------------------
+
+bool IsComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// `lit OP col` rewritten as `col OP' lit`.
+ScalarOp FlipComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kLt:
+      return ScalarOp::kGt;
+    case ScalarOp::kLe:
+      return ScalarOp::kGe;
+    case ScalarOp::kGt:
+      return ScalarOp::kLt;
+    case ScalarOp::kGe:
+      return ScalarOp::kLe;
+    default:
+      return op;  // kEq, kNe are symmetric
+  }
+}
+
+bool OpHolds(ScalarOp op, int cmp) {
+  switch (op) {
+    case ScalarOp::kEq:
+      return cmp == 0;
+    case ScalarOp::kNe:
+      return cmp != 0;
+    case ScalarOp::kLt:
+      return cmp < 0;
+    case ScalarOp::kLe:
+      return cmp <= 0;
+    case ScalarOp::kGt:
+      return cmp > 0;
+    case ScalarOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+bool TruthyLiteral(const Value& v) { return v.is_bool() && v.AsBool(); }
+
+VectorConjunct ConstConjunct(bool holds) {
+  VectorConjunct c;
+  c.kind = holds ? VectorConjunct::Kind::kConstTrue
+                 : VectorConjunct::Kind::kConstFalse;
+  return c;
+}
+
+/// Structural pre-check mirroring CompileVectorPredicate's acceptance, so
+/// callers can rule vectorization out before paying for a batch build.
+bool HasCompilableShape(const ScalarExprPtr& pred) {
+  std::vector<ScalarExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  if (conjuncts.empty()) return false;
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (c->kind() == ScalarKind::kLiteral) continue;
+    if (c->kind() != ScalarKind::kBinary || !IsComparison(c->op())) {
+      return false;
+    }
+    const bool col_lit = c->lhs()->kind() == ScalarKind::kColumn &&
+                         c->rhs()->kind() == ScalarKind::kLiteral;
+    const bool lit_col = c->lhs()->kind() == ScalarKind::kLiteral &&
+                         c->rhs()->kind() == ScalarKind::kColumn;
+    if (!col_lit && !lit_col) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batch predicate evaluation
+// ---------------------------------------------------------------------------
+
+// The typed scan loops are templated on a comparison functor so each
+// (encoding, op) pair compiles into one branch-free tight loop the
+// optimizer can unroll and vectorize.
+
+template <typename SrcT, typename Pass>
+void ScanTyped(const SrcT* v, size_t begin, size_t end, Pass pass,
+               std::vector<uint32_t>* sel) {
+  for (size_t i = begin; i < end; ++i) {
+    if (pass(v[i])) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void ScanIntInt(const int64_t* v, size_t begin, size_t end, ScalarOp op,
+                int64_t k, std::vector<uint32_t>* sel) {
+  switch (op) {
+    case ScalarOp::kEq:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a == k; }, sel);
+    case ScalarOp::kNe:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a != k; }, sel);
+    case ScalarOp::kLt:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a < k; }, sel);
+    case ScalarOp::kLe:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a <= k; }, sel);
+    case ScalarOp::kGt:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a > k; }, sel);
+    case ScalarOp::kGe:
+      return ScanTyped(v, begin, end, [k](int64_t a) { return a >= k; }, sel);
+    default:
+      break;
+  }
+}
+
+// Cross-type numeric compare replicating Value::Compare exactly: compare
+// as doubles, break exact ties by the type index (int before double).
+template <typename SrcT>
+void ScanNumDouble(const SrcT* v, size_t begin, size_t end, ScalarOp op,
+                   double d, int tie, std::vector<uint32_t>* sel) {
+  auto cmp_of = [d, tie](SrcT raw) {
+    const double a = static_cast<double>(raw);
+    return a == d ? tie : (a < d ? -1 : 1);
+  };
+  switch (op) {
+    case ScalarOp::kEq:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) == 0; }, sel);
+    case ScalarOp::kNe:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) != 0; }, sel);
+    case ScalarOp::kLt:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) < 0; }, sel);
+    case ScalarOp::kLe:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) <= 0; }, sel);
+    case ScalarOp::kGt:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) > 0; }, sel);
+    case ScalarOp::kGe:
+      return ScanTyped(
+          v, begin, end, [&](SrcT a) { return cmp_of(a) >= 0; }, sel);
+    default:
+      break;
+  }
+}
+
+void ScanConjunct(const ColumnBatch& batch, const VectorConjunct& c,
+                  size_t begin, size_t end, std::vector<uint32_t>* sel) {
+  switch (c.kind) {
+    case VectorConjunct::Kind::kIntInt:
+      return ScanIntInt(batch.ints(c.column), begin, end, c.op, c.int_lit,
+                        sel);
+    case VectorConjunct::Kind::kNumDouble:
+      if (batch.encoding(c.column) == ColumnEncoding::kInt64) {
+        return ScanNumDouble(batch.ints(c.column), begin, end, c.op, c.dbl_lit,
+                             c.tie_cmp, sel);
+      }
+      return ScanNumDouble(batch.doubles(c.column), begin, end, c.op,
+                           c.dbl_lit, c.tie_cmp, sel);
+    case VectorConjunct::Kind::kGeneric: {
+      const Value* v = batch.generic(c.column);
+      for (size_t i = begin; i < end; ++i) {
+        if (OpHolds(c.op, v[i].Compare(c.lit))) {
+          sel->push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool RowPasses(const ColumnBatch& batch, const VectorConjunct& c, size_t row) {
+  switch (c.kind) {
+    case VectorConjunct::Kind::kIntInt:
+      return OpHolds(c.op, [&] {
+        const int64_t a = batch.ints(c.column)[row];
+        return a == c.int_lit ? 0 : (a < c.int_lit ? -1 : 1);
+      }());
+    case VectorConjunct::Kind::kNumDouble: {
+      const double a =
+          batch.encoding(c.column) == ColumnEncoding::kInt64
+              ? static_cast<double>(batch.ints(c.column)[row])
+              : batch.doubles(c.column)[row];
+      const int cmp = a == c.dbl_lit ? c.tie_cmp : (a < c.dbl_lit ? -1 : 1);
+      return OpHolds(c.op, cmp);
+    }
+    case VectorConjunct::Kind::kGeneric:
+      return OpHolds(c.op, batch.generic(c.column)[row].Compare(c.lit));
+    case VectorConjunct::Kind::kConstTrue:
+      return true;
+    case VectorConjunct::Kind::kConstFalse:
+      return false;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Morsel dispatch
+// ---------------------------------------------------------------------------
+
+// A dedicated pool for morsel tasks, separate from the alternatives pool
+// (opt/session.h): columnar kernels run *inside* tasks of that pool, and
+// submitting nested work to it could fill every worker with parents
+// waiting on children. The calling thread always participates in its own
+// parallel-for, so progress never depends on this pool's availability.
+ThreadPool& MorselPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return *pool;
+}
+
+struct MorselRun {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t total = 0;
+  std::function<void(size_t)> body;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void DrainMorsels(const std::shared_ptr<MorselRun>& run) {
+  for (;;) {
+    const size_t m = run->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= run->total) return;
+    run->body(m);
+    if (run->done.fetch_add(1, std::memory_order_acq_rel) + 1 == run->total) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      run->cv.notify_all();
+    }
+  }
+}
+
+/// Runs body(0..num_morsels) with up to `threads` workers (0 = hardware
+/// concurrency), the caller participating; returns when every morsel
+/// finished. Helpers beyond the morsel count are never enqueued.
+void MorselParallelFor(size_t num_morsels, size_t threads,
+                       std::function<void(size_t)> body) {
+  if (num_morsels == 0) return;
+  if (threads == 0) threads = ThreadPool::DefaultThreads();
+  if (threads <= 1 || num_morsels <= 1) {
+    for (size_t m = 0; m < num_morsels; ++m) body(m);
+    return;
+  }
+  auto run = std::make_shared<MorselRun>();
+  run->total = num_morsels;
+  run->body = std::move(body);
+  const size_t helpers = std::min(threads - 1, num_morsels - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    MorselPool().Submit(std::function<void()>([run] { DrainMorsels(run); }));
+  }
+  DrainMorsels(run);
+  std::unique_lock<std::mutex> lock(run->mu);
+  run->cv.wait(lock, [&run] {
+    return run->done.load(std::memory_order_acquire) >= run->total;
+  });
+}
+
+// Positions (into the base's tuple vector) of the overlay's deletions,
+// ascending. Dels are a subset of the base (canonical overlay), so every
+// lower_bound lands exactly on its tuple.
+std::vector<uint32_t> DelPositions(const Relation& base,
+                                   const std::vector<Tuple>& dels) {
+  std::vector<uint32_t> out;
+  out.reserve(dels.size());
+  const std::vector<Tuple>& tuples = base.tuples();
+  for (const Tuple& d : dels) {
+    auto it = std::lower_bound(tuples.begin(), tuples.end(), d, TupleLess());
+    out.push_back(static_cast<uint32_t>(it - tuples.begin()));
+  }
+  return out;
+}
+
+bool OverlayTooLarge(const RelationView& view, const ColumnarConfig& config) {
+  return static_cast<double>(view.delta_size()) >
+         config.max_delta_fraction * static_cast<double>(view.base()->size());
+}
+
+}  // namespace
+
+std::optional<VectorPredicate> CompileVectorPredicate(const ScalarExprPtr& pred,
+                                                      const ColumnBatch& batch) {
+  std::vector<ScalarExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  if (conjuncts.empty()) return std::nullopt;
+  VectorPredicate out;
+  out.conjuncts.reserve(conjuncts.size());
+  for (const ScalarExprPtr& e : conjuncts) {
+    if (e->kind() == ScalarKind::kLiteral) {
+      // A bare literal conjunct contributes Truthy(literal) to the AND.
+      out.conjuncts.push_back(ConstConjunct(TruthyLiteral(e->literal())));
+      continue;
+    }
+    if (e->kind() != ScalarKind::kBinary || !IsComparison(e->op())) {
+      return std::nullopt;
+    }
+    const ScalarExpr* col = nullptr;
+    const ScalarExpr* lit = nullptr;
+    ScalarOp op = e->op();
+    if (e->lhs()->kind() == ScalarKind::kColumn &&
+        e->rhs()->kind() == ScalarKind::kLiteral) {
+      col = e->lhs().get();
+      lit = e->rhs().get();
+    } else if (e->lhs()->kind() == ScalarKind::kLiteral &&
+               e->rhs()->kind() == ScalarKind::kColumn) {
+      col = e->rhs().get();
+      lit = e->lhs().get();
+      op = FlipComparison(op);
+    } else {
+      return std::nullopt;
+    }
+    const Value& k = lit->literal();
+    if (col->column() >= batch.arity()) {
+      // Row evaluation folds an out-of-range column to null; the whole
+      // conjunct is a constant comparison of null against the literal.
+      out.conjuncts.push_back(
+          ConstConjunct(OpHolds(op, Value::Nul().Compare(k))));
+      continue;
+    }
+    VectorConjunct c;
+    c.op = op;
+    c.column = col->column();
+    switch (batch.encoding(c.column)) {
+      case ColumnEncoding::kInt64:
+        if (k.is_int()) {
+          c.kind = VectorConjunct::Kind::kIntInt;
+          c.int_lit = k.AsInt();
+        } else if (k.is_double()) {
+          c.kind = VectorConjunct::Kind::kNumDouble;
+          c.dbl_lit = k.AsDouble();
+          c.tie_cmp = -1;  // int column sorts before an equal double literal
+        } else {
+          // Family mismatch: every int compares the same way against the
+          // literal, so the conjunct is a constant.
+          out.conjuncts.push_back(
+              ConstConjunct(OpHolds(op, Value::Int(0).Compare(k))));
+          continue;
+        }
+        break;
+      case ColumnEncoding::kFloat64:
+        if (k.is_number()) {
+          c.kind = VectorConjunct::Kind::kNumDouble;
+          c.dbl_lit = k.AsDouble();
+          c.tie_cmp = k.is_int() ? 1 : 0;
+        } else {
+          out.conjuncts.push_back(
+              ConstConjunct(OpHolds(op, Value::Double(0).Compare(k))));
+          continue;
+        }
+        break;
+      case ColumnEncoding::kGeneric:
+        c.kind = VectorConjunct::Kind::kGeneric;
+        c.lit = k;
+        break;
+    }
+    out.conjuncts.push_back(std::move(c));
+  }
+  return out;
+}
+
+void EvalPredicateBatch(const ColumnBatch& batch, const VectorPredicate& pred,
+                        size_t begin, size_t end, std::vector<uint32_t>* sel) {
+  sel->clear();
+  bool seeded = false;
+  for (const VectorConjunct& c : pred.conjuncts) {
+    if (c.kind == VectorConjunct::Kind::kConstTrue) continue;
+    if (c.kind == VectorConjunct::Kind::kConstFalse) {
+      sel->clear();
+      return;
+    }
+    if (!seeded) {
+      ScanConjunct(batch, c, begin, end, sel);
+      seeded = true;
+    } else {
+      size_t w = 0;
+      for (uint32_t pos : *sel) {
+        if (RowPasses(batch, c, pos)) (*sel)[w++] = pos;
+      }
+      sel->resize(w);
+    }
+    if (sel->empty()) return;
+  }
+  if (!seeded) {
+    // Every conjunct was constant-true: the whole range qualifies.
+    sel->reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+std::optional<Relation> TryColumnarFilter(const RelationView& input,
+                                          const ScalarExprPtr& pred,
+                                          const ColumnarConfig& config) {
+  if (!config.enabled() || pred == nullptr) return std::nullopt;
+  const RelationPtr& base = input.base();
+  const size_t base_rows = base->size();
+  if (base_rows < config.min_rows) return std::nullopt;
+  if (OverlayTooLarge(input, config)) return std::nullopt;
+  if (!HasCompilableShape(pred)) return std::nullopt;
+
+  ExecGovernor* gov = CurrentGovernor();
+  ColumnBatchPtr batch = base->ColumnarBatch();
+  // A failpoint firing inside the batch build trips the governor; degrade
+  // to the row scan, whose own cooperative checks surface the error.
+  if (gov != nullptr && gov->tripped()) return std::nullopt;
+  std::optional<VectorPredicate> vpred = CompileVectorPredicate(pred, *batch);
+  if (!vpred.has_value()) return std::nullopt;
+
+  TraceSpan span("columnar-select", input.size());
+  const std::vector<Tuple>& tuples = base->tuples();
+  const std::vector<uint32_t> del_pos = DelPositions(*base, input.dels());
+
+  const size_t morsel_rows = std::max<size_t>(config.morsel_rows, 1);
+  const size_t num_morsels = (base_rows + morsel_rows - 1) / morsel_rows;
+  std::vector<std::vector<Tuple>> slots(num_morsels);
+  std::atomic<bool> stop{false};
+  MorselParallelFor(num_morsels, config.threads, [&](size_t m) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    const size_t mb = m * morsel_rows;
+    const size_t me = std::min(base_rows, mb + morsel_rows);
+    if (gov != nullptr && !gov->Tick(me - mb)) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<uint32_t> sel;
+    EvalPredicateBatch(*batch, *vpred, mb, me, &sel);
+    auto dp = std::lower_bound(del_pos.begin(), del_pos.end(),
+                               static_cast<uint32_t>(mb));
+    std::vector<Tuple>& out = slots[m];
+    out.reserve(sel.size());
+    for (uint32_t pos : sel) {
+      while (dp != del_pos.end() && *dp < pos) ++dp;
+      if (dp != del_pos.end() && *dp == pos) {
+        ++dp;
+        continue;
+      }
+      if (gov != nullptr && !gov->ChargeTuples(1)) {
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      out.push_back(tuples[pos]);
+    }
+  });
+
+  // Morsels partition the sorted base in order and emit ascending runs, so
+  // their concatenation is sorted and unique even when a trip truncated it.
+  std::vector<Tuple> matched;
+  size_t total = 0;
+  for (const std::vector<Tuple>& s : slots) total += s.size();
+  matched.reserve(total);
+  for (std::vector<Tuple>& s : slots) {
+    matched.insert(matched.end(), std::make_move_iterator(s.begin()),
+                   std::make_move_iterator(s.end()));
+  }
+  std::vector<Tuple> added;
+  for (const Tuple& a : input.adds()) {
+    if (pred->EvaluatesTrue(a)) {
+      if (gov != nullptr && !gov->ChargeTuples(1)) break;
+      added.push_back(a);
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(matched.size() + added.size());
+  std::set_union(matched.begin(), matched.end(), added.begin(), added.end(),
+                 std::back_inserter(out), TupleLess());
+  ExecContext& ctx = AmbientExecContext();
+  ctx.AddColumnarMorselsDispatched(num_morsels);
+  ctx.AddColumnarRowsVectorized(base_rows);
+  span.set_rows_out(out.size());
+  return Relation::FromSortedUnique(input.arity(), std::move(out));
+}
+
+std::optional<Relation> TryColumnarJoin(const RelationView& lhs,
+                                        const RelationView& rhs,
+                                        const ScalarExprPtr& pred,
+                                        const ColumnarConfig& config) {
+  if (!config.enabled() || pred == nullptr) return std::nullopt;
+  std::vector<std::pair<size_t, size_t>> equi;
+  std::vector<ScalarExprPtr> residual;
+  SplitJoinPredicate(pred, lhs.arity(), &equi, &residual);
+  if (equi.empty()) return std::nullopt;
+
+  // Probe the side with the larger base through its batch; build a hash
+  // table over the smaller side's full content.
+  const bool probe_lhs = lhs.base()->size() >= rhs.base()->size();
+  const RelationView& probe = probe_lhs ? lhs : rhs;
+  const RelationView& build = probe_lhs ? rhs : lhs;
+  const RelationPtr& probe_base = probe.base();
+  const size_t probe_rows = probe_base->size();
+  if (probe_rows < config.min_rows) return std::nullopt;
+  if (OverlayTooLarge(probe, config)) return std::nullopt;
+
+  std::vector<size_t> probe_cols;
+  std::vector<size_t> build_cols;
+  probe_cols.reserve(equi.size());
+  build_cols.reserve(equi.size());
+  for (const auto& [lc, rc] : equi) {
+    probe_cols.push_back(probe_lhs ? lc : rc);
+    build_cols.push_back(probe_lhs ? rc : lc);
+  }
+  for (size_t c : probe_cols) {
+    if (c >= probe.arity()) return std::nullopt;
+  }
+  for (size_t c : build_cols) {
+    if (c >= build.arity()) return std::nullopt;
+  }
+
+  ExecGovernor* gov = CurrentGovernor();
+  ColumnBatchPtr batch = probe_base->ColumnarBatch();
+  if (gov != nullptr && gov->tripped()) return std::nullopt;
+
+  TraceSpan span("columnar-join", lhs.size() + rhs.size());
+  auto key_of = [](const Tuple& t, const std::vector<size_t>& cols) {
+    Tuple key;
+    key.reserve(cols.size());
+    for (size_t c : cols) key.push_back(t[c]);
+    return key;
+  };
+  // View iterators hand out references into base/overlay storage, stable
+  // for the view's lifetime, so the table stores plain pointers (the same
+  // contract the row hash join relies on).
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
+  table.reserve(build.size());
+  for (const Tuple& b : build) {
+    table[key_of(b, build_cols)].push_back(&b);
+  }
+
+  // Int fast path: a single join column, int64-encoded on the probe side.
+  // Only integer build keys can match an integer probe column (Value's
+  // order keeps int 1 and double 1.0 distinct), so the typed table drops
+  // the rest; probe adds go through the generic table.
+  const bool int_path =
+      probe_cols.size() == 1 &&
+      batch->encoding(probe_cols[0]) == ColumnEncoding::kInt64;
+  std::unordered_map<int64_t, const std::vector<const Tuple*>*> int_table;
+  if (int_path) {
+    int_table.reserve(table.size());
+    for (const auto& [key, run] : table) {
+      if (key[0].is_int()) int_table.emplace(key[0].AsInt(), &run);
+    }
+  }
+
+  const std::vector<Tuple>& probe_tuples = probe_base->tuples();
+  const std::vector<uint32_t> del_pos = DelPositions(*probe_base, probe.dels());
+  const size_t morsel_rows = std::max<size_t>(config.morsel_rows, 1);
+  const size_t num_morsels = (probe_rows + morsel_rows - 1) / morsel_rows;
+  std::vector<std::vector<Tuple>> slots(num_morsels);
+  std::atomic<bool> stop{false};
+
+  auto emit = [&](const Tuple& p, const Tuple& b,
+                  std::vector<Tuple>* out) -> bool {
+    Tuple combined = probe_lhs ? ConcatTuples(p, b) : ConcatTuples(b, p);
+    for (const ScalarExprPtr& r : residual) {
+      if (!r->EvaluatesTrue(combined)) return true;
+    }
+    if (gov != nullptr && !gov->ChargeTuples(1)) return false;
+    out->push_back(std::move(combined));
+    return true;
+  };
+
+  MorselParallelFor(num_morsels, config.threads, [&](size_t m) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    const size_t mb = m * morsel_rows;
+    const size_t me = std::min(probe_rows, mb + morsel_rows);
+    if (gov != nullptr && !gov->Tick(me - mb)) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    auto dp = std::lower_bound(del_pos.begin(), del_pos.end(),
+                               static_cast<uint32_t>(mb));
+    std::vector<Tuple>& out = slots[m];
+    auto deleted = [&dp, &del_pos](size_t i) {
+      while (dp != del_pos.end() && *dp < i) ++dp;
+      if (dp != del_pos.end() && *dp == i) {
+        ++dp;
+        return true;
+      }
+      return false;
+    };
+    if (int_path) {
+      const int64_t* keys = batch->ints(probe_cols[0]);
+      for (size_t i = mb; i < me; ++i) {
+        if (deleted(i)) continue;
+        auto it = int_table.find(keys[i]);
+        if (it == int_table.end()) continue;
+        const Tuple& p = probe_tuples[i];
+        for (const Tuple* b : *it->second) {
+          if (!emit(p, *b, &out)) {
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    } else {
+      for (size_t i = mb; i < me; ++i) {
+        if (deleted(i)) continue;
+        const Tuple& p = probe_tuples[i];
+        auto it = table.find(key_of(p, probe_cols));
+        if (it == table.end()) continue;
+        for (const Tuple* b : it->second) {
+          if (!emit(p, *b, &out)) {
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    }
+  });
+
+  std::vector<Tuple> out;
+  size_t total = 0;
+  for (const std::vector<Tuple>& s : slots) total += s.size();
+  out.reserve(total + probe.adds().size());
+  for (std::vector<Tuple>& s : slots) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+  }
+  // The probe side's adds are not in its base: patch them in row-wise.
+  if (!stop.load(std::memory_order_relaxed)) {
+    for (const Tuple& a : probe.adds()) {
+      auto it = table.find(key_of(a, probe_cols));
+      if (it == table.end()) continue;
+      bool keep_going = true;
+      for (const Tuple* b : it->second) {
+        if (!emit(a, *b, &out)) {
+          keep_going = false;
+          break;
+        }
+      }
+      if (!keep_going) break;
+    }
+  }
+  ExecContext& ctx = AmbientExecContext();
+  ctx.AddColumnarMorselsDispatched(num_morsels);
+  ctx.AddColumnarRowsVectorized(probe_rows);
+  span.set_rows_out(out.size());
+  // FromTuples canonicalizes (sort + dedup), so any production order across
+  // morsels yields the same relation the row join builds.
+  return Relation::FromTuples(lhs.arity() + rhs.arity(), std::move(out));
+}
+
+Relation VectorizedFilter(const RelationView& input, const ScalarExprPtr& pred,
+                          const IndexConfig& indexes,
+                          const ColumnarConfig& columnar) {
+  HQL_CHECK(pred != nullptr);
+  std::optional<Relation> fast = TryIndexedFilter(input, pred, indexes);
+  if (fast.has_value()) return *std::move(fast);
+  std::optional<Relation> col = TryColumnarFilter(input, pred, columnar);
+  if (col.has_value()) return *std::move(col);
+  if (columnar.enabled()) {
+    AmbientExecContext().AddColumnarRowsFallback(input.size());
+  }
+  return FilterRelation(input, *pred);
+}
+
+Relation VectorizedJoin(const RelationView& lhs, const RelationView& rhs,
+                        const ScalarExprPtr& pred, const IndexConfig& indexes,
+                        const ColumnarConfig& columnar) {
+  std::optional<Relation> fast = TryIndexedJoin(lhs, rhs, pred, indexes);
+  if (fast.has_value()) return *std::move(fast);
+  std::optional<Relation> col = TryColumnarJoin(lhs, rhs, pred, columnar);
+  if (col.has_value()) return *std::move(col);
+  if (columnar.enabled()) {
+    AmbientExecContext().AddColumnarRowsFallback(lhs.size() + rhs.size());
+  }
+  return JoinRelations(lhs, rhs, pred);
+}
+
+}  // namespace hql

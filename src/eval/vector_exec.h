@@ -1,0 +1,108 @@
+#ifndef HQL_EVAL_VECTOR_EXEC_H_
+#define HQL_EVAL_VECTOR_EXEC_H_
+
+// Vectorized columnar kernels with morsel-driven parallelism: selection and
+// hash-join operators that run over a flat base's ColumnBatch (per-column
+// contiguous arrays, storage/column_batch.h) in tight type-specialized
+// loops instead of per-tuple expression-tree interpretation, splitting
+// large scans into fixed-size morsels dispatched across a thread pool.
+//
+// Overlays stay row-oriented: the kernels vectorize the shared base and
+// patch the answer with the delta exactly like the index kernels — base
+// matches minus dels, merged with a row-wise filter of adds — so a
+// hypothetical state scans the batch its base state built.
+//
+// All kernels are exact: they return nullopt (callers fall back to the row
+// kernels) whenever the input is too small, the overlay too large, or the
+// predicate not compilable to the conjunct-per-column form, and otherwise
+// produce byte-identical results to the scan. ColumnarConfig{} (mode off)
+// disables them entirely.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ast/scalar_expr.h"
+#include "storage/column_batch.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+#include "storage/view.h"
+
+namespace hql {
+
+// One compiled conjunct: a comparison of a column against a literal,
+// lowered onto the batch's encoding for that column. Replicates
+// ScalarExpr::Evaluate + Value::Compare semantics exactly, including the
+// int-before-double tie-break on numerically equal cross-type operands.
+struct VectorConjunct {
+  enum class Kind : uint8_t {
+    kConstTrue,   // conjunct holds for every row (e.g. literal true)
+    kConstFalse,  // conjunct holds for no row (e.g. family mismatch)
+    kIntInt,      // int64 column OP int literal, pure integer loop
+    kNumDouble,   // numeric column OP numeric literal via double compare
+    kGeneric,     // per-row Value::Compare against the literal
+  };
+
+  Kind kind = Kind::kConstTrue;
+  ScalarOp op = ScalarOp::kEq;  // kEq..kGe, column on the left
+  size_t column = 0;
+  int64_t int_lit = 0;   // kIntInt
+  double dbl_lit = 0.0;  // kNumDouble
+  // Value::Compare's type tie-break when the doubles compare equal:
+  // -1 int column vs double literal, +1 double column vs int literal,
+  // 0 same types.
+  int tie_cmp = 0;
+  Value lit;  // kGeneric
+};
+
+/// A predicate compiled for one batch: an AND of per-column conjuncts.
+struct VectorPredicate {
+  std::vector<VectorConjunct> conjuncts;
+};
+
+/// Compiles `pred` for a batch of the given shape, or nullopt when any
+/// conjunct is not a binary comparison of one column against one literal
+/// (boolean literals pass as constants). `batch` supplies per-column
+/// encodings; `arity` folds out-of-range columns into constants the way
+/// row evaluation folds them to null.
+std::optional<VectorPredicate> CompileVectorPredicate(
+    const ScalarExprPtr& pred, const ColumnBatch& batch);
+
+/// Appends to `sel` the row positions in [begin, end) satisfying every
+/// conjunct, ascending. `sel` is cleared first.
+void EvalPredicateBatch(const ColumnBatch& batch, const VectorPredicate& pred,
+                        size_t begin, size_t end, std::vector<uint32_t>* sel);
+
+/// sigma_pred(input) over the base's column batch, morsel-parallel, with
+/// the overlay patched in row-wise. Returns nullopt when the config, base
+/// size, overlay size, or predicate shape rules vectorization out (callers
+/// fall back to the row scan).
+std::optional<Relation> TryColumnarFilter(const RelationView& input,
+                                          const ScalarExprPtr& pred,
+                                          const ColumnarConfig& config);
+
+/// lhs join_pred rhs as a vectorized hash join: builds on the smaller
+/// side, probes the larger side's column batch morsel-parallel. Returns
+/// nullopt when no equality conjunct crosses the split or the probe side
+/// does not qualify for vectorization.
+std::optional<Relation> TryColumnarJoin(const RelationView& lhs,
+                                        const RelationView& rhs,
+                                        const ScalarExprPtr& pred,
+                                        const ColumnarConfig& config);
+
+/// The routed selection kernel: index probe, then columnar scan, then the
+/// row scan — first taker wins; always equals FilterRelation(input, *pred).
+/// `pred` must be non-null.
+Relation VectorizedFilter(const RelationView& input, const ScalarExprPtr& pred,
+                          const IndexConfig& indexes,
+                          const ColumnarConfig& columnar);
+
+/// The routed join kernel: index-nested-loop, then columnar hash join,
+/// then the row hash join; always equals JoinRelations(lhs, rhs, pred).
+Relation VectorizedJoin(const RelationView& lhs, const RelationView& rhs,
+                        const ScalarExprPtr& pred, const IndexConfig& indexes,
+                        const ColumnarConfig& columnar);
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_VECTOR_EXEC_H_

@@ -1,6 +1,7 @@
 #include "opt/estimator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "ast/hypo.h"
@@ -186,6 +187,31 @@ bool CardinalityEstimator::IndexProbeWins(
   // (hashing the key, patching the overlay); the scan touches every row.
   constexpr double kProbeOverhead = 8.0;
   return EstimateProbeCost(rel_name, columns) + kProbeOverhead <
+         EstimateScanCost(rel_name);
+}
+
+double CardinalityEstimator::EstimateColumnarScanCost(
+    const std::string& rel_name, size_t morsel_rows) const {
+  // Per-morsel setup (slot allocation, governor tick, dispatch) plus the
+  // vectorized per-row cost: the tight typed loop touches each row at a
+  // fraction of the row kernel's per-tuple expression interpretation.
+  constexpr double kMorselSetup = 32.0;
+  constexpr double kVectorizedRowFraction = 0.25;
+  double card = static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+  double rows_per_morsel =
+      morsel_rows > 0 ? static_cast<double>(morsel_rows) : 1.0;
+  double morsels = std::ceil(card / rows_per_morsel);
+  return morsels * kMorselSetup + card * kVectorizedRowFraction;
+}
+
+bool CardinalityEstimator::ColumnarScanWins(const std::string& rel_name,
+                                            size_t min_rows,
+                                            size_t morsel_rows) const {
+  double card = static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+  if (card < static_cast<double>(min_rows)) return false;
+  return EstimateColumnarScanCost(rel_name, morsel_rows) <
          EstimateScanCost(rel_name);
 }
 

@@ -71,6 +71,18 @@ class CardinalityEstimator {
   bool IndexProbeWins(const std::string& rel_name,
                       const std::vector<size_t>& columns) const;
 
+  /// Cost of the vectorized columnar scan alternative over `rel_name`:
+  /// per-morsel dispatch setup plus a per-row charge discounted to the
+  /// tight-loop fraction of the row kernel's per-tuple interpretation cost.
+  double EstimateColumnarScanCost(const std::string& rel_name,
+                                  size_t morsel_rows) const;
+
+  /// True when the vectorized columnar scan is estimated cheaper than the
+  /// row scan of `rel_name` — only once the base clears `min_rows`, the
+  /// same gate the executor applies (vector_exec's TryColumnarFilter).
+  bool ColumnarScanWins(const std::string& rel_name, size_t min_rows,
+                        size_t morsel_rows) const;
+
  private:
   using Env = std::map<std::string, double>;
 

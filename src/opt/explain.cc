@@ -61,6 +61,14 @@ std::string FormatExecCounters(const ExecStats& stats) {
       static_cast<unsigned long long>(stats.index_probes),
       static_cast<unsigned long long>(stats.index_tuples_skipped));
   out += StrFormat(
+      "columnar:   %llu batches built, %llu reused; %llu morsels, "
+      "%llu rows vectorized / %llu fallback\n",
+      static_cast<unsigned long long>(stats.columnar_batches_built),
+      static_cast<unsigned long long>(stats.columnar_batches_reused),
+      static_cast<unsigned long long>(stats.columnar_morsels_dispatched),
+      static_cast<unsigned long long>(stats.columnar_rows_vectorized),
+      static_cast<unsigned long long>(stats.columnar_rows_fallback));
+  out += StrFormat(
       "governor:   trips %llu deadline / %llu tuple / %llu rewrite, "
       "%llu cancellations; fallbacks %llu lazy / %llu index; peaks "
       "%llu tuples, %llu rewrite nodes\n",

@@ -294,6 +294,7 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
                              const Schema& schema, Strategy strategy,
                              const PlannerOptions& options) {
   const IndexConfig icfg = options.index_config();
+  const ColumnarConfig ccfg = options.columnar_config();
   // Each branch tags the ambient ExecContext (and any spans recorded below
   // it) with the execution route actually taken — the explain-analyze
   // answer to "which point of the lazy<->eager spectrum ran".
@@ -312,7 +313,7 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
       }
       DatabaseResolver resolver(db);
       return EvalRa(reduced, resolver,
-                    EvalMemo{options.memo, FingerprintState(db), icfg});
+                    EvalMemo{options.memo, FingerprintState(db), icfg, ccfg});
     }
     case Strategy::kFilter1: {
       ExecRouteScope route("eager");
@@ -329,7 +330,10 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
     case Strategy::kFilter3: {
       ExecRouteScope route("delta");
       AmbientExecContext().NoteRoute("delta");
-      return Filter3(query, db, schema, icfg);
+      Filter3Options f3;
+      f3.indexes = icfg;
+      f3.columnar = ccfg;
+      return RunFilter3(query, db, schema, f3);
     }
     case Strategy::kHybrid: {
       StatsCatalog stats = StatsCatalog::FromDatabase(db);
@@ -349,7 +353,10 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
                 options.delta_fraction_threshold * affected_base) {
           ExecRouteScope route("hybrid-delta");
           AmbientExecContext().NoteRoute("hybrid-delta");
-          return Filter3(query, db, schema, icfg);
+          Filter3Options f3;
+          f3.indexes = icfg;
+          f3.columnar = ccfg;
+          return RunFilter3(query, db, schema, f3);
         }
       }
       HQL_ASSIGN_OR_RETURN(Plan plan,
@@ -359,7 +366,7 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
         AmbientExecContext().NoteRoute("hybrid-lazy");
         DatabaseResolver resolver(db);
         return EvalRa(plan.query, resolver,
-                      EvalMemo{options.memo, FingerprintState(db), icfg});
+                      EvalMemo{options.memo, FingerprintState(db), icfg, ccfg});
       }
       ExecRouteScope route("hybrid-eager");
       AmbientExecContext().NoteRoute("hybrid-eager");

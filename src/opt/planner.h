@@ -17,6 +17,7 @@
 #include "common/governor.h"
 #include "common/result.h"
 #include "opt/estimator.h"
+#include "storage/column_batch.h"
 #include "storage/database.h"
 #include "storage/index.h"
 #include "storage/schema.h"
@@ -92,9 +93,37 @@ struct PlannerOptions {
   /// budget's check cadence.
   CancelTokenPtr cancel_token;
 
+  /// Columnar/vectorized execution policy (storage/column_batch.h). kOff
+  /// (default) keeps the row kernels exactly; kAuto lets large flat-base
+  /// selections and equi-joins run the vectorized morsel kernels
+  /// (eval/vector_exec.h), falling back to row execution for small bases,
+  /// overlay-heavy views, or non-vectorizable predicates.
+  ColumnarMode columnar_mode = ColumnarMode::kOff;
+
+  /// Base relations smaller than this never take the columnar route — the
+  /// batch build would not amortize.
+  size_t columnar_min_rows = 4096;
+
+  /// Rows per morsel for the vectorized kernels.
+  size_t columnar_morsel_rows = 65536;
+
+  /// Worker threads for morsel dispatch: 0 = hardware concurrency,
+  /// 1 = run morsels inline on the calling thread.
+  size_t columnar_threads = 0;
+
   /// The index configuration the options denote.
   IndexConfig index_config() const {
     return IndexConfig{index_mode, index_advisor, index_min_rows};
+  }
+
+  /// The columnar configuration the options denote.
+  ColumnarConfig columnar_config() const {
+    ColumnarConfig c;
+    c.mode = columnar_mode;
+    c.min_rows = columnar_min_rows;
+    c.morsel_rows = columnar_morsel_rows;
+    c.threads = columnar_threads;
+    return c;
   }
 };
 

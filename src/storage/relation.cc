@@ -44,6 +44,7 @@ void Relation::Insert(const Tuple& t) {
   tuples_.insert(it, t);
   cached_hash_.store(0, std::memory_order_relaxed);
   index_cache_.reset();
+  batch_cache_.reset();
 }
 
 void Relation::Erase(const Tuple& t) {
@@ -52,6 +53,7 @@ void Relation::Erase(const Tuple& t) {
     tuples_.erase(it);
     cached_hash_.store(0, std::memory_order_relaxed);
     index_cache_.reset();
+    batch_cache_.reset();
   }
 }
 

@@ -16,6 +16,7 @@
 
 namespace hql {
 
+class ColumnBatch;
 class RelationIndex;
 
 class Relation {
@@ -38,7 +39,8 @@ class Relation {
       : arity_(other.arity_),
         tuples_(std::move(other.tuples_)),
         cached_hash_(other.cached_hash_.load(std::memory_order_relaxed)),
-        index_cache_(std::move(other.index_cache_)) {}
+        index_cache_(std::move(other.index_cache_)),
+        batch_cache_(std::move(other.batch_cache_)) {}
   Relation& operator=(const Relation& other) {
     if (this != &other) {
       arity_ = other.arity_;
@@ -46,6 +48,7 @@ class Relation {
       cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
       index_cache_.reset();
+      batch_cache_.reset();
     }
     return *this;
   }
@@ -55,6 +58,7 @@ class Relation {
     cached_hash_.store(other.cached_hash_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     index_cache_ = std::move(other.index_cache_);
+    batch_cache_ = std::move(other.batch_cache_);
     return *this;
   }
 
@@ -123,8 +127,18 @@ class Relation {
   std::shared_ptr<const RelationIndex> ExistingIndex(
       const std::vector<size_t>& columns) const;
 
+  /// The columnar batch of this relation's tuples (per-column contiguous
+  /// arrays), built on first request and cached install-once exactly like
+  /// IndexOn: concurrent first requests wait on one transposition and then
+  /// share it. Defined in storage/column_batch.cc.
+  std::shared_ptr<const ColumnBatch> ColumnarBatch() const;
+
+  /// The cached batch if one was built, else null. Never builds.
+  std::shared_ptr<const ColumnBatch> ExistingColumnarBatch() const;
+
  private:
   struct IndexCache;
+  struct BatchCache;
 
   size_t arity_;
   std::vector<Tuple> tuples_;  // sorted, unique
@@ -138,6 +152,11 @@ class Relation {
   // and accessed only in storage/index.cc (under locks); mutators may
   // reset it directly because mutation already requires exclusive access.
   mutable std::shared_ptr<IndexCache> index_cache_;
+
+  // Lazily allocated columnar image of tuples_; same lifecycle as
+  // index_cache_ (dropped on copy, carried on move, reset by mutators).
+  // Allocated and accessed only in storage/column_batch.cc.
+  mutable std::shared_ptr<BatchCache> batch_cache_;
 };
 
 }  // namespace hql

@@ -99,7 +99,7 @@ TEST(ChaosFailPointTest, EveryStrategySurvivesEveryArmedSite) {
   Database db = ChaosDb();
   QueryPtr query = ChaosQuery();
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 5u);
+  ASSERT_EQ(sites.size(), 6u);
 
   // Both trip codes, both arming modes, two seeds for the probability mode.
   const std::vector<FailPointSpec> specs = {
@@ -140,6 +140,71 @@ TEST(ChaosFailPointTest, EveryStrategySurvivesEveryArmedSite) {
                 << label << ": " << out.Describe();
           }
         }
+      }
+    }
+  }
+  DisarmAllFailPoints();
+}
+
+// Columnar execution under injection: with the vectorized route enabled
+// (thresholds forced down so it actually engages on the small chaos data),
+// every strategy armed on the batch-build site must either degrade to the
+// row kernels and return the bit-identical columnar-off result, or fail
+// with a clean governed error — never a truncated or corrupted relation.
+TEST(ChaosFailPointTest, ColumnarDegradesCleanlyUnderBatchBuildFailure) {
+  DisarmAllFailPoints();
+  Database db = ChaosDb();
+  QueryPtr query = ChaosQuery();
+
+  auto run = [&](Strategy strategy, ColumnarMode mode) {
+    PlannerOptions options;
+    options.columnar_mode = mode;
+    options.columnar_min_rows = 1;
+    options.columnar_morsel_rows = 64;
+    options.columnar_threads = 1;
+    options.cancel_token = std::make_shared<CancelToken>();
+    Result<Relation> result =
+        Execute(query, db, db.schema(), strategy, options);
+    Outcome out;
+    out.ok = result.ok();
+    if (result.ok()) {
+      out.relation = std::move(result).value();
+    } else {
+      out.code = result.status().code();
+      out.message = result.status().message();
+    }
+    return out;
+  };
+
+  const std::vector<FailPointSpec> specs = {
+      FailPointSpec::AfterN(0, StatusCode::kResourceExhausted),
+      FailPointSpec::AfterN(1, StatusCode::kCancelled),
+      FailPointSpec::Probability(0.9, 7, StatusCode::kResourceExhausted),
+  };
+
+  for (Strategy strategy : kAllStrategies) {
+    Outcome reference = run(strategy, ColumnarMode::kOff);
+    ASSERT_TRUE(reference.ok)
+        << StrategyName(strategy) << ": " << reference.Describe();
+    // Un-failpointed columnar-on agrees bit-identically with columnar-off.
+    Outcome columnar = run(strategy, ColumnarMode::kAuto);
+    ASSERT_TRUE(columnar.ok)
+        << StrategyName(strategy) << ": " << columnar.Describe();
+    EXPECT_EQ(columnar.relation, reference.relation)
+        << StrategyName(strategy);
+
+    for (size_t si = 0; si < specs.size(); ++si) {
+      std::string label = std::string(StrategyName(strategy)) + "/spec" +
+                          std::to_string(si);
+      ArmFailPoint(kFailPointColumnBatchBuild, specs[si]);
+      Outcome armed = run(strategy, ColumnarMode::kAuto);
+      DisarmFailPoint(kFailPointColumnBatchBuild);
+      if (armed.ok) {
+        EXPECT_EQ(armed.relation, reference.relation) << label;
+      } else {
+        EXPECT_TRUE(armed.code == StatusCode::kCancelled ||
+                    armed.code == StatusCode::kResourceExhausted)
+            << label << ": " << armed.Describe();
       }
     }
   }
@@ -201,12 +266,13 @@ TEST(ChaosFailPointTest, AlternativesFamilySurvivesArmedSites) {
 
 TEST(FailPointMechanicsTest, SiteCatalogIsStable) {
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 5u);
+  ASSERT_EQ(sites.size(), 6u);
   EXPECT_EQ(sites[0], kFailPointTaskEnqueue);
   EXPECT_EQ(sites[1], kFailPointTupleAppend);
   EXPECT_EQ(sites[2], kFailPointIndexBuild);
   EXPECT_EQ(sites[3], kFailPointMemoInsert);
   EXPECT_EQ(sites[4], kFailPointConsolidate);
+  EXPECT_EQ(sites[5], kFailPointColumnBatchBuild);
 }
 
 #ifndef NDEBUG

@@ -83,6 +83,25 @@ TEST(EstimatorTest, CostOfWhenIncludesStateMaterialization) {
             est.EstimateQuery(Rel("R")));
 }
 
+TEST(EstimatorTest, ColumnarScanCostMirrorsExecutorGate) {
+  StatsCatalog stats;
+  stats.SetCardinality("Big", 1000000, 2);
+  stats.SetCardinality("Tiny", 100, 2);
+  CardinalityEstimator est(stats);
+  // Per-morsel setup plus a discounted per-row charge: strictly cheaper
+  // than the row scan on a large base, and cheaper with larger morsels
+  // (fewer dispatches).
+  double cost = est.EstimateColumnarScanCost("Big", 65536);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, est.EstimateScanCost("Big"));
+  EXPECT_LT(cost, est.EstimateColumnarScanCost("Big", 1024));
+  // The win gate applies the executor's min_rows threshold: a tiny base
+  // never takes the columnar route even though its loop cost is lower.
+  EXPECT_TRUE(est.ColumnarScanWins("Big", 4096, 65536));
+  EXPECT_FALSE(est.ColumnarScanWins("Tiny", 4096, 65536));
+  EXPECT_TRUE(est.ColumnarScanWins("Tiny", 1, 65536));
+}
+
 TEST(PlannerTest, AllStrategiesAgreeRandomized) {
   // The headline property: every point of the lazy<->eager spectrum
   // computes the same value.
