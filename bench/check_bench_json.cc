@@ -47,6 +47,9 @@ constexpr const char* kStatsCounters[] = {
     "columnar_morsels_dispatched",
     "columnar_rows_vectorized",
     "columnar_rows_fallback",
+    "incremental_results_patched",
+    "incremental_edits_propagated",
+    "incremental_fallbacks",
 };
 
 Status CheckStatsSidecar(const JsonPtr& root) {

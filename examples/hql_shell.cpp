@@ -16,6 +16,10 @@
 //   \columnar on|off        vectorized columnar kernels for large flat
 //                           bases (default off); \analyze shows the
 //                           columnar-select / columnar-join spans
+//   \incremental on|off     patch cached results under small scenario
+//                           edits instead of recomputing (default off);
+//                           \analyze shows the incremental-patch span and
+//                           the patched/propagated/fallback counters
 //   \explain QUERY          show the lazy rewrite and the hybrid plan
 //   \analyze QUERY          EXPLAIN ANALYZE: run the query traced and show
 //                           estimates vs actuals plus per-operator spans
@@ -57,6 +61,7 @@ struct ShellState {
   Database db{Schema()};
   Strategy strategy = Strategy::kHybrid;
   ColumnarMode columnar = ColumnarMode::kOff;
+  IncrementalMode incremental = IncrementalMode::kOff;
   bool timing = true;
   Rng rng{20260704};
   // Session-level subplan cache: repeated (sub)queries against an unchanged
@@ -64,6 +69,10 @@ struct ShellState {
   // fingerprint, so stale entries are never reachable. \explain shows the
   // counters.
   MemoCache memo;
+  // Session-level incremental store (\incremental on): retains the latest
+  // execution of each plan so a re-ask after a small \apply is patched
+  // rather than recomputed.
+  IncrementalCache incremental_cache;
   // Session-level execution context: every query run from this shell
   // charges here (installed for the lifetime of main), so \explain reports
   // this shell's accumulated counters rather than process-wide state.
@@ -106,6 +115,7 @@ void Help() {
       "  \\apply UPDATE           commit an update\n"
       "  \\strategy NAME          direct|lazy|filter1|filter2|filter3|hybrid\n"
       "  \\columnar on|off        vectorized kernels for large flat bases\n"
+      "  \\incremental on|off     patch cached results under small edits\n"
       "  \\explain QUERY          show rewrites and plan\n"
       "  \\analyze QUERY          run traced: estimates vs actuals + spans\n"
       "  \\db                     print the database\n"
@@ -230,6 +240,16 @@ void HandleCommand(ShellState* st, const std::string& line) {
     }
     st->columnar = mode == "on" ? ColumnarMode::kAuto : ColumnarMode::kOff;
     std::printf("columnar = %s\n", ColumnarModeName(st->columnar));
+  } else if (cmd == "\\incremental") {
+    std::string mode;
+    in >> mode;
+    if (mode != "on" && mode != "off") {
+      std::printf("usage: \\incremental on|off\n");
+      return;
+    }
+    st->incremental =
+        mode == "on" ? IncrementalMode::kAuto : IncrementalMode::kOff;
+    std::printf("incremental = %s\n", IncrementalModeName(st->incremental));
   } else if (cmd == "\\explain") {
     std::string rest;
     std::getline(in, rest);
@@ -257,6 +277,8 @@ void HandleCommand(ShellState* st, const std::string& line) {
     options.strategy = st->strategy;
     options.planner.memo = &st->memo;
     options.planner.columnar_mode = st->columnar;
+    options.planner.incremental_mode = st->incremental;
+    options.planner.incremental_cache = &st->incremental_cache;
     auto report = ExplainAnalyze(q.value(), st->db, st->schema, options);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
@@ -337,6 +359,8 @@ void HandleQuery(ShellState* st, const std::string& line) {
   PlannerOptions options;
   options.memo = &st->memo;
   options.columnar_mode = st->columnar;
+  options.incremental_mode = st->incremental;
+  options.incremental_cache = &st->incremental_cache;
   auto result =
       st->whatif != nullptr
           ? st->whatif->Evaluate(q.value())

@@ -93,6 +93,10 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   columnar_rows_vectorized += other.columnar_rows_vectorized;
   columnar_rows_fallback += other.columnar_rows_fallback;
 
+  incremental_results_patched += other.incremental_results_patched;
+  incremental_edits_propagated += other.incremental_edits_propagated;
+  incremental_fallbacks += other.incremental_fallbacks;
+
   if (route.empty()) route = other.route;
   spans.insert(spans.end(), other.spans.begin(), other.spans.end());
 }
@@ -131,6 +135,11 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "columnar_rows_vectorized", columnar_rows_vectorized,
               &first);
   AppendField(&out, "columnar_rows_fallback", columnar_rows_fallback, &first);
+  AppendField(&out, "incremental_results_patched", incremental_results_patched,
+              &first);
+  AppendField(&out, "incremental_edits_propagated",
+              incremental_edits_propagated, &first);
+  AppendField(&out, "incremental_fallbacks", incremental_fallbacks, &first);
   out += ",\"route\":";
   AppendJsonString(&out, route);
   out += ",\"spans\":[";
@@ -234,6 +243,12 @@ ExecStats ExecContext::Snapshot() const {
       columnar_rows_vectorized_.load(std::memory_order_relaxed);
   stats.columnar_rows_fallback =
       columnar_rows_fallback_.load(std::memory_order_relaxed);
+  stats.incremental_results_patched =
+      incremental_results_patched_.load(std::memory_order_relaxed);
+  stats.incremental_edits_propagated =
+      incremental_edits_propagated_.load(std::memory_order_relaxed);
+  stats.incremental_fallbacks =
+      incremental_fallbacks_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.route = route_;
@@ -266,6 +281,9 @@ void ExecContext::MergeFrom(const ExecStats& stats) {
   Bump(&columnar_morsels_dispatched_, stats.columnar_morsels_dispatched);
   Bump(&columnar_rows_vectorized_, stats.columnar_rows_vectorized);
   Bump(&columnar_rows_fallback_, stats.columnar_rows_fallback);
+  Bump(&incremental_results_patched_, stats.incremental_results_patched);
+  Bump(&incremental_edits_propagated_, stats.incremental_edits_propagated);
+  Bump(&incremental_fallbacks_, stats.incremental_fallbacks);
   std::lock_guard<std::mutex> lock(mu_);
   if (route_.empty()) route_ = stats.route;
   spans_.insert(spans_.end(), stats.spans.begin(), stats.spans.end());
@@ -277,6 +295,7 @@ void ExecContext::Reset() {
   ResetIndexCounters();
   ResetGovernorCounters();
   ResetColumnarCounters();
+  ResetIncrementalCounters();
   std::lock_guard<std::mutex> lock(mu_);
   route_.clear();
   spans_.clear();
@@ -318,6 +337,12 @@ void ExecContext::ResetColumnarCounters() {
   columnar_morsels_dispatched_.store(0, std::memory_order_relaxed);
   columnar_rows_vectorized_.store(0, std::memory_order_relaxed);
   columnar_rows_fallback_.store(0, std::memory_order_relaxed);
+}
+
+void ExecContext::ResetIncrementalCounters() {
+  incremental_results_patched_.store(0, std::memory_order_relaxed);
+  incremental_edits_propagated_.store(0, std::memory_order_relaxed);
+  incremental_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 ExecContext* CurrentExecContext() { return t_current_context; }

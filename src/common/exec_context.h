@@ -98,6 +98,12 @@ struct ExecStats {
   uint64_t columnar_rows_vectorized = 0;    // rows through the batch kernels
   uint64_t columnar_rows_fallback = 0;      // rows the route declined
 
+  // Incremental re-evaluation (eval/incremental.h): cached results patched
+  // by delta-of-delta propagation instead of recomputed.
+  uint64_t incremental_results_patched = 0;   // cached results patched
+  uint64_t incremental_edits_propagated = 0;  // edit tuples pushed through ops
+  uint64_t incremental_fallbacks = 0;         // attempts that fell back
+
   // The top-level route the execution actually took ("lazy", "eager",
   // "delta", "hybrid-lazy", "hybrid-eager", "hybrid-delta", "direct";
   // empty when no routed execution ran under the context).
@@ -159,6 +165,12 @@ class ExecContext {
     Bump(&columnar_rows_fallback_, n);
   }
 
+  void AddIncrementalResultPatched() { Bump(&incremental_results_patched_); }
+  void AddIncrementalEditsPropagated(uint64_t n) {
+    Bump(&incremental_edits_propagated_, n);
+  }
+  void AddIncrementalFallback() { Bump(&incremental_fallbacks_); }
+
   void AddGovernorTrip(GovernorTripKind kind);
   void AddLazyFallback() { Bump(&governor_lazy_fallbacks_); }
   void AddIndexFallback() { Bump(&governor_index_fallbacks_); }
@@ -191,6 +203,7 @@ class ExecContext {
   void ResetGovernorCounters();
   void ResetMemoCounters();
   void ResetColumnarCounters();
+  void ResetIncrementalCounters();
 
  private:
   static void Bump(std::atomic<uint64_t>* c, uint64_t n = 1) {
@@ -227,6 +240,10 @@ class ExecContext {
   std::atomic<uint64_t> columnar_morsels_dispatched_{0};
   std::atomic<uint64_t> columnar_rows_vectorized_{0};
   std::atomic<uint64_t> columnar_rows_fallback_{0};
+
+  std::atomic<uint64_t> incremental_results_patched_{0};
+  std::atomic<uint64_t> incremental_edits_propagated_{0};
+  std::atomic<uint64_t> incremental_fallbacks_{0};
 
   mutable std::mutex mu_;  // guards route_ and spans_
   std::string route_;

@@ -91,7 +91,7 @@ uint64_t FailPointFireCount(const std::string& site) {
 std::vector<std::string> RegisteredFailPointSites() {
   return {kFailPointTaskEnqueue, kFailPointTupleAppend, kFailPointIndexBuild,
           kFailPointMemoInsert, kFailPointConsolidate,
-          kFailPointColumnBatchBuild};
+          kFailPointColumnBatchBuild, kFailPointMemoPatch};
 }
 
 namespace internal {

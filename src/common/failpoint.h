@@ -35,6 +35,7 @@ inline constexpr const char* kFailPointIndexBuild = "index.build";
 inline constexpr const char* kFailPointMemoInsert = "memo.insert";
 inline constexpr const char* kFailPointConsolidate = "view.consolidate";
 inline constexpr const char* kFailPointColumnBatchBuild = "column_batch.build";
+inline constexpr const char* kFailPointMemoPatch = "memo.patch";
 
 struct FailPointSpec {
   enum class Mode {

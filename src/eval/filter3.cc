@@ -8,6 +8,7 @@
 #include "common/governor.h"
 #include "eval/delta_ops.h"
 #include "hql/enf.h"
+#include "hql/ra_rewrite.h"
 
 namespace hql {
 
@@ -97,6 +98,11 @@ Result<Relation> RunFilter3(const QueryPtr& query, const Database& db,
     } else {
       return mod.status();
     }
+    // Give the equational theory a shot at every pure region before
+    // collapsing — in particular sigma[$i = $j](R x S) inside a block
+    // becomes a join, so the delta kernels never materialize the cross
+    // product (the same rewrite the lazy and hybrid routes already get).
+    HQL_ASSIGN_OR_RETURN(normalized, SimplifyMixed(normalized, schema));
     HQL_ASSIGN_OR_RETURN(tree, Collapse(normalized, schema));
   }
   const DeltaValue empty;

@@ -123,4 +123,44 @@ MemoCache::Stats MemoCache::stats() const {
   return s;
 }
 
+IncrementalCache::IncrementalCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const IncrementalEntry> IncrementalCache::Lookup(
+    uint64_t query_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(query_fingerprint);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void IncrementalCache::Insert(uint64_t query_fingerprint,
+                              std::shared_ptr<const IncrementalEntry> entry) {
+  if (capacity_ == 0 || entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(query_fingerprint);
+  if (it != index_.end()) {
+    it->second->value = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{query_fingerprint, std::move(entry)});
+  index_[query_fingerprint] = lru_.begin();
+}
+
+void IncrementalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t IncrementalCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
 }  // namespace hql

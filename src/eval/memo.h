@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "eval/xsub.h"
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "storage/view.h"
 
 namespace hql {
 
@@ -97,6 +99,60 @@ class MemoCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
   Stats stats_;
+};
+
+/// One memoized execution retained for incremental re-evaluation
+/// (eval/incremental.h): alongside every operator node's output, the
+/// input-relation identities (the leaf RelationViews, i.e. base pointer +
+/// canonical overlay) needed to qualify a later hit as *patchable* — same
+/// shared base, changed adds/dels. Entries are self-contained: the views
+/// keep their bases alive, so an entry stays usable after the LRU subplan
+/// cache has evicted the underlying relations.
+struct IncrementalEntry {
+  /// Leaf relation views as resolved at the recorded execution, by name.
+  std::map<std::string, RelationView> inputs;
+  /// Output view of every evaluated operator node, keyed by the node's
+  /// structural fingerprint (Query::Fingerprint).
+  std::unordered_map<uint64_t, RelationView> node_values;
+  /// Output view of the plan root.
+  RelationView result{0};
+  /// State fingerprint the entry was recorded against (FingerprintState).
+  uint64_t state_fingerprint = 0;
+};
+
+/// A small thread-safe LRU cache of IncrementalEntry keyed by the *query*
+/// fingerprint alone (unlike MemoCache's query x state keys): the point is
+/// to find the latest execution of the same plan against a *different*
+/// state and patch the difference.
+class IncrementalCache {
+ public:
+  explicit IncrementalCache(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 64;
+
+  /// The most recent entry recorded for `query_fingerprint` (nullptr when
+  /// none), refreshing its LRU position.
+  std::shared_ptr<const IncrementalEntry> Lookup(uint64_t query_fingerprint);
+
+  /// Records `entry` as the latest execution of `query_fingerprint`
+  /// (overwrites), evicting the LRU entry when full.
+  void Insert(uint64_t query_fingerprint,
+              std::shared_ptr<const IncrementalEntry> entry);
+
+  void Clear();
+  size_t entries() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::shared_ptr<const IncrementalEntry> value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
 };
 
 }  // namespace hql

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/exec_context.h"
 #include "common/governor.h"
+#include "eval/incremental.h"
 #include "eval/index_exec.h"
 #include "eval/memo.h"
 #include "eval/vector_exec.h"
@@ -395,7 +396,13 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
     if (RelationPtr hit = memo->cache->Lookup(key)) {
       TraceSpan span("memo-hit", 0);
       span.set_rows_out(hit->size());
-      return RelationView(std::move(hit));
+      RelationView view(std::move(hit));
+      // A hit still contributes this node's output to the recording: the
+      // incremental entry must cover every node of the plan.
+      if (memo->recorder != nullptr) {
+        memo->recorder->RecordNode(query->Fingerprint(), view);
+      }
+      return view;
     }
   }
   HQL_ASSIGN_OR_RETURN(RelationView result,
@@ -406,6 +413,13 @@ Result<RelationView> EvalRaNode(const QueryPtr& query,
   // Computed operator results are flat, so Shared() is a refcount bump; the
   // cache and the computation share one relation.
   if (memoizable) memo->cache->Insert(key, result.Shared());
+  if (memo != nullptr && memo->recorder != nullptr) {
+    if (kind == QueryKind::kRel) {
+      memo->recorder->RecordInput(query->rel_name(), result);
+    } else if (kind != QueryKind::kEmpty && kind != QueryKind::kSingleton) {
+      memo->recorder->RecordNode(query->Fingerprint(), result);
+    }
+  }
   return result;
 }
 
@@ -427,7 +441,7 @@ namespace {
 // ride on it).
 const EvalMemo* MemoOrNull(const EvalMemo& memo) {
   if (memo.cache == nullptr && !memo.indexes.enabled() &&
-      !memo.columnar.enabled()) {
+      !memo.columnar.enabled() && memo.recorder == nullptr) {
     return nullptr;
   }
   return &memo;

@@ -76,6 +76,7 @@ class OverlayResolver : public RelResolver {
 Result<Relation> EvalRa(const QueryPtr& query, const RelResolver& resolver);
 
 class MemoCache;
+class IncrementalRecorder;
 
 /// Memoization context for EvalRa. `state_fingerprint` must identify the
 /// contents the resolver serves (FingerprintState in eval/memo.h); entries
@@ -91,6 +92,11 @@ struct EvalMemo {
   /// Columnar/vectorized execution policy (eval/vector_exec.h). The
   /// default (mode off) reproduces the row kernels exactly.
   ColumnarConfig columnar;
+  /// When set, every evaluated node's output and every resolved leaf view
+  /// are reported to the recorder (eval/incremental.h), capturing the
+  /// execution for later incremental patching. Observation only — results
+  /// are unchanged.
+  IncrementalRecorder* recorder = nullptr;
 };
 
 /// EvalRa with subplan memoization: every operator node (leaves excepted —

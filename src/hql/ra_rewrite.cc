@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "ast/hypo.h"
+#include "ast/metrics.h"
 #include "ast/query.h"
 #include "ast/scalar_expr.h"
 #include "ast/typecheck.h"
@@ -628,6 +630,65 @@ Result<QueryPtr> SimplifyRec(const QueryPtr& q, const Schema& schema) {
 Result<QueryPtr> SimplifyRa(const QueryPtr& query, const Schema& schema) {
   HQL_CHECK(query != nullptr);
   return SimplifyRec(query, schema);
+}
+
+Result<QueryPtr> SimplifyMixed(const QueryPtr& q, const Schema& schema) {
+  if (IsPureRelAlg(q)) return SimplifyRa(q, schema);
+  switch (q->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return q;
+    case QueryKind::kSelect: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Select(q->predicate(), std::move(c));
+    }
+    case QueryKind::kProject: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Project(q->columns(), std::move(c));
+    }
+    case QueryKind::kAggregate: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
+      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
+                              std::move(c));
+    }
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kProduct:
+    case QueryKind::kDifference: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
+      switch (q->kind()) {
+        case QueryKind::kUnion:
+          return Query::Union(std::move(l), std::move(r));
+        case QueryKind::kIntersect:
+          return Query::Intersect(std::move(l), std::move(r));
+        case QueryKind::kProduct:
+          return Query::Product(std::move(l), std::move(r));
+        default:
+          return Query::Difference(std::move(l), std::move(r));
+      }
+    }
+    case QueryKind::kJoin: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
+      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
+      return Query::Join(q->predicate(), std::move(l), std::move(r));
+    }
+    case QueryKind::kWhen: {
+      HQL_ASSIGN_OR_RETURN(QueryPtr body, SimplifyMixed(q->left(), schema));
+      if (q->state()->kind() != HypoKind::kSubst) {
+        return Query::When(std::move(body), q->state());
+      }
+      std::vector<Binding> bindings;
+      for (const Binding& b : q->state()->bindings()) {
+        HQL_ASSIGN_OR_RETURN(QueryPtr v, SimplifyMixed(b.query, schema));
+        bindings.push_back(Binding{b.rel_name, std::move(v)});
+      }
+      return Query::When(std::move(body),
+                         HypoExpr::Subst(std::move(bindings)));
+    }
+  }
+  return Status::Internal("unknown query kind in SimplifyMixed");
 }
 
 }  // namespace hql

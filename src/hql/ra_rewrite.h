@@ -33,6 +33,14 @@ ScalarExprPtr SimplifyPredicate(const ScalarExprPtr& pred);
 /// arities for the empty queries the rules introduce.
 Result<QueryPtr> SimplifyRa(const QueryPtr& query, const Schema& schema);
 
+/// SimplifyRa extended to mixed queries: pure RA regions — maximal `when`-
+/// free subtrees, `when` bodies, and explicit-substitution binding values —
+/// are simplified in place; `when` structure is preserved. This is how the
+/// planner and the delta route give the paper's equational theory a shot at
+/// every pure region (e.g. clustering sigma over x into a join) before the
+/// physical operators see the plan.
+Result<QueryPtr> SimplifyMixed(const QueryPtr& query, const Schema& schema);
+
 }  // namespace hql
 
 #endif  // HQL_HQL_RA_REWRITE_H_

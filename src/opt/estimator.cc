@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "ast/hypo.h"
@@ -213,6 +214,56 @@ bool CardinalityEstimator::ColumnarScanWins(const std::string& rel_name,
   if (card < static_cast<double>(min_rows)) return false;
   return EstimateColumnarScanCost(rel_name, morsel_rows) <
          EstimateScanCost(rel_name);
+}
+
+double CardinalityEstimator::EstimateIncrementalCost(
+    const QueryPtr& query, double edit_tuples) const {
+  if (query == nullptr) return 0.0;
+  // Every operator touches ~the edit; joins probe the cached other side
+  // (index or one hashed scan) and projections rescan the child for
+  // deletion support, both charged at a small fraction of the inputs they
+  // consult.
+  constexpr double kSiblingTouchFraction = 0.05;
+  double cost = edit_tuples;
+  switch (query->kind()) {
+    case QueryKind::kRel:
+    case QueryKind::kEmpty:
+    case QueryKind::kSingleton:
+      return cost;
+    case QueryKind::kSelect: {
+      const QueryPtr& child = query->left();
+      // The evaluator (and the patcher) cluster sigma over x / join into
+      // one theta join; cost the clustered shape.
+      if (child->kind() == QueryKind::kProduct ||
+          child->kind() == QueryKind::kJoin) {
+        cost += kSiblingTouchFraction * (EstimateQuery(child->left()) +
+                                         EstimateQuery(child->right()));
+        return cost + EstimateIncrementalCost(child->left(), edit_tuples) +
+               EstimateIncrementalCost(child->right(), edit_tuples);
+      }
+      return cost + EstimateIncrementalCost(child, edit_tuples);
+    }
+    case QueryKind::kProject:
+      cost += kSiblingTouchFraction * EstimateQuery(query->left());
+      return cost + EstimateIncrementalCost(query->left(), edit_tuples);
+    case QueryKind::kUnion:
+    case QueryKind::kIntersect:
+    case QueryKind::kDifference:
+      return cost + EstimateIncrementalCost(query->left(), edit_tuples) +
+             EstimateIncrementalCost(query->right(), edit_tuples);
+    case QueryKind::kProduct:
+    case QueryKind::kJoin:
+      cost += kSiblingTouchFraction * (EstimateQuery(query->left()) +
+                                       EstimateQuery(query->right()));
+      return cost + EstimateIncrementalCost(query->left(), edit_tuples) +
+             EstimateIncrementalCost(query->right(), edit_tuples);
+    case QueryKind::kAggregate:
+    case QueryKind::kWhen:
+      // Not incrementally maintainable: make the patch alternative lose
+      // every cost comparison so the planner recomputes.
+      return std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 double CardinalityEstimator::EstimatePredicate(

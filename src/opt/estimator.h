@@ -83,6 +83,16 @@ class CardinalityEstimator {
   bool ColumnarScanWins(const std::string& rel_name, size_t min_rows,
                         size_t morsel_rows) const;
 
+  /// Cost of patching a cached result of `query` through the incremental
+  /// delta rules (eval/incremental.h) for a leaf edit of `edit_tuples`
+  /// tuples: every operator handles ~the edit, and the operators that must
+  /// consult a cached sibling or rescan a child (join/product probing the
+  /// other side, projection's support scan) additionally pay a discounted
+  /// fraction of their inputs. Compare against EstimateCost(query) — the
+  /// recompute alternative — to decide whether a patch is worthwhile.
+  double EstimateIncrementalCost(const QueryPtr& query,
+                                 double edit_tuples) const;
+
  private:
   using Env = std::map<std::string, double>;
 

@@ -69,6 +69,12 @@ std::string FormatExecCounters(const ExecStats& stats) {
       static_cast<unsigned long long>(stats.columnar_rows_vectorized),
       static_cast<unsigned long long>(stats.columnar_rows_fallback));
   out += StrFormat(
+      "incremental: %llu results patched, %llu edit tuples propagated, "
+      "%llu fallbacks\n",
+      static_cast<unsigned long long>(stats.incremental_results_patched),
+      static_cast<unsigned long long>(stats.incremental_edits_propagated),
+      static_cast<unsigned long long>(stats.incremental_fallbacks));
+  out += StrFormat(
       "governor:   trips %llu deadline / %llu tuple / %llu rewrite, "
       "%llu cancellations; fallbacks %llu lazy / %llu index; peaks "
       "%llu tuples, %llu rewrite nodes\n",

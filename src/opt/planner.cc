@@ -43,65 +43,9 @@ const char* StrategyName(Strategy s) {
 
 namespace {
 
-// Simplifies the pure-RA regions of a (possibly hypothetical) query.
-Result<QueryPtr> SimplifyMixed(const QueryPtr& q, const Schema& schema) {
-  if (IsPureRelAlg(q)) return SimplifyRa(q, schema);
-  switch (q->kind()) {
-    case QueryKind::kRel:
-    case QueryKind::kEmpty:
-    case QueryKind::kSingleton:
-      return q;
-    case QueryKind::kSelect: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
-      return Query::Select(q->predicate(), std::move(c));
-    }
-    case QueryKind::kProject: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
-      return Query::Project(q->columns(), std::move(c));
-    }
-    case QueryKind::kAggregate: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr c, SimplifyMixed(q->left(), schema));
-      return Query::Aggregate(q->columns(), q->agg_func(), q->agg_column(),
-                              std::move(c));
-    }
-    case QueryKind::kUnion:
-    case QueryKind::kIntersect:
-    case QueryKind::kProduct:
-    case QueryKind::kDifference: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
-      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
-      switch (q->kind()) {
-        case QueryKind::kUnion:
-          return Query::Union(std::move(l), std::move(r));
-        case QueryKind::kIntersect:
-          return Query::Intersect(std::move(l), std::move(r));
-        case QueryKind::kProduct:
-          return Query::Product(std::move(l), std::move(r));
-        default:
-          return Query::Difference(std::move(l), std::move(r));
-      }
-    }
-    case QueryKind::kJoin: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr l, SimplifyMixed(q->left(), schema));
-      HQL_ASSIGN_OR_RETURN(QueryPtr r, SimplifyMixed(q->right(), schema));
-      return Query::Join(q->predicate(), std::move(l), std::move(r));
-    }
-    case QueryKind::kWhen: {
-      HQL_ASSIGN_OR_RETURN(QueryPtr body, SimplifyMixed(q->left(), schema));
-      if (q->state()->kind() != HypoKind::kSubst) {
-        return Query::When(std::move(body), q->state());
-      }
-      std::vector<Binding> bindings;
-      for (const Binding& b : q->state()->bindings()) {
-        HQL_ASSIGN_OR_RETURN(QueryPtr v, SimplifyMixed(b.query, schema));
-        bindings.push_back(Binding{b.rel_name, std::move(v)});
-      }
-      return Query::When(std::move(body),
-                         HypoExpr::Subst(std::move(bindings)));
-    }
-  }
-  return Status::Internal("unknown query kind in SimplifyMixed");
-}
+// SimplifyMixed (hql/ra_rewrite.h) simplifies the pure-RA regions of a
+// (possibly hypothetical) query; shared with the delta route's block
+// preparation (eval/filter3.cc).
 
 struct HybridWalker {
   const Schema& schema;
@@ -288,6 +232,68 @@ Result<Plan> PlanHybrid(const QueryPtr& query, const Schema& schema,
 
 namespace {
 
+// Pure-RA evaluation on the lazy / hybrid-lazy routes, with incremental
+// re-evaluation when the options enable it. The decision lattice:
+//
+//   cold cache ........................ full evaluation (recorded)
+//   unpatchable (base replaced, leaf
+//   uncovered, non-pure plan) ......... fallback counter + full evaluation
+//   edit too large / estimator says
+//   recompute ......................... fallback counter + full evaluation
+//   propagation hits a rule gap
+//   (kUnimplemented) .................. fallback counter + full evaluation
+//   governor trip / cancellation ...... surfaces as the error it is
+//   otherwise ......................... patch the cached result, O(|edit|)
+//
+// Every full evaluation runs with a recorder so the *next* edit can patch.
+// Lives here rather than in eval/ because the estimator gate needs the
+// opt-layer cost model (hql_opt already links hql_eval; the reverse
+// dependency would cycle).
+Result<Relation> EvalRaIncremental(const QueryPtr& query, const Database& db,
+                                   const RelResolver& resolver, EvalMemo memo,
+                                   const PlannerOptions& options) {
+  const IncrementalConfig inc = options.incremental_config();
+  if (!inc.enabled()) return EvalRa(query, resolver, memo);
+
+  HQL_ASSIGN_OR_RETURN(IncrementalAttempt attempt,
+                       ComputeIncrementalEdits(query, db, inc.cache));
+  if (attempt.entry != nullptr) {
+    bool patch = attempt.patchable;
+    if (patch && attempt.edit_tuples > 0) {
+      double changed = static_cast<double>(attempt.changed_relation_tuples);
+      if (static_cast<double>(attempt.edit_tuples) >
+          inc.max_edit_fraction * std::max(1.0, changed)) {
+        patch = false;
+      }
+    }
+    if (patch) {
+      StatsCatalog stats = StatsCatalog::FromDatabase(db);
+      CardinalityEstimator estimator(stats);
+      double patch_cost = estimator.EstimateIncrementalCost(
+          query, static_cast<double>(attempt.edit_tuples));
+      if (patch_cost >= estimator.EstimateCost(query)) patch = false;
+    }
+    if (patch) {
+      Result<RelationView> patched = ApplyIncrementalPatch(
+          query, attempt, memo.state_fingerprint, inc.cache);
+      if (patched.ok()) return patched->Materialize();
+      if (patched.status().code() != StatusCode::kUnimplemented) {
+        return patched.status();
+      }
+    }
+    // A warm cache that could not serve this execution is the interesting
+    // signal; a cold one is just the first run.
+    AmbientExecContext().AddIncrementalFallback();
+  }
+
+  IncrementalRecorder recorder;
+  memo.recorder = &recorder;
+  HQL_ASSIGN_OR_RETURN(RelationView out, EvalRaView(query, resolver, memo));
+  inc.cache->Insert(query->Fingerprint(),
+                    recorder.TakeEntry(out, memo.state_fingerprint));
+  return out.Materialize();
+}
+
 // The strategy switch, run under whatever governor is ambient. Fallback and
 // governor installation live in the public Execute wrapper below.
 Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
@@ -312,8 +318,9 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
         HQL_ASSIGN_OR_RETURN(reduced, SimplifyRa(reduced, schema));
       }
       DatabaseResolver resolver(db);
-      return EvalRa(reduced, resolver,
-                    EvalMemo{options.memo, FingerprintState(db), icfg, ccfg});
+      return EvalRaIncremental(
+          reduced, db, resolver,
+          EvalMemo{options.memo, FingerprintState(db), icfg, ccfg}, options);
     }
     case Strategy::kFilter1: {
       ExecRouteScope route("eager");
@@ -365,8 +372,9 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
         ExecRouteScope route("hybrid-lazy");
         AmbientExecContext().NoteRoute("hybrid-lazy");
         DatabaseResolver resolver(db);
-        return EvalRa(plan.query, resolver,
-                      EvalMemo{options.memo, FingerprintState(db), icfg, ccfg});
+        return EvalRaIncremental(
+            plan.query, db, resolver,
+            EvalMemo{options.memo, FingerprintState(db), icfg, ccfg}, options);
       }
       ExecRouteScope route("hybrid-eager");
       AmbientExecContext().NoteRoute("hybrid-eager");

@@ -16,6 +16,7 @@
 #include "ast/forward.h"
 #include "common/governor.h"
 #include "common/result.h"
+#include "eval/incremental.h"
 #include "opt/estimator.h"
 #include "storage/column_batch.h"
 #include "storage/database.h"
@@ -111,6 +112,23 @@ struct PlannerOptions {
   /// 1 = run morsels inline on the calling thread.
   size_t columnar_threads = 0;
 
+  /// Incremental re-evaluation policy (eval/incremental.h). kOff (default)
+  /// recomputes every execution exactly as before. kAuto lets the lazy and
+  /// hybrid-lazy routes patch a cached result of the same plan when the
+  /// database differs from the recorded execution only by a small overlay
+  /// edit and the estimator prices the patch below a recompute; every other
+  /// case (cold cache, consolidated base, large edit, aggregate plans)
+  /// falls back to full evaluation — results are always bit-identical.
+  IncrementalMode incremental_mode = IncrementalMode::kOff;
+
+  /// Entry store for incremental execution (caller-owned, must outlive the
+  /// calls that use it). Null disables patching even in kAuto mode.
+  IncrementalCache* incremental_cache = nullptr;
+
+  /// Edits larger than this fraction of the changed relations' current
+  /// cardinality are recomputed rather than patched.
+  double incremental_edit_fraction = 0.10;
+
   /// The index configuration the options denote.
   IndexConfig index_config() const {
     return IndexConfig{index_mode, index_advisor, index_min_rows};
@@ -123,6 +141,15 @@ struct PlannerOptions {
     c.min_rows = columnar_min_rows;
     c.morsel_rows = columnar_morsel_rows;
     c.threads = columnar_threads;
+    return c;
+  }
+
+  /// The incremental configuration the options denote.
+  IncrementalConfig incremental_config() const {
+    IncrementalConfig c;
+    c.mode = incremental_mode;
+    c.cache = incremental_cache;
+    c.max_edit_fraction = incremental_edit_fraction;
     return c;
   }
 };

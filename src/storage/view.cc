@@ -272,6 +272,32 @@ RelationView::const_iterator& RelationView::const_iterator::operator++() {
   return *this;
 }
 
+std::optional<RelationEdit> OverlayEditBetween(const RelationView& from,
+                                               const RelationView& to) {
+  if (from.base() != to.base()) return std::nullopt;
+  // Both overlays are canonical against the shared base B, so
+  //   content(from) = (B ∖ from.dels) ∪ from.adds
+  //   content(to)   = (B ∖ to.dels)   ∪ to.adds
+  // and the content difference decomposes into overlay set differences:
+  //   removed = (to.dels ∖ from.dels) ∪ (from.adds ∖ to.adds)
+  //   added   = (from.dels ∖ to.dels) ∪ (to.adds ∖ from.adds)
+  // Each union is of disjoint sorted sets (one side lives in B, the other
+  // outside it), and the result is canonical w.r.t. content(from): removed
+  // tuples are all present in `from`, added tuples all absent.
+  RelationEdit edit;
+  edit.dels = SortedUnion(SortedDifference(to.dels(), from.dels()),
+                          SortedDifference(from.adds(), to.adds()));
+  edit.adds = SortedUnion(SortedDifference(from.dels(), to.dels()),
+                          SortedDifference(to.adds(), from.adds()));
+#ifndef NDEBUG
+  HQL_CHECK(SortedAndUnique(edit.adds));
+  HQL_CHECK(SortedAndUnique(edit.dels));
+  for (const Tuple& t : edit.dels) HQL_CHECK(from.Contains(t));
+  for (const Tuple& t : edit.adds) HQL_CHECK(!from.Contains(t));
+#endif
+  return edit;
+}
+
 namespace {
 
 template <typename Merge>

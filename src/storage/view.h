@@ -26,6 +26,7 @@
 #include <iterator>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -184,6 +185,29 @@ class RelationView {
   // handed out by Flat() stay valid for the cache's lifetime.
   std::shared_ptr<FlatCache> flat_cache_;
 };
+
+/// The set difference between two relation states: applying the edit to the
+/// first state yields the second, (from ∖ dels) ∪ adds = to. Canonical with
+/// respect to the *content* of the first state (dels ⊆ from, adds ∩ from =
+/// ∅, adds ∩ dels = ∅), so |adds| + |dels| is the exact number of tuples
+/// that changed.
+struct RelationEdit {
+  std::vector<Tuple> adds;  // sorted, unique, disjoint from `from`'s content
+  std::vector<Tuple> dels;  // sorted, unique, subset of `from`'s content
+
+  bool empty() const { return adds.empty() && dels.empty(); }
+  size_t size() const { return adds.size() + dels.size(); }
+};
+
+/// The delta-of-delta between two canonical overlays sharing the *same*
+/// base relation (pointer identity): the edit taking `from`'s content to
+/// `to`'s content, computed from the two overlays alone in O(|from.delta| +
+/// |to.delta|) — the base is never scanned. Returns nullopt when the views
+/// do not share a base (e.g. a consolidation in between produced a fresh
+/// base), in which case no cheap edit exists and callers fall back to full
+/// evaluation.
+std::optional<RelationEdit> OverlayEditBetween(const RelationView& from,
+                                               const RelationView& to);
 
 /// Set algebra on views without materializing the operands: streaming merges
 /// over both merge iterators. Arities must match (checked).

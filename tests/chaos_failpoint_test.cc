@@ -20,6 +20,7 @@
 #include "common/failpoint.h"
 #include "common/governor.h"
 #include "common/rng.h"
+#include "eval/direct.h"
 #include "eval/memo.h"
 #include "opt/planner.h"
 #include "opt/session.h"
@@ -99,7 +100,7 @@ TEST(ChaosFailPointTest, EveryStrategySurvivesEveryArmedSite) {
   Database db = ChaosDb();
   QueryPtr query = ChaosQuery();
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 6u);
+  ASSERT_EQ(sites.size(), 7u);
 
   // Both trip codes, both arming modes, two seeds for the probability mode.
   const std::vector<FailPointSpec> specs = {
@@ -211,6 +212,81 @@ TEST(ChaosFailPointTest, ColumnarDegradesCleanlyUnderBatchBuildFailure) {
   DisarmAllFailPoints();
 }
 
+// Incremental patching under injection: warm the incremental cache on a
+// base state, edit it by a small overlay delta, then arm the memo.patch
+// site and re-execute. Every strategy must either return the bit-identical
+// from-scratch result for the edited state (ungoverned fires, or the
+// estimator choosing recompute) or fail with a clean governed error —
+// never a half-patched relation.
+TEST(ChaosFailPointTest, IncrementalPatchDegradesCleanlyUnderPatchFailure) {
+  DisarmAllFailPoints();
+  Database base = ChaosDb();
+  QueryPtr query = ChaosQuery();
+  // A small overlay edit: the second execution sees the same shared base
+  // relations plus a few-tuple delta — exactly the regime the incremental
+  // route patches.
+  Result<Database> edited_or = ExecUpdate(
+      Seq(Ins("R", Single(hql::testing::IntRow({7, 7}))),
+          Del("S", Sel(Lt(Col(0), Int(3)), Rel("S")))),
+      base);
+  ASSERT_OK(edited_or.status());
+  Database edited = std::move(edited_or).value();
+
+  auto run = [&](const Database& db, IncrementalCache* cache,
+                 Strategy strategy) {
+    PlannerOptions options;
+    if (cache != nullptr) {
+      options.incremental_mode = IncrementalMode::kAuto;
+      options.incremental_cache = cache;
+    }
+    options.cancel_token = std::make_shared<CancelToken>();
+    Result<Relation> result =
+        Execute(query, db, db.schema(), strategy, options);
+    Outcome out;
+    out.ok = result.ok();
+    if (result.ok()) {
+      out.relation = std::move(result).value();
+    } else {
+      out.code = result.status().code();
+      out.message = result.status().message();
+    }
+    return out;
+  };
+
+  const std::vector<FailPointSpec> specs = {
+      FailPointSpec::AfterN(0, StatusCode::kResourceExhausted),
+      FailPointSpec::AfterN(0, StatusCode::kCancelled),
+      FailPointSpec::Probability(0.9, 7, StatusCode::kResourceExhausted),
+  };
+
+  for (Strategy strategy : kAllStrategies) {
+    Outcome reference = run(edited, nullptr, strategy);
+    ASSERT_TRUE(reference.ok)
+        << StrategyName(strategy) << ": " << reference.Describe();
+
+    for (size_t si = 0; si < specs.size(); ++si) {
+      std::string label = std::string(StrategyName(strategy)) + "/spec" +
+                          std::to_string(si);
+      IncrementalCache cache;
+      // Warm: record the pre-edit execution into the incremental cache.
+      Outcome warm = run(base, &cache, strategy);
+      ASSERT_TRUE(warm.ok) << label << ": " << warm.Describe();
+
+      ArmFailPoint(kFailPointMemoPatch, specs[si]);
+      Outcome armed = run(edited, &cache, strategy);
+      DisarmFailPoint(kFailPointMemoPatch);
+      if (armed.ok) {
+        EXPECT_EQ(armed.relation, reference.relation) << label;
+      } else {
+        EXPECT_TRUE(armed.code == StatusCode::kCancelled ||
+                    armed.code == StatusCode::kResourceExhausted)
+            << label << ": " << armed.Describe();
+      }
+    }
+  }
+  DisarmAllFailPoints();
+}
+
 // The thread-pool fan-out under injection: slots either match the family's
 // un-failpointed values or carry a clean governed error; the pool itself
 // must neither crash nor hang. (No pairwise determinism assertion here —
@@ -266,13 +342,14 @@ TEST(ChaosFailPointTest, AlternativesFamilySurvivesArmedSites) {
 
 TEST(FailPointMechanicsTest, SiteCatalogIsStable) {
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 6u);
+  ASSERT_EQ(sites.size(), 7u);
   EXPECT_EQ(sites[0], kFailPointTaskEnqueue);
   EXPECT_EQ(sites[1], kFailPointTupleAppend);
   EXPECT_EQ(sites[2], kFailPointIndexBuild);
   EXPECT_EQ(sites[3], kFailPointMemoInsert);
   EXPECT_EQ(sites[4], kFailPointConsolidate);
   EXPECT_EQ(sites[5], kFailPointColumnBatchBuild);
+  EXPECT_EQ(sites[6], kFailPointMemoPatch);
 }
 
 #ifndef NDEBUG
