@@ -47,6 +47,9 @@ constexpr const char* kStatsCounters[] = {
     "columnar_morsels_dispatched",
     "columnar_rows_vectorized",
     "columnar_rows_fallback",
+    "columnar_agg_rows_vectorized",
+    "columnar_agg_groups",
+    "columnar_when_routed",
     "incremental_results_patched",
     "incremental_edits_propagated",
     "incremental_fallbacks",

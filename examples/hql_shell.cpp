@@ -42,6 +42,7 @@
 #include "common/rng.h"
 #include "eval/direct.h"
 #include "eval/memo.h"
+#include "eval/simd.h"
 #include "hql/ra_rewrite.h"
 #include "hql/reduce.h"
 #include "opt/explain.h"
@@ -239,7 +240,8 @@ void HandleCommand(ShellState* st, const std::string& line) {
       return;
     }
     st->columnar = mode == "on" ? ColumnarMode::kAuto : ColumnarMode::kOff;
-    std::printf("columnar = %s\n", ColumnarModeName(st->columnar));
+    std::printf("columnar = %s (simd: %s)\n", ColumnarModeName(st->columnar),
+                SimdIsaName());
   } else if (cmd == "\\incremental") {
     std::string mode;
     in >> mode;

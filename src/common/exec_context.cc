@@ -92,6 +92,9 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   columnar_morsels_dispatched += other.columnar_morsels_dispatched;
   columnar_rows_vectorized += other.columnar_rows_vectorized;
   columnar_rows_fallback += other.columnar_rows_fallback;
+  columnar_agg_rows_vectorized += other.columnar_agg_rows_vectorized;
+  columnar_agg_groups += other.columnar_agg_groups;
+  columnar_when_routed += other.columnar_when_routed;
 
   incremental_results_patched += other.incremental_results_patched;
   incremental_edits_propagated += other.incremental_edits_propagated;
@@ -135,6 +138,10 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "columnar_rows_vectorized", columnar_rows_vectorized,
               &first);
   AppendField(&out, "columnar_rows_fallback", columnar_rows_fallback, &first);
+  AppendField(&out, "columnar_agg_rows_vectorized",
+              columnar_agg_rows_vectorized, &first);
+  AppendField(&out, "columnar_agg_groups", columnar_agg_groups, &first);
+  AppendField(&out, "columnar_when_routed", columnar_when_routed, &first);
   AppendField(&out, "incremental_results_patched", incremental_results_patched,
               &first);
   AppendField(&out, "incremental_edits_propagated",
@@ -243,6 +250,12 @@ ExecStats ExecContext::Snapshot() const {
       columnar_rows_vectorized_.load(std::memory_order_relaxed);
   stats.columnar_rows_fallback =
       columnar_rows_fallback_.load(std::memory_order_relaxed);
+  stats.columnar_agg_rows_vectorized =
+      columnar_agg_rows_vectorized_.load(std::memory_order_relaxed);
+  stats.columnar_agg_groups =
+      columnar_agg_groups_.load(std::memory_order_relaxed);
+  stats.columnar_when_routed =
+      columnar_when_routed_.load(std::memory_order_relaxed);
   stats.incremental_results_patched =
       incremental_results_patched_.load(std::memory_order_relaxed);
   stats.incremental_edits_propagated =
@@ -281,6 +294,9 @@ void ExecContext::MergeFrom(const ExecStats& stats) {
   Bump(&columnar_morsels_dispatched_, stats.columnar_morsels_dispatched);
   Bump(&columnar_rows_vectorized_, stats.columnar_rows_vectorized);
   Bump(&columnar_rows_fallback_, stats.columnar_rows_fallback);
+  Bump(&columnar_agg_rows_vectorized_, stats.columnar_agg_rows_vectorized);
+  Bump(&columnar_agg_groups_, stats.columnar_agg_groups);
+  Bump(&columnar_when_routed_, stats.columnar_when_routed);
   Bump(&incremental_results_patched_, stats.incremental_results_patched);
   Bump(&incremental_edits_propagated_, stats.incremental_edits_propagated);
   Bump(&incremental_fallbacks_, stats.incremental_fallbacks);
@@ -337,6 +353,9 @@ void ExecContext::ResetColumnarCounters() {
   columnar_morsels_dispatched_.store(0, std::memory_order_relaxed);
   columnar_rows_vectorized_.store(0, std::memory_order_relaxed);
   columnar_rows_fallback_.store(0, std::memory_order_relaxed);
+  columnar_agg_rows_vectorized_.store(0, std::memory_order_relaxed);
+  columnar_agg_groups_.store(0, std::memory_order_relaxed);
+  columnar_when_routed_.store(0, std::memory_order_relaxed);
 }
 
 void ExecContext::ResetIncrementalCounters() {

@@ -97,6 +97,9 @@ struct ExecStats {
   uint64_t columnar_morsels_dispatched = 0; // morsel tasks run
   uint64_t columnar_rows_vectorized = 0;    // rows through the batch kernels
   uint64_t columnar_rows_fallback = 0;      // rows the route declined
+  uint64_t columnar_agg_rows_vectorized = 0;  // rows through the agg kernel
+  uint64_t columnar_agg_groups = 0;           // groups the agg kernel emitted
+  uint64_t columnar_when_routed = 0;  // delta-attached ops served columnar
 
   // Incremental re-evaluation (eval/incremental.h): cached results patched
   // by delta-of-delta propagation instead of recomputed.
@@ -164,6 +167,11 @@ class ExecContext {
   void AddColumnarRowsFallback(uint64_t n) {
     Bump(&columnar_rows_fallback_, n);
   }
+  void AddColumnarAggRowsVectorized(uint64_t n) {
+    Bump(&columnar_agg_rows_vectorized_, n);
+  }
+  void AddColumnarAggGroups(uint64_t n) { Bump(&columnar_agg_groups_, n); }
+  void AddColumnarWhenRouted() { Bump(&columnar_when_routed_); }
 
   void AddIncrementalResultPatched() { Bump(&incremental_results_patched_); }
   void AddIncrementalEditsPropagated(uint64_t n) {
@@ -240,6 +248,9 @@ class ExecContext {
   std::atomic<uint64_t> columnar_morsels_dispatched_{0};
   std::atomic<uint64_t> columnar_rows_vectorized_{0};
   std::atomic<uint64_t> columnar_rows_fallback_{0};
+  std::atomic<uint64_t> columnar_agg_rows_vectorized_{0};
+  std::atomic<uint64_t> columnar_agg_groups_{0};
+  std::atomic<uint64_t> columnar_when_routed_{0};
 
   std::atomic<uint64_t> incremental_results_patched_{0};
   std::atomic<uint64_t> incremental_edits_propagated_{0};

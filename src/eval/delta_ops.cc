@@ -1,5 +1,7 @@
 #include "eval/delta_ops.h"
 
+#include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -220,6 +222,30 @@ bool FindEquiConjunct(const ScalarExprPtr& pred, size_t split, size_t* lcol,
 
 namespace {
 
+/// True when `q` is a stored-relation leaf the delta route can resolve
+/// directly: a kRel naming a schema relation with no temp binding shadowing
+/// it (temp bindings never take deltas; they go through the generic path).
+bool IsStoredLeaf(const QueryPtr& q, const Database& db,
+                  const std::map<std::string, RelationView>* temps) {
+  if (q->kind() != QueryKind::kRel) return false;
+  if (temps != nullptr && temps->find(q->rel_name()) != temps->end()) {
+    return false;
+  }
+  return db.schema().HasRelation(q->rel_name());
+}
+
+/// The leaf's hypothetical state as an overlay that never consolidates
+/// (infinite fraction forces stacking), so the stored base keeps its
+/// identity and its cached column batch / index serve every hypothetical
+/// state in the family. A delta that canonicalizes to nothing (inserts
+/// already present, deletes already absent) leaves the view flat — the
+/// caller can then take the same fast path as the no-delta case.
+RelationView OverlayLeaf(const RelationView& stored, const DeltaPair* p) {
+  if (p == nullptr) return stored;
+  return stored.ApplyDelta(p->ins.tuples(), p->del.tuples(),
+                           std::numeric_limits<double>::infinity());
+}
+
 Result<RelationView> EvalFilterDNode(
     const QueryPtr& query, const Database& db, const DeltaValue& delta,
     const std::map<std::string, RelationView>* temps,
@@ -247,36 +273,38 @@ Result<RelationView> EvalFilterDNode(
       return RelationView(
           Relation::FromTuples(query->tuple().size(), {query->tuple()}));
     case QueryKind::kSelect: {
-      // An equality selection over a leaf probes the base's index (patched
-      // with the delta overlay): this is where one index built on the base
-      // state serves every hypothetical state in a family. A columnar
-      // policy routes the same leaf through the vectorized scan of the
-      // shared base's batch, with the overlay patched in row-wise.
-      if ((config.enabled() || columnar.enabled()) &&
-          query->left()->kind() == QueryKind::kRel) {
-        HQL_ASSIGN_OR_RETURN(
-            RelationView in,
-            EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
+      // A selection over a stored leaf resolves the hypothetical state as
+      // a never-consolidated overlay on the shared base, then routes index
+      // probe -> vectorized batch scan (with the overlay patched in
+      // row-wise) -> select-when row streaming. One index or batch built
+      // on the base state serves every hypothetical state in the family;
+      // only past the delta-fraction gate does the scan degrade to the
+      // streaming when-kernel, which never materializes either.
+      if (IsStoredLeaf(query->left(), db, temps)) {
+        const std::string& name = query->left()->rel_name();
+        HQL_ASSIGN_OR_RETURN(RelationView stored, db.GetView(name));
+        const DeltaPair* p = delta.Get(name);
+        RelationView in = OverlayLeaf(stored, p);
         std::optional<Relation> fast =
             TryIndexedFilter(in, query->predicate(), config);
         if (fast.has_value()) return RelationView(*std::move(fast));
         std::optional<Relation> col =
             TryColumnarFilter(in, query->predicate(), columnar);
-        if (col.has_value()) return RelationView(*std::move(col));
+        if (col.has_value()) {
+          if (p != nullptr) AmbientExecContext().AddColumnarWhenRouted();
+          return RelationView(*std::move(col));
+        }
         if (columnar.enabled()) {
           AmbientExecContext().AddColumnarRowsFallback(in.size());
         }
+        if (stored.is_flat()) {
+          // A delta that canonicalized to nothing streams the flat base
+          // (nullptr delta), not the stale delta pair.
+          return RelationView(SelectWhen(*stored.base(),
+                                         in.is_flat() ? nullptr : p,
+                                         *query->predicate()));
+        }
         return RelationView(FilterRelation(in, *query->predicate()));
-      }
-      // select-when directly over a flat base relation (an overlay-backed
-      // base composes through the view path below instead, so it is never
-      // consolidated just to stream it).
-      if (query->left()->kind() == QueryKind::kRel &&
-          db.schema().HasRelation(query->left()->rel_name()) &&
-          db.ViewRef(query->left()->rel_name()).is_flat()) {
-        const std::string& name = query->left()->rel_name();
-        return RelationView(SelectWhen(db.GetRef(name), delta.Get(name),
-                                       *query->predicate()));
       }
       HQL_ASSIGN_OR_RETURN(
           RelationView in,
@@ -294,9 +322,9 @@ Result<RelationView> EvalFilterDNode(
       HQL_ASSIGN_OR_RETURN(
           RelationView in,
           EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
-      return RelationView(AggregateRelation(in, query->columns(),
-                                            query->agg_func(),
-                                            query->agg_column()));
+      return RelationView(VectorizedAggregate(in, query->columns(),
+                                              query->agg_func(),
+                                              query->agg_column(), columnar));
     }
     case QueryKind::kUnion: {
       HQL_ASSIGN_OR_RETURN(
@@ -326,43 +354,48 @@ Result<RelationView> EvalFilterDNode(
       return RelationView(ViewProduct(l, r));
     }
     case QueryKind::kJoin: {
-      // An equi-join of two leaves probes the larger side's base index
-      // when the policy grants one, then tries the vectorized hash join
-      // over the larger base's batch; a miss falls through to join-when.
-      if ((config.enabled() || columnar.enabled()) &&
-          query->left()->kind() == QueryKind::kRel &&
-          query->right()->kind() == QueryKind::kRel) {
-        HQL_ASSIGN_OR_RETURN(
-            RelationView l,
-            EvalFilterDNode(query->left(), db, delta, temps, config, columnar));
-        HQL_ASSIGN_OR_RETURN(
-            RelationView r,
-            EvalFilterDNode(query->right(), db, delta, temps, config, columnar));
+      // An equi-join of two stored leaves resolves both hypothetical
+      // states as never-consolidated overlays, probes the larger side's
+      // base index when the policy grants one, then tries the vectorized
+      // hash join over the larger base's batch (overlay patched in
+      // row-wise); a miss falls through to the join-when row streaming.
+      if (IsStoredLeaf(query->left(), db, temps) &&
+          IsStoredLeaf(query->right(), db, temps)) {
+        const std::string& lname = query->left()->rel_name();
+        const std::string& rname = query->right()->rel_name();
+        HQL_ASSIGN_OR_RETURN(RelationView lstored, db.GetView(lname));
+        HQL_ASSIGN_OR_RETURN(RelationView rstored, db.GetView(rname));
+        const DeltaPair* pl = delta.Get(lname);
+        const DeltaPair* pr = delta.Get(rname);
+        RelationView l = OverlayLeaf(lstored, pl);
+        RelationView r = OverlayLeaf(rstored, pr);
         std::optional<Relation> fast =
             TryIndexedJoin(l, r, query->predicate(), config);
         if (fast.has_value()) return RelationView(*std::move(fast));
         std::optional<Relation> col =
             TryColumnarJoin(l, r, query->predicate(), columnar);
-        if (col.has_value()) return RelationView(*std::move(col));
-      }
-      // join-when over two flat base relations.
-      if (query->left()->kind() == QueryKind::kRel &&
-          query->right()->kind() == QueryKind::kRel) {
-        const std::string& lname = query->left()->rel_name();
-        const std::string& rname = query->right()->rel_name();
-        if (db.schema().HasRelation(lname) &&
-            db.schema().HasRelation(rname) && db.ViewRef(lname).is_flat() &&
-            db.ViewRef(rname).is_flat()) {
-          const Relation& bl = db.GetRef(lname);
-          const Relation& br = db.GetRef(rname);
+        if (col.has_value()) {
+          if (pl != nullptr || pr != nullptr) {
+            AmbientExecContext().AddColumnarWhenRouted();
+          }
+          return RelationView(*std::move(col));
+        }
+        if (columnar.enabled()) {
+          AmbientExecContext().AddColumnarRowsFallback(l.size() + r.size());
+        }
+        if (lstored.is_flat() && rstored.is_flat()) {
           size_t lcol = 0, rcol = 0;
-          if (FindEquiConjunct(query->predicate(), bl.arity(), &lcol,
+          if (FindEquiConjunct(query->predicate(), lstored.arity(), &lcol,
                                &rcol)) {
-            return RelationView(JoinWhen(bl, delta.Get(lname), br,
-                                         delta.Get(rname), lcol, rcol,
-                                         query->predicate()));
+            // Deltas that canonicalized to nothing stream the flat bases.
+            return RelationView(JoinWhen(*lstored.base(),
+                                         l.is_flat() ? nullptr : pl,
+                                         *rstored.base(),
+                                         r.is_flat() ? nullptr : pr, lcol,
+                                         rcol, query->predicate()));
           }
         }
+        return RelationView(JoinRelations(l, r, query->predicate()));
       }
       HQL_ASSIGN_OR_RETURN(
           RelationView l,

@@ -366,12 +366,109 @@ Result<NodeDelta> DeltaPropagator::Compute(const QueryPtr& node) {
       return PropagateJoin(node, node->left(), node->right(),
                            node->predicate());
 
-    case QueryKind::kAggregate:
-      // A single changed input tuple can move every group's aggregate;
-      // maintaining that incrementally needs per-group state the recording
-      // does not keep. Full evaluation handles it.
-      return Status::Unimplemented(
-          "incremental: aggregate nodes are not incrementally maintainable");
+    case QueryKind::kAggregate: {
+      // Sum and count patch group-wise: the edit's group keys name the
+      // affected groups, and one governed pass over the new child content
+      // re-accumulates exactly those. Min and max would need evidence the
+      // old extremum survives a deletion — per-group state the recording
+      // does not keep — so they stay recompute-only.
+      if (node->agg_func() == AggFunc::kMin ||
+          node->agg_func() == AggFunc::kMax) {
+        return Status::Unimplemented(
+            "incremental: min/max aggregates are not incrementally "
+            "maintainable (a deleted extremum needs a rescan)");
+      }
+      HQL_ASSIGN_OR_RETURN(NodeDelta c, Propagate(node->left()));
+      HQL_ASSIGN_OR_RETURN(RelationView old_out, OldOf(node));
+      const std::vector<size_t>& cols = node->columns();
+      size_t agg_column = node->agg_column();
+      NodeDelta d;
+      d.old_view = old_out;
+      std::vector<Tuple> affected;
+      for (const std::vector<Tuple>* edit : {&c.adds, &c.dels}) {
+        for (const Tuple& t : *edit) {
+          HQL_RETURN_IF_ERROR(TickGovernor());
+          affected.push_back(ProjectTuple(t, cols));
+        }
+      }
+      SortUniqueTuples(&affected);
+      if (affected.empty()) {
+        d.new_view = old_out;
+        return d;
+      }
+      struct Acc {
+        int64_t count = 0;
+        int64_t int_sum = 0;
+        double dbl_sum = 0;
+        bool any_double = false;
+        bool any_number = false;
+      };
+      // The sorted new child visits each affected group's tuples in the
+      // same order a full re-evaluation would, so double sums come out
+      // bit-identical to the recompute alternative.
+      std::vector<Acc> accs(affected.size());
+      for (const Tuple& t : c.new_view) {
+        HQL_RETURN_IF_ERROR(TickGovernor());
+        Tuple key = ProjectTuple(t, cols);
+        auto it = std::lower_bound(affected.begin(), affected.end(), key,
+                                   TupleLess{});
+        if (it == affected.end() || !(*it == key)) continue;
+        Acc& acc = accs[static_cast<size_t>(it - affected.begin())];
+        ++acc.count;
+        const Value& v = t[agg_column];
+        if (v.is_int()) {
+          acc.int_sum += v.AsInt();
+          acc.dbl_sum += static_cast<double>(v.AsInt());
+          acc.any_number = true;
+        } else if (v.is_double()) {
+          acc.dbl_sum += v.AsDouble();
+          acc.any_double = true;
+          acc.any_number = true;
+        }
+      }
+      // The group key is the output tuple's prefix, so one scan of the
+      // cached output recovers the affected groups' old rows to diff
+      // against the re-accumulated ones.
+      std::vector<Tuple> old_rows(affected.size());
+      std::vector<char> had_old(affected.size(), 0);
+      for (const Tuple& t : old_out) {
+        HQL_RETURN_IF_ERROR(TickGovernor());
+        Tuple key(t.begin(), t.begin() + static_cast<ptrdiff_t>(cols.size()));
+        auto it = std::lower_bound(affected.begin(), affected.end(), key,
+                                   TupleLess{});
+        if (it == affected.end() || !(*it == key)) continue;
+        size_t i = static_cast<size_t>(it - affected.begin());
+        old_rows[i] = t;
+        had_old[i] = 1;
+      }
+      for (size_t i = 0; i < affected.size(); ++i) {
+        std::optional<Tuple> fresh;
+        if (accs[i].count > 0) {
+          Value agg;
+          if (node->agg_func() == AggFunc::kCount) {
+            agg = Value::Int(accs[i].count);
+          } else if (!accs[i].any_number) {
+            agg = Value::Nul();
+          } else if (accs[i].any_double) {
+            agg = Value::Double(accs[i].dbl_sum);
+          } else {
+            agg = Value::Int(accs[i].int_sum);
+          }
+          Tuple row = affected[i];
+          row.push_back(std::move(agg));
+          fresh = std::move(row);
+        }
+        if (had_old[i] && fresh.has_value() && *fresh == old_rows[i]) {
+          continue;  // the edit cancelled out for this group
+        }
+        if (had_old[i]) d.dels.push_back(std::move(old_rows[i]));
+        if (fresh.has_value()) d.adds.push_back(std::move(*fresh));
+      }
+      SortUniqueTuples(&d.adds);
+      SortUniqueTuples(&d.dels);
+      d.new_view = old_out.ApplyDelta(d.adds, d.dels);
+      return d;
+    }
 
     case QueryKind::kWhen:
       return Status::Unimplemented(

@@ -330,9 +330,9 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
     case QueryKind::kAggregate: {
       HQL_ASSIGN_OR_RETURN(RelationView in,
                            EvalRaNode(query->left(), resolver, memo));
-      return RelationView(AggregateRelation(in, query->columns(),
-                                            query->agg_func(),
-                                            query->agg_column()));
+      return RelationView(VectorizedAggregate(in, query->columns(),
+                                              query->agg_func(),
+                                              query->agg_column(), columnar));
     }
     case QueryKind::kUnion: {
       HQL_ASSIGN_OR_RETURN(RelationView l,

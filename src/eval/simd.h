@@ -1,0 +1,483 @@
+#ifndef HQL_EVAL_SIMD_H_
+#define HQL_EVAL_SIMD_H_
+
+// Explicit SIMD kernels for the typed inner loops of the columnar
+// executor: selection scans over int64/float64 column arrays and the
+// reductions backing global aggregates. Three compile-time tiers, chosen
+// once per build:
+//
+//   AVX2  (4-wide)  — default on x86-64 hosts whose compiler takes -mavx2
+//   SSE4  (2-wide)  — x86-64 without AVX2
+//   scalar          — everything else, or any build with -DHQL_NO_SIMD
+//
+// The cmake option HQL_NO_SIMD=ON forces the scalar tier so the fallback
+// loops stay covered by the same test suite (CI runs a forced-scalar
+// Release gate); SimdIsaName() reports the compiled tier for \analyze and
+// the benches.
+//
+// Exactness contract: every kernel is bit-identical to its scalar loop.
+// The comparison scans take a CmpRel that the caller has already resolved
+// from (ScalarOp, Value::Compare tie-break) — see ResolveRel in
+// vector_exec.cc — so cross-type int/double tie semantics are decided
+// before any lane math. Double compares use the *unordered-quiet*
+// predicate family (NEQ_UQ, NLE_UQ, NLT_UQ ...), which reproduces the row
+// kernel's "NaN compares greater" convention; NaN otherwise cannot occur
+// in relation storage at all, because Value::Compare over NaN would break
+// the strict weak ordering Relation's sorted-set representation relies
+// on. Integer sums accumulate in uint64 (defined wrap) and cast back,
+// matching the scalar kernel on every input.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if !defined(HQL_NO_SIMD) && defined(__AVX2__)
+#define HQL_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(HQL_NO_SIMD) && defined(__SSE4_2__)
+#define HQL_SIMD_SSE4 1
+#include <nmmintrin.h>
+#include <smmintrin.h>
+#endif
+
+namespace hql {
+
+/// A comparison relation with any type tie-break already folded in.
+/// kAlways/kNever absorb the cases where the tie-break decides the
+/// conjunct outright (e.g. int column == non-integral double literal).
+enum class CmpRel : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kAlways, kNever };
+
+/// The SIMD tier this binary was compiled with.
+inline const char* SimdIsaName() {
+#if defined(HQL_SIMD_AVX2)
+  return "avx2";
+#elif defined(HQL_SIMD_SSE4)
+  return "sse4";
+#else
+  return "scalar";
+#endif
+}
+
+/// Scalar semantics of CmpRel on int64 operands.
+inline bool RelHoldsInt64(CmpRel rel, int64_t a, int64_t k) {
+  switch (rel) {
+    case CmpRel::kEq:
+      return a == k;
+    case CmpRel::kNe:
+      return a != k;
+    case CmpRel::kLt:
+      return a < k;
+    case CmpRel::kLe:
+      return a <= k;
+    case CmpRel::kGt:
+      return a > k;
+    case CmpRel::kGe:
+      return a >= k;
+    case CmpRel::kAlways:
+      return true;
+    case CmpRel::kNever:
+      return false;
+  }
+  return false;
+}
+
+/// Scalar semantics of CmpRel on doubles. kGt/kGe are written as negated
+/// kLe/kLt so a NaN operand lands on the "greater" side, exactly like the
+/// unordered-quiet SIMD predicates and the row kernel's three-way compare.
+inline bool RelHoldsFloat64(CmpRel rel, double a, double d) {
+  switch (rel) {
+    case CmpRel::kEq:
+      return a == d;
+    case CmpRel::kNe:
+      return a != d;
+    case CmpRel::kLt:
+      return a < d;
+    case CmpRel::kLe:
+      return a <= d;
+    case CmpRel::kGt:
+      return !(a <= d);
+    case CmpRel::kGe:
+      return !(a < d);
+    case CmpRel::kAlways:
+      return true;
+    case CmpRel::kNever:
+      return false;
+  }
+  return false;
+}
+
+namespace simd_internal {
+
+inline void AppendAll(size_t begin, size_t end, std::vector<uint32_t>* sel) {
+  for (size_t i = begin; i < end; ++i) {
+    sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+inline void EmitMask(unsigned mask, size_t base, std::vector<uint32_t>* sel) {
+  while (mask != 0) {
+    const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+    sel->push_back(static_cast<uint32_t>(base + bit));
+    mask &= mask - 1;
+  }
+}
+
+}  // namespace simd_internal
+
+#if defined(HQL_SIMD_AVX2)
+
+/// Appends to `sel` (ascending) every i in [begin, end) with v[i] REL k.
+inline void SimdScanInt64(const int64_t* v, size_t begin, size_t end,
+                          CmpRel rel, int64_t k, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  const __m256i kv = _mm256_set1_epi64x(k);
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    unsigned m = 0;
+    switch (rel) {
+      case CmpRel::kEq:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(av, kv))));
+        break;
+      case CmpRel::kNe:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(av, kv)))) ^
+            0xFu;
+        break;
+      case CmpRel::kGt:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(av, kv))));
+        break;
+      case CmpRel::kLe:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(av, kv)))) ^
+            0xFu;
+        break;
+      case CmpRel::kLt:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(kv, av))));
+        break;
+      case CmpRel::kGe:
+        m = static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(kv, av)))) ^
+            0xFu;
+        break;
+      default:
+        break;
+    }
+    simd_internal::EmitMask(m, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (RelHoldsInt64(rel, v[i], k)) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+/// Appends to `sel` (ascending) every i in [begin, end) with v[i] REL d,
+/// NaN treated as greater than everything (unordered-quiet predicates).
+inline void SimdScanFloat64(const double* v, size_t begin, size_t end,
+                            CmpRel rel, double d, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  const __m256d dv = _mm256_set1_pd(d);
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256d av = _mm256_loadu_pd(v + i);
+    __m256d c;
+    switch (rel) {
+      case CmpRel::kEq:
+        c = _mm256_cmp_pd(av, dv, _CMP_EQ_OQ);
+        break;
+      case CmpRel::kNe:
+        c = _mm256_cmp_pd(av, dv, _CMP_NEQ_UQ);
+        break;
+      case CmpRel::kLt:
+        c = _mm256_cmp_pd(av, dv, _CMP_LT_OQ);
+        break;
+      case CmpRel::kLe:
+        c = _mm256_cmp_pd(av, dv, _CMP_LE_OQ);
+        break;
+      case CmpRel::kGt:
+        c = _mm256_cmp_pd(av, dv, _CMP_NLE_UQ);
+        break;
+      case CmpRel::kGe:
+        c = _mm256_cmp_pd(av, dv, _CMP_NLT_UQ);
+        break;
+      default:
+        c = _mm256_setzero_pd();
+        break;
+    }
+    simd_internal::EmitMask(static_cast<unsigned>(_mm256_movemask_pd(c)), i,
+                            sel);
+  }
+  for (; i < end; ++i) {
+    if (RelHoldsFloat64(rel, v[i], d)) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+/// Wrapping (mod 2^64) sum of v[0..n), cast back to int64 — identical to
+/// the scalar kernel's uint64 accumulation on every input.
+inline int64_t SimdSumInt64(const int64_t* v, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += static_cast<uint64_t>(v[i]);
+  return static_cast<int64_t>(sum);
+}
+
+/// Folds min/max of v[0..n) into *mn / *mx (caller seeds both).
+inline void SimdMinMaxInt64(const int64_t* v, size_t n, int64_t* mn,
+                            int64_t* mx) {
+  size_t i = 0;
+  if (n >= 4) {
+    __m256i vmn = _mm256_set1_epi64x(*mn);
+    __m256i vmx = _mm256_set1_epi64x(*mx);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      vmn = _mm256_blendv_epi8(vmn, av, _mm256_cmpgt_epi64(vmn, av));
+      vmx = _mm256_blendv_epi8(vmx, av, _mm256_cmpgt_epi64(av, vmx));
+    }
+    alignas(32) int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmn);
+    for (int64_t lane : lanes) {
+      if (lane < *mn) *mn = lane;
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmx);
+    for (int64_t lane : lanes) {
+      if (lane > *mx) *mx = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+/// Folds min/max of v[0..n) into *mn / *mx (caller seeds both). Assumes
+/// no NaN, which relation storage already guarantees (see header note).
+inline void SimdMinMaxFloat64(const double* v, size_t n, double* mn,
+                              double* mx) {
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d vmn = _mm256_set1_pd(*mn);
+    __m256d vmx = _mm256_set1_pd(*mx);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d av = _mm256_loadu_pd(v + i);
+      vmn = _mm256_min_pd(vmn, av);
+      vmx = _mm256_max_pd(vmx, av);
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vmn);
+    for (double lane : lanes) {
+      if (lane < *mn) *mn = lane;
+    }
+    _mm256_store_pd(lanes, vmx);
+    for (double lane : lanes) {
+      if (lane > *mx) *mx = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+#elif defined(HQL_SIMD_SSE4)
+
+inline void SimdScanInt64(const int64_t* v, size_t begin, size_t end,
+                          CmpRel rel, int64_t k, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  const __m128i kv = _mm_set1_epi64x(k);
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const __m128i av = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    unsigned m = 0;
+    switch (rel) {
+      case CmpRel::kEq:
+        m = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(av, kv))));
+        break;
+      case CmpRel::kNe:
+        m = static_cast<unsigned>(_mm_movemask_pd(
+                _mm_castsi128_pd(_mm_cmpeq_epi64(av, kv)))) ^
+            0x3u;
+        break;
+      case CmpRel::kGt:
+        m = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(av, kv))));
+        break;
+      case CmpRel::kLe:
+        m = static_cast<unsigned>(_mm_movemask_pd(
+                _mm_castsi128_pd(_mm_cmpgt_epi64(av, kv)))) ^
+            0x3u;
+        break;
+      case CmpRel::kLt:
+        m = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(kv, av))));
+        break;
+      case CmpRel::kGe:
+        m = static_cast<unsigned>(_mm_movemask_pd(
+                _mm_castsi128_pd(_mm_cmpgt_epi64(kv, av)))) ^
+            0x3u;
+        break;
+      default:
+        break;
+    }
+    simd_internal::EmitMask(m, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (RelHoldsInt64(rel, v[i], k)) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+inline void SimdScanFloat64(const double* v, size_t begin, size_t end,
+                            CmpRel rel, double d, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  const __m128d dv = _mm_set1_pd(d);
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const __m128d av = _mm_loadu_pd(v + i);
+    __m128d c;
+    switch (rel) {
+      case CmpRel::kEq:
+        c = _mm_cmpeq_pd(av, dv);
+        break;
+      case CmpRel::kNe:
+        c = _mm_cmpneq_pd(av, dv);
+        break;
+      case CmpRel::kLt:
+        c = _mm_cmplt_pd(av, dv);
+        break;
+      case CmpRel::kLe:
+        c = _mm_cmple_pd(av, dv);
+        break;
+      case CmpRel::kGt:
+        c = _mm_cmpnle_pd(av, dv);
+        break;
+      case CmpRel::kGe:
+        c = _mm_cmpnlt_pd(av, dv);
+        break;
+      default:
+        c = _mm_setzero_pd();
+        break;
+    }
+    simd_internal::EmitMask(static_cast<unsigned>(_mm_movemask_pd(c)), i, sel);
+  }
+  for (; i < end; ++i) {
+    if (RelHoldsFloat64(rel, v[i], d)) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+inline int64_t SimdSumInt64(const int64_t* v, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(
+        acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)));
+  }
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  uint64_t sum = lanes[0] + lanes[1];
+  for (; i < n; ++i) sum += static_cast<uint64_t>(v[i]);
+  return static_cast<int64_t>(sum);
+}
+
+inline void SimdMinMaxInt64(const int64_t* v, size_t n, int64_t* mn,
+                            int64_t* mx) {
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+inline void SimdMinMaxFloat64(const double* v, size_t n, double* mn,
+                              double* mx) {
+  size_t i = 0;
+  if (n >= 2) {
+    __m128d vmn = _mm_set1_pd(*mn);
+    __m128d vmx = _mm_set1_pd(*mx);
+    for (; i + 2 <= n; i += 2) {
+      const __m128d av = _mm_loadu_pd(v + i);
+      vmn = _mm_min_pd(vmn, av);
+      vmx = _mm_max_pd(vmx, av);
+    }
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, vmn);
+    for (double lane : lanes) {
+      if (lane < *mn) *mn = lane;
+    }
+    _mm_store_pd(lanes, vmx);
+    for (double lane : lanes) {
+      if (lane > *mx) *mx = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+#else  // scalar tier
+
+inline void SimdScanInt64(const int64_t* v, size_t begin, size_t end,
+                          CmpRel rel, int64_t k, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  for (size_t i = begin; i < end; ++i) {
+    if (RelHoldsInt64(rel, v[i], k)) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+inline void SimdScanFloat64(const double* v, size_t begin, size_t end,
+                            CmpRel rel, double d, std::vector<uint32_t>* sel) {
+  if (rel == CmpRel::kAlways) return simd_internal::AppendAll(begin, end, sel);
+  if (rel == CmpRel::kNever) return;
+  for (size_t i = begin; i < end; ++i) {
+    if (RelHoldsFloat64(rel, v[i], d)) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+inline int64_t SimdSumInt64(const int64_t* v, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += static_cast<uint64_t>(v[i]);
+  return static_cast<int64_t>(sum);
+}
+
+inline void SimdMinMaxInt64(const int64_t* v, size_t n, int64_t* mn,
+                            int64_t* mx) {
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+inline void SimdMinMaxFloat64(const double* v, size_t n, double* mn,
+                              double* mx) {
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < *mn) *mn = v[i];
+    if (v[i] > *mx) *mx = v[i];
+  }
+}
+
+#endif  // SIMD tier
+
+}  // namespace hql
+
+#endif  // HQL_EVAL_SIMD_H_

@@ -8,6 +8,7 @@
 #include <iterator>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 
@@ -17,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "eval/index_exec.h"
 #include "eval/ra_eval.h"
+#include "eval/simd.h"
 
 namespace hql {
 
@@ -108,68 +110,86 @@ bool HasCompilableShape(const ScalarExprPtr& pred) {
 // Batch predicate evaluation
 // ---------------------------------------------------------------------------
 
-// The typed scan loops are templated on a comparison functor so each
-// (encoding, op) pair compiles into one branch-free tight loop the
-// optimizer can unroll and vectorize.
-
-template <typename SrcT, typename Pass>
-void ScanTyped(const SrcT* v, size_t begin, size_t end, Pass pass,
-               std::vector<uint32_t>* sel) {
-  for (size_t i = begin; i < end; ++i) {
-    if (pass(v[i])) sel->push_back(static_cast<uint32_t>(i));
+// The typed scans lower (op, tie-break) onto a plain CmpRel *before* any
+// lane math, so the SIMD kernels in eval/simd.h never see cross-type
+// semantics. The resolution is exact: with cmp(a) = (a == lit ? tie :
+// a < lit ? -1 : 1), OpHolds(op, cmp(a)) reduces to a single relation on
+// the raw operands, e.g. tie = -1 (int column vs equal double literal)
+// turns kLt into "a <= lit" and kEq into constant-false.
+CmpRel ResolveRel(ScalarOp op, int tie) {
+  if (tie < 0) {
+    switch (op) {
+      case ScalarOp::kEq:
+        return CmpRel::kNever;
+      case ScalarOp::kNe:
+        return CmpRel::kAlways;
+      case ScalarOp::kLt:
+      case ScalarOp::kLe:
+        return CmpRel::kLe;
+      case ScalarOp::kGt:
+      case ScalarOp::kGe:
+        return CmpRel::kGt;
+      default:
+        return CmpRel::kNever;
+    }
+  }
+  if (tie > 0) {
+    switch (op) {
+      case ScalarOp::kEq:
+        return CmpRel::kNever;
+      case ScalarOp::kNe:
+        return CmpRel::kAlways;
+      case ScalarOp::kLt:
+      case ScalarOp::kLe:
+        return CmpRel::kLt;
+      case ScalarOp::kGt:
+      case ScalarOp::kGe:
+        return CmpRel::kGe;
+      default:
+        return CmpRel::kNever;
+    }
+  }
+  switch (op) {
+    case ScalarOp::kEq:
+      return CmpRel::kEq;
+    case ScalarOp::kNe:
+      return CmpRel::kNe;
+    case ScalarOp::kLt:
+      return CmpRel::kLt;
+    case ScalarOp::kLe:
+      return CmpRel::kLe;
+    case ScalarOp::kGt:
+      return CmpRel::kGt;
+    case ScalarOp::kGe:
+      return CmpRel::kGe;
+    default:
+      return CmpRel::kNever;
   }
 }
 
 void ScanIntInt(const int64_t* v, size_t begin, size_t end, ScalarOp op,
                 int64_t k, std::vector<uint32_t>* sel) {
-  switch (op) {
-    case ScalarOp::kEq:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a == k; }, sel);
-    case ScalarOp::kNe:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a != k; }, sel);
-    case ScalarOp::kLt:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a < k; }, sel);
-    case ScalarOp::kLe:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a <= k; }, sel);
-    case ScalarOp::kGt:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a > k; }, sel);
-    case ScalarOp::kGe:
-      return ScanTyped(v, begin, end, [k](int64_t a) { return a >= k; }, sel);
-    default:
-      break;
-  }
+  SimdScanInt64(v, begin, end, ResolveRel(op, 0), k, sel);
 }
 
 // Cross-type numeric compare replicating Value::Compare exactly: compare
 // as doubles, break exact ties by the type index (int before double).
+// The int64-source instantiation stays scalar (there is no cheap packed
+// epi64 -> pd conversion pre-AVX-512); the double source rides the SIMD
+// scan.
 template <typename SrcT>
 void ScanNumDouble(const SrcT* v, size_t begin, size_t end, ScalarOp op,
                    double d, int tie, std::vector<uint32_t>* sel) {
-  auto cmp_of = [d, tie](SrcT raw) {
-    const double a = static_cast<double>(raw);
-    return a == d ? tie : (a < d ? -1 : 1);
-  };
-  switch (op) {
-    case ScalarOp::kEq:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) == 0; }, sel);
-    case ScalarOp::kNe:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) != 0; }, sel);
-    case ScalarOp::kLt:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) < 0; }, sel);
-    case ScalarOp::kLe:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) <= 0; }, sel);
-    case ScalarOp::kGt:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) > 0; }, sel);
-    case ScalarOp::kGe:
-      return ScanTyped(
-          v, begin, end, [&](SrcT a) { return cmp_of(a) >= 0; }, sel);
-    default:
-      break;
+  const CmpRel rel = ResolveRel(op, tie);
+  if constexpr (std::is_same_v<SrcT, double>) {
+    SimdScanFloat64(v, begin, end, rel, d, sel);
+  } else {
+    if (rel == CmpRel::kNever) return;
+    for (size_t i = begin; i < end; ++i) {
+      if (RelHoldsFloat64(rel, static_cast<double>(v[i]), d)) {
+        sel->push_back(static_cast<uint32_t>(i));
+      }
+    }
   }
 }
 
@@ -667,6 +687,650 @@ std::optional<Relation> TryColumnarJoin(const RelationView& lhs,
   // FromTuples canonicalizes (sort + dedup), so any production order across
   // morsels yields the same relation the row join builds.
   return Relation::FromTuples(lhs.arity() + rhs.arity(), std::move(out));
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vectorized aggregation
+// ---------------------------------------------------------------------------
+
+// How the accumulation loop is specialized. Only modes that reproduce the
+// row kernel bit-for-bit are ever selected: float sums are excluded
+// outright (their accumulation order is observable), integer sums wrap in
+// uint64 exactly like the scalar kernel, and min/max are associative
+// under Value's total order, so morsel partials merge exactly.
+enum class AggAccMode : uint8_t {
+  kCount,         // only group membership matters
+  kSumInt,        // int64-encoded column, wrap-exact uint64 accumulation
+  kMinMaxInt,     // int64-encoded column extrema
+  kMinMaxDouble,  // float64-encoded column extrema
+  kMinMaxValue,   // Value::Compare extrema via base row positions
+                  // (generic column; never runs with overlay adds)
+};
+
+// One group's partial state — a 24-byte POD so a 100k-group table stays
+// cache-resident (an earlier layout carried two boxed Values per slot and
+// the probe loop drowned in misses). Which union arm is live depends on
+// the mode; count doubles as the min/max seed flag, mirroring the row
+// kernel's Acc (the group's first tuple seeds, later tuples update
+// strictly). kMinMaxValue tracks the extremum as a *base row position*
+// rather than a Value — sound because that mode never runs with overlay
+// adds, so every candidate lives in the base tuple vector.
+struct GroupAcc {
+  int64_t count = 0;
+  union {
+    uint64_t sum = 0;
+    struct {
+      int64_t min_i, max_i;
+    } i;
+    struct {
+      double min_d, max_d;
+    } d;
+    struct {
+      uint32_t min_row, max_row;
+    } r;
+  } u;
+};
+
+inline void AccInt(GroupAcc* a, AggAccMode mode, int64_t v) {
+  if (mode == AggAccMode::kSumInt) {
+    a->u.sum += static_cast<uint64_t>(v);
+  } else if (a->count == 0) {
+    a->u.i.min_i = v;
+    a->u.i.max_i = v;
+  } else {
+    if (v < a->u.i.min_i) a->u.i.min_i = v;
+    if (v > a->u.i.max_i) a->u.i.max_i = v;
+  }
+  ++a->count;
+}
+
+inline void AccDouble(GroupAcc* a, double v) {
+  if (a->count == 0) {
+    a->u.d.min_d = v;
+    a->u.d.max_d = v;
+  } else {
+    if (v < a->u.d.min_d) a->u.d.min_d = v;
+    if (v > a->u.d.max_d) a->u.d.max_d = v;
+  }
+  ++a->count;
+}
+
+inline void AccValueRow(GroupAcc* a, const std::vector<Tuple>& tuples,
+                        size_t agg_column, size_t row) {
+  if (a->count == 0) {
+    a->u.r.min_row = static_cast<uint32_t>(row);
+    a->u.r.max_row = static_cast<uint32_t>(row);
+  } else {
+    const Value& v = tuples[row][agg_column];
+    if (v.Compare(tuples[a->u.r.min_row][agg_column]) < 0) {
+      a->u.r.min_row = static_cast<uint32_t>(row);
+    }
+    if (v.Compare(tuples[a->u.r.max_row][agg_column]) > 0) {
+      a->u.r.max_row = static_cast<uint32_t>(row);
+    }
+  }
+  ++a->count;
+}
+
+/// Folds one row into `a` for the given mode, reading the agg column from
+/// the typed batch arrays (or the base tuple for the generic mode).
+inline void AccRow(GroupAcc* a, AggAccMode mode, const ColumnBatch& batch,
+                   const std::vector<Tuple>& tuples, size_t agg_column,
+                   size_t row) {
+  switch (mode) {
+    case AggAccMode::kCount:
+      ++a->count;
+      return;
+    case AggAccMode::kSumInt:
+    case AggAccMode::kMinMaxInt:
+      AccInt(a, mode, batch.ints(agg_column)[row]);
+      return;
+    case AggAccMode::kMinMaxDouble:
+      AccDouble(a, batch.doubles(agg_column)[row]);
+      return;
+    case AggAccMode::kMinMaxValue:
+      AccValueRow(a, tuples, agg_column, row);
+      return;
+  }
+}
+
+/// Folds one overlay-add value into `a`. The engagement gates guarantee
+/// the value's family matches the mode (kSumInt/kMinMaxInt see ints,
+/// kMinMaxDouble sees doubles, kMinMaxValue never sees adds at all —
+/// its accumulators hold base row positions, which adds don't have).
+inline void AccAddValue(GroupAcc* a, AggAccMode mode, const Value& v) {
+  switch (mode) {
+    case AggAccMode::kCount:
+      ++a->count;
+      return;
+    case AggAccMode::kSumInt:
+    case AggAccMode::kMinMaxInt:
+      AccInt(a, mode, v.AsInt());
+      return;
+    case AggAccMode::kMinMaxDouble:
+      AccDouble(a, v.AsDouble());
+      return;
+    case AggAccMode::kMinMaxValue:
+      return;  // unreachable: gated out before the scan
+  }
+}
+
+/// Merges a later partial into an earlier one. Partials are merged in
+/// morsel (= base position) order, so strict min/max updates keep the
+/// earliest representative exactly like the row kernel's seeded strict
+/// compares.
+void MergeAcc(GroupAcc* dst, const GroupAcc& src, AggAccMode mode,
+              const std::vector<Tuple>& tuples, size_t agg_column) {
+  if (src.count == 0) return;
+  if (dst->count == 0) {
+    *dst = src;
+    return;
+  }
+  dst->count += src.count;
+  switch (mode) {
+    case AggAccMode::kCount:
+      return;
+    case AggAccMode::kSumInt:
+      dst->u.sum += src.u.sum;
+      return;
+    case AggAccMode::kMinMaxInt:
+      if (src.u.i.min_i < dst->u.i.min_i) dst->u.i.min_i = src.u.i.min_i;
+      if (src.u.i.max_i > dst->u.i.max_i) dst->u.i.max_i = src.u.i.max_i;
+      return;
+    case AggAccMode::kMinMaxDouble:
+      if (src.u.d.min_d < dst->u.d.min_d) dst->u.d.min_d = src.u.d.min_d;
+      if (src.u.d.max_d > dst->u.d.max_d) dst->u.d.max_d = src.u.d.max_d;
+      return;
+    case AggAccMode::kMinMaxValue:
+      if (tuples[src.u.r.min_row][agg_column].Compare(
+              tuples[dst->u.r.min_row][agg_column]) < 0) {
+        dst->u.r.min_row = src.u.r.min_row;
+      }
+      if (tuples[src.u.r.max_row][agg_column].Compare(
+              tuples[dst->u.r.max_row][agg_column]) > 0) {
+        dst->u.r.max_row = src.u.r.max_row;
+      }
+      return;
+  }
+}
+
+Value FinalizeAcc(const GroupAcc& a, AggFunc func, AggAccMode mode,
+                  const std::vector<Tuple>& tuples, size_t agg_column) {
+  switch (func) {
+    case AggFunc::kCount:
+      return Value::Int(a.count);
+    case AggFunc::kSum:
+      // kSumInt is the only sum mode, and its gates guarantee every
+      // summand was an int, so the row kernel's any_number/any_double
+      // branches collapse to the int case.
+      return Value::Int(static_cast<int64_t>(a.u.sum));
+    case AggFunc::kMin:
+      switch (mode) {
+        case AggAccMode::kMinMaxInt:
+          return Value::Int(a.u.i.min_i);
+        case AggAccMode::kMinMaxDouble:
+          return Value::Double(a.u.d.min_d);
+        default:
+          return tuples[a.u.r.min_row][agg_column];
+      }
+    case AggFunc::kMax:
+      switch (mode) {
+        case AggAccMode::kMinMaxInt:
+          return Value::Int(a.u.i.max_i);
+        case AggAccMode::kMinMaxDouble:
+          return Value::Double(a.u.d.max_d);
+        default:
+          return tuples[a.u.r.max_row][agg_column];
+      }
+  }
+  return Value::Nul();
+}
+
+// Group keys wider than this go through the generic tuple-keyed table.
+constexpr size_t kMaxTypedKeyWidth = 4;
+
+/// Open-addressing hash table on packed int64 group keys: keys live in one
+/// contiguous array (key_width words per slot), linear probing, grow at
+/// 70% load. This is the flat group table of the typed aggregation path —
+/// no per-key allocation, no Value boxing on the probe loop.
+class FlatGroupTable {
+ public:
+  explicit FlatGroupTable(size_t key_width)
+      : k_(key_width == 0 ? 1 : key_width) {}
+
+  GroupAcc* FindOrInsert(const int64_t* key) {
+    if (size_ * 10 >= cap_ * 7) Grow();
+    size_t slot = static_cast<size_t>(Hash(key)) & mask_;
+    for (;;) {
+      if (used_[slot] == 0) {
+        used_[slot] = 1;
+        std::copy(key, key + k_, keys_.begin() + slot * k_);
+        ++size_;
+        return &accs_[slot];
+      }
+      if (std::equal(key, key + k_, keys_.begin() + slot * k_)) {
+        return &accs_[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (size_t s = 0; s < cap_; ++s) {
+      if (used_[s] != 0) fn(&keys_[s * k_], &accs_[s]);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  // splitmix64 finalizer, word-combined across the packed key.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t Hash(const int64_t* key) const {
+    uint64_t h = 0;
+    for (size_t i = 0; i < k_; ++i) h = Mix(h ^ static_cast<uint64_t>(key[i]));
+    return h;
+  }
+
+  void Grow() {
+    const size_t ncap = cap_ == 0 ? 64 : cap_ * 2;
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    std::vector<GroupAcc> old_accs = std::move(accs_);
+    const size_t old_cap = cap_;
+    cap_ = ncap;
+    mask_ = ncap - 1;
+    keys_.assign(ncap * k_, 0);
+    used_.assign(ncap, 0);
+    accs_.assign(ncap, GroupAcc());
+    size_ = 0;
+    for (size_t s = 0; s < old_cap; ++s) {
+      if (old_used[s] == 0) continue;
+      GroupAcc* a = FindOrInsert(&old_keys[s * k_]);
+      *a = std::move(old_accs[s]);
+    }
+  }
+
+  size_t k_;
+  size_t cap_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  std::vector<int64_t> keys_;
+  std::vector<uint8_t> used_;
+  std::vector<GroupAcc> accs_;
+};
+
+/// The global-aggregate (no group columns) morsel body: reduces the
+/// del-free segments of [mb, me) with the SIMD kernels where the mode is
+/// typed, so a whole segment folds at vector width instead of per row.
+void ReduceGlobalMorsel(const ColumnBatch& batch,
+                        const std::vector<Tuple>& tuples, size_t agg_column,
+                        AggAccMode mode, size_t mb, size_t me,
+                        const std::vector<uint32_t>& del_pos, GroupAcc* acc) {
+  auto seg_begin = std::lower_bound(del_pos.begin(), del_pos.end(),
+                                    static_cast<uint32_t>(mb));
+  size_t b = mb;
+  auto reduce = [&](size_t sb, size_t se) {
+    if (se <= sb) return;
+    const size_t n = se - sb;
+    switch (mode) {
+      case AggAccMode::kCount:
+        acc->count += static_cast<int64_t>(n);
+        return;
+      case AggAccMode::kSumInt: {
+        const int64_t* v = batch.ints(agg_column) + sb;
+        acc->u.sum += static_cast<uint64_t>(SimdSumInt64(v, n));
+        acc->count += static_cast<int64_t>(n);
+        return;
+      }
+      case AggAccMode::kMinMaxInt: {
+        const int64_t* v = batch.ints(agg_column) + sb;
+        if (acc->count == 0) {
+          acc->u.i.min_i = v[0];
+          acc->u.i.max_i = v[0];
+        }
+        SimdMinMaxInt64(v, n, &acc->u.i.min_i, &acc->u.i.max_i);
+        acc->count += static_cast<int64_t>(n);
+        return;
+      }
+      case AggAccMode::kMinMaxDouble: {
+        const double* v = batch.doubles(agg_column) + sb;
+        if (acc->count == 0) {
+          acc->u.d.min_d = v[0];
+          acc->u.d.max_d = v[0];
+        }
+        SimdMinMaxFloat64(v, n, &acc->u.d.min_d, &acc->u.d.max_d);
+        acc->count += static_cast<int64_t>(n);
+        return;
+      }
+      case AggAccMode::kMinMaxValue:
+        for (size_t i = sb; i < se; ++i) {
+          AccValueRow(acc, tuples, agg_column, i);
+        }
+        return;
+    }
+  };
+  for (auto dp = seg_begin; dp != del_pos.end() && *dp < me; ++dp) {
+    reduce(b, *dp);
+    b = *dp + 1;
+  }
+  reduce(b, me);
+}
+
+}  // namespace
+
+std::optional<Relation> TryColumnarAggregate(
+    const RelationView& input, const std::vector<size_t>& group_columns,
+    AggFunc func, size_t agg_column, const ColumnarConfig& config) {
+  if (!config.enabled()) return std::nullopt;
+  const size_t arity = input.arity();
+  if (agg_column >= arity) return std::nullopt;
+  for (size_t c : group_columns) {
+    if (c >= arity) return std::nullopt;
+  }
+  const RelationPtr& base = input.base();
+  const size_t base_rows = base->size();
+  if (base_rows < config.min_rows) return std::nullopt;
+  if (OverlayTooLarge(input, config)) return std::nullopt;
+
+  ExecGovernor* gov = CurrentGovernor();
+  ColumnBatchPtr batch = base->ColumnarBatch();
+  if (gov != nullptr && gov->tripped()) return std::nullopt;
+
+  // Pick the accumulation mode from the column encoding, then let the
+  // overlay adds veto it: a non-int summand rules out the wrap-exact
+  // integer sum, and min/max in the boxed Value mode never run with adds
+  // at all — the row kernel interleaves adds in sorted order, so a
+  // Compare-equal-but-distinct pair (Int(2) vs Double(2.0)) could seed a
+  // different representative than folding adds after the base.
+  AggAccMode mode;
+  switch (func) {
+    case AggFunc::kCount:
+      mode = AggAccMode::kCount;
+      break;
+    case AggFunc::kSum:
+      if (batch->encoding(agg_column) != ColumnEncoding::kInt64) {
+        return std::nullopt;
+      }
+      mode = AggAccMode::kSumInt;
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      switch (batch->encoding(agg_column)) {
+        case ColumnEncoding::kInt64:
+          mode = AggAccMode::kMinMaxInt;
+          break;
+        case ColumnEncoding::kFloat64:
+          mode = AggAccMode::kMinMaxDouble;
+          break;
+        default:
+          mode = AggAccMode::kMinMaxValue;
+          break;
+      }
+      break;
+    default:
+      return std::nullopt;
+  }
+  const size_t key_width = group_columns.size();
+  bool typed_keys = key_width >= 1 && key_width <= kMaxTypedKeyWidth;
+  if (typed_keys) {
+    for (size_t c : group_columns) {
+      typed_keys = typed_keys && batch->encoding(c) == ColumnEncoding::kInt64;
+    }
+  }
+  if (mode == AggAccMode::kMinMaxValue && !input.adds().empty()) {
+    return std::nullopt;
+  }
+  for (const Tuple& a : input.adds()) {
+    if (typed_keys) {
+      for (size_t c : group_columns) {
+        if (!a[c].is_int()) {
+          typed_keys = false;
+          break;
+        }
+      }
+    }
+    const Value& v = a[agg_column];
+    switch (mode) {
+      case AggAccMode::kSumInt:
+        if (!v.is_int()) return std::nullopt;
+        break;
+      case AggAccMode::kMinMaxInt:
+        if (!v.is_int()) return std::nullopt;
+        break;
+      case AggAccMode::kMinMaxDouble:
+        if (!v.is_double()) return std::nullopt;
+        break;
+      default:
+        break;
+    }
+  }
+
+  TraceSpan span("columnar-aggregate", input.size());
+  const std::vector<Tuple>& tuples = base->tuples();
+  const std::vector<uint32_t> del_pos = DelPositions(*base, input.dels());
+  const size_t morsel_rows = std::max<size_t>(config.morsel_rows, 1);
+  const size_t num_morsels = (base_rows + morsel_rows - 1) / morsel_rows;
+  std::atomic<bool> stop{false};
+  const bool global = group_columns.empty();
+
+  // Dense direct-index fast path: a single int64 group key whose observed
+  // range (base plus adds) is small indexes an accumulator array directly
+  // — no hashing, no per-morsel partials, and groups emit already in
+  // canonical key order. This is the high-cardinality regime where the
+  // hash table's random probes dominate the scan.
+  size_t dense_range = 0;
+  int64_t dense_min = 0;
+  if (!global && typed_keys && key_width == 1) {
+    const int64_t* keys = batch->ints(group_columns[0]);
+    int64_t kmin = keys[0];
+    int64_t kmax = keys[0];
+    SimdMinMaxInt64(keys, base_rows, &kmin, &kmax);
+    for (const Tuple& a : input.adds()) {
+      const int64_t k = a[group_columns[0]].AsInt();
+      if (k < kmin) kmin = k;
+      if (k > kmax) kmax = k;
+    }
+    const uint64_t span_words =
+        static_cast<uint64_t>(kmax) - static_cast<uint64_t>(kmin);
+    if (span_words < (1u << 20) &&
+        span_words < 4 * static_cast<uint64_t>(base_rows)) {
+      dense_range = static_cast<size_t>(span_words) + 1;
+      dense_min = kmin;
+    }
+  }
+
+  std::vector<Tuple> out;
+  ExecContext& ctx = AmbientExecContext();
+  auto emit = [&](Tuple&& key, const GroupAcc& acc) -> bool {
+    if (gov != nullptr && !gov->ChargeTuples(1)) return false;
+    key.push_back(FinalizeAcc(acc, func, mode, tuples, agg_column));
+    out.push_back(std::move(key));
+    return true;
+  };
+
+  if (dense_range != 0) {
+    const int64_t* keys = batch->ints(group_columns[0]);
+    std::vector<GroupAcc> accs(dense_range);
+    auto dp = del_pos.begin();
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const size_t mb = m * morsel_rows;
+      const size_t me = std::min(base_rows, mb + morsel_rows);
+      if (gov != nullptr && !gov->Tick(me - mb)) break;
+      for (size_t i = mb; i < me; ++i) {
+        if (dp != del_pos.end() && *dp == i) {
+          ++dp;
+          continue;
+        }
+        const size_t slot = static_cast<size_t>(
+            static_cast<uint64_t>(keys[i]) - static_cast<uint64_t>(dense_min));
+        AccRow(&accs[slot], mode, *batch, tuples, agg_column, i);
+      }
+    }
+    for (const Tuple& a : input.adds()) {
+      const size_t slot =
+          static_cast<size_t>(static_cast<uint64_t>(a[group_columns[0]].AsInt()) -
+                              static_cast<uint64_t>(dense_min));
+      AccAddValue(&accs[slot], mode, a[agg_column]);
+    }
+    for (size_t s = 0; s < dense_range; ++s) {
+      if (accs[s].count == 0) continue;
+      Tuple row;
+      row.reserve(2);
+      row.push_back(Value::Int(dense_min + static_cast<int64_t>(s)));
+      if (!emit(std::move(row), accs[s])) break;
+    }
+    ctx.AddColumnarMorselsDispatched(num_morsels);
+    ctx.AddColumnarAggRowsVectorized(base_rows);
+    ctx.AddColumnarAggGroups(out.size());
+    span.set_rows_out(out.size());
+    // Ascending dense slots are already canonical order; FromTuples just
+    // verifies it (group keys are unique, so the dedup is a no-op).
+    return Relation::FromTuples(group_columns.size() + 1, std::move(out));
+  }
+
+  // Per-morsel partial tables, merged below in morsel order so strict
+  // min/max updates see base rows in position order.
+  std::vector<FlatGroupTable> typed_partials;
+  std::vector<std::unordered_map<Tuple, GroupAcc, TupleHash>> generic_partials;
+  std::vector<GroupAcc> global_partials;
+  if (global) {
+    global_partials.resize(num_morsels);
+  } else if (typed_keys) {
+    typed_partials.assign(num_morsels, FlatGroupTable(key_width));
+  } else {
+    generic_partials.resize(num_morsels);
+  }
+
+  MorselParallelFor(num_morsels, config.threads, [&](size_t m) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    const size_t mb = m * morsel_rows;
+    const size_t me = std::min(base_rows, mb + morsel_rows);
+    if (gov != nullptr && !gov->Tick(me - mb)) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (global) {
+      ReduceGlobalMorsel(*batch, tuples, agg_column, mode, mb, me, del_pos,
+                         &global_partials[m]);
+      return;
+    }
+    auto dp = std::lower_bound(del_pos.begin(), del_pos.end(),
+                               static_cast<uint32_t>(mb));
+    auto deleted = [&dp, &del_pos](size_t i) {
+      while (dp != del_pos.end() && *dp < i) ++dp;
+      if (dp != del_pos.end() && *dp == i) {
+        ++dp;
+        return true;
+      }
+      return false;
+    };
+    if (typed_keys) {
+      const int64_t* key_cols[kMaxTypedKeyWidth] = {nullptr};
+      for (size_t k = 0; k < key_width; ++k) {
+        key_cols[k] = batch->ints(group_columns[k]);
+      }
+      FlatGroupTable& table = typed_partials[m];
+      int64_t key[kMaxTypedKeyWidth];
+      for (size_t i = mb; i < me; ++i) {
+        if (deleted(i)) continue;
+        for (size_t k = 0; k < key_width; ++k) key[k] = key_cols[k][i];
+        AccRow(table.FindOrInsert(key), mode, *batch, tuples, agg_column, i);
+      }
+    } else {
+      std::unordered_map<Tuple, GroupAcc, TupleHash>& table =
+          generic_partials[m];
+      for (size_t i = mb; i < me; ++i) {
+        if (deleted(i)) continue;
+        const Tuple& t = tuples[i];
+        Tuple key;
+        key.reserve(key_width);
+        for (size_t c : group_columns) key.push_back(t[c]);
+        AccRow(&table[std::move(key)], mode, *batch, tuples, agg_column, i);
+      }
+    }
+  });
+
+  // Merge phase: fold partials in morsel order, then the overlay adds
+  // (sorted, disjoint from the base) row-wise.
+  if (global) {
+    GroupAcc total;
+    for (GroupAcc& p : global_partials) {
+      MergeAcc(&total, p, mode, tuples, agg_column);
+    }
+    for (const Tuple& a : input.adds()) {
+      AccAddValue(&total, mode, a[agg_column]);
+    }
+    if (total.count > 0) emit(Tuple(), total);
+  } else if (typed_keys) {
+    FlatGroupTable merged(key_width);
+    for (FlatGroupTable& p : typed_partials) {
+      p.ForEach([&](const int64_t* key, GroupAcc* acc) {
+        MergeAcc(merged.FindOrInsert(key), *acc, mode, tuples, agg_column);
+      });
+    }
+    for (const Tuple& a : input.adds()) {
+      int64_t key[kMaxTypedKeyWidth];
+      for (size_t k = 0; k < key_width; ++k) key[k] = a[group_columns[k]].AsInt();
+      AccAddValue(merged.FindOrInsert(key), mode, a[agg_column]);
+    }
+    out.reserve(merged.size());
+    bool keep_going = true;
+    merged.ForEach([&](const int64_t* key, GroupAcc* acc) {
+      if (!keep_going) return;
+      Tuple row;
+      row.reserve(key_width + 1);
+      for (size_t k = 0; k < key_width; ++k) row.push_back(Value::Int(key[k]));
+      keep_going = emit(std::move(row), *acc);
+    });
+  } else {
+    std::unordered_map<Tuple, GroupAcc, TupleHash> merged;
+    for (auto& p : generic_partials) {
+      for (auto& [key, acc] : p) {
+        MergeAcc(&merged[key], acc, mode, tuples, agg_column);
+      }
+    }
+    for (const Tuple& a : input.adds()) {
+      Tuple key;
+      key.reserve(key_width);
+      for (size_t c : group_columns) key.push_back(a[c]);
+      AccAddValue(&merged[std::move(key)], mode, a[agg_column]);
+    }
+    out.reserve(merged.size());
+    for (auto& [key, acc] : merged) {
+      Tuple row = key;
+      if (!emit(std::move(row), acc)) break;
+    }
+  }
+  ctx.AddColumnarMorselsDispatched(num_morsels);
+  ctx.AddColumnarAggRowsVectorized(base_rows);
+  ctx.AddColumnarAggGroups(out.size());
+  span.set_rows_out(out.size());
+  // FromTuples canonicalizes (sort + dedup; group keys are unique, so the
+  // dedup is a no-op), matching the row kernel's output order exactly.
+  return Relation::FromTuples(group_columns.size() + 1, std::move(out));
+}
+
+Relation VectorizedAggregate(const RelationView& input,
+                             const std::vector<size_t>& group_columns,
+                             AggFunc func, size_t agg_column,
+                             const ColumnarConfig& columnar) {
+  std::optional<Relation> col =
+      TryColumnarAggregate(input, group_columns, func, agg_column, columnar);
+  if (col.has_value()) return *std::move(col);
+  if (columnar.enabled()) {
+    AmbientExecContext().AddColumnarRowsFallback(input.size());
+  }
+  return AggregateRelation(input, group_columns, func, agg_column);
 }
 
 Relation VectorizedFilter(const RelationView& input, const ScalarExprPtr& pred,

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "ast/query.h"
 #include "ast/scalar_expr.h"
 #include "storage/column_batch.h"
 #include "storage/index.h"
@@ -89,6 +90,33 @@ std::optional<Relation> TryColumnarJoin(const RelationView& lhs,
                                         const RelationView& rhs,
                                         const ScalarExprPtr& pred,
                                         const ColumnarConfig& config);
+
+/// gamma_{group_columns; func(agg_column)}(input) over the base's column
+/// batch: group keys are extracted from the typed arrays into a flat
+/// open-addressing table on int64/packed-int64 keys (generic tuple-keyed
+/// fallback), with type-specialized count/sum/min/max accumulation loops,
+/// morsel-driven partial aggregation, and a merge phase; overlay adds are
+/// folded in row-wise after the base merge. Returns nullopt when the
+/// config, base size, or overlay size rules vectorization out, and also
+/// when exactness would be at risk: float sums are order-sensitive, so
+/// kSum only vectorizes int64-encoded columns whose overlay adds are all
+/// ints (the row kernel's accumulation is then reproduced bit-for-bit),
+/// and min/max over mixed-type columns (or off-family adds) falls back
+/// whenever adds exist, because the row kernel's sorted interleaving can
+/// seed a different Compare-equal representative (Int(2) vs Double(2.0)).
+/// An empty group-column list is the global-aggregate fast path, reduced
+/// with the SIMD kernels from eval/simd.h.
+std::optional<Relation> TryColumnarAggregate(
+    const RelationView& input, const std::vector<size_t>& group_columns,
+    AggFunc func, size_t agg_column, const ColumnarConfig& config);
+
+/// The routed aggregation kernel: columnar when it qualifies, then the row
+/// kernel; always equals AggregateRelation(input, group_columns, func,
+/// agg_column).
+Relation VectorizedAggregate(const RelationView& input,
+                             const std::vector<size_t>& group_columns,
+                             AggFunc func, size_t agg_column,
+                             const ColumnarConfig& columnar);
 
 /// The routed selection kernel: index probe, then columnar scan, then the
 /// row scan — first taker wins; always equals FilterRelation(input, *pred).

@@ -216,6 +216,32 @@ bool CardinalityEstimator::ColumnarScanWins(const std::string& rel_name,
          EstimateScanCost(rel_name);
 }
 
+double CardinalityEstimator::EstimateColumnarAggCost(
+    const std::string& rel_name, size_t morsel_rows) const {
+  // Same dispatch setup as the columnar scan; the per-row work (packed
+  // int64 key extract, flat-table probe, typed accumulate) runs at about
+  // half the row kernel's per-tuple cost — heavier than a selection's
+  // compare-and-emit because every row probes the group table.
+  constexpr double kMorselSetup = 32.0;
+  constexpr double kVectorizedAggRowFraction = 0.5;
+  double card = static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+  double rows_per_morsel =
+      morsel_rows > 0 ? static_cast<double>(morsel_rows) : 1.0;
+  double morsels = std::ceil(card / rows_per_morsel);
+  return morsels * kMorselSetup + card * kVectorizedAggRowFraction;
+}
+
+bool CardinalityEstimator::ColumnarAggWins(const std::string& rel_name,
+                                           size_t min_rows,
+                                           size_t morsel_rows) const {
+  double card = static_cast<double>(stats_->CardinalityOf(
+      rel_name, static_cast<uint64_t>(kUnknownCardinality)));
+  if (card < static_cast<double>(min_rows)) return false;
+  return EstimateColumnarAggCost(rel_name, morsel_rows) <
+         EstimateScanCost(rel_name);
+}
+
 double CardinalityEstimator::EstimateIncrementalCost(
     const QueryPtr& query, double edit_tuples) const {
   if (query == nullptr) return 0.0;
@@ -258,6 +284,16 @@ double CardinalityEstimator::EstimateIncrementalCost(
       return cost + EstimateIncrementalCost(query->left(), edit_tuples) +
              EstimateIncrementalCost(query->right(), edit_tuples);
     case QueryKind::kAggregate:
+      // Sum/count patch group-wise: re-accumulate the affected groups with
+      // one discounted pass over the child (the same shape as projection's
+      // support scan). Min/max may need evidence the old extremum still
+      // exists after a deletion, so they stay recompute-only.
+      if (query->agg_func() == AggFunc::kSum ||
+          query->agg_func() == AggFunc::kCount) {
+        cost += kSiblingTouchFraction * EstimateQuery(query->left());
+        return cost + EstimateIncrementalCost(query->left(), edit_tuples);
+      }
+      return std::numeric_limits<double>::infinity();
     case QueryKind::kWhen:
       // Not incrementally maintainable: make the patch alternative lose
       // every cost comparison so the planner recomputes.

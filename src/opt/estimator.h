@@ -83,6 +83,19 @@ class CardinalityEstimator {
   bool ColumnarScanWins(const std::string& rel_name, size_t min_rows,
                         size_t morsel_rows) const;
 
+  /// Cost of the vectorized hash aggregation over `rel_name`: per-morsel
+  /// dispatch setup plus a per-row charge for the typed key-extract /
+  /// accumulate loop, discounted against the row kernel's per-tuple Value
+  /// hashing (vector_exec's TryColumnarAggregate).
+  double EstimateColumnarAggCost(const std::string& rel_name,
+                                 size_t morsel_rows) const;
+
+  /// True when the vectorized aggregation is estimated cheaper than the
+  /// row aggregate of `rel_name`, mirroring the executor's `min_rows`
+  /// engagement gate.
+  bool ColumnarAggWins(const std::string& rel_name, size_t min_rows,
+                       size_t morsel_rows) const;
+
   /// Cost of patching a cached result of `query` through the incremental
   /// delta rules (eval/incremental.h) for a leaf edit of `edit_tuples`
   /// tuples: every operator handles ~the edit, and the operators that must

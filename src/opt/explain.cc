@@ -69,6 +69,12 @@ std::string FormatExecCounters(const ExecStats& stats) {
       static_cast<unsigned long long>(stats.columnar_rows_vectorized),
       static_cast<unsigned long long>(stats.columnar_rows_fallback));
   out += StrFormat(
+      "vectorized: agg %llu rows into %llu groups; %llu when-deltas "
+      "routed columnar\n",
+      static_cast<unsigned long long>(stats.columnar_agg_rows_vectorized),
+      static_cast<unsigned long long>(stats.columnar_agg_groups),
+      static_cast<unsigned long long>(stats.columnar_when_routed));
+  out += StrFormat(
       "incremental: %llu results patched, %llu edit tuples propagated, "
       "%llu fallbacks\n",
       static_cast<unsigned long long>(stats.incremental_results_patched),

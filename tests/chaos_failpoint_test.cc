@@ -212,6 +212,74 @@ TEST(ChaosFailPointTest, ColumnarDegradesCleanlyUnderBatchBuildFailure) {
   DisarmAllFailPoints();
 }
 
+// Vectorized aggregation under injection: the same arming as above, but on
+// an aggregate-over-when plan so the batch-build fire lands inside the
+// columnar-aggregate route (TryColumnarAggregate). Degradation must reach
+// the row aggregate bit-identically or fail with a clean governed error.
+TEST(ChaosFailPointTest, ColumnarAggregateDegradesCleanlyUnderBatchBuildFailure) {
+  DisarmAllFailPoints();
+  Database db = ChaosDb();
+  HypoExprPtr state =
+      Upd(Seq(Del("R", Sel(Lt(Col(0), Int(40)), Rel("R"))),
+              Ins("R", Single(hql::testing::IntRow({3, 9})))));
+  QueryPtr query =
+      When(Agg({0}, AggFunc::kSum, 1, Sel(Ge(Col(0), Int(2)), Rel("R"))),
+           state);
+
+  auto run = [&](Strategy strategy, ColumnarMode mode) {
+    PlannerOptions options;
+    options.columnar_mode = mode;
+    options.columnar_min_rows = 1;
+    options.columnar_morsel_rows = 64;
+    options.columnar_threads = 1;
+    options.cancel_token = std::make_shared<CancelToken>();
+    Result<Relation> result =
+        Execute(query, db, db.schema(), strategy, options);
+    Outcome out;
+    out.ok = result.ok();
+    if (result.ok()) {
+      out.relation = std::move(result).value();
+    } else {
+      out.code = result.status().code();
+      out.message = result.status().message();
+    }
+    return out;
+  };
+
+  const std::vector<FailPointSpec> specs = {
+      FailPointSpec::AfterN(0, StatusCode::kResourceExhausted),
+      FailPointSpec::AfterN(1, StatusCode::kCancelled),
+      FailPointSpec::Probability(0.9, 7, StatusCode::kResourceExhausted),
+  };
+
+  for (Strategy strategy : kAllStrategies) {
+    Outcome reference = run(strategy, ColumnarMode::kOff);
+    ASSERT_TRUE(reference.ok)
+        << StrategyName(strategy) << ": " << reference.Describe();
+    Outcome columnar = run(strategy, ColumnarMode::kAuto);
+    ASSERT_TRUE(columnar.ok)
+        << StrategyName(strategy) << ": " << columnar.Describe();
+    EXPECT_EQ(columnar.relation, reference.relation)
+        << StrategyName(strategy);
+
+    for (size_t si = 0; si < specs.size(); ++si) {
+      std::string label = std::string(StrategyName(strategy)) + "/spec" +
+                          std::to_string(si);
+      ArmFailPoint(kFailPointColumnBatchBuild, specs[si]);
+      Outcome armed = run(strategy, ColumnarMode::kAuto);
+      DisarmFailPoint(kFailPointColumnBatchBuild);
+      if (armed.ok) {
+        EXPECT_EQ(armed.relation, reference.relation) << label;
+      } else {
+        EXPECT_TRUE(armed.code == StatusCode::kCancelled ||
+                    armed.code == StatusCode::kResourceExhausted)
+            << label << ": " << armed.Describe();
+      }
+    }
+  }
+  DisarmAllFailPoints();
+}
+
 // Incremental patching under injection: warm the incremental cache on a
 // base state, edit it by a small overlay delta, then arm the memo.patch
 // site and re-execute. Every strategy must either return the bit-identical

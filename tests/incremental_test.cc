@@ -253,6 +253,113 @@ TEST(IncrementalPropertyTest, OffModeRecordsNothing) {
 // ---------------------------------------------------------------------------
 // Delta-route product rewrite (hybrid-delta gap regression).
 // ---------------------------------------------------------------------------
+// Aggregate patching (sum/count group-wise; min/max recompute-only).
+// ---------------------------------------------------------------------------
+
+// A one-tuple edit against a warm sum-aggregate entry patches group-wise:
+// only the touched group's row changes, the counters report a patch, and
+// the result is bit-identical to a from-scratch direct evaluation.
+TEST(IncrementalAggregateTest, SumAndCountPatchGroupWise) {
+  for (AggFunc func : {AggFunc::kSum, AggFunc::kCount}) {
+    Database db = PropertyDb(46);
+    QueryPtr query =
+        Agg({0}, func, 1, Sel(Ge(Col(1), Int(5)), Rel("R")));
+    IncrementalCache cache;
+
+    PlannerOptions options;
+    options.incremental_mode = IncrementalMode::kAuto;
+    options.incremental_cache = &cache;
+
+    ASSERT_OK(Execute(query, db, db.schema(), Strategy::kLazy, options)
+                  .status());
+    // One insert into group 3 and one targeted delete: both land in the
+    // affected-key re-accumulation.
+    ASSERT_OK_AND_ASSIGN(
+        db, ExecUpdate(Seq(Ins("R", Single(IntRow({3, 99}))),
+                           Del("R", Sel(Eq(Col(0), Int(7)), Rel("R")))),
+                       db));
+
+    ExecContext ctx;
+    ExecContextScope scope(&ctx);
+    ASSERT_OK_AND_ASSIGN(Relation got, Execute(query, db, db.schema(),
+                                               Strategy::kLazy, options));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(query, db));
+    EXPECT_EQ(got, reference) << AggFuncName(func);
+
+    ExecStats stats = ctx.Snapshot();
+    EXPECT_EQ(stats.incremental_results_patched, 1u) << AggFuncName(func);
+    EXPECT_GT(stats.incremental_edits_propagated, 0u) << AggFuncName(func);
+    EXPECT_EQ(stats.incremental_fallbacks, 0u) << AggFuncName(func);
+  }
+}
+
+// Min/max stay recompute-only: a deletion can remove the group's extremum,
+// and the recording keeps no per-group evidence of the runner-up. The warm
+// entry must fall back (counted) and still answer bit-identically.
+TEST(IncrementalAggregateTest, MinMaxFallBackToRecompute) {
+  for (AggFunc func : {AggFunc::kMin, AggFunc::kMax}) {
+    Database db = PropertyDb(47);
+    QueryPtr query = Agg({0}, func, 1, Rel("R"));
+    IncrementalCache cache;
+
+    PlannerOptions options;
+    options.incremental_mode = IncrementalMode::kAuto;
+    options.incremental_cache = &cache;
+
+    ASSERT_OK(Execute(query, db, db.schema(), Strategy::kLazy, options)
+                  .status());
+    ASSERT_OK_AND_ASSIGN(
+        db, ExecUpdate(Del("R", Sel(Eq(Col(0), Int(7)), Rel("R"))), db));
+
+    ExecContext ctx;
+    ExecContextScope scope(&ctx);
+    ASSERT_OK_AND_ASSIGN(Relation got, Execute(query, db, db.schema(),
+                                               Strategy::kLazy, options));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(query, db));
+    EXPECT_EQ(got, reference) << AggFuncName(func);
+
+    ExecStats stats = ctx.Snapshot();
+    EXPECT_EQ(stats.incremental_results_patched, 0u) << AggFuncName(func);
+    EXPECT_EQ(stats.incremental_fallbacks, 1u) << AggFuncName(func);
+  }
+}
+
+// Random edit chain against a sum-aggregate-over-join plan: the group-wise
+// patch rule must stay bit-identical to direct evaluation across inserts,
+// deletes and consolidation boundaries on every strategy.
+TEST(IncrementalAggregateTest, EditChainPatchesAggregates) {
+  Rng rng(20260809);
+  Database db = PropertyDb(48);
+  QueryPtr query = Agg(
+      {0}, AggFunc::kSum, 3,
+      Sel(Ge(Col(1), Int(10)), Join(Eq(Col(0), Col(2)), Rel("R"), Rel("S"))));
+
+  std::vector<std::unique_ptr<IncrementalCache>> caches;
+  for (size_t i = 0; i < std::size(kAllStrategies); ++i) {
+    caches.push_back(std::make_unique<IncrementalCache>());
+  }
+
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
+  constexpr int kSteps = 12;
+  for (int step = 0; step < kSteps; ++step) {
+    ASSERT_OK_AND_ASSIGN(db, RandomEdit(&rng, db, step));
+    ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(query, db));
+    for (size_t si = 0; si < std::size(kAllStrategies); ++si) {
+      Strategy strategy = kAllStrategies[si];
+      PlannerOptions options;
+      options.incremental_mode = IncrementalMode::kAuto;
+      options.incremental_cache = caches[si].get();
+      ASSERT_OK_AND_ASSIGN(Relation got,
+                           Execute(query, db, db.schema(), strategy, options));
+      EXPECT_EQ(got, reference)
+          << "step " << step << " strategy " << StrategyName(strategy);
+    }
+  }
+  EXPECT_GT(ctx.Snapshot().incremental_results_patched, 0u);
+}
+
+// ---------------------------------------------------------------------------
 
 // sigma[$0 = $2](R x S) when {...} on the delta route must run as a join:
 // the block preparation in RunFilter3 now simplifies pure regions before
