@@ -1,0 +1,176 @@
+// hql_stress: phased differential stress & chaos soak over the HQL engine.
+//
+// Every sampled op runs as a differential oracle across all six strategies
+// under randomized mode combinations (columnar / incremental / index /
+// memo), with optional chaos failpoints and randomized governor budgets.
+// The invariant: bit-identical-or-clean-error, never crash or corrupt.
+// Any violation is emitted as a self-contained JSON replay capsule that
+// `hql_stress --replay <capsule>` reproduces deterministically.
+//
+// Examples:
+//   hql_stress --seed=42 --ops=400 --chaos=0.02 --capsule-dir=/tmp
+//   hql_stress --replay=/tmp/hql-capsule-op123-seed42-0.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/driver.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seed=N          RNG seed for the whole run (default 1)\n"
+      "  --ops=N           ops per phase, 5 phases (default 400)\n"
+      "  --chaos=P         failpoint fire probability in the chaos phase\n"
+      "                    (default 0.02; no-op in NDEBUG builds)\n"
+      "  --max-seconds=S   wall-clock bound; stops issuing new ops\n"
+      "  --capsule-dir=D   write replay capsules for failures into D\n"
+      "  --no-shrink       skip greedy minimization of failing sequences\n"
+      "  --keep-going      continue past the first failing op\n"
+      "  --inject-failure  deliberately corrupt one result mid-run (tests\n"
+      "                    the capsule pipeline end to end)\n"
+      "  --replay=FILE     re-execute a replay capsule instead of soaking\n"
+      "  --quiet           suppress per-phase progress\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  return false;
+}
+
+int RunReplay(const std::string& path) {
+  hql::Result<hql::ReplayCapsule> capsule =
+      hql::WorkloadDriver::LoadCapsuleFile(path);
+  if (!capsule.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 capsule.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("capsule: seed=%llu ops=%zu failing-op=%d [%s] strategy=%s\n",
+              static_cast<unsigned long long>(capsule.value().config.seed),
+              capsule.value().included_ops.size(),
+              capsule.value().failure.op_index,
+              capsule.value().failure.kind.c_str(),
+              capsule.value().failure.strategy.c_str());
+  hql::Result<hql::ReplayOutcome> outcome =
+      hql::WorkloadDriver::Replay(capsule.value());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", outcome.value().summary.c_str());
+  if (outcome.value().reproduced) {
+    std::printf("--- recorded failure ---\n%s\n",
+                capsule.value().failure.ToString().c_str());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int ops = 400;
+  double chaos = 0.02;
+  double max_seconds = 0.0;
+  std::string capsule_dir;
+  std::string replay_path;
+  bool shrink = true;
+  bool stop_on_failure = true;
+  bool inject = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--seed", &v) && v != nullptr) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ops", &v) && v != nullptr) {
+      ops = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--chaos", &v) && v != nullptr) {
+      chaos = std::atof(v);
+    } else if (ParseFlag(argv[i], "--max-seconds", &v) && v != nullptr) {
+      max_seconds = std::atof(v);
+    } else if (ParseFlag(argv[i], "--capsule-dir", &v) && v != nullptr) {
+      capsule_dir = v;
+    } else if (ParseFlag(argv[i], "--replay", &v) && v != nullptr) {
+      replay_path = v;
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      shrink = false;
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      stop_on_failure = false;
+    } else if (std::strcmp(argv[i], "--inject-failure") == 0) {
+      inject = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return RunReplay(replay_path);
+  if (ops <= 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  hql::StressConfig config = hql::StressConfig::Mixed(seed, ops, chaos);
+  if (inject) config.inject_mismatch_after = config.TotalOps() / 2;
+
+  hql::DriverOptions options;
+  options.shrink = shrink;
+  options.stop_on_failure = stop_on_failure;
+  options.max_seconds = max_seconds;
+  options.capsule_dir = capsule_dir;
+  if (!quiet) {
+    options.on_phase = [](const hql::PhaseMetrics& m) {
+      std::fprintf(stderr,
+                   "phase %-16s ops=%-6d oracle-runs=%-8llu "
+                   "clean-errors=%-6llu %.2fs\n",
+                   m.label.c_str(), m.ops,
+                   static_cast<unsigned long long>(m.oracle_runs),
+                   static_cast<unsigned long long>(m.clean_errors),
+                   m.seconds);
+    };
+  }
+
+  hql::WorkloadDriver driver(config, options);
+  hql::DriverResult result = driver.Run();
+
+  std::printf(
+      "ops=%d oracle-runs=%llu ok-runs=%llu clean-errors=%llu "
+      "failures=%zu%s in %.2fs\n",
+      result.report.ops_run,
+      static_cast<unsigned long long>(result.report.oracle_runs),
+      static_cast<unsigned long long>(result.report.ok_runs),
+      static_cast<unsigned long long>(result.report.clean_errors),
+      result.report.failures.size(),
+      result.time_limited ? " (time-limited)" : "", result.seconds);
+
+  for (size_t i = 0; i < result.capsules.size(); ++i) {
+    std::printf("--- failure %zu ---\n%s\n", i,
+                result.capsules[i].failure.ToString().c_str());
+    std::printf("shrunk to %zu op(s)\n",
+                result.capsules[i].included_ops.size());
+    if (i < result.capsule_paths.size()) {
+      std::printf("capsule: %s\n", result.capsule_paths[i].c_str());
+    }
+  }
+  return result.ok() ? 0 : 1;
+}

@@ -89,9 +89,11 @@ uint64_t FailPointFireCount(const std::string& site) {
 }
 
 std::vector<std::string> RegisteredFailPointSites() {
-  return {kFailPointTaskEnqueue, kFailPointTupleAppend, kFailPointIndexBuild,
-          kFailPointMemoInsert, kFailPointConsolidate,
-          kFailPointColumnBatchBuild, kFailPointMemoPatch};
+  return {
+#define HQL_FAILPOINT_SITE_NAME(ident, name) name,
+      HQL_FAILPOINT_SITE_LIST(HQL_FAILPOINT_SITE_NAME)
+#undef HQL_FAILPOINT_SITE_NAME
+  };
 }
 
 namespace internal {

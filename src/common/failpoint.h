@@ -27,15 +27,24 @@
 
 namespace hql {
 
-// The site catalog. Tests sweep RegisteredFailPointSites(); the constants
-// keep call sites and tests in sync.
-inline constexpr const char* kFailPointTaskEnqueue = "thread_pool.enqueue";
-inline constexpr const char* kFailPointTupleAppend = "relation.append";
-inline constexpr const char* kFailPointIndexBuild = "index.build";
-inline constexpr const char* kFailPointMemoInsert = "memo.insert";
-inline constexpr const char* kFailPointConsolidate = "view.consolidate";
-inline constexpr const char* kFailPointColumnBatchBuild = "column_batch.build";
-inline constexpr const char* kFailPointMemoPatch = "memo.patch";
+// The site catalog — the single source of truth. Adding a site means adding
+// exactly one line here: the constant, RegisteredFailPointSites(), and every
+// registry-derived chaos sweep (tests/chaos_failpoint_test.cc, the stress
+// harness's chaos mode) pick it up automatically, so a new site can never be
+// silently skipped by chaos coverage.
+#define HQL_FAILPOINT_SITE_LIST(X)                    \
+  X(kFailPointTaskEnqueue, "thread_pool.enqueue")     \
+  X(kFailPointTupleAppend, "relation.append")         \
+  X(kFailPointIndexBuild, "index.build")              \
+  X(kFailPointMemoInsert, "memo.insert")              \
+  X(kFailPointConsolidate, "view.consolidate")        \
+  X(kFailPointColumnBatchBuild, "column_batch.build") \
+  X(kFailPointMemoPatch, "memo.patch")
+
+#define HQL_FAILPOINT_DECLARE_SITE(ident, name) \
+  inline constexpr const char* ident = name;
+HQL_FAILPOINT_SITE_LIST(HQL_FAILPOINT_DECLARE_SITE)
+#undef HQL_FAILPOINT_DECLARE_SITE
 
 struct FailPointSpec {
   enum class Mode {

@@ -1,0 +1,205 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace hql {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs `ops` on a fresh harness and reports whether `expected` was
+/// recorded exactly (the shrinker's fitness function).
+bool ReproducesExactly(const StressConfig& config,
+                       const std::vector<int>& ops,
+                       const StressFailure& expected) {
+  StressHarness harness(config);
+  for (int op : ops) harness.RunOp(op);
+  for (const StressFailure& f : harness.report().failures) {
+    if (f == expected) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkloadDriver::WorkloadDriver(const StressConfig& config,
+                               const DriverOptions& options)
+    : config_(config), options_(options) {}
+
+DriverResult WorkloadDriver::Run() {
+  DriverResult result;
+  StressHarness harness(config_);
+  const int total = config_.TotalOps();
+
+  // Cumulative phase boundaries, so op index -> phase index is a scan.
+  std::vector<int> boundaries;
+  int offset = 0;
+  for (const StressPhase& p : config_.phases) {
+    offset += p.ops > 0 ? p.ops : 0;
+    boundaries.push_back(offset);
+    PhaseMetrics m;
+    m.label = p.label;
+    result.phases.push_back(std::move(m));
+  }
+
+  std::vector<int> executed;
+  auto run_start = std::chrono::steady_clock::now();
+  uint64_t prev_oracle = 0;
+  uint64_t prev_clean = 0;
+  size_t phase_index = 0;
+
+  auto finish_phase = [&](size_t pi) {
+    PhaseMetrics& m = result.phases[pi];
+    m.oracle_runs = harness.report().oracle_runs - prev_oracle;
+    m.clean_errors = harness.report().clean_errors - prev_clean;
+    prev_oracle = harness.report().oracle_runs;
+    prev_clean = harness.report().clean_errors;
+    if (options_.on_phase) options_.on_phase(m);
+  };
+
+  for (int i = 0; i < total; ++i) {
+    if (options_.max_seconds > 0.0 &&
+        SecondsSince(run_start) >= options_.max_seconds) {
+      result.time_limited = true;
+      break;
+    }
+    while (phase_index + 1 < boundaries.size() &&
+           i >= boundaries[phase_index]) {
+      finish_phase(phase_index);
+      ++phase_index;
+    }
+
+    auto op_start = std::chrono::steady_clock::now();
+    size_t failures_before = harness.report().failures.size();
+    executed.push_back(i);
+    bool ok = harness.RunOp(i);
+    result.phases[phase_index].ops += 1;
+    result.phases[phase_index].seconds += SecondsSince(op_start);
+
+    if (!ok) {
+      const auto& failures = harness.report().failures;
+      for (size_t f = failures_before; f < failures.size(); ++f) {
+        ReplayCapsule capsule;
+        capsule.config = config_;
+        capsule.included_ops = executed;
+        capsule.failure = failures[f];
+        if (options_.shrink) {
+          capsule = Shrink(capsule, options_.shrink_max_runs);
+        }
+        if (!options_.capsule_dir.empty()) {
+          std::ostringstream name;
+          name << options_.capsule_dir << "/hql-capsule-op"
+               << capsule.failure.op_index << "-seed" << config_.seed << "-"
+               << f << ".json";
+          Status written = WriteCapsuleFile(capsule, name.str());
+          result.capsule_paths.push_back(written.ok() ? name.str()
+                                                      : "<write failed>");
+        }
+        result.capsules.push_back(std::move(capsule));
+      }
+      if (options_.stop_on_failure) break;
+    }
+  }
+
+  while (phase_index < result.phases.size()) {
+    finish_phase(phase_index);
+    ++phase_index;
+  }
+  result.report = harness.report();
+  result.seconds = SecondsSince(run_start);
+  return result;
+}
+
+ReplayCapsule WorkloadDriver::Shrink(const ReplayCapsule& capsule,
+                                     int max_runs, int* runs_used) {
+  std::vector<int> current = capsule.included_ops;
+  int runs = 0;
+  bool improved = true;
+  // Backward passes: later ops are the likeliest to be dead weight (they
+  // ran after the failing op's state was already set up), and removing
+  // from the back first keeps earlier candidate indices stable.
+  while (improved && runs < max_runs) {
+    improved = false;
+    for (int i = static_cast<int>(current.size()) - 1;
+         i >= 0 && runs < max_runs; --i) {
+      if (current[static_cast<size_t>(i)] == capsule.failure.op_index) {
+        continue;  // the failing op itself must stay
+      }
+      std::vector<int> candidate = current;
+      candidate.erase(candidate.begin() + i);
+      ++runs;
+      if (ReproducesExactly(capsule.config, candidate, capsule.failure)) {
+        current = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+  if (runs_used != nullptr) *runs_used = runs;
+  ReplayCapsule out = capsule;
+  out.included_ops = std::move(current);
+  return out;
+}
+
+Result<ReplayOutcome> WorkloadDriver::Replay(const ReplayCapsule& capsule) {
+  const int total = capsule.config.TotalOps();
+  for (int op : capsule.included_ops) {
+    if (op < 0 || op >= total) {
+      return Status(StatusCode::kInvalidArgument,
+                    "capsule op index " + std::to_string(op) +
+                        " outside configured range [0, " +
+                        std::to_string(total) + ")");
+    }
+  }
+  StressHarness harness(capsule.config);
+  for (int op : capsule.included_ops) harness.RunOp(op);
+
+  ReplayOutcome out;
+  out.report = harness.report();
+  for (const StressFailure& f : out.report.failures) {
+    if (f == capsule.failure) {
+      out.reproduced = true;
+      break;
+    }
+  }
+  std::ostringstream os;
+  os << "replayed " << capsule.included_ops.size() << " ops, "
+     << out.report.oracle_runs << " oracle runs, "
+     << out.report.failures.size() << " failure(s); recorded failure "
+     << (out.reproduced ? "REPRODUCED bit-identically" : "did NOT reproduce");
+  out.summary = os.str();
+  return out;
+}
+
+Result<ReplayCapsule> WorkloadDriver::LoadCapsuleFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot open capsule: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReplayCapsule::FromJsonText(buffer.str());
+}
+
+Status WorkloadDriver::WriteCapsuleFile(const ReplayCapsule& capsule,
+                                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(StatusCode::kInternal, "cannot write capsule: " + path);
+  }
+  out << capsule.ToJson() << "\n";
+  out.close();
+  if (!out) {
+    return Status(StatusCode::kInternal, "short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hql

@@ -1,0 +1,100 @@
+#ifndef HQL_WORKLOAD_DRIVER_H_
+#define HQL_WORKLOAD_DRIVER_H_
+
+// Phased workload driver over the differential stress harness
+// (workload/stress.h): runs a StressConfig's phases front to back, tracks
+// per-phase metrics, and on any oracle violation packages the failure into
+// a deterministic replay capsule — optionally greedily shrunk to a minimal
+// failing op sequence and written to disk. `Replay` re-executes a capsule
+// and checks that the recorded failure reproduces bit-identically.
+//
+// Time limits (DriverOptions::max_seconds) only bound how *many* ops the
+// driver issues; they never influence what any individual op does, so a
+// time-limited run is a prefix of the unlimited run and its capsules stay
+// deterministic.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/stress.h"
+
+namespace hql {
+
+struct DriverOptions {
+  /// Stop issuing ops after the first failing one (capsules are still
+  /// emitted for every failure recorded by that op).
+  bool stop_on_failure = true;
+  /// Greedily minimize each capsule's op sequence before emitting it.
+  bool shrink = true;
+  /// Replay-run budget for the shrinker, across all its passes.
+  int shrink_max_runs = 128;
+  /// Wall-clock bound on the whole run; 0 = run every configured op.
+  double max_seconds = 0.0;
+  /// Directory to write capsule JSON files into; empty = keep in memory.
+  std::string capsule_dir;
+  /// Invoked as each phase completes (progress reporting for long soaks).
+  std::function<void(const struct PhaseMetrics&)> on_phase;
+};
+
+struct PhaseMetrics {
+  std::string label;
+  int ops = 0;
+  double seconds = 0.0;
+  uint64_t oracle_runs = 0;
+  uint64_t clean_errors = 0;
+};
+
+struct DriverResult {
+  StressReport report;
+  std::vector<ReplayCapsule> capsules;
+  /// Paths of capsule files written (parallel to `capsules` when
+  /// DriverOptions::capsule_dir is set; empty otherwise).
+  std::vector<std::string> capsule_paths;
+  std::vector<PhaseMetrics> phases;
+  double seconds = 0.0;
+  /// True if max_seconds stopped the run before all configured ops.
+  bool time_limited = false;
+
+  bool ok() const { return report.failures.empty(); }
+};
+
+struct ReplayOutcome {
+  /// True iff re-running the capsule's op list recorded a failure exactly
+  /// equal (field-wise, including result hashes in the detail text) to the
+  /// capsule's.
+  bool reproduced = false;
+  StressReport report;
+  std::string summary;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(const StressConfig& config, const DriverOptions& options);
+
+  /// Runs the configured phases; deterministic given (config, options that
+  /// affect op issuance).
+  DriverResult Run();
+
+  /// Greedy backward delta-debugging: repeatedly drop ops (never the
+  /// failing one) while the exact failure still reproduces, bounded by
+  /// `max_runs` replays. Returns the capsule with the minimized op list.
+  static ReplayCapsule Shrink(const ReplayCapsule& capsule, int max_runs,
+                              int* runs_used = nullptr);
+
+  /// Re-executes the capsule's included ops on a fresh harness.
+  static Result<ReplayOutcome> Replay(const ReplayCapsule& capsule);
+
+  static Result<ReplayCapsule> LoadCapsuleFile(const std::string& path);
+  static Status WriteCapsuleFile(const ReplayCapsule& capsule,
+                                 const std::string& path);
+
+ private:
+  StressConfig config_;
+  DriverOptions options_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_WORKLOAD_DRIVER_H_

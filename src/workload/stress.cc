@@ -1,0 +1,914 @@
+#include "workload/stress.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "ast/hypo.h"
+#include "ast/query.h"
+#include "ast/scalar_expr.h"
+#include "ast/update.h"
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/governor.h"
+#include "eval/direct.h"
+
+namespace hql {
+
+namespace {
+
+constexpr Strategy kAllStrategies[] = {
+    Strategy::kDirect,  Strategy::kLazy,    Strategy::kFilter1,
+    Strategy::kFilter2, Strategy::kFilter3, Strategy::kHybrid,
+};
+constexpr int kNumStrategies = 6;
+
+// Caps keeping a long soak's working set bounded: the version tree stops
+// growing and derived scenarios recycle their slots past these limits.
+constexpr size_t kMaxTreeNodes = 64;
+constexpr size_t kMaxScenarios = 24;
+
+// SplitMix64 finalizer: per-op seeds that are independent of the op count.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::string Truncate(const std::string& s, size_t limit = 400) {
+  if (s.size() <= limit) return s;
+  return s.substr(0, limit) + "...(" + std::to_string(s.size()) + " chars)";
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing (the reader is common/json.h).
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Doubles print as integers when exact (the common case for weights and op
+// counts) and as 17-significant-digit decimals otherwise, so a value
+// survives serialize -> parse -> serialize unchanged.
+std::string FormatJsonNumber(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+double NumberOr(const JsonPtr& v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+bool BoolOr(const JsonPtr& v, bool fallback) {
+  return v != nullptr && v->is_bool() ? v->bool_value() : fallback;
+}
+
+std::string StringOr(const JsonPtr& v, const std::string& fallback) {
+  return v != nullptr && v->is_string() ? v->string_value() : fallback;
+}
+
+}  // namespace
+
+const char* StressOpKindName(StressOpKind kind) {
+  switch (kind) {
+    case StressOpKind::kQuery:
+      return "query";
+    case StressOpKind::kDerive:
+      return "derive";
+    case StressOpKind::kEdit:
+      return "edit";
+    case StressOpKind::kAggregate:
+      return "aggregate";
+    case StressOpKind::kDeepWhen:
+      return "deep-when";
+    case StressOpKind::kCompose:
+      return "compose";
+    case StressOpKind::kCondUpdate:
+      return "cond-update";
+    case StressOpKind::kBlowup:
+      return "blowup";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// StressConfig.
+// ---------------------------------------------------------------------------
+
+int StressConfig::TotalOps() const {
+  int total = 0;
+  for (const StressPhase& p : phases) total += p.ops > 0 ? p.ops : 0;
+  return total;
+}
+
+const StressPhase& StressConfig::PhaseOf(int index) const {
+  HQL_CHECK(!phases.empty());
+  int offset = 0;
+  for (const StressPhase& p : phases) {
+    offset += p.ops > 0 ? p.ops : 0;
+    if (index < offset) return p;
+  }
+  return phases.back();
+}
+
+StressConfig StressConfig::Mixed(uint64_t seed, int ops_per_phase,
+                                 double chaos_probability) {
+  StressConfig config;
+  config.seed = seed;
+  // Kind order: query, derive, edit, aggregate, deep-when, compose,
+  // cond-update, blowup.
+  StressPhase warmup;
+  warmup.label = "warmup-read";
+  warmup.ops = ops_per_phase;
+  warmup.weights = {6, 1, 0, 1, 0.5, 0.5, 0.5, 0};
+
+  StressPhase growth;
+  growth.label = "scenario-growth";
+  growth.ops = ops_per_phase;
+  growth.weights = {2, 4, 1, 0.5, 1, 1, 0.5, 0};
+
+  StressPhase edits;
+  edits.label = "edit-soak";
+  edits.ops = ops_per_phase;
+  edits.weights = {1, 0.5, 5, 0.5, 0.5, 0.5, 0.5, 0};
+
+  StressPhase adversarial;
+  adversarial.label = "adversarial";
+  adversarial.ops = ops_per_phase;
+  adversarial.weights = {1, 0.5, 1, 1.5, 2, 1, 1.5, 1.5};
+  adversarial.max_depth = 4;
+  adversarial.budget_probability = 0.5;
+
+  StressPhase chaos;
+  chaos.label = "chaos-soak";
+  chaos.ops = ops_per_phase;
+  chaos.weights = {2, 1, 2, 1, 1, 1, 1, 0.5};
+  chaos.chaos_probability = chaos_probability;
+  chaos.budget_probability = 0.25;
+
+  config.phases = {warmup, growth, edits, adversarial, chaos};
+  return config;
+}
+
+std::string StressConfig::ToJson() const {
+  std::string out = "{";
+  out += "\"seed\": ";
+  AppendJsonString(&out, std::to_string(seed));
+  out += ", \"base_rows\": " + std::to_string(base_rows);
+  out += ", \"domain\": " + std::to_string(domain);
+  out += ", \"inject_mismatch_after\": " +
+         std::to_string(inject_mismatch_after);
+  out += ", \"phases\": [";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const StressPhase& p = phases[i];
+    if (i > 0) out += ", ";
+    out += "{\"label\": ";
+    AppendJsonString(&out, p.label);
+    out += ", \"ops\": " + std::to_string(p.ops);
+    out += ", \"weights\": [";
+    for (int k = 0; k < kNumStressOpKinds; ++k) {
+      if (k > 0) out += ", ";
+      out += FormatJsonNumber(p.weights[static_cast<size_t>(k)]);
+    }
+    out += "], \"max_depth\": " + std::to_string(p.max_depth);
+    out += std::string(", \"allow_cond\": ") +
+           (p.allow_cond ? "true" : "false");
+    out += std::string(", \"allow_aggregate\": ") +
+           (p.allow_aggregate ? "true" : "false");
+    out += ", \"chaos_probability\": " + FormatJsonNumber(p.chaos_probability);
+    out += ", \"budget_probability\": " +
+           FormatJsonNumber(p.budget_probability);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<StressConfig> StressConfig::FromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status(StatusCode::kInvalidArgument, "config must be an object");
+  }
+  StressConfig config;
+  JsonPtr seed = value.Get("seed");
+  if (seed != nullptr && seed->is_string()) {
+    config.seed = std::strtoull(seed->string_value().c_str(), nullptr, 10);
+  } else if (seed != nullptr && seed->is_number()) {
+    config.seed = static_cast<uint64_t>(seed->number());
+  }
+  config.base_rows = static_cast<size_t>(
+      NumberOr(value.Get("base_rows"), static_cast<double>(config.base_rows)));
+  config.domain = static_cast<int64_t>(
+      NumberOr(value.Get("domain"), static_cast<double>(config.domain)));
+  config.inject_mismatch_after = static_cast<int>(
+      NumberOr(value.Get("inject_mismatch_after"), -1.0));
+  JsonPtr phases = value.Get("phases");
+  if (phases == nullptr || !phases->is_array() || phases->items().empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "config.phases must be a non-empty array");
+  }
+  for (const JsonPtr& item : phases->items()) {
+    if (item == nullptr || !item->is_object()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "phase entries must be objects");
+    }
+    StressPhase p;
+    p.label = StringOr(item->Get("label"), p.label);
+    p.ops = static_cast<int>(NumberOr(item->Get("ops"), p.ops));
+    JsonPtr weights = item->Get("weights");
+    if (weights != nullptr && weights->is_array()) {
+      const auto& items = weights->items();
+      for (size_t k = 0;
+           k < items.size() && k < static_cast<size_t>(kNumStressOpKinds);
+           ++k) {
+        p.weights[k] = NumberOr(items[k], p.weights[k]);
+      }
+    }
+    p.max_depth =
+        static_cast<int>(NumberOr(item->Get("max_depth"), p.max_depth));
+    p.allow_cond = BoolOr(item->Get("allow_cond"), p.allow_cond);
+    p.allow_aggregate =
+        BoolOr(item->Get("allow_aggregate"), p.allow_aggregate);
+    p.chaos_probability =
+        NumberOr(item->Get("chaos_probability"), p.chaos_probability);
+    p.budget_probability =
+        NumberOr(item->Get("budget_probability"), p.budget_probability);
+    config.phases.push_back(std::move(p));
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// StressFailure / ReplayCapsule.
+// ---------------------------------------------------------------------------
+
+std::string StressFailure::ToString() const {
+  std::ostringstream os;
+  os << "op " << op_index << " [" << kind << "] strategy=" << strategy
+     << " modes={" << modes << "}\n"
+     << detail;
+  return os.str();
+}
+
+std::string ReplayCapsule::ToJson() const {
+  std::string out = "{";
+  out += "\"format\": \"hql-replay-capsule\"";
+  out += ", \"version\": " + std::to_string(kVersion);
+  out += ", \"config\": " + config.ToJson();
+  out += ", \"included_ops\": [";
+  for (size_t i = 0; i < included_ops.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(included_ops[i]);
+  }
+  out += "], \"failure\": {";
+  out += "\"op_index\": " + std::to_string(failure.op_index);
+  out += ", \"kind\": ";
+  AppendJsonString(&out, failure.kind);
+  out += ", \"strategy\": ";
+  AppendJsonString(&out, failure.strategy);
+  out += ", \"modes\": ";
+  AppendJsonString(&out, failure.modes);
+  out += ", \"detail\": ";
+  AppendJsonString(&out, failure.detail);
+  out += "}}";
+  return out;
+}
+
+Result<ReplayCapsule> ReplayCapsule::FromJsonText(const std::string& text) {
+  Result<JsonPtr> parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonPtr& root = parsed.value();
+  if (root == nullptr || !root->is_object()) {
+    return Status(StatusCode::kInvalidArgument, "capsule must be an object");
+  }
+  if (StringOr(root->Get("format"), "") != "hql-replay-capsule") {
+    return Status(StatusCode::kInvalidArgument,
+                  "not an hql-replay-capsule document");
+  }
+  int version = static_cast<int>(NumberOr(root->Get("version"), 0));
+  if (version > kVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  "capsule version " + std::to_string(version) +
+                      " is newer than supported " + std::to_string(kVersion));
+  }
+  JsonPtr config_json = root->Get("config");
+  if (config_json == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "capsule missing config");
+  }
+  ReplayCapsule capsule;
+  Result<StressConfig> config = StressConfig::FromJson(*config_json);
+  if (!config.ok()) return config.status();
+  capsule.config = std::move(config).value();
+  JsonPtr included = root->Get("included_ops");
+  if (included != nullptr && included->is_array()) {
+    for (const JsonPtr& item : included->items()) {
+      capsule.included_ops.push_back(static_cast<int>(NumberOr(item, -1.0)));
+    }
+  }
+  JsonPtr failure = root->Get("failure");
+  if (failure == nullptr || !failure->is_object()) {
+    return Status(StatusCode::kInvalidArgument, "capsule missing failure");
+  }
+  capsule.failure.op_index =
+      static_cast<int>(NumberOr(failure->Get("op_index"), -1.0));
+  capsule.failure.kind = StringOr(failure->Get("kind"), "");
+  capsule.failure.strategy = StringOr(failure->Get("strategy"), "");
+  capsule.failure.modes = StringOr(failure->Get("modes"), "");
+  capsule.failure.detail = StringOr(failure->Get("detail"), "");
+  return capsule;
+}
+
+// ---------------------------------------------------------------------------
+// Harness internals.
+// ---------------------------------------------------------------------------
+
+struct StressHarness::Scenario {
+  VersionTree::NodeId node = VersionTree::kRoot;
+  Database db;
+  /// Re-asked after every edit — the "standing query of a scenario family"
+  /// whose cached result the incremental layer patches.
+  QueryPtr standing_query;
+  /// One incremental cache per strategy: entries record that strategy's
+  /// plan shape, so sharing across strategies would conflate plans.
+  std::array<std::unique_ptr<IncrementalCache>, kNumStrategies> caches;
+
+  Scenario(Database d, QueryPtr q)
+      : db(std::move(d)), standing_query(std::move(q)) {}
+};
+
+/// Everything the oracle varies per op: the sampled mode combination plus
+/// chaos / budget arming.
+struct StressHarness::RunSpec {
+  ColumnarMode columnar = ColumnarMode::kOff;
+  IncrementalMode incremental = IncrementalMode::kOff;
+  IndexMode index = IndexMode::kOff;
+  bool use_memo = false;
+  bool chaos = false;
+  double chaos_probability = 0.0;
+  StatusCode chaos_code = StatusCode::kResourceExhausted;
+  bool budget = false;
+  ExecBudget exec_budget;
+
+  std::string Describe() const {
+    std::ostringstream os;
+    os << "columnar=" << ColumnarModeName(columnar)
+       << ",incremental=" << IncrementalModeName(incremental)
+       << ",index=" << IndexModeName(index)
+       << ",memo=" << (use_memo ? "on" : "off");
+    if (chaos) {
+      os << ",chaos=" << chaos_probability << "/"
+         << StatusCodeName(chaos_code);
+    }
+    if (budget) {
+      os << ",budget=tuples:" << exec_budget.max_tuples
+         << "/rewrite:" << exec_budget.max_rewrite_nodes;
+    }
+    return os.str();
+  }
+};
+
+struct StressHarness::Outcome {
+  bool ok = false;
+  Relation relation{0};
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  std::string Describe() const {
+    if (ok) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, relation.Hash());
+      return "ok(" + std::to_string(relation.size()) + " tuples, hash=" +
+             buf + ")";
+    }
+    return std::string(StatusCodeName(code)) + ": " + message;
+  }
+};
+
+StressHarness::StressHarness(const StressConfig& config)
+    : config_(config),
+      schema_(PropertySchema()),
+      base_([&] {
+        Rng rng(config.seed);
+        return RandomDatabase(&rng, schema_, config.base_rows, config.domain);
+      }()),
+      advisor_(/*build_threshold=*/2) {
+  base_hash_ = base_.Hash();
+  Rng rng(MixSeed(config_.seed, 0x5eedull));
+  AstGenOptions options;
+  options.max_depth = 3;
+  options.literal_domain = config_.domain;
+  scenarios_.push_back(std::make_unique<Scenario>(
+      base_, RandomQuery(&rng, schema_, 2, options)));
+  inject_pending_ = config_.inject_mismatch_after >= 0;
+}
+
+StressHarness::~StressHarness() = default;
+
+size_t StressHarness::scenario_count() const { return scenarios_.size(); }
+
+Rng StressHarness::OpRng(int index) const {
+  return Rng(MixSeed(config_.seed, static_cast<uint64_t>(index)));
+}
+
+StressHarness::Scenario& StressHarness::PickScenario(Rng* rng) {
+  HQL_CHECK(!scenarios_.empty());
+  size_t i = static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(scenarios_.size()) - 1));
+  return *scenarios_[i];
+}
+
+AstGenOptions StressHarness::GenOptions(const StressPhase& phase) const {
+  AstGenOptions options;
+  options.max_depth = phase.max_depth;
+  options.allow_cond = phase.allow_cond;
+  options.allow_aggregate = phase.allow_aggregate;
+  options.literal_domain = config_.domain;
+  return options;
+}
+
+StressHarness::RunSpec StressHarness::SampleRunSpec(Rng* rng,
+                                                    const StressPhase& phase) {
+  RunSpec spec;
+  spec.columnar = rng->Bernoulli(0.5) ? ColumnarMode::kAuto
+                                      : ColumnarMode::kOff;
+  spec.incremental = rng->Bernoulli(0.5) ? IncrementalMode::kAuto
+                                         : IncrementalMode::kOff;
+  spec.index = rng->Bernoulli(0.5) ? IndexMode::kAdvisor : IndexMode::kOff;
+  spec.use_memo = rng->Bernoulli(0.5);
+  if (phase.chaos_probability > 0.0) {
+    spec.chaos = true;
+    spec.chaos_probability = phase.chaos_probability;
+    spec.chaos_code = rng->Bernoulli(0.5) ? StatusCode::kCancelled
+                                          : StatusCode::kResourceExhausted;
+  }
+  if (phase.budget_probability > 0.0 &&
+      rng->Bernoulli(phase.budget_probability)) {
+    spec.budget = true;
+    spec.exec_budget.max_tuples = 64ull << rng->Uniform(0, 8);
+    spec.exec_budget.max_rewrite_nodes = 64ull << rng->Uniform(0, 8);
+    spec.exec_budget.check_interval = 64;
+  }
+  return spec;
+}
+
+StressHarness::Outcome StressHarness::RunOne(
+    const QueryPtr& query, const Database& db, const Schema& schema,
+    Strategy strategy, const RunSpec& spec, IncrementalCache* cache,
+    uint64_t chaos_seed) {
+  PlannerOptions options;
+  options.memo = spec.use_memo ? &memo_ : nullptr;
+  options.index_mode = spec.index;
+  if (spec.index == IndexMode::kAdvisor) options.index_advisor = &advisor_;
+  options.index_min_rows = 1;
+  options.columnar_mode = spec.columnar;
+  options.columnar_min_rows = 1;
+  options.columnar_morsel_rows = 16;
+  // Single-threaded by design: morsel interleavings and per-worker
+  // failpoint hit ordering would make chaos outcomes (though still clean)
+  // non-reproducible from a capsule.
+  options.columnar_threads = 1;
+  if (cache != nullptr) {
+    options.incremental_mode = IncrementalMode::kAuto;
+    options.incremental_cache = cache;
+  }
+  // A (never-cancelled) token forces governor installation so fired
+  // failpoints surface as clean errors instead of silent counters.
+  options.cancel_token = std::make_shared<CancelToken>();
+  if (spec.budget) options.budget = spec.exec_budget;
+
+  if (spec.chaos) {
+    std::vector<std::string> sites = RegisteredFailPointSites();
+    for (size_t i = 0; i < sites.size(); ++i) {
+      ArmFailPoint(sites[i],
+                   FailPointSpec::Probability(
+                       spec.chaos_probability,
+                       chaos_seed + 0x9E3779B97F4A7C15ULL * (i + 1),
+                       spec.chaos_code));
+    }
+  }
+  Result<Relation> result = Execute(query, db, schema, strategy, options);
+  if (spec.chaos) DisarmAllFailPoints();
+
+  Outcome out;
+  out.ok = result.ok();
+  if (result.ok()) {
+    out.relation = std::move(result).value();
+  } else {
+    out.code = result.status().code();
+    out.message = result.status().message();
+  }
+  return out;
+}
+
+void StressHarness::AddFailure(int index, StressOpKind kind,
+                               const std::string& strategy,
+                               const std::string& modes, std::string detail) {
+  StressFailure failure;
+  failure.op_index = index;
+  failure.kind = StressOpKindName(kind);
+  failure.strategy = strategy;
+  failure.modes = modes;
+  failure.detail = std::move(detail);
+  report_.failures.push_back(std::move(failure));
+}
+
+bool StressHarness::RunOracle(Rng* rng, int index, StressOpKind kind,
+                              const QueryPtr& query, const Database& db,
+                              const Schema& schema, const RunSpec& spec,
+                              Scenario* scenario) {
+  // The oracle baseline: direct semantics, every optimization off, nothing
+  // armed. It must succeed — generated inputs are well-typed by
+  // construction, so a reference error is itself a harness finding.
+  Result<Relation> reference_or =
+      Execute(query, db, schema, Strategy::kDirect);
+  if (!reference_or.ok()) {
+    AddFailure(index, kind, "reference", spec.Describe(),
+               "query: " + Truncate(query->ToString()) +
+                   "\nreference execution failed: " +
+                   reference_or.status().ToString());
+    return false;
+  }
+  Relation reference = std::move(reference_or).value();
+
+  // Chaos seeds drawn up front in a fixed order, so a strategy's arming
+  // never depends on how earlier strategies in the loop behaved.
+  std::array<uint64_t, kNumStrategies> chaos_seeds;
+  for (int s = 0; s < kNumStrategies; ++s) chaos_seeds[s] = rng->Next();
+
+  bool passed = true;
+  for (int s = 0; s < kNumStrategies; ++s) {
+    Strategy strategy = kAllStrategies[s];
+    IncrementalCache* cache = nullptr;
+    std::unique_ptr<IncrementalCache> scratch;
+    if (scenario != nullptr) {
+      // Edit re-asks use the scenario's persistent per-strategy cache —
+      // the warm-record-then-patch loop the incremental layer exists for.
+      auto& slot = scenario->caches[static_cast<size_t>(s)];
+      if (slot == nullptr) slot = std::make_unique<IncrementalCache>();
+      cache = slot.get();
+    } else if (spec.incremental == IncrementalMode::kAuto) {
+      // Other ops still exercise the recorder with a throwaway cache.
+      scratch = std::make_unique<IncrementalCache>();
+      cache = scratch.get();
+    }
+
+    Outcome out = RunOne(query, db, schema, strategy, spec, cache,
+                         chaos_seeds[static_cast<size_t>(s)]);
+    ++report_.oracle_runs;
+
+    // Test-only self-injection: corrupt the first qualifying ok outcome so
+    // the capsule/replay/shrink pipeline has a guaranteed failure to chew
+    // on (see StressConfig::inject_mismatch_after).
+    if (inject_pending_ && index >= config_.inject_mismatch_after &&
+        out.ok && strategy == Strategy::kLazy) {
+      Tuple poison;
+      for (size_t c = 0; c < std::max<size_t>(out.relation.arity(), 1); ++c) {
+        poison.push_back(Value::Int((int64_t{1} << 40) + index));
+      }
+      out.relation.Insert(poison);
+      inject_pending_ = false;
+    }
+
+    if (out.ok) {
+      if (out.relation == reference) {
+        ++report_.ok_runs;
+      } else {
+        Outcome ref_out;
+        ref_out.ok = true;
+        ref_out.relation = reference;
+        AddFailure(index, kind, StrategyName(strategy), spec.Describe(),
+                   "query: " + Truncate(query->ToString()) +
+                       "\nreference: " + ref_out.Describe() +
+                       "\nobserved:  " + out.Describe());
+        passed = false;
+      }
+    } else if (out.code == StatusCode::kCancelled ||
+               out.code == StatusCode::kResourceExhausted) {
+      if (spec.chaos || spec.budget) {
+        ++report_.clean_errors;
+      } else {
+        AddFailure(index, kind, StrategyName(strategy), spec.Describe(),
+                   "query: " + Truncate(query->ToString()) +
+                       "\ngoverned error with nothing armed: " +
+                       out.Describe());
+        passed = false;
+      }
+    } else {
+      AddFailure(index, kind, StrategyName(strategy), spec.Describe(),
+                 "query: " + Truncate(query->ToString()) +
+                     "\nhard error: " + out.Describe());
+      passed = false;
+    }
+  }
+  return passed;
+}
+
+// ---------------------------------------------------------------------------
+// Operations.
+// ---------------------------------------------------------------------------
+
+void StressHarness::OpQuery(Rng* rng, int index, const StressPhase& phase) {
+  AstGenOptions options = GenOptions(phase);
+  size_t arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  RunSpec spec = SampleRunSpec(rng, phase);
+  if (tree_.size() > 1 && rng->Bernoulli(0.5)) {
+    // Query as seen at a version-tree node: Q when (root-path composition).
+    auto node = static_cast<VersionTree::NodeId>(
+        rng->Uniform(0, static_cast<int64_t>(tree_.size()) - 1));
+    QueryPtr q = tree_.QueryAt(node, RandomQuery(rng, schema_, arity, options));
+    RunOracle(rng, index, StressOpKind::kQuery, q, base_, schema_, spec,
+              nullptr);
+  } else {
+    Scenario& scenario = PickScenario(rng);
+    QueryPtr q = RandomQuery(rng, schema_, arity, options);
+    RunOracle(rng, index, StressOpKind::kQuery, q, scenario.db, schema_, spec,
+              nullptr);
+  }
+}
+
+void StressHarness::OpDerive(Rng* rng, int index, const StressPhase& phase) {
+  AstGenOptions options = GenOptions(phase);
+  options.max_depth = std::min(phase.max_depth, 2);
+  HypoExprPtr edge = RandomHypo(rng, schema_, options);
+  auto parent = static_cast<VersionTree::NodeId>(
+      rng->Uniform(0, static_cast<int64_t>(tree_.size()) - 1));
+  VersionTree::NodeId node = parent;
+  if (tree_.size() < kMaxTreeNodes) {
+    node = tree_.AddChild(parent, "n" + std::to_string(index),
+                          std::move(edge));
+  }
+  HypoExprPtr state = tree_.PathState(node);
+  if (state == nullptr) return;  // root — the base is already scenario 0
+  Result<Database> derived = EvalState(state, base_);
+  if (!derived.ok()) {
+    AddFailure(index, StressOpKind::kDerive, "materialize", "",
+               "EvalState failed on path state: " +
+                   derived.status().ToString());
+    return;
+  }
+  auto scenario = std::make_unique<Scenario>(
+      std::move(derived).value(),
+      RandomQuery(rng, schema_, 2, GenOptions(phase)));
+  scenario->node = node;
+  if (scenarios_.size() >= kMaxScenarios) {
+    // Recycle a non-root slot (slot 0 stays the real database).
+    size_t slot = 1 + static_cast<size_t>(rng->Uniform(
+                          0, static_cast<int64_t>(scenarios_.size()) - 2));
+    scenarios_[slot] = std::move(scenario);
+  } else {
+    scenarios_.push_back(std::move(scenario));
+  }
+}
+
+void StressHarness::OpEdit(Rng* rng, int index, const StressPhase& phase) {
+  Scenario& scenario = PickScenario(rng);
+  AstGenOptions options = GenOptions(phase);
+  options.max_depth = std::min(phase.max_depth, 2);
+  UpdatePtr update = RandomUpdate(rng, schema_, options);
+  Result<Database> edited = ExecUpdate(update, scenario.db);
+  if (!edited.ok()) {
+    AddFailure(index, StressOpKind::kEdit, "edit", "",
+               "ExecUpdate failed: " + edited.status().ToString());
+    return;
+  }
+  // The edited state shares bases with the previous one (CoW overlays), so
+  // the re-ask is exactly the delta-of-delta regime: warm caches patch,
+  // cold ones record.
+  scenario.db = std::move(edited).value();
+  RunSpec spec = SampleRunSpec(rng, phase);
+  spec.incremental = IncrementalMode::kAuto;
+  RunOracle(rng, index, StressOpKind::kEdit, scenario.standing_query,
+            scenario.db, schema_, spec, &scenario);
+}
+
+void StressHarness::OpAggregate(Rng* rng, int index,
+                                const StressPhase& phase) {
+  AstGenOptions options = GenOptions(phase);
+  options.allow_aggregate = true;
+  size_t inner_arity = 2 + static_cast<size_t>(rng->Uniform(0, 1));
+  QueryPtr child = RandomQuery(rng, schema_, inner_arity, options);
+  std::vector<size_t> cols;
+  for (size_t i = 0; i + 1 < inner_arity; ++i) {
+    cols.push_back(static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(inner_arity) - 1)));
+  }
+  static const AggFunc kFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                   AggFunc::kMin, AggFunc::kMax};
+  AggFunc func = kFuncs[rng->Uniform(0, 3)];
+  size_t agg_col = static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(inner_arity) - 1));
+  QueryPtr q =
+      Query::Aggregate(std::move(cols), func, agg_col, std::move(child));
+  if (rng->Bernoulli(0.5)) {
+    AstGenOptions shallow = options;
+    shallow.max_depth = 2;
+    q = Query::When(std::move(q), RandomHypo(rng, schema_, shallow));
+  }
+  RunSpec spec = SampleRunSpec(rng, phase);
+  const Database& db =
+      rng->Bernoulli(0.5) ? base_ : PickScenario(rng).db;
+  RunOracle(rng, index, StressOpKind::kAggregate, q, db, schema_, spec,
+            nullptr);
+}
+
+void StressHarness::OpDeepWhen(Rng* rng, int index, const StressPhase& phase) {
+  AstGenOptions options = GenOptions(phase);
+  AstGenOptions shallow = options;
+  shallow.max_depth = 2;
+  size_t arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  QueryPtr q = RandomQuery(rng, schema_, arity, options);
+  int layers = 2 + static_cast<int>(rng->Uniform(0, 2));
+  for (int i = 0; i < layers; ++i) {
+    q = Query::When(std::move(q), RandomHypo(rng, schema_, shallow));
+  }
+  RunSpec spec = SampleRunSpec(rng, phase);
+  const Database& db = rng->Bernoulli(0.5) ? base_ : PickScenario(rng).db;
+  RunOracle(rng, index, StressOpKind::kDeepWhen, q, db, schema_, spec,
+            nullptr);
+}
+
+void StressHarness::OpCompose(Rng* rng, int index, const StressPhase& phase) {
+  if (tree_.size() < 3) {
+    // Not enough derived versions to compare yet; behave like a query op.
+    OpQuery(rng, index, phase);
+    return;
+  }
+  AstGenOptions options = GenOptions(phase);
+  size_t arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  auto pick = [&] {
+    return static_cast<VersionTree::NodeId>(
+        1 + rng->Uniform(0, static_cast<int64_t>(tree_.size()) - 2));
+  };
+  VersionTree::NodeId a = pick();
+  VersionTree::NodeId b = pick();
+  QueryPtr q = tree_.CompareAt(a, b, RandomQuery(rng, schema_, arity, options));
+  RunSpec spec = SampleRunSpec(rng, phase);
+  RunOracle(rng, index, StressOpKind::kCompose, q, base_, schema_, spec,
+            nullptr);
+}
+
+void StressHarness::OpCondUpdate(Rng* rng, int index,
+                                 const StressPhase& phase) {
+  AstGenOptions options = GenOptions(phase);
+  options.allow_cond = true;
+  AstGenOptions shallow = options;
+  shallow.max_depth = 2;
+  // Force a conditional at the top of the state, whatever the random walk
+  // below it picks.
+  size_t guard_arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  UpdatePtr update = Update::Cond(
+      RandomQuery(rng, schema_, guard_arity, shallow),
+      RandomUpdate(rng, schema_, shallow),
+      RandomUpdate(rng, schema_, shallow));
+  size_t arity = 1 + static_cast<size_t>(rng->Uniform(0, 2));
+  QueryPtr q = Query::When(RandomQuery(rng, schema_, arity, options),
+                           HypoExpr::UpdateState(std::move(update)));
+  RunSpec spec = SampleRunSpec(rng, phase);
+  const Database& db = rng->Bernoulli(0.5) ? base_ : PickScenario(rng).db;
+  RunOracle(rng, index, StressOpKind::kCondUpdate, q, db, schema_, spec,
+            nullptr);
+}
+
+void StressHarness::OpBlowup(Rng* rng, int index, const StressPhase& phase) {
+  RunSpec spec = SampleRunSpec(rng, phase);
+  // Blowups always run governed: the adversarial point is that the
+  // Example 2.4 expansion must trip cleanly (and identically) rather than
+  // take the process down, with the lazy route degrading along the
+  // fallback lattice.
+  spec.budget = true;
+  spec.exec_budget.max_rewrite_nodes = 64ull << rng->Uniform(0, 6);
+  spec.exec_budget.max_tuples = 1024ull << rng->Uniform(0, 6);
+  spec.exec_budget.check_interval = 64;
+
+  BlowupSpec blowup;
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      // Small n: the direct reference materializes at most a few hundred
+      // tuples while the lazy tree still doubles per step.
+      blowup = BlowupChain(2 + static_cast<int>(rng->Uniform(0, 1)));
+      break;
+    case 1:
+      // Empty-value chain: reference is linear, the rewrite exponential.
+      blowup =
+          BlowupChainSmallValues(4 + static_cast<int>(rng->Uniform(0, 4)));
+      break;
+    default: {
+      int n = 3 + static_cast<int>(rng->Uniform(0, 1));
+      blowup = BlowupChainWithDifference(
+          n, 1 + static_cast<int>(rng->Uniform(0, n - 1)));
+      break;
+    }
+  }
+  Rng data_rng(rng->Next());
+  Database db = GenDatabase(&data_rng, blowup.schema, 2, config_.domain);
+  RunOracle(rng, index, StressOpKind::kBlowup, blowup.query, db,
+            blowup.schema, spec, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// RunOp.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+StressOpKind SampleKind(Rng* rng,
+                        const std::array<double, kNumStressOpKinds>& weights) {
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return StressOpKind::kQuery;
+  double u = rng->NextDouble() * total;
+  for (int k = 0; k < kNumStressOpKinds; ++k) {
+    double w = weights[static_cast<size_t>(k)];
+    if (w <= 0) continue;
+    u -= w;
+    if (u < 0) return static_cast<StressOpKind>(k);
+  }
+  return StressOpKind::kQuery;
+}
+
+}  // namespace
+
+bool StressHarness::RunOp(int index) {
+  const StressPhase& phase = config_.PhaseOf(index);
+  Rng rng = OpRng(index);
+  StressOpKind kind = SampleKind(&rng, phase.weights);
+  size_t failures_before = report_.failures.size();
+  ++report_.ops_run;
+  ++report_.ops_by_kind[static_cast<size_t>(kind)];
+
+  switch (kind) {
+    case StressOpKind::kQuery:
+      OpQuery(&rng, index, phase);
+      break;
+    case StressOpKind::kDerive:
+      OpDerive(&rng, index, phase);
+      break;
+    case StressOpKind::kEdit:
+      OpEdit(&rng, index, phase);
+      break;
+    case StressOpKind::kAggregate:
+      OpAggregate(&rng, index, phase);
+      break;
+    case StressOpKind::kDeepWhen:
+      OpDeepWhen(&rng, index, phase);
+      break;
+    case StressOpKind::kCompose:
+      OpCompose(&rng, index, phase);
+      break;
+    case StressOpKind::kCondUpdate:
+      OpCondUpdate(&rng, index, phase);
+      break;
+    case StressOpKind::kBlowup:
+      OpBlowup(&rng, index, phase);
+      break;
+  }
+
+  // Never corrupt: queries and scenario derivations must leave the real
+  // database bit-identical, whatever was armed while they ran.
+  if (base_.Hash() != base_hash_) {
+    AddFailure(index, kind, "base-database", "",
+               "corruption: base database hash changed during op");
+  }
+  return report_.failures.size() == failures_before;
+}
+
+}  // namespace hql

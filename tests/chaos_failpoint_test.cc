@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -99,8 +100,10 @@ TEST(ChaosFailPointTest, EveryStrategySurvivesEveryArmedSite) {
   DisarmAllFailPoints();
   Database db = ChaosDb();
   QueryPtr query = ChaosQuery();
+  // The site matrix is derived from the registry, never hard-coded: a site
+  // added to HQL_FAILPOINT_SITE_LIST enters this sweep automatically.
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 7u);
+  ASSERT_GE(sites.size(), 7u);
 
   // Both trip codes, both arming modes, two seeds for the probability mode.
   const std::vector<FailPointSpec> specs = {
@@ -408,16 +411,23 @@ TEST(ChaosFailPointTest, AlternativesFamilySurvivesArmedSites) {
 // Failpoint mechanics (deterministic only where the sites are compiled in).
 // ---------------------------------------------------------------------------
 
-TEST(FailPointMechanicsTest, SiteCatalogIsStable) {
+// The enumeration must cover exactly the declared catalog: every constant
+// generated from HQL_FAILPOINT_SITE_LIST appears once, with no duplicates
+// and no extras — so a site added to the list can never be silently absent
+// from registry-derived sweeps, and a removed site cannot linger.
+TEST(FailPointMechanicsTest, RegistryEnumeratesEveryDeclaredSite) {
   std::vector<std::string> sites = RegisteredFailPointSites();
-  ASSERT_EQ(sites.size(), 7u);
-  EXPECT_EQ(sites[0], kFailPointTaskEnqueue);
-  EXPECT_EQ(sites[1], kFailPointTupleAppend);
-  EXPECT_EQ(sites[2], kFailPointIndexBuild);
-  EXPECT_EQ(sites[3], kFailPointMemoInsert);
-  EXPECT_EQ(sites[4], kFailPointConsolidate);
-  EXPECT_EQ(sites[5], kFailPointColumnBatchBuild);
-  EXPECT_EQ(sites[6], kFailPointMemoPatch);
+  std::set<std::string> unique(sites.begin(), sites.end());
+  EXPECT_EQ(unique.size(), sites.size()) << "duplicate site names";
+
+  size_t declared = 0;
+#define HQL_EXPECT_SITE_LISTED(ident, name)             \
+  EXPECT_EQ(unique.count(ident), 1u) << #ident << " (" << ident \
+                                     << ") missing from registry";   \
+  ++declared;
+  HQL_FAILPOINT_SITE_LIST(HQL_EXPECT_SITE_LISTED)
+#undef HQL_EXPECT_SITE_LISTED
+  EXPECT_EQ(sites.size(), declared);
 }
 
 #ifndef NDEBUG

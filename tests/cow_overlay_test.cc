@@ -55,6 +55,8 @@ TEST(CowOverlayTest, RandomVersionTreesAgreeAcrossRepresentations) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
 
   for (int trial = 0; trial < 12; ++trial) {
     Database base = RandomDatabase(&rng, schema, 24, 8);
@@ -89,6 +91,8 @@ TEST(CowOverlayTest, StackedApplyDeltaAgreesWithConsolidated) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
 
   for (int trial = 0; trial < 12; ++trial) {
     Database base = RandomDatabase(&rng, schema, 30, 8);
@@ -125,6 +129,8 @@ TEST(CowOverlayTest, VersionTreeCompareQueriesAgree) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 2;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
 
   for (int trial = 0; trial < 8; ++trial) {
     Database base = RandomDatabase(&rng, schema, 20, 8);

@@ -128,6 +128,8 @@ TEST_P(ReuseParamTest, PlansStayEquivalent) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
   PlannerOptions popts;
   popts.reuse_count = reuse;
   for (int trial = 0; trial < 30; ++trial) {
@@ -154,6 +156,8 @@ TEST_P(TreeCapParamTest, CapsPreserveSemantics) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 4;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
   PlannerOptions popts;
   popts.max_lazy_tree_size = cap;
   for (int trial = 0; trial < 30; ++trial) {
@@ -199,6 +203,8 @@ TEST_P(IndexPolicyParamTest, PoliciesPreserveSemantics) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
   IndexAdvisor advisor(/*build_threshold=*/1);
   PlannerOptions popts;
   popts.index_min_rows = 1;
@@ -266,6 +272,8 @@ TEST_P(ColumnarParamTest, ModesPreserveSemantics) {
   Schema schema = PropertySchema();
   AstGenOptions options;
   options.max_depth = 3;
+  options.allow_cond = true;
+  options.allow_aggregate = true;
   PlannerOptions popts;
   popts.columnar_mode = mode;
   popts.columnar_min_rows = 1;

@@ -1,0 +1,236 @@
+// Tests for the differential stress harness, the phased workload driver,
+// and the replay-capsule pipeline (workload/stress.h, workload/driver.h).
+//
+// The headline acceptance test is ReplayReproducesInjectedFailure: an
+// intentionally corrupted result must flow through failure -> capsule ->
+// JSON -> fresh-process-equivalent replay and reproduce bit-identically
+// (StressFailure equality includes the result hashes in the detail text).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/failpoint.h"
+#include "tests/test_util.h"
+#include "workload/driver.h"
+#include "workload/stress.h"
+
+namespace hql {
+namespace {
+
+StressConfig SmallMixed(uint64_t seed, int ops_per_phase,
+                        double chaos_probability = 0.05) {
+  StressConfig config =
+      StressConfig::Mixed(seed, ops_per_phase, chaos_probability);
+  config.base_rows = 12;
+  return config;
+}
+
+// Two harnesses over the same config must produce identical reports —
+// the bedrock the capsule format stands on.
+TEST(StressHarnessTest, DeterministicAcrossRuns) {
+  StressConfig config = SmallMixed(/*seed=*/101, /*ops_per_phase=*/30);
+  StressHarness a(config);
+  StressHarness b(config);
+  for (int i = 0; i < config.TotalOps(); ++i) {
+    a.RunOp(i);
+    b.RunOp(i);
+  }
+  EXPECT_EQ(a.report().ops_run, b.report().ops_run);
+  EXPECT_EQ(a.report().ops_by_kind, b.report().ops_by_kind);
+  EXPECT_EQ(a.report().oracle_runs, b.report().oracle_runs);
+  EXPECT_EQ(a.report().ok_runs, b.report().ok_runs);
+  EXPECT_EQ(a.report().clean_errors, b.report().clean_errors);
+  ASSERT_EQ(a.report().failures.size(), b.report().failures.size());
+  for (size_t i = 0; i < a.report().failures.size(); ++i) {
+    EXPECT_EQ(a.report().failures[i], b.report().failures[i]);
+  }
+  EXPECT_EQ(a.scenario_count(), b.scenario_count());
+}
+
+// The main differential soak: a mixed run across all five phases — every
+// op checked across all six strategies x sampled mode combos, with chaos
+// and budgets armed in the later phases — must end with zero failures.
+TEST(StressHarnessTest, MixedSoakAllStrategiesAgree) {
+  StressConfig config = SmallMixed(/*seed=*/202, /*ops_per_phase=*/60);
+  StressHarness harness(config);
+  for (int i = 0; i < config.TotalOps(); ++i) {
+    bool ok = harness.RunOp(i);
+    if (!ok) {
+      FAIL() << harness.report().failures.back().ToString();
+    }
+  }
+  const StressReport& report = harness.report();
+  EXPECT_EQ(report.ops_run, config.TotalOps());
+  EXPECT_GT(report.oracle_runs, 0u);
+  EXPECT_GT(report.ok_runs, 0u);
+  // Every op kind in the mix must actually have been sampled.
+  for (int k = 0; k < kNumStressOpKinds; ++k) {
+    double weight_anywhere = 0;
+    for (const StressPhase& p : config.phases) {
+      weight_anywhere += p.weights[static_cast<size_t>(k)];
+    }
+    if (weight_anywhere > 0) {
+      EXPECT_GT(report.ops_by_kind[static_cast<size_t>(k)], 0u)
+          << "kind never sampled: "
+          << StressOpKindName(static_cast<StressOpKind>(k));
+    }
+  }
+  EXPECT_GT(harness.scenario_count(), 1u);
+#ifndef NDEBUG
+  // Chaos + budget phases should actually exercise the clean-error path
+  // when failpoints are compiled in.
+  EXPECT_GT(report.clean_errors, 0u);
+#endif
+}
+
+TEST(StressConfigTest, JsonRoundTripIsStable) {
+  StressConfig config = SmallMixed(/*seed=*/0xDEADBEEFCAFEULL,
+                                   /*ops_per_phase=*/25, /*chaos=*/0.125);
+  config.inject_mismatch_after = 17;
+  std::string json = config.ToJson();
+  ASSERT_OK_AND_ASSIGN(JsonPtr parsed, ParseJson(json));
+  ASSERT_OK_AND_ASSIGN(StressConfig back, StressConfig::FromJson(*parsed));
+  // Serialize -> parse -> serialize must be a fixed point (numbers print
+  // exactly; the u64 seed rides as a string).
+  EXPECT_EQ(back.ToJson(), json);
+  EXPECT_EQ(back.seed, config.seed);
+  EXPECT_EQ(back.base_rows, config.base_rows);
+  EXPECT_EQ(back.inject_mismatch_after, 17);
+  ASSERT_EQ(back.phases.size(), config.phases.size());
+  for (size_t i = 0; i < back.phases.size(); ++i) {
+    EXPECT_EQ(back.phases[i].label, config.phases[i].label);
+    EXPECT_EQ(back.phases[i].weights, config.phases[i].weights);
+    EXPECT_DOUBLE_EQ(back.phases[i].chaos_probability,
+                     config.phases[i].chaos_probability);
+  }
+}
+
+TEST(StressConfigTest, FromJsonRejectsGarbage) {
+  ASSERT_OK_AND_ASSIGN(JsonPtr no_phases, ParseJson("{\"seed\": \"3\"}"));
+  EXPECT_FALSE(StressConfig::FromJson(*no_phases).ok());
+  EXPECT_FALSE(ReplayCapsule::FromJsonText("{\"format\": \"other\"}").ok());
+  EXPECT_FALSE(ReplayCapsule::FromJsonText("not json at all").ok());
+}
+
+// The acceptance-criterion test: an intentionally-armed failure must
+// produce a capsule whose replay reproduces the failure bit-identically,
+// surviving a JSON round trip through a file on the way.
+TEST(ReplayCapsuleTest, ReplayReproducesInjectedFailure) {
+  StressConfig config = SmallMixed(/*seed=*/303, /*ops_per_phase=*/20);
+  config.inject_mismatch_after = 30;
+
+  DriverOptions options;
+  options.stop_on_failure = true;
+  options.shrink = true;
+  options.shrink_max_runs = 64;
+  options.capsule_dir = ::testing::TempDir();
+  WorkloadDriver driver(config, options);
+  DriverResult result = driver.Run();
+
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.capsules.size(), 1u);
+  const ReplayCapsule& capsule = result.capsules.front();
+  EXPECT_EQ(capsule.failure.strategy, "lazy");
+  EXPECT_GE(capsule.failure.op_index, config.inject_mismatch_after);
+  // Shrinking must never drop the failing op.
+  ASSERT_FALSE(capsule.included_ops.empty());
+  EXPECT_EQ(capsule.included_ops.back(), capsule.failure.op_index);
+
+  // Reload from the file the driver wrote (full JSON round trip).
+  ASSERT_EQ(result.capsule_paths.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(ReplayCapsule reloaded,
+                       WorkloadDriver::LoadCapsuleFile(
+                           result.capsule_paths.front()));
+  EXPECT_EQ(reloaded.ToJson(), capsule.ToJson());
+  EXPECT_EQ(reloaded.failure, capsule.failure);
+
+  ASSERT_OK_AND_ASSIGN(ReplayOutcome outcome,
+                       WorkloadDriver::Replay(reloaded));
+  EXPECT_TRUE(outcome.reproduced) << outcome.summary;
+  std::remove(result.capsule_paths.front().c_str());
+}
+
+// The greedy shrinker must produce a strictly smaller op list that still
+// reproduces, and the shrunk capsule must itself replay.
+TEST(ReplayCapsuleTest, ShrinkerMinimizesFailingSequence) {
+  StressConfig config = SmallMixed(/*seed=*/404, /*ops_per_phase=*/20);
+  config.inject_mismatch_after = 50;
+
+  DriverOptions options;
+  options.stop_on_failure = true;
+  options.shrink = false;  // shrink explicitly below, to compare sizes
+  WorkloadDriver driver(config, options);
+  DriverResult result = driver.Run();
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.capsules.size(), 1u);
+  const ReplayCapsule& full = result.capsules.front();
+  ASSERT_GT(full.included_ops.size(), 1u);
+
+  int runs_used = 0;
+  ReplayCapsule shrunk = WorkloadDriver::Shrink(full, /*max_runs=*/128,
+                                                &runs_used);
+  EXPECT_GT(runs_used, 0);
+  EXPECT_LT(shrunk.included_ops.size(), full.included_ops.size());
+  EXPECT_EQ(shrunk.failure, full.failure);
+  ASSERT_OK_AND_ASSIGN(ReplayOutcome outcome, WorkloadDriver::Replay(shrunk));
+  EXPECT_TRUE(outcome.reproduced) << outcome.summary;
+}
+
+// A clean run must produce no capsules, touch every phase, and report
+// metrics consistent with the harness totals.
+TEST(WorkloadDriverTest, CleanRunReportsPhaseMetrics) {
+  StressConfig config = SmallMixed(/*seed=*/505, /*ops_per_phase=*/25);
+  DriverOptions options;
+  int phases_seen = 0;
+  options.on_phase = [&](const PhaseMetrics&) { ++phases_seen; };
+  WorkloadDriver driver(config, options);
+  DriverResult result = driver.Run();
+  EXPECT_TRUE(result.ok())
+      << result.report.failures.front().ToString();
+  EXPECT_TRUE(result.capsules.empty());
+  EXPECT_FALSE(result.time_limited);
+  EXPECT_EQ(phases_seen, static_cast<int>(config.phases.size()));
+  ASSERT_EQ(result.phases.size(), config.phases.size());
+  int ops_total = 0;
+  uint64_t oracle_total = 0;
+  for (const PhaseMetrics& m : result.phases) {
+    EXPECT_EQ(m.ops, 25);
+    ops_total += m.ops;
+    oracle_total += m.oracle_runs;
+  }
+  EXPECT_EQ(ops_total, result.report.ops_run);
+  EXPECT_EQ(oracle_total, result.report.oracle_runs);
+}
+
+// Chaos arming covers the whole registered-site catalog: a dedicated
+// chaos-only phase at a high fire probability must surface clean governed
+// errors (Debug builds), and never a failure.
+TEST(StressHarnessTest, ChaosPhaseStaysCleanAtHighProbability) {
+  StressConfig config;
+  config.seed = 606;
+  config.base_rows = 12;
+  StressPhase phase;
+  phase.label = "chaos-heavy";
+  phase.ops = 80;
+  phase.chaos_probability = 0.2;
+  phase.budget_probability = 0.3;
+  config.phases = {phase};
+
+  StressHarness harness(config);
+  for (int i = 0; i < config.TotalOps(); ++i) {
+    bool ok = harness.RunOp(i);
+    if (!ok) {
+      FAIL() << harness.report().failures.back().ToString();
+    }
+  }
+#ifndef NDEBUG
+  EXPECT_GT(harness.report().clean_errors, 0u);
+  EXPECT_GE(RegisteredFailPointSites().size(), 7u);
+#endif
+  EXPECT_GT(harness.report().ok_runs, 0u);
+}
+
+}  // namespace
+}  // namespace hql

@@ -46,6 +46,56 @@ TEST(GenRelationTest, ZipfSkewsKeys) {
   EXPECT_GT(low_keys, r.size() / 4);
 }
 
+TEST(GenRelationTest, ZeroRowsYieldsEmptyRelation) {
+  Rng rng(1209);
+  Relation r = GenRelation(&rng, 0, 3, 1000);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.arity(), 3u);
+}
+
+TEST(GenRelationTest, SingletonDomains) {
+  // key_domain=1 and value_domain=1 admit exactly one distinct tuple per
+  // arity; the generator must cap there rather than spin.
+  Rng rng(1211);
+  Relation keys = GenRelation(&rng, 50, 2, /*key_domain=*/1,
+                              /*value_domain=*/1);
+  EXPECT_LE(keys.size(), 1u);
+  for (const Tuple& t : keys) {
+    EXPECT_EQ(t[0].AsInt(), 0);
+    EXPECT_EQ(t[1].AsInt(), 0);
+  }
+}
+
+TEST(GenRelationTest, ZipfOnTinyKeyDomainStaysInRange) {
+  // Skew must not push keys outside [0, key_domain) even when the domain
+  // is smaller than the Zipf tail the skew would prefer.
+  Rng rng(1217);
+  Relation r = GenRelation(&rng, 20, 2, /*key_domain=*/3,
+                           /*value_domain=*/1000, /*zipf_s=*/2.5);
+  EXPECT_LE(r.size(), 20u);
+  for (const Tuple& t : r) {
+    EXPECT_GE(t[0].AsInt(), 0);
+    EXPECT_LT(t[0].AsInt(), 3);
+  }
+}
+
+TEST(SampleFractionTest, EmptyRelationAllFractions) {
+  Rng rng(1219);
+  Relation empty(2);
+  for (double frac : {0.0, 0.3, 1.0}) {
+    Relation sample = SampleFraction(&rng, empty, frac);
+    EXPECT_TRUE(sample.empty());
+    EXPECT_EQ(sample.arity(), 2u);
+  }
+}
+
+TEST(SampleFractionTest, FractionsClampOutsideUnitInterval) {
+  Rng rng(1223);
+  Relation base = GenRelation(&rng, 40, 2, 600);
+  EXPECT_TRUE(SampleFraction(&rng, base, -0.5).empty());
+  EXPECT_EQ(SampleFraction(&rng, base, 1.5), base);
+}
+
 TEST(SampleFractionTest, ProducesSubset) {
   Rng rng(1213);
   Relation base = GenRelation(&rng, 300, 2, 600);
