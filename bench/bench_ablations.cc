@@ -82,7 +82,7 @@ void BM_SelectOverProductNodeAtATime(benchmark::State& state) {
   QueryPtr q = Sel(Eq(Col(0), Col(2)), X(Rel("R"), Rel("S")));
   for (auto _ : state) {
     // Algorithm HQL-1 materializes the full product, then filters.
-    Relation out = Unwrap(Filter1(q, db));
+    Relation out = Unwrap(RunFilter1(q, db));
     benchmark::DoNotOptimize(out);
   }
 }
@@ -93,7 +93,7 @@ void BM_SelectOverProductClustered(benchmark::State& state) {
   QueryPtr q = Sel(Eq(Col(0), Col(2)), X(Rel("R"), Rel("S")));
   for (auto _ : state) {
     // Algorithm HQL-2's eval_filter_x clusters it into a hash join.
-    Relation out = Unwrap(Filter2(q, db, db.schema()));
+    Relation out = Unwrap(RunFilter2(q, db, db.schema()));
     benchmark::DoNotOptimize(out);
   }
 }

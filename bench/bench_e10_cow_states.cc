@@ -35,6 +35,7 @@
 #include "eval/ra_eval.h"
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "common/exec_context.h"
 #include "storage/view.h"
 
 namespace hql {
@@ -64,16 +65,15 @@ std::pair<std::vector<Tuple>, std::vector<Tuple>> MakeDelta(
   return {std::move(adds), std::move(dels)};
 }
 
-void ExportViewCounters(benchmark::State& state, const ViewStats& before) {
-  ViewStats after = GlobalViewStats();
-  state.counters["views_created"] =
-      static_cast<double>(after.views_created - before.views_created);
+void ExportViewCounters(benchmark::State& state, const ExecContext& ctx) {
+  ExecStats after = ctx.Snapshot();
+  state.counters["views_created"] = static_cast<double>(after.views_created);
   state.counters["consolidations"] =
-      static_cast<double>(after.consolidations - before.consolidations);
+      static_cast<double>(after.view_consolidations);
   state.counters["tuples_shared"] =
-      static_cast<double>(after.tuples_shared - before.tuples_shared);
+      static_cast<double>(after.view_tuples_shared);
   state.counters["tuples_copied"] =
-      static_cast<double>(after.tuples_copied - before.tuples_copied);
+      static_cast<double>(after.view_tuples_copied);
 }
 
 void BM_DeriveOverlay(benchmark::State& state) {
@@ -81,14 +81,15 @@ void BM_DeriveOverlay(benchmark::State& state) {
   Database db = MakeRS(11, kBaseRows, kKeyDomain);
   RelationView base = Unwrap(db.GetView("R"));
   auto [adds, dels] = MakeDelta(base.Flat(), delta);
-  ViewStats before = GlobalViewStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   uint64_t derived = 0;
   for (auto _ : state) {
     RelationView child = base.ApplyDelta(adds, dels);
     benchmark::DoNotOptimize(child.size());
     derived += child.size();
   }
-  ExportViewCounters(state, before);
+  ExportViewCounters(state, ctx);
   state.counters["derived_size"] = static_cast<double>(derived);
 }
 

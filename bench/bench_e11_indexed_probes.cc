@@ -32,6 +32,7 @@
 #include "common/check.h"
 #include "opt/planner.h"
 #include "storage/database.h"
+#include "common/exec_context.h"
 #include "storage/index.h"
 
 namespace hql {
@@ -89,7 +90,8 @@ void CheckAndExport(benchmark::State& state,
   IndexAdvisor advisor(/*build_threshold=*/1);
   PlannerOptions indexed = IndexedOptions(&advisor);
   PlannerOptions scan = ScanOptions();
-  IndexStats before = GlobalIndexStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   for (const QueryPtr& q : family) {
     Relation with_index =
         Unwrap(Execute(q, db, db.schema(), Strategy::kHybrid, indexed));
@@ -98,15 +100,13 @@ void CheckAndExport(benchmark::State& state,
     HQL_CHECK_MSG(with_index == with_scan,
                   "indexed and scan routes must agree bit-identically");
   }
-  IndexStats after = GlobalIndexStats();
-  state.counters["indexes_built"] =
-      static_cast<double>(after.indexes_built - before.indexes_built);
+  ExecStats after = ctx.Snapshot();
+  state.counters["indexes_built"] = static_cast<double>(after.indexes_built);
   state.counters["indexes_shared"] =
-      static_cast<double>(after.indexes_shared - before.indexes_shared);
-  state.counters["index_probes"] =
-      static_cast<double>(after.index_probes - before.index_probes);
+      static_cast<double>(after.indexes_shared);
+  state.counters["index_probes"] = static_cast<double>(after.index_probes);
   state.counters["tuples_skipped"] =
-      static_cast<double>(after.tuples_skipped - before.tuples_skipped);
+      static_cast<double>(after.index_tuples_skipped);
 }
 
 // Equality on a key present in the data (the median base tuple's), so the

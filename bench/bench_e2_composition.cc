@@ -64,7 +64,7 @@ void BM_Naive(benchmark::State& state) {
           Query::When(Query::When(FamilyQuery(i, rows), InnerState(rows)),
                       OuterState(rows));
       QueryPtr enf = Unwrap(ToEnf(q, schema));
-      total += Unwrap(Filter1(enf, db)).size();
+      total += Unwrap(RunFilter1(enf, db)).size();
     }
   }
   state.counters["result_tuples"] = static_cast<double>(total);
@@ -87,8 +87,10 @@ void BM_ComposedXsub(benchmark::State& state) {
       DatabaseResolver resolver(db);
       env.Bind(name, Unwrap(EvalRa(query, resolver)));
     }
+    Filter1Options options;
+    options.env = &env;
     for (int i = 0; i < family; ++i) {
-      total += Unwrap(Filter1WithEnv(FamilyQuery(i, rows), db, env)).size();
+      total += Unwrap(RunFilter1(FamilyQuery(i, rows), db, options)).size();
     }
   }
   state.counters["result_tuples"] = static_cast<double>(total);

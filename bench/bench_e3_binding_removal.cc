@@ -61,7 +61,7 @@ void BM_WithAllBindings(benchmark::State& state) {
   QueryPtr enf = Unwrap(ToEnf(q, schema));
   uint64_t total = 0;
   for (auto _ : state) {
-    total += Unwrap(Filter1(enf, db)).size();
+    total += Unwrap(RunFilter1(enf, db)).size();
   }
   state.counters["bindings"] =
       static_cast<double>(enf->state()->bindings().size());
@@ -78,7 +78,7 @@ void BM_WithBindingRemoval(benchmark::State& state) {
   HQL_CHECK(trimmed != nullptr);
   uint64_t total = 0;
   for (auto _ : state) {
-    total += Unwrap(Filter1(trimmed, db)).size();
+    total += Unwrap(RunFilter1(trimmed, db)).size();
   }
   state.counters["bindings"] =
       static_cast<double>(trimmed->state()->bindings().size());

@@ -82,7 +82,7 @@ void BM_EagerEval(benchmark::State& state) {
   Database db = SingletonChainDb(spec, n);
   QueryPtr enf = Unwrap(ToEnf(spec.query, spec.schema));
   for (auto _ : state) {
-    Relation out = Unwrap(Filter2(enf, db, spec.schema));
+    Relation out = Unwrap(RunFilter2(enf, db, spec.schema));
     HQL_CHECK(out.size() == 1);
     benchmark::DoNotOptimize(out);
   }
@@ -115,7 +115,7 @@ void BM_EagerEvalSmallValues(benchmark::State& state) {
   Database db = SingletonChainDb(spec, n);
   QueryPtr enf = Unwrap(ToEnf(spec.query, spec.schema));
   for (auto _ : state) {
-    Relation out = Unwrap(Filter2(enf, db, spec.schema));
+    Relation out = Unwrap(RunFilter2(enf, db, spec.schema));
     benchmark::DoNotOptimize(out);
   }
 }

@@ -1,0 +1,170 @@
+// hql_serve: the concurrent hypothetical-state server.
+//
+// Serves the line/JSON wire protocol (src/server/wire.h) over loopback
+// TCP: every connection gets its own hql::Session — a private, named tree
+// of hypothetical states over a snapshot of the shared base — while the
+// engine's caches (memo, index advisor, incremental) are shared by all.
+//
+//   hql_serve --port=7654 --profile=fast &
+//   printf 'derive root hire {ins(A2, {(4, 20)})}\nquery hire A2\nquit\n' |
+//     nc 127.0.0.1 7654
+//
+// The base database comes from --db=FILE (storage/io.h text format) or
+// --gen-rows/--gen-seed (the property-test generator's random database,
+// handy for driving it with hql_stress --connect).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "server/server.h"
+#include "storage/io.h"
+#include "workload/generators.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port=N] [--db=FILE | --gen-rows=N] [--gen-seed=N]\n"
+      "          [--gen-domain=N] [--profile=NAME] [--set KNOB=VALUE]...\n"
+      "          [--max-sessions=N] [--once]\n"
+      "\n"
+      "  --port=N          TCP port to bind on 127.0.0.1 (default: "
+      "ephemeral,\n"
+      "                    printed on startup)\n"
+      "  --db=FILE         load the base database from FILE (storage/io.h)\n"
+      "  --gen-rows=N      generate a random base over the property-test\n"
+      "                    schema with up to N rows per relation\n"
+      "  --gen-seed=N      seed for --gen-rows (default 1)\n"
+      "  --gen-domain=N    value domain for --gen-rows (default 64)\n"
+      "  --profile=NAME    engine profile: default|fast|safe|all-on\n"
+      "  --set KNOB=VALUE  set one engine knob (repeatable; see \\set)\n"
+      "  --max-sessions=N  admission cap on concurrent sessions\n"
+      "  --once            exit after the first connection closes (smoke\n"
+      "                    tests)\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  return false;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* db_path = nullptr;
+  long gen_rows = 0;
+  long gen_seed = 1;
+  long gen_domain = 64;
+  long port = 0;
+  bool once = false;
+  hql::EngineOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--port", &v) && v != nullptr) {
+      port = std::atol(v);
+    } else if (ParseFlag(argv[i], "--db", &v) && v != nullptr) {
+      db_path = v;
+    } else if (ParseFlag(argv[i], "--gen-rows", &v) && v != nullptr) {
+      gen_rows = std::atol(v);
+    } else if (ParseFlag(argv[i], "--gen-seed", &v) && v != nullptr) {
+      gen_seed = std::atol(v);
+    } else if (ParseFlag(argv[i], "--gen-domain", &v) && v != nullptr) {
+      gen_domain = std::atol(v);
+    } else if (ParseFlag(argv[i], "--profile", &v) && v != nullptr) {
+      hql::Status st = options.Set("profile", v);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc) {
+      std::string kv = argv[++i];
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "error: --set wants KNOB=VALUE, got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      hql::Status st = options.Set(kv.substr(0, eq), kv.substr(eq + 1));
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--max-sessions", &v) && v != nullptr) {
+      options.max_sessions = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: bad port %ld\n", port);
+    return 2;
+  }
+
+  hql::Schema schema = hql::PropertySchema();
+  hql::Database base(schema);
+  if (db_path != nullptr) {
+    hql::Result<hql::Database> loaded = hql::LoadDatabase(db_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(loaded).value();
+  } else if (gen_rows > 0) {
+    hql::Rng rng(static_cast<uint64_t>(gen_seed));
+    base = hql::RandomDatabase(&rng, schema, static_cast<size_t>(gen_rows),
+                               gen_domain);
+  }
+
+  hql::Engine engine(std::move(base), options);
+  hql::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  hql::HqlServer server(&engine, server_options);
+  hql::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("hql_serve: listening on 127.0.0.1:%u (%s)\n",
+              static_cast<unsigned>(server.port()),
+              options.Describe().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  bool saw_connection = false;
+  while (g_stop == 0) {
+    struct timespec ts = {0, 50 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+    if (once) {
+      if (server.total_connections() > 0) saw_connection = true;
+      if (saw_connection && server.active_connections() == 0) break;
+    }
+  }
+  server.Stop();
+  std::printf("hql_serve: served %llu connections, %llu requests\n",
+              static_cast<unsigned long long>(server.total_connections()),
+              static_cast<unsigned long long>(server.total_requests()));
+  return 0;
+}

@@ -1,9 +1,13 @@
-// hql_shell: an interactive REPL over the hql library.
+// hql_shell: an interactive REPL over the hql::Engine / hql::Session
+// facade — the same API the network server (hql_serve) and the stress
+// driver's --connect mode sit on.
 //
 //   $ ./examples/hql_shell
 //   hql> \schema emp 2
 //   hql> \gen emp 1000 500
-//   hql> gamma[1; count(0)](emp) when {del(emp, sigma[$0 < 100](emp))}
+//   hql> \derive root layoffs {del(emp, sigma[$0 < 100](emp))}
+//   hql> \at layoffs
+//   hql> gamma[1; count(0)](emp)
 //   ...
 //
 // Commands:
@@ -11,22 +15,28 @@
 //   \load NAME (v,..) ...   insert literal rows
 //   \gen NAME ROWS DOMAIN   fill with random int rows (col 0 in [0,DOMAIN))
 //   \apply UPDATE           commit an update to the real state
-//   \strategy NAME          direct | lazy | filter1 | filter2 | filter3 |
-//                           hybrid (default hybrid)
-//   \columnar on|off        vectorized columnar kernels for large flat
-//                           bases (default off); \analyze shows the
-//                           columnar-select / columnar-join spans
-//   \incremental on|off     patch cached results under small scenario
-//                           edits instead of recomputing (default off);
-//                           \analyze shows the incremental-patch span and
-//                           the patched/propagated/fallback counters
+//   \derive PARENT CHILD {UPD; ...}   add a scenario below PARENT
+//   \edit NODE {UPD; ...}   replace NODE's hypothetical edge
+//   \drop NODE              drop NODE and its subtree
+//   \nodes                  list the scenario tree
+//   \at [NODE]              run subsequent queries at NODE (default root)
+//   \compare A B QUERY      (QUERY at A) - (QUERY at B)
+//   \set [KNOB VALUE]       engine knob by name; bare \set lists them all
+//   \profile NAME           load a named profile: fast | safe | all-on
+//   \strategy NAME          shorthand for \set strategy NAME
+//   \columnar on|off        shorthand for \set columnar auto|off
+//   \incremental on|off     shorthand for \set incremental auto|off
 //   \explain QUERY          show the lazy rewrite and the hybrid plan
-//   \analyze QUERY          EXPLAIN ANALYZE: run the query traced and show
-//                           estimates vs actuals plus per-operator spans
-//   \db                     print the whole database
+//   \analyze QUERY          EXPLAIN ANALYZE at the current node
+//   \stats                  this session's accumulated ExecStats (JSON)
+//   \db [NODE]              print the base (or NODE's hypothetical state)
+//   \save FILE  \open FILE  persist / restore the database
+//   \whatif STATE           open a what-if scenario (queries run there);
+//                           \endwhatif returns to the previous node
 //   \time on|off            toggle per-query timing
 //   \help, \quit
-// Anything else is parsed as an HQL query and evaluated.
+// Anything else is parsed as an HQL query and evaluated at the current
+// scenario node ("Q when {...}" still works anywhere).
 
 #include <chrono>
 #include <cstdio>
@@ -36,18 +46,11 @@
 #include <string>
 #include <vector>
 
-#include "ast/metrics.h"
 #include "ast/typecheck.h"
-#include "common/exec_context.h"
 #include "common/rng.h"
-#include "eval/direct.h"
-#include "eval/memo.h"
 #include "eval/simd.h"
-#include "hql/ra_rewrite.h"
-#include "hql/reduce.h"
+#include "opt/engine.h"
 #include "opt/explain.h"
-#include "opt/session.h"
-#include "opt/planner.h"
 #include "parser/parser.h"
 #include "storage/database.h"
 #include "storage/io.h"
@@ -58,29 +61,23 @@ namespace {
 using namespace hql;  // NOLINT
 
 struct ShellState {
-  Schema schema;
-  Database db{Schema()};
-  Strategy strategy = Strategy::kHybrid;
-  ColumnarMode columnar = ColumnarMode::kOff;
-  IncrementalMode incremental = IncrementalMode::kOff;
+  Engine engine{Schema()};
+  SessionPtr session;
+  std::string current = "root";  // node queries run at (\at)
+  std::string whatif_return;     // node to restore on \endwhatif
   bool timing = true;
   Rng rng{20260704};
-  // Session-level subplan cache: repeated (sub)queries against an unchanged
-  // database are served from memory; any \apply changes the content
-  // fingerprint, so stale entries are never reachable. \explain shows the
-  // counters.
-  MemoCache memo;
-  // Session-level incremental store (\incremental on): retains the latest
-  // execution of each plan so a re-ask after a small \apply is patched
-  // rather than recomputed.
-  IncrementalCache incremental_cache;
-  // Session-level execution context: every query run from this shell
-  // charges here (installed for the lifetime of main), so \explain reports
-  // this shell's accumulated counters rather than process-wide state.
-  ExecContext exec;
-  // Active what-if session (\whatif ... \endwhatif). Reset whenever the
-  // real database changes, since it materializes a snapshot of the state.
-  std::unique_ptr<HypotheticalSession> whatif;
+
+  ShellState() { session = engine.CreateSession("shell").value(); }
+
+  // The engine's base (or schema) changed: re-open the session so the
+  // snapshot tracks the committed state, dropping any scenario tree.
+  void ReopenSession() {
+    session.reset();  // release the admission slot first
+    session = engine.CreateSession("shell").value();
+    current = "root";
+    whatif_return.clear();
+  }
 };
 
 void PrintRelation(const Relation& r, size_t limit = 20) {
@@ -95,18 +92,6 @@ void PrintRelation(const Relation& r, size_t limit = 20) {
   std::printf("(%zu tuple%s)\n", r.size(), r.size() == 1 ? "" : "s");
 }
 
-bool ParseStrategy(const std::string& name, Strategy* out) {
-  for (Strategy s : {Strategy::kDirect, Strategy::kLazy, Strategy::kFilter1,
-                     Strategy::kFilter2, Strategy::kFilter3,
-                     Strategy::kHybrid}) {
-    if (name == StrategyName(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
-}
-
 void Help() {
   std::printf(
       "commands:\n"
@@ -114,19 +99,37 @@ void Help() {
       "  \\load NAME (v,..) ...   insert literal rows\n"
       "  \\gen NAME ROWS DOMAIN   fill with random rows\n"
       "  \\apply UPDATE           commit an update\n"
+      "  \\derive PARENT CHILD {UPD; ...}   add a scenario\n"
+      "  \\edit NODE {UPD; ...}   replace a scenario's edge\n"
+      "  \\drop NODE              drop a scenario subtree\n"
+      "  \\nodes                  list the scenario tree\n"
+      "  \\at [NODE]              query at NODE (default root)\n"
+      "  \\compare A B QUERY      (QUERY at A) - (QUERY at B)\n"
+      "  \\set [KNOB VALUE]       tune one engine knob; bare \\set lists\n"
+      "  \\profile NAME           fast | safe | all-on\n"
       "  \\strategy NAME          direct|lazy|filter1|filter2|filter3|hybrid\n"
       "  \\columnar on|off        vectorized kernels for large flat bases\n"
       "  \\incremental on|off     patch cached results under small edits\n"
       "  \\explain QUERY          show rewrites and plan\n"
-      "  \\analyze QUERY          run traced: estimates vs actuals + spans\n"
-      "  \\db                     print the database\n"
+      "  \\analyze QUERY          run traced at the current node\n"
+      "  \\stats                  session ExecStats as JSON\n"
+      "  \\db [NODE]              print the base or a scenario state\n"
       "  \\save FILE  \\open FILE  persist / restore the database\n"
-      "  \\whatif STATE           open a what-if session (queries run in\n"
-      "                          the hypothetical state); \\endwhatif\n"
+      "  \\whatif STATE           what-if scenario; \\endwhatif to close\n"
       "  \\time on|off            toggle timing\n"
       "  \\help  \\quit\n"
       "anything else: an HQL query, e.g.\n"
       "  sigma[$0 > 3](R) when {ins(R, S); del(S, R)}\n");
+}
+
+/// Parses the trailing "{...}" of a scenario command as a hypothetical
+/// state and type-checks it against the engine schema.
+Result<HypoExprPtr> ParseEdge(const ShellState& st, const std::string& text) {
+  auto edge = ParseHypo(text);
+  if (!edge.ok()) return edge.status();
+  Status check = CheckHypo(edge.value(), st.engine.schema());
+  if (!check.ok()) return check;
+  return edge;
 }
 
 void HandleCommand(ShellState* st, const std::string& line) {
@@ -143,36 +146,33 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("usage: \\schema NAME ARITY\n");
       return;
     }
-    Status st2 = st->schema.AddRelation(name, arity);
-    if (!st2.ok()) {
-      std::printf("error: %s\n", st2.ToString().c_str());
+    Status declared = st->engine.DeclareRelation(name, arity);
+    if (!declared.ok()) {
+      std::printf("error: %s\n", declared.ToString().c_str());
       return;
     }
-    st->whatif.reset();
-    st->db = Database(st->schema);  // reset to empty over the new schema
-    std::printf("ok: %s/%zu (database reset)\n", name.c_str(), arity);
+    st->ReopenSession();
+    std::printf("ok: %s/%zu\n", name.c_str(), arity);
   } else if (cmd == "\\gen") {
     std::string name;
     size_t rows = 0;
     int64_t domain = 0;
     in >> name >> rows >> domain;
-    auto arity = st->schema.ArityOf(name);
+    auto arity = st->engine.schema().ArityOf(name);
     if (!arity.ok() || rows == 0 || domain <= 0) {
       std::printf("usage: \\gen NAME ROWS DOMAIN (declared relation)\n");
       return;
     }
-    st->whatif.reset();
-    Status set = st->db.Set(
+    Status set = st->engine.SetRelation(
         name, GenRelation(&st->rng, rows, arity.value(), domain, domain));
+    if (set.ok()) st->ReopenSession();
     std::printf("%s\n", set.ok() ? "ok" : set.ToString().c_str());
   } else if (cmd == "\\load") {
     std::string name;
     in >> name;
     std::string rest;
     std::getline(in, rest);
-    // Reuse the query parser: rows form a union of singletons.
-    std::istringstream rows(rest);
-    std::string tok;
+    // Reuse the query parser: each "(v, ..)" is a singleton.
     std::vector<std::string> tuples;
     std::string cur;
     for (char c : rest) {
@@ -186,7 +186,7 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("usage: \\load NAME (v, ..) (v, ..) ...\n");
       return;
     }
-    auto base = st->db.Get(name);
+    auto base = st->engine.Snapshot().Get(name);
     if (!base.ok()) {
       std::printf("error: %s\n", base.status().ToString().c_str());
       return;
@@ -201,7 +201,8 @@ void HandleCommand(ShellState* st, const std::string& line) {
       }
       rel.Insert(q.value()->tuple());
     }
-    Status set = st->db.Set(name, std::move(rel));
+    Status set = st->engine.SetRelation(name, std::move(rel));
+    if (set.ok()) st->ReopenSession();
     std::printf("%s\n", set.ok() ? "ok" : set.ToString().c_str());
   } else if (cmd == "\\apply") {
     std::string rest;
@@ -211,27 +212,114 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("parse error: %s\n", u.status().ToString().c_str());
       return;
     }
-    Status check = CheckUpdate(u.value(), st->schema);
-    if (!check.ok()) {
-      std::printf("type error: %s\n", check.ToString().c_str());
+    Status applied = st->engine.Apply(u.value());
+    if (!applied.ok()) {
+      std::printf("error: %s\n", applied.ToString().c_str());
       return;
     }
-    auto next = ExecUpdate(u.value(), st->db);
-    if (!next.ok()) {
-      std::printf("error: %s\n", next.status().ToString().c_str());
-      return;
-    }
-    st->whatif.reset();
-    st->db = std::move(next).value();
+    st->ReopenSession();
     std::printf("ok\n");
+  } else if (cmd == "\\derive") {
+    std::string parent, child;
+    in >> parent >> child;
+    std::string rest;
+    std::getline(in, rest);
+    if (parent.empty() || child.empty()) {
+      std::printf("usage: \\derive PARENT CHILD {UPD; ...}\n");
+      return;
+    }
+    auto edge = ParseEdge(*st, rest);
+    if (!edge.ok()) {
+      std::printf("error: %s\n", edge.status().ToString().c_str());
+      return;
+    }
+    Status derived = st->session->Derive(parent, child, edge.value());
+    std::printf("%s\n", derived.ok() ? "ok" : derived.ToString().c_str());
+  } else if (cmd == "\\edit") {
+    std::string node;
+    in >> node;
+    std::string rest;
+    std::getline(in, rest);
+    if (node.empty()) {
+      std::printf("usage: \\edit NODE {UPD; ...}\n");
+      return;
+    }
+    auto edge = ParseEdge(*st, rest);
+    if (!edge.ok()) {
+      std::printf("error: %s\n", edge.status().ToString().c_str());
+      return;
+    }
+    Status edited = st->session->Edit(node, edge.value());
+    std::printf("%s\n", edited.ok() ? "ok" : edited.ToString().c_str());
+  } else if (cmd == "\\drop") {
+    std::string node;
+    in >> node;
+    Status dropped = st->session->Drop(node);
+    if (dropped.ok() && st->current == node) st->current = "root";
+    std::printf("%s\n", dropped.ok() ? "ok" : dropped.ToString().c_str());
+  } else if (cmd == "\\nodes") {
+    for (const ScenarioInfo& info : st->session->Nodes()) {
+      std::printf("  %s%s%s%s%s\n", info.name.c_str(),
+                  info.parent.empty() ? "" : " <- ", info.parent.c_str(),
+                  info.materialized ? " [materialized]" : "",
+                  info.name == st->current ? " *" : "");
+    }
+  } else if (cmd == "\\at") {
+    std::string node;
+    in >> node;
+    if (node.empty()) node = "root";
+    // Probe the node by materializing its state.
+    auto state = st->session->StateAt(node);
+    if (!state.ok()) {
+      std::printf("error: %s\n", state.status().ToString().c_str());
+      return;
+    }
+    st->current = node;
+    std::printf("queries now run at '%s'\n", node.c_str());
+  } else if (cmd == "\\compare") {
+    std::string a, b;
+    in >> a >> b;
+    std::string rest;
+    std::getline(in, rest);
+    auto q = ParseQuery(rest);
+    if (a.empty() || b.empty() || !q.ok()) {
+      std::printf("usage: \\compare A B QUERY\n");
+      return;
+    }
+    auto diff = st->session->Compare(a, b, q.value());
+    if (!diff.ok()) {
+      std::printf("error: %s\n", diff.status().ToString().c_str());
+      return;
+    }
+    PrintRelation(diff.value());
+  } else if (cmd == "\\set") {
+    std::string knob, value;
+    in >> knob >> value;
+    if (knob.empty()) {
+      std::printf("%s\n", st->session->options().Describe().c_str());
+      return;
+    }
+    Status set = st->session->Set(knob, value);
+    std::printf("%s\n", set.ok() ? "ok" : set.ToString().c_str());
+  } else if (cmd == "\\profile") {
+    std::string name;
+    in >> name;
+    Status set = st->session->SetProfile(name);
+    if (!set.ok()) {
+      std::printf("error: %s\n", set.ToString().c_str());
+      return;
+    }
+    std::printf("profile %s: %s\n", name.c_str(),
+                st->session->options().Describe().c_str());
   } else if (cmd == "\\strategy") {
     std::string name;
     in >> name;
-    if (!ParseStrategy(name, &st->strategy)) {
-      std::printf("unknown strategy '%s'\n", name.c_str());
+    Status set = st->session->Set("strategy", name);
+    if (!set.ok()) {
+      std::printf("%s\n", set.ToString().c_str());
       return;
     }
-    std::printf("strategy = %s\n", StrategyName(st->strategy));
+    std::printf("strategy = %s\n", name.c_str());
   } else if (cmd == "\\columnar") {
     std::string mode;
     in >> mode;
@@ -239,9 +327,12 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("usage: \\columnar on|off\n");
       return;
     }
-    st->columnar = mode == "on" ? ColumnarMode::kAuto : ColumnarMode::kOff;
-    std::printf("columnar = %s (simd: %s)\n", ColumnarModeName(st->columnar),
-                SimdIsaName());
+    Status set = st->session->Set("columnar", mode == "on" ? "auto" : "off");
+    if (!set.ok()) {
+      std::printf("error: %s\n", set.ToString().c_str());
+      return;
+    }
+    std::printf("columnar = %s (simd: %s)\n", mode.c_str(), SimdIsaName());
   } else if (cmd == "\\incremental") {
     std::string mode;
     in >> mode;
@@ -249,9 +340,13 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("usage: \\incremental on|off\n");
       return;
     }
-    st->incremental =
-        mode == "on" ? IncrementalMode::kAuto : IncrementalMode::kOff;
-    std::printf("incremental = %s\n", IncrementalModeName(st->incremental));
+    Status set =
+        st->session->Set("incremental", mode == "on" ? "auto" : "off");
+    if (!set.ok()) {
+      std::printf("error: %s\n", set.ToString().c_str());
+      return;
+    }
+    std::printf("incremental = %s\n", mode.c_str());
   } else if (cmd == "\\explain") {
     std::string rest;
     std::getline(in, rest);
@@ -260,8 +355,10 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("parse error: %s\n", q.status().ToString().c_str());
       return;
     }
-    StatsCatalog stats = StatsCatalog::FromDatabase(st->db);
-    auto report = Explain(q.value(), st->schema, stats, &st->memo);
+    StatsCatalog stats =
+        StatsCatalog::FromDatabase(st->session->BaseSnapshot());
+    PlannerOptions planner = st->session->PlannerConfig();
+    auto report = Explain(q.value(), st->engine.schema(), stats, planner.memo);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       return;
@@ -275,22 +372,18 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("parse error: %s\n", q.status().ToString().c_str());
       return;
     }
-    AnalyzeOptions options;
-    options.strategy = st->strategy;
-    options.planner.memo = &st->memo;
-    options.planner.columnar_mode = st->columnar;
-    options.planner.incremental_mode = st->incremental;
-    options.planner.incremental_cache = &st->incremental_cache;
-    auto report = ExplainAnalyze(q.value(), st->db, st->schema, options);
+    auto report = st->session->Analyze(st->current, q.value());
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       return;
     }
     std::printf("%s", FormatExplainAnalyze(report.value()).c_str());
+  } else if (cmd == "\\stats") {
+    std::printf("%s\n", st->session->Stats().ToJson().c_str());
   } else if (cmd == "\\save") {
     std::string path;
     in >> path;
-    Status saved = SaveDatabase(st->db, path);
+    Status saved = SaveDatabase(st->engine.Snapshot(), path);
     std::printf("%s\n", saved.ok() ? "ok" : saved.ToString().c_str());
   } else if (cmd == "\\open") {
     std::string path;
@@ -300,42 +393,51 @@ void HandleCommand(ShellState* st, const std::string& line) {
       std::printf("error: %s\n", loaded.status().ToString().c_str());
       return;
     }
-    st->whatif.reset();
-    st->schema = loaded.value().schema();
-    st->db = std::move(loaded).value();
-    std::printf("ok (%zu relations)\n", st->schema.NumRelations());
+    st->engine.ResetDatabase(std::move(loaded).value());
+    st->ReopenSession();
+    std::printf("ok (%zu relations)\n", st->engine.schema().NumRelations());
   } else if (cmd == "\\whatif") {
     std::string rest;
     std::getline(in, rest);
-    auto state_expr = ParseHypo(rest);
-    if (!state_expr.ok()) {
-      std::printf("parse error: %s\n",
-                  state_expr.status().ToString().c_str());
+    auto edge = ParseEdge(*st, rest);
+    if (!edge.ok()) {
+      std::printf("error: %s\n", edge.status().ToString().c_str());
       return;
     }
-    Status check = CheckHypo(state_expr.value(), st->schema);
-    if (!check.ok()) {
-      std::printf("type error: %s\n", check.ToString().c_str());
+    st->session->Drop("whatif");  // stale one from a previous \whatif
+    Status derived =
+        st->session->Derive(st->current, "whatif", edge.value());
+    if (!derived.ok()) {
+      std::printf("error: %s\n", derived.ToString().c_str());
       return;
     }
-    auto session =
-        HypotheticalSession::Create(state_expr.value(), st->db, st->schema);
-    if (!session.ok()) {
-      std::printf("error: %s\n", session.status().ToString().c_str());
-      return;
-    }
-    st->whatif = std::make_unique<HypotheticalSession>(
-        std::move(session).value());
-    std::printf("what-if session open (%s, %llu materialized tuples); "
-                "queries now run hypothetically. \\endwhatif to close.\n",
-                st->whatif->uses_delta() ? "delta" : "xsub",
-                static_cast<unsigned long long>(
-                    st->whatif->materialized_tuples()));
+    st->whatif_return = st->current;
+    st->current = "whatif";
+    std::printf("what-if scenario open below '%s'; queries now run there. "
+                "\\endwhatif to close.\n",
+                st->whatif_return.c_str());
   } else if (cmd == "\\endwhatif") {
-    st->whatif.reset();
-    std::printf("what-if session closed; back to the real state.\n");
+    if (st->whatif_return.empty()) {
+      std::printf("no what-if scenario open\n");
+      return;
+    }
+    st->session->Drop("whatif");
+    st->current = st->whatif_return;
+    st->whatif_return.clear();
+    std::printf("what-if closed; back at '%s'.\n", st->current.c_str());
   } else if (cmd == "\\db") {
-    std::printf("%s", st->db.ToString().c_str());
+    std::string node;
+    in >> node;
+    if (node.empty()) {
+      std::printf("%s", st->engine.Snapshot().ToString().c_str());
+      return;
+    }
+    auto state = st->session->StateAt(node);
+    if (!state.ok()) {
+      std::printf("error: %s\n", state.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", state.value().ToString().c_str());
   } else if (cmd == "\\time") {
     std::string mode;
     in >> mode;
@@ -352,21 +454,13 @@ void HandleQuery(ShellState* st, const std::string& line) {
     std::printf("parse error: %s\n", q.status().ToString().c_str());
     return;
   }
-  auto arity = InferQueryArity(q.value(), st->schema);
+  auto arity = InferQueryArity(q.value(), st->engine.schema());
   if (!arity.ok()) {
     std::printf("type error: %s\n", arity.status().ToString().c_str());
     return;
   }
   auto start = std::chrono::steady_clock::now();
-  PlannerOptions options;
-  options.memo = &st->memo;
-  options.columnar_mode = st->columnar;
-  options.incremental_mode = st->incremental;
-  options.incremental_cache = &st->incremental_cache;
-  auto result =
-      st->whatif != nullptr
-          ? st->whatif->Evaluate(q.value())
-          : Execute(q.value(), st->db, st->schema, st->strategy, options);
+  auto result = st->session->Query(st->current, q.value());
   auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - start)
                      .count();
@@ -376,9 +470,8 @@ void HandleQuery(ShellState* st, const std::string& line) {
   }
   PrintRelation(result.value());
   if (st->timing) {
-    std::printf("[%s, %lld us]\n",
-                st->whatif != nullptr ? "whatif-session"
-                                      : StrategyName(st->strategy),
+    std::printf("[at %s, %s, %lld us]\n", st->current.c_str(),
+                StrategyName(st->session->options().strategy),
                 static_cast<long long>(elapsed));
   }
 }
@@ -387,9 +480,6 @@ void HandleQuery(ShellState* st, const std::string& line) {
 
 int main() {
   ShellState state;
-  // All shell work charges the shell's own context, not the process
-  // default — the \explain counters are this session's.
-  ExecContextScope exec_scope(&state.exec);
   std::printf("hql shell — hypothetical queries (\\help for commands)\n");
   std::string line;
   for (;;) {

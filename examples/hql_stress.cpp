@@ -7,15 +7,23 @@
 // Any violation is emitted as a self-contained JSON replay capsule that
 // `hql_stress --replay <capsule>` reproduces deterministically.
 //
+// With --connect=PORT the same phased-mix idea runs over the wire instead:
+// N concurrent sessions against a local hql_serve, each answer checked
+// against a local Strategy::kDirect mirror (server/soak.h). The server
+// must have been started with the matching --gen-seed/--gen-rows flags.
+//
 // Examples:
 //   hql_stress --seed=42 --ops=400 --chaos=0.02 --capsule-dir=/tmp
 //   hql_stress --replay=/tmp/hql-capsule-op123-seed42-0.json
+//   hql_serve --port=7654 --gen-rows=64 --gen-seed=7 &
+//   hql_stress --connect=7654 --sessions=32 --nodes=8 --gen-seed=7
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "server/soak.h"
 #include "workload/driver.h"
 
 namespace {
@@ -35,7 +43,17 @@ void Usage(const char* argv0) {
       "  --inject-failure  deliberately corrupt one result mid-run (tests\n"
       "                    the capsule pipeline end to end)\n"
       "  --replay=FILE     re-execute a replay capsule instead of soaking\n"
-      "  --quiet           suppress per-phase progress\n",
+      "  --json=FILE       write per-phase BENCH metrics (ops/s, p50/p99\n"
+      "                    latency) in the bench_util --json schema\n"
+      "  --quiet           suppress per-phase progress\n"
+      "connected mode (replays the mix over the wire, differential against\n"
+      "a local kDirect mirror):\n"
+      "  --connect=PORT    drive hql_serve on 127.0.0.1:PORT\n"
+      "  --sessions=N      concurrent wire sessions (default 8)\n"
+      "  --nodes=N         scenario nodes per session (default 8)\n"
+      "  --gen-seed=N      server base seed (default: --seed)\n"
+      "  --gen-rows=N      server base rows per relation (default 64)\n"
+      "  --gen-domain=N    server base value domain (default 64)\n",
       argv0);
 }
 
@@ -51,6 +69,25 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
     return true;
   }
   return false;
+}
+
+int RunNetMode(const hql::NetSoakConfig& config, const std::string& json) {
+  hql::Result<hql::NetSoakReport> report = hql::RunNetSoak(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report.value().Summary().c_str());
+  if (!json.empty()) {
+    hql::Status st =
+        hql::WritePhaseMetricsJson(report.value().phases, "net_soak", json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return report.value().ok() ? 0 : 1;
 }
 
 int RunReplay(const std::string& path) {
@@ -95,6 +132,11 @@ int main(int argc, char** argv) {
   bool stop_on_failure = true;
   bool inject = false;
   bool quiet = false;
+  std::string json_path;
+  long connect_port = -1;
+  bool net_seed_set = false;
+  bool ops_set = false;
+  hql::NetSoakConfig net;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -102,6 +144,7 @@ int main(int argc, char** argv) {
       seed = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--ops", &v) && v != nullptr) {
       ops = std::atoi(v);
+      ops_set = true;
     } else if (ParseFlag(argv[i], "--chaos", &v) && v != nullptr) {
       chaos = std::atof(v);
     } else if (ParseFlag(argv[i], "--max-seconds", &v) && v != nullptr) {
@@ -110,6 +153,21 @@ int main(int argc, char** argv) {
       capsule_dir = v;
     } else if (ParseFlag(argv[i], "--replay", &v) && v != nullptr) {
       replay_path = v;
+    } else if (ParseFlag(argv[i], "--json", &v) && v != nullptr) {
+      json_path = v;
+    } else if (ParseFlag(argv[i], "--connect", &v) && v != nullptr) {
+      connect_port = std::atol(v);
+    } else if (ParseFlag(argv[i], "--sessions", &v) && v != nullptr) {
+      net.sessions = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--nodes", &v) && v != nullptr) {
+      net.nodes_per_session = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--gen-seed", &v) && v != nullptr) {
+      net.seed = std::strtoull(v, nullptr, 10);
+      net_seed_set = true;
+    } else if (ParseFlag(argv[i], "--gen-rows", &v) && v != nullptr) {
+      net.gen_rows = static_cast<size_t>(std::atol(v));
+    } else if (ParseFlag(argv[i], "--gen-domain", &v) && v != nullptr) {
+      net.gen_domain = std::atol(v);
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       shrink = false;
     } else if (std::strcmp(argv[i], "--keep-going") == 0) {
@@ -125,6 +183,16 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) return RunReplay(replay_path);
+  if (connect_port >= 0) {
+    if (connect_port == 0 || connect_port > 65535) {
+      std::fprintf(stderr, "error: bad --connect port %ld\n", connect_port);
+      return 2;
+    }
+    net.port = static_cast<uint16_t>(connect_port);
+    if (!net_seed_set) net.seed = seed;
+    if (ops_set && ops > 0) net.ops_per_phase = ops;
+    return RunNetMode(net, json_path);
+  }
   if (ops <= 0) {
     Usage(argv[0]);
     return 2;
@@ -162,6 +230,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.report.clean_errors),
       result.report.failures.size(),
       result.time_limited ? " (time-limited)" : "", result.seconds);
+
+  if (!json_path.empty()) {
+    hql::Status st =
+        hql::WritePhaseMetricsJson(result.phases, "stress_soak", json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   for (size_t i = 0; i < result.capsules.size(); ++i) {
     std::printf("--- failure %zu ---\n%s\n", i,

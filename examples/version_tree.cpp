@@ -94,9 +94,11 @@ int main() {
   std::printf("\nPer-day coverage at v2b (one materialized xsub-value, %llu "
               "tuples):\n",
               static_cast<unsigned long long>(env.TotalTuples()));
+  Filter1Options options;
+  options.env = &env;
   for (int day = 0; day < 7; ++day) {
     QueryPtr per_day = Proj({0}, Sel(Eq(Col(1), Int(day)), Rel("shifts")));
-    Relation out = Unwrap(Filter1WithEnv(per_day, db, env));
+    Relation out = Unwrap(RunFilter1(per_day, db, options));
     std::printf("  day %d: %zu workers\n", day, out.size());
   }
 

@@ -29,10 +29,8 @@
 //                      tracing enabled.
 //
 // Charging falls back to a process-default context when no scope is
-// installed. The old GlobalViewStats / GlobalIndexStats /
-// GlobalGovernorStats accessors are thin deprecated shims over that
-// default context (see their headers); new code should install a context
-// and read its Snapshot() instead.
+// installed. To observe the work a piece of code does, install an
+// ExecContextScope over a fresh context and read its Snapshot().
 
 #include <atomic>
 #include <cstdint>

@@ -15,24 +15,6 @@ thread_local ExecGovernor* t_current_governor = nullptr;
 
 }  // namespace
 
-GovernorStats GlobalGovernorStats() {
-  ExecStats stats = ProcessDefaultExecContext().Snapshot();
-  GovernorStats s;
-  s.deadline_trips = stats.governor_deadline_trips;
-  s.tuple_trips = stats.governor_tuple_trips;
-  s.rewrite_trips = stats.governor_rewrite_trips;
-  s.cancellations = stats.governor_cancellations;
-  s.lazy_fallbacks = stats.governor_lazy_fallbacks;
-  s.index_fallbacks = stats.governor_index_fallbacks;
-  s.max_tuples_charged = stats.governor_max_tuples_charged;
-  s.max_rewrite_nodes_charged = stats.governor_max_rewrite_nodes_charged;
-  return s;
-}
-
-void ResetGovernorStats() {
-  ProcessDefaultExecContext().ResetGovernorCounters();
-}
-
 void AddLazyFallback() { AmbientExecContext().AddLazyFallback(); }
 
 void AddIndexFallback() { AmbientExecContext().AddIndexFallback(); }

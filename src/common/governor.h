@@ -87,28 +87,10 @@ struct ExecBudget {
   }
 };
 
-/// Governor counters in the legacy process-wide shape.
-///
-/// DEPRECATED: charges now land on the ambient ExecContext
-/// (common/exec_context.h); these accessors are thin shims over the
-/// process-default context, kept for one release so existing callers keep
-/// working. They only observe executions that ran without an installed
-/// ExecContextScope (or after a family rolled its stats up into the
-/// ambient default). New code should install an ExecContext and read
-/// Snapshot().
-struct GovernorStats {
-  uint64_t deadline_trips = 0;
-  uint64_t tuple_trips = 0;
-  uint64_t rewrite_trips = 0;
-  uint64_t cancellations = 0;
-  uint64_t lazy_fallbacks = 0;   // lazy -> hybrid/eager retries
-  uint64_t index_fallbacks = 0;  // index builds degraded to scans
-  uint64_t max_tuples_charged = 0;        // high-water mark per execution
-  uint64_t max_rewrite_nodes_charged = 0; // high-water mark per execution
-};
-
-GovernorStats GlobalGovernorStats();
-void ResetGovernorStats();
+// Governor charges land on the ambient ExecContext
+// (common/exec_context.h): governor_*_trips, governor_cancellations,
+// governor_*_fallbacks, and the governor_max_*_charged high-water marks.
+// Install an ExecContextScope and read Snapshot() to observe them.
 
 /// Records a planner lazy->hybrid/eager fallback (planner.cc).
 void AddLazyFallback();
@@ -127,7 +109,8 @@ class ExecGovernor {
                         CancelTokenPtr cancel = nullptr,
                         CancelTokenPtr cancel2 = nullptr);
 
-  /// Publishes this execution's high-water marks into GlobalGovernorStats.
+  /// Publishes this execution's high-water marks into the ambient
+  /// ExecContext.
   ~ExecGovernor();
 
   ExecGovernor(const ExecGovernor&) = delete;

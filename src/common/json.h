@@ -64,6 +64,21 @@ class JsonValue {
 /// Parses one JSON document; trailing non-whitespace is an error.
 Result<JsonPtr> ParseJson(const std::string& text);
 
+// -- writing helpers (the hand-built emitters' shared vocabulary) --
+//
+// The repo's JSON writers (replay capsules, wire-protocol responses, bench
+// phase reports) are hand-built for stable key order; these two helpers are
+// the part every writer must agree on with the reader above.
+
+/// Appends `s` as a JSON string literal (quotes, escapes, control chars as
+/// \u00xx) to `*out`.
+void AppendJsonString(std::string* out, const std::string& s);
+
+/// Renders a double so it survives serialize -> parse -> serialize
+/// unchanged: exact integers print without a fraction, everything else as
+/// a 17-significant-digit decimal.
+std::string FormatJsonNumber(double d);
+
 }  // namespace hql
 
 #endif  // HQL_COMMON_JSON_H_

@@ -417,7 +417,7 @@ Result<RelationView> EvalFilterDNode(
     }
     case QueryKind::kWhen:
       return Status::InvalidArgument(
-          "EvalFilterD evaluates pure RA queries; use Filter3 for "
+          "EvalFilterD evaluates pure RA queries; use RunFilter3 for "
           "hypothetical queries");
   }
   return Status::Internal("unknown query kind in EvalFilterD");

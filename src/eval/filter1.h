@@ -38,22 +38,6 @@ struct Filter1Options {
 Result<Relation> RunFilter1(const QueryPtr& query, const Database& db,
                             const Filter1Options& options = {});
 
-// -- legacy entry points, forwarding into RunFilter1 --
-
-/// DEPRECATED: use RunFilter1(query, db).
-inline Result<Relation> Filter1(const QueryPtr& query, const Database& db) {
-  return RunFilter1(query, db);
-}
-
-/// DEPRECATED: use RunFilter1 with Filter1Options::env.
-inline Result<Relation> Filter1WithEnv(const QueryPtr& query,
-                                       const Database& db,
-                                       const XsubValue& env) {
-  Filter1Options options;
-  options.env = &env;
-  return RunFilter1(query, db, options);
-}
-
 }  // namespace hql
 
 #endif  // HQL_EVAL_FILTER1_H_

@@ -37,32 +37,6 @@ Result<Relation> RunFilter2(const QueryPtr& query, const Database& db,
                             const Schema& schema,
                             const Filter2Options& options = {});
 
-// -- legacy entry points, forwarding into RunFilter2 --
-
-/// DEPRECATED: use RunFilter2(query, db, schema).
-inline Result<Relation> Filter2(const QueryPtr& query, const Database& db,
-                                const Schema& schema) {
-  return RunFilter2(query, db, schema);
-}
-
-/// DEPRECATED: use RunFilter2 with Filter2Options::collapsed.
-inline Result<Relation> Filter2Collapsed(const CollapsedPtr& tree,
-                                         const Database& db) {
-  Filter2Options options;
-  options.collapsed = tree;
-  return RunFilter2(nullptr, db, db.schema(), options);
-}
-
-/// DEPRECATED: use RunFilter2 with Filter2Options::{collapsed, env}.
-inline Result<Relation> Filter2WithEnv(const CollapsedPtr& tree,
-                                       const Database& db,
-                                       const XsubValue& env) {
-  Filter2Options options;
-  options.collapsed = tree;
-  options.env = &env;
-  return RunFilter2(nullptr, db, db.schema(), options);
-}
-
 }  // namespace hql
 
 #endif  // HQL_EVAL_FILTER2_H_

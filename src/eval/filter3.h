@@ -52,38 +52,6 @@ Result<Relation> RunFilter3(const QueryPtr& query, const Database& db,
                             const Schema& schema,
                             const Filter3Options& options = {});
 
-// -- legacy entry points, forwarding into RunFilter3 --
-
-/// DEPRECATED: use RunFilter3 with Filter3Options::indexes.
-inline Result<Relation> Filter3(const QueryPtr& query, const Database& db,
-                                const Schema& schema,
-                                const IndexConfig& config = IndexConfig()) {
-  Filter3Options options;
-  options.indexes = config;
-  return RunFilter3(query, db, schema, options);
-}
-
-/// DEPRECATED: use RunFilter3 with Filter3Options::collapsed.
-inline Result<Relation> Filter3Collapsed(
-    const CollapsedPtr& tree, const Database& db,
-    const IndexConfig& config = IndexConfig()) {
-  Filter3Options options;
-  options.collapsed = tree;
-  options.indexes = config;
-  return RunFilter3(nullptr, db, db.schema(), options);
-}
-
-/// DEPRECATED: use RunFilter3 with Filter3Options::{collapsed, env}.
-inline Result<Relation> Filter3WithEnv(
-    const CollapsedPtr& tree, const Database& db, const DeltaValue& env,
-    const IndexConfig& config = IndexConfig()) {
-  Filter3Options options;
-  options.collapsed = tree;
-  options.env = &env;
-  options.indexes = config;
-  return RunFilter3(nullptr, db, db.schema(), options);
-}
-
 }  // namespace hql
 
 #endif  // HQL_EVAL_FILTER3_H_

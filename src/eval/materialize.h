@@ -4,8 +4,8 @@
 // Materialization of hypothetical states for reuse across query families
 // (Examples 2.2(a)/(b)): turn any hypothetical-state expression into a
 // physical xsub-value or delta value once, then filter arbitrarily many
-// queries through it with Filter1WithEnv / Filter2WithEnv /
-// Filter3WithEnv. This is the library-level form of what the E1/E2
+// queries through it with RunFilter1/2/3 and an explicit options env.
+// This is the library-level form of what the E1/E2
 // benchmarks and the version-tree example do by hand.
 
 #include "ast/forward.h"

@@ -372,8 +372,8 @@ Result<RelationView> EvalRaCompute(const QueryPtr& query,
     }
     case QueryKind::kWhen:
       return Status::InvalidArgument(
-          "EvalRa evaluates pure RA queries only; use EvalDirect / Filter1 / "
-          "Filter2 for hypothetical queries");
+          "EvalRa evaluates pure RA queries only; use EvalDirect / RunFilter1 "
+          "/ RunFilter2 for hypothetical queries");
   }
   return Status::Internal("unknown query kind in EvalRa");
 }

@@ -326,13 +326,13 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
       ExecRouteScope route("eager");
       AmbientExecContext().NoteRoute("eager");
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
-      return Filter1(enf, db);
+      return RunFilter1(enf, db);
     }
     case Strategy::kFilter2: {
       ExecRouteScope route("eager");
       AmbientExecContext().NoteRoute("eager");
       HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, schema));
-      return Filter2(enf, db, schema);
+      return RunFilter2(enf, db, schema);
     }
     case Strategy::kFilter3: {
       ExecRouteScope route("delta");
@@ -378,7 +378,7 @@ Result<Relation> ExecuteImpl(const QueryPtr& query, const Database& db,
       }
       ExecRouteScope route("hybrid-eager");
       AmbientExecContext().NoteRoute("hybrid-eager");
-      return Filter2(plan.query, db, schema);
+      return RunFilter2(plan.query, db, schema);
     }
   }
   return Status::Internal("unknown strategy");

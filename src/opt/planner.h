@@ -87,7 +87,8 @@ struct PlannerOptions {
   /// call; limit violations surface as kResourceExhausted, observed
   /// cancellation as kCancelled. A rewrite-node trip on the lazy route
   /// degrades gracefully instead: Execute retries along the fallback
-  /// lattice lazy -> hybrid -> eager (recorded in GovernorStats).
+  /// lattice lazy -> hybrid -> eager (recorded in
+  /// ExecStats::governor_lazy_fallbacks).
   ExecBudget budget;
 
   /// Optional cooperative cancellation for this execution; polled on the

@@ -52,9 +52,15 @@ Result<Relation> HypotheticalSession::Evaluate(const QueryPtr& query) const {
   HQL_ASSIGN_OR_RETURN(QueryPtr enf, ToEnf(query, *schema_));
   if (uses_delta_) {
     HQL_ASSIGN_OR_RETURN(CollapsedPtr tree, Collapse(enf, *schema_));
-    return Filter3WithEnv(tree, *db_, delta_, index_config_);
+    Filter3Options options;
+    options.collapsed = tree;
+    options.env = &delta_;
+    options.indexes = index_config_;
+    return RunFilter3(nullptr, *db_, db_->schema(), options);
   }
-  return Filter1WithEnv(enf, *db_, xsub_);
+  Filter1Options options;
+  options.env = &xsub_;
+  return RunFilter1(enf, *db_, options);
 }
 
 uint64_t HypotheticalSession::materialized_tuples() const {

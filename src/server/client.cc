@@ -1,0 +1,102 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hql {
+
+Result<WireClient> WireClient::Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Internal(
+        StrFormat("connect to 127.0.0.1:%u: %s", static_cast<unsigned>(port),
+                  std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  WireClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status WireClient::Send(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::string data = line + "\n";
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("send: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<JsonPtr> WireClient::Call(const std::string& line) {
+  HQL_RETURN_IF_ERROR(Send(line));
+  // One response line per request.
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return ParseJson(response);
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Internal("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<JsonPtr> WireClient::CallOk(const std::string& line) {
+  HQL_ASSIGN_OR_RETURN(JsonPtr doc, Call(line));
+  JsonPtr ok = doc->Get("ok");
+  if (ok != nullptr && ok->is_bool() && ok->bool_value()) return doc;
+  JsonPtr code = doc->Get("code");
+  JsonPtr message = doc->Get("message");
+  return Status::Internal(StrFormat(
+      "server error [%s]: %s",
+      code != nullptr && code->is_string() ? code->string_value().c_str()
+                                           : "?",
+      message != nullptr && message->is_string()
+          ? message->string_value().c_str()
+          : "?"));
+}
+
+void WireClient::Quit() {
+  if (fd_ < 0) return;
+  Call("quit");
+  Close();
+}
+
+void WireClient::Close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+}  // namespace hql

@@ -1,0 +1,65 @@
+#ifndef HQL_SERVER_CLIENT_H_
+#define HQL_SERVER_CLIENT_H_
+
+// A small blocking client for the hql wire protocol — the other half of
+// server/server.h, used by the server tests, the workload driver's
+// --connect mode, and anything else that wants to script a server.
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace hql {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+
+  WireClient(WireClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  WireClient& operator=(WireClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to a server on the loopback interface.
+  static Result<WireClient> Connect(uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and waits for the one-line JSON response,
+  /// parsed. Transport failures (server gone) surface as kInternal; a
+  /// protocol-level failure is a parsed document with "ok":false — use
+  /// CallOk when only success is acceptable.
+  Result<JsonPtr> Call(const std::string& line);
+
+  /// Call, then turns an "ok":false document into the error Status it
+  /// carries.
+  Result<JsonPtr> CallOk(const std::string& line);
+
+  /// Sends a line WITHOUT waiting for the response — for tests that
+  /// disconnect mid-query.
+  Status Send(const std::string& line);
+
+  /// Graceful goodbye: best-effort `quit`, then close.
+  void Quit();
+
+  /// Hard close, no goodbye (simulates a vanished client).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_SERVER_CLIENT_H_

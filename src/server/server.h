@@ -1,0 +1,113 @@
+#ifndef HQL_SERVER_SERVER_H_
+#define HQL_SERVER_SERVER_H_
+
+// The concurrent hypothetical-state server: a loopback TCP listener with
+// one thread and one hql::Session per connection, speaking the line/JSON
+// protocol of server/wire.h.
+//
+// Concurrency model:
+//   * accept thread    — accepts connections, reaps finished handlers
+//   * handler threads  — one per live connection; each owns its Session
+//                        and serves requests strictly in order
+//   * monitor thread   — polls *busy* connections (a query in flight) for
+//                        peer hang-up and trips the session's CancelToken,
+//                        so a client that disconnects mid-query stops its
+//                        work within one governor check interval instead
+//                        of running to completion against a dead socket
+//
+// Isolation is the facade's: every connection's session holds its own base
+// snapshot and scenario tree; the only shared state is the Engine (schema,
+// base, caches), which is internally synchronized. Admission control is
+// EngineOptions::max_sessions — a connection past the cap gets one JSON
+// error line and a clean close.
+//
+// The server binds 127.0.0.1 only: the protocol is unauthenticated by
+// design (a research artifact, not a deployment surface).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/engine.h"
+
+namespace hql {
+
+struct ServerOptions {
+  /// TCP port; 0 picks an ephemeral port (read it back from port()).
+  uint16_t port = 0;
+
+  /// Hard cap on one request line; longer input closes the connection.
+  size_t max_line_bytes = 1 << 20;
+
+  /// Cadence of the disconnect monitor's poll over busy connections.
+  int monitor_interval_ms = 20;
+};
+
+class HqlServer {
+ public:
+  /// Serves `engine` (caller-owned; must outlive the server).
+  explicit HqlServer(Engine* engine, ServerOptions options = ServerOptions());
+  ~HqlServer();
+
+  HqlServer(const HqlServer&) = delete;
+  HqlServer& operator=(const HqlServer&) = delete;
+
+  /// Binds, listens and spawns the accept + monitor threads. Fails with
+  /// kInternal when the socket cannot be bound.
+  Status Start();
+
+  /// Stops accepting, cancels every in-flight query, closes every
+  /// connection and joins all threads. Idempotent; also run by ~HqlServer.
+  void Stop();
+
+  /// The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live connections (handlers that have not finished).
+  size_t active_connections() const;
+
+  /// Lifetime counters, for tests and the \serve status line.
+  uint64_t total_connections() const {
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_requests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  void MonitorLoop();
+  void HandleConnection(std::shared_ptr<Conn> conn);
+  /// One request line -> one response line (never throws, never blocks on
+  /// the peer). Sets *close_after for `quit`.
+  std::string Dispatch(Conn& conn, const std::string& line, bool* close_after);
+  void ReapFinished();
+
+  Engine* engine_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread monitor_thread_;
+
+  mutable std::mutex mu_;  // guards conns_
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> total_connections_{0};
+  std::atomic<uint64_t> total_requests_{0};
+};
+
+}  // namespace hql
+
+#endif  // HQL_SERVER_SERVER_H_

@@ -1,0 +1,163 @@
+#include "server/wire.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace hql {
+
+namespace {
+
+// words = fixed leading words, tail = whether a verbatim remainder follows.
+struct OpShape {
+  const char* op;
+  int words;
+  bool tail;
+};
+
+constexpr OpShape kShapes[] = {
+    {"ping", 0, false},    {"options", 0, false}, {"profile", 1, false},
+    {"set", 2, false},     {"derive", 2, true},   {"edit", 1, true},
+    {"drop", 1, false},    {"nodes", 0, false},   {"query", 1, true},
+    {"fetch", 1, true},    {"compare", 2, true},  {"analyze", 1, true},
+    {"stats", 0, false},   {"refresh", 0, false}, {"base", 0, false},
+    {"quit", 0, false},
+};
+
+const OpShape* FindShape(const std::string& op) {
+  for (const OpShape& s : kShapes) {
+    if (op == s.op) return &s;
+  }
+  return nullptr;
+}
+
+size_t SkipSpaces(const std::string& s, size_t pos) {
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  return pos;
+}
+
+}  // namespace
+
+bool IsWireOp(const std::string& op) { return FindShape(op) != nullptr; }
+
+Result<WireRequest> ParseWireRequest(const std::string& line) {
+  WireRequest req;
+  size_t pos = SkipSpaces(line, 0);
+  size_t end = line.find(' ', pos);
+  if (end == std::string::npos) end = line.size();
+  req.op = line.substr(pos, end - pos);
+  if (req.op.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  const OpShape* shape = FindShape(req.op);
+  if (shape == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown op '%s'", req.op.c_str()));
+  }
+  pos = end;
+  for (int i = 0; i < shape->words; ++i) {
+    pos = SkipSpaces(line, pos);
+    end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    if (pos == end) {
+      return Status::InvalidArgument(
+          StrFormat("op '%s' needs %d argument%s", req.op.c_str(),
+                    shape->words, shape->words == 1 ? "" : "s"));
+    }
+    req.args.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  pos = SkipSpaces(line, pos);
+  if (shape->tail) {
+    if (pos >= line.size()) {
+      return Status::InvalidArgument(
+          StrFormat("op '%s' needs a query/hypothetical text", req.op.c_str()));
+    }
+    req.tail = line.substr(pos);
+    // Trim trailing spaces and any stray '\r' from a CRLF client.
+    while (!req.tail.empty() &&
+           (req.tail.back() == ' ' || req.tail.back() == '\r')) {
+      req.tail.pop_back();
+    }
+  } else if (pos < line.size() && line[pos] != '\r') {
+    return Status::InvalidArgument(
+        StrFormat("op '%s' takes no further input", req.op.c_str()));
+  }
+  return req;
+}
+
+WireResponse::WireResponse(bool ok) {
+  out_ = ok ? "{\"ok\":true" : "{\"ok\":false";
+}
+
+std::string WireResponse::Error(const Status& status) {
+  WireResponse r(false);
+  r.AddString("code", StatusCodeName(status.code()));
+  r.AddString("message", status.message());
+  return std::move(r).Finish();
+}
+
+WireResponse& WireResponse::AddString(const std::string& key,
+                                      const std::string& value) {
+  out_ += ',';
+  AppendJsonString(&out_, key);
+  out_ += ':';
+  AppendJsonString(&out_, value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddNumber(const std::string& key, double value) {
+  out_ += ',';
+  AppendJsonString(&out_, key);
+  out_ += ':';
+  out_ += FormatJsonNumber(value);
+  return *this;
+}
+
+WireResponse& WireResponse::AddBool(const std::string& key, bool value) {
+  out_ += ',';
+  AppendJsonString(&out_, key);
+  out_ += ':';
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+WireResponse& WireResponse::AddRaw(const std::string& key,
+                                   const std::string& json) {
+  out_ += ',';
+  AppendJsonString(&out_, key);
+  out_ += ':';
+  out_ += json;
+  return *this;
+}
+
+WireResponse& WireResponse::AddRelationSummary(const Relation& relation) {
+  AddNumber("rows", static_cast<double>(relation.size()));
+  AddNumber("arity", static_cast<double>(relation.arity()));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(relation.Hash()));
+  AddString("hash", buf);
+  return *this;
+}
+
+WireResponse& WireResponse::AddTuples(const Relation& relation) {
+  out_ += ",\"tuples\":[";
+  bool first = true;
+  for (const Tuple& t : relation) {
+    if (!first) out_ += ',';
+    first = false;
+    AppendJsonString(&out_, TupleToString(t));
+  }
+  out_ += ']';
+  return *this;
+}
+
+std::string WireResponse::Finish() && {
+  out_ += '}';
+  return std::move(out_);
+}
+
+}  // namespace hql

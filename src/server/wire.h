@@ -1,0 +1,90 @@
+#ifndef HQL_SERVER_WIRE_H_
+#define HQL_SERVER_WIRE_H_
+
+// The hql wire protocol: a line-oriented request grammar wrapping the
+// facade (opt/engine.h), answered with one-line JSON documents.
+//
+// Requests — one per line, UTF-8, '\n'-terminated:
+//
+//   request   := op (' ' word)* (' ' tail)?
+//   op        := ping | options | profile | set | derive | edit | drop
+//              | nodes | query | fetch | compare | analyze | stats
+//              | refresh | base | quit
+//   word      := run of non-space characters (scenario names, knob names)
+//   tail      := the rest of the line, verbatim — HQL query / hypothetical
+//                syntax, which may itself contain spaces
+//
+// Fixed shapes (W = word, T = tail):
+//
+//   ping                      profile W            set W W
+//   options                   derive W W T         edit W T
+//   drop W                    nodes                query W T
+//   fetch W T                 compare W W T        analyze W T
+//   stats                     refresh              base
+//   quit
+//
+// Responses — exactly one line of JSON per request:
+//
+//   success: {"ok":true, ...op-specific fields...}
+//   failure: {"ok":false,"code":"<StatusCodeName>","message":"..."}
+//
+// Relation results travel as {"rows":N,"arity":N,"hash":"<decimal>"}; the
+// hash is Relation::Hash rendered as a *string* because a 64-bit value
+// does not survive a JSON double. `fetch` adds "tuples":[...], each tuple
+// in TupleToString syntax (which parses back, storage/io.h).
+//
+// The grammar and the JSON vocabulary live here, free of socket code, so
+// the server, the in-memory tests, and the --connect driver all share one
+// definition.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace hql {
+
+struct WireRequest {
+  std::string op;
+  std::vector<std::string> args;  // the fixed words
+  std::string tail;               // verbatim remainder (may be empty)
+};
+
+/// Splits one request line per the shapes above. InvalidArgument on an
+/// unknown op or a missing word/tail; a blank line is InvalidArgument too.
+Result<WireRequest> ParseWireRequest(const std::string& line);
+
+/// True when `op` is a known wire op (used for error messages).
+bool IsWireOp(const std::string& op);
+
+/// Builder for one-line JSON responses with stable field order.
+class WireResponse {
+ public:
+  /// Starts a success ({"ok":true) or failure ({"ok":false) document.
+  explicit WireResponse(bool ok);
+
+  /// The canonical failure document for a Status.
+  static std::string Error(const Status& status);
+
+  WireResponse& AddString(const std::string& key, const std::string& value);
+  WireResponse& AddNumber(const std::string& key, double value);
+  WireResponse& AddBool(const std::string& key, bool value);
+  /// Appends a pre-rendered JSON value (object, array, ...) verbatim.
+  WireResponse& AddRaw(const std::string& key, const std::string& json);
+  /// Adds rows/arity/hash for a relation (hash as a decimal string).
+  WireResponse& AddRelationSummary(const Relation& relation);
+  /// Adds "tuples":["(..)",...] in TupleToString syntax.
+  WireResponse& AddTuples(const Relation& relation);
+
+  /// Closes the document: one line, no trailing newline.
+  std::string Finish() &&;
+
+ private:
+  std::string out_;
+};
+
+}  // namespace hql
+
+#endif  // HQL_SERVER_WIRE_H_

@@ -22,18 +22,6 @@ std::mutex& CacheAllocMutex() {
 
 }  // namespace
 
-IndexStats GlobalIndexStats() {
-  ExecStats stats = ProcessDefaultExecContext().Snapshot();
-  IndexStats s;
-  s.indexes_built = stats.indexes_built;
-  s.indexes_shared = stats.indexes_shared;
-  s.index_probes = stats.index_probes;
-  s.tuples_skipped = stats.index_tuples_skipped;
-  return s;
-}
-
-void ResetIndexStats() { ProcessDefaultExecContext().ResetIndexCounters(); }
-
 void AddIndexTuplesSkipped(uint64_t n) {
   AmbientExecContext().AddIndexTuplesSkipped(n);
 }

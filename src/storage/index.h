@@ -31,25 +31,13 @@
 
 namespace hql {
 
-/// Index-layer counters in the legacy process-wide shape.
-///
-/// DEPRECATED: the index layer now charges the ambient ExecContext
-/// (common/exec_context.h); these accessors are thin shims over the
-/// process-default context, kept for one release. They only observe work
-/// done without an installed ExecContextScope. New code should install an
-/// ExecContext and read Snapshot().
-struct IndexStats {
-  uint64_t indexes_built = 0;   // physical index constructions
-  uint64_t indexes_shared = 0;  // cache hits serving an existing index
-  uint64_t index_probes = 0;    // Probe() calls
-  uint64_t tuples_skipped = 0;  // base tuples a probe avoided scanning
-};
+// Index work is charged to the ambient ExecContext
+// (common/exec_context.h): indexes_built, indexes_shared, index_probes,
+// index_tuples_skipped. Install an ExecContextScope and read Snapshot()
+// to observe it.
 
-IndexStats GlobalIndexStats();
-void ResetIndexStats();
-
-/// Adds to IndexStats::tuples_skipped — called by the execution kernels,
-/// which know how much of the base a probe avoided.
+/// Adds to ExecStats::index_tuples_skipped — called by the execution
+/// kernels, which know how much of the base a probe avoided.
 void AddIndexTuplesSkipped(uint64_t n);
 
 /// An immutable hash index over one or more columns of a base Relation:

@@ -51,18 +51,6 @@ bool Disjoint(const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
 
 }  // namespace
 
-ViewStats GlobalViewStats() {
-  ExecStats stats = ProcessDefaultExecContext().Snapshot();
-  ViewStats s;
-  s.views_created = stats.views_created;
-  s.consolidations = stats.view_consolidations;
-  s.tuples_shared = stats.view_tuples_shared;
-  s.tuples_copied = stats.view_tuples_copied;
-  return s;
-}
-
-void ResetViewStats() { ProcessDefaultExecContext().ResetViewCounters(); }
-
 RelationView::RelationView(size_t arity)
     : arity_(arity), base_(std::make_shared<const Relation>(arity)) {}
 

@@ -37,22 +37,10 @@ namespace hql {
 
 using RelationPtr = std::shared_ptr<const Relation>;
 
-/// Copy-on-write counters in the legacy process-wide shape.
-///
-/// DEPRECATED: the view layer now charges the ambient ExecContext
-/// (common/exec_context.h); these accessors are thin shims over the
-/// process-default context, kept for one release. They only observe work
-/// done without an installed ExecContextScope. New code should install an
-/// ExecContext and read Snapshot().
-struct ViewStats {
-  uint64_t views_created = 0;    // views sharing an existing base
-  uint64_t consolidations = 0;   // overlays collapsed into flat relations
-  uint64_t tuples_shared = 0;    // base tuples reused by reference
-  uint64_t tuples_copied = 0;    // tuples written while materializing
-};
-
-ViewStats GlobalViewStats();
-void ResetViewStats();
+// Copy-on-write work is charged to the ambient ExecContext
+// (common/exec_context.h): views_created, view_consolidations,
+// view_tuples_shared, view_tuples_copied. Install an ExecContextScope and
+// read Snapshot() to observe it.
 
 class RelationView {
  public:
@@ -67,7 +55,7 @@ class RelationView {
   /// counted as sharing).
   explicit RelationView(Relation rel);
 
-  /// A flat view sharing `base` (counted in ViewStats::tuples_shared).
+  /// A flat view sharing `base` (counted in ExecStats::view_tuples_shared).
   explicit RelationView(RelationPtr base);
 
   /// An overlay over `base`. `adds`/`dels` may be unsorted and need not be

@@ -1,8 +1,12 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "common/json.h"
 
 namespace hql {
 
@@ -28,6 +32,54 @@ bool ReproducesExactly(const StressConfig& config,
 }
 
 }  // namespace
+
+double PhaseMetrics::OpsPerSec() const {
+  return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+double PhaseMetrics::LatencyMs(double p) const {
+  if (latencies_ms.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(latencies_ms.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= latencies_ms.size()) index = latencies_ms.size() - 1;
+  return latencies_ms[index];
+}
+
+Status WritePhaseMetricsJson(const std::vector<PhaseMetrics>& phases,
+                             const std::string& prefix,
+                             const std::string& path) {
+  std::string out = "{\"context\": {\"driver\": ";
+  AppendJsonString(&out, prefix);
+  out += ", \"phases\": " +
+         FormatJsonNumber(static_cast<double>(phases.size()));
+  out += "}, \"benchmarks\": [";
+  bool first = true;
+  for (const PhaseMetrics& m : phases) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, prefix + "/" + m.label);
+    out += ", \"real_time\": " + FormatJsonNumber(m.seconds * 1e9);
+    out += ", \"time_unit\": \"ns\"";
+    out += ", \"iterations\": " + FormatJsonNumber(static_cast<double>(m.ops));
+    out += ", \"ops_per_sec\": " + FormatJsonNumber(m.OpsPerSec());
+    out += ", \"p50_ms\": " + FormatJsonNumber(m.LatencyMs(50));
+    out += ", \"p99_ms\": " + FormatJsonNumber(m.LatencyMs(99));
+    out += ", \"oracle_runs\": " +
+           FormatJsonNumber(static_cast<double>(m.oracle_runs));
+    out += ", \"clean_errors\": " +
+           FormatJsonNumber(static_cast<double>(m.clean_errors));
+    out += "}";
+  }
+  out += "]}\n";
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot write " + path);
+  file << out;
+  file.close();
+  if (!file) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
 
 WorkloadDriver::WorkloadDriver(const StressConfig& config,
                                const DriverOptions& options)
@@ -61,6 +113,7 @@ DriverResult WorkloadDriver::Run() {
     m.clean_errors = harness.report().clean_errors - prev_clean;
     prev_oracle = harness.report().oracle_runs;
     prev_clean = harness.report().clean_errors;
+    std::sort(m.latencies_ms.begin(), m.latencies_ms.end());
     if (options_.on_phase) options_.on_phase(m);
   };
 
@@ -80,8 +133,10 @@ DriverResult WorkloadDriver::Run() {
     size_t failures_before = harness.report().failures.size();
     executed.push_back(i);
     bool ok = harness.RunOp(i);
+    double op_seconds = SecondsSince(op_start);
     result.phases[phase_index].ops += 1;
-    result.phases[phase_index].seconds += SecondsSince(op_start);
+    result.phases[phase_index].seconds += op_seconds;
+    result.phases[phase_index].latencies_ms.push_back(op_seconds * 1e3);
 
     if (!ok) {
       const auto& failures = harness.report().failures;

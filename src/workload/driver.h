@@ -44,7 +44,24 @@ struct PhaseMetrics {
   double seconds = 0.0;
   uint64_t oracle_runs = 0;
   uint64_t clean_errors = 0;
+  /// Wall latency of each op in milliseconds, sorted ascending once the
+  /// phase completes (the driver sorts before invoking on_phase).
+  std::vector<double> latencies_ms;
+
+  /// Throughput over the phase's cumulative op time (0 if no time elapsed).
+  double OpsPerSec() const;
+  /// Nearest-rank latency percentile, p in [0, 100]; 0 when no ops ran.
+  double LatencyMs(double p) const;
 };
+
+/// Writes phases as a google-benchmark-style JSON report — the bench_util
+/// --json schema validated by bench/check_bench_json: a "context" object
+/// and one "benchmarks" entry per phase named "<prefix>/<label>", carrying
+/// real_time (cumulative op nanoseconds) plus ops_per_sec / p50_ms /
+/// p99_ms / oracle_runs measurements.
+Status WritePhaseMetricsJson(const std::vector<PhaseMetrics>& phases,
+                             const std::string& prefix,
+                             const std::string& path);
 
 struct DriverResult {
   StressReport report;

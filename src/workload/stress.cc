@@ -45,55 +45,8 @@ std::string Truncate(const std::string& s, size_t limit = 400) {
   return s.substr(0, limit) + "...(" + std::to_string(s.size()) + " chars)";
 }
 
-// ---------------------------------------------------------------------------
-// JSON writing (the reader is common/json.h).
-// ---------------------------------------------------------------------------
-
-void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-// Doubles print as integers when exact (the common case for weights and op
-// counts) and as 17-significant-digit decimals otherwise, so a value
-// survives serialize -> parse -> serialize unchanged.
-std::string FormatJsonNumber(double d) {
-  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
-    return buf;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", d);
-  return buf;
-}
+// JSON string/number rendering lives in common/json.h (AppendJsonString /
+// FormatJsonNumber), shared with the wire protocol and the bench writers.
 
 double NumberOr(const JsonPtr& v, double fallback) {
   return v != nullptr && v->is_number() ? v->number() : fallback;

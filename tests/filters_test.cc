@@ -25,7 +25,7 @@ TEST(Filter1Test, BasicWhenFiltering) {
   ASSERT_OK(db.Set("S", Ints({{2}})));
   // (R union S) when {(R u S)/R}: R reads as {1, 2}.
   QueryPtr q = When(U(Rel("R"), Rel("S")), Sub1(U(Rel("R"), Rel("S")), "R"));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter1(q, db));
+  ASSERT_OK_AND_ASSIGN(Relation out, RunFilter1(q, db));
   EXPECT_EQ(out, Ints({{1}, {2}}));
 }
 
@@ -33,7 +33,8 @@ TEST(Filter1Test, RequiresEnf) {
   Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
   Database db(schema);
   QueryPtr q = When(Rel("R"), Upd(Ins("R", Rel("S"))));
-  EXPECT_EQ(Filter1(q, db).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunFilter1(q, db).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(Filter1Test, NestedWhenSmashes) {
@@ -44,7 +45,7 @@ TEST(Filter1Test, NestedWhenSmashes) {
   // Inner state rebinds R; outer state rebinds S. Both visible inside.
   QueryPtr q = When(When(X(Rel("R"), Rel("S")), Sub1(Rel("S"), "R")),
                     Sub1(Single({Value::Int(9)}), "S"));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter1(q, db));
+  ASSERT_OK_AND_ASSIGN(Relation out, RunFilter1(q, db));
   // Outer first: S := {9}. Inner: R := S = {9}. Result {9} x {9}.
   EXPECT_EQ(out, Ints({{9, 9}}));
 }
@@ -55,7 +56,9 @@ TEST(Filter1Test, EnvExposedWorker) {
   ASSERT_OK(db.Set("R", Ints({{1}})));
   XsubValue env;
   env.Bind("R", Ints({{7}}));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter1WithEnv(Rel("R"), db, env));
+  Filter1Options options;
+  options.env = &env;
+  ASSERT_OK_AND_ASSIGN(Relation out, RunFilter1(Rel("R"), db, options));
   EXPECT_EQ(out, Ints({{7}}));
 }
 
@@ -76,7 +79,7 @@ TEST_F(FilterPropertyTest, Proposition51Filter1Correct) {
     Database db = RandomDatabase(&rng_, schema_, 5, 8);
     QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
     ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
-    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter1(enf, db));
+    ASSERT_OK_AND_ASSIGN(Relation filtered, RunFilter1(enf, db));
     ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
     EXPECT_EQ(filtered, reference) << q->ToString();
   }
@@ -90,7 +93,7 @@ TEST_F(FilterPropertyTest, Proposition53Filter2Correct) {
     Database db = RandomDatabase(&rng_, schema_, 5, 8);
     QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
     ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
-    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter2(enf, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation filtered, RunFilter2(enf, db, schema_));
     ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
     EXPECT_EQ(filtered, reference) << q->ToString();
   }
@@ -105,7 +108,7 @@ TEST_F(FilterPropertyTest, Proposition54Filter3Correct) {
   for (int trial = 0; trial < 300; ++trial) {
     Database db = RandomDatabase(&rng_, schema_, 5, 8);
     QueryPtr q = RandomQuery(&rng_, schema_, 2, options);
-    ASSERT_OK_AND_ASSIGN(Relation filtered, Filter3(q, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation filtered, RunFilter3(q, db, schema_));
     ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
     EXPECT_EQ(filtered, reference) << q->ToString();
   }
@@ -124,12 +127,12 @@ TEST_F(FilterPropertyTest, AllAlgorithmsAgreeOnUpdateChains) {
     ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
 
     ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(q, schema_));
-    ASSERT_OK_AND_ASSIGN(Relation f1, Filter1(enf, db));
-    ASSERT_OK_AND_ASSIGN(Relation f2, Filter2(enf, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation f1, RunFilter1(enf, db));
+    ASSERT_OK_AND_ASSIGN(Relation f2, RunFilter2(enf, db, schema_));
     EXPECT_EQ(f1, reference) << q->ToString();
     EXPECT_EQ(f2, reference) << q->ToString();
 
-    ASSERT_OK_AND_ASSIGN(Relation f3, Filter3(q, db, schema_));
+    ASSERT_OK_AND_ASSIGN(Relation f3, RunFilter3(q, db, schema_));
     EXPECT_EQ(f3, reference) << q->ToString();
   }
 }
@@ -142,7 +145,7 @@ TEST(Filter3Test, AtomChainsSeeEarlierAtoms) {
   // ins(R, S); ins(S, R): the second atom reads R's updated value {1,2}.
   QueryPtr q = When(Rel("S"), Upd(Seq(Ins("R", Rel("S")),
                                       Ins("S", Rel("R")))));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter3(q, db, schema));
+  ASSERT_OK_AND_ASSIGN(Relation out, RunFilter3(q, db, schema));
   EXPECT_EQ(out, Ints({{1}, {2}}));
 }
 
@@ -153,11 +156,11 @@ TEST(Filter3Test, DeleteThenInsertSameTuple) {
   QueryPtr t1 = Single({Value::Int(1)});
   // del(R, {1}); ins(R, {1}) leaves 1 present (smash I beats earlier D).
   QueryPtr q = When(Rel("R"), Upd(Seq(Del("R", t1), Ins("R", t1))));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter3(q, db, schema));
+  ASSERT_OK_AND_ASSIGN(Relation out, RunFilter3(q, db, schema));
   EXPECT_EQ(out, Ints({{1}, {2}}));
   // And the reverse order removes it.
   QueryPtr q2 = When(Rel("R"), Upd(Seq(Ins("R", t1), Del("R", t1))));
-  ASSERT_OK_AND_ASSIGN(Relation out2, Filter3(q2, db, schema));
+  ASSERT_OK_AND_ASSIGN(Relation out2, RunFilter3(q2, db, schema));
   EXPECT_EQ(out2, Ints({{2}}));
 }
 
@@ -166,11 +169,14 @@ TEST(Filter2Test, CollapsedTreeReuse) {
   Schema schema = MakeSchema({{"R", 1}, {"S", 1}});
   QueryPtr q = When(U(Rel("R"), Rel("S")), Sub1(U(Rel("R"), Rel("S")), "R"));
   ASSERT_OK_AND_ASSIGN(CollapsedPtr tree, Collapse(q, schema));
+  Filter2Options options;
+  options.collapsed = tree;
   for (int i = 0; i < 3; ++i) {
     Database db(schema);
     ASSERT_OK(db.Set("R", Ints({{i}})));
     ASSERT_OK(db.Set("S", Ints({{10 + i}})));
-    ASSERT_OK_AND_ASSIGN(Relation out, Filter2Collapsed(tree, db));
+    ASSERT_OK_AND_ASSIGN(Relation out,
+                         RunFilter2(nullptr, db, schema, options));
     ASSERT_OK_AND_ASSIGN(Relation reference, EvalDirect(q, db));
     EXPECT_EQ(out, reference);
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ast/builders.h"
+#include "common/exec_context.h"
 #include "common/governor.h"
 #include "common/rng.h"
 #include "opt/planner.h"
@@ -176,12 +177,13 @@ TEST(GovernedExecuteTest, TupleBudgetExactlyResultSizeSucceeds) {
       Relation out, Execute(q, db, schema, Strategy::kDirect, options));
   EXPECT_EQ(out, reference);
 
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   options.budget.max_tuples = 7;  // one short: must trip, not truncate
   auto result = Execute(q, db, schema, Strategy::kDirect, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_GE(GlobalGovernorStats().tuple_trips, 1u);
+  EXPECT_GE(ctx.Snapshot().governor_tuple_trips, 1u);
 }
 
 TEST(GovernedExecuteTest, DeadlineExpiresMidJoin) {
@@ -193,28 +195,30 @@ TEST(GovernedExecuteTest, DeadlineExpiresMidJoin) {
   // A 2000 x 2000 product: four million output tuples, far past any 1 ms
   // deadline. The governor must stop it cooperatively mid-kernel.
   QueryPtr q = X(Rel("R"), Rel("S"));
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   PlannerOptions options;
   options.budget.deadline_ms = 1;
   auto result = Execute(q, db, schema, Strategy::kDirect, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
-  EXPECT_GE(GlobalGovernorStats().deadline_trips, 1u);
+  EXPECT_GE(ctx.Snapshot().governor_deadline_trips, 1u);
 }
 
 TEST(GovernedExecuteTest, CancelBeforeStartReturnsImmediately) {
   Schema schema = MakeSchema({{"R", 2}});
   Database db = SmallDb(schema);
   QueryPtr q = Sel(Ge(Col(0), Int(0)), Rel("R"));
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   PlannerOptions options;
   options.cancel_token = std::make_shared<CancelToken>();
   options.cancel_token->Cancel();
   auto result = Execute(q, db, schema, Strategy::kHybrid, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
-  EXPECT_GE(GlobalGovernorStats().cancellations, 1u);
+  EXPECT_GE(ctx.Snapshot().governor_cancellations, 1u);
 }
 
 // Example 2.4's blow-up chain: the lazy route's rewrite trips the node
@@ -237,18 +241,19 @@ TEST(GovernedExecuteTest, RewriteBudgetTripsLazyAndFallsBack) {
                                Strategy::kFilter2));
   ASSERT_EQ(reference.size(), 1u);
 
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   PlannerOptions options;
   options.budget.max_rewrite_nodes = 200;  // far below the ~2^8 lazy tree
   ASSERT_OK_AND_ASSIGN(Relation out,
                        Execute(spec.query, db, spec.schema, Strategy::kLazy,
                                options));
   EXPECT_EQ(out, reference);  // bit-identical to the eager route
-  GovernorStats stats = GlobalGovernorStats();
-  EXPECT_GE(stats.rewrite_trips, 1u);
-  EXPECT_GE(stats.lazy_fallbacks, 1u);
-  EXPECT_EQ(stats.tuple_trips, 0u);
-  EXPECT_EQ(stats.deadline_trips, 0u);
+  ExecStats stats = ctx.Snapshot();
+  EXPECT_GE(stats.governor_rewrite_trips, 1u);
+  EXPECT_GE(stats.governor_lazy_fallbacks, 1u);
+  EXPECT_EQ(stats.governor_tuple_trips, 0u);
+  EXPECT_EQ(stats.governor_deadline_trips, 0u);
 }
 
 // Without any budget the same chain still evaluates lazily (no fallback) —
@@ -264,14 +269,15 @@ TEST(GovernedExecuteTest, NoBudgetMeansNoFallback) {
     for (size_t c = 0; c < arity; ++c) t.push_back(Value::Int(1));
     ASSERT_OK(db.Set(name, Relation::FromTuples(arity, {t})));
   }
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   ASSERT_OK_AND_ASSIGN(Relation lazy,
                        Execute(spec.query, db, spec.schema, Strategy::kLazy));
   ASSERT_OK_AND_ASSIGN(Relation eager,
                        Execute(spec.query, db, spec.schema,
                                Strategy::kFilter2));
   EXPECT_EQ(lazy, eager);
-  EXPECT_EQ(GlobalGovernorStats().lazy_fallbacks, 0u);
+  EXPECT_EQ(ctx.Snapshot().governor_lazy_fallbacks, 0u);
 }
 
 TEST(GovernedExecuteTest, IndexBuildOverBudgetFallsBackToScans) {
@@ -284,7 +290,8 @@ TEST(GovernedExecuteTest, IndexBuildOverBudgetFallsBackToScans) {
                        Execute(q, db, schema, Strategy::kDirect));
 
   IndexAdvisor advisor(/*build_threshold=*/1);
-  ResetGovernorStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   PlannerOptions options;
   options.index_mode = IndexMode::kAdvisor;
   options.index_advisor = &advisor;
@@ -293,7 +300,7 @@ TEST(GovernedExecuteTest, IndexBuildOverBudgetFallsBackToScans) {
   ASSERT_OK_AND_ASSIGN(
       Relation out, Execute(q, db, schema, Strategy::kLazy, options));
   EXPECT_EQ(out, reference);
-  EXPECT_GE(GlobalGovernorStats().index_fallbacks, 1u);
+  EXPECT_GE(ctx.Snapshot().governor_index_fallbacks, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 
 #include "storage/index.h"
 
+#include "common/exec_context.h"
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -81,21 +83,22 @@ TEST(RelationIndexTest, PositionsAscendWithinBucket) {
 }
 
 TEST(IndexCacheTest, IndexOnBuildsOnceAndShares) {
-  IndexStats before = GlobalIndexStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   Relation r = Ints({{1, 10}, {2, 20}});
   RelationIndexPtr a = r.IndexOn({0});
   RelationIndexPtr b = r.IndexOn({0});
   RelationIndexPtr c = r.ExistingIndex({0});
   EXPECT_EQ(a.get(), b.get());
   EXPECT_EQ(a.get(), c.get());
-  IndexStats after = GlobalIndexStats();
-  EXPECT_EQ(after.indexes_built - before.indexes_built, 1u);
-  EXPECT_EQ(after.indexes_shared - before.indexes_shared, 2u);
+  ExecStats after = ctx.Snapshot();
+  EXPECT_EQ(after.indexes_built, 1u);
+  EXPECT_EQ(after.indexes_shared, 2u);
 
   // A different column set is a different index.
   RelationIndexPtr d = r.IndexOn({1});
   EXPECT_NE(a.get(), d.get());
-  EXPECT_EQ(GlobalIndexStats().indexes_built - before.indexes_built, 2u);
+  EXPECT_EQ(ctx.Snapshot().indexes_built, 2u);
 }
 
 TEST(IndexCacheTest, ExistingIndexIsNullBeforeBuild) {

@@ -89,8 +89,8 @@ TEST(MaterializeTest, SmashCapturesComposition) {
 }
 
 TEST(MaterializeTest, ReuseAcrossFamily) {
-  // Materialize once, answer a family via Filter1WithEnv: same values as
-  // evaluating each hypothetical query from scratch.
+  // Materialize once, answer a family by filtering through the xsub env:
+  // same values as evaluating each hypothetical query from scratch.
   Schema schema = MakeSchema({{"R", 2}, {"S", 2}});
   Rng rng(1117);
   Database db(schema);
@@ -99,9 +99,11 @@ TEST(MaterializeTest, ReuseAcrossFamily) {
   HypoExprPtr eta = Upd(Seq(Ins("R", Sel(Ge(Col(0), Int(10)), Rel("S"))),
                             Del("S", Sel(Lt(Col(0), Int(30)), Rel("S")))));
   ASSERT_OK_AND_ASSIGN(XsubValue env, MaterializeXsub(eta, db, schema));
+  Filter1Options options;
+  options.env = &env;
   for (int i = 0; i < 10; ++i) {
     QueryPtr family = Sel(Eq(Col(0), Int(i * 5)), U(Rel("R"), Rel("S")));
-    ASSERT_OK_AND_ASSIGN(Relation fast, Filter1WithEnv(family, db, env));
+    ASSERT_OK_AND_ASSIGN(Relation fast, RunFilter1(family, db, options));
     ASSERT_OK_AND_ASSIGN(Relation reference,
                          EvalDirect(Query::When(family, eta), db));
     EXPECT_EQ(fast, reference);

@@ -84,7 +84,7 @@ TEST(PushdownTest, PartialPushLeavesResidualWhens) {
   for (int depth : {0, 1, 2, 3, -1}) {
     ASSERT_OK_AND_ASSIGN(QueryPtr p, PushdownPartial(q, schema, depth));
     ASSERT_OK_AND_ASSIGN(QueryPtr enf, ToEnf(p, schema));
-    ASSERT_OK_AND_ASSIGN(Relation out, Filter1(enf, db));
+    ASSERT_OK_AND_ASSIGN(Relation out, RunFilter1(enf, db));
     EXPECT_EQ(out, reference) << "depth " << depth;
   }
 }

@@ -1,5 +1,7 @@
 #include "storage/view.h"
 
+#include "common/exec_context.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -186,23 +188,23 @@ TEST(RelationViewTest, ApplyTuplesMatchesInsertErase) {
 }
 
 TEST(RelationViewTest, ViewStatsCountSharingAndConsolidation) {
-  ResetViewStats();
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
   Relation r = Rel2({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
   RelationView v(r);  // fresh wrap: not counted as sharing
-  ViewStats s0 = GlobalViewStats();
+  ExecStats s0 = ctx.Snapshot();
   EXPECT_EQ(s0.views_created, 0u);
 
   RelationView child = v.ApplyDelta({T(9, 9)}, {}, 100.0);
-  ViewStats s1 = GlobalViewStats();
+  ExecStats s1 = ctx.Snapshot();
   EXPECT_GE(s1.views_created, 1u);
-  EXPECT_GE(s1.tuples_shared, r.size());
-  EXPECT_EQ(s1.consolidations, 0u);
+  EXPECT_GE(s1.view_tuples_shared, r.size());
+  EXPECT_EQ(s1.view_consolidations, 0u);
 
   (void)child.Shared();  // forces one consolidation
-  ViewStats s2 = GlobalViewStats();
-  EXPECT_EQ(s2.consolidations, 1u);
-  EXPECT_GE(s2.tuples_copied, child.size());
-  ResetViewStats();
+  ExecStats s2 = ctx.Snapshot();
+  EXPECT_EQ(s2.view_consolidations, 1u);
+  EXPECT_GE(s2.view_tuples_copied, child.size());
 }
 
 TEST(RelationViewTest, IteratorInterleavesAddsAndSkipsDels) {

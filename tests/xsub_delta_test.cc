@@ -243,8 +243,8 @@ TEST(EvalFilterDTest, MatchesEvalOnAppliedState) {
 }
 
 TEST(Filter3WorkerTest, ExplicitEnvironment) {
-  // Filter3WithEnv evaluates under a caller-provided delta, the analogue
-  // of the Heraclitus run-time stack top.
+  // RunFilter3 with an explicit env evaluates under a caller-provided
+  // delta, the analogue of the Heraclitus run-time stack top.
   Schema schema = MakeSchema({{"R", 1}});
   Database db(schema);
   ASSERT_OK(db.Set("R", Ints({{1}, {2}})));
@@ -252,7 +252,11 @@ TEST(Filter3WorkerTest, ExplicitEnvironment) {
   env.Bind("R", DeltaPair(Ints({{1}}), Ints({{5}})));
   ASSERT_OK_AND_ASSIGN(CollapsedPtr tree,
                        Collapse(dsl::Rel("R"), schema));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter3WithEnv(tree, db, env));
+  Filter3Options options;
+  options.collapsed = tree;
+  options.env = &env;
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       RunFilter3(nullptr, db, schema, options));
   EXPECT_EQ(out, Ints({{2}, {5}}));
 }
 
@@ -264,7 +268,11 @@ TEST(Filter2WorkerTest, ExplicitEnvironment) {
   env.Bind("R", Ints({{9}}));
   ASSERT_OK_AND_ASSIGN(CollapsedPtr tree,
                        Collapse(dsl::Rel("R"), schema));
-  ASSERT_OK_AND_ASSIGN(Relation out, Filter2WithEnv(tree, db, env));
+  Filter2Options options;
+  options.collapsed = tree;
+  options.env = &env;
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       RunFilter2(nullptr, db, schema, options));
   EXPECT_EQ(out, Ints({{9}}));
 }
 
